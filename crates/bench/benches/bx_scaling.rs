@@ -1,0 +1,96 @@
+//! E10 — lens get/put cost scaling (rows × combinator depth).
+//!
+//! The paper's synchronization cost is dominated by BX execution on the
+//! peers; this bench establishes that get and put scale linearly in the
+//! source size for projection/select lenses, and measures composition
+//! overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use medledger_bench::{composed_lens, records, wide_projection};
+use medledger_bx::exec::{get, put};
+use medledger_relational::Value;
+
+fn bench_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lens_get");
+    for rows in [100usize, 1_000, 10_000] {
+        let src = records(rows, "bx-get");
+        g.throughput(Throughput::Elements(rows as u64));
+        g.bench_with_input(BenchmarkId::new("project", rows), &src, |b, src| {
+            let lens = wide_projection();
+            b.iter(|| get(&lens, std::hint::black_box(src)).expect("get"))
+        });
+        g.bench_with_input(BenchmarkId::new("composed", rows), &src, |b, src| {
+            let lens = composed_lens();
+            b.iter(|| get(&lens, std::hint::black_box(src)).expect("get"))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("project_distinct", rows),
+            &src,
+            |b, src| {
+                let lens = medledger_bx::LensSpec::project_distinct(
+                    &["medication_name", "mechanism_of_action"],
+                    &["medication_name"],
+                );
+                b.iter(|| get(&lens, std::hint::black_box(src)).expect("get"))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_put(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lens_put");
+    for rows in [100usize, 1_000, 10_000] {
+        let src = records(rows, "bx-put");
+        let lens = wide_projection();
+        let mut view = get(&lens, &src).expect("get");
+        // One realistic edit.
+        let key = src.sorted_rows()[rows / 2][0].clone();
+        view.update(&[key], &[("dosage", Value::text("edited"))])
+            .expect("edit");
+        g.throughput(Throughput::Elements(rows as u64));
+        g.bench_with_input(BenchmarkId::new("project", rows), &rows, |b, _| {
+            b.iter(|| put(&lens, std::hint::black_box(&src), &view).expect("put"))
+        });
+
+        let dlens = medledger_bx::LensSpec::project_distinct(
+            &["medication_name", "mechanism_of_action"],
+            &["medication_name"],
+        );
+        let mut dview = get(&dlens, &src).expect("get");
+        let dkey = dview.sorted_rows()[0][0].clone();
+        dview
+            .update(&[dkey], &[("mechanism_of_action", Value::text("revised"))])
+            .expect("edit");
+        g.bench_with_input(BenchmarkId::new("project_distinct", rows), &rows, |b, _| {
+            b.iter(|| put(&dlens, std::hint::black_box(&src), &dview).expect("put"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_roundtrip_laws(c: &mut Criterion) {
+    // The E10 law-checking cost itself (used by CI-style validation).
+    let src = records(1_000, "bx-laws");
+    let lens = wide_projection();
+    c.bench_function("lens_laws/getput_check_1000", |b| {
+        b.iter(|| medledger_bx::check_getput(&lens, std::hint::black_box(&src)).expect("law"))
+    });
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let src = records(10_000, "bx-diff");
+    let lens = wide_projection();
+    let view = get(&lens, &src).expect("get");
+    let mut edited = view.clone();
+    let key = view.sorted_rows()[5_000][0].clone();
+    edited
+        .update(&[key], &[("dosage", Value::text("changed"))])
+        .expect("edit");
+    c.bench_function("delta/changed_attrs_10000", |b| {
+        b.iter(|| medledger_bx::changed_attrs(std::hint::black_box(&view), &edited))
+    });
+}
+
+criterion_group!(benches, bench_get, bench_put, bench_roundtrip_laws, bench_diff);
+criterion_main!(benches);

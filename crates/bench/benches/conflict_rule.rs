@@ -1,0 +1,71 @@
+//! E7 — the one-transaction-per-shared-table-per-block rule:
+//! mempool selection cost and block-drain behavior under conflicting vs
+//! independent update streams.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medledger_crypto::KeyPair;
+use medledger_ledger::{Mempool, Transaction, TxPayload};
+use std::collections::BTreeSet;
+
+/// Builds a mempool of `n` txs spread over `k` distinct conflict keys.
+fn filled_mempool(n: usize, k: usize) -> Mempool {
+    let mut mp = Mempool::new();
+    // One sender per conflict key so nonce ordering never interferes with
+    // the conflict rule (matches real peers, who each update "their"
+    // shared tables).
+    let mut keys: Vec<KeyPair> = (0..k)
+        .map(|i| KeyPair::generate(&format!("bench-mp-{i}"), (n / k + 2).next_power_of_two()))
+        .collect();
+    let mut nonces = vec![0u64; k];
+    for i in 0..n {
+        let which = i % k;
+        let tx = Transaction {
+            sender: keys[which].public(),
+            nonce: nonces[which],
+            payload: TxPayload::Noop,
+            conflict_key: Some(format!("table-{which}")),
+        };
+        nonces[which] += 1;
+        mp.add(tx.sign(&mut keys[which]).expect("sign"));
+    }
+    mp
+}
+
+fn bench_select(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mempool_select");
+    g.sample_size(20);
+    for k in [1usize, 8, 64] {
+        let mp = filled_mempool(256, k);
+        g.bench_with_input(BenchmarkId::new("keys", k), &mp, |b, mp| {
+            b.iter(|| mp.select(128, &BTreeSet::new()))
+        });
+    }
+    g.finish();
+}
+
+/// How many "blocks" it takes to drain 64 updates when they all hit the
+/// same shared table vs. spread over 64 tables — the paper's
+/// serialization rule made measurable.
+fn bench_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("drain_64_updates");
+    g.sample_size(10);
+    for k in [1usize, 4, 64] {
+        g.bench_with_input(BenchmarkId::new("tables", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut mp = filled_mempool(64, k);
+                let mut blocks = 0usize;
+                while !mp.is_empty() {
+                    let sel = mp.select(128, &BTreeSet::new());
+                    assert!(!sel.is_empty());
+                    mp.remove_committed(&sel);
+                    blocks += 1;
+                }
+                blocks
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_select, bench_drain);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E11 — consensus: PBFT round simulation cost vs validator count, and
+//! the PoW interval model. (Virtual-latency results are in the report
+//! binary; this measures the simulator itself.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medledger_consensus::{PbftConfig, PbftRound, PowModel};
+use medledger_crypto::sha256;
+
+fn bench_pbft_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pbft_round");
+    for n in [4usize, 7, 10, 13] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let digest = sha256(b"block");
+            let mut height = 0u64;
+            b.iter(|| {
+                height += 1;
+                PbftRound::new(PbftConfig {
+                    n,
+                    seed: "bench".into(),
+                    ..Default::default()
+                })
+                .run(height, digest, 1_000_000)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pbft_with_view_change(c: &mut Criterion) {
+    c.bench_function("pbft_round/crashed_proposer_n4", |b| {
+        let digest = sha256(b"block");
+        let mut height = 0u64;
+        b.iter(|| {
+            height += 1;
+            // Proposer of (height, view 0) is height % 4; crash it.
+            let proposer = (height % 4) as usize;
+            PbftRound::new(PbftConfig {
+                seed: "bench-vc".into(),
+                ..Default::default()
+            })
+            .crash(proposer)
+            .run(height, digest, 1_000_000)
+        })
+    });
+}
+
+fn bench_pow_sampling(c: &mut Criterion) {
+    c.bench_function("pow/next_interval", |b| {
+        let mut model = PowModel::ethereum("bench");
+        b.iter(|| model.next_interval_ms())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pbft_round,
+    bench_pbft_with_view_change,
+    bench_pow_sampling
+);
+criterion_main!(benches);

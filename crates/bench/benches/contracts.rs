@@ -1,0 +1,168 @@
+//! E12 — sharing-contract call costs and MedVM execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use medledger_contracts::runtime::CallCtx;
+use medledger_contracts::sharing::{
+    AckUpdateArgs, RegisterShareArgs, RequestUpdateArgs, SharingContract,
+};
+use medledger_contracts::vm::{self, asm};
+use medledger_contracts::ContractState;
+use medledger_crypto::{Hash256, KeyPair};
+
+fn ctx(sender: medledger_ledger::AccountId) -> CallCtx {
+    CallCtx {
+        sender,
+        contract: Hash256([1; 32]),
+        block_height: 10,
+        timestamp_ms: 10_000,
+    }
+}
+
+fn registered_state(doctor: medledger_ledger::AccountId, patient: medledger_ledger::AccountId) -> ContractState {
+    let mut state = ContractState::new();
+    let args = RegisterShareArgs {
+        table_id: "D13&D31".into(),
+        peers: vec![doctor, patient],
+        write_permission: [
+            ("dosage".to_string(), vec![doctor]),
+            ("clinical_data".to_string(), vec![doctor, patient]),
+        ]
+        .into_iter()
+        .collect(),
+        authority: doctor,
+        initial_hash: Hash256([5; 32]),
+    };
+    SharingContract::call(
+        &mut state,
+        &ctx(doctor),
+        "register_share",
+        &serde_json::to_vec(&args).expect("args"),
+    )
+    .expect("register");
+    state
+}
+
+fn bench_sharing_contract(c: &mut Criterion) {
+    let doctor = KeyPair::generate("bench-doc", 2).public();
+    let patient = KeyPair::generate("bench-pat", 2).public();
+
+    c.bench_function("contract/register_share", |b| {
+        let args = RegisterShareArgs {
+            table_id: "T".into(),
+            peers: vec![doctor, patient],
+            write_permission: [("a".to_string(), vec![doctor])].into_iter().collect(),
+            authority: doctor,
+            initial_hash: Hash256::ZERO,
+        };
+        let encoded = serde_json::to_vec(&args).expect("args");
+        b.iter(|| {
+            let mut state = ContractState::new();
+            SharingContract::call(&mut state, &ctx(doctor), "register_share", &encoded)
+                .expect("register")
+        })
+    });
+
+    c.bench_function("contract/request_update_permitted", |b| {
+        let state = registered_state(doctor, patient);
+        let args = RequestUpdateArgs {
+            table_id: "D13&D31".into(),
+            new_hash: Hash256([6; 32]),
+            changed_attrs: vec!["dosage".into()],
+        };
+        let encoded = serde_json::to_vec(&args).expect("args");
+        b.iter(|| {
+            let mut s = state.clone();
+            SharingContract::call(&mut s, &ctx(doctor), "request_update", &encoded)
+                .expect("update")
+        })
+    });
+
+    c.bench_function("contract/request_update_denied", |b| {
+        let state = registered_state(doctor, patient);
+        let args = RequestUpdateArgs {
+            table_id: "D13&D31".into(),
+            new_hash: Hash256([6; 32]),
+            changed_attrs: vec!["dosage".into()],
+        };
+        let encoded = serde_json::to_vec(&args).expect("args");
+        b.iter(|| {
+            let mut s = state.clone();
+            SharingContract::call(&mut s, &ctx(patient), "request_update", &encoded)
+                .expect_err("denied")
+        })
+    });
+
+    c.bench_function("contract/full_update_ack_cycle", |b| {
+        let state = registered_state(doctor, patient);
+        b.iter(|| {
+            let mut s = state.clone();
+            let req = RequestUpdateArgs {
+                table_id: "D13&D31".into(),
+                new_hash: Hash256([6; 32]),
+                changed_attrs: vec!["dosage".into()],
+            };
+            SharingContract::call(
+                &mut s,
+                &ctx(doctor),
+                "request_update",
+                &serde_json::to_vec(&req).expect("args"),
+            )
+            .expect("update");
+            let ack = AckUpdateArgs {
+                table_id: "D13&D31".into(),
+                version: 1,
+                applied_hash: Hash256([6; 32]),
+            };
+            SharingContract::call(
+                &mut s,
+                &ctx(patient),
+                "ack_update",
+                &serde_json::to_vec(&ack).expect("args"),
+            )
+            .expect("ack")
+        })
+    });
+}
+
+fn bench_medvm(c: &mut Criterion) {
+    let doctor = KeyPair::generate("bench-vm", 2).public();
+    // A 100-iteration counting loop: ~600 ops.
+    let src = r"
+        PUSH 0
+        PUSH 100
+    loop:
+        DUP 0
+        NOT
+        JMPI done
+        DUP 0
+        SWAP 1
+        ADD
+        SWAP 0
+        PUSH 1
+        SUB
+        JMP loop
+    done:
+        POP
+        RET
+    ";
+    let program = asm::assemble(src).expect("asm");
+    c.bench_function("medvm/loop_100_iters", |b| {
+        let mut state = ContractState::new();
+        b.iter(|| vm::execute(&program, &mut state, &ctx(doctor), &[], 100_000).expect("run"))
+    });
+
+    let counter = asm::assemble("PUSH 0\nSLOAD\nPUSH 1\nADD\nDUP 0\nPUSH 0\nSSTORE\nRET")
+        .expect("asm");
+    c.bench_function("medvm/storage_counter", |b| {
+        let mut state = ContractState::new();
+        b.iter(|| vm::execute(&counter, &mut state, &ctx(doctor), &[], 100_000).expect("run"))
+    });
+
+    let bytes = vm::encode(&program);
+    c.bench_function("medvm/decode", |b| {
+        b.iter(|| vm::decode(std::hint::black_box(&bytes)).expect("decode"))
+    });
+}
+
+criterion_group!(benches, bench_sharing_contract, bench_medvm);
+criterion_main!(benches);

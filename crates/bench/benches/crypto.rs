@@ -1,0 +1,74 @@
+//! E11 (micro) — cryptographic substrate costs: SHA-256, HMAC, Merkle
+//! trees, hash-based signatures.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use medledger_crypto::{hmac_sha256, sha256, HmacKey, KeyPair, MerkleTree, Prg};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| {
+            b.iter(|| sha256(std::hint::black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let key = HmacKey::new(b"pairwise-validator-key");
+    let msg = vec![0x55u8; 256];
+    c.bench_function("hmac/precomputed_key_256B", |b| {
+        b.iter(|| key.mac(std::hint::black_box(&msg)))
+    });
+    c.bench_function("hmac/oneshot_256B", |b| {
+        b.iter(|| hmac_sha256(b"pairwise-validator-key", std::hint::black_box(&msg)))
+    });
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut prg = Prg::from_label("bench-merkle");
+    let leaves: Vec<_> = (0..1024).map(|_| prg.next_hash()).collect();
+    c.bench_function("merkle/build_1024", |b| {
+        b.iter(|| MerkleTree::from_leaves(std::hint::black_box(leaves.clone())))
+    });
+    let tree = MerkleTree::from_leaves(leaves.clone());
+    c.bench_function("merkle/prove_1024", |b| b.iter(|| tree.prove(512)));
+    let proof = tree.prove(512).expect("proof");
+    let root = tree.root();
+    let leaf = leaves[512];
+    c.bench_function("merkle/verify_1024", |b| {
+        b.iter(|| proof.verify(std::hint::black_box(&root), &leaf))
+    });
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash_signatures");
+    g.sample_size(10);
+    g.bench_function("keygen_capacity_16", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            KeyPair::generate(&format!("bench-{i}"), 16)
+        })
+    });
+    // Signing consumes one-time keys, so each measured call starts from a
+    // pristine clone (clone is cheap; it is setup, not measured).
+    let pristine = KeyPair::generate("bench-signer", 16);
+    g.bench_function("sign", |b| {
+        b.iter_batched(
+            || pristine.clone(),
+            |mut s| s.sign(b"request_update D13&D31").expect("fresh keys"),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let mut kp = KeyPair::generate("bench-verify", 16);
+    let sig = kp.sign(b"m").expect("sign");
+    let pk = kp.public();
+    g.bench_function("verify", |b| b.iter(|| sig.verify(&pk, b"m")));
+    g.finish();
+}
+
+criterion_group!(benches, bench_sha256, bench_hmac, bench_merkle, bench_signatures);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! E6 — end-to-end update propagation (simulator wall cost).
+//!
+//! The paper-facing numbers (virtual latency vs. block interval, private
+//! PBFT vs. public PoW) are produced by `report --exp e6`; this bench
+//! tracks how fast the whole-system simulation itself runs, which bounds
+//! experiment turnaround.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medledger_bench::{one_dosage_update, two_peer_system};
+use medledger_core::ConsensusKind;
+
+fn bench_full_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e_update");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (label, consensus) in [
+        (
+            "pbft_100ms",
+            ConsensusKind::PrivatePbft {
+                block_interval_ms: 100,
+            },
+        ),
+        (
+            "pbft_1s",
+            ConsensusKind::PrivatePbft {
+                block_interval_ms: 1_000,
+            },
+        ),
+        (
+            "pow_12s",
+            ConsensusKind::PublicPow {
+                mean_interval_ms: 12_000,
+            },
+        ),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            let mut system = two_peer_system("bench-e2e", consensus.clone(), 16);
+            let mut rev = 0usize;
+            b.iter(|| {
+                rev += 1;
+                // Each update consumes one-time signing keys on both
+                // peers; rebuild the system before they run dry. The
+                // rebuild is rare (every ~500 updates) and visible only
+                // as a few outlier samples.
+                if system.peer("Doctor").expect("peer").keys.remaining() < 4 {
+                    system =
+                        two_peer_system(&format!("bench-e2e-{rev}"), consensus.clone(), 16);
+                }
+                one_dosage_update(&mut system, 1000, rev)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_system_boot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system");
+    g.sample_size(10);
+    g.bench_function("boot_two_peer_16_records", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            two_peer_system(
+                &format!("bench-boot-{i}"),
+                ConsensusKind::PrivatePbft {
+                    block_interval_ms: 100,
+                },
+                16,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_update, bench_system_boot);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E8/E9 — storage-model and exposure computation costs (the tables
+//! themselves come from `report --exp e8` / `--exp e9`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medledger_core::baselines::{hdg_update_bytes, ours_update_bytes, storage_comparison};
+use medledger_core::exposure::{
+    exposure_report, paper_fine_grained_design, paper_profiles,
+};
+use medledger_workload::{deidentify, DeidentConfig, EhrGenerator};
+
+fn bench_storage_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("storage_model");
+    for n in [10usize, 100, 1_000] {
+        let records = EhrGenerator::new("bench-storage").full_records(n);
+        g.bench_with_input(BenchmarkId::new("hdg_bytes", n), &records, |b, r| {
+            b.iter(|| hdg_update_bytes(std::hint::black_box(r)))
+        });
+    }
+    g.bench_function("ours_bytes", |b| {
+        b.iter(|| ours_update_bytes("D13&D31", &["dosage"]))
+    });
+    let records = EhrGenerator::new("bench-storage-cmp").full_records(100);
+    g.bench_function("full_comparison_100", |b| {
+        b.iter(|| storage_comparison(std::hint::black_box(&records), 50))
+    });
+    g.finish();
+}
+
+fn bench_exposure(c: &mut Criterion) {
+    c.bench_function("exposure/paper_report", |b| {
+        let design = paper_fine_grained_design();
+        let profiles = paper_profiles();
+        b.iter(|| exposure_report(std::hint::black_box(&design), &profiles))
+    });
+}
+
+fn bench_deident(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deidentify");
+    for n in [100usize, 1_000] {
+        let cohort = EhrGenerator::new("bench-deid").full_records(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &cohort, |b, t| {
+            let cfg = DeidentConfig::default();
+            b.iter(|| deidentify(std::hint::black_box(t), &cfg).expect("deident"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_storage_models, bench_exposure, bench_deident);
+criterion_main!(benches);

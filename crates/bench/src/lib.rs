@@ -1,0 +1,135 @@
+//! Shared helpers for the MedLedger benchmark and report harness.
+//!
+//! The experiment index lives in DESIGN.md §5; EXPERIMENTS.md records the
+//! measured outcomes. Criterion benches measure *wall-clock* cost of the
+//! simulation machinery; the `report` binary prints the *virtual-time*
+//! results that correspond to the paper's claims.
+
+use medledger_bx::LensSpec;
+use medledger_core::agreement::SharingAgreement;
+use medledger_core::{ConsensusKind, System, SystemConfig};
+use medledger_relational::{Predicate, Table, Value};
+use medledger_workload::EhrGenerator;
+
+/// A fast PBFT config for benches (100 ms blocks).
+pub fn fast_pbft_config(seed: &str) -> SystemConfig {
+    SystemConfig {
+        consensus: ConsensusKind::PrivatePbft {
+            block_interval_ms: 100,
+        },
+        seed: seed.into(),
+        peer_key_capacity: 256,
+        ..Default::default()
+    }
+}
+
+/// Builds a doctor+patient system sharing one table over `n_patients`
+/// records, ready for repeated dosage updates.
+pub fn two_peer_system(seed: &str, consensus: ConsensusKind, n_patients: usize) -> System {
+    let mut system = System::bootstrap(SystemConfig {
+        consensus,
+        seed: seed.into(),
+        peer_key_capacity: 1024,
+        ..Default::default()
+    })
+    .expect("bootstrap");
+    let doctor = system.add_peer("Doctor").expect("add");
+    let patient = system.add_peer("Patient").expect("add");
+
+    let full = EhrGenerator::new(seed).full_records(n_patients);
+    let d3 = full
+        .project(
+            &[
+                "patient_id",
+                "medication_name",
+                "clinical_data",
+                "mechanism_of_action",
+                "dosage",
+            ],
+            &["patient_id"],
+        )
+        .expect("D3");
+    let p_src = full
+        .project(
+            &["patient_id", "medication_name", "clinical_data", "dosage"],
+            &["patient_id"],
+        )
+        .expect("patient source");
+    system
+        .peer_mut("Doctor")
+        .expect("peer")
+        .add_source_table("D3", d3)
+        .expect("add");
+    system
+        .peer_mut("Patient")
+        .expect("peer")
+        .add_source_table("P1", p_src)
+        .expect("add");
+
+    let shared_attrs = &["patient_id", "medication_name", "clinical_data", "dosage"];
+    let share = SharingAgreement::builder("ward")
+        .bind(
+            doctor,
+            "D3",
+            LensSpec::project_with_defaults(
+                shared_attrs,
+                &["patient_id"],
+                &[("mechanism_of_action", Value::text("unknown"))],
+            ),
+        )
+        .bind(patient, "P1", LensSpec::project(shared_attrs, &["patient_id"]))
+        .allow_write("patient_id", &[doctor])
+        .allow_write("medication_name", &[doctor])
+        .allow_write("dosage", &[doctor])
+        .allow_write("clinical_data", &[doctor, patient])
+        .authority(doctor)
+        .build();
+    system.create_share(&share).expect("create share");
+    system
+}
+
+/// Performs one doctor-side dosage update through the full workflow and
+/// returns (visibility latency, sync latency) in virtual ms.
+pub fn one_dosage_update(system: &mut System, pid: i64, rev: usize) -> (u64, u64) {
+    system
+        .peer_mut("Doctor")
+        .expect("peer")
+        .write_shared(
+            "ward",
+            medledger_relational::WriteOp::Update {
+                key: vec![Value::Int(pid)],
+                assignments: vec![("dosage".into(), Value::text(format!("rev-{rev}")))],
+            },
+        )
+        .expect("edit");
+    let doctor = system.account_of("Doctor").expect("doctor");
+    let report = system.propagate_update(doctor, "ward").expect("propagate");
+    (report.visibility_latency_ms(), report.sync_latency_ms())
+}
+
+/// A medical-records table of `n` rows for lens benchmarks.
+pub fn records(n: usize, seed: &str) -> Table {
+    EhrGenerator::new(seed).full_records(n)
+}
+
+/// The standard projection lens used in the lens-scaling benches.
+pub fn wide_projection() -> LensSpec {
+    LensSpec::project(
+        &["patient_id", "medication_name", "clinical_data", "dosage"],
+        &["patient_id"],
+    )
+}
+
+/// A deeper composed lens (select ∘ rename ∘ project).
+pub fn composed_lens() -> LensSpec {
+    LensSpec::select(Predicate::cmp(
+        "patient_id",
+        medledger_relational::CmpOp::Ge,
+        Value::Int(0),
+    ))
+    .compose(LensSpec::rename("dosage", "dose"))
+    .compose(LensSpec::project(
+        &["patient_id", "medication_name", "dose"],
+        &["patient_id"],
+    ))
+}

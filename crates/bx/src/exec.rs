@@ -1,0 +1,640 @@
+//! Lens execution: `get` and `put`.
+
+use crate::error::BxError;
+use crate::spec::LensSpec;
+use crate::Result;
+use medledger_relational::{Row, Table, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Forward transformation: extracts the view from the source.
+pub fn get(spec: &LensSpec, source: &Table) -> Result<Table> {
+    match spec {
+        LensSpec::Project {
+            attrs, view_key, ..
+        } => {
+            check_project_key(source, view_key)?;
+            let a: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            let k: Vec<&str> = view_key.iter().map(String::as_str).collect();
+            Ok(source.project(&a, &k)?)
+        }
+        LensSpec::ProjectDistinct { attrs, view_key } => {
+            let a: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            let k: Vec<&str> = view_key.iter().map(String::as_str).collect();
+            Ok(source.project_distinct(&a, &k)?)
+        }
+        LensSpec::Select { pred } => Ok(source.select(pred)?),
+        LensSpec::Rename { from, to } => Ok(source.rename(from, to)?),
+        LensSpec::Compose { first, second } => {
+            let mid = get(first, source)?;
+            get(second, &mid)
+        }
+    }
+}
+
+/// Backward transformation: embeds an updated view into the source,
+/// producing the updated source.
+///
+/// Untranslatable view updates return [`BxError::Untranslatable`]; invalid
+/// views (wrong schema, predicate violations) return
+/// [`BxError::InvalidView`]. `put` never silently drops information.
+pub fn put(spec: &LensSpec, source: &Table, view: &Table) -> Result<Table> {
+    match spec {
+        LensSpec::Project {
+            attrs,
+            view_key,
+            defaults,
+        } => put_project(source, view, attrs, view_key, defaults),
+        LensSpec::ProjectDistinct { attrs, view_key } => {
+            put_project_distinct(source, view, attrs, view_key)
+        }
+        LensSpec::Select { pred } => put_select(source, view, pred),
+        LensSpec::Rename { from, to } => {
+            // Expected view schema: source with `from` renamed to `to`.
+            let expect = source.rename(from, to)?;
+            if view.schema() != expect.schema() {
+                return Err(BxError::InvalidView {
+                    reason: format!(
+                        "rename put: view schema {} does not match {}",
+                        view.schema(),
+                        expect.schema()
+                    ),
+                });
+            }
+            Ok(view.rename(to, from)?)
+        }
+        LensSpec::Compose { first, second } => {
+            let mid = get(first, source)?;
+            let mid_updated = put(second, &mid, view)?;
+            put(first, source, &mid_updated)
+        }
+    }
+}
+
+/// The projection lens requires the view key to be exactly the source
+/// primary key (names, in order) so that row alignment and deletes are
+/// unambiguous.
+fn check_project_key(source: &Table, view_key: &[String]) -> Result<()> {
+    let src_key = source.schema().key_names();
+    if src_key.len() != view_key.len()
+        || !src_key.iter().zip(view_key).all(|(a, b)| *a == b.as_str())
+    {
+        return Err(BxError::IllFormed {
+            reason: format!(
+                "project view key [{}] must equal source key [{}]",
+                view_key.join(","),
+                src_key.join(",")
+            ),
+        });
+    }
+    Ok(())
+}
+
+fn put_project(
+    source: &Table,
+    view: &Table,
+    attrs: &[String],
+    view_key: &[String],
+    defaults: &BTreeMap<String, Value>,
+) -> Result<Table> {
+    check_project_key(source, view_key)?;
+    // The view must have exactly the projected schema.
+    let a: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    let k: Vec<&str> = view_key.iter().map(String::as_str).collect();
+    let expect_schema = source.schema().project(&a, &k)?;
+    if view.schema() != &expect_schema {
+        return Err(BxError::InvalidView {
+            reason: format!(
+                "project put: view schema {} does not match expected {}",
+                view.schema(),
+                expect_schema
+            ),
+        });
+    }
+
+    let src_schema = source.schema();
+    // For each source column: where does its value come from?
+    // Either the view (position in `attrs`) or the old source / defaults.
+    let view_pos: BTreeMap<&str, usize> = attrs
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.as_str(), i))
+        .collect();
+
+    let mut out = Table::new(src_schema.clone());
+    for vrow in view.rows() {
+        let key = view.schema().key_of(vrow);
+        let cells: Vec<Value> = match source.get(&key) {
+            Some(srow) => src_schema
+                .columns()
+                .iter()
+                .enumerate()
+                .map(|(i, col)| match view_pos.get(col.name.as_str()) {
+                    Some(&vp) => vrow[vp].clone(),
+                    None => srow[i].clone(),
+                })
+                .collect(),
+            None => {
+                // View-side insert: dropped columns come from defaults or
+                // NULL (if nullable); otherwise the insert is
+                // untranslatable.
+                let mut cells = Vec::with_capacity(src_schema.arity());
+                for col in src_schema.columns() {
+                    if let Some(&vp) = view_pos.get(col.name.as_str()) {
+                        cells.push(vrow[vp].clone());
+                    } else if let Some(d) = defaults.get(&col.name) {
+                        cells.push(d.clone());
+                    } else if col.nullable {
+                        cells.push(Value::Null);
+                    } else {
+                        return Err(BxError::Untranslatable {
+                            reason: format!(
+                                "insert of view row {vrow:?} needs a value for dropped \
+                                 non-nullable column `{}` (declare a default)",
+                                col.name
+                            ),
+                        });
+                    }
+                }
+                cells
+            }
+        };
+        out.insert(Row::new(cells))?;
+    }
+    // Source rows whose key vanished from the view are deleted — this is
+    // the translation of a view-side delete, by construction of `out`.
+    Ok(out)
+}
+
+fn put_project_distinct(
+    source: &Table,
+    view: &Table,
+    attrs: &[String],
+    view_key: &[String],
+) -> Result<Table> {
+    let a: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    let k: Vec<&str> = view_key.iter().map(String::as_str).collect();
+    // Also validates the functional dependency on the *old* source.
+    let old_view = source.project_distinct(&a, &k)?;
+    if view.schema() != old_view.schema() {
+        return Err(BxError::InvalidView {
+            reason: format!(
+                "project_distinct put: view schema {} does not match expected {}",
+                view.schema(),
+                old_view.schema()
+            ),
+        });
+    }
+
+    let src_schema = source.schema();
+    let key_idx_in_src: Vec<usize> = view_key
+        .iter()
+        .map(|n| src_schema.index_of(n).map_err(BxError::from))
+        .collect::<Result<_>>()?;
+    let attr_idx_in_src: Vec<usize> = attrs
+        .iter()
+        .map(|n| src_schema.index_of(n).map_err(BxError::from))
+        .collect::<Result<_>>()?;
+    let view_pos: BTreeMap<&str, usize> = attrs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.as_str(), i))
+        .collect();
+
+    let mut used_view_keys: BTreeSet<Vec<Value>> = BTreeSet::new();
+    let mut out = Table::new(src_schema.clone());
+    for srow in source.rows() {
+        let group_key: Vec<Value> = key_idx_in_src.iter().map(|&i| srow[i].clone()).collect();
+        match view.get(&group_key) {
+            Some(vrow) => {
+                // Overwrite the projected (non-group-key) attributes with
+                // the view's values; every source row in the group gets
+                // the same treatment — one view edit fans out to all
+                // matching patient rows, the Fig. 5 semantics.
+                let mut cells: Vec<Value> = srow.iter().cloned().collect();
+                for (&src_i, attr) in attr_idx_in_src.iter().zip(attrs) {
+                    let vp = view_pos[attr.as_str()];
+                    cells[src_i] = vrow[vp].clone();
+                }
+                out.insert(Row::new(cells))?;
+                used_view_keys.insert(group_key);
+            }
+            None => {
+                // Group deleted from the view: drop all its source rows.
+            }
+        }
+    }
+    // Any view row that adopted no source group is an insert of a brand
+    // new group key — untranslatable (there is no source row to build on;
+    // e.g. no patient is taking the new medication).
+    for vrow in view.rows() {
+        let key = view.schema().key_of(vrow);
+        if !used_view_keys.contains(&key) {
+            return Err(BxError::Untranslatable {
+                reason: format!(
+                    "view insert {vrow:?} introduces group key not present in the source; \
+                     no source rows exist to carry it"
+                ),
+            });
+        }
+    }
+    Ok(out)
+}
+
+fn put_select(
+    source: &Table,
+    view: &Table,
+    pred: &medledger_relational::Predicate,
+) -> Result<Table> {
+    if view.schema() != source.schema() {
+        return Err(BxError::InvalidView {
+            reason: format!(
+                "select put: view schema {} does not match source schema {}",
+                view.schema(),
+                source.schema()
+            ),
+        });
+    }
+    // Every view row must satisfy the predicate, otherwise PutGet would
+    // fail (the row would vanish on the next get).
+    for vrow in view.rows() {
+        if !pred.eval(view.schema(), vrow)? {
+            return Err(BxError::InvalidView {
+                reason: format!("view row {vrow:?} does not satisfy select predicate {pred}"),
+            });
+        }
+    }
+    let mut out = Table::new(source.schema().clone());
+    // Pass through the rows the view never saw.
+    for srow in source.rows() {
+        if !pred.eval(source.schema(), srow)? {
+            out.insert(srow.clone())?;
+        }
+    }
+    // Splice in the (possibly edited) view rows.
+    for vrow in view.rows() {
+        out.insert(vrow.clone()).map_err(|e| BxError::Untranslatable {
+            reason: format!(
+                "view row {vrow:?} collides with a source row hidden by the predicate: {e}"
+            ),
+        })?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medledger_relational::{row, Column, Predicate, Schema, ValueType};
+
+    /// The paper's D1 (patient) schema: a0, a1, a2, a3, a4.
+    fn d1() -> Table {
+        let schema = Schema::new(
+            vec![
+                Column::new("patient_id", ValueType::Int),
+                Column::new("medication_name", ValueType::Text),
+                Column::new("clinical_data", ValueType::Text),
+                Column::new("address", ValueType::Text),
+                Column::new("dosage", ValueType::Text),
+            ],
+            &["patient_id"],
+        )
+        .expect("schema");
+        Table::from_rows(
+            schema,
+            vec![row![
+                188i64,
+                "Ibuprofen",
+                "CliD1",
+                "Sapporo",
+                "one tablet every 4h"
+            ]],
+        )
+        .expect("table")
+    }
+
+    /// The paper's D3 (doctor) schema: a0, a1, a2, a5, a4.
+    fn d3() -> Table {
+        let schema = Schema::new(
+            vec![
+                Column::new("patient_id", ValueType::Int),
+                Column::new("medication_name", ValueType::Text),
+                Column::new("clinical_data", ValueType::Text),
+                Column::new("mechanism_of_action", ValueType::Text),
+                Column::new("dosage", ValueType::Text),
+            ],
+            &["patient_id"],
+        )
+        .expect("schema");
+        Table::from_rows(
+            schema,
+            vec![
+                row![188i64, "Ibuprofen", "CliD1", "MeA1", "one tablet every 4h"],
+                row![189i64, "Wellbutrin", "CliD2", "MeA2", "100 mg twice daily"],
+            ],
+        )
+        .expect("table")
+    }
+
+    /// BX13: D1 → D13 (drop address).
+    fn bx13() -> LensSpec {
+        LensSpec::project(
+            &["patient_id", "medication_name", "clinical_data", "dosage"],
+            &["patient_id"],
+        )
+    }
+
+    /// BX32: D3 → D32 (medication_name, mechanism keyed by medication).
+    fn bx32() -> LensSpec {
+        LensSpec::project_distinct(
+            &["medication_name", "mechanism_of_action"],
+            &["medication_name"],
+        )
+    }
+
+    #[test]
+    fn project_get_produces_d13() {
+        let view = get(&bx13(), &d1()).expect("get");
+        assert_eq!(view.len(), 1);
+        assert_eq!(
+            view.schema().column_names(),
+            vec!["patient_id", "medication_name", "clinical_data", "dosage"]
+        );
+        assert!(!view.schema().has_column("address"));
+    }
+
+    #[test]
+    fn project_getput_is_identity() {
+        let src = d1();
+        let view = get(&bx13(), &src).expect("get");
+        let back = put(&bx13(), &src, &view).expect("put");
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn project_put_reflects_update_and_keeps_hidden_attrs() {
+        let src = d1();
+        let mut view = get(&bx13(), &src).expect("get");
+        view.update(&[Value::Int(188)], &[("dosage", Value::text("two tablets"))])
+            .expect("update");
+        let new_src = put(&bx13(), &src, &view).expect("put");
+        let row = new_src.get(&[Value::Int(188)]).expect("row");
+        assert_eq!(row[4], Value::text("two tablets"));
+        // Hidden attribute preserved.
+        assert_eq!(row[3], Value::text("Sapporo"));
+        // PutGet.
+        assert_eq!(get(&bx13(), &new_src).expect("get"), view);
+    }
+
+    #[test]
+    fn project_put_translates_delete() {
+        let src = d1();
+        let mut view = get(&bx13(), &src).expect("get");
+        view.delete(&[Value::Int(188)]).expect("delete");
+        let new_src = put(&bx13(), &src, &view).expect("put");
+        assert!(new_src.is_empty());
+    }
+
+    #[test]
+    fn project_put_insert_needs_defaults_for_dropped_columns() {
+        let src = d1();
+        let mut view = get(&bx13(), &src).expect("get");
+        view.insert(row![190i64, "Aspirin", "CliD3", "one daily"])
+            .expect("insert");
+        // No default for non-nullable `address` → untranslatable.
+        let err = put(&bx13(), &src, &view).unwrap_err();
+        assert!(matches!(err, BxError::Untranslatable { .. }));
+
+        // With a default the insert translates.
+        let lens = LensSpec::project_with_defaults(
+            &["patient_id", "medication_name", "clinical_data", "dosage"],
+            &["patient_id"],
+            &[("address", Value::text("unknown"))],
+        );
+        let new_src = put(&lens, &src, &view).expect("put");
+        assert_eq!(new_src.len(), 2);
+        assert_eq!(
+            new_src.get(&[Value::Int(190)]).expect("row")[3],
+            Value::text("unknown")
+        );
+        assert_eq!(get(&lens, &new_src).expect("get"), view);
+    }
+
+    #[test]
+    fn project_put_insert_uses_null_for_nullable_dropped_columns() {
+        let schema = Schema::new(
+            vec![
+                Column::new("id", ValueType::Int),
+                Column::nullable("note", ValueType::Text),
+                Column::new("val", ValueType::Text),
+            ],
+            &["id"],
+        )
+        .expect("schema");
+        let src = Table::from_rows(schema, vec![row![1i64, "n", "v"]]).expect("table");
+        let lens = LensSpec::project(&["id", "val"], &["id"]);
+        let mut view = get(&lens, &src).expect("get");
+        view.insert(row![2i64, "w"]).expect("insert");
+        let new_src = put(&lens, &src, &view).expect("put");
+        assert!(new_src.get(&[Value::Int(2)]).expect("row")[1].is_null());
+    }
+
+    #[test]
+    fn project_rejects_non_key_view_key() {
+        let lens = LensSpec::project(&["medication_name"], &["medication_name"]);
+        let err = get(&lens, &d1()).unwrap_err();
+        assert!(matches!(err, BxError::IllFormed { .. }));
+    }
+
+    #[test]
+    fn project_put_rejects_wrong_view_schema() {
+        let src = d1();
+        let wrong = get(&bx32(), &d3()).expect("get");
+        let err = put(&bx13(), &src, &wrong).unwrap_err();
+        assert!(matches!(err, BxError::InvalidView { .. }));
+    }
+
+    #[test]
+    fn project_distinct_get_produces_d32() {
+        let view = get(&bx32(), &d3()).expect("get");
+        assert_eq!(view.len(), 2);
+        assert_eq!(
+            view.get(&[Value::text("Ibuprofen")]).expect("row")[1],
+            Value::text("MeA1")
+        );
+    }
+
+    #[test]
+    fn project_distinct_put_fans_out_to_all_group_rows() {
+        // Two patients on Ibuprofen; editing the mechanism in the view
+        // must rewrite both source rows.
+        let mut src = d3();
+        src.insert(row![190i64, "Ibuprofen", "CliD3", "MeA1", "x"])
+            .expect("insert");
+        let mut view = get(&bx32(), &src).expect("get");
+        view.update(
+            &[Value::text("Ibuprofen")],
+            &[("mechanism_of_action", Value::text("MeA1-new"))],
+        )
+        .expect("update");
+        let new_src = put(&bx32(), &src, &view).expect("put");
+        assert_eq!(
+            new_src.get(&[Value::Int(188)]).expect("row")[3],
+            Value::text("MeA1-new")
+        );
+        assert_eq!(
+            new_src.get(&[Value::Int(190)]).expect("row")[3],
+            Value::text("MeA1-new")
+        );
+        // Untouched group unchanged.
+        assert_eq!(
+            new_src.get(&[Value::Int(189)]).expect("row")[3],
+            Value::text("MeA2")
+        );
+        assert_eq!(get(&bx32(), &new_src).expect("get"), view);
+    }
+
+    #[test]
+    fn project_distinct_put_translates_group_delete() {
+        let src = d3();
+        let mut view = get(&bx32(), &src).expect("get");
+        view.delete(&[Value::text("Ibuprofen")]).expect("delete");
+        let new_src = put(&bx32(), &src, &view).expect("put");
+        assert_eq!(new_src.len(), 1);
+        assert!(new_src.get(&[Value::Int(188)]).is_none());
+    }
+
+    #[test]
+    fn project_distinct_put_rejects_new_group_insert() {
+        let src = d3();
+        let mut view = get(&bx32(), &src).expect("get");
+        view.insert(row!["Aspirin", "MeA9"]).expect("insert");
+        let err = put(&bx32(), &src, &view).unwrap_err();
+        assert!(matches!(err, BxError::Untranslatable { .. }));
+    }
+
+    #[test]
+    fn project_distinct_getput_is_identity() {
+        let src = d3();
+        let view = get(&bx32(), &src).expect("get");
+        assert_eq!(put(&bx32(), &src, &view).expect("put"), src);
+    }
+
+    #[test]
+    fn select_lens_round_trips() {
+        let src = d3();
+        let lens = LensSpec::select(Predicate::eq(
+            "medication_name",
+            Value::text("Ibuprofen"),
+        ));
+        let view = get(&lens, &src).expect("get");
+        assert_eq!(view.len(), 1);
+        assert_eq!(put(&lens, &src, &view).expect("put"), src);
+    }
+
+    #[test]
+    fn select_put_updates_and_passes_through() {
+        let src = d3();
+        let lens = LensSpec::select(Predicate::eq(
+            "medication_name",
+            Value::text("Ibuprofen"),
+        ));
+        let mut view = get(&lens, &src).expect("get");
+        view.update(&[Value::Int(188)], &[("dosage", Value::text("stop"))])
+            .expect("update");
+        let new_src = put(&lens, &src, &view).expect("put");
+        assert_eq!(
+            new_src.get(&[Value::Int(188)]).expect("row")[4],
+            Value::text("stop")
+        );
+        // The hidden Wellbutrin row passes through.
+        assert_eq!(
+            new_src.get(&[Value::Int(189)]).expect("row")[1],
+            Value::text("Wellbutrin")
+        );
+    }
+
+    #[test]
+    fn select_put_rejects_predicate_violating_view_row() {
+        let src = d3();
+        let lens = LensSpec::select(Predicate::eq(
+            "medication_name",
+            Value::text("Ibuprofen"),
+        ));
+        let mut view = get(&lens, &src).expect("get");
+        view.update(
+            &[Value::Int(188)],
+            &[("medication_name", Value::text("Wellbutrin"))],
+        )
+        .expect("update");
+        let err = put(&lens, &src, &view).unwrap_err();
+        assert!(matches!(err, BxError::InvalidView { .. }));
+    }
+
+    #[test]
+    fn select_put_rejects_key_collision_with_hidden_row() {
+        let src = d3();
+        let lens = LensSpec::select(Predicate::eq(
+            "medication_name",
+            Value::text("Ibuprofen"),
+        ));
+        let mut view = get(&lens, &src).expect("get");
+        // Insert a view row whose key (189) collides with the hidden
+        // Wellbutrin row.
+        view.insert(row![189i64, "Ibuprofen", "c", "m", "d"])
+            .expect("insert");
+        let err = put(&lens, &src, &view).unwrap_err();
+        assert!(matches!(err, BxError::Untranslatable { .. }));
+    }
+
+    #[test]
+    fn rename_lens_round_trips() {
+        let src = d1();
+        let lens = LensSpec::rename("dosage", "dose");
+        let view = get(&lens, &src).expect("get");
+        assert!(view.schema().has_column("dose"));
+        assert_eq!(put(&lens, &src, &view).expect("put"), src);
+    }
+
+    #[test]
+    fn compose_select_then_project() {
+        let src = d3();
+        let lens = LensSpec::select(Predicate::eq(
+            "medication_name",
+            Value::text("Ibuprofen"),
+        ))
+        .compose(LensSpec::project(
+            &["patient_id", "dosage"],
+            &["patient_id"],
+        ));
+        let view = get(&lens, &src).expect("get");
+        assert_eq!(view.len(), 1);
+        assert_eq!(view.schema().column_names(), vec!["patient_id", "dosage"]);
+
+        let mut v2 = view.clone();
+        v2.update(&[Value::Int(188)], &[("dosage", Value::text("halved"))])
+            .expect("update");
+        let new_src = put(&lens, &src, &v2).expect("put");
+        assert_eq!(
+            new_src.get(&[Value::Int(188)]).expect("row")[4],
+            Value::text("halved")
+        );
+        // Other attributes and hidden rows intact.
+        assert_eq!(
+            new_src.get(&[Value::Int(188)]).expect("row")[3],
+            Value::text("MeA1")
+        );
+        assert_eq!(new_src.len(), 2);
+        assert_eq!(get(&lens, &new_src).expect("get"), v2);
+    }
+
+    #[test]
+    fn compose_getput_is_identity() {
+        let src = d3();
+        let lens = LensSpec::rename("dosage", "dose").compose(LensSpec::project(
+            &["patient_id", "medication_name", "dose"],
+            &["patient_id"],
+        ));
+        let view = get(&lens, &src).expect("get");
+        assert_eq!(put(&lens, &src, &view).expect("put"), src);
+    }
+}

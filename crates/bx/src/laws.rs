@@ -1,0 +1,158 @@
+//! Executable checkers for the lens round-tripping laws.
+//!
+//! The paper (Sec. II-B) requires well-behavedness:
+//!
+//! ```text
+//! GetPut:  put(s, get(s)) == s
+//! PutGet:  get(put(s, v')) == v'
+//! ```
+//!
+//! These checkers are used by the unit tests, the property-based suite
+//! (`tests/lens_laws.rs`) and the E10 experiment harness.
+
+use crate::exec::{get, put};
+use crate::spec::LensSpec;
+use medledger_relational::Table;
+use std::fmt;
+
+/// A law violation, carrying enough context to debug the lens.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LawViolation {
+    /// `put(s, get(s)) != s`.
+    GetPut {
+        /// Rendered mismatch description.
+        detail: String,
+    },
+    /// `get(put(s, v')) != v'`.
+    PutGet {
+        /// Rendered mismatch description.
+        detail: String,
+    },
+    /// Lens execution failed while checking (not itself a law violation;
+    /// surfaced so callers can distinguish).
+    ExecFailed {
+        /// The underlying error rendered.
+        detail: String,
+    },
+}
+
+impl fmt::Display for LawViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LawViolation::GetPut { detail } => write!(f, "GetPut violated: {detail}"),
+            LawViolation::PutGet { detail } => write!(f, "PutGet violated: {detail}"),
+            LawViolation::ExecFailed { detail } => write!(f, "lens execution failed: {detail}"),
+        }
+    }
+}
+
+/// Checks GetPut on a concrete source: `put(s, get(s)) == s`.
+pub fn check_getput(spec: &LensSpec, source: &Table) -> Result<(), LawViolation> {
+    let view = get(spec, source).map_err(|e| LawViolation::ExecFailed {
+        detail: e.to_string(),
+    })?;
+    let back = put(spec, source, &view).map_err(|e| LawViolation::ExecFailed {
+        detail: e.to_string(),
+    })?;
+    if &back != source {
+        return Err(LawViolation::GetPut {
+            detail: format!(
+                "source hash {} became {} after identity round-trip",
+                source.content_hash().short(),
+                back.content_hash().short()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Checks PutGet on a concrete source and updated view:
+/// `get(put(s, v')) == v'`.
+pub fn check_putget(
+    spec: &LensSpec,
+    source: &Table,
+    view: &Table,
+) -> Result<(), LawViolation> {
+    let new_source = put(spec, source, view).map_err(|e| LawViolation::ExecFailed {
+        detail: e.to_string(),
+    })?;
+    let regenerated = get(spec, &new_source).map_err(|e| LawViolation::ExecFailed {
+        detail: e.to_string(),
+    })?;
+    if &regenerated != view {
+        return Err(LawViolation::PutGet {
+            detail: format!(
+                "view hash {} regenerated as {}",
+                view.content_hash().short(),
+                regenerated.content_hash().short()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Checks both laws; the view argument is the *updated* view for PutGet.
+pub fn check_well_behaved(
+    spec: &LensSpec,
+    source: &Table,
+    updated_view: &Table,
+) -> Result<(), LawViolation> {
+    check_getput(spec, source)?;
+    check_putget(spec, source, updated_view)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::get;
+    use medledger_relational::{row, Column, Schema, Value, ValueType};
+
+    fn src() -> Table {
+        let schema = Schema::new(
+            vec![
+                Column::new("id", ValueType::Int),
+                Column::new("name", ValueType::Text),
+                Column::new("secret", ValueType::Text),
+            ],
+            &["id"],
+        )
+        .expect("schema");
+        Table::from_rows(
+            schema,
+            vec![row![1i64, "a", "s1"], row![2i64, "b", "s2"]],
+        )
+        .expect("table")
+    }
+
+    #[test]
+    fn project_lens_is_well_behaved() {
+        let lens = LensSpec::project(&["id", "name"], &["id"]);
+        let s = src();
+        check_getput(&lens, &s).expect("GetPut");
+        let mut v = get(&lens, &s).expect("get");
+        v.update(&[Value::Int(1)], &[("name", Value::text("z"))])
+            .expect("update");
+        check_putget(&lens, &s, &v).expect("PutGet");
+        check_well_behaved(&lens, &s, &v).expect("both");
+    }
+
+    #[test]
+    fn a_deliberately_broken_update_is_reported() {
+        // A view with the wrong schema triggers ExecFailed, not a panic.
+        let lens = LensSpec::project(&["id", "name"], &["id"]);
+        let s = src();
+        let wrong_view = src(); // has 3 columns, view expects 2
+        let err = check_putget(&lens, &s, &wrong_view).unwrap_err();
+        assert!(matches!(err, LawViolation::ExecFailed { .. }));
+    }
+
+    #[test]
+    fn violations_render() {
+        let v = LawViolation::GetPut {
+            detail: "x".into(),
+        };
+        assert!(v.to_string().contains("GetPut"));
+        let v = LawViolation::PutGet { detail: "y".into() };
+        assert!(v.to_string().contains("PutGet"));
+    }
+}

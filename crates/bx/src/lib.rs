@@ -1,0 +1,56 @@
+//! # medledger-bx
+//!
+//! Bidirectional transformations (asymmetric lenses) over relational
+//! tables — the synchronization mechanism of the paper (Sec. II-B, III-C1).
+//!
+//! A lens between a *source* table and a *view* table provides
+//!
+//! * `get(source) -> view` — extract the shared slice, and
+//! * `put(source, view') -> source'` — embed an updated view back,
+//!
+//! satisfying the round-tripping laws:
+//!
+//! ```text
+//! GetPut:  put(s, get(s)) == s          (no view change ⇒ no source change)
+//! PutGet:  get(put(s, v')) == v'        (put reflects every view change)
+//! ```
+//!
+//! The combinators mirror the shapes in the paper's Fig. 1:
+//!
+//! * [`LensSpec::project`] — key-preserving projection (D1 → D13: a
+//!   patient's record minus the address column),
+//! * [`LensSpec::project_distinct`] — duplicate-eliminating projection
+//!   under a functional dependency (D3 → D32: per-medication mechanism
+//!   rows derived from per-patient rows; a put rewrites *every* matching
+//!   patient row, exactly the Fig. 5 semantics),
+//! * [`LensSpec::select`] — row filtering,
+//! * [`LensSpec::rename`] — column renaming,
+//! * [`LensSpec::compose`] — sequential composition.
+//!
+//! Updates the lens cannot translate (e.g. inserting a brand-new
+//! medication into a view that has no patient to attach it to) are
+//! **errors from `put`**, never silent data loss — see
+//! [`BxError::Untranslatable`].
+//!
+//! [`analysis`] computes, for any lens, which source attributes it touches;
+//! the core crate uses this for the paper's Fig. 5 Step 6 "do my other
+//! shared views overlap?" dependency check. [`delta`] diffs table versions
+//! to find changed attributes (what the sharing contract checks write
+//! permission on). [`laws`] provides executable checkers for the two laws,
+//! used by both the unit tests and the property-based suite.
+
+pub mod analysis;
+pub mod delta;
+pub mod error;
+pub mod exec;
+pub mod laws;
+pub mod spec;
+
+pub use analysis::LensAnalysis;
+pub use delta::{changed_attrs, diff_tables, TableDelta};
+pub use error::BxError;
+pub use laws::{check_getput, check_putget, LawViolation};
+pub use spec::LensSpec;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, BxError>;

@@ -1,0 +1,175 @@
+//! Property-based tests of lens well-behavedness (experiment E10).
+//!
+//! Strategy: generate random source tables over a fixed medical-ish schema,
+//! random lenses from the combinator family, and random *translatable*
+//! view edits; assert GetPut and PutGet hold on every combination.
+
+use medledger_bx::exec::{get, put};
+use medledger_bx::laws::{check_getput, check_putget};
+use medledger_bx::LensSpec;
+use medledger_relational::{Column, Predicate, Row, Schema, Table, Value, ValueType};
+use proptest::prelude::*;
+
+/// Source schema: id (key), med, mech, dose, addr — a compressed version
+/// of the paper's full-record schema.
+fn source_schema() -> Schema {
+    Schema::new(
+        vec![
+            Column::new("id", ValueType::Int),
+            Column::new("med", ValueType::Text),
+            Column::new("mech", ValueType::Text),
+            Column::new("dose", ValueType::Text),
+            Column::new("addr", ValueType::Text),
+        ],
+        &["id"],
+    )
+    .expect("schema")
+}
+
+/// Medication names come from a small pool so the `med → mech` functional
+/// dependency can be enforced by construction: mech is derived from med.
+fn arb_source(max_rows: usize) -> impl Strategy<Value = Table> {
+    let row = (0i64..50, 0usize..6, 0usize..4, 0usize..4).prop_map(|(id, med, dose, addr)| {
+        Row::new(vec![
+            Value::Int(id),
+            Value::text(format!("med{med}")),
+            Value::text(format!("mech-of-med{med}")), // FD med → mech holds
+            Value::text(format!("dose{dose}")),
+            Value::text(format!("addr{addr}")),
+        ])
+    });
+    proptest::collection::vec(row, 0..max_rows).prop_map(|rows| {
+        let mut t = Table::new(source_schema());
+        for r in rows {
+            // Duplicate ids collapse via upsert: keys stay unique.
+            t.upsert(r).expect("schema-valid row");
+        }
+        t
+    })
+}
+
+/// A pool of well-formed lenses over the source schema.
+fn arb_lens() -> impl Strategy<Value = LensSpec> {
+    prop_oneof![
+        Just(LensSpec::project(&["id", "med", "dose"], &["id"])),
+        Just(LensSpec::project(&["id", "mech", "addr"], &["id"])),
+        Just(LensSpec::project(
+            &["id", "med", "mech", "dose", "addr"],
+            &["id"]
+        )),
+        Just(LensSpec::project_distinct(&["med", "mech"], &["med"])),
+        (0usize..6).prop_map(|m| LensSpec::select(Predicate::eq(
+            "med",
+            Value::text(format!("med{m}"))
+        ))),
+        Just(LensSpec::rename("dose", "dosage")),
+        Just(LensSpec::rename("med", "medication")
+            .compose(LensSpec::project(&["id", "medication", "dose"], &["id"]))),
+        (0usize..6).prop_map(|m| LensSpec::select(Predicate::eq(
+            "med",
+            Value::text(format!("med{m}"))
+        ))
+        .compose(LensSpec::project(&["id", "med", "dose"], &["id"]))),
+    ]
+}
+
+/// A random translatable edit applied to a view: update a non-key text
+/// column of some row, or delete some row. (Inserts are exercised in the
+/// unit tests because translatability depends on the lens.)
+fn edit_view(view: &Table, pick: usize, del: bool) -> Table {
+    let mut v = view.clone();
+    if v.is_empty() {
+        return v;
+    }
+    let rows: Vec<Row> = v.rows().cloned().collect();
+    let target = &rows[pick % rows.len()];
+    let key = v.schema().key_of(target);
+    if del {
+        v.delete(&key).expect("row exists");
+        return v;
+    }
+    // Find a non-key mutable column. Careful: for select lenses the
+    // predicate column must not be edited (that would be untranslatable,
+    // rightly rejected); we only touch "dose"-like free columns.
+    for free in ["dose", "dosage", "addr", "mech"] {
+        if v.schema().has_column(free)
+            && !v.schema().key_names().contains(&free)
+        {
+            v.update(&key, &[(free, Value::text("EDITED"))])
+                .expect("update valid");
+            return v;
+        }
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// GetPut: put(s, get(s)) == s for every lens and source.
+    #[test]
+    fn getput_holds(src in arb_source(24), lens in arb_lens()) {
+        check_getput(&lens, &src).expect("GetPut must hold");
+    }
+
+    /// PutGet: get(put(s, v')) == v' for every translatable edit.
+    #[test]
+    fn putget_holds(
+        src in arb_source(24),
+        lens in arb_lens(),
+        pick in 0usize..32,
+        del in any::<bool>(),
+    ) {
+        let view = get(&lens, &src).expect("get");
+        let edited = edit_view(&view, pick, del);
+        check_putget(&lens, &src, &edited).expect("PutGet must hold");
+    }
+
+    /// put is "minimal" on identity: the updated source equals the old
+    /// source byte-for-byte (content hash), not merely logically.
+    #[test]
+    fn identity_put_preserves_hash(src in arb_source(24), lens in arb_lens()) {
+        let view = get(&lens, &src).expect("get");
+        let back = put(&lens, &src, &view).expect("put");
+        prop_assert_eq!(back.content_hash(), src.content_hash());
+    }
+
+    /// Double put is idempotent: put(put(s,v'),v') == put(s,v').
+    #[test]
+    fn put_is_idempotent(
+        src in arb_source(24),
+        lens in arb_lens(),
+        pick in 0usize..32,
+        del in any::<bool>(),
+    ) {
+        let view = get(&lens, &src).expect("get");
+        let edited = edit_view(&view, pick, del);
+        let s1 = put(&lens, &src, &edited).expect("first put");
+        let s2 = put(&lens, &s1, &edited).expect("second put");
+        prop_assert_eq!(s1.content_hash(), s2.content_hash());
+    }
+
+    /// Deltas round-trip: applying the view delta through put changes
+    /// exactly the footprint attributes (never attributes outside it).
+    #[test]
+    fn put_touches_only_footprint_attrs(
+        src in arb_source(24),
+        lens in arb_lens(),
+        pick in 0usize..32,
+    ) {
+        let view = get(&lens, &src).expect("get");
+        let edited = edit_view(&view, pick, false);
+        let new_src = put(&lens, &src, &edited).expect("put");
+        let changed = medledger_bx::changed_attrs(&src, &new_src);
+        let analysis = medledger_bx::analysis::analyze(&lens, src.schema())
+            .expect("analysis");
+        for attr in &changed {
+            prop_assert!(
+                analysis.footprint.contains(attr),
+                "changed attr {} outside lens footprint {:?}",
+                attr,
+                analysis.footprint
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # medledger-contracts
+//!
+//! The smart-contract layer: a deterministic contract runtime hosting
+//!
+//! * [`sharing::SharingContract`] — the paper's Fig. 3 "metadata collection"
+//!   contract: per shared table it stores the sharing peers, per-attribute
+//!   write permissions, the last update time and the permission-change
+//!   authority, plus the `pending_acks` set that enforces the paper's
+//!   "only when all sharing peers have the newest shared data can they
+//!   execute further operations" rule;
+//! * [`vm`] — **MedVM**, a gas-metered stack virtual machine with
+//!   persistent storage, so the system also supports user-deployed
+//!   bytecode contracts (standing in for the paper's EVM);
+//! * [`runtime::ContractRuntime`] — deploys contracts, executes
+//!   transactions with revert-on-error semantics, computes state roots for
+//!   block headers and produces receipts with event logs.
+//!
+//! Execution is fully deterministic: the only ambient inputs are the
+//! block timestamp, height and sender provided in [`runtime::CallCtx`],
+//! which all replicas agree on. Reverted transactions leave no state
+//! changes behind.
+
+pub mod runtime;
+pub mod sharing;
+pub mod state;
+pub mod vm;
+
+pub use runtime::{CallCtx, ContractError, ContractRuntime};
+pub use sharing::{SharedTableMeta, SharingContract};
+pub use state::ContractState;

@@ -1,0 +1,1002 @@
+//! The sharing contract — the paper's Fig. 3 "metadata collection".
+//!
+//! One contract instance manages the metadata of many shared tables. Per
+//! table it records exactly the columns of the paper's figure:
+//!
+//! | Fig. 3 column                  | field                          |
+//! |--------------------------------|--------------------------------|
+//! | Metadata ID                    | `table_id` (e.g. `"D13&D31"`)  |
+//! | Sharing peers                  | `peers`                        |
+//! | Write permission (per attr)    | `write_permission`             |
+//! | Last update time               | `last_update_ms`               |
+//! | Authority to change permission | `authority`                    |
+//!
+//! plus the machinery that turns the paper's prose rules into code:
+//! `version`, the `content_hash` of the current shared data, the `updater`
+//! holding the newest copy, and `pending_acks` — while non-empty, further
+//! `request_update` calls on the table revert, which is the enforcement of
+//! *"only when all sharing peers have had the newest shared data can they
+//! execute further operations"* (Sec. III-B).
+
+use crate::runtime::{CallCtx, CallOutput, ContractError};
+use crate::state::ContractState;
+use medledger_crypto::Hash256;
+use medledger_ledger::{AccountId, LogEntry};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-shared-table metadata (one Fig. 3 row).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharedTableMeta {
+    /// Metadata id, e.g. `"D13&D31"`.
+    pub table_id: String,
+    /// The sharing peers.
+    pub peers: BTreeSet<AccountId>,
+    /// Per-attribute writer sets (attribute → accounts allowed to change
+    /// its values).
+    pub write_permission: BTreeMap<String, BTreeSet<AccountId>>,
+    /// The account allowed to change other peers' permissions.
+    pub authority: AccountId,
+    /// Timestamp of the most recent metadata change (block time, ms).
+    pub last_update_ms: u64,
+    /// Monotonic version, bumped by every committed data update.
+    pub version: u64,
+    /// Content hash of the current shared table data.
+    pub content_hash: Hash256,
+    /// The peer holding the newest data (others fetch from it).
+    pub updater: Option<AccountId>,
+    /// Peers that have not yet confirmed they fetched version `version`.
+    pub pending_acks: BTreeSet<AccountId>,
+}
+
+impl SharedTableMeta {
+    /// True iff every peer holds the newest shared data.
+    pub fn synced(&self) -> bool {
+        self.pending_acks.is_empty()
+    }
+
+    /// True iff `who` may write every attribute in `attrs`.
+    pub fn may_write_all(&self, who: &AccountId, attrs: &[String]) -> Result<(), String> {
+        for attr in attrs {
+            match self.write_permission.get(attr) {
+                None => return Err(format!("attribute `{attr}` is not part of shared table")),
+                Some(writers) if !writers.contains(who) => {
+                    return Err(format!("no write permission on attribute `{attr}`"))
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Arguments of `register_share`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RegisterShareArgs {
+    /// New metadata id.
+    pub table_id: String,
+    /// Sharing peers (must include the sender).
+    pub peers: Vec<AccountId>,
+    /// Per-attribute writer lists.
+    pub write_permission: BTreeMap<String, Vec<AccountId>>,
+    /// Permission-change authority (must be a peer).
+    pub authority: AccountId,
+    /// Content hash of the initial shared data.
+    pub initial_hash: Hash256,
+}
+
+/// Arguments of `request_update`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RequestUpdateArgs {
+    /// Target metadata id.
+    pub table_id: String,
+    /// Content hash of the updated shared data.
+    pub new_hash: Hash256,
+    /// Attributes whose values changed (checked against write permission).
+    pub changed_attrs: Vec<String>,
+}
+
+/// Arguments of `ack_update`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AckUpdateArgs {
+    /// Target metadata id.
+    pub table_id: String,
+    /// The version being acknowledged.
+    pub version: u64,
+    /// Content hash of the data the peer applied (must match).
+    pub applied_hash: Hash256,
+}
+
+/// Arguments of `change_permission`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChangePermissionArgs {
+    /// Target metadata id.
+    pub table_id: String,
+    /// Attribute whose writer set changes.
+    pub attr: String,
+    /// The new writer set (must be a subset of the peers).
+    pub writers: Vec<AccountId>,
+}
+
+/// Arguments of `get_meta`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GetMetaArgs {
+    /// Target metadata id.
+    pub table_id: String,
+}
+
+/// Arguments of `remove_share` (table-level delete in Fig. 4).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RemoveShareArgs {
+    /// Target metadata id.
+    pub table_id: String,
+}
+
+/// The native sharing contract: a stateless handler over [`ContractState`].
+pub struct SharingContract;
+
+const KEY_PREFIX: &[u8] = b"table:";
+
+fn meta_key(table_id: &str) -> Vec<u8> {
+    let mut k = KEY_PREFIX.to_vec();
+    k.extend_from_slice(table_id.as_bytes());
+    k
+}
+
+/// Base gas for any sharing-contract call; mirrors a flat intrinsic cost.
+const GAS_BASE: u64 = 21;
+/// Extra gas per checked/changed attribute.
+const GAS_PER_ATTR: u64 = 5;
+
+impl SharingContract {
+    /// The code tag the runtime uses to recognize this native contract.
+    pub const CODE_TAG: &'static [u8] = b"native:sharing";
+
+    /// Loads a table's metadata from contract storage.
+    pub fn load_meta(state: &ContractState, table_id: &str) -> Option<SharedTableMeta> {
+        state.get_json(&meta_key(table_id))
+    }
+
+    /// Lists all registered metadata ids.
+    pub fn table_ids(state: &ContractState) -> Vec<String> {
+        state
+            .iter()
+            .filter_map(|(k, _)| {
+                k.strip_prefix(KEY_PREFIX)
+                    .map(|rest| String::from_utf8_lossy(rest).to_string())
+            })
+            .collect()
+    }
+
+    /// Dispatches a method call.
+    pub fn call(
+        state: &mut ContractState,
+        ctx: &CallCtx,
+        method: &str,
+        args: &[u8],
+    ) -> Result<CallOutput, ContractError> {
+        match method {
+            "register_share" => Self::register_share(state, ctx, parse(args)?),
+            "request_update" => Self::request_update(state, ctx, parse(args)?),
+            "ack_update" => Self::ack_update(state, ctx, parse(args)?),
+            "change_permission" => Self::change_permission(state, ctx, parse(args)?),
+            "get_meta" => Self::get_meta(state, parse(args)?),
+            "remove_share" => Self::remove_share(state, ctx, parse(args)?),
+            other => Err(ContractError::BadCall(format!("unknown method `{other}`"))),
+        }
+    }
+
+    fn register_share(
+        state: &mut ContractState,
+        ctx: &CallCtx,
+        args: RegisterShareArgs,
+    ) -> Result<CallOutput, ContractError> {
+        if Self::load_meta(state, &args.table_id).is_some() {
+            return Err(ContractError::AlreadyExists(format!(
+                "shared table `{}` already registered",
+                args.table_id
+            )));
+        }
+        let peers: BTreeSet<AccountId> = args.peers.iter().copied().collect();
+        if peers.len() < 2 {
+            return Err(ContractError::BadCall(
+                "a shared table needs at least two peers".into(),
+            ));
+        }
+        if !peers.contains(&ctx.sender) {
+            return Err(ContractError::PermissionDenied(
+                "only a sharing peer can register the share".into(),
+            ));
+        }
+        if !peers.contains(&args.authority) {
+            return Err(ContractError::BadCall(
+                "permission authority must be a sharing peer".into(),
+            ));
+        }
+        if args.write_permission.is_empty() {
+            return Err(ContractError::BadCall(
+                "write permission table must not be empty".into(),
+            ));
+        }
+        let mut write_permission = BTreeMap::new();
+        for (attr, writers) in &args.write_permission {
+            let w: BTreeSet<AccountId> = writers.iter().copied().collect();
+            if !w.iter().all(|a| peers.contains(a)) {
+                return Err(ContractError::BadCall(format!(
+                    "writer of `{attr}` is not a sharing peer"
+                )));
+            }
+            write_permission.insert(attr.clone(), w);
+        }
+        let attr_count = write_permission.len() as u64;
+        let meta = SharedTableMeta {
+            table_id: args.table_id.clone(),
+            peers,
+            write_permission,
+            authority: args.authority,
+            last_update_ms: ctx.timestamp_ms,
+            version: 0,
+            content_hash: args.initial_hash,
+            updater: None,
+            pending_acks: BTreeSet::new(),
+        };
+        state.set_json(meta_key(&args.table_id), &meta);
+        Ok(CallOutput {
+            ret: serde_json::json!({ "registered": args.table_id }),
+            logs: vec![log(
+                ctx,
+                "SharedTableRegistered",
+                serde_json::json!({
+                    "table_id": args.table_id,
+                    "peers": meta.peers,
+                    "authority": meta.authority,
+                }),
+            )],
+            gas_used: GAS_BASE + GAS_PER_ATTR * attr_count,
+        })
+    }
+
+    fn request_update(
+        state: &mut ContractState,
+        ctx: &CallCtx,
+        args: RequestUpdateArgs,
+    ) -> Result<CallOutput, ContractError> {
+        let mut meta = Self::load_meta(state, &args.table_id).ok_or_else(|| {
+            ContractError::NotFound(format!("shared table `{}`", args.table_id))
+        })?;
+        if !meta.peers.contains(&ctx.sender) {
+            return Err(ContractError::PermissionDenied(format!(
+                "{} is not a sharing peer of `{}`",
+                ctx.sender, args.table_id
+            )));
+        }
+        // The paper's barrier: no new update until every peer fetched the
+        // previous one.
+        if !meta.synced() {
+            return Err(ContractError::StateLocked(format!(
+                "table `{}` version {} still awaits {} ack(s)",
+                args.table_id,
+                meta.version,
+                meta.pending_acks.len()
+            )));
+        }
+        if args.changed_attrs.is_empty() {
+            return Err(ContractError::BadCall(
+                "update must declare at least one changed attribute".into(),
+            ));
+        }
+        meta.may_write_all(&ctx.sender, &args.changed_attrs)
+            .map_err(ContractError::PermissionDenied)?;
+
+        meta.version += 1;
+        meta.content_hash = args.new_hash;
+        meta.last_update_ms = ctx.timestamp_ms;
+        meta.updater = Some(ctx.sender);
+        meta.pending_acks = meta
+            .peers
+            .iter()
+            .copied()
+            .filter(|p| *p != ctx.sender)
+            .collect();
+        let version = meta.version;
+        let pending: Vec<AccountId> = meta.pending_acks.iter().copied().collect();
+        state.set_json(meta_key(&args.table_id), &meta);
+        Ok(CallOutput {
+            ret: serde_json::json!({ "version": version }),
+            logs: vec![log(
+                ctx,
+                "UpdateCommitted",
+                serde_json::json!({
+                    "table_id": args.table_id,
+                    "version": version,
+                    "new_hash": args.new_hash,
+                    "changed_attrs": args.changed_attrs,
+                    "updater": ctx.sender,
+                    "pending": pending,
+                }),
+            )],
+            gas_used: GAS_BASE + GAS_PER_ATTR * args.changed_attrs.len() as u64,
+        })
+    }
+
+    fn ack_update(
+        state: &mut ContractState,
+        ctx: &CallCtx,
+        args: AckUpdateArgs,
+    ) -> Result<CallOutput, ContractError> {
+        let mut meta = Self::load_meta(state, &args.table_id).ok_or_else(|| {
+            ContractError::NotFound(format!("shared table `{}`", args.table_id))
+        })?;
+        if args.version != meta.version {
+            return Err(ContractError::BadCall(format!(
+                "ack for version {} but table is at version {}",
+                args.version, meta.version
+            )));
+        }
+        if !meta.pending_acks.contains(&ctx.sender) {
+            return Err(ContractError::BadCall(format!(
+                "{} has no pending ack for `{}`",
+                ctx.sender, args.table_id
+            )));
+        }
+        if args.applied_hash != meta.content_hash {
+            return Err(ContractError::BadCall(format!(
+                "ack hash {} does not match committed hash {}",
+                args.applied_hash.short(),
+                meta.content_hash.short()
+            )));
+        }
+        meta.pending_acks.remove(&ctx.sender);
+        let synced = meta.synced();
+        let version = meta.version;
+        state.set_json(meta_key(&args.table_id), &meta);
+        let mut logs = vec![log(
+            ctx,
+            "AckRecorded",
+            serde_json::json!({
+                "table_id": args.table_id,
+                "peer": ctx.sender,
+                "version": version,
+            }),
+        )];
+        if synced {
+            logs.push(log(
+                ctx,
+                "AllPeersSynced",
+                serde_json::json!({ "table_id": args.table_id, "version": version }),
+            ));
+        }
+        Ok(CallOutput {
+            ret: serde_json::json!({ "synced": synced }),
+            logs,
+            gas_used: GAS_BASE,
+        })
+    }
+
+    fn change_permission(
+        state: &mut ContractState,
+        ctx: &CallCtx,
+        args: ChangePermissionArgs,
+    ) -> Result<CallOutput, ContractError> {
+        let mut meta = Self::load_meta(state, &args.table_id).ok_or_else(|| {
+            ContractError::NotFound(format!("shared table `{}`", args.table_id))
+        })?;
+        if ctx.sender != meta.authority {
+            return Err(ContractError::PermissionDenied(format!(
+                "only the authority {} may change permissions",
+                meta.authority
+            )));
+        }
+        if !meta.write_permission.contains_key(&args.attr) {
+            return Err(ContractError::NotFound(format!(
+                "attribute `{}` of shared table `{}`",
+                args.attr, args.table_id
+            )));
+        }
+        let writers: BTreeSet<AccountId> = args.writers.iter().copied().collect();
+        if !writers.iter().all(|a| meta.peers.contains(a)) {
+            return Err(ContractError::BadCall(
+                "writers must be sharing peers".into(),
+            ));
+        }
+        meta.write_permission.insert(args.attr.clone(), writers);
+        meta.last_update_ms = ctx.timestamp_ms;
+        state.set_json(meta_key(&args.table_id), &meta);
+        Ok(CallOutput {
+            ret: serde_json::json!({ "changed": args.attr }),
+            logs: vec![log(
+                ctx,
+                "PermissionChanged",
+                serde_json::json!({
+                    "table_id": args.table_id,
+                    "attr": args.attr,
+                    "writers": args.writers,
+                }),
+            )],
+            gas_used: GAS_BASE + GAS_PER_ATTR,
+        })
+    }
+
+    /// Table-level delete (Fig. 4): the authority retires a shared table.
+    /// Requires the table to be synced (no half-delivered update may be
+    /// abandoned); the metadata row is removed, ending the sharing
+    /// relationship, while the chain retains the full history.
+    fn remove_share(
+        state: &mut ContractState,
+        ctx: &CallCtx,
+        args: RemoveShareArgs,
+    ) -> Result<CallOutput, ContractError> {
+        let meta = Self::load_meta(state, &args.table_id).ok_or_else(|| {
+            ContractError::NotFound(format!("shared table `{}`", args.table_id))
+        })?;
+        if ctx.sender != meta.authority {
+            return Err(ContractError::PermissionDenied(format!(
+                "only the authority {} may remove the share",
+                meta.authority
+            )));
+        }
+        if !meta.synced() {
+            return Err(ContractError::StateLocked(format!(
+                "table `{}` still awaits {} ack(s)",
+                args.table_id,
+                meta.pending_acks.len()
+            )));
+        }
+        state.delete(&meta_key(&args.table_id));
+        Ok(CallOutput {
+            ret: serde_json::json!({ "removed": args.table_id }),
+            logs: vec![log(
+                ctx,
+                "ShareRemoved",
+                serde_json::json!({ "table_id": args.table_id, "by": ctx.sender }),
+            )],
+            gas_used: GAS_BASE,
+        })
+    }
+
+    fn get_meta(
+        state: &ContractState,
+        args: GetMetaArgs,
+    ) -> Result<CallOutput, ContractError> {
+        let meta = Self::load_meta(state, &args.table_id).ok_or_else(|| {
+            ContractError::NotFound(format!("shared table `{}`", args.table_id))
+        })?;
+        Ok(CallOutput {
+            ret: serde_json::to_value(&meta).expect("meta serializes"),
+            logs: vec![],
+            gas_used: GAS_BASE,
+        })
+    }
+}
+
+fn parse<T: serde::de::DeserializeOwned>(args: &[u8]) -> Result<T, ContractError> {
+    serde_json::from_slice(args)
+        .map_err(|e| ContractError::BadCall(format!("argument decoding failed: {e}")))
+}
+
+fn log(ctx: &CallCtx, topic: &str, data: serde_json::Value) -> LogEntry {
+    LogEntry {
+        contract: ctx.contract,
+        topic: topic.to_string(),
+        data: data.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medledger_crypto::KeyPair;
+
+    struct Fixture {
+        state: ContractState,
+        doctor: AccountId,
+        patient: AccountId,
+        researcher: AccountId,
+    }
+
+    fn ctx(sender: AccountId, ts: u64) -> CallCtx {
+        CallCtx {
+            sender,
+            contract: Hash256([7; 32]),
+            block_height: 1,
+            timestamp_ms: ts,
+        }
+    }
+
+    fn call(
+        f: &mut Fixture,
+        sender: AccountId,
+        ts: u64,
+        method: &str,
+        args: &impl Serialize,
+    ) -> Result<CallOutput, ContractError> {
+        let encoded = serde_json::to_vec(args).expect("args");
+        SharingContract::call(&mut f.state, &ctx(sender, ts), method, &encoded)
+    }
+
+    /// Registers the paper's D13&D31 share: Doctor writes everything,
+    /// Patient may write only clinical_data; Doctor is the authority.
+    fn fixture() -> Fixture {
+        let doctor = KeyPair::generate("doctor", 2).public();
+        let patient = KeyPair::generate("patient", 2).public();
+        let researcher = KeyPair::generate("researcher", 2).public();
+        let mut f = Fixture {
+            state: ContractState::new(),
+            doctor,
+            patient,
+            researcher,
+        };
+        let args = RegisterShareArgs {
+            table_id: "D13&D31".into(),
+            peers: vec![doctor, patient],
+            write_permission: [
+                ("medication_name".to_string(), vec![doctor]),
+                ("dosage".to_string(), vec![doctor]),
+                ("clinical_data".to_string(), vec![doctor, patient]),
+            ]
+            .into_iter()
+            .collect(),
+            authority: doctor,
+            initial_hash: Hash256([1; 32]),
+        };
+        call(&mut f, doctor, 1000, "register_share", &args).expect("register");
+        f
+    }
+
+    #[test]
+    fn register_creates_fig3_row() {
+        let f = fixture();
+        let meta = SharingContract::load_meta(&f.state, "D13&D31").expect("meta");
+        assert_eq!(meta.table_id, "D13&D31");
+        assert_eq!(meta.peers.len(), 2);
+        assert_eq!(meta.authority, f.doctor);
+        assert_eq!(meta.version, 0);
+        assert!(meta.synced());
+        assert_eq!(meta.last_update_ms, 1000);
+        assert_eq!(SharingContract::table_ids(&f.state), vec!["D13&D31"]);
+    }
+
+    #[test]
+    fn register_rejects_duplicate_and_bad_shapes() {
+        let mut f = fixture();
+        let doctor = f.doctor;
+        let researcher = f.researcher;
+        let dup = RegisterShareArgs {
+            table_id: "D13&D31".into(),
+            peers: vec![f.doctor, f.patient],
+            write_permission: [("x".to_string(), vec![f.doctor])].into_iter().collect(),
+            authority: f.doctor,
+            initial_hash: Hash256::ZERO,
+        };
+        assert!(matches!(
+            call(&mut f, doctor, 1, "register_share", &dup).unwrap_err(),
+            ContractError::AlreadyExists(_)
+        ));
+
+        let solo = RegisterShareArgs {
+            table_id: "solo".into(),
+            peers: vec![f.doctor],
+            write_permission: [("x".to_string(), vec![f.doctor])].into_iter().collect(),
+            authority: f.doctor,
+            initial_hash: Hash256::ZERO,
+        };
+        assert!(matches!(
+            call(&mut f, doctor, 1, "register_share", &solo).unwrap_err(),
+            ContractError::BadCall(_)
+        ));
+
+        let outsider_auth = RegisterShareArgs {
+            table_id: "t2".into(),
+            peers: vec![f.doctor, f.patient],
+            write_permission: [("x".to_string(), vec![f.doctor])].into_iter().collect(),
+            authority: f.researcher,
+            initial_hash: Hash256::ZERO,
+        };
+        assert!(call(&mut f, doctor, 1, "register_share", &outsider_auth).is_err());
+
+        let outsider_reg = RegisterShareArgs {
+            table_id: "t3".into(),
+            peers: vec![f.doctor, f.patient],
+            write_permission: [("x".to_string(), vec![f.doctor])].into_iter().collect(),
+            authority: f.doctor,
+            initial_hash: Hash256::ZERO,
+        };
+        assert!(matches!(
+            call(&mut f, researcher, 1, "register_share", &outsider_reg).unwrap_err(),
+            ContractError::PermissionDenied(_)
+        ));
+    }
+
+    #[test]
+    fn permitted_update_commits_and_sets_pending_acks() {
+        let mut f = fixture();
+        let doctor = f.doctor;
+        let out = call(
+            &mut f,
+            doctor,
+            2000,
+            "request_update",
+            &RequestUpdateArgs {
+                table_id: "D13&D31".into(),
+                new_hash: Hash256([2; 32]),
+                changed_attrs: vec!["dosage".into()],
+            },
+        )
+        .expect("update");
+        assert_eq!(out.logs[0].topic, "UpdateCommitted");
+        let meta = SharingContract::load_meta(&f.state, "D13&D31").expect("meta");
+        assert_eq!(meta.version, 1);
+        assert_eq!(meta.content_hash, Hash256([2; 32]));
+        assert_eq!(meta.updater, Some(doctor));
+        assert_eq!(meta.last_update_ms, 2000);
+        assert!(meta.pending_acks.contains(&f.patient));
+        assert!(!meta.synced());
+    }
+
+    #[test]
+    fn patient_cannot_write_dosage_but_can_write_clinical_data() {
+        let mut f = fixture();
+        let patient = f.patient;
+        let denied = call(
+            &mut f,
+            patient,
+            2000,
+            "request_update",
+            &RequestUpdateArgs {
+                table_id: "D13&D31".into(),
+                new_hash: Hash256([2; 32]),
+                changed_attrs: vec!["dosage".into()],
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(denied, ContractError::PermissionDenied(_)));
+
+        call(
+            &mut f,
+            patient,
+            2000,
+            "request_update",
+            &RequestUpdateArgs {
+                table_id: "D13&D31".into(),
+                new_hash: Hash256([2; 32]),
+                changed_attrs: vec!["clinical_data".into()],
+            },
+        )
+        .expect("patient may write clinical_data");
+    }
+
+    #[test]
+    fn update_with_any_unpermitted_attr_is_denied() {
+        let mut f = fixture();
+        let patient = f.patient;
+        let err = call(
+            &mut f,
+            patient,
+            2000,
+            "request_update",
+            &RequestUpdateArgs {
+                table_id: "D13&D31".into(),
+                new_hash: Hash256([2; 32]),
+                changed_attrs: vec!["clinical_data".into(), "dosage".into()],
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ContractError::PermissionDenied(_)));
+    }
+
+    #[test]
+    fn non_peer_cannot_update() {
+        let mut f = fixture();
+        let researcher = f.researcher;
+        let err = call(
+            &mut f,
+            researcher,
+            2000,
+            "request_update",
+            &RequestUpdateArgs {
+                table_id: "D13&D31".into(),
+                new_hash: Hash256([2; 32]),
+                changed_attrs: vec!["dosage".into()],
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ContractError::PermissionDenied(_)));
+    }
+
+    #[test]
+    fn pending_acks_block_further_updates_until_synced() {
+        let mut f = fixture();
+        let doctor = f.doctor;
+        let patient = f.patient;
+        call(
+            &mut f,
+            doctor,
+            2000,
+            "request_update",
+            &RequestUpdateArgs {
+                table_id: "D13&D31".into(),
+                new_hash: Hash256([2; 32]),
+                changed_attrs: vec!["dosage".into()],
+            },
+        )
+        .expect("first update");
+        // Second update blocked — the paper's barrier.
+        let err = call(
+            &mut f,
+            doctor,
+            3000,
+            "request_update",
+            &RequestUpdateArgs {
+                table_id: "D13&D31".into(),
+                new_hash: Hash256([3; 32]),
+                changed_attrs: vec!["dosage".into()],
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ContractError::StateLocked(_)));
+
+        // Patient acks with the right hash → synced → updates flow again.
+        let out = call(
+            &mut f,
+            patient,
+            3500,
+            "ack_update",
+            &AckUpdateArgs {
+                table_id: "D13&D31".into(),
+                version: 1,
+                applied_hash: Hash256([2; 32]),
+            },
+        )
+        .expect("ack");
+        assert!(out.logs.iter().any(|l| l.topic == "AllPeersSynced"));
+        call(
+            &mut f,
+            doctor,
+            4000,
+            "request_update",
+            &RequestUpdateArgs {
+                table_id: "D13&D31".into(),
+                new_hash: Hash256([3; 32]),
+                changed_attrs: vec!["dosage".into()],
+            },
+        )
+        .expect("second update after sync");
+    }
+
+    #[test]
+    fn ack_requires_matching_version_and_hash() {
+        let mut f = fixture();
+        let doctor = f.doctor;
+        let patient = f.patient;
+        call(
+            &mut f,
+            doctor,
+            2000,
+            "request_update",
+            &RequestUpdateArgs {
+                table_id: "D13&D31".into(),
+                new_hash: Hash256([2; 32]),
+                changed_attrs: vec!["dosage".into()],
+            },
+        )
+        .expect("update");
+        assert!(call(
+            &mut f,
+            patient,
+            2500,
+            "ack_update",
+            &AckUpdateArgs {
+                table_id: "D13&D31".into(),
+                version: 9,
+                applied_hash: Hash256([2; 32]),
+            },
+        )
+        .is_err());
+        assert!(call(
+            &mut f,
+            patient,
+            2500,
+            "ack_update",
+            &AckUpdateArgs {
+                table_id: "D13&D31".into(),
+                version: 1,
+                applied_hash: Hash256([9; 32]),
+            },
+        )
+        .is_err());
+        // The updater itself has no pending ack.
+        assert!(call(
+            &mut f,
+            doctor,
+            2500,
+            "ack_update",
+            &AckUpdateArgs {
+                table_id: "D13&D31".into(),
+                version: 1,
+                applied_hash: Hash256([2; 32]),
+            },
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn authority_grants_patient_dosage_write() {
+        // The paper's example: Doctor changes "Dosage" writers from
+        // {Doctor} to {Doctor, Patient}.
+        let mut f = fixture();
+        let doctor = f.doctor;
+        let patient = f.patient;
+        call(
+            &mut f,
+            doctor,
+            5000,
+            "change_permission",
+            &ChangePermissionArgs {
+                table_id: "D13&D31".into(),
+                attr: "dosage".into(),
+                writers: vec![doctor, patient],
+            },
+        )
+        .expect("grant");
+        let meta = SharingContract::load_meta(&f.state, "D13&D31").expect("meta");
+        assert!(meta.write_permission["dosage"].contains(&patient));
+        assert_eq!(meta.last_update_ms, 5000);
+
+        // Now the patient can update dosage.
+        call(
+            &mut f,
+            patient,
+            6000,
+            "request_update",
+            &RequestUpdateArgs {
+                table_id: "D13&D31".into(),
+                new_hash: Hash256([4; 32]),
+                changed_attrs: vec!["dosage".into()],
+            },
+        )
+        .expect("patient dosage update after grant");
+    }
+
+    #[test]
+    fn only_authority_changes_permissions() {
+        let mut f = fixture();
+        let patient = f.patient;
+        let doctor = f.doctor;
+        let err = call(
+            &mut f,
+            patient,
+            5000,
+            "change_permission",
+            &ChangePermissionArgs {
+                table_id: "D13&D31".into(),
+                attr: "dosage".into(),
+                writers: vec![patient],
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ContractError::PermissionDenied(_)));
+        // Unknown attribute and non-peer writers also rejected.
+        assert!(call(
+            &mut f,
+            doctor,
+            5000,
+            "change_permission",
+            &ChangePermissionArgs {
+                table_id: "D13&D31".into(),
+                attr: "nope".into(),
+                writers: vec![doctor],
+            },
+        )
+        .is_err());
+        let researcher = f.researcher;
+        assert!(call(
+            &mut f,
+            doctor,
+            5000,
+            "change_permission",
+            &ChangePermissionArgs {
+                table_id: "D13&D31".into(),
+                attr: "dosage".into(),
+                writers: vec![researcher],
+            },
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn get_meta_returns_fig3_data() {
+        let mut f = fixture();
+        let doctor = f.doctor;
+        let out = call(
+            &mut f,
+            doctor,
+            1,
+            "get_meta",
+            &GetMetaArgs {
+                table_id: "D13&D31".into(),
+            },
+        )
+        .expect("get_meta");
+        let meta: SharedTableMeta = serde_json::from_value(out.ret).expect("meta");
+        assert_eq!(meta.table_id, "D13&D31");
+        assert!(call(
+            &mut f,
+            doctor,
+            1,
+            "get_meta",
+            &GetMetaArgs {
+                table_id: "missing".into()
+            },
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn remove_share_by_authority_when_synced() {
+        let mut f = fixture();
+        let doctor = f.doctor;
+        let patient = f.patient;
+        // Non-authority denied.
+        assert!(matches!(
+            call(&mut f, patient, 1, "remove_share", &RemoveShareArgs { table_id: "D13&D31".into() })
+                .unwrap_err(),
+            ContractError::PermissionDenied(_)
+        ));
+        // Locked while acks pending.
+        call(
+            &mut f,
+            doctor,
+            2,
+            "request_update",
+            &RequestUpdateArgs {
+                table_id: "D13&D31".into(),
+                new_hash: Hash256([2; 32]),
+                changed_attrs: vec!["dosage".into()],
+            },
+        )
+        .expect("update");
+        assert!(matches!(
+            call(&mut f, doctor, 3, "remove_share", &RemoveShareArgs { table_id: "D13&D31".into() })
+                .unwrap_err(),
+            ContractError::StateLocked(_)
+        ));
+        call(
+            &mut f,
+            patient,
+            4,
+            "ack_update",
+            &AckUpdateArgs {
+                table_id: "D13&D31".into(),
+                version: 1,
+                applied_hash: Hash256([2; 32]),
+            },
+        )
+        .expect("ack");
+        // Now the authority can retire the share.
+        let out = call(&mut f, doctor, 5, "remove_share", &RemoveShareArgs { table_id: "D13&D31".into() })
+            .expect("remove");
+        assert_eq!(out.logs[0].topic, "ShareRemoved");
+        assert!(SharingContract::load_meta(&f.state, "D13&D31").is_none());
+        assert!(SharingContract::table_ids(&f.state).is_empty());
+        // Removing twice fails.
+        assert!(matches!(
+            call(&mut f, doctor, 6, "remove_share", &RemoveShareArgs { table_id: "D13&D31".into() })
+                .unwrap_err(),
+            ContractError::NotFound(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_method_rejected() {
+        let mut f = fixture();
+        let doctor = f.doctor;
+        let err = SharingContract::call(
+            &mut f.state,
+            &ctx(doctor, 1),
+            "mint_money",
+            b"{}",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ContractError::BadCall(_)));
+    }
+}

@@ -1,0 +1,793 @@
+//! MedVM: a gas-metered stack virtual machine with persistent storage.
+//!
+//! MedVM stands in for the paper's EVM: user-deployable bytecode with
+//! deterministic execution, per-opcode gas accounting, contract storage
+//! and event logs. It is deliberately small — 64-bit integer words, a
+//! single storage map — but exercises the same architectural surface:
+//! deploy, call, meter, revert.
+//!
+//! ## Calling convention
+//!
+//! The runtime passes `args[0] = method_id(method_name)` followed by the
+//! caller-supplied integers, so one program can dispatch multiple methods
+//! (see [`method_id`]). `RET` returns the top of stack; `REVERT` aborts
+//! with a code and discards all state changes.
+//!
+//! ## Example (assembled with [`asm`])
+//!
+//! ```text
+//! ; increment a counter stored at key 0 and return it
+//! PUSH 0
+//! SLOAD        ; stack: old
+//! PUSH 1
+//! ADD          ; stack: old+1
+//! DUP 0        ; stack: old+1, old+1
+//! PUSH 0
+//! SSTORE       ; store key 0 := old+1
+//! RET
+//! ```
+
+use crate::runtime::CallCtx;
+use crate::state::ContractState;
+use medledger_crypto::sha256;
+use medledger_ledger::LogEntry;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One MedVM instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Push a constant.
+    Push(i64),
+    /// Discard the top of stack.
+    Pop,
+    /// Duplicate the value `n` slots below the top (0 = top).
+    Dup(u8),
+    /// Swap the top with the value `n+1` slots below it.
+    Swap(u8),
+    /// Pop b, a; push a + b (wrapping).
+    Add,
+    /// Pop b, a; push a - b (wrapping).
+    Sub,
+    /// Pop b, a; push a * b (wrapping).
+    Mul,
+    /// Pop b, a; push a / b; division by zero is a trap.
+    Div,
+    /// Pop b, a; push a % b; modulo by zero is a trap.
+    Mod,
+    /// Pop b, a; push 1 if a == b else 0.
+    Eq,
+    /// Pop b, a; push 1 if a < b else 0.
+    Lt,
+    /// Pop b, a; push 1 if a > b else 0.
+    Gt,
+    /// Pop a; push 1 if a == 0 else 0.
+    Not,
+    /// Pop b, a; push 1 if both nonzero else 0.
+    And,
+    /// Pop b, a; push 1 if either nonzero else 0.
+    Or,
+    /// Unconditional jump to instruction index.
+    Jmp(u32),
+    /// Pop a; jump if a != 0.
+    Jmpi(u32),
+    /// Pop key; push storage[key] (0 if unset).
+    SLoad,
+    /// Pop key, value; storage[key] := value.
+    SStore,
+    /// Push the caller's account id prefix (low 64 bits).
+    Caller,
+    /// Push call argument `n` (trap if absent).
+    Arg(u8),
+    /// Push the block timestamp (ms).
+    Time,
+    /// Push the block height.
+    Height,
+    /// Pop value, topic; emit a log entry.
+    Log,
+    /// Pop and return the top of stack.
+    Ret,
+    /// Pop a revert code and abort, discarding state changes.
+    Revert,
+    /// Stop with return value 0.
+    Halt,
+}
+
+/// VM execution errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VmError {
+    /// Stack underflow.
+    StackUnderflow,
+    /// Stack grew beyond the fixed bound.
+    StackOverflow,
+    /// Division or modulo by zero.
+    DivByZero,
+    /// Jump target outside the program.
+    BadJump(u32),
+    /// Argument index out of range.
+    BadArg(u8),
+    /// Dup/Swap depth beyond stack.
+    BadDepth(u8),
+    /// Gas limit exhausted.
+    OutOfGas,
+    /// Program executed `REVERT` with this code.
+    Reverted(i64),
+    /// Program ran off the end without RET/HALT.
+    MissingReturn,
+    /// Bytecode could not be decoded.
+    BadBytecode(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::StackUnderflow => write!(f, "stack underflow"),
+            VmError::StackOverflow => write!(f, "stack overflow"),
+            VmError::DivByZero => write!(f, "division by zero"),
+            VmError::BadJump(t) => write!(f, "jump to invalid target {t}"),
+            VmError::BadArg(i) => write!(f, "argument {i} not provided"),
+            VmError::BadDepth(d) => write!(f, "dup/swap depth {d} exceeds stack"),
+            VmError::OutOfGas => write!(f, "out of gas"),
+            VmError::Reverted(c) => write!(f, "reverted with code {c}"),
+            VmError::MissingReturn => write!(f, "program ended without RET/HALT"),
+            VmError::BadBytecode(s) => write!(f, "bad bytecode: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+const MAX_STACK: usize = 1024;
+
+/// Result of a successful execution.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// The returned value.
+    pub ret: i64,
+    /// Gas consumed.
+    pub gas_used: u64,
+    /// Emitted logs.
+    pub logs: Vec<LogEntry>,
+}
+
+/// First 8 bytes of `sha256(name)` as a non-negative i64 — the method
+/// dispatch id pushed as `ARG 0`.
+pub fn method_id(name: &str) -> i64 {
+    (sha256(name.as_bytes()).prefix_u64() >> 1) as i64
+}
+
+fn gas_cost(op: &Op) -> u64 {
+    match op {
+        Op::SStore => 20,
+        Op::SLoad => 5,
+        Op::Log => 8,
+        _ => 1,
+    }
+}
+
+fn storage_key(key: i64) -> Vec<u8> {
+    let mut k = b"vm:".to_vec();
+    k.extend_from_slice(&key.to_be_bytes());
+    k
+}
+
+/// Executes a program against contract storage.
+pub fn execute(
+    program: &[Op],
+    state: &mut ContractState,
+    ctx: &CallCtx,
+    args: &[i64],
+    gas_limit: u64,
+) -> Result<Outcome, VmError> {
+    let mut stack: Vec<i64> = Vec::with_capacity(32);
+    let mut logs = Vec::new();
+    let mut gas_used: u64 = 0;
+    let mut pc: usize = 0;
+
+    macro_rules! pop {
+        () => {
+            stack.pop().ok_or(VmError::StackUnderflow)?
+        };
+    }
+    macro_rules! push {
+        ($v:expr) => {{
+            if stack.len() >= MAX_STACK {
+                return Err(VmError::StackOverflow);
+            }
+            stack.push($v);
+        }};
+    }
+
+    while pc < program.len() {
+        let op = &program[pc];
+        gas_used += gas_cost(op);
+        if gas_used > gas_limit {
+            return Err(VmError::OutOfGas);
+        }
+        pc += 1;
+        match op {
+            Op::Push(v) => push!(*v),
+            Op::Pop => {
+                pop!();
+            }
+            Op::Dup(n) => {
+                let idx = stack
+                    .len()
+                    .checked_sub(1 + *n as usize)
+                    .ok_or(VmError::BadDepth(*n))?;
+                let v = stack[idx];
+                push!(v);
+            }
+            Op::Swap(n) => {
+                let top = stack.len().checked_sub(1).ok_or(VmError::StackUnderflow)?;
+                let idx = stack
+                    .len()
+                    .checked_sub(2 + *n as usize)
+                    .ok_or(VmError::BadDepth(*n))?;
+                stack.swap(top, idx);
+            }
+            Op::Add => {
+                let b = pop!();
+                let a = pop!();
+                push!(a.wrapping_add(b));
+            }
+            Op::Sub => {
+                let b = pop!();
+                let a = pop!();
+                push!(a.wrapping_sub(b));
+            }
+            Op::Mul => {
+                let b = pop!();
+                let a = pop!();
+                push!(a.wrapping_mul(b));
+            }
+            Op::Div => {
+                let b = pop!();
+                let a = pop!();
+                if b == 0 {
+                    return Err(VmError::DivByZero);
+                }
+                push!(a.wrapping_div(b));
+            }
+            Op::Mod => {
+                let b = pop!();
+                let a = pop!();
+                if b == 0 {
+                    return Err(VmError::DivByZero);
+                }
+                push!(a.wrapping_rem(b));
+            }
+            Op::Eq => {
+                let b = pop!();
+                let a = pop!();
+                push!((a == b) as i64);
+            }
+            Op::Lt => {
+                let b = pop!();
+                let a = pop!();
+                push!((a < b) as i64);
+            }
+            Op::Gt => {
+                let b = pop!();
+                let a = pop!();
+                push!((a > b) as i64);
+            }
+            Op::Not => {
+                let a = pop!();
+                push!((a == 0) as i64);
+            }
+            Op::And => {
+                let b = pop!();
+                let a = pop!();
+                push!((a != 0 && b != 0) as i64);
+            }
+            Op::Or => {
+                let b = pop!();
+                let a = pop!();
+                push!((a != 0 || b != 0) as i64);
+            }
+            Op::Jmp(t) => {
+                if *t as usize >= program.len() {
+                    return Err(VmError::BadJump(*t));
+                }
+                pc = *t as usize;
+            }
+            Op::Jmpi(t) => {
+                let c = pop!();
+                if c != 0 {
+                    if *t as usize >= program.len() {
+                        return Err(VmError::BadJump(*t));
+                    }
+                    pc = *t as usize;
+                }
+            }
+            Op::SLoad => {
+                let key = pop!();
+                let v = state
+                    .get(&storage_key(key))
+                    .and_then(|b| b.try_into().ok().map(i64::from_be_bytes))
+                    .unwrap_or(0);
+                push!(v);
+            }
+            Op::SStore => {
+                let key = pop!();
+                let value = pop!();
+                state.set(storage_key(key), value.to_be_bytes().to_vec());
+            }
+            Op::Caller => push!((ctx.sender.0.prefix_u64() >> 1) as i64),
+            Op::Arg(i) => {
+                let v = *args.get(*i as usize).ok_or(VmError::BadArg(*i))?;
+                push!(v);
+            }
+            Op::Time => push!(ctx.timestamp_ms as i64),
+            Op::Height => push!(ctx.block_height as i64),
+            Op::Log => {
+                let value = pop!();
+                let topic = pop!();
+                logs.push(LogEntry {
+                    contract: ctx.contract,
+                    topic: format!("vm:{topic}"),
+                    data: serde_json::json!({ "value": value }).to_string(),
+                });
+            }
+            Op::Ret => {
+                let ret = pop!();
+                return Ok(Outcome {
+                    ret,
+                    gas_used,
+                    logs,
+                });
+            }
+            Op::Revert => {
+                let code = pop!();
+                return Err(VmError::Reverted(code));
+            }
+            Op::Halt => {
+                return Ok(Outcome {
+                    ret: 0,
+                    gas_used,
+                    logs,
+                })
+            }
+        }
+    }
+    Err(VmError::MissingReturn)
+}
+
+// ---------------------------------------------------------------------
+// Bytecode encoding
+// ---------------------------------------------------------------------
+
+/// Encodes a program as bytecode (1 opcode byte + optional operand).
+pub fn encode(program: &[Op]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(program.len() * 2);
+    for op in program {
+        match op {
+            Op::Push(v) => {
+                out.push(0x01);
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+            Op::Pop => out.push(0x02),
+            Op::Dup(n) => {
+                out.push(0x03);
+                out.push(*n);
+            }
+            Op::Swap(n) => {
+                out.push(0x04);
+                out.push(*n);
+            }
+            Op::Add => out.push(0x10),
+            Op::Sub => out.push(0x11),
+            Op::Mul => out.push(0x12),
+            Op::Div => out.push(0x13),
+            Op::Mod => out.push(0x14),
+            Op::Eq => out.push(0x20),
+            Op::Lt => out.push(0x21),
+            Op::Gt => out.push(0x22),
+            Op::Not => out.push(0x23),
+            Op::And => out.push(0x24),
+            Op::Or => out.push(0x25),
+            Op::Jmp(t) => {
+                out.push(0x30);
+                out.extend_from_slice(&t.to_be_bytes());
+            }
+            Op::Jmpi(t) => {
+                out.push(0x31);
+                out.extend_from_slice(&t.to_be_bytes());
+            }
+            Op::SLoad => out.push(0x40),
+            Op::SStore => out.push(0x41),
+            Op::Caller => out.push(0x50),
+            Op::Arg(n) => {
+                out.push(0x51);
+                out.push(*n);
+            }
+            Op::Time => out.push(0x52),
+            Op::Height => out.push(0x53),
+            Op::Log => out.push(0x60),
+            Op::Ret => out.push(0x70),
+            Op::Revert => out.push(0x71),
+            Op::Halt => out.push(0x72),
+        }
+    }
+    out
+}
+
+/// Decodes bytecode into a program.
+pub fn decode(bytes: &[u8]) -> Result<Vec<Op>, VmError> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    let take_i64 = |bytes: &[u8], i: &mut usize| -> Result<i64, VmError> {
+        let end = *i + 8;
+        if end > bytes.len() {
+            return Err(VmError::BadBytecode("truncated i64 operand".into()));
+        }
+        let v = i64::from_be_bytes(bytes[*i..end].try_into().expect("8 bytes"));
+        *i = end;
+        Ok(v)
+    };
+    let take_u32 = |bytes: &[u8], i: &mut usize| -> Result<u32, VmError> {
+        let end = *i + 4;
+        if end > bytes.len() {
+            return Err(VmError::BadBytecode("truncated u32 operand".into()));
+        }
+        let v = u32::from_be_bytes(bytes[*i..end].try_into().expect("4 bytes"));
+        *i = end;
+        Ok(v)
+    };
+    let take_u8 = |bytes: &[u8], i: &mut usize| -> Result<u8, VmError> {
+        if *i >= bytes.len() {
+            return Err(VmError::BadBytecode("truncated u8 operand".into()));
+        }
+        let v = bytes[*i];
+        *i += 1;
+        Ok(v)
+    };
+    while i < bytes.len() {
+        let opcode = bytes[i];
+        i += 1;
+        let op = match opcode {
+            0x01 => Op::Push(take_i64(bytes, &mut i)?),
+            0x02 => Op::Pop,
+            0x03 => Op::Dup(take_u8(bytes, &mut i)?),
+            0x04 => Op::Swap(take_u8(bytes, &mut i)?),
+            0x10 => Op::Add,
+            0x11 => Op::Sub,
+            0x12 => Op::Mul,
+            0x13 => Op::Div,
+            0x14 => Op::Mod,
+            0x20 => Op::Eq,
+            0x21 => Op::Lt,
+            0x22 => Op::Gt,
+            0x23 => Op::Not,
+            0x24 => Op::And,
+            0x25 => Op::Or,
+            0x30 => Op::Jmp(take_u32(bytes, &mut i)?),
+            0x31 => Op::Jmpi(take_u32(bytes, &mut i)?),
+            0x40 => Op::SLoad,
+            0x41 => Op::SStore,
+            0x50 => Op::Caller,
+            0x51 => Op::Arg(take_u8(bytes, &mut i)?),
+            0x52 => Op::Time,
+            0x53 => Op::Height,
+            0x60 => Op::Log,
+            0x70 => Op::Ret,
+            0x71 => Op::Revert,
+            0x72 => Op::Halt,
+            other => {
+                return Err(VmError::BadBytecode(format!("unknown opcode 0x{other:02x}")))
+            }
+        };
+        out.push(op);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Assembler
+// ---------------------------------------------------------------------
+
+/// A tiny two-pass assembler for MedVM programs.
+///
+/// Syntax: one instruction per line, `;` comments, `label:` definitions,
+/// labels usable as JMP/JMPI targets.
+pub mod asm {
+    use super::{Op, VmError};
+    use std::collections::HashMap;
+
+    /// Assembles source text into a program.
+    pub fn assemble(src: &str) -> Result<Vec<Op>, VmError> {
+        // Pass 1: collect labels → instruction indexes.
+        let mut labels: HashMap<String, u32> = HashMap::new();
+        let mut count: u32 = 0;
+        let lines: Vec<&str> = src
+            .lines()
+            .map(|l| l.split(';').next().unwrap_or("").trim())
+            .collect();
+        for line in &lines {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(label) = line.strip_suffix(':') {
+                if labels.insert(label.trim().to_string(), count).is_some() {
+                    return Err(VmError::BadBytecode(format!("duplicate label `{label}`")));
+                }
+            } else {
+                count += 1;
+            }
+        }
+        // Pass 2: emit.
+        let mut out = Vec::with_capacity(count as usize);
+        for line in &lines {
+            if line.is_empty() || line.ends_with(':') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let mnem = parts.next().expect("nonempty line").to_uppercase();
+            let operand = parts.next();
+            let resolve = |s: &str| -> Result<u32, VmError> {
+                if let Ok(n) = s.parse::<u32>() {
+                    return Ok(n);
+                }
+                labels
+                    .get(s)
+                    .copied()
+                    .ok_or_else(|| VmError::BadBytecode(format!("unknown label `{s}`")))
+            };
+            fn need<'a>(o: Option<&'a str>, mnem: &str) -> Result<&'a str, VmError> {
+                o.ok_or_else(|| VmError::BadBytecode(format!("`{mnem}` needs an operand")))
+            }
+            let op = match mnem.as_str() {
+                "PUSH" => Op::Push(need(operand, &mnem)?.parse().map_err(|_| {
+                    VmError::BadBytecode(format!("bad PUSH operand `{operand:?}`"))
+                })?),
+                "POP" => Op::Pop,
+                "DUP" => Op::Dup(need(operand, &mnem)?.parse().map_err(|_| {
+                    VmError::BadBytecode("bad DUP depth".into())
+                })?),
+                "SWAP" => Op::Swap(need(operand, &mnem)?.parse().map_err(|_| {
+                    VmError::BadBytecode("bad SWAP depth".into())
+                })?),
+                "ADD" => Op::Add,
+                "SUB" => Op::Sub,
+                "MUL" => Op::Mul,
+                "DIV" => Op::Div,
+                "MOD" => Op::Mod,
+                "EQ" => Op::Eq,
+                "LT" => Op::Lt,
+                "GT" => Op::Gt,
+                "NOT" => Op::Not,
+                "AND" => Op::And,
+                "OR" => Op::Or,
+                "JMP" => Op::Jmp(resolve(need(operand, &mnem)?)?),
+                "JMPI" => Op::Jmpi(resolve(need(operand, &mnem)?)?),
+                "SLOAD" => Op::SLoad,
+                "SSTORE" => Op::SStore,
+                "CALLER" => Op::Caller,
+                "ARG" => Op::Arg(need(operand, &mnem)?.parse().map_err(|_| {
+                    VmError::BadBytecode("bad ARG index".into())
+                })?),
+                "TIME" => Op::Time,
+                "HEIGHT" => Op::Height,
+                "LOG" => Op::Log,
+                "RET" => Op::Ret,
+                "REVERT" => Op::Revert,
+                "HALT" => Op::Halt,
+                other => {
+                    return Err(VmError::BadBytecode(format!("unknown mnemonic `{other}`")))
+                }
+            };
+            out.push(op);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medledger_crypto::{Hash256, KeyPair};
+
+    fn ctx() -> CallCtx {
+        CallCtx {
+            sender: KeyPair::generate("vm-caller", 2).public(),
+            contract: Hash256([3; 32]),
+            block_height: 7,
+            timestamp_ms: 99_000,
+        }
+    }
+
+    fn run(program: &[Op], args: &[i64]) -> Result<Outcome, VmError> {
+        let mut state = ContractState::new();
+        execute(program, &mut state, &ctx(), args, 10_000)
+    }
+
+    #[test]
+    fn arithmetic() {
+        let p = asm::assemble("PUSH 2\nPUSH 3\nADD\nPUSH 4\nMUL\nRET").expect("asm");
+        assert_eq!(run(&p, &[]).expect("run").ret, 20);
+        let p = asm::assemble("PUSH 10\nPUSH 3\nMOD\nRET").expect("asm");
+        assert_eq!(run(&p, &[]).expect("run").ret, 1);
+        let p = asm::assemble("PUSH 10\nPUSH 4\nDIV\nRET").expect("asm");
+        assert_eq!(run(&p, &[]).expect("run").ret, 2);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let p = asm::assemble("PUSH 1\nPUSH 2\nLT\nRET").expect("asm");
+        assert_eq!(run(&p, &[]).expect("run").ret, 1);
+        let p = asm::assemble("PUSH 1\nPUSH 2\nGT\nNOT\nRET").expect("asm");
+        assert_eq!(run(&p, &[]).expect("run").ret, 1);
+        let p = asm::assemble("PUSH 1\nPUSH 0\nAND\nRET").expect("asm");
+        assert_eq!(run(&p, &[]).expect("run").ret, 0);
+        let p = asm::assemble("PUSH 1\nPUSH 0\nOR\nRET").expect("asm");
+        assert_eq!(run(&p, &[]).expect("run").ret, 1);
+        let p = asm::assemble("PUSH 5\nPUSH 5\nEQ\nRET").expect("asm");
+        assert_eq!(run(&p, &[]).expect("run").ret, 1);
+    }
+
+    #[test]
+    fn loop_sums_one_to_ten() {
+        // sum = 0; i = 10; while i != 0 { sum += i; i -= 1 } return sum
+        let src = r"
+            PUSH 0      ; [sum]
+            PUSH 10     ; [sum, i]
+        loop:
+            DUP 0       ; [sum, i, i]
+            NOT         ; [sum, i, i==0]
+            JMPI done   ; [sum, i]
+            DUP 0       ; [sum, i, i]
+            SWAP 1      ; [i, i, sum]
+            ADD         ; [i, i+sum]
+            SWAP 0      ; [i+sum, i]
+            PUSH 1
+            SUB         ; [i+sum, i-1]
+            JMP loop
+        done:
+            POP         ; drop i (== 0)
+            RET
+        ";
+        let p = asm::assemble(src).expect("asm");
+        assert_eq!(run(&p, &[]).expect("run").ret, 55);
+    }
+
+    #[test]
+    fn storage_persists_across_calls() {
+        let src = "PUSH 0\nSLOAD\nPUSH 1\nADD\nDUP 0\nPUSH 0\nSSTORE\nRET";
+        let p = asm::assemble(src).expect("asm");
+        let mut state = ContractState::new();
+        let c = ctx();
+        let r1 = execute(&p, &mut state, &c, &[], 10_000).expect("run1");
+        let r2 = execute(&p, &mut state, &c, &[], 10_000).expect("run2");
+        let r3 = execute(&p, &mut state, &c, &[], 10_000).expect("run3");
+        assert_eq!((r1.ret, r2.ret, r3.ret), (1, 2, 3));
+    }
+
+    #[test]
+    fn args_and_env() {
+        let p = asm::assemble("ARG 0\nARG 1\nADD\nRET").expect("asm");
+        assert_eq!(run(&p, &[40, 2]).expect("run").ret, 42);
+        let p = asm::assemble("TIME\nRET").expect("asm");
+        assert_eq!(run(&p, &[]).expect("run").ret, 99_000);
+        let p = asm::assemble("HEIGHT\nRET").expect("asm");
+        assert_eq!(run(&p, &[]).expect("run").ret, 7);
+        let p = asm::assemble("CALLER\nRET").expect("asm");
+        assert!(run(&p, &[]).expect("run").ret > 0);
+        let p = asm::assemble("ARG 3\nRET").expect("asm");
+        assert_eq!(run(&p, &[1]).unwrap_err(), VmError::BadArg(3));
+    }
+
+    #[test]
+    fn logs_are_emitted() {
+        let p = asm::assemble("PUSH 7\nPUSH 42\nLOG\nHALT").expect("asm");
+        let out = run(&p, &[]).expect("run");
+        assert_eq!(out.logs.len(), 1);
+        assert_eq!(out.logs[0].topic, "vm:7");
+        assert!(out.logs[0].data.contains("42"));
+    }
+
+    #[test]
+    fn traps() {
+        let p = asm::assemble("PUSH 1\nPUSH 0\nDIV\nRET").expect("asm");
+        assert_eq!(run(&p, &[]).unwrap_err(), VmError::DivByZero);
+        let p = asm::assemble("POP\nRET").expect("asm");
+        assert_eq!(run(&p, &[]).unwrap_err(), VmError::StackUnderflow);
+        let p = vec![Op::Jmp(99), Op::Halt];
+        assert_eq!(run(&p, &[]).unwrap_err(), VmError::BadJump(99));
+        let p = asm::assemble("PUSH 1").expect("asm");
+        assert_eq!(run(&p, &[]).unwrap_err(), VmError::MissingReturn);
+        let p = asm::assemble("PUSH 13\nREVERT").expect("asm");
+        assert_eq!(run(&p, &[]).unwrap_err(), VmError::Reverted(13));
+    }
+
+    #[test]
+    fn out_of_gas_terminates_infinite_loop() {
+        let p = asm::assemble("loop:\nJMP loop").expect("asm");
+        let mut state = ContractState::new();
+        let err = execute(&p, &mut state, &ctx(), &[], 500).unwrap_err();
+        assert_eq!(err, VmError::OutOfGas);
+    }
+
+    #[test]
+    fn gas_accounting_charges_storage_more() {
+        let cheap = asm::assemble("PUSH 1\nRET").expect("asm");
+        let pricey = asm::assemble("PUSH 1\nPUSH 0\nSSTORE\nPUSH 1\nRET").expect("asm");
+        let g1 = run(&cheap, &[]).expect("run").gas_used;
+        let g2 = run(&pricey, &[]).expect("run").gas_used;
+        assert!(g2 > g1 + 15, "SSTORE should dominate: {g1} vs {g2}");
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let src = "PUSH 5\nDUP 0\nADD\nPUSH -3\nSUB\nJMP 6\nHALT\nRET";
+        let p = asm::assemble(src).expect("asm");
+        let bytes = encode(&p);
+        let back = decode(&bytes).expect("decode");
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(&[0xff]).is_err());
+        assert!(decode(&[0x01, 0x00]).is_err()); // truncated PUSH
+        assert!(decode(&[0x30, 0x00]).is_err()); // truncated JMP
+    }
+
+    #[test]
+    fn assembler_errors() {
+        assert!(asm::assemble("BOGUS").is_err());
+        assert!(asm::assemble("PUSH").is_err());
+        assert!(asm::assemble("JMP nowhere").is_err());
+        assert!(asm::assemble("a:\na:\nHALT").is_err());
+    }
+
+    #[test]
+    fn method_dispatch_pattern() {
+        // A two-method contract: "inc" bumps the counter, "get" reads it.
+        let src = format!(
+            r"
+            ARG 0
+            PUSH {inc}
+            EQ
+            JMPI do_inc
+            ARG 0
+            PUSH {get}
+            EQ
+            JMPI do_get
+            PUSH 404
+            REVERT
+        do_inc:
+            PUSH 0
+            SLOAD
+            PUSH 1
+            ADD
+            DUP 0
+            PUSH 0
+            SSTORE
+            RET
+        do_get:
+            PUSH 0
+            SLOAD
+            RET
+        ",
+            inc = method_id("inc"),
+            get = method_id("get"),
+        );
+        let p = asm::assemble(&src).expect("asm");
+        let mut state = ContractState::new();
+        let c = ctx();
+        let r = execute(&p, &mut state, &c, &[method_id("inc")], 10_000).expect("inc");
+        assert_eq!(r.ret, 1);
+        execute(&p, &mut state, &c, &[method_id("inc")], 10_000).expect("inc");
+        let r = execute(&p, &mut state, &c, &[method_id("get")], 10_000).expect("get");
+        assert_eq!(r.ret, 2);
+        let err = execute(&p, &mut state, &c, &[method_id("nope")], 10_000).unwrap_err();
+        assert_eq!(err, VmError::Reverted(404));
+    }
+
+    #[test]
+    fn method_id_is_nonnegative_and_distinct() {
+        assert!(method_id("inc") >= 0);
+        assert_ne!(method_id("inc"), method_id("get"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Attribute-exposure metrics (experiment E9).
+//!
+//! The paper's motivation (Sec. I): "additional but unnecessary
+//! information might influence or even mislead users' judgment", and
+//! proprietary attributes "should not be directly accessed by other
+//! users". This module quantifies both effects for a sharing design:
+//!
+//! * **interference** — attributes exposed to a stakeholder that it is
+//!   *not* interested in (the confusion/fear factor in the paper's
+//!   open-notes example),
+//! * **leakage** — attributes a provider considers private that some
+//!   design exposes anyway (e.g. whole-record sharing),
+//! * **coverage** — interested attributes actually received.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A stakeholder and the attributes it cares about.
+#[derive(Clone, Debug)]
+pub struct InterestProfile {
+    /// Stakeholder name.
+    pub name: String,
+    /// Attributes of the full record this stakeholder is interested in.
+    pub interests: BTreeSet<String>,
+}
+
+impl InterestProfile {
+    /// Builds a profile.
+    pub fn new(name: &str, interests: &[&str]) -> Self {
+        InterestProfile {
+            name: name.to_string(),
+            interests: interests.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// A sharing design: which attributes each stakeholder actually sees.
+#[derive(Clone, Debug, Default)]
+pub struct SharingDesign {
+    /// Stakeholder → exposed attribute set.
+    pub exposed: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl SharingDesign {
+    /// The paper's fine-grained design: each stakeholder sees exactly the
+    /// union of the views it participates in.
+    pub fn fine_grained(views: &[(&str, &[&str])]) -> Self {
+        let mut exposed: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (who, attrs) in views {
+            exposed
+                .entry(who.to_string())
+                .or_default()
+                .extend(attrs.iter().map(|s| s.to_string()));
+        }
+        SharingDesign { exposed }
+    }
+
+    /// The whole-record baseline (MedRec-style record-level access):
+    /// every authorized stakeholder sees all attributes.
+    pub fn whole_record(stakeholders: &[&str], all_attrs: &[&str]) -> Self {
+        let full: BTreeSet<String> = all_attrs.iter().map(|s| s.to_string()).collect();
+        SharingDesign {
+            exposed: stakeholders
+                .iter()
+                .map(|s| (s.to_string(), full.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// Per-stakeholder exposure metrics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExposureRow {
+    /// Stakeholder name.
+    pub name: String,
+    /// Attributes exposed.
+    pub exposed: usize,
+    /// Exposed ∩ interested.
+    pub covered: usize,
+    /// Exposed ∖ interested (interference).
+    pub interference: usize,
+    /// Interested ∖ exposed (unmet interest).
+    pub missing: usize,
+}
+
+/// Computes exposure metrics for every stakeholder profile under a design.
+pub fn exposure_report(design: &SharingDesign, profiles: &[InterestProfile]) -> Vec<ExposureRow> {
+    profiles
+        .iter()
+        .map(|p| {
+            let exposed = design
+                .exposed
+                .get(&p.name)
+                .cloned()
+                .unwrap_or_default();
+            let covered = exposed.intersection(&p.interests).count();
+            let interference = exposed.difference(&p.interests).count();
+            let missing = p.interests.difference(&exposed).count();
+            ExposureRow {
+                name: p.name.clone(),
+                exposed: exposed.len(),
+                covered,
+                interference,
+                missing,
+            }
+        })
+        .collect()
+}
+
+/// Total interference across all stakeholders (lower is better).
+pub fn total_interference(rows: &[ExposureRow]) -> usize {
+    rows.iter().map(|r| r.interference).sum()
+}
+
+/// The paper's Fig. 1 interest profiles.
+pub fn paper_profiles() -> Vec<InterestProfile> {
+    vec![
+        InterestProfile::new(
+            "Patient",
+            &["patient_id", "medication_name", "clinical_data", "address", "dosage"],
+        ),
+        InterestProfile::new(
+            "Researcher",
+            &["medication_name", "mechanism_of_action", "mode_of_action"],
+        ),
+        InterestProfile::new(
+            "Doctor",
+            &[
+                "patient_id",
+                "medication_name",
+                "clinical_data",
+                "mechanism_of_action",
+                "dosage",
+            ],
+        ),
+    ]
+}
+
+/// The paper's Fig. 1 fine-grained design (what each stakeholder holds
+/// locally plus receives through shares).
+pub fn paper_fine_grained_design() -> SharingDesign {
+    SharingDesign::fine_grained(&[
+        (
+            "Patient",
+            &["patient_id", "medication_name", "clinical_data", "address", "dosage"][..],
+        ),
+        (
+            "Researcher",
+            &["medication_name", "mechanism_of_action", "mode_of_action"][..],
+        ),
+        (
+            "Doctor",
+            &[
+                "patient_id",
+                "medication_name",
+                "clinical_data",
+                "mechanism_of_action",
+                "dosage",
+            ][..],
+        ),
+    ])
+}
+
+/// All seven attributes of the full record.
+pub fn all_attrs() -> Vec<&'static str> {
+    vec![
+        "patient_id",
+        "medication_name",
+        "clinical_data",
+        "address",
+        "dosage",
+        "mechanism_of_action",
+        "mode_of_action",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fine_grained_has_zero_interference_in_paper_scenario() {
+        let rows = exposure_report(&paper_fine_grained_design(), &paper_profiles());
+        assert_eq!(total_interference(&rows), 0);
+        // And full coverage.
+        assert!(rows.iter().all(|r| r.missing == 0), "{rows:?}");
+    }
+
+    #[test]
+    fn whole_record_exposes_unwanted_attributes() {
+        let design = SharingDesign::whole_record(
+            &["Patient", "Researcher", "Doctor"],
+            &all_attrs(),
+        );
+        let rows = exposure_report(&design, &paper_profiles());
+        // Researcher is interested in 3 of 7 attrs → 4 interfering.
+        let researcher = rows.iter().find(|r| r.name == "Researcher").expect("row");
+        assert_eq!(researcher.exposed, 7);
+        assert_eq!(researcher.interference, 4);
+        // The fine-grained design strictly dominates on interference.
+        let fg = exposure_report(&paper_fine_grained_design(), &paper_profiles());
+        assert!(total_interference(&rows) > total_interference(&fg));
+    }
+
+    #[test]
+    fn missing_counts_unmet_interest() {
+        let design = SharingDesign::fine_grained(&[("Patient", &["dosage"][..])]);
+        let rows = exposure_report(&design, &paper_profiles());
+        let patient = rows.iter().find(|r| r.name == "Patient").expect("row");
+        assert_eq!(patient.covered, 1);
+        assert_eq!(patient.missing, 4);
+        assert_eq!(patient.interference, 0);
+    }
+
+    #[test]
+    fn unknown_stakeholder_sees_nothing() {
+        let design = paper_fine_grained_design();
+        let rows = exposure_report(
+            &design,
+            &[InterestProfile::new("Insurer", &["dosage"])],
+        );
+        assert_eq!(rows[0].exposed, 0);
+        assert_eq!(rows[0].missing, 1);
+    }
+}

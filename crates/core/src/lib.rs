@@ -1,0 +1,41 @@
+//! # medledger-core
+//!
+//! The paper's system: blockchain-based bidirectional updates on
+//! fine-grained medical data.
+//!
+//! This crate assembles the substrates (`relational`, `bx`, `ledger`,
+//! `contracts`, `consensus`, `network`, `crypto`) into the architecture of
+//! the paper's Fig. 2:
+//!
+//! * [`peer::PeerNode`] — a stakeholder (Patient / Doctor / Researcher)
+//!   with a local database holding source tables and materialized shared
+//!   views, plus the **database manager** that runs BX programs,
+//! * [`agreement::SharingAgreement`] — the pairwise protocol: which lens
+//!   each peer uses to derive the shared table from its own source, and
+//!   the Fig. 3 permission matrix registered on the sharing contract,
+//! * [`system::System`] — the whole simulated deployment: peers, the
+//!   permissioned chain with PBFT (or a public-PoW model), the sharing
+//!   contract, and the Fig. 4 / Fig. 5 workflows with numbered traces,
+//! * [`scenario`] — the paper's exact Fig. 1 scenario, programmatically,
+//! * [`baselines`] — storage models of HDG [22] and MedRec [4] for the
+//!   E8/E9 comparisons,
+//! * [`exposure`] — the attribute-exposure metrics behind the paper's
+//!   privacy claims.
+//!
+//! See DESIGN.md for the experiment index and EXPERIMENTS.md for results.
+
+pub mod agreement;
+pub mod baselines;
+pub mod error;
+pub mod exposure;
+pub mod peer;
+pub mod scenario;
+pub mod system;
+
+pub use agreement::{PeerBinding, SharingAgreement};
+pub use error::CoreError;
+pub use peer::PeerNode;
+pub use system::{ConsensusKind, System, SystemConfig, UpdateReport, WorkflowTrace};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

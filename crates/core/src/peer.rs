@@ -1,0 +1,535 @@
+//! Peer nodes: a stakeholder's client, server app and database manager.
+
+use crate::agreement::PeerBinding;
+use crate::error::CoreError;
+use crate::Result;
+use medledger_bx::{analysis, changed_attrs, exec};
+use medledger_crypto::{Hash256, KeyPair};
+use medledger_ledger::AccountId;
+use medledger_relational::{Database, Schema, Table, WriteOp};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A peer (Patient, Doctor, Researcher, …) in the Fig. 2 architecture.
+///
+/// The peer's [`Database`] holds its *source* tables (full local data)
+/// plus a materialized copy of every shared table it participates in
+/// (stored under the shared table id). The **database manager** methods
+/// ([`PeerNode::regenerate_view`], [`PeerNode::apply_remote_view`]) are
+/// the paper's "BX" boxes: they run `get` to refresh shared copies from
+/// the source and `put` to reflect shared-table changes back into it.
+#[derive(Clone, Debug)]
+pub struct PeerNode {
+    /// Human-readable name ("Patient", "Doctor", …).
+    pub name: String,
+    /// Ledger account (also the public signing key).
+    pub account: AccountId,
+    /// Signing keys for ledger transactions.
+    pub keys: KeyPair,
+    /// Local database: sources + materialized shared tables.
+    pub db: Database,
+    /// Shared-table bindings this peer participates in.
+    bindings: BTreeMap<String, PeerBinding>,
+    /// Per shared table: the view as of the last version committed on
+    /// chain. Diffing against this baseline yields the `changed_attrs`
+    /// the contract checks write permission on.
+    baselines: BTreeMap<String, Table>,
+    /// Last applied version per shared table (mirror of contract state).
+    pub applied_versions: BTreeMap<String, u64>,
+    /// Next ledger nonce.
+    pub next_nonce: u64,
+}
+
+impl PeerNode {
+    /// Creates a peer with a deterministic key derived from `name` and
+    /// `seed`, able to sign `key_capacity` transactions.
+    pub fn new(name: impl Into<String>, seed: &str, key_capacity: usize) -> Self {
+        let name = name.into();
+        let keys = KeyPair::generate(&format!("{seed}-peer-{name}"), key_capacity);
+        PeerNode {
+            account: keys.public(),
+            db: Database::new(name.clone()),
+            name,
+            keys,
+            bindings: BTreeMap::new(),
+            baselines: BTreeMap::new(),
+            applied_versions: BTreeMap::new(),
+            next_nonce: 0,
+        }
+    }
+
+    /// Registers a source table with initial contents.
+    pub fn add_source_table(&mut self, name: &str, table: Table) -> Result<()> {
+        self.db.put_table(name, table)?;
+        Ok(())
+    }
+
+    /// Creates an empty source table.
+    pub fn create_source_table(&mut self, name: &str, schema: Schema) -> Result<()> {
+        self.db.create_table(name, schema)?;
+        Ok(())
+    }
+
+    /// Joins a shared table: records the binding, materializes the view
+    /// via the lens's `get`, and stores it under `table_id`.
+    pub fn join_share(&mut self, table_id: &str, binding: PeerBinding) -> Result<Hash256> {
+        let source = self.db.table(&binding.source_table)?;
+        let view = exec::get(&binding.lens, source)?;
+        let hash = view.content_hash();
+        if self.db.has_table(table_id) {
+            return Err(CoreError::BadAgreement(format!(
+                "peer {} already participates in `{table_id}`",
+                self.name
+            )));
+        }
+        self.db.put_table(table_id, view.clone())?;
+        self.bindings.insert(table_id.to_string(), binding);
+        self.baselines.insert(table_id.to_string(), view);
+        self.applied_versions.insert(table_id.to_string(), 0);
+        Ok(hash)
+    }
+
+    /// Leaves a share: drops the local materialized copy and binding.
+    pub fn leave_share(&mut self, table_id: &str) -> Result<()> {
+        self.binding(table_id)?;
+        self.bindings.remove(table_id);
+        self.baselines.remove(table_id);
+        self.applied_versions.remove(table_id);
+        self.db.drop_table(table_id)?;
+        Ok(())
+    }
+
+    /// The binding for a shared table.
+    pub fn binding(&self, table_id: &str) -> Result<&PeerBinding> {
+        self.bindings
+            .get(table_id)
+            .ok_or_else(|| CoreError::UnknownShare(table_id.to_string()))
+    }
+
+    /// Shared table ids this peer participates in.
+    pub fn shares(&self) -> Vec<&str> {
+        self.bindings.keys().map(String::as_str).collect()
+    }
+
+    /// Applies a local write to a **source** table (Fig. 5 step 0: the
+    /// Researcher edits D2 before propagating).
+    pub fn write_source(&mut self, table: &str, op: WriteOp) -> Result<()> {
+        if self.bindings.contains_key(table) {
+            return Err(CoreError::BadAgreement(format!(
+                "`{table}` is a shared table; edit the source and propagate, \
+                 or use write_shared"
+            )));
+        }
+        self.db.apply(table, op)?;
+        Ok(())
+    }
+
+    /// Applies a local write directly to a **shared** table copy and
+    /// immediately reflects it into the source via `put` (entry-level
+    /// CRUD on shared data, Fig. 4). The caller still must propagate.
+    pub fn write_shared(&mut self, table_id: &str, op: WriteOp) -> Result<()> {
+        let binding = self.binding(table_id)?.clone();
+        self.db.apply(table_id, op)?;
+        let view = self.db.table(table_id)?.clone();
+        let source = self.db.table(&binding.source_table)?;
+        let new_source = exec::put(&binding.lens, source, &view)?;
+        let rows: Vec<medledger_relational::Row> = new_source.rows().cloned().collect();
+        self.db
+            .apply(&binding.source_table, WriteOp::Replace { rows })?;
+        Ok(())
+    }
+
+    /// Regenerates the shared view from the (possibly updated) source
+    /// without storing it (Fig. 5 step 1 uses the result to diff).
+    pub fn regenerate_view(&self, table_id: &str) -> Result<Table> {
+        let binding = self.binding(table_id)?;
+        let source = self.db.table(&binding.source_table)?;
+        Ok(exec::get(&binding.lens, source)?)
+    }
+
+    /// The stored (materialized) copy of a shared table.
+    pub fn shared_table(&self, table_id: &str) -> Result<&Table> {
+        self.binding(table_id)?;
+        Ok(self.db.table(table_id)?)
+    }
+
+    /// Content hash of the stored shared copy.
+    pub fn shared_hash(&self, table_id: &str) -> Result<Hash256> {
+        Ok(self.shared_table(table_id)?.content_hash())
+    }
+
+    /// Refreshes the stored shared copy from the local source (after the
+    /// updater's own source edit, Fig. 5 step 1 / step 7). Returns the
+    /// changed attributes relative to the previous stored copy.
+    pub fn refresh_view(&mut self, table_id: &str) -> Result<BTreeSet<String>> {
+        let new_view = self.regenerate_view(table_id)?;
+        let old_view = self.db.table(table_id)?;
+        let attrs = changed_attrs(old_view, &new_view);
+        if !attrs.is_empty() {
+            let rows: Vec<medledger_relational::Row> = new_view.rows().cloned().collect();
+            self.db.apply(table_id, WriteOp::Replace { rows })?;
+        }
+        Ok(attrs)
+    }
+
+    /// Applies a shared table received from the updating peer (Fig. 5
+    /// steps 4–5 / 10–11): verifies the announced hash, replaces the
+    /// stored copy, and reflects the change into the source via `put`.
+    pub fn apply_remote_view(
+        &mut self,
+        table_id: &str,
+        new_view: &Table,
+        announced_hash: Hash256,
+        version: u64,
+    ) -> Result<()> {
+        if new_view.content_hash() != announced_hash {
+            return Err(CoreError::ConsistencyViolation(format!(
+                "received `{table_id}` data hashing to {} but contract announced {}",
+                new_view.content_hash().short(),
+                announced_hash.short()
+            )));
+        }
+        let binding = self.binding(table_id)?.clone();
+        // put: reflect the view change into the source.
+        let source = self.db.table(&binding.source_table)?;
+        let new_source = exec::put(&binding.lens, source, new_view)?;
+        let src_rows: Vec<medledger_relational::Row> = new_source.rows().cloned().collect();
+        self.db
+            .apply(&binding.source_table, WriteOp::Replace { rows: src_rows })?;
+        // Refresh the stored shared copy and the committed baseline.
+        let view_rows: Vec<medledger_relational::Row> = new_view.rows().cloned().collect();
+        self.db.apply(table_id, WriteOp::Replace { rows: view_rows })?;
+        self.baselines.insert(table_id.to_string(), new_view.clone());
+        self.applied_versions.insert(table_id.to_string(), version);
+        Ok(())
+    }
+
+    /// The view as of the last committed version.
+    pub fn baseline(&self, table_id: &str) -> Result<&Table> {
+        self.baselines
+            .get(table_id)
+            .ok_or_else(|| CoreError::UnknownShare(table_id.to_string()))
+    }
+
+    /// Marks `view` as committed at `version`: replaces the stored shared
+    /// copy and the baseline (called on the updater after the contract
+    /// accepted its `request_update`).
+    pub fn commit_view(&mut self, table_id: &str, view: &Table, version: u64) -> Result<()> {
+        self.binding(table_id)?;
+        let rows: Vec<medledger_relational::Row> = view.rows().cloned().collect();
+        self.db.apply(table_id, WriteOp::Replace { rows })?;
+        self.baselines.insert(table_id.to_string(), view.clone());
+        self.applied_versions.insert(table_id.to_string(), version);
+        Ok(())
+    }
+
+    /// The Fig. 5 **Step 6** dependency check: other shares of this peer
+    /// whose lens footprint (on the same source) overlaps the footprint of
+    /// `table_id`'s lens. These are the candidates for cascaded
+    /// regeneration.
+    pub fn overlapping_shares(&self, table_id: &str) -> Result<Vec<String>> {
+        let binding = self.binding(table_id)?;
+        let source_schema = self.db.table(&binding.source_table)?.schema().clone();
+        let base = analysis::analyze(&binding.lens, &source_schema)?;
+        let mut out = Vec::new();
+        for (other_id, other_binding) in &self.bindings {
+            if other_id == table_id || other_binding.source_table != binding.source_table {
+                continue;
+            }
+            let other = analysis::analyze(&other_binding.lens, &source_schema)?;
+            if base.overlaps(&other) {
+                out.push(other_id.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Allocates the next transaction nonce.
+    pub fn take_nonce(&mut self) -> u64 {
+        let n = self.next_nonce;
+        self.next_nonce += 1;
+        n
+    }
+
+    /// A full snapshot of the peer's database (for revert-on-deny).
+    pub fn snapshot(&self) -> Database {
+        self.db.clone()
+    }
+
+    /// Restores a database snapshot.
+    pub fn restore(&mut self, snapshot: Database) {
+        self.db = snapshot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medledger_bx::LensSpec;
+    use medledger_relational::{row, Value};
+    use medledger_workload::{fig1_full_records, full_records_schema};
+
+    fn d3_table() -> Table {
+        fig1_full_records()
+            .project(
+                &[
+                    "patient_id",
+                    "medication_name",
+                    "clinical_data",
+                    "mechanism_of_action",
+                    "dosage",
+                ],
+                &["patient_id"],
+            )
+            .expect("D3 projection")
+    }
+
+    fn doctor_with_shares() -> PeerNode {
+        let mut doctor = PeerNode::new("Doctor", "peer-test", 16);
+        doctor.add_source_table("D3", d3_table()).expect("add D3");
+        // BX31: share with Patient.
+        doctor
+            .join_share(
+                "D13&D31",
+                PeerBinding {
+                    source_table: "D3".into(),
+                    lens: LensSpec::project(
+                        &["patient_id", "medication_name", "clinical_data", "dosage"],
+                        &["patient_id"],
+                    ),
+                },
+            )
+            .expect("join D31");
+        // BX32: share with Researcher.
+        doctor
+            .join_share(
+                "D23&D32",
+                PeerBinding {
+                    source_table: "D3".into(),
+                    lens: LensSpec::project_distinct(
+                        &["medication_name", "mechanism_of_action"],
+                        &["medication_name"],
+                    ),
+                },
+            )
+            .expect("join D32");
+        doctor
+    }
+
+    #[test]
+    fn join_share_materializes_view() {
+        let doctor = doctor_with_shares();
+        let d31 = doctor.shared_table("D13&D31").expect("D31");
+        assert_eq!(d31.len(), 2);
+        assert_eq!(
+            d31.schema().column_names(),
+            vec!["patient_id", "medication_name", "clinical_data", "dosage"]
+        );
+        let d32 = doctor.shared_table("D23&D32").expect("D32");
+        assert_eq!(d32.len(), 2);
+        assert_eq!(doctor.shares().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_join_rejected() {
+        let mut doctor = doctor_with_shares();
+        let err = doctor
+            .join_share(
+                "D13&D31",
+                PeerBinding {
+                    source_table: "D3".into(),
+                    lens: LensSpec::select(medledger_relational::Predicate::True),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::BadAgreement(_)));
+    }
+
+    #[test]
+    fn refresh_view_reports_changed_attrs() {
+        let mut doctor = doctor_with_shares();
+        doctor
+            .db
+            .apply(
+                "D3",
+                WriteOp::Update {
+                    key: vec![Value::Int(188)],
+                    assignments: vec![("dosage".into(), Value::text("stop"))],
+                },
+            )
+            .expect("edit source");
+        let attrs = doctor.refresh_view("D13&D31").expect("refresh");
+        assert_eq!(attrs.into_iter().collect::<Vec<_>>(), vec!["dosage"]);
+        // Stored copy updated.
+        let d31 = doctor.shared_table("D13&D31").expect("D31");
+        assert_eq!(
+            d31.get(&[Value::Int(188)]).expect("row")[3],
+            Value::text("stop")
+        );
+        // No further changes → empty set.
+        assert!(doctor.refresh_view("D13&D31").expect("refresh").is_empty());
+    }
+
+    #[test]
+    fn apply_remote_view_puts_into_source() {
+        let mut doctor = doctor_with_shares();
+        // Researcher updated MeA1 → MeA1-new in the shared D23&D32.
+        let mut new_view = doctor.shared_table("D23&D32").expect("D32").clone();
+        new_view
+            .update(
+                &[Value::text("Ibuprofen")],
+                &[("mechanism_of_action", Value::text("MeA1-new"))],
+            )
+            .expect("edit view");
+        let hash = new_view.content_hash();
+        doctor
+            .apply_remote_view("D23&D32", &new_view, hash, 1)
+            .expect("apply");
+        // Source D3 reflects the change.
+        let d3 = doctor.db.table("D3").expect("D3");
+        assert_eq!(
+            d3.get(&[Value::Int(188)]).expect("row")[3],
+            Value::text("MeA1-new")
+        );
+        assert_eq!(doctor.applied_versions["D23&D32"], 1);
+    }
+
+    #[test]
+    fn apply_remote_view_rejects_hash_mismatch() {
+        let mut doctor = doctor_with_shares();
+        let view = doctor.shared_table("D23&D32").expect("D32").clone();
+        let err = doctor
+            .apply_remote_view("D23&D32", &view, Hash256([9; 32]), 1)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ConsistencyViolation(_)));
+    }
+
+    #[test]
+    fn step6_overlap_detects_d31_d32_dependency() {
+        let doctor = doctor_with_shares();
+        // D31 and D32 share `medication_name` on D3.
+        assert_eq!(
+            doctor.overlapping_shares("D23&D32").expect("overlap"),
+            vec!["D13&D31".to_string()]
+        );
+        assert_eq!(
+            doctor.overlapping_shares("D13&D31").expect("overlap"),
+            vec!["D23&D32".to_string()]
+        );
+    }
+
+    #[test]
+    fn step6_no_overlap_for_disjoint_lenses() {
+        let mut doctor = PeerNode::new("Doctor", "disjoint", 8);
+        doctor.add_source_table("D3", d3_table()).expect("add");
+        doctor
+            .join_share(
+                "dose-share",
+                PeerBinding {
+                    source_table: "D3".into(),
+                    lens: LensSpec::project(&["patient_id", "dosage"], &["patient_id"]),
+                },
+            )
+            .expect("join");
+        doctor
+            .join_share(
+                "mech-share",
+                PeerBinding {
+                    source_table: "D3".into(),
+                    lens: LensSpec::project_distinct(
+                        &["mechanism_of_action"],
+                        &["mechanism_of_action"],
+                    ),
+                },
+            )
+            .expect("join");
+        assert!(doctor
+            .overlapping_shares("dose-share")
+            .expect("overlap")
+            .is_empty());
+    }
+
+    #[test]
+    fn write_shared_round_trips_into_source() {
+        let mut doctor = doctor_with_shares();
+        doctor
+            .write_shared(
+                "D13&D31",
+                WriteOp::Update {
+                    key: vec![Value::Int(189)],
+                    assignments: vec![("dosage".into(), Value::text("50 mg once"))],
+                },
+            )
+            .expect("write shared");
+        let d3 = doctor.db.table("D3").expect("D3");
+        assert_eq!(
+            d3.get(&[Value::Int(189)]).expect("row")[4],
+            Value::text("50 mg once")
+        );
+    }
+
+    #[test]
+    fn write_source_rejects_shared_tables() {
+        let mut doctor = doctor_with_shares();
+        let err = doctor
+            .write_source(
+                "D13&D31",
+                WriteOp::Delete {
+                    key: vec![Value::Int(188)],
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::BadAgreement(_)));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut doctor = doctor_with_shares();
+        let snap = doctor.snapshot();
+        doctor
+            .db
+            .apply(
+                "D3",
+                WriteOp::Delete {
+                    key: vec![Value::Int(188)],
+                },
+            )
+            .expect("delete");
+        assert_eq!(doctor.db.table("D3").expect("D3").len(), 1);
+        doctor.restore(snap);
+        assert_eq!(doctor.db.table("D3").expect("D3").len(), 2);
+    }
+
+    #[test]
+    fn leave_share_cleans_up() {
+        let mut doctor = doctor_with_shares();
+        doctor.leave_share("D23&D32").expect("leave");
+        assert_eq!(doctor.shares(), vec!["D13&D31"]);
+        assert!(!doctor.db.has_table("D23&D32"));
+        assert!(doctor.leave_share("D23&D32").is_err());
+    }
+
+    #[test]
+    fn nonce_allocation_is_sequential() {
+        let mut p = PeerNode::new("P", "nonce", 4);
+        assert_eq!(p.take_nonce(), 0);
+        assert_eq!(p.take_nonce(), 1);
+        assert_eq!(p.take_nonce(), 2);
+    }
+
+    #[test]
+    fn full_records_schema_available() {
+        // Sanity: the workload schema matches what peers expect to split.
+        let s = full_records_schema();
+        assert_eq!(s.arity(), 7);
+        let mut p = PeerNode::new("P", "schema", 4);
+        p.create_source_table("full", s).expect("create");
+        p.db
+            .apply(
+                "full",
+                WriteOp::Insert {
+                    row: row![1i64, "m", "c", "a", "d", "me", "mo"],
+                },
+            )
+            .expect("insert");
+    }
+}

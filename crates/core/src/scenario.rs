@@ -1,0 +1,387 @@
+//! The paper's Fig. 1 / Fig. 5 scenario, programmatically.
+//!
+//! Three peers — Patient, Doctor, Researcher — share slices of the full
+//! medical records exactly as in Fig. 1:
+//!
+//! * `D1` (Patient's source): a0–a4,
+//! * `D2` (Researcher's source): a1, a5, a6, keyed by medication,
+//! * `D3` (Doctor's source): a0, a1, a2, a5, a4,
+//! * shared `D13&D31` (Patient ↔ Doctor): a0, a1, a2, a4,
+//! * shared `D23&D32` (Researcher ↔ Doctor): a1, a5,
+//!
+//! with the Fig. 3 permission matrix (Doctor writes medication and dosage,
+//! Patient and Doctor write clinical data; Researcher writes the
+//! mechanism; Doctor and Researcher may write the medication name on the
+//! research share). The key attribute of each shared table is registered
+//! with a writer set too, so inserts/deletes (which touch the key) are
+//! permission-checked like any other attribute.
+
+use crate::agreement::SharingAgreement;
+use crate::system::{System, SystemConfig, UpdateReport};
+use crate::Result;
+use medledger_bx::LensSpec;
+use medledger_ledger::AccountId;
+use medledger_relational::{Predicate, Value, WriteOp};
+use medledger_workload::fig1_full_records;
+
+/// Shared table between Patient and Doctor (Fig. 1's D13 / D31).
+pub const SHARE_PD: &str = "D13&D31";
+/// Shared table between Researcher and Doctor (Fig. 1's D23 / D32).
+pub const SHARE_RD: &str = "D23&D32";
+/// Patient peer name.
+pub const PATIENT: &str = "Patient";
+/// Doctor peer name.
+pub const DOCTOR: &str = "Doctor";
+/// Researcher peer name.
+pub const RESEARCHER: &str = "Researcher";
+
+/// Handles into the built scenario.
+pub struct Fig1Scenario {
+    /// The running system.
+    pub system: System,
+    /// Patient account.
+    pub patient: AccountId,
+    /// Doctor account.
+    pub doctor: AccountId,
+    /// Researcher account.
+    pub researcher: AccountId,
+}
+
+/// The lens BX13: Patient's D1 → D13 (a0, a1, a2, a4; D1 holds only the
+/// patient's own row, so no selection is needed).
+pub fn bx13_lens() -> LensSpec {
+    LensSpec::project(
+        &["patient_id", "medication_name", "clinical_data", "dosage"],
+        &["patient_id"],
+    )
+}
+
+/// The lens BX31: Doctor's D3 → D31. The doctor's source holds *all*
+/// patients, so the lens first selects patient 188's row (the sharing
+/// peer), then projects the patient-facing slice.
+pub fn bx31_lens() -> LensSpec {
+    LensSpec::select(Predicate::eq("patient_id", Value::Int(188))).compose(bx13_lens())
+}
+
+/// The lens BX23: Researcher's D2 → D23 (a1, a5; D2 is already keyed by
+/// medication, so this is a key-preserving projection). A view-side
+/// insert (e.g. a cascaded medication rename) fills the dropped
+/// `mode_of_action` column with a declared default.
+pub fn bx23_lens() -> LensSpec {
+    LensSpec::project_with_defaults(
+        &["medication_name", "mechanism_of_action"],
+        &["medication_name"],
+        &[("mode_of_action", Value::text("unknown"))],
+    )
+}
+
+/// The lens BX32: Doctor's D3 → D32 (a1, a5 with duplicate elimination
+/// under the FD medication → mechanism).
+pub fn bx32_lens() -> LensSpec {
+    LensSpec::project_distinct(
+        &["medication_name", "mechanism_of_action"],
+        &["medication_name"],
+    )
+}
+
+/// Builds the Fig. 1 scenario on a fresh system.
+pub fn build(config: SystemConfig) -> Result<Fig1Scenario> {
+    let mut system = System::bootstrap(config)?;
+    let patient = system.add_peer(PATIENT)?;
+    let doctor = system.add_peer(DOCTOR)?;
+    let researcher = system.add_peer(RESEARCHER)?;
+
+    let full = fig1_full_records();
+    // Fig. 1 source tables as projections of the full records.
+    // D1 holds only the patient's own record (Fig. 1 shows one row).
+    let d1 = full
+        .select(&Predicate::eq("patient_id", Value::Int(188)))?
+        .project(
+            &["patient_id", "medication_name", "clinical_data", "address", "dosage"],
+            &["patient_id"],
+        )?;
+    let d2 = full.project_distinct(
+        &["medication_name", "mechanism_of_action", "mode_of_action"],
+        &["medication_name"],
+    )?;
+    let d3 = full.project(
+        &[
+            "patient_id",
+            "medication_name",
+            "clinical_data",
+            "mechanism_of_action",
+            "dosage",
+        ],
+        &["patient_id"],
+    )?;
+    system.peer_mut(PATIENT)?.add_source_table("D1", d1)?;
+    system.peer_mut(RESEARCHER)?.add_source_table("D2", d2)?;
+    system.peer_mut(DOCTOR)?.add_source_table("D3", d3)?;
+
+    // Share D13&D31 with the Fig. 3 permission row.
+    let share_pd = SharingAgreement::builder(SHARE_PD)
+        .bind(patient, "D1", bx13_lens())
+        .bind(doctor, "D3", bx31_lens())
+        .allow_write("patient_id", &[doctor])
+        .allow_write("medication_name", &[doctor])
+        .allow_write("dosage", &[doctor])
+        .allow_write("clinical_data", &[patient, doctor])
+        .authority(doctor)
+        .build();
+    system.create_share(&share_pd)?;
+
+    // Share D23&D32 with the Fig. 3 permission row.
+    let share_rd = SharingAgreement::builder(SHARE_RD)
+        .bind(researcher, "D2", bx23_lens())
+        .bind(doctor, "D3", bx32_lens())
+        .allow_write("medication_name", &[doctor, researcher])
+        .allow_write("mechanism_of_action", &[researcher])
+        .authority(researcher)
+        .build();
+    system.create_share(&share_rd)?;
+
+    Ok(Fig1Scenario {
+        system,
+        patient,
+        doctor,
+        researcher,
+    })
+}
+
+/// Runs the paper's Fig. 5 narrative:
+///
+/// 1. the Researcher updates `MeA1` on its source D2 and propagates
+///    through `D23&D32` (Steps 1–5; Step 6 finds no content change in
+///    `D13&D31`, so Steps 7–11 are skipped), then
+/// 2. the Doctor decides to update the Dosage and propagates through
+///    `D13&D31` (the paper's Steps 7–11).
+///
+/// Returns both reports (researcher's, doctor's).
+pub fn run_fig5(scn: &mut Fig1Scenario) -> Result<(UpdateReport, UpdateReport)> {
+    // Researcher edits the mechanism on its own source.
+    scn.system.peer_mut(RESEARCHER)?.write_source(
+        "D2",
+        WriteOp::Update {
+            key: vec![Value::text("Ibuprofen")],
+            assignments: vec![(
+                "mechanism_of_action".into(),
+                Value::text("MeA1-revised"),
+            )],
+        },
+    )?;
+    let researcher_report = scn.system.propagate_update(scn.researcher, SHARE_RD)?;
+
+    // Doctor decides to modify the dosage on D31 (paper Step 7).
+    scn.system.peer_mut(DOCTOR)?.write_shared(
+        SHARE_PD,
+        WriteOp::Update {
+            key: vec![Value::Int(188)],
+            assignments: vec![("dosage".into(), Value::text("two tablets every 6h"))],
+        },
+    )?;
+    let doctor_report = scn.system.propagate_update(scn.doctor, SHARE_PD)?;
+
+    Ok((researcher_report, doctor_report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> SystemConfig {
+        SystemConfig {
+            consensus: crate::system::ConsensusKind::PrivatePbft {
+                block_interval_ms: 100,
+            },
+            seed: "scenario-test".into(),
+            peer_key_capacity: 64,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fig1_views_match_paper() {
+        let scn = build(fast_config()).expect("build");
+        // D13 on Patient == D31 on Doctor, byte for byte.
+        let d13 = scn.system.peer(PATIENT).expect("peer").shared_table(SHARE_PD).expect("D13");
+        let d31 = scn.system.peer(DOCTOR).expect("peer").shared_table(SHARE_PD).expect("D31");
+        assert_eq!(d13.content_hash(), d31.content_hash());
+        assert_eq!(d13.len(), 1, "only patient 188 is in D1");
+        // D23 == D32.
+        let d23 = scn
+            .system
+            .peer(RESEARCHER)
+            .expect("peer")
+            .shared_table(SHARE_RD)
+            .expect("D23");
+        let d32 = scn.system.peer(DOCTOR).expect("peer").shared_table(SHARE_RD).expect("D32");
+        assert_eq!(d23.content_hash(), d32.content_hash());
+        assert_eq!(d23.len(), 2);
+        scn.system.check_consistency().expect("consistent");
+    }
+
+    #[test]
+    fn fig3_metadata_rows_on_contract() {
+        let scn = build(fast_config()).expect("build");
+        let meta = scn.system.share_meta(SHARE_PD).expect("meta");
+        assert_eq!(meta.peers.len(), 2);
+        assert_eq!(meta.authority, scn.doctor);
+        assert!(meta.write_permission["clinical_data"].contains(&scn.patient));
+        assert!(!meta.write_permission["dosage"].contains(&scn.patient));
+        let meta_rd = scn.system.share_meta(SHARE_RD).expect("meta");
+        assert_eq!(meta_rd.authority, scn.researcher);
+        assert!(meta_rd.write_permission["mechanism_of_action"].contains(&scn.researcher));
+    }
+
+    #[test]
+    fn fig5_full_workflow() {
+        let mut scn = build(fast_config()).expect("build");
+        let (r_report, d_report) = run_fig5(&mut scn).expect("fig5");
+
+        // Researcher's update propagated the mechanism to the Doctor's D3.
+        let d3 = scn.system.peer(DOCTOR).expect("peer").db.table("D3").expect("D3");
+        assert_eq!(
+            d3.get(&[Value::Int(188)]).expect("row")[3],
+            Value::text("MeA1-revised")
+        );
+        // Step 6 ran and found no cascade.
+        assert!(r_report
+            .trace
+            .steps
+            .iter()
+            .any(|s| s.number == "6" && s.description.contains("no cascade")));
+        assert!(r_report.cascades.is_empty());
+
+        // Doctor's dosage update reached the Patient's D1.
+        let d1 = scn.system.peer(PATIENT).expect("peer").db.table("D1").expect("D1");
+        assert_eq!(
+            d1.get(&[Value::Int(188)]).expect("row")[4],
+            Value::text("two tablets every 6h")
+        );
+        assert_eq!(d_report.changed_attrs, vec!["dosage".to_string()]);
+
+        // All shared tables are consistent and synced afterwards.
+        scn.system.check_consistency().expect("consistent");
+        assert!(scn.system.share_meta(SHARE_PD).expect("meta").synced());
+        assert!(scn.system.share_meta(SHARE_RD).expect("meta").synced());
+
+        // Audit history shows the updates on chain.
+        let hist = scn.system.audit(SHARE_RD);
+        assert!(hist
+            .iter()
+            .any(|e| e.method.as_deref() == Some("request_update")));
+        assert!(hist.iter().any(|e| e.method.as_deref() == Some("ack_update")));
+    }
+
+    #[test]
+    fn patient_dosage_update_denied_then_granted() {
+        // The paper's permission-change example: Patient cannot write
+        // Dosage until the Doctor grants it.
+        let mut scn = build(fast_config()).expect("build");
+        scn.system
+            .peer_mut(PATIENT)
+            .expect("peer")
+            .write_shared(
+                SHARE_PD,
+                WriteOp::Update {
+                    key: vec![Value::Int(188)],
+                    assignments: vec![("dosage".into(), Value::text("self-medicating"))],
+                },
+            )
+            .expect("local edit");
+        let err = scn
+            .system
+            .propagate_update(scn.patient, SHARE_PD)
+            .unwrap_err();
+        assert!(matches!(err, crate::CoreError::TxReverted(_)), "{err}");
+
+        // Doctor grants Patient write on dosage (Fig. 3 example).
+        let (doctor, patient) = (scn.doctor, scn.patient);
+        scn.system
+            .change_permission(doctor, SHARE_PD, "dosage", &[doctor, patient])
+            .expect("grant");
+        let report = scn
+            .system
+            .propagate_update(scn.patient, SHARE_PD)
+            .expect("now permitted");
+        assert_eq!(report.changed_attrs, vec!["dosage".to_string()]);
+        // The Doctor's D3 now carries the patient's dosage edit.
+        let d3 = scn.system.peer(DOCTOR).expect("peer").db.table("D3").expect("D3");
+        assert_eq!(
+            d3.get(&[Value::Int(188)]).expect("row")[4],
+            Value::text("self-medicating")
+        );
+        scn.system.check_consistency().expect("consistent");
+    }
+
+    #[test]
+    fn medication_rename_cascades_to_researcher() {
+        // A Doctor-side medication rename through D13&D31 rewrites D3;
+        // D32 (which also reads medication_name) then differs from its
+        // baseline, so Step 6 fires a cascade into D23&D32. A rename
+        // changes the view key of D32, so the cascade's diff counts every
+        // attribute (row delete + insert) — the Doctor therefore needs
+        // write permission on mechanism_of_action too, which the
+        // Researcher (the share's authority) grants first.
+        let mut scn = build(fast_config()).expect("build");
+        let (doctor, researcher) = (scn.doctor, scn.researcher);
+        scn.system
+            .change_permission(researcher, SHARE_RD, "mechanism_of_action", &[doctor, researcher])
+            .expect("grant");
+        scn.system
+            .peer_mut(DOCTOR)
+            .expect("peer")
+            .write_shared(
+                SHARE_PD,
+                WriteOp::Update {
+                    key: vec![Value::Int(188)],
+                    assignments: vec![("medication_name".into(), Value::text("IbuprofenXR"))],
+                },
+            )
+            .expect("local edit");
+        let report = scn.system.propagate_update(scn.doctor, SHARE_PD).expect("propagate");
+        // Step 6 on the Doctor fires a cascade into D23&D32.
+        assert_eq!(report.cascades.len(), 1, "trace:\n{}", report.trace.render());
+        assert_eq!(report.cascades[0].table_id, SHARE_RD);
+        // The Researcher's D2 now has the renamed medication.
+        let d2 = scn
+            .system
+            .peer(RESEARCHER)
+            .expect("peer")
+            .db
+            .table("D2")
+            .expect("D2");
+        assert!(d2.get(&[Value::text("IbuprofenXR")]).is_some());
+        scn.system.check_consistency().expect("consistent");
+    }
+
+    #[test]
+    fn blocked_cascade_is_recorded_not_fatal() {
+        // Without the mechanism grant, the same rename commits on
+        // D13&D31 but the cascade into D23&D32 is permission-blocked and
+        // recorded in failed_cascades.
+        let mut scn = build(fast_config()).expect("build");
+        scn.system
+            .peer_mut(DOCTOR)
+            .expect("peer")
+            .write_shared(
+                SHARE_PD,
+                WriteOp::Update {
+                    key: vec![Value::Int(188)],
+                    assignments: vec![("medication_name".into(), Value::text("IbuprofenXR"))],
+                },
+            )
+            .expect("local edit");
+        let report = scn.system.propagate_update(scn.doctor, SHARE_PD).expect("propagate");
+        assert!(report.cascades.is_empty());
+        assert_eq!(report.failed_cascades.len(), 1);
+        assert_eq!(report.failed_cascades[0].0, SHARE_RD);
+        // The parent update still reached the Patient.
+        let d1 = scn.system.peer(PATIENT).expect("peer").db.table("D1").expect("D1");
+        assert_eq!(
+            d1.get(&[Value::Int(188)]).expect("row")[1],
+            Value::text("IbuprofenXR")
+        );
+        scn.system.check_consistency().expect("consistent");
+    }
+}

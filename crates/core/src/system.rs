@@ -1,0 +1,955 @@
+//! The assembled system: peers + chain + contract + consensus, and the
+//! Fig. 4 / Fig. 5 workflows.
+
+use crate::agreement::SharingAgreement;
+use crate::error::CoreError;
+use crate::peer::PeerNode;
+use crate::Result;
+use medledger_bx::changed_attrs;
+use medledger_consensus::{PbftConfig, PbftRound, PowModel, ProposerSchedule};
+use medledger_contracts::sharing::{
+    AckUpdateArgs, ChangePermissionArgs, RegisterShareArgs, RequestUpdateArgs,
+};
+use medledger_contracts::{ContractRuntime, SharedTableMeta, SharingContract};
+use medledger_crypto::{Hash256, KeyPair, Prg};
+use medledger_ledger::{
+    audit, AccountId, Block, Chain, Membership, Mempool, Receipt, SignedTransaction,
+    Transaction, TxId, TxPayload, TxStatus,
+};
+use medledger_network::LatencyModel;
+use medledger_relational::WriteOp;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which chain the system runs on (the paper's Sec. IV-3 comparison).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConsensusKind {
+    /// Private permissioned chain: PBFT validators, fixed block interval.
+    PrivatePbft {
+        /// Target block interval (virtual ms).
+        block_interval_ms: u64,
+    },
+    /// Public proof-of-work model: exponential block intervals (Ethereum's
+    /// ~12 s mean in the paper's Sec. IV-1).
+    PublicPow {
+        /// Mean block interval (virtual ms).
+        mean_interval_ms: u64,
+    },
+}
+
+/// System configuration.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Number of PBFT validators (ignored for PoW, which models external
+    /// miners).
+    pub n_validators: usize,
+    /// Chain flavor.
+    pub consensus: ConsensusKind,
+    /// Validator-to-validator latency.
+    pub validator_latency: LatencyModel,
+    /// Peer-to-peer data-plane latency (the Fig. 2 "send/request updated
+    /// data" path).
+    pub p2p_latency: LatencyModel,
+    /// Simulation seed.
+    pub seed: String,
+    /// Max transactions per block.
+    pub max_block_txs: usize,
+    /// One-time signing keys per peer (bounds how many txs each peer can
+    /// send).
+    pub peer_key_capacity: usize,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            n_validators: 4,
+            consensus: ConsensusKind::PrivatePbft {
+                block_interval_ms: 1_000,
+            },
+            validator_latency: LatencyModel::lan(),
+            p2p_latency: LatencyModel::wan(),
+            seed: "medledger".into(),
+            max_block_txs: 128,
+            peer_key_capacity: 256,
+        }
+    }
+}
+
+/// Aggregate system statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SystemStats {
+    /// Blocks committed.
+    pub blocks: u64,
+    /// Transactions committed (including reverted ones).
+    pub txs: u64,
+    /// Transactions that reverted.
+    pub reverted_txs: u64,
+    /// Consensus protocol messages delivered.
+    pub consensus_msgs: u64,
+    /// Consensus protocol bytes sent.
+    pub consensus_bytes: u64,
+    /// Peer-to-peer shared-data transfers.
+    pub p2p_transfers: u64,
+    /// Peer-to-peer bytes moved (encoded table sizes).
+    pub p2p_bytes: u64,
+}
+
+/// One numbered step of a workflow trace (matching the Fig. 5 numbering).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Step label ("1" … "11"; cascades get "7"…"11").
+    pub number: String,
+    /// Virtual time of the step.
+    pub at_ms: u64,
+    /// Acting peer or component.
+    pub actor: String,
+    /// What happened.
+    pub description: String,
+}
+
+/// A numbered trace of one update propagation (Fig. 5).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkflowTrace {
+    /// The steps, in order.
+    pub steps: Vec<TraceStep>,
+}
+
+impl WorkflowTrace {
+    fn push(&mut self, number: impl Into<String>, at_ms: u64, actor: &str, desc: impl Into<String>) {
+        self.steps.push(TraceStep {
+            number: number.into(),
+            at_ms,
+            actor: actor.to_string(),
+            description: desc.into(),
+        });
+    }
+
+    /// Renders the trace as numbered lines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.steps {
+            out.push_str(&format!(
+                "Step {:<4} [t={:>8} ms] {:<12} {}\n",
+                s.number, s.at_ms, s.actor, s.description
+            ));
+        }
+        out
+    }
+}
+
+/// The outcome of one propagated update (and its cascades).
+#[derive(Clone, Debug)]
+pub struct UpdateReport {
+    /// The shared table updated.
+    pub table_id: String,
+    /// The committed contract version.
+    pub version: u64,
+    /// When the update was submitted (virtual ms).
+    pub submitted_ms: u64,
+    /// When the permission-checked transaction committed on chain.
+    pub committed_ms: u64,
+    /// When the last sharing peer had fetched and applied the new data.
+    pub visible_ms: u64,
+    /// When all acks had committed (the table unlocked for new updates).
+    pub synced_ms: u64,
+    /// Attributes that changed (what permission was checked on).
+    pub changed_attrs: Vec<String>,
+    /// Cascaded updates triggered by the Step-6 dependency check.
+    pub cascades: Vec<UpdateReport>,
+    /// Cascades that could not proceed (permission denied or
+    /// untranslatable), recorded as `(table_id, reason)`. The parent
+    /// update itself stays committed; the blocked peer retains a pending
+    /// local difference it can retry after obtaining permission.
+    pub failed_cascades: Vec<(String, String)>,
+    /// The numbered Fig. 5 trace.
+    pub trace: WorkflowTrace,
+}
+
+impl UpdateReport {
+    /// End-to-end latency until all peers saw the data.
+    pub fn visibility_latency_ms(&self) -> u64 {
+        self.visible_ms - self.submitted_ms
+    }
+
+    /// Latency until the table was unlocked for the next update.
+    pub fn sync_latency_ms(&self) -> u64 {
+        self.synced_ms - self.submitted_ms
+    }
+
+    /// Total number of updates including cascades.
+    pub fn total_updates(&self) -> usize {
+        1 + self.cascades.iter().map(UpdateReport::total_updates).sum::<usize>()
+    }
+}
+
+/// The whole simulated deployment.
+pub struct System {
+    /// Configuration.
+    pub config: SystemConfig,
+    peers: BTreeMap<AccountId, PeerNode>,
+    names: BTreeMap<String, AccountId>,
+    chain: Chain,
+    runtime: ContractRuntime,
+    mempool: Mempool,
+    schedule: ProposerSchedule,
+    admin: KeyPair,
+    contract: Option<Hash256>,
+    clock_ms: u64,
+    last_block_ms: u64,
+    pow: Option<PowModel>,
+    prg: Prg,
+    receipts: BTreeMap<TxId, (u64, Receipt)>,
+    stats: SystemStats,
+}
+
+impl System {
+    /// Builds a system with the given configuration.
+    pub fn new(config: SystemConfig) -> Self {
+        let validator_keys: Vec<KeyPair> = (0..config.n_validators.max(1))
+            .map(|i| KeyPair::generate(&format!("{}-validator-{i}", config.seed), 2))
+            .collect();
+        let admin = KeyPair::generate(&format!("{}-admin", config.seed), 64);
+        let mut membership = Membership::new([admin.public()]);
+        for v in &validator_keys {
+            membership.add_validator(v.public());
+        }
+        let schedule = ProposerSchedule::new(validator_keys.iter().map(|k| k.public()).collect());
+        let genesis_proposer = schedule.proposer(0, 0);
+        let chain = Chain::new(membership, genesis_proposer);
+        let pow = match &config.consensus {
+            ConsensusKind::PublicPow { mean_interval_ms } => {
+                Some(PowModel::new(*mean_interval_ms, &config.seed))
+            }
+            ConsensusKind::PrivatePbft { .. } => None,
+        };
+        let prg = Prg::from_label(&format!("{}-system", config.seed));
+        System {
+            peers: BTreeMap::new(),
+            names: BTreeMap::new(),
+            chain,
+            runtime: ContractRuntime::new(),
+            mempool: Mempool::new(),
+            schedule,
+            admin,
+            contract: None,
+            clock_ms: 0,
+            last_block_ms: 0,
+            pow,
+            prg,
+            receipts: BTreeMap::new(),
+            stats: SystemStats::default(),
+            config,
+        }
+    }
+
+    /// A default system with the sharing contract deployed.
+    pub fn bootstrap(config: SystemConfig) -> Result<Self> {
+        let mut sys = Self::new(config);
+        sys.deploy_sharing_contract()?;
+        Ok(sys)
+    }
+
+    // ----- accessors -------------------------------------------------
+
+    /// Current virtual time (ms).
+    pub fn now_ms(&self) -> u64 {
+        self.clock_ms
+    }
+
+    /// The chain.
+    pub fn chain(&self) -> &Chain {
+        &self.chain
+    }
+
+    /// The contract runtime.
+    pub fn runtime(&self) -> &ContractRuntime {
+        &self.runtime
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> SystemStats {
+        self.stats
+    }
+
+    /// The sharing contract id (after [`System::deploy_sharing_contract`]).
+    pub fn sharing_contract(&self) -> Result<Hash256> {
+        self.contract
+            .ok_or_else(|| CoreError::BadAgreement("sharing contract not deployed".into()))
+    }
+
+    /// Looks up a peer account by name.
+    pub fn account_of(&self, name: &str) -> Result<AccountId> {
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| CoreError::UnknownPeer(name.to_string()))
+    }
+
+    /// Read access to a peer by name.
+    pub fn peer(&self, name: &str) -> Result<&PeerNode> {
+        let account = self.account_of(name)?;
+        Ok(&self.peers[&account])
+    }
+
+    /// Mutable access to a peer by name.
+    pub fn peer_mut(&mut self, name: &str) -> Result<&mut PeerNode> {
+        let account = self.account_of(name)?;
+        Ok(self.peers.get_mut(&account).expect("account registered"))
+    }
+
+    /// The Fig. 3 metadata row for a shared table, from contract state.
+    pub fn share_meta(&self, table_id: &str) -> Result<SharedTableMeta> {
+        let contract = self.sharing_contract()?;
+        let state = self
+            .runtime
+            .contract_state(&contract)
+            .ok_or_else(|| CoreError::BadAgreement("contract state missing".into()))?;
+        SharingContract::load_meta(state, table_id)
+            .ok_or_else(|| CoreError::UnknownShare(table_id.to_string()))
+    }
+
+    /// The chronological on-chain history of a shared table (the paper's
+    /// auditability property).
+    pub fn audit(&self, table_id: &str) -> Vec<audit::AuditEntry> {
+        audit::history_for_key(&self.chain, table_id)
+    }
+
+    // ----- membership & deployment -----------------------------------
+
+    /// Adds a peer to the network.
+    pub fn add_peer(&mut self, name: &str) -> Result<AccountId> {
+        if self.names.contains_key(name) {
+            return Err(CoreError::BadAgreement(format!("peer `{name}` exists")));
+        }
+        let peer = PeerNode::new(name, &self.config.seed, self.config.peer_key_capacity);
+        let account = peer.account;
+        self.chain.membership_mut().add_member(account);
+        self.names.insert(name.to_string(), account);
+        self.peers.insert(account, peer);
+        Ok(account)
+    }
+
+    /// Deploys the sharing contract (admin transaction + one block).
+    pub fn deploy_sharing_contract(&mut self) -> Result<Hash256> {
+        if let Some(c) = self.contract {
+            return Ok(c);
+        }
+        let nonce = self.chain.expected_nonce(&self.admin.public());
+        let tx = Transaction {
+            sender: self.admin.public(),
+            nonce,
+            payload: TxPayload::DeployContract {
+                code: SharingContract::CODE_TAG.to_vec(),
+                init: vec![],
+            },
+            conflict_key: None,
+        };
+        let stx = tx.sign(&mut self.admin)?;
+        let id = stx.id();
+        let contract = ContractRuntime::contract_id(&self.admin.public(), nonce);
+        self.mempool.add(stx);
+        self.produce_blocks_until_receipt(&id, 16)?;
+        self.expect_success(&id)?;
+        self.contract = Some(contract);
+        Ok(contract)
+    }
+
+    // ----- block production -------------------------------------------
+
+    /// Produces one block: waits for the next block slot, runs consensus,
+    /// executes transactions, appends.
+    pub fn produce_block(&mut self) -> Result<()> {
+        let interval = match &self.config.consensus {
+            ConsensusKind::PrivatePbft { block_interval_ms } => *block_interval_ms,
+            ConsensusKind::PublicPow { .. } => self
+                .pow
+                .as_mut()
+                .expect("pow model present")
+                .next_interval_ms(),
+        };
+        let slot = self.last_block_ms + interval;
+        self.clock_ms = self.clock_ms.max(slot);
+        self.last_block_ms = slot;
+
+        let txs = self.mempool.select(self.config.max_block_txs, &BTreeSet::new());
+        let height = self.chain.height() + 1;
+
+        // Consensus: PBFT rounds add commit latency; the PoW model's
+        // latency is the interval itself (a found block is announced).
+        if let ConsensusKind::PrivatePbft { .. } = self.config.consensus {
+            let digest = Block::tx_root(&txs);
+            let payload: usize = txs.iter().map(SignedTransaction::encoded_len).sum();
+            let round = PbftRound::new(PbftConfig {
+                n: self.config.n_validators,
+                latency: self.config.validator_latency.clone(),
+                drop_rate: 0.0,
+                timeout_ms: 2_000,
+                seed: format!("{}-pbft", self.config.seed),
+            })
+            .payload_bytes(payload.max(64));
+            let out = round.run(height, digest, 3_600_000);
+            let commit = out
+                .all_commit_ms
+                .ok_or_else(|| CoreError::ConsensusFailed(format!("height {height}")))?;
+            self.clock_ms += commit;
+            self.stats.consensus_msgs += out.messages;
+            self.stats.consensus_bytes += out.bytes;
+        }
+
+        // Execute.
+        for stx in &txs {
+            let receipt = self.runtime.execute(stx, height, self.clock_ms);
+            if !receipt.status.is_success() {
+                self.stats.reverted_txs += 1;
+            }
+            self.receipts.insert(stx.id(), (height, receipt));
+        }
+        let state_root = self.runtime.state_root();
+        let proposer = self.schedule.proposer(height, 0);
+        let block = Block::assemble(
+            height,
+            self.chain.tip().hash(),
+            state_root,
+            self.clock_ms,
+            proposer,
+            txs.clone(),
+        );
+        self.chain.append(block)?;
+        self.mempool.remove_committed(&txs);
+        self.stats.blocks += 1;
+        self.stats.txs += txs.len() as u64;
+        Ok(())
+    }
+
+    /// Produces blocks until `tx` has a receipt (or `max_blocks` passed).
+    fn produce_blocks_until_receipt(&mut self, tx: &TxId, max_blocks: usize) -> Result<()> {
+        for _ in 0..max_blocks {
+            if self.receipts.contains_key(tx) {
+                return Ok(());
+            }
+            self.produce_block()?;
+        }
+        if self.receipts.contains_key(tx) {
+            Ok(())
+        } else {
+            Err(CoreError::ConsensusFailed(format!(
+                "tx {} not committed within {max_blocks} blocks",
+                tx.short()
+            )))
+        }
+    }
+
+    /// The receipt of a committed transaction.
+    pub fn receipt(&self, tx: &TxId) -> Option<&Receipt> {
+        self.receipts.get(tx).map(|(_, r)| r)
+    }
+
+    fn expect_success(&self, tx: &TxId) -> Result<()> {
+        match self.receipt(tx) {
+            Some(r) => match &r.status {
+                TxStatus::Success => Ok(()),
+                TxStatus::Reverted { reason } => Err(CoreError::TxReverted(reason.clone())),
+            },
+            None => Err(CoreError::ConsensusFailed("receipt missing".into())),
+        }
+    }
+
+    /// Signs and submits a contract call from a peer; returns the tx id.
+    fn submit_call(
+        &mut self,
+        sender: AccountId,
+        method: &str,
+        args: &impl serde::Serialize,
+        conflict_key: Option<String>,
+    ) -> Result<TxId> {
+        let contract = self.sharing_contract()?;
+        let peer = self
+            .peers
+            .get_mut(&sender)
+            .ok_or_else(|| CoreError::UnknownPeer(sender.to_string()))?;
+        let tx = Transaction {
+            sender,
+            nonce: peer.take_nonce(),
+            payload: TxPayload::CallContract {
+                contract,
+                method: method.into(),
+                args: serde_json::to_vec(args).expect("args serialize"),
+            },
+            conflict_key,
+        };
+        let stx = tx.sign(&mut peer.keys)?;
+        let id = stx.id();
+        self.mempool.add(stx);
+        Ok(id)
+    }
+
+    // ----- sharing lifecycle ------------------------------------------
+
+    /// Creates a shared table from an agreement: verifies that every
+    /// peer's lens produces the **same** initial view, registers the
+    /// Fig. 3 metadata on the contract, and materializes local copies.
+    pub fn create_share(&mut self, agreement: &SharingAgreement) -> Result<()> {
+        if agreement.bindings.len() < 2 {
+            return Err(CoreError::BadAgreement(
+                "a share needs at least two peers".into(),
+            ));
+        }
+        // Pre-check: identical initial views (the paper's "formats and
+        // contents of shared data are predefined by sharing peers").
+        let mut initial_hash: Option<Hash256> = None;
+        for (account, binding) in &agreement.bindings {
+            let peer = self
+                .peers
+                .get(account)
+                .ok_or_else(|| CoreError::UnknownPeer(account.to_string()))?;
+            let source = peer.db.table(&binding.source_table)?;
+            let view = medledger_bx::exec::get(&binding.lens, source)?;
+            let h = view.content_hash();
+            match initial_hash {
+                None => initial_hash = Some(h),
+                Some(prev) if prev != h => {
+                    return Err(CoreError::BadAgreement(format!(
+                        "peer {} derives a different initial view for `{}` \
+                         ({} vs {})",
+                        peer.name,
+                        agreement.table_id,
+                        h.short(),
+                        prev.short()
+                    )));
+                }
+                _ => {}
+            }
+        }
+        let initial_hash = initial_hash.expect("at least two bindings");
+
+        // Register on chain (the authority is the registrar).
+        let args = RegisterShareArgs {
+            table_id: agreement.table_id.clone(),
+            peers: agreement.peers(),
+            write_permission: agreement.write_permission.clone(),
+            authority: agreement.authority,
+            initial_hash,
+        };
+        let tx = self.submit_call(
+            agreement.authority,
+            "register_share",
+            &args,
+            Some(agreement.table_id.clone()),
+        )?;
+        self.produce_blocks_until_receipt(&tx, 16)?;
+        self.expect_success(&tx)?;
+
+        // Materialize local copies.
+        for (account, binding) in &agreement.bindings {
+            let peer = self.peers.get_mut(account).expect("checked above");
+            peer.join_share(&agreement.table_id, binding.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Changes an attribute's writer set (authority only; Fig. 3's
+    /// "Doctor can change the permission for updating Dosage").
+    pub fn change_permission(
+        &mut self,
+        authority: AccountId,
+        table_id: &str,
+        attr: &str,
+        writers: &[AccountId],
+    ) -> Result<()> {
+        let args = ChangePermissionArgs {
+            table_id: table_id.to_string(),
+            attr: attr.to_string(),
+            writers: writers.to_vec(),
+        };
+        let tx = self.submit_call(
+            authority,
+            "change_permission",
+            &args,
+            Some(table_id.to_string()),
+        )?;
+        self.produce_blocks_until_receipt(&tx, 16)?;
+        self.expect_success(&tx)
+    }
+
+    /// Table-level delete (Fig. 4): the authority retires the share on
+    /// chain; every participating peer then drops its local copy and
+    /// binding. Sources keep the data — only the sharing relationship
+    /// ends. The chain retains the full audit history.
+    pub fn remove_share(&mut self, authority: AccountId, table_id: &str) -> Result<()> {
+        let meta = self.share_meta(table_id)?;
+        let args = serde_json::json!({ "table_id": table_id });
+        let tx = self.submit_call(
+            authority,
+            "remove_share",
+            &args,
+            Some(table_id.to_string()),
+        )?;
+        self.produce_blocks_until_receipt(&tx, 16)?;
+        self.expect_success(&tx)?;
+        for account in &meta.peers {
+            if let Some(peer) = self.peers.get_mut(account) {
+                // A peer may have already left locally; ignore that case.
+                let _ = peer.leave_share(table_id);
+            }
+        }
+        Ok(())
+    }
+
+    // ----- the Fig. 5 workflow ----------------------------------------
+
+    /// Propagates a pending local change of `table_id` from `updater` to
+    /// all sharing peers, running the full Fig. 5 workflow including the
+    /// Step-6 dependency check and recursive cascades (Steps 7–11).
+    pub fn propagate_update(&mut self, updater: AccountId, table_id: &str) -> Result<UpdateReport> {
+        let mut active = BTreeSet::new();
+        self.propagate_inner(updater, table_id, &mut active, 0)
+    }
+
+    /// Convenience: peer looked up by name.
+    pub fn propagate_update_by_name(&mut self, name: &str, table_id: &str) -> Result<UpdateReport> {
+        let account = self.account_of(name)?;
+        self.propagate_update(account, table_id)
+    }
+
+    fn propagate_inner(
+        &mut self,
+        updater: AccountId,
+        table_id: &str,
+        active: &mut BTreeSet<String>,
+        depth: usize,
+    ) -> Result<UpdateReport> {
+        if depth > 16 {
+            return Err(CoreError::ConsistencyViolation(
+                "cascade depth exceeded 16 — cyclic sharing topology?".into(),
+            ));
+        }
+        active.insert(table_id.to_string());
+        let mut trace = WorkflowTrace::default();
+        let submitted_ms = self.clock_ms;
+
+        // Step 1: regenerate the view from the updated source and diff
+        // against the last committed baseline.
+        let (updater_name, current_view, attrs) = {
+            let peer = self
+                .peers
+                .get(&updater)
+                .ok_or_else(|| CoreError::UnknownPeer(updater.to_string()))?;
+            let current = peer.regenerate_view(table_id)?;
+            let baseline = peer.baseline(table_id)?;
+            let attrs: Vec<String> = changed_attrs(baseline, &current).into_iter().collect();
+            (peer.name.clone(), current, attrs)
+        };
+        if attrs.is_empty() {
+            active.remove(table_id);
+            return Err(CoreError::NoChange(table_id.to_string()));
+        }
+        let new_hash = current_view.content_hash();
+        trace.push(
+            "1",
+            self.clock_ms,
+            &updater_name,
+            format!(
+                "regenerated `{table_id}` via BX-get; changed attrs: [{}]",
+                attrs.join(", ")
+            ),
+        );
+
+        // Pre-flight: every sharing peer must be able to translate the
+        // new view into its source (`put` must succeed) *before* anything
+        // commits on chain — otherwise a peer could be left unable to
+        // apply an already-committed update.
+        {
+            let meta0 = self.share_meta(table_id)?;
+            for other in meta0.peers.iter().filter(|p| **p != updater) {
+                let peer = self
+                    .peers
+                    .get(other)
+                    .ok_or_else(|| CoreError::UnknownPeer(other.to_string()))?;
+                let binding = peer.binding(table_id)?;
+                let source = peer.db.table(&binding.source_table)?;
+                medledger_bx::exec::put(&binding.lens, source, &current_view)?;
+            }
+        }
+
+        // Step 2: request the update from the smart contract.
+        let args = RequestUpdateArgs {
+            table_id: table_id.to_string(),
+            new_hash,
+            changed_attrs: attrs.clone(),
+        };
+        let tx = self.submit_call(
+            updater,
+            "request_update",
+            &args,
+            Some(table_id.to_string()),
+        )?;
+        trace.push(
+            "2",
+            self.clock_ms,
+            &updater_name,
+            format!("sent update request tx {} to sharing contract", tx.short()),
+        );
+
+        // Step 3: consensus + permission verification.
+        self.produce_blocks_until_receipt(&tx, 32)?;
+        if let Err(e) = self.expect_success(&tx) {
+            trace.push(
+                "3",
+                self.clock_ms,
+                "contract",
+                format!("permission DENIED: {e}"),
+            );
+            active.remove(table_id);
+            return Err(e);
+        }
+        let committed_ms = self.clock_ms;
+        let meta = self.share_meta(table_id)?;
+        let version = meta.version;
+        trace.push(
+            "3",
+            committed_ms,
+            "contract",
+            format!(
+                "permission verified; update committed at height {} (version {version})",
+                self.chain.height()
+            ),
+        );
+
+        // The updater's copy and baseline advance to the committed view.
+        {
+            let peer = self.peers.get_mut(&updater).expect("updater exists");
+            peer.commit_view(table_id, &current_view, version)?;
+        }
+
+        // Steps 4–5: every other sharing peer is notified, fetches the
+        // data from the updater, applies it, and reflects it into its
+        // source via BX-put.
+        let others: Vec<AccountId> = meta
+            .peers
+            .iter()
+            .copied()
+            .filter(|p| *p != updater)
+            .collect();
+        let view_bytes: usize = current_view.rows().map(|r| r.encode().len()).sum();
+        let mut visible_ms = committed_ms;
+        let mut appliers: Vec<AccountId> = Vec::new();
+        for other in &others {
+            let notify = self.config.p2p_latency.sample(&mut self.prg);
+            let fetch = self.config.p2p_latency.sample(&mut self.prg)
+                + self.config.p2p_latency.sample(&mut self.prg);
+            let t_applied = committed_ms + notify + fetch;
+            visible_ms = visible_ms.max(t_applied);
+            self.stats.p2p_transfers += 1;
+            self.stats.p2p_bytes += view_bytes as u64;
+            let peer = self.peers.get_mut(other).expect("peer exists");
+            let peer_name = peer.name.clone();
+            trace.push(
+                "4",
+                t_applied,
+                &peer_name,
+                format!("fetched updated `{table_id}` from {updater_name}"),
+            );
+            peer.apply_remote_view(table_id, &current_view, new_hash, version)?;
+            trace.push(
+                "5",
+                t_applied,
+                &peer_name,
+                format!("reflected `{table_id}` into source via BX-put"),
+            );
+            appliers.push(*other);
+        }
+        self.clock_ms = self.clock_ms.max(visible_ms);
+
+        // Acks: peers confirm on chain; the table stays locked until all
+        // acks commit (the paper's barrier).
+        let mut ack_txs = Vec::with_capacity(others.len());
+        for other in &others {
+            let ack = AckUpdateArgs {
+                table_id: table_id.to_string(),
+                version,
+                applied_hash: new_hash,
+            };
+            let tx = self.submit_call(*other, "ack_update", &ack, Some(table_id.to_string()))?;
+            ack_txs.push(tx);
+        }
+        for tx in &ack_txs {
+            self.produce_blocks_until_receipt(tx, 32)?;
+            self.expect_success(tx)?;
+        }
+        let synced_ms = self.clock_ms;
+        if !others.is_empty() {
+            trace.push(
+                "m",
+                synced_ms,
+                "contract",
+                format!("all {} peer(s) acked version {version}; table unlocked", others.len()),
+            );
+        }
+
+        // Step 6: dependency check on every peer that applied the change
+        // (and the updater itself): do other shares on the same source
+        // overlap and now differ from their committed baseline?
+        let mut cascades = Vec::new();
+        let mut failed_cascades: Vec<(String, String)> = Vec::new();
+        let mut participants = appliers;
+        participants.push(updater);
+        for account in participants {
+            let candidates = {
+                let peer = self.peers.get(&account).expect("peer exists");
+                peer.overlapping_shares(table_id)?
+            };
+            for other_table in candidates {
+                if active.contains(&other_table) {
+                    continue;
+                }
+                let (peer_name, differs) = {
+                    let peer = self.peers.get(&account).expect("peer exists");
+                    let regenerated = peer.regenerate_view(&other_table)?;
+                    let baseline = peer.baseline(&other_table)?;
+                    (
+                        peer.name.clone(),
+                        !changed_attrs(baseline, &regenerated).is_empty(),
+                    )
+                };
+                trace.push(
+                    "6",
+                    self.clock_ms,
+                    &peer_name,
+                    format!(
+                        "dependency check: `{other_table}` overlaps `{table_id}`; {}",
+                        if differs {
+                            "content changed → cascade (steps 7-11)"
+                        } else {
+                            "content unchanged → no cascade"
+                        }
+                    ),
+                );
+                if differs {
+                    match self.propagate_inner(account, &other_table, active, depth + 1) {
+                        Ok(report) => cascades.push(report),
+                        // A denied or untranslatable cascade must not roll
+                        // back the committed parent update; record it.
+                        Err(
+                            e @ (CoreError::TxReverted(_)
+                            | CoreError::Bx(_)
+                            | CoreError::NoChange(_)),
+                        ) => {
+                            trace.push(
+                                "6",
+                                self.clock_ms,
+                                &peer_name,
+                                format!("cascade into `{other_table}` blocked: {e}"),
+                            );
+                            failed_cascades.push((other_table.clone(), e.to_string()));
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+
+        active.remove(table_id);
+        Ok(UpdateReport {
+            table_id: table_id.to_string(),
+            version,
+            submitted_ms,
+            committed_ms,
+            visible_ms,
+            synced_ms,
+            changed_attrs: attrs,
+            cascades,
+            failed_cascades,
+            trace,
+        })
+    }
+
+    // ----- Fig. 4 CRUD on shared data ----------------------------------
+
+    /// Entry-level create on a shared table: insert locally (reflected
+    /// into the source via `put`), then propagate.
+    pub fn create_shared_entry(
+        &mut self,
+        peer_name: &str,
+        table_id: &str,
+        row: medledger_relational::Row,
+    ) -> Result<UpdateReport> {
+        let account = self.account_of(peer_name)?;
+        self.peers
+            .get_mut(&account)
+            .expect("peer exists")
+            .write_shared(table_id, WriteOp::Insert { row })?;
+        self.propagate_update(account, table_id)
+    }
+
+    /// Entry-level update on a shared table.
+    pub fn update_shared_entry(
+        &mut self,
+        peer_name: &str,
+        table_id: &str,
+        key: Vec<medledger_relational::Value>,
+        assignments: Vec<(String, medledger_relational::Value)>,
+    ) -> Result<UpdateReport> {
+        let account = self.account_of(peer_name)?;
+        self.peers
+            .get_mut(&account)
+            .expect("peer exists")
+            .write_shared(table_id, WriteOp::Update { key, assignments })?;
+        self.propagate_update(account, table_id)
+    }
+
+    /// Entry-level delete on a shared table.
+    pub fn delete_shared_entry(
+        &mut self,
+        peer_name: &str,
+        table_id: &str,
+        key: Vec<medledger_relational::Value>,
+    ) -> Result<UpdateReport> {
+        let account = self.account_of(peer_name)?;
+        self.peers
+            .get_mut(&account)
+            .expect("peer exists")
+            .write_shared(table_id, WriteOp::Delete { key })?;
+        self.propagate_update(account, table_id)
+    }
+
+    /// Read: query the local database directly (the paper's Fig. 4 read
+    /// path — no chain interaction).
+    pub fn read_shared(&self, peer_name: &str, table_id: &str) -> Result<medledger_relational::Table> {
+        Ok(self.peer(peer_name)?.shared_table(table_id)?.clone())
+    }
+
+    // ----- invariants ---------------------------------------------------
+
+    /// Verifies the paper's core promise: for every *synced* shared table,
+    /// all sharing peers hold byte-identical data matching the hash the
+    /// contract committed.
+    pub fn check_consistency(&self) -> Result<()> {
+        let contract = self.sharing_contract()?;
+        let state = self
+            .runtime
+            .contract_state(&contract)
+            .ok_or_else(|| CoreError::BadAgreement("contract state missing".into()))?;
+        for table_id in SharingContract::table_ids(state) {
+            let meta = SharingContract::load_meta(state, &table_id)
+                .expect("listed tables have metadata");
+            if !meta.synced() {
+                continue;
+            }
+            for account in &meta.peers {
+                let peer = self
+                    .peers
+                    .get(account)
+                    .ok_or_else(|| CoreError::UnknownPeer(account.to_string()))?;
+                let h = peer.shared_hash(&table_id)?;
+                if h != meta.content_hash {
+                    return Err(CoreError::ConsistencyViolation(format!(
+                        "peer {} holds `{table_id}` with hash {} but contract says {}",
+                        peer.name,
+                        h.short(),
+                        meta.content_hash.short()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,36 @@
+//! # medledger-crypto
+//!
+//! Cryptographic substrate for the MedLedger permissioned blockchain.
+//!
+//! Everything here is implemented from scratch on top of SHA-256
+//! (FIPS 180-4), because the reproduction environment provides no
+//! cryptography crates:
+//!
+//! * [`sha256`] / [`Sha256`] — the hash function, one-shot and incremental.
+//! * [`hmac`] — HMAC-SHA256 (RFC 2104) used for PBFT-style message
+//!   authenticators between known validators.
+//! * [`merkle`] — binary Merkle trees with inclusion proofs, used for block
+//!   transaction roots and contract state roots.
+//! * [`sig`] — a publicly verifiable, N-time hash-based signature scheme
+//!   (Lamport one-time signatures under a Merkle tree, a small Merkle
+//!   Signature Scheme) used to sign ledger transactions.
+//! * [`prg`] — a deterministic SHA-256 counter-mode byte stream used to
+//!   derive keys and to make every experiment reproducible.
+//!
+//! The design document (DESIGN.md §2) records why these primitives are a
+//! faithful substitution for the paper's Ethereum accounts: only collision
+//! resistance and unforgeability are load-bearing for the architecture.
+
+pub mod hash;
+pub mod hmac;
+pub mod merkle;
+pub mod prg;
+pub mod sha256;
+pub mod sig;
+
+pub use hash::Hash256;
+pub use hmac::{hmac_sha256, HmacKey};
+pub use merkle::{MerkleProof, MerkleTree};
+pub use prg::Prg;
+pub use sha256::{sha256, sha256_concat, Sha256};
+pub use sig::{KeyPair, PublicKey, Signature, SigningError};

@@ -1,0 +1,360 @@
+//! Hash-based digital signatures: Lamport one-time signatures under a
+//! Merkle tree (a small Merkle Signature Scheme, MSS).
+//!
+//! This gives MedLedger *publicly verifiable* transaction signatures built
+//! entirely from SHA-256:
+//!
+//! * A [`KeyPair`] deterministically derives `capacity` Lamport one-time
+//!   keys from a seed; the **public key is the Merkle root** over the
+//!   one-time public keys, and doubles as the account identifier on the
+//!   permissioned ledger.
+//! * Each [`Signature`] reveals, per digest bit, one of the two secret
+//!   preimages of the chosen one-time key, plus the complementary public
+//!   values and the Merkle authentication path to the root.
+//! * Signing consumes one-time keys; reusing an exhausted key pair is an
+//!   error ([`SigningError::KeysExhausted`]), never silent reuse.
+//!
+//! The scheme's unforgeability reduces to the preimage resistance of
+//! SHA-256, which is exactly the strength the paper's architecture needs
+//! from its Ethereum accounts (DESIGN.md §2).
+
+use crate::hash::Hash256;
+use crate::merkle::{MerkleProof, MerkleTree};
+use crate::sha256::{sha256, sha256_concat, Sha256};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of message-digest bits, hence Lamport value pairs per key.
+const BITS: usize = 256;
+
+/// A verifying key: the Merkle root over the one-time public keys.
+///
+/// Also used as the account identifier (`AccountId`) across the ledger.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PublicKey(pub Hash256);
+
+impl PublicKey {
+    /// Short hex prefix for traces.
+    pub fn short(&self) -> String {
+        self.0.short()
+    }
+}
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PublicKey({})", self.0.short())
+    }
+}
+
+impl fmt::Display for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0.short())
+    }
+}
+
+/// Errors from signing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SigningError {
+    /// All `capacity` one-time keys have been consumed.
+    KeysExhausted,
+}
+
+impl fmt::Display for SigningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SigningError::KeysExhausted => write!(f, "all one-time signing keys consumed"),
+        }
+    }
+}
+
+impl std::error::Error for SigningError {}
+
+/// A Merkle/Lamport signature.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    /// Which one-time key was used.
+    pub leaf_index: u64,
+    /// Per digest bit: the revealed secret preimage.
+    pub revealed: Vec<Hash256>,
+    /// Per digest bit: the public value for the *complementary* bit, needed
+    /// to reconstruct the one-time public key.
+    pub complements: Vec<Hash256>,
+    /// Authentication path from the one-time public key to the root.
+    pub auth_path: MerkleProof,
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Signature(leaf={}, depth={})",
+            self.leaf_index,
+            self.auth_path.depth()
+        )
+    }
+}
+
+impl Signature {
+    /// Verifies this signature over `msg` against `public`.
+    pub fn verify(&self, public: &PublicKey, msg: &[u8]) -> bool {
+        if self.revealed.len() != BITS || self.complements.len() != BITS {
+            return false;
+        }
+        let digest = sha256(msg);
+        // Reconstruct the one-time public key: for each bit, the public
+        // value of the signed side is H(revealed); the other side comes
+        // from `complements`.
+        let mut leaf_hasher = Sha256::new();
+        leaf_hasher.update(b"medledger.ots.leaf:");
+        for j in 0..BITS {
+            let bit = bit_at(&digest, j);
+            let signed_pub = sha256_concat(&[b"medledger.ots.pub:", self.revealed[j].as_bytes()]);
+            let (pub0, pub1) = if bit == 0 {
+                (signed_pub, self.complements[j])
+            } else {
+                (self.complements[j], signed_pub)
+            };
+            leaf_hasher.update(pub0.as_bytes());
+            leaf_hasher.update(pub1.as_bytes());
+        }
+        let leaf = leaf_hasher.finalize();
+        if self.auth_path.leaf_index != self.leaf_index {
+            return false;
+        }
+        self.auth_path.verify(&public.0, &leaf)
+    }
+
+    /// Approximate wire size in bytes (used by the storage experiments).
+    pub fn encoded_len(&self) -> usize {
+        8 + 32 * (self.revealed.len() + self.complements.len() + self.auth_path.path.len())
+    }
+}
+
+/// A signing key: `capacity` Lamport one-time keys under one Merkle root.
+///
+/// All secret material is derived on demand from a 32-byte seed, so the
+/// in-memory footprint is small regardless of capacity.
+#[derive(Clone)]
+pub struct KeyPair {
+    seed: Hash256,
+    capacity: u64,
+    next_index: u64,
+    tree: MerkleTree,
+    public: PublicKey,
+}
+
+impl fmt::Debug for KeyPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "KeyPair(pk={}, used={}/{})",
+            self.public.short(),
+            self.next_index,
+            self.capacity
+        )
+    }
+}
+
+fn bit_at(digest: &Hash256, j: usize) -> u8 {
+    (digest.as_bytes()[j / 8] >> (7 - (j % 8))) & 1
+}
+
+impl KeyPair {
+    /// Deterministically generates a key pair from a label.
+    ///
+    /// `capacity` (rounded up to the next power of two, min 1) bounds how
+    /// many messages the key can sign.
+    pub fn generate(label: &str, capacity: usize) -> Self {
+        let seed = sha256_concat(&[b"medledger.keypair.v1:", label.as_bytes()]);
+        Self::from_seed(seed, capacity)
+    }
+
+    /// Generates a key pair from an explicit 32-byte seed.
+    pub fn from_seed(seed: Hash256, capacity: usize) -> Self {
+        let capacity = capacity.max(1).next_power_of_two() as u64;
+        let leaves: Vec<Hash256> = (0..capacity)
+            .map(|i| Self::ots_leaf_hash(&seed, i))
+            .collect();
+        let tree = MerkleTree::from_leaves(leaves);
+        let public = PublicKey(tree.root());
+        KeyPair {
+            seed,
+            capacity,
+            next_index: 0,
+            tree,
+            public,
+        }
+    }
+
+    /// The verifying key (account identifier).
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// One-time keys still available.
+    pub fn remaining(&self) -> u64 {
+        self.capacity - self.next_index
+    }
+
+    /// Total one-time key capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn ots_secret(seed: &Hash256, key_index: u64, bit_pos: u64, bit_val: u8) -> Hash256 {
+        sha256_concat(&[
+            b"medledger.ots.sk:",
+            seed.as_bytes(),
+            &key_index.to_be_bytes(),
+            &bit_pos.to_be_bytes(),
+            &[bit_val],
+        ])
+    }
+
+    fn ots_public(secret: &Hash256) -> Hash256 {
+        sha256_concat(&[b"medledger.ots.pub:", secret.as_bytes()])
+    }
+
+    fn ots_leaf_hash(seed: &Hash256, key_index: u64) -> Hash256 {
+        let mut h = Sha256::new();
+        h.update(b"medledger.ots.leaf:");
+        for j in 0..BITS as u64 {
+            for bit in 0..2u8 {
+                let pk = Self::ots_public(&Self::ots_secret(seed, key_index, j, bit));
+                h.update(pk.as_bytes());
+            }
+        }
+        h.finalize()
+    }
+
+    /// Signs `msg`, consuming the next one-time key.
+    pub fn sign(&mut self, msg: &[u8]) -> Result<Signature, SigningError> {
+        if self.next_index >= self.capacity {
+            return Err(SigningError::KeysExhausted);
+        }
+        let idx = self.next_index;
+        self.next_index += 1;
+        let digest = sha256(msg);
+        let mut revealed = Vec::with_capacity(BITS);
+        let mut complements = Vec::with_capacity(BITS);
+        for j in 0..BITS {
+            let bit = bit_at(&digest, j);
+            revealed.push(Self::ots_secret(&self.seed, idx, j as u64, bit));
+            let other = Self::ots_secret(&self.seed, idx, j as u64, 1 - bit);
+            complements.push(Self::ots_public(&other));
+        }
+        let auth_path = self
+            .tree
+            .prove(idx as usize)
+            .expect("index < capacity, proof must exist");
+        Ok(Signature {
+            leaf_index: idx,
+            revealed,
+            complements,
+            auth_path,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let mut kp = KeyPair::generate("alice", 4);
+        let sig = kp.sign(b"update D23").expect("sign");
+        assert!(sig.verify(&kp.public(), b"update D23"));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message() {
+        let mut kp = KeyPair::generate("alice", 4);
+        let sig = kp.sign(b"update D23").expect("sign");
+        assert!(!sig.verify(&kp.public(), b"update D13"));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let mut alice = KeyPair::generate("alice", 4);
+        let bob = KeyPair::generate("bob", 4);
+        let sig = alice.sign(b"m").expect("sign");
+        assert!(!sig.verify(&bob.public(), b"m"));
+    }
+
+    #[test]
+    fn each_signature_uses_fresh_leaf() {
+        let mut kp = KeyPair::generate("carol", 4);
+        let s1 = kp.sign(b"a").expect("sign");
+        let s2 = kp.sign(b"b").expect("sign");
+        assert_eq!(s1.leaf_index, 0);
+        assert_eq!(s2.leaf_index, 1);
+        assert!(s1.verify(&kp.public(), b"a"));
+        assert!(s2.verify(&kp.public(), b"b"));
+        assert_eq!(kp.remaining(), 2);
+    }
+
+    #[test]
+    fn exhaustion_is_an_error() {
+        let mut kp = KeyPair::generate("dave", 2);
+        assert_eq!(kp.capacity(), 2);
+        kp.sign(b"1").expect("sign 1");
+        kp.sign(b"2").expect("sign 2");
+        assert_eq!(kp.sign(b"3"), Err(SigningError::KeysExhausted));
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let kp = KeyPair::generate("e", 3);
+        assert_eq!(kp.capacity(), 4);
+        let kp = KeyPair::generate("e", 0);
+        assert_eq!(kp.capacity(), 1);
+    }
+
+    #[test]
+    fn deterministic_public_key() {
+        let a = KeyPair::generate("fixed", 4);
+        let b = KeyPair::generate("fixed", 4);
+        assert_eq!(a.public(), b.public());
+        let c = KeyPair::generate("other", 4);
+        assert_ne!(a.public(), c.public());
+    }
+
+    #[test]
+    fn tampered_signature_fails() {
+        let mut kp = KeyPair::generate("mallory-target", 4);
+        let mut sig = kp.sign(b"legit").expect("sign");
+        sig.revealed[17] = Hash256([0xee; 32]);
+        assert!(!sig.verify(&kp.public(), b"legit"));
+
+        let mut sig2 = kp.sign(b"legit").expect("sign");
+        sig2.complements[200] = Hash256([0x11; 32]);
+        assert!(!sig2.verify(&kp.public(), b"legit"));
+    }
+
+    #[test]
+    fn mismatched_leaf_index_fails() {
+        let mut kp = KeyPair::generate("idx", 4);
+        let mut sig = kp.sign(b"m").expect("sign");
+        sig.leaf_index = 1; // auth path still for leaf 0
+        assert!(!sig.verify(&kp.public(), b"m"));
+    }
+
+    #[test]
+    fn truncated_signature_fails() {
+        let mut kp = KeyPair::generate("trunc", 2);
+        let mut sig = kp.sign(b"m").expect("sign");
+        sig.revealed.pop();
+        assert!(!sig.verify(&kp.public(), b"m"));
+    }
+
+    #[test]
+    fn encoded_len_is_plausible() {
+        let mut kp = KeyPair::generate("size", 8);
+        let sig = kp.sign(b"m").expect("sign");
+        // 512 hashes + 3-deep path + index.
+        assert_eq!(sig.encoded_len(), 8 + 32 * (256 + 256 + 3));
+    }
+}

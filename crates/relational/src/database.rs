@@ -1,0 +1,355 @@
+//! A peer's local database: named tables plus a write log.
+
+use crate::error::RelationalError;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+use crate::Result;
+use medledger_crypto::{sha256_concat, Hash256};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One logged mutation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WriteOp {
+    /// Insert a full row.
+    Insert {
+        /// The inserted row.
+        row: Row,
+    },
+    /// Assign named columns of the row with `key`.
+    Update {
+        /// Primary key of the target row.
+        key: Vec<Value>,
+        /// `(column, new value)` pairs.
+        assignments: Vec<(String, Value)>,
+    },
+    /// Insert-or-replace a full row.
+    Upsert {
+        /// The new row.
+        row: Row,
+    },
+    /// Delete the row with `key`.
+    Delete {
+        /// Primary key of the target row.
+        key: Vec<Value>,
+    },
+    /// Replace the entire table contents (used when a peer refreshes a
+    /// shared table from the updater, Fig. 5 step 4/10).
+    Replace {
+        /// The new rows.
+        rows: Vec<Row>,
+    },
+}
+
+impl WriteOp {
+    /// Human-readable operation kind (for audit output).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WriteOp::Insert { .. } => "insert",
+            WriteOp::Update { .. } => "update",
+            WriteOp::Upsert { .. } => "upsert",
+            WriteOp::Delete { .. } => "delete",
+            WriteOp::Replace { .. } => "replace",
+        }
+    }
+}
+
+/// One entry of the local write-ahead log.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Monotonic sequence number within this database.
+    pub seq: u64,
+    /// Target table.
+    pub table: String,
+    /// The mutation.
+    pub op: WriteOp,
+    /// Table content hash *after* the mutation.
+    pub post_hash: Hash256,
+}
+
+/// A named collection of tables with a mutation log.
+///
+/// All mutations should flow through [`Database::apply`] so they are
+/// logged; `table_mut` exists for test setup and bulk loading.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Database {
+    /// Owner label (peer name); used in error messages and audits.
+    pub owner: String,
+    tables: BTreeMap<String, Table>,
+    log: Vec<LogRecord>,
+}
+
+impl Database {
+    /// Creates an empty database owned by `owner`.
+    pub fn new(owner: impl Into<String>) -> Self {
+        Database {
+            owner: owner.into(),
+            tables: BTreeMap::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Creates an empty table.
+    pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> Result<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(RelationalError::TableExists { table: name });
+        }
+        self.tables.insert(name, Table::new(schema));
+        Ok(())
+    }
+
+    /// Inserts a pre-built table.
+    pub fn put_table(&mut self, name: impl Into<String>, table: Table) -> Result<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(RelationalError::TableExists { table: name });
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Removes a table, returning it.
+    pub fn drop_table(&mut self, name: &str) -> Result<Table> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| RelationalError::UnknownTable {
+                table: name.to_string(),
+            })
+    }
+
+    /// Read access to a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| RelationalError::UnknownTable {
+                table: name.to_string(),
+            })
+    }
+
+    /// Mutable access to a table. Mutations through this path are *not*
+    /// logged; prefer [`Database::apply`].
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| RelationalError::UnknownTable {
+                table: name.to_string(),
+            })
+    }
+
+    /// True iff a table with this name exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Applies and logs a mutation.
+    pub fn apply(&mut self, table: &str, op: WriteOp) -> Result<()> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| RelationalError::UnknownTable {
+                table: table.to_string(),
+            })?;
+        match &op {
+            WriteOp::Insert { row } => t.insert(row.clone())?,
+            WriteOp::Update { key, assignments } => {
+                let assigns: Vec<(&str, Value)> = assignments
+                    .iter()
+                    .map(|(c, v)| (c.as_str(), v.clone()))
+                    .collect();
+                t.update(key, &assigns)?;
+            }
+            WriteOp::Upsert { row } => {
+                t.upsert(row.clone())?;
+            }
+            WriteOp::Delete { key } => {
+                t.delete(key)?;
+            }
+            WriteOp::Replace { rows } => {
+                let schema = t.schema().clone();
+                let fresh = Table::from_rows(schema, rows.clone())?;
+                *t = fresh;
+            }
+        }
+        let post_hash = t.content_hash();
+        self.log.push(LogRecord {
+            seq: self.log.len() as u64,
+            table: table.to_string(),
+            op,
+            post_hash,
+        });
+        Ok(())
+    }
+
+    /// The mutation log, oldest first.
+    pub fn log(&self) -> &[LogRecord] {
+        &self.log
+    }
+
+    /// Log entries touching one table.
+    pub fn log_for(&self, table: &str) -> Vec<&LogRecord> {
+        self.log.iter().filter(|r| r.table == table).collect()
+    }
+
+    /// A fingerprint over all table content hashes; two databases with the
+    /// same tables and contents fingerprint identically.
+    pub fn fingerprint(&self) -> Hash256 {
+        let mut parts: Vec<Vec<u8>> = Vec::with_capacity(self.tables.len());
+        for (name, t) in &self.tables {
+            let mut buf = Vec::with_capacity(name.len() + 33);
+            buf.extend_from_slice(name.as_bytes());
+            buf.push(0);
+            buf.extend_from_slice(t.content_hash().as_bytes());
+            parts.push(buf);
+        }
+        let refs: Vec<&[u8]> = parts.iter().map(Vec::as_slice).collect();
+        sha256_concat(&refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::Column;
+    use crate::value::ValueType;
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                Column::new("id", ValueType::Int),
+                Column::new("name", ValueType::Text),
+            ],
+            &["id"],
+        )
+        .expect("schema")
+    }
+
+    #[test]
+    fn create_and_access_tables() {
+        let mut db = Database::new("patient");
+        db.create_table("D1", schema()).expect("create");
+        assert!(db.has_table("D1"));
+        assert!(db.table("D1").is_ok());
+        assert!(db.table("D2").is_err());
+        assert_eq!(db.table_names(), vec!["D1"]);
+        assert!(matches!(
+            db.create_table("D1", schema()).unwrap_err(),
+            RelationalError::TableExists { .. }
+        ));
+    }
+
+    #[test]
+    fn apply_logs_every_mutation() {
+        let mut db = Database::new("p");
+        db.create_table("t", schema()).expect("create");
+        db.apply("t", WriteOp::Insert { row: row![1i64, "a"] })
+            .expect("insert");
+        db.apply(
+            "t",
+            WriteOp::Update {
+                key: vec![Value::Int(1)],
+                assignments: vec![("name".into(), Value::text("b"))],
+            },
+        )
+        .expect("update");
+        db.apply("t", WriteOp::Delete { key: vec![Value::Int(1)] })
+            .expect("delete");
+        assert_eq!(db.log().len(), 3);
+        assert_eq!(db.log()[0].op.kind(), "insert");
+        assert_eq!(db.log()[1].op.kind(), "update");
+        assert_eq!(db.log()[2].op.kind(), "delete");
+        // Sequence numbers are dense.
+        assert_eq!(
+            db.log().iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn failed_apply_is_not_logged() {
+        let mut db = Database::new("p");
+        db.create_table("t", schema()).expect("create");
+        let err = db.apply("t", WriteOp::Delete { key: vec![Value::Int(9)] });
+        assert!(err.is_err());
+        assert!(db.log().is_empty());
+    }
+
+    #[test]
+    fn replace_swaps_contents() {
+        let mut db = Database::new("p");
+        db.create_table("t", schema()).expect("create");
+        db.apply("t", WriteOp::Insert { row: row![1i64, "a"] })
+            .expect("insert");
+        db.apply(
+            "t",
+            WriteOp::Replace {
+                rows: vec![row![2i64, "x"], row![3i64, "y"]],
+            },
+        )
+        .expect("replace");
+        let t = db.table("t").expect("table");
+        assert_eq!(t.len(), 2);
+        assert!(t.get(&[Value::Int(1)]).is_none());
+    }
+
+    #[test]
+    fn post_hash_tracks_table_hash() {
+        let mut db = Database::new("p");
+        db.create_table("t", schema()).expect("create");
+        db.apply("t", WriteOp::Insert { row: row![1i64, "a"] })
+            .expect("insert");
+        let logged = db.log().last().expect("entry").post_hash;
+        assert_eq!(logged, db.table("t").expect("table").content_hash());
+    }
+
+    #[test]
+    fn fingerprint_is_content_based() {
+        let mut a = Database::new("a");
+        a.create_table("t", schema()).expect("create");
+        a.apply("t", WriteOp::Insert { row: row![1i64, "x"] })
+            .expect("insert");
+
+        let mut b = Database::new("b");
+        b.create_table("t", schema()).expect("create");
+        b.apply("t", WriteOp::Insert { row: row![1i64, "x"] })
+            .expect("insert");
+
+        // Same content, same fingerprint (owner doesn't matter).
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.apply("t", WriteOp::Insert { row: row![2i64, "y"] })
+            .expect("insert");
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn log_for_filters_by_table() {
+        let mut db = Database::new("p");
+        db.create_table("t1", schema()).expect("create");
+        db.create_table("t2", schema()).expect("create");
+        db.apply("t1", WriteOp::Insert { row: row![1i64, "a"] })
+            .expect("insert");
+        db.apply("t2", WriteOp::Insert { row: row![1i64, "a"] })
+            .expect("insert");
+        db.apply("t1", WriteOp::Insert { row: row![2i64, "b"] })
+            .expect("insert");
+        assert_eq!(db.log_for("t1").len(), 2);
+        assert_eq!(db.log_for("t2").len(), 1);
+    }
+
+    #[test]
+    fn drop_table_removes() {
+        let mut db = Database::new("p");
+        db.create_table("t", schema()).expect("create");
+        db.drop_table("t").expect("drop");
+        assert!(!db.has_table("t"));
+        assert!(db.drop_table("t").is_err());
+    }
+}

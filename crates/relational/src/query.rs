@@ -1,0 +1,245 @@
+//! A small compositional query algebra.
+//!
+//! Queries are the *read path* of a peer's local database (the paper's
+//! Fig. 4: "Read — query local database directly"). The algebra mirrors
+//! the lens combinators so that every shared view is also expressible as a
+//! query for inspection and testing.
+
+use crate::database::Database;
+use crate::predicate::Predicate;
+use crate::table::Table;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// A query plan evaluated against a [`Database`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Query {
+    /// Scan a named base table.
+    Scan {
+        /// Base table name.
+        table: String,
+    },
+    /// Filter rows.
+    Select {
+        /// Input query.
+        input: Box<Query>,
+        /// Row predicate.
+        pred: Predicate,
+    },
+    /// Key-preserving projection.
+    Project {
+        /// Input query.
+        input: Box<Query>,
+        /// Columns to keep.
+        attrs: Vec<String>,
+        /// Primary key of the result.
+        view_key: Vec<String>,
+    },
+    /// Duplicate-eliminating projection (requires the FD `view_key → attrs`).
+    ProjectDistinct {
+        /// Input query.
+        input: Box<Query>,
+        /// Columns to keep.
+        attrs: Vec<String>,
+        /// Primary key of the result.
+        view_key: Vec<String>,
+    },
+    /// Rename one column.
+    Rename {
+        /// Input query.
+        input: Box<Query>,
+        /// Existing column name.
+        from: String,
+        /// New column name.
+        to: String,
+    },
+    /// Natural join of two queries on their shared columns.
+    Join {
+        /// Left input.
+        left: Box<Query>,
+        /// Right input.
+        right: Box<Query>,
+    },
+}
+
+impl Query {
+    /// Scan a base table.
+    pub fn scan(table: impl Into<String>) -> Query {
+        Query::Scan {
+            table: table.into(),
+        }
+    }
+
+    /// Filter with a predicate.
+    pub fn select(self, pred: Predicate) -> Query {
+        Query::Select {
+            input: Box::new(self),
+            pred,
+        }
+    }
+
+    /// Project onto `attrs` keyed by `view_key`.
+    pub fn project(self, attrs: &[&str], view_key: &[&str]) -> Query {
+        Query::Project {
+            input: Box::new(self),
+            attrs: attrs.iter().map(|s| s.to_string()).collect(),
+            view_key: view_key.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Distinct-project onto `attrs` keyed by `view_key`.
+    pub fn project_distinct(self, attrs: &[&str], view_key: &[&str]) -> Query {
+        Query::ProjectDistinct {
+            input: Box::new(self),
+            attrs: attrs.iter().map(|s| s.to_string()).collect(),
+            view_key: view_key.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Rename a column.
+    pub fn rename(self, from: impl Into<String>, to: impl Into<String>) -> Query {
+        Query::Rename {
+            input: Box::new(self),
+            from: from.into(),
+            to: to.into(),
+        }
+    }
+
+    /// Natural join with another query.
+    pub fn join(self, right: Query) -> Query {
+        Query::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// Evaluates the query, producing a materialized table.
+    pub fn eval(&self, db: &Database) -> Result<Table> {
+        match self {
+            Query::Scan { table } => Ok(db.table(table)?.clone()),
+            Query::Select { input, pred } => input.eval(db)?.select(pred),
+            Query::Project {
+                input,
+                attrs,
+                view_key,
+            } => {
+                let t = input.eval(db)?;
+                let a: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                let k: Vec<&str> = view_key.iter().map(String::as_str).collect();
+                t.project(&a, &k)
+            }
+            Query::ProjectDistinct {
+                input,
+                attrs,
+                view_key,
+            } => {
+                let t = input.eval(db)?;
+                let a: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                let k: Vec<&str> = view_key.iter().map(String::as_str).collect();
+                t.project_distinct(&a, &k)
+            }
+            Query::Rename { input, from, to } => input.eval(db)?.rename(from, to),
+            Query::Join { left, right } => left.eval(db)?.natural_join(&right.eval(db)?),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::{Column, Schema};
+    use crate::value::{Value, ValueType};
+
+    fn db() -> Database {
+        let mut db = Database::new("doctor");
+        let schema = Schema::new(
+            vec![
+                Column::new("patient_id", ValueType::Int),
+                Column::new("medication_name", ValueType::Text),
+                Column::new("mechanism", ValueType::Text),
+                Column::new("dosage", ValueType::Text),
+            ],
+            &["patient_id"],
+        )
+        .expect("schema");
+        db.create_table("D3", schema).expect("create");
+        let t = db.table_mut("D3").expect("table");
+        t.insert(row![188i64, "Ibuprofen", "MeA1", "one tablet every 4h"])
+            .expect("insert");
+        t.insert(row![189i64, "Wellbutrin", "MeA2", "100 mg twice daily"])
+            .expect("insert");
+        t.insert(row![190i64, "Ibuprofen", "MeA1", "two tablets daily"])
+            .expect("insert");
+        db
+    }
+
+    #[test]
+    fn scan_returns_table_copy() {
+        let d = db();
+        let t = Query::scan("D3").eval(&d).expect("eval");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn scan_unknown_table_errors() {
+        let d = db();
+        assert!(Query::scan("missing").eval(&d).is_err());
+    }
+
+    #[test]
+    fn select_project_pipeline() {
+        let d = db();
+        let q = Query::scan("D3")
+            .select(Predicate::eq("medication_name", Value::text("Ibuprofen")))
+            .project(&["patient_id", "dosage"], &["patient_id"]);
+        let t = q.eval(&d).expect("eval");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.schema().column_names(), vec!["patient_id", "dosage"]);
+    }
+
+    #[test]
+    fn project_distinct_collapses() {
+        let d = db();
+        let q = Query::scan("D3").project_distinct(
+            &["medication_name", "mechanism"],
+            &["medication_name"],
+        );
+        let t = q.eval(&d).expect("eval");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn rename_then_join() {
+        let mut d = db();
+        let meds = Schema::new(
+            vec![
+                Column::new("medication_name", ValueType::Text),
+                Column::new("mode", ValueType::Text),
+            ],
+            &["medication_name"],
+        )
+        .expect("schema");
+        d.create_table("meds", meds).expect("create");
+        d.table_mut("meds")
+            .expect("table")
+            .insert(row!["Ibuprofen", "MoA1"])
+            .expect("insert");
+
+        let q = Query::scan("D3").join(Query::scan("meds"));
+        let t = q.eval(&d).expect("eval");
+        assert_eq!(t.len(), 2); // two Ibuprofen rows join, Wellbutrin drops
+
+        let q2 = Query::scan("meds").rename("mode", "mode_of_action");
+        let t2 = q2.eval(&d).expect("eval");
+        assert!(t2.schema().has_column("mode_of_action"));
+    }
+
+    #[test]
+    fn queries_serialize() {
+        let q = Query::scan("D3").select(Predicate::True);
+        let json = serde_json::to_string(&q).expect("serialize");
+        let back: Query = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(q, back);
+    }
+}

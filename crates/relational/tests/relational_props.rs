@@ -1,0 +1,137 @@
+//! Property-based tests of the relational substrate's invariants.
+
+use medledger_relational::{Column, Predicate, Row, Schema, Table, Value, ValueType};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new(
+        vec![
+            Column::new("id", ValueType::Int),
+            Column::new("name", ValueType::Text),
+            Column::new("dose", ValueType::Int),
+        ],
+        &["id"],
+    )
+    .expect("schema")
+}
+
+fn arb_rows(max: usize) -> impl Strategy<Value = Vec<Row>> {
+    proptest::collection::vec(
+        (0i64..100, 0usize..8, 0i64..50).prop_map(|(id, name, dose)| {
+            Row::new(vec![
+                Value::Int(id),
+                Value::text(format!("name{name}")),
+                Value::Int(dose),
+            ])
+        }),
+        0..max,
+    )
+}
+
+fn table_from(rows: Vec<Row>) -> Table {
+    let mut t = Table::new(schema());
+    for r in rows {
+        t.upsert(r).expect("valid row");
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Content hash is insertion-order independent.
+    #[test]
+    fn content_hash_order_independent(rows in arb_rows(24), seed in 0u64..1000) {
+        let t1 = table_from(rows);
+        // Shuffle t1's final (key-unique) rows deterministically and
+        // rebuild; upsert order must not matter for identical row sets.
+        let mut shuffled: Vec<Row> = t1.rows().cloned().collect();
+        shuffled.sort_by_key(|r| {
+            medledger_crypto::sha256(&[r.encode(), seed.to_be_bytes().to_vec()].concat())
+        });
+        let t2 = table_from(shuffled);
+        prop_assert_eq!(t1.content_hash(), t2.content_hash());
+        prop_assert_eq!(t1, t2);
+    }
+
+    /// Insert-then-delete returns to the original content hash.
+    #[test]
+    fn insert_delete_round_trip(rows in arb_rows(24)) {
+        let mut t = table_from(rows);
+        let before = t.content_hash();
+        let fresh_id = 10_000i64;
+        t.insert(Row::new(vec![
+            Value::Int(fresh_id),
+            Value::text("temp"),
+            Value::Int(1),
+        ]))
+        .expect("insert");
+        prop_assert_ne!(t.content_hash(), before);
+        t.delete(&[Value::Int(fresh_id)]).expect("delete");
+        prop_assert_eq!(t.content_hash(), before);
+    }
+
+    /// The primary-key index stays exact through arbitrary upserts and
+    /// deletes: every row is findable, no phantom keys.
+    #[test]
+    fn index_integrity(ops in proptest::collection::vec((0i64..30, any::<bool>()), 0..60)) {
+        let mut t = Table::new(schema());
+        let mut model: std::collections::BTreeMap<i64, ()> = Default::default();
+        for (id, insert) in ops {
+            if insert {
+                t.upsert(Row::new(vec![
+                    Value::Int(id),
+                    Value::text("x"),
+                    Value::Int(0),
+                ]))
+                .expect("upsert");
+                model.insert(id, ());
+            } else if model.remove(&id).is_some() {
+                t.delete(&[Value::Int(id)]).expect("delete tracked key");
+            } else {
+                prop_assert!(t.delete(&[Value::Int(id)]).is_err());
+            }
+        }
+        prop_assert_eq!(t.len(), model.len());
+        for id in model.keys() {
+            prop_assert!(t.get(&[Value::Int(*id)]).is_some());
+        }
+    }
+
+    /// σ distributes over content: select(p) ∪ select(¬p) == table.
+    #[test]
+    fn select_partitions(rows in arb_rows(24), pivot in 0i64..50) {
+        let t = table_from(rows);
+        let p = Predicate::cmp("dose", medledger_relational::CmpOp::Lt, Value::Int(pivot));
+        let yes = t.select(&p).expect("select");
+        let no = t.select(&p.clone().not()).expect("select");
+        prop_assert_eq!(yes.len() + no.len(), t.len());
+        // Rebuilding from both halves gives back the same table.
+        let mut rebuilt = Table::new(schema());
+        for r in yes.rows().chain(no.rows()) {
+            rebuilt.insert(r.clone()).expect("insert");
+        }
+        prop_assert_eq!(rebuilt.content_hash(), t.content_hash());
+    }
+
+    /// Projection keyed by the table key preserves row count, and
+    /// re-projecting is idempotent.
+    #[test]
+    fn projection_idempotent(rows in arb_rows(24)) {
+        let t = table_from(rows);
+        let p1 = t.project(&["id", "name"], &["id"]).expect("project");
+        prop_assert_eq!(p1.len(), t.len());
+        let p2 = p1.project(&["id", "name"], &["id"]).expect("project");
+        prop_assert_eq!(p1.content_hash(), p2.content_hash());
+    }
+
+    /// Row encodings are injective over generated rows.
+    #[test]
+    fn row_encoding_injective(rows in arb_rows(24)) {
+        let t = table_from(rows);
+        let mut seen = std::collections::BTreeSet::new();
+        for r in t.rows() {
+            prop_assert!(seen.insert(r.encode()), "encoding collision for {r:?}");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # MedLedger
+//!
+//! A from-scratch Rust reproduction of **"Blockchain-based Bidirectional
+//! Updates on Fine-grained Medical Data"** (Li, Cao, Hu, Yoshikawa;
+//! ICDE 2019 workshops, arXiv:1904.10606).
+//!
+//! Full medical records are split into fine-grained **views** shared
+//! pairwise between stakeholders; **bidirectional transformations**
+//! (asymmetric lenses) keep every view consistent with its source after
+//! updates on either side; a **permissioned blockchain** holds only the
+//! sharing *metadata* (per-attribute write permissions, update history,
+//! sync barriers) in a smart contract.
+//!
+//! This facade re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`crypto`] | SHA-256, HMAC, Merkle trees, hash-based signatures, seeded PRG |
+//! | [`relational`] | values, schemas, keyed tables, predicates, queries, databases |
+//! | [`bx`] | lens combinators, GetPut/PutGet law checkers, deltas, overlap analysis |
+//! | [`ledger`] | transactions, blocks, chain validation, mempool, audits |
+//! | [`contracts`] | contract runtime, the Fig. 3 sharing contract, the MedVM |
+//! | [`consensus`] | virtual-time PBFT simulation, PoW interval model |
+//! | [`network`] | deterministic latency-modeled message simulation |
+//! | [`workload`] | synthetic EHR generation, update streams, de-identification |
+//! | [`core`] | peers, sharing agreements, the Fig. 4/5 workflows, baselines |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use medledger::core::scenario;
+//! use medledger::core::SystemConfig;
+//!
+//! // Build the paper's Fig. 1 world: Patient, Doctor, Researcher.
+//! let mut scn = scenario::build(SystemConfig {
+//!     seed: "doc-quickstart".into(),
+//!     peer_key_capacity: 64,
+//!     ..Default::default()
+//! }).expect("scenario builds");
+//!
+//! // Run the paper's Fig. 5 update workflow.
+//! let (researcher_report, doctor_report) =
+//!     scenario::run_fig5(&mut scn).expect("workflow runs");
+//! assert!(researcher_report.version >= 1);
+//! assert_eq!(doctor_report.changed_attrs, vec!["dosage".to_string()]);
+//!
+//! // The paper's core promise holds: all peers are consistent.
+//! scn.system.check_consistency().expect("all shared tables consistent");
+//! ```
+
+pub use medledger_bx as bx;
+pub use medledger_consensus as consensus;
+pub use medledger_contracts as contracts;
+pub use medledger_core as core;
+pub use medledger_crypto as crypto;
+pub use medledger_ledger as ledger;
+pub use medledger_network as network;
+pub use medledger_relational as relational;
+pub use medledger_workload as workload;

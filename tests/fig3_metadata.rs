@@ -1,0 +1,132 @@
+//! E3 — the Fig. 3 "metadata collection in smart contract", end to end.
+
+use medledger::core::scenario::{self, DOCTOR, SHARE_PD, SHARE_RD};
+use medledger::core::{ConsensusKind, SystemConfig};
+use medledger::relational::{Value, WriteOp};
+
+fn config() -> SystemConfig {
+    SystemConfig {
+        consensus: ConsensusKind::PrivatePbft {
+            block_interval_ms: 100,
+        },
+        seed: "fig3-int".into(),
+        peer_key_capacity: 64,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn metadata_rows_match_fig3() {
+    let scn = scenario::build(config()).expect("build");
+
+    // Row 1: D13 & D31 shared by Patient and Doctor; Doctor is authority;
+    // Doctor writes medication/dosage; Patient+Doctor write clinical data.
+    let m = scn.system.share_meta(SHARE_PD).expect("meta");
+    assert!(m.peers.contains(&scn.patient) && m.peers.contains(&scn.doctor));
+    assert_eq!(m.authority, scn.doctor);
+    assert_eq!(
+        m.write_permission["medication_name"]
+            .iter()
+            .collect::<Vec<_>>(),
+        vec![&scn.doctor]
+    );
+    assert!(m.write_permission["clinical_data"].contains(&scn.patient));
+    assert!(m.write_permission["clinical_data"].contains(&scn.doctor));
+    assert!(m.last_update_ms > 0, "last update time recorded");
+
+    // Row 2: D23 & D32 shared by Doctor and Researcher; Researcher is
+    // authority; medication writable by both, mechanism by Researcher.
+    let m = scn.system.share_meta(SHARE_RD).expect("meta");
+    assert_eq!(m.authority, scn.researcher);
+    assert!(m.write_permission["medication_name"].contains(&scn.doctor));
+    assert!(m.write_permission["medication_name"].contains(&scn.researcher));
+    assert_eq!(
+        m.write_permission["mechanism_of_action"]
+            .iter()
+            .collect::<Vec<_>>(),
+        vec![&scn.researcher]
+    );
+}
+
+#[test]
+fn last_update_time_advances_with_updates() {
+    let mut scn = scenario::build(config()).expect("build");
+    let before = scn.system.share_meta(SHARE_PD).expect("meta").last_update_ms;
+    scn.system
+        .peer_mut(DOCTOR)
+        .expect("peer")
+        .write_shared(
+            SHARE_PD,
+            WriteOp::Update {
+                key: vec![Value::Int(188)],
+                assignments: vec![("dosage".into(), Value::text("halved"))],
+            },
+        )
+        .expect("edit");
+    scn.system
+        .propagate_update(scn.doctor, SHARE_PD)
+        .expect("propagate");
+    let after = scn.system.share_meta(SHARE_PD).expect("meta").last_update_ms;
+    assert!(after > before, "{after} > {before}");
+}
+
+#[test]
+fn fig3_permission_change_example() {
+    // "Doctor can change the permission for updating Dosage from Doctor
+    //  to Doctor, Patient so that Patient can also update the Dosage."
+    let mut scn = scenario::build(config()).expect("build");
+    let (doctor, patient) = (scn.doctor, scn.patient);
+
+    assert!(!scn
+        .system
+        .share_meta(SHARE_PD)
+        .expect("meta")
+        .write_permission["dosage"]
+        .contains(&patient));
+
+    scn.system
+        .change_permission(doctor, SHARE_PD, "dosage", &[doctor, patient])
+        .expect("doctor grants");
+
+    let m = scn.system.share_meta(SHARE_PD).expect("meta");
+    assert!(m.write_permission["dosage"].contains(&patient));
+    assert!(m.write_permission["dosage"].contains(&doctor));
+
+    // Non-authority cannot change permissions.
+    let err = scn
+        .system
+        .change_permission(patient, SHARE_PD, "dosage", &[patient])
+        .unwrap_err();
+    assert!(matches!(err, medledger::core::CoreError::TxReverted(_)));
+}
+
+#[test]
+fn version_and_pending_acks_lifecycle() {
+    let mut scn = scenario::build(config()).expect("build");
+    let m0 = scn.system.share_meta(SHARE_PD).expect("meta");
+    assert_eq!(m0.version, 0);
+    assert!(m0.synced());
+    assert!(m0.updater.is_none());
+
+    scn.system
+        .peer_mut(DOCTOR)
+        .expect("peer")
+        .write_shared(
+            SHARE_PD,
+            WriteOp::Update {
+                key: vec![Value::Int(188)],
+                assignments: vec![("dosage".into(), Value::text("changed"))],
+            },
+        )
+        .expect("edit");
+    scn.system
+        .propagate_update(scn.doctor, SHARE_PD)
+        .expect("propagate");
+
+    let m1 = scn.system.share_meta(SHARE_PD).expect("meta");
+    assert_eq!(m1.version, 1);
+    assert_eq!(m1.updater, Some(scn.doctor));
+    // Propagation waits for acks, so by now the table is synced again.
+    assert!(m1.synced());
+    assert_ne!(m1.content_hash, m0.content_hash);
+}
