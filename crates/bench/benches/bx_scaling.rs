@@ -92,5 +92,11 @@ fn bench_diff(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_get, bench_put, bench_roundtrip_laws, bench_diff);
+criterion_group!(
+    benches,
+    bench_get,
+    bench_put,
+    bench_roundtrip_laws,
+    bench_diff
+);
 criterion_main!(benches);

@@ -18,7 +18,10 @@ fn ctx(sender: medledger_ledger::AccountId) -> CallCtx {
     }
 }
 
-fn registered_state(doctor: medledger_ledger::AccountId, patient: medledger_ledger::AccountId) -> ContractState {
+fn registered_state(
+    doctor: medledger_ledger::AccountId,
+    patient: medledger_ledger::AccountId,
+) -> ContractState {
     let mut state = ContractState::new();
     let args = RegisterShareArgs {
         table_id: "D13&D31".into(),
@@ -72,8 +75,7 @@ fn bench_sharing_contract(c: &mut Criterion) {
         let encoded = serde_json::to_vec(&args).expect("args");
         b.iter(|| {
             let mut s = state.clone();
-            SharingContract::call(&mut s, &ctx(doctor), "request_update", &encoded)
-                .expect("update")
+            SharingContract::call(&mut s, &ctx(doctor), "request_update", &encoded).expect("update")
         })
     });
 
@@ -151,8 +153,8 @@ fn bench_medvm(c: &mut Criterion) {
         b.iter(|| vm::execute(&program, &mut state, &ctx(doctor), &[], 100_000).expect("run"))
     });
 
-    let counter = asm::assemble("PUSH 0\nSLOAD\nPUSH 1\nADD\nDUP 0\nPUSH 0\nSSTORE\nRET")
-        .expect("asm");
+    let counter =
+        asm::assemble("PUSH 0\nSLOAD\nPUSH 1\nADD\nDUP 0\nPUSH 0\nSSTORE\nRET").expect("asm");
     c.bench_function("medvm/storage_counter", |b| {
         let mut state = ContractState::new();
         b.iter(|| vm::execute(&counter, &mut state, &ctx(doctor), &[], 100_000).expect("run"))

@@ -70,5 +70,11 @@ fn bench_signatures(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sha256, bench_hmac, bench_merkle, bench_signatures);
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_hmac,
+    bench_merkle,
+    bench_signatures
+);
 criterion_main!(benches);

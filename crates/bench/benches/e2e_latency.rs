@@ -34,7 +34,7 @@ fn bench_full_update(c: &mut Criterion) {
         ),
     ] {
         g.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
-            let mut system = two_peer_system("bench-e2e", consensus.clone(), 16);
+            let mut bench = two_peer_system("bench-e2e", consensus.clone(), 16);
             let mut rev = 0usize;
             b.iter(|| {
                 rev += 1;
@@ -42,11 +42,10 @@ fn bench_full_update(c: &mut Criterion) {
                 // peers; rebuild the system before they run dry. The
                 // rebuild is rare (every ~500 updates) and visible only
                 // as a few outlier samples.
-                if system.peer("Doctor").expect("peer").keys.remaining() < 4 {
-                    system =
-                        two_peer_system(&format!("bench-e2e-{rev}"), consensus.clone(), 16);
+                if bench.ledger.remaining_keys(bench.doctor).expect("keys") < 4 {
+                    bench = two_peer_system(&format!("bench-e2e-{rev}"), consensus.clone(), 16);
                 }
-                one_dosage_update(&mut system, 1000, rev)
+                one_dosage_update(&mut bench, 1000, rev)
             })
         });
     }

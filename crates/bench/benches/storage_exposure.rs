@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use medledger_core::baselines::{hdg_update_bytes, ours_update_bytes, storage_comparison};
-use medledger_core::exposure::{
-    exposure_report, paper_fine_grained_design, paper_profiles,
-};
+use medledger_core::exposure::{exposure_report, paper_fine_grained_design, paper_profiles};
 use medledger_workload::{deidentify, DeidentConfig, EhrGenerator};
 
 fn bench_storage_models(c: &mut Criterion) {

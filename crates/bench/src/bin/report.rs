@@ -24,7 +24,7 @@ use medledger_core::{ConsensusKind, SystemConfig};
 use medledger_crypto::{sha256, Hash256, KeyPair};
 use medledger_ledger::{Mempool, Transaction, TxPayload};
 use medledger_network::LatencyModel;
-use medledger_relational::{Value, WriteOp};
+use medledger_relational::Value;
 use medledger_workload::{fig1_full_records, EhrGenerator, UpdateStream};
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -91,18 +91,16 @@ fn e1_fig1() {
     println!("Full medical records:");
     println!("{}", fig1_full_records().to_pretty());
     for (peer, table, label) in [
-        ("Patient", "D1", "D1 (Patient)"),
-        ("Researcher", "D2", "D2 (Researcher)"),
-        ("Doctor", "D3", "D3 (Doctor)"),
+        (scn.patient, "D1", "D1 (Patient)"),
+        (scn.researcher, "D2", "D2 (Researcher)"),
+        (scn.doctor, "D3", "D3 (Doctor)"),
     ] {
         println!("{label}:");
         println!(
             "{}",
-            scn.system
-                .peer(peer)
-                .expect("peer")
-                .db
-                .table(table)
+            scn.ledger
+                .reader(peer)
+                .source(table)
                 .expect("table")
                 .to_pretty()
         );
@@ -110,12 +108,20 @@ fn e1_fig1() {
     println!("D13 / D31 (shared Patient↔Doctor):");
     println!(
         "{}",
-        scn.system.read_shared("Patient", SHARE_PD).expect("read").to_pretty()
+        scn.ledger
+            .reader(scn.patient)
+            .read(SHARE_PD)
+            .expect("read")
+            .to_pretty()
     );
     println!("D23 / D32 (shared Researcher↔Doctor):");
     println!(
         "{}",
-        scn.system.read_shared("Researcher", SHARE_RD).expect("read").to_pretty()
+        scn.ledger
+            .reader(scn.researcher)
+            .read(SHARE_RD)
+            .expect("read")
+            .to_pretty()
     );
     println!();
 }
@@ -126,9 +132,12 @@ fn e3_metadata() {
     header("E3 — Fig. 3 metadata collection in the sharing contract");
     let mut scn = scenario::build(scenario_config("report-e3")).expect("build");
     for table_id in [SHARE_PD, SHARE_RD] {
-        let m = scn.system.share_meta(table_id).expect("meta");
+        let m = scn.ledger.share_meta(table_id).expect("meta");
         println!("Metadata ID: {table_id}");
-        println!("  sharing peers : {:?}", m.peers.iter().map(|p| p.short()).collect::<Vec<_>>());
+        println!(
+            "  sharing peers : {:?}",
+            m.peers.iter().map(|p| p.short()).collect::<Vec<_>>()
+        );
         println!("  authority     : {}", m.authority.short());
         println!("  last update   : {} ms", m.last_update_ms);
         println!("  version       : {}", m.version);
@@ -141,10 +150,11 @@ fn e3_metadata() {
     }
     // The paper's permission-change example.
     let (doctor, patient) = (scn.doctor, scn.patient);
-    scn.system
-        .change_permission(doctor, SHARE_PD, "dosage", &[doctor, patient])
+    scn.ledger
+        .session(doctor)
+        .grant(SHARE_PD, "dosage", &[doctor, patient])
         .expect("grant");
-    let m = scn.system.share_meta(SHARE_PD).expect("meta");
+    let m = scn.ledger.share_meta(SHARE_PD).expect("meta");
     println!(
         "\nAfter the Doctor grants Patient write on Dosage: write[dosage] = {:?}",
         m.write_permission["dosage"]
@@ -165,7 +175,7 @@ fn e5_workflow() {
     print!("{}", r.trace.render());
     println!("Doctor follows up on dosage through `{SHARE_PD}` (steps 7-11):");
     print!("{}", d.trace.render());
-    scn.system.check_consistency().expect("consistent");
+    scn.ledger.check_consistency().expect("consistent");
     println!("consistency check: PASS\n");
 }
 
@@ -211,11 +221,11 @@ fn e6_latency() {
     ];
     let k = 20;
     for (label, consensus) in configs {
-        let mut system = two_peer_system("report-e6", consensus, 16);
+        let mut bench = two_peer_system("report-e6", consensus, 16);
         let mut visible = Vec::with_capacity(k);
         let mut synced = Vec::with_capacity(k);
         for rev in 0..k {
-            let (v, s) = one_dosage_update(&mut system, 1000, rev);
+            let (v, s) = one_dosage_update(&mut bench, 1000, rev);
             visible.push(v);
             synced.push(s);
         }
@@ -229,9 +239,12 @@ fn e6_latency() {
     // Batching (the paper: "nodes may choose to collect a lot of updates
     // and then send requests to contracts").
     println!("\nBatching amortization on PoW 12s (virtual ms per edit, all-visible):");
-    println!("{:>10} {:>16} {:>16}", "batch", "latency/batch", "latency/edit");
+    println!(
+        "{:>10} {:>16} {:>16}",
+        "batch", "latency/batch", "latency/edit"
+    );
     for batch in [1usize, 4, 16, 64] {
-        let mut system = two_peer_system(
+        let mut bench = two_peer_system(
             "report-e6-batch",
             ConsensusKind::PublicPow {
                 mean_interval_ms: 12_000,
@@ -242,25 +255,19 @@ fn e6_latency() {
         let rounds = 5;
         let mut total = 0u64;
         for r in 0..rounds {
+            // All edits of a round are staged on one UpdateBatch and
+            // commit as a single request-update transaction.
+            let mut session = bench.ledger.session(bench.doctor);
+            let mut staged = session.begin("ward");
             for (i, pid) in pids.iter().enumerate() {
-                system
-                    .peer_mut("Doctor")
-                    .expect("peer")
-                    .write_shared(
-                        "ward",
-                        WriteOp::Update {
-                            key: vec![Value::Int(*pid)],
-                            assignments: vec![(
-                                "dosage".into(),
-                                Value::text(format!("b{r}-{i}")),
-                            )],
-                        },
-                    )
-                    .expect("edit");
+                staged = staged.set(
+                    vec![Value::Int(*pid)],
+                    "dosage",
+                    Value::text(format!("b{r}-{i}")),
+                );
             }
-            let doctor = system.account_of("Doctor").expect("doctor");
-            let report = system.propagate_update(doctor, "ward").expect("propagate");
-            total += report.visibility_latency_ms();
+            let outcome = staged.commit().expect("commit");
+            total += outcome.visibility_latency_ms();
         }
         let per_batch = total / rounds;
         println!(

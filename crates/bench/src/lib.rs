@@ -3,11 +3,12 @@
 //! The experiment index lives in DESIGN.md §5; EXPERIMENTS.md records the
 //! measured outcomes. Criterion benches measure *wall-clock* cost of the
 //! simulation machinery; the `report` binary prints the *virtual-time*
-//! results that correspond to the paper's claims.
+//! results that correspond to the paper's claims. Everything drives the
+//! system through the typed facade (`MedLedger` / `PeerSession` /
+//! `UpdateBatch`).
 
 use medledger_bx::LensSpec;
-use medledger_core::agreement::SharingAgreement;
-use medledger_core::{ConsensusKind, System, SystemConfig};
+use medledger_core::{ConsensusKind, MedLedger, PeerId, SystemConfig};
 use medledger_relational::{Predicate, Table, Value};
 use medledger_workload::EhrGenerator;
 
@@ -23,18 +24,28 @@ pub fn fast_pbft_config(seed: &str) -> SystemConfig {
     }
 }
 
-/// Builds a doctor+patient system sharing one table over `n_patients`
-/// records, ready for repeated dosage updates.
-pub fn two_peer_system(seed: &str, consensus: ConsensusKind, n_patients: usize) -> System {
-    let mut system = System::bootstrap(SystemConfig {
-        consensus,
-        seed: seed.into(),
-        peer_key_capacity: 1024,
-        ..Default::default()
-    })
-    .expect("bootstrap");
-    let doctor = system.add_peer("Doctor").expect("add");
-    let patient = system.add_peer("Patient").expect("add");
+/// A doctor+patient deployment sharing one "ward" table, ready for
+/// repeated dosage updates through the facade.
+pub struct WardBench {
+    /// The running ledger.
+    pub ledger: MedLedger,
+    /// The hospital side (holds all records; authority of the share).
+    pub doctor: PeerId,
+    /// The patient side.
+    pub patient: PeerId,
+}
+
+/// Builds a doctor+patient ledger sharing one table over `n_patients`
+/// records.
+pub fn two_peer_system(seed: &str, consensus: ConsensusKind, n_patients: usize) -> WardBench {
+    let mut ledger = MedLedger::builder()
+        .seed(seed)
+        .consensus(consensus)
+        .peer_key_capacity(1024)
+        .build()
+        .expect("boot");
+    let doctor = ledger.add_peer("Doctor").expect("add");
+    let patient = ledger.add_peer("Patient").expect("add");
 
     let full = EhrGenerator::new(seed).full_records(n_patients);
     let d3 = full
@@ -55,21 +66,17 @@ pub fn two_peer_system(seed: &str, consensus: ConsensusKind, n_patients: usize) 
             &["patient_id"],
         )
         .expect("patient source");
-    system
-        .peer_mut("Doctor")
-        .expect("peer")
-        .add_source_table("D3", d3)
-        .expect("add");
-    system
-        .peer_mut("Patient")
-        .expect("peer")
-        .add_source_table("P1", p_src)
+    ledger.session(doctor).load_source("D3", d3).expect("add");
+    ledger
+        .session(patient)
+        .load_source("P1", p_src)
         .expect("add");
 
     let shared_attrs = &["patient_id", "medication_name", "clinical_data", "dosage"];
-    let share = SharingAgreement::builder("ward")
+    ledger
+        .session(doctor)
+        .share("ward")
         .bind(
-            doctor,
             "D3",
             LensSpec::project_with_defaults(
                 shared_attrs,
@@ -77,34 +84,39 @@ pub fn two_peer_system(seed: &str, consensus: ConsensusKind, n_patients: usize) 
                 &[("mechanism_of_action", Value::text("unknown"))],
             ),
         )
-        .bind(patient, "P1", LensSpec::project(shared_attrs, &["patient_id"]))
-        .allow_write("patient_id", &[doctor])
-        .allow_write("medication_name", &[doctor])
-        .allow_write("dosage", &[doctor])
-        .allow_write("clinical_data", &[doctor, patient])
-        .authority(doctor)
-        .build();
-    system.create_share(&share).expect("create share");
-    system
+        .with(
+            patient,
+            "P1",
+            LensSpec::project(shared_attrs, &["patient_id"]),
+        )
+        .writers("patient_id", &[doctor])
+        .writers("medication_name", &[doctor])
+        .writers("dosage", &[doctor])
+        .writers("clinical_data", &[doctor, patient])
+        .create()
+        .expect("create share");
+    WardBench {
+        ledger,
+        doctor,
+        patient,
+    }
 }
 
 /// Performs one doctor-side dosage update through the full workflow and
 /// returns (visibility latency, sync latency) in virtual ms.
-pub fn one_dosage_update(system: &mut System, pid: i64, rev: usize) -> (u64, u64) {
-    system
-        .peer_mut("Doctor")
-        .expect("peer")
-        .write_shared(
-            "ward",
-            medledger_relational::WriteOp::Update {
-                key: vec![Value::Int(pid)],
-                assignments: vec![("dosage".into(), Value::text(format!("rev-{rev}")))],
-            },
+pub fn one_dosage_update(bench: &mut WardBench, pid: i64, rev: usize) -> (u64, u64) {
+    let outcome = bench
+        .ledger
+        .session(bench.doctor)
+        .begin("ward")
+        .set(
+            vec![Value::Int(pid)],
+            "dosage",
+            Value::text(format!("rev-{rev}")),
         )
-        .expect("edit");
-    let doctor = system.account_of("Doctor").expect("doctor");
-    let report = system.propagate_update(doctor, "ward").expect("propagate");
-    (report.visibility_latency_ms(), report.sync_latency_ms())
+        .commit()
+        .expect("commit");
+    (outcome.visibility_latency_ms(), outcome.sync_latency_ms())
 }
 
 /// A medical-records table of `n` rows for lens benchmarks.

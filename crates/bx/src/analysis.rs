@@ -28,7 +28,10 @@ impl LensAnalysis {
     /// True iff this lens's footprint intersects `other`'s — the Step-6
     /// criterion for "these two shared views may depend on each other".
     pub fn overlaps(&self, other: &LensAnalysis) -> bool {
-        self.footprint.intersection(&other.footprint).next().is_some()
+        self.footprint
+            .intersection(&other.footprint)
+            .next()
+            .is_some()
     }
 }
 
@@ -41,8 +44,7 @@ pub fn analyze(spec: &LensSpec, source_schema: &Schema) -> Result<LensAnalysis> 
         .map(|n| (n.to_string(), n.to_string()))
         .collect();
     let mut footprint = BTreeSet::new();
-    let (view_schema, attr_origin) =
-        analyze_rec(spec, source_schema, &ident, &mut footprint)?;
+    let (view_schema, attr_origin) = analyze_rec(spec, source_schema, &ident, &mut footprint)?;
     Ok(LensAnalysis {
         view_schema,
         attr_origin,
@@ -114,11 +116,9 @@ fn analyze_rec(
         LensSpec::Rename { from, to } => {
             let view = schema.rename(from, to)?;
             let mut new_origin = origin.clone();
-            let root = new_origin
-                .remove(from)
-                .ok_or_else(|| BxError::IllFormed {
-                    reason: format!("rename of unknown column `{from}`"),
-                })?;
+            let root = new_origin.remove(from).ok_or_else(|| BxError::IllFormed {
+                reason: format!("rename of unknown column `{from}`"),
+            })?;
             footprint.insert(root.clone());
             new_origin.insert(to.clone(), root);
             Ok((view, new_origin))
@@ -187,10 +187,8 @@ mod tests {
 
         // A disjoint pair does not overlap.
         let bx_dosage = LensSpec::project(&["patient_id", "dosage"], &["patient_id"]);
-        let bx_mech = LensSpec::project_distinct(
-            &["mechanism_of_action"],
-            &["mechanism_of_action"],
-        );
+        let bx_mech =
+            LensSpec::project_distinct(&["mechanism_of_action"], &["mechanism_of_action"]);
         let ad = analyze(&bx_dosage, &d3_schema()).expect("ad");
         let am = analyze(&bx_mech, &d3_schema()).expect("am");
         // dosage-view touches patient_id+dosage; mech-view touches only
@@ -200,22 +198,20 @@ mod tests {
 
     #[test]
     fn select_footprint_is_whole_schema() {
-        let lens = LensSpec::select(Predicate::eq(
-            "medication_name",
-            Value::text("Ibuprofen"),
-        ));
+        let lens = LensSpec::select(Predicate::eq("medication_name", Value::text("Ibuprofen")));
         let a = analyze(&lens, &d3_schema()).expect("analysis");
         assert_eq!(a.footprint.len(), 5);
     }
 
     #[test]
     fn rename_tracks_origin_through_compose() {
-        let lens = LensSpec::rename("dosage", "dose").compose(LensSpec::project(
-            &["patient_id", "dose"],
-            &["patient_id"],
-        ));
+        let lens = LensSpec::rename("dosage", "dose")
+            .compose(LensSpec::project(&["patient_id", "dose"], &["patient_id"]));
         let a = analyze(&lens, &d3_schema()).expect("analysis");
-        assert_eq!(a.attr_origin.get("dose").map(String::as_str), Some("dosage"));
+        assert_eq!(
+            a.attr_origin.get("dose").map(String::as_str),
+            Some("dosage")
+        );
         assert!(a.footprint.contains("dosage"));
         assert!(!a.footprint.contains("mechanism_of_action"));
     }

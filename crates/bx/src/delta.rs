@@ -58,9 +58,7 @@ pub fn diff_tables(old: &Table, new: &Table) -> TableDelta {
         }
     }
     // Canonical order for determinism.
-    delta
-        .inserts
-        .sort_by_key(|a| new.schema().key_of(a));
+    delta.inserts.sort_by_key(|a| new.schema().key_of(a));
     delta.updates.sort_by(|a, b| a.0.cmp(&b.0));
     delta.deletes.sort();
     delta
@@ -113,7 +111,10 @@ mod tests {
     fn base() -> Table {
         Table::from_rows(
             schema(),
-            vec![row![1i64, "Ibuprofen", "1x"], row![2i64, "Wellbutrin", "2x"]],
+            vec![
+                row![1i64, "Ibuprofen", "1x"],
+                row![2i64, "Wellbutrin", "2x"],
+            ],
         )
         .expect("table")
     }

@@ -272,11 +272,12 @@ fn put_select(
     }
     // Splice in the (possibly edited) view rows.
     for vrow in view.rows() {
-        out.insert(vrow.clone()).map_err(|e| BxError::Untranslatable {
-            reason: format!(
-                "view row {vrow:?} collides with a source row hidden by the predicate: {e}"
-            ),
-        })?;
+        out.insert(vrow.clone())
+            .map_err(|e| BxError::Untranslatable {
+                reason: format!(
+                    "view row {vrow:?} collides with a source row hidden by the predicate: {e}"
+                ),
+            })?;
     }
     Ok(out)
 }
@@ -374,8 +375,11 @@ mod tests {
     fn project_put_reflects_update_and_keeps_hidden_attrs() {
         let src = d1();
         let mut view = get(&bx13(), &src).expect("get");
-        view.update(&[Value::Int(188)], &[("dosage", Value::text("two tablets"))])
-            .expect("update");
+        view.update(
+            &[Value::Int(188)],
+            &[("dosage", Value::text("two tablets"))],
+        )
+        .expect("update");
         let new_src = put(&bx13(), &src, &view).expect("put");
         let row = new_src.get(&[Value::Int(188)]).expect("row");
         assert_eq!(row[4], Value::text("two tablets"));
@@ -522,10 +526,7 @@ mod tests {
     #[test]
     fn select_lens_round_trips() {
         let src = d3();
-        let lens = LensSpec::select(Predicate::eq(
-            "medication_name",
-            Value::text("Ibuprofen"),
-        ));
+        let lens = LensSpec::select(Predicate::eq("medication_name", Value::text("Ibuprofen")));
         let view = get(&lens, &src).expect("get");
         assert_eq!(view.len(), 1);
         assert_eq!(put(&lens, &src, &view).expect("put"), src);
@@ -534,10 +535,7 @@ mod tests {
     #[test]
     fn select_put_updates_and_passes_through() {
         let src = d3();
-        let lens = LensSpec::select(Predicate::eq(
-            "medication_name",
-            Value::text("Ibuprofen"),
-        ));
+        let lens = LensSpec::select(Predicate::eq("medication_name", Value::text("Ibuprofen")));
         let mut view = get(&lens, &src).expect("get");
         view.update(&[Value::Int(188)], &[("dosage", Value::text("stop"))])
             .expect("update");
@@ -556,10 +554,7 @@ mod tests {
     #[test]
     fn select_put_rejects_predicate_violating_view_row() {
         let src = d3();
-        let lens = LensSpec::select(Predicate::eq(
-            "medication_name",
-            Value::text("Ibuprofen"),
-        ));
+        let lens = LensSpec::select(Predicate::eq("medication_name", Value::text("Ibuprofen")));
         let mut view = get(&lens, &src).expect("get");
         view.update(
             &[Value::Int(188)],
@@ -573,10 +568,7 @@ mod tests {
     #[test]
     fn select_put_rejects_key_collision_with_hidden_row() {
         let src = d3();
-        let lens = LensSpec::select(Predicate::eq(
-            "medication_name",
-            Value::text("Ibuprofen"),
-        ));
+        let lens = LensSpec::select(Predicate::eq("medication_name", Value::text("Ibuprofen")));
         let mut view = get(&lens, &src).expect("get");
         // Insert a view row whose key (189) collides with the hidden
         // Wellbutrin row.
@@ -598,14 +590,10 @@ mod tests {
     #[test]
     fn compose_select_then_project() {
         let src = d3();
-        let lens = LensSpec::select(Predicate::eq(
-            "medication_name",
-            Value::text("Ibuprofen"),
-        ))
-        .compose(LensSpec::project(
-            &["patient_id", "dosage"],
-            &["patient_id"],
-        ));
+        let lens =
+            LensSpec::select(Predicate::eq("medication_name", Value::text("Ibuprofen"))).compose(
+                LensSpec::project(&["patient_id", "dosage"], &["patient_id"]),
+            );
         let view = get(&lens, &src).expect("get");
         assert_eq!(view.len(), 1);
         assert_eq!(view.schema().column_names(), vec!["patient_id", "dosage"]);

@@ -68,11 +68,7 @@ pub fn check_getput(spec: &LensSpec, source: &Table) -> Result<(), LawViolation>
 
 /// Checks PutGet on a concrete source and updated view:
 /// `get(put(s, v')) == v'`.
-pub fn check_putget(
-    spec: &LensSpec,
-    source: &Table,
-    view: &Table,
-) -> Result<(), LawViolation> {
+pub fn check_putget(spec: &LensSpec, source: &Table, view: &Table) -> Result<(), LawViolation> {
     let new_source = put(spec, source, view).map_err(|e| LawViolation::ExecFailed {
         detail: e.to_string(),
     })?;
@@ -117,11 +113,7 @@ mod tests {
             &["id"],
         )
         .expect("schema");
-        Table::from_rows(
-            schema,
-            vec![row![1i64, "a", "s1"], row![2i64, "b", "s2"]],
-        )
-        .expect("table")
+        Table::from_rows(schema, vec![row![1i64, "a", "s1"], row![2i64, "b", "s2"]]).expect("table")
     }
 
     #[test]
@@ -148,9 +140,7 @@ mod tests {
 
     #[test]
     fn violations_render() {
-        let v = LawViolation::GetPut {
-            detail: "x".into(),
-        };
+        let v = LawViolation::GetPut { detail: "x".into() };
         assert!(v.to_string().contains("GetPut"));
         let v = LawViolation::PutGet { detail: "y".into() };
         assert!(v.to_string().contains("PutGet"));

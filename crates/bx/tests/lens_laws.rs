@@ -58,13 +58,13 @@ fn arb_lens() -> impl Strategy<Value = LensSpec> {
             &["id"]
         )),
         Just(LensSpec::project_distinct(&["med", "mech"], &["med"])),
-        (0usize..6).prop_map(|m| LensSpec::select(Predicate::eq(
-            "med",
-            Value::text(format!("med{m}"))
-        ))),
+        (0usize..6)
+            .prop_map(|m| LensSpec::select(Predicate::eq("med", Value::text(format!("med{m}"))))),
         Just(LensSpec::rename("dose", "dosage")),
-        Just(LensSpec::rename("med", "medication")
-            .compose(LensSpec::project(&["id", "medication", "dose"], &["id"]))),
+        Just(
+            LensSpec::rename("med", "medication")
+                .compose(LensSpec::project(&["id", "medication", "dose"], &["id"]))
+        ),
         (0usize..6).prop_map(|m| LensSpec::select(Predicate::eq(
             "med",
             Value::text(format!("med{m}"))
@@ -92,9 +92,7 @@ fn edit_view(view: &Table, pick: usize, del: bool) -> Table {
     // predicate column must not be edited (that would be untranslatable,
     // rightly rejected); we only touch "dose"-like free columns.
     for free in ["dose", "dosage", "addr", "mech"] {
-        if v.schema().has_column(free)
-            && !v.schema().key_names().contains(&free)
-        {
+        if v.schema().has_column(free) && !v.schema().key_names().contains(&free) {
             v.update(&key, &[(free, Value::text("EDITED"))])
                 .expect("update valid");
             return v;

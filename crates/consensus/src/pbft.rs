@@ -257,11 +257,7 @@ impl PbftRound {
                         view_changes += 1;
                         replicas[me].accepted = Some(digest);
                         replicas[me].sent_prepare = true;
-                        replicas[me]
-                            .prepares
-                            .entry(digest)
-                            .or_default()
-                            .insert(me);
+                        replicas[me].prepares.entry(digest).or_default().insert(me);
                         for to in 0..n {
                             if to != me {
                                 let tag = self.tag(0, new_view, &digest, me, to);
@@ -395,9 +391,7 @@ impl PbftRound {
                         let committed = replicas
                             .iter()
                             .enumerate()
-                            .filter(|(i, r)| {
-                                !self.crashed.contains(i) && r.committed_at.is_some()
-                            })
+                            .filter(|(i, r)| !self.crashed.contains(i) && r.committed_at.is_some())
                             .count();
                         if committed == live_count {
                             all_commit = Some(now);

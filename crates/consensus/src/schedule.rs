@@ -100,7 +100,9 @@ mod tests {
         for v in s.validators() {
             assert!(s.index_of(v).is_some());
         }
-        assert!(s.index_of(&KeyPair::generate("stranger", 2).public()).is_none());
+        assert!(s
+            .index_of(&KeyPair::generate("stranger", 2).public())
+            .is_none());
     }
 
     #[test]

@@ -51,6 +51,21 @@ pub enum ContractError {
     Vm(String),
 }
 
+impl ContractError {
+    /// Maps the error onto the ledger's receipt-level classification.
+    pub fn revert_kind(&self) -> medledger_ledger::RevertKind {
+        use medledger_ledger::RevertKind;
+        match self {
+            ContractError::PermissionDenied(_) => RevertKind::PermissionDenied,
+            ContractError::NotFound(_) => RevertKind::NotFound,
+            ContractError::AlreadyExists(_) => RevertKind::AlreadyExists,
+            ContractError::BadCall(_) => RevertKind::BadCall,
+            ContractError::StateLocked(_) => RevertKind::StateLocked,
+            ContractError::Vm(_) => RevertKind::VmError,
+        }
+    }
+}
+
 impl fmt::Display for ContractError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -155,6 +170,7 @@ impl ContractRuntime {
             Err(e) => Receipt {
                 tx_id,
                 status: TxStatus::Reverted {
+                    kind: e.revert_kind(),
                     reason: e.to_string(),
                 },
                 gas_used: 0,
@@ -216,16 +232,22 @@ impl ContractRuntime {
                     block_height,
                     timestamp_ms,
                 };
-                let deployed = self
-                    .contracts
-                    .get_mut(contract)
-                    .ok_or_else(|| ContractError::NotFound(format!("contract {}", contract.short())))?;
+                let deployed = self.contracts.get_mut(contract).ok_or_else(|| {
+                    ContractError::NotFound(format!("contract {}", contract.short()))
+                })?;
                 // Atomicity: run against a scratch copy, commit on success.
                 let mut scratch = deployed.state.clone();
                 let out = if deployed.code == SharingContract::CODE_TAG {
                     SharingContract::call(&mut scratch, &ctx, method, args)?
                 } else {
-                    Self::call_vm(&deployed.code, &mut scratch, &ctx, method, args, self.gas_limit)?
+                    Self::call_vm(
+                        &deployed.code,
+                        &mut scratch,
+                        &ctx,
+                        method,
+                        args,
+                        self.gas_limit,
+                    )?
                 };
                 deployed.state = scratch;
                 Ok(out)
@@ -256,7 +278,14 @@ impl ContractRuntime {
         let out = if deployed.code == SharingContract::CODE_TAG {
             SharingContract::call(&mut scratch, &ctx, method, args)?
         } else {
-            Self::call_vm(&deployed.code, &mut scratch, &ctx, method, args, self.gas_limit)?
+            Self::call_vm(
+                &deployed.code,
+                &mut scratch,
+                &ctx,
+                method,
+                args,
+                self.gas_limit,
+            )?
         };
         Ok(out.ret)
     }
@@ -386,7 +415,13 @@ mod tests {
     fn call_to_missing_contract_reverts() {
         let mut rt = ContractRuntime::new();
         let mut kp = KeyPair::generate("rt-x", 4);
-        let stx = signed_call(&mut kp, 0, Hash256([9; 32]), "get_meta", &serde_json::json!({"table_id": "t"}));
+        let stx = signed_call(
+            &mut kp,
+            0,
+            Hash256([9; 32]),
+            "get_meta",
+            &serde_json::json!({"table_id": "t"}),
+        );
         let receipt = rt.execute(&stx, 1, 1);
         assert!(matches!(receipt.status, TxStatus::Reverted { .. }));
     }

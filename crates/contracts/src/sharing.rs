@@ -261,9 +261,8 @@ impl SharingContract {
         ctx: &CallCtx,
         args: RequestUpdateArgs,
     ) -> Result<CallOutput, ContractError> {
-        let mut meta = Self::load_meta(state, &args.table_id).ok_or_else(|| {
-            ContractError::NotFound(format!("shared table `{}`", args.table_id))
-        })?;
+        let mut meta = Self::load_meta(state, &args.table_id)
+            .ok_or_else(|| ContractError::NotFound(format!("shared table `{}`", args.table_id)))?;
         if !meta.peers.contains(&ctx.sender) {
             return Err(ContractError::PermissionDenied(format!(
                 "{} is not a sharing peer of `{}`",
@@ -324,9 +323,8 @@ impl SharingContract {
         ctx: &CallCtx,
         args: AckUpdateArgs,
     ) -> Result<CallOutput, ContractError> {
-        let mut meta = Self::load_meta(state, &args.table_id).ok_or_else(|| {
-            ContractError::NotFound(format!("shared table `{}`", args.table_id))
-        })?;
+        let mut meta = Self::load_meta(state, &args.table_id)
+            .ok_or_else(|| ContractError::NotFound(format!("shared table `{}`", args.table_id)))?;
         if args.version != meta.version {
             return Err(ContractError::BadCall(format!(
                 "ack for version {} but table is at version {}",
@@ -378,9 +376,8 @@ impl SharingContract {
         ctx: &CallCtx,
         args: ChangePermissionArgs,
     ) -> Result<CallOutput, ContractError> {
-        let mut meta = Self::load_meta(state, &args.table_id).ok_or_else(|| {
-            ContractError::NotFound(format!("shared table `{}`", args.table_id))
-        })?;
+        let mut meta = Self::load_meta(state, &args.table_id)
+            .ok_or_else(|| ContractError::NotFound(format!("shared table `{}`", args.table_id)))?;
         if ctx.sender != meta.authority {
             return Err(ContractError::PermissionDenied(format!(
                 "only the authority {} may change permissions",
@@ -426,9 +423,8 @@ impl SharingContract {
         ctx: &CallCtx,
         args: RemoveShareArgs,
     ) -> Result<CallOutput, ContractError> {
-        let meta = Self::load_meta(state, &args.table_id).ok_or_else(|| {
-            ContractError::NotFound(format!("shared table `{}`", args.table_id))
-        })?;
+        let meta = Self::load_meta(state, &args.table_id)
+            .ok_or_else(|| ContractError::NotFound(format!("shared table `{}`", args.table_id)))?;
         if ctx.sender != meta.authority {
             return Err(ContractError::PermissionDenied(format!(
                 "only the authority {} may remove the share",
@@ -454,13 +450,9 @@ impl SharingContract {
         })
     }
 
-    fn get_meta(
-        state: &ContractState,
-        args: GetMetaArgs,
-    ) -> Result<CallOutput, ContractError> {
-        let meta = Self::load_meta(state, &args.table_id).ok_or_else(|| {
-            ContractError::NotFound(format!("shared table `{}`", args.table_id))
-        })?;
+    fn get_meta(state: &ContractState, args: GetMetaArgs) -> Result<CallOutput, ContractError> {
+        let meta = Self::load_meta(state, &args.table_id)
+            .ok_or_else(|| ContractError::NotFound(format!("shared table `{}`", args.table_id)))?;
         Ok(CallOutput {
             ret: serde_json::to_value(&meta).expect("meta serializes"),
             logs: vec![],
@@ -938,8 +930,16 @@ mod tests {
         let patient = f.patient;
         // Non-authority denied.
         assert!(matches!(
-            call(&mut f, patient, 1, "remove_share", &RemoveShareArgs { table_id: "D13&D31".into() })
-                .unwrap_err(),
+            call(
+                &mut f,
+                patient,
+                1,
+                "remove_share",
+                &RemoveShareArgs {
+                    table_id: "D13&D31".into()
+                }
+            )
+            .unwrap_err(),
             ContractError::PermissionDenied(_)
         ));
         // Locked while acks pending.
@@ -956,8 +956,16 @@ mod tests {
         )
         .expect("update");
         assert!(matches!(
-            call(&mut f, doctor, 3, "remove_share", &RemoveShareArgs { table_id: "D13&D31".into() })
-                .unwrap_err(),
+            call(
+                &mut f,
+                doctor,
+                3,
+                "remove_share",
+                &RemoveShareArgs {
+                    table_id: "D13&D31".into()
+                }
+            )
+            .unwrap_err(),
             ContractError::StateLocked(_)
         ));
         call(
@@ -973,15 +981,31 @@ mod tests {
         )
         .expect("ack");
         // Now the authority can retire the share.
-        let out = call(&mut f, doctor, 5, "remove_share", &RemoveShareArgs { table_id: "D13&D31".into() })
-            .expect("remove");
+        let out = call(
+            &mut f,
+            doctor,
+            5,
+            "remove_share",
+            &RemoveShareArgs {
+                table_id: "D13&D31".into(),
+            },
+        )
+        .expect("remove");
         assert_eq!(out.logs[0].topic, "ShareRemoved");
         assert!(SharingContract::load_meta(&f.state, "D13&D31").is_none());
         assert!(SharingContract::table_ids(&f.state).is_empty());
         // Removing twice fails.
         assert!(matches!(
-            call(&mut f, doctor, 6, "remove_share", &RemoveShareArgs { table_id: "D13&D31".into() })
-                .unwrap_err(),
+            call(
+                &mut f,
+                doctor,
+                6,
+                "remove_share",
+                &RemoveShareArgs {
+                    table_id: "D13&D31".into()
+                }
+            )
+            .unwrap_err(),
             ContractError::NotFound(_)
         ));
     }
@@ -990,13 +1014,8 @@ mod tests {
     fn unknown_method_rejected() {
         let mut f = fixture();
         let doctor = f.doctor;
-        let err = SharingContract::call(
-            &mut f.state,
-            &ctx(doctor, 1),
-            "mint_money",
-            b"{}",
-        )
-        .unwrap_err();
+        let err =
+            SharingContract::call(&mut f.state, &ctx(doctor, 1), "mint_money", b"{}").unwrap_err();
         assert!(matches!(err, ContractError::BadCall(_)));
     }
 }

@@ -475,7 +475,9 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<Op>, VmError> {
             0x71 => Op::Revert,
             0x72 => Op::Halt,
             other => {
-                return Err(VmError::BadBytecode(format!("unknown opcode 0x{other:02x}")))
+                return Err(VmError::BadBytecode(format!(
+                    "unknown opcode 0x{other:02x}"
+                )))
             }
         };
         out.push(op);
@@ -542,12 +544,16 @@ pub mod asm {
                     VmError::BadBytecode(format!("bad PUSH operand `{operand:?}`"))
                 })?),
                 "POP" => Op::Pop,
-                "DUP" => Op::Dup(need(operand, &mnem)?.parse().map_err(|_| {
-                    VmError::BadBytecode("bad DUP depth".into())
-                })?),
-                "SWAP" => Op::Swap(need(operand, &mnem)?.parse().map_err(|_| {
-                    VmError::BadBytecode("bad SWAP depth".into())
-                })?),
+                "DUP" => Op::Dup(
+                    need(operand, &mnem)?
+                        .parse()
+                        .map_err(|_| VmError::BadBytecode("bad DUP depth".into()))?,
+                ),
+                "SWAP" => Op::Swap(
+                    need(operand, &mnem)?
+                        .parse()
+                        .map_err(|_| VmError::BadBytecode("bad SWAP depth".into()))?,
+                ),
                 "ADD" => Op::Add,
                 "SUB" => Op::Sub,
                 "MUL" => Op::Mul,
@@ -564,18 +570,18 @@ pub mod asm {
                 "SLOAD" => Op::SLoad,
                 "SSTORE" => Op::SStore,
                 "CALLER" => Op::Caller,
-                "ARG" => Op::Arg(need(operand, &mnem)?.parse().map_err(|_| {
-                    VmError::BadBytecode("bad ARG index".into())
-                })?),
+                "ARG" => Op::Arg(
+                    need(operand, &mnem)?
+                        .parse()
+                        .map_err(|_| VmError::BadBytecode("bad ARG index".into()))?,
+                ),
                 "TIME" => Op::Time,
                 "HEIGHT" => Op::Height,
                 "LOG" => Op::Log,
                 "RET" => Op::Ret,
                 "REVERT" => Op::Revert,
                 "HALT" => Op::Halt,
-                other => {
-                    return Err(VmError::BadBytecode(format!("unknown mnemonic `{other}`")))
-                }
+                other => return Err(VmError::BadBytecode(format!("unknown mnemonic `{other}`"))),
             };
             out.push(op);
         }

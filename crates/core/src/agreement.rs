@@ -61,7 +61,12 @@ pub struct SharingAgreementBuilder {
 
 impl SharingAgreementBuilder {
     /// Adds a peer with its source table and lens.
-    pub fn bind(mut self, peer: AccountId, source_table: impl Into<String>, lens: LensSpec) -> Self {
+    pub fn bind(
+        mut self,
+        peer: AccountId,
+        source_table: impl Into<String>,
+        lens: LensSpec,
+    ) -> Self {
         self.bindings.insert(
             peer,
             PeerBinding {
@@ -134,7 +139,11 @@ mod tests {
     fn build_without_authority_panics() {
         let doctor = KeyPair::generate("agr-d2", 2).public();
         let _ = SharingAgreement::builder("T")
-            .bind(doctor, "D", LensSpec::select(medledger_relational::Predicate::True))
+            .bind(
+                doctor,
+                "D",
+                LensSpec::select(medledger_relational::Predicate::True),
+            )
             .build();
     }
 
@@ -143,8 +152,16 @@ mod tests {
         let doctor = KeyPair::generate("agr-ser", 2).public();
         let patient = KeyPair::generate("agr-ser2", 2).public();
         let a = SharingAgreement::builder("T")
-            .bind(doctor, "D3", LensSpec::select(medledger_relational::Predicate::True))
-            .bind(patient, "D1", LensSpec::select(medledger_relational::Predicate::True))
+            .bind(
+                doctor,
+                "D3",
+                LensSpec::select(medledger_relational::Predicate::True),
+            )
+            .bind(
+                patient,
+                "D1",
+                LensSpec::select(medledger_relational::Predicate::True),
+            )
             .allow_write("x", &[doctor])
             .authority(doctor)
             .build();

@@ -2,9 +2,28 @@
 
 use medledger_bx::BxError;
 use medledger_contracts::ContractError;
-use medledger_ledger::ChainError;
+use medledger_ledger::{ChainError, RevertKind, TxId};
 use medledger_relational::RelationalError;
 use std::fmt;
+
+/// Structured description of an on-chain revert: the transaction that
+/// reverted, the receipt-level classification, and the human-readable
+/// reason. The receipt itself stays retrievable from the system by id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RevertInfo {
+    /// The reverted transaction.
+    pub tx_id: TxId,
+    /// Machine-readable classification from the receipt.
+    pub kind: RevertKind,
+    /// Human-readable revert reason.
+    pub reason: String,
+}
+
+impl fmt::Display for RevertInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
 
 /// Errors from the assembled system.
 #[derive(Clone, Debug, PartialEq)]
@@ -25,7 +44,7 @@ pub enum CoreError {
     /// produce different initial views).
     BadAgreement(String),
     /// The on-chain transaction reverted.
-    TxReverted(String),
+    TxReverted(RevertInfo),
     /// Consensus failed to commit a block.
     ConsensusFailed(String),
     /// A signing key ran out of one-time keys.

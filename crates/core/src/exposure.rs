@@ -87,11 +87,7 @@ pub fn exposure_report(design: &SharingDesign, profiles: &[InterestProfile]) -> 
     profiles
         .iter()
         .map(|p| {
-            let exposed = design
-                .exposed
-                .get(&p.name)
-                .cloned()
-                .unwrap_or_default();
+            let exposed = design.exposed.get(&p.name).cloned().unwrap_or_default();
             let covered = exposed.intersection(&p.interests).count();
             let interference = exposed.difference(&p.interests).count();
             let missing = p.interests.difference(&exposed).count();
@@ -116,7 +112,13 @@ pub fn paper_profiles() -> Vec<InterestProfile> {
     vec![
         InterestProfile::new(
             "Patient",
-            &["patient_id", "medication_name", "clinical_data", "address", "dosage"],
+            &[
+                "patient_id",
+                "medication_name",
+                "clinical_data",
+                "address",
+                "dosage",
+            ],
         ),
         InterestProfile::new(
             "Researcher",
@@ -141,7 +143,13 @@ pub fn paper_fine_grained_design() -> SharingDesign {
     SharingDesign::fine_grained(&[
         (
             "Patient",
-            &["patient_id", "medication_name", "clinical_data", "address", "dosage"][..],
+            &[
+                "patient_id",
+                "medication_name",
+                "clinical_data",
+                "address",
+                "dosage",
+            ][..],
         ),
         (
             "Researcher",
@@ -187,10 +195,8 @@ mod tests {
 
     #[test]
     fn whole_record_exposes_unwanted_attributes() {
-        let design = SharingDesign::whole_record(
-            &["Patient", "Researcher", "Doctor"],
-            &all_attrs(),
-        );
+        let design =
+            SharingDesign::whole_record(&["Patient", "Researcher", "Doctor"], &all_attrs());
         let rows = exposure_report(&design, &paper_profiles());
         // Researcher is interested in 3 of 7 attrs → 4 interfering.
         let researcher = rows.iter().find(|r| r.name == "Researcher").expect("row");
@@ -214,10 +220,7 @@ mod tests {
     #[test]
     fn unknown_stakeholder_sees_nothing() {
         let design = paper_fine_grained_design();
-        let rows = exposure_report(
-            &design,
-            &[InterestProfile::new("Insurer", &["dosage"])],
-        );
+        let rows = exposure_report(&design, &[InterestProfile::new("Insurer", &["dosage"])]);
         assert_eq!(rows[0].exposed, 0);
         assert_eq!(rows[0].missing, 1);
     }

@@ -13,9 +13,16 @@
 //! * [`agreement::SharingAgreement`] — the pairwise protocol: which lens
 //!   each peer uses to derive the shared table from its own source, and
 //!   the Fig. 3 permission matrix registered on the sharing contract,
-//! * [`system::System`] — the whole simulated deployment: peers, the
-//!   permissioned chain with PBFT (or a public-PoW model), the sharing
-//!   contract, and the Fig. 4 / Fig. 5 workflows with numbered traces,
+//! * [`system::System`] — the engine: the whole simulated deployment —
+//!   peers, the permissioned chain with PBFT (or a public-PoW model), the
+//!   sharing contract, and the Fig. 4 / Fig. 5 workflows with numbered
+//!   traces,
+//! * [`facade`] — the public surface: [`facade::MedLedger`] (fluent
+//!   builder, typed [`system::PeerId`] handles),
+//!   [`facade::PeerSession`] (read / share / audit / grant), and the
+//!   transactional [`facade::UpdateBatch`] whose `commit()` drives the
+//!   whole Fig. 5 pipeline and returns a typed
+//!   [`facade::CommitOutcome`],
 //! * [`scenario`] — the paper's exact Fig. 1 scenario, programmatically,
 //! * [`baselines`] — storage models of HDG [22] and MedRec [4] for the
 //!   E8/E9 comparisons,
@@ -28,14 +35,19 @@ pub mod agreement;
 pub mod baselines;
 pub mod error;
 pub mod exposure;
+pub mod facade;
 pub mod peer;
 pub mod scenario;
 pub mod system;
 
 pub use agreement::{PeerBinding, SharingAgreement};
-pub use error::CoreError;
+pub use error::{CoreError, RevertInfo};
+pub use facade::{
+    CommitError, CommitOutcome, MedLedger, MedLedgerBuilder, PeerReader, PeerSession, ShareBuilder,
+    UpdateBatch,
+};
 pub use peer::PeerNode;
-pub use system::{ConsensusKind, System, SystemConfig, UpdateReport, WorkflowTrace};
+pub use system::{ConsensusKind, PeerId, System, SystemConfig, UpdateReport, WorkflowTrace};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

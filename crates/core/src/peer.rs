@@ -197,8 +197,10 @@ impl PeerNode {
             .apply(&binding.source_table, WriteOp::Replace { rows: src_rows })?;
         // Refresh the stored shared copy and the committed baseline.
         let view_rows: Vec<medledger_relational::Row> = new_view.rows().cloned().collect();
-        self.db.apply(table_id, WriteOp::Replace { rows: view_rows })?;
-        self.baselines.insert(table_id.to_string(), new_view.clone());
+        self.db
+            .apply(table_id, WriteOp::Replace { rows: view_rows })?;
+        self.baselines
+            .insert(table_id.to_string(), new_view.clone());
         self.applied_versions.insert(table_id.to_string(), version);
         Ok(())
     }
@@ -523,13 +525,12 @@ mod tests {
         assert_eq!(s.arity(), 7);
         let mut p = PeerNode::new("P", "schema", 4);
         p.create_source_table("full", s).expect("create");
-        p.db
-            .apply(
-                "full",
-                WriteOp::Insert {
-                    row: row![1i64, "m", "c", "a", "d", "me", "mo"],
-                },
-            )
-            .expect("insert");
+        p.db.apply(
+            "full",
+            WriteOp::Insert {
+                row: row![1i64, "m", "c", "a", "d", "me", "mo"],
+            },
+        )
+        .expect("insert");
     }
 }

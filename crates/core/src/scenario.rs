@@ -15,13 +15,16 @@
 //! research share). The key attribute of each shared table is registered
 //! with a writer set too, so inserts/deletes (which touch the key) are
 //! permission-checked like any other attribute.
+//!
+//! Everything is expressed through the typed facade: the scenario returns
+//! a [`MedLedger`] plus [`PeerId`] handles, and [`run_fig5`] drives the
+//! workflow with [`crate::facade::UpdateBatch::commit`].
 
-use crate::agreement::SharingAgreement;
-use crate::system::{System, SystemConfig, UpdateReport};
+use crate::facade::{CommitError, CommitOutcome, MedLedger, PeerId};
+use crate::system::SystemConfig;
 use crate::Result;
 use medledger_bx::LensSpec;
-use medledger_ledger::AccountId;
-use medledger_relational::{Predicate, Value, WriteOp};
+use medledger_relational::{Predicate, Value};
 use medledger_workload::fig1_full_records;
 
 /// Shared table between Patient and Doctor (Fig. 1's D13 / D31).
@@ -37,14 +40,14 @@ pub const RESEARCHER: &str = "Researcher";
 
 /// Handles into the built scenario.
 pub struct Fig1Scenario {
-    /// The running system.
-    pub system: System,
-    /// Patient account.
-    pub patient: AccountId,
-    /// Doctor account.
-    pub doctor: AccountId,
-    /// Researcher account.
-    pub researcher: AccountId,
+    /// The running ledger.
+    pub ledger: MedLedger,
+    /// Patient handle.
+    pub patient: PeerId,
+    /// Doctor handle.
+    pub doctor: PeerId,
+    /// Researcher handle.
+    pub researcher: PeerId,
 }
 
 /// The lens BX13: Patient's D1 → D13 (a0, a1, a2, a4; D1 holds only the
@@ -84,12 +87,12 @@ pub fn bx32_lens() -> LensSpec {
     )
 }
 
-/// Builds the Fig. 1 scenario on a fresh system.
+/// Builds the Fig. 1 scenario on a fresh ledger.
 pub fn build(config: SystemConfig) -> Result<Fig1Scenario> {
-    let mut system = System::bootstrap(config)?;
-    let patient = system.add_peer(PATIENT)?;
-    let doctor = system.add_peer(DOCTOR)?;
-    let researcher = system.add_peer(RESEARCHER)?;
+    let mut ledger = MedLedger::builder().config(config).build()?;
+    let patient = ledger.add_peer(PATIENT)?;
+    let doctor = ledger.add_peer(DOCTOR)?;
+    let researcher = ledger.add_peer(RESEARCHER)?;
 
     let full = fig1_full_records();
     // Fig. 1 source tables as projections of the full records.
@@ -97,7 +100,13 @@ pub fn build(config: SystemConfig) -> Result<Fig1Scenario> {
     let d1 = full
         .select(&Predicate::eq("patient_id", Value::Int(188)))?
         .project(
-            &["patient_id", "medication_name", "clinical_data", "address", "dosage"],
+            &[
+                "patient_id",
+                "medication_name",
+                "clinical_data",
+                "address",
+                "dosage",
+            ],
             &["patient_id"],
         )?;
     let d2 = full.project_distinct(
@@ -114,34 +123,35 @@ pub fn build(config: SystemConfig) -> Result<Fig1Scenario> {
         ],
         &["patient_id"],
     )?;
-    system.peer_mut(PATIENT)?.add_source_table("D1", d1)?;
-    system.peer_mut(RESEARCHER)?.add_source_table("D2", d2)?;
-    system.peer_mut(DOCTOR)?.add_source_table("D3", d3)?;
+    ledger.session(patient).load_source("D1", d1)?;
+    ledger.session(researcher).load_source("D2", d2)?;
+    ledger.session(doctor).load_source("D3", d3)?;
 
-    // Share D13&D31 with the Fig. 3 permission row.
-    let share_pd = SharingAgreement::builder(SHARE_PD)
-        .bind(patient, "D1", bx13_lens())
-        .bind(doctor, "D3", bx31_lens())
-        .allow_write("patient_id", &[doctor])
-        .allow_write("medication_name", &[doctor])
-        .allow_write("dosage", &[doctor])
-        .allow_write("clinical_data", &[patient, doctor])
-        .authority(doctor)
-        .build();
-    system.create_share(&share_pd)?;
+    // Share D13&D31 with the Fig. 3 permission row (Doctor is authority).
+    ledger
+        .session(doctor)
+        .share(SHARE_PD)
+        .bind("D3", bx31_lens())
+        .with(patient, "D1", bx13_lens())
+        .writers("patient_id", &[doctor])
+        .writers("medication_name", &[doctor])
+        .writers("dosage", &[doctor])
+        .writers("clinical_data", &[patient, doctor])
+        .create()?;
 
-    // Share D23&D32 with the Fig. 3 permission row.
-    let share_rd = SharingAgreement::builder(SHARE_RD)
-        .bind(researcher, "D2", bx23_lens())
-        .bind(doctor, "D3", bx32_lens())
-        .allow_write("medication_name", &[doctor, researcher])
-        .allow_write("mechanism_of_action", &[researcher])
-        .authority(researcher)
-        .build();
-    system.create_share(&share_rd)?;
+    // Share D23&D32 with the Fig. 3 permission row (Researcher is
+    // authority).
+    ledger
+        .session(researcher)
+        .share(SHARE_RD)
+        .bind("D2", bx23_lens())
+        .with(doctor, "D3", bx32_lens())
+        .writers("medication_name", &[doctor, researcher])
+        .writers("mechanism_of_action", &[researcher])
+        .create()?;
 
     Ok(Fig1Scenario {
-        system,
+        ledger,
         patient,
         doctor,
         researcher,
@@ -150,47 +160,52 @@ pub fn build(config: SystemConfig) -> Result<Fig1Scenario> {
 
 /// Runs the paper's Fig. 5 narrative:
 ///
-/// 1. the Researcher updates `MeA1` on its source D2 and propagates
-///    through `D23&D32` (Steps 1–5; Step 6 finds no content change in
-///    `D13&D31`, so Steps 7–11 are skipped), then
-/// 2. the Doctor decides to update the Dosage and propagates through
+/// 1. the Researcher updates `MeA1` on its source D2 and commits through
+///    `D23&D32` (Steps 1–5; Step 6 finds no content change in `D13&D31`,
+///    so Steps 7–11 are skipped), then
+/// 2. the Doctor decides to update the Dosage and commits through
 ///    `D13&D31` (the paper's Steps 7–11).
 ///
-/// Returns both reports (researcher's, doctor's).
-pub fn run_fig5(scn: &mut Fig1Scenario) -> Result<(UpdateReport, UpdateReport)> {
-    // Researcher edits the mechanism on its own source.
-    scn.system.peer_mut(RESEARCHER)?.write_source(
-        "D2",
-        WriteOp::Update {
-            key: vec![Value::text("Ibuprofen")],
-            assignments: vec![(
-                "mechanism_of_action".into(),
-                Value::text("MeA1-revised"),
-            )],
-        },
-    )?;
-    let researcher_report = scn.system.propagate_update(scn.researcher, SHARE_RD)?;
+/// Returns both commit outcomes (researcher's, doctor's).
+pub fn run_fig5(
+    scn: &mut Fig1Scenario,
+) -> std::result::Result<(CommitOutcome, CommitOutcome), CommitError> {
+    // Researcher edits the mechanism on its own source; the change flows
+    // through BX23 into the shared table at commit.
+    let researcher_outcome = scn
+        .ledger
+        .session(scn.researcher)
+        .begin(SHARE_RD)
+        .update_source(
+            "D2",
+            vec![Value::text("Ibuprofen")],
+            vec![("mechanism_of_action".into(), Value::text("MeA1-revised"))],
+        )
+        .commit()?;
 
     // Doctor decides to modify the dosage on D31 (paper Step 7).
-    scn.system.peer_mut(DOCTOR)?.write_shared(
-        SHARE_PD,
-        WriteOp::Update {
-            key: vec![Value::Int(188)],
-            assignments: vec![("dosage".into(), Value::text("two tablets every 6h"))],
-        },
-    )?;
-    let doctor_report = scn.system.propagate_update(scn.doctor, SHARE_PD)?;
+    let doctor_outcome = scn
+        .ledger
+        .session(scn.doctor)
+        .begin(SHARE_PD)
+        .set(
+            vec![Value::Int(188)],
+            "dosage",
+            Value::text("two tablets every 6h"),
+        )
+        .commit()?;
 
-    Ok((researcher_report, doctor_report))
+    Ok((researcher_outcome, doctor_outcome))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::system::ConsensusKind;
 
     fn fast_config() -> SystemConfig {
         SystemConfig {
-            consensus: crate::system::ConsensusKind::PrivatePbft {
+            consensus: ConsensusKind::PrivatePbft {
                 block_interval_ms: 100,
             },
             seed: "scenario-test".into(),
@@ -201,76 +216,80 @@ mod tests {
 
     #[test]
     fn fig1_views_match_paper() {
-        let scn = build(fast_config()).expect("build");
+        let mut scn = build(fast_config()).expect("build");
         // D13 on Patient == D31 on Doctor, byte for byte.
-        let d13 = scn.system.peer(PATIENT).expect("peer").shared_table(SHARE_PD).expect("D13");
-        let d31 = scn.system.peer(DOCTOR).expect("peer").shared_table(SHARE_PD).expect("D31");
+        let d13 = scn.ledger.session(scn.patient).read(SHARE_PD).expect("D13");
+        let d31 = scn.ledger.session(scn.doctor).read(SHARE_PD).expect("D31");
         assert_eq!(d13.content_hash(), d31.content_hash());
         assert_eq!(d13.len(), 1, "only patient 188 is in D1");
         // D23 == D32.
         let d23 = scn
-            .system
-            .peer(RESEARCHER)
-            .expect("peer")
-            .shared_table(SHARE_RD)
+            .ledger
+            .session(scn.researcher)
+            .read(SHARE_RD)
             .expect("D23");
-        let d32 = scn.system.peer(DOCTOR).expect("peer").shared_table(SHARE_RD).expect("D32");
+        let d32 = scn.ledger.session(scn.doctor).read(SHARE_RD).expect("D32");
         assert_eq!(d23.content_hash(), d32.content_hash());
         assert_eq!(d23.len(), 2);
-        scn.system.check_consistency().expect("consistent");
+        scn.ledger.check_consistency().expect("consistent");
     }
 
     #[test]
     fn fig3_metadata_rows_on_contract() {
         let scn = build(fast_config()).expect("build");
-        let meta = scn.system.share_meta(SHARE_PD).expect("meta");
+        let meta = scn.ledger.share_meta(SHARE_PD).expect("meta");
         assert_eq!(meta.peers.len(), 2);
-        assert_eq!(meta.authority, scn.doctor);
-        assert!(meta.write_permission["clinical_data"].contains(&scn.patient));
-        assert!(!meta.write_permission["dosage"].contains(&scn.patient));
-        let meta_rd = scn.system.share_meta(SHARE_RD).expect("meta");
-        assert_eq!(meta_rd.authority, scn.researcher);
-        assert!(meta_rd.write_permission["mechanism_of_action"].contains(&scn.researcher));
+        assert_eq!(meta.authority, scn.doctor.account());
+        assert!(meta.write_permission["clinical_data"].contains(&scn.patient.account()));
+        assert!(!meta.write_permission["dosage"].contains(&scn.patient.account()));
+        let meta_rd = scn.ledger.share_meta(SHARE_RD).expect("meta");
+        assert_eq!(meta_rd.authority, scn.researcher.account());
+        assert!(meta_rd.write_permission["mechanism_of_action"].contains(&scn.researcher.account()));
     }
 
     #[test]
     fn fig5_full_workflow() {
         let mut scn = build(fast_config()).expect("build");
-        let (r_report, d_report) = run_fig5(&mut scn).expect("fig5");
+        let (r_outcome, d_outcome) = run_fig5(&mut scn).expect("fig5");
 
         // Researcher's update propagated the mechanism to the Doctor's D3.
-        let d3 = scn.system.peer(DOCTOR).expect("peer").db.table("D3").expect("D3");
+        let d3 = scn.ledger.session(scn.doctor).source("D3").expect("D3");
         assert_eq!(
             d3.get(&[Value::Int(188)]).expect("row")[3],
             Value::text("MeA1-revised")
         );
         // Step 6 ran and found no cascade.
-        assert!(r_report
+        assert!(r_outcome
             .trace
             .steps
             .iter()
             .any(|s| s.number == "6" && s.description.contains("no cascade")));
-        assert!(r_report.cascades.is_empty());
+        assert!(r_outcome.cascades().is_empty());
 
         // Doctor's dosage update reached the Patient's D1.
-        let d1 = scn.system.peer(PATIENT).expect("peer").db.table("D1").expect("D1");
+        let d1 = scn.ledger.session(scn.patient).source("D1").expect("D1");
         assert_eq!(
             d1.get(&[Value::Int(188)]).expect("row")[4],
             Value::text("two tablets every 6h")
         );
-        assert_eq!(d_report.changed_attrs, vec!["dosage".to_string()]);
+        assert_eq!(d_outcome.changed_attrs(), ["dosage".to_string()]);
+        // The commit produced on-chain receipts (request + ack).
+        assert!(d_outcome.receipts.len() >= 2);
+        assert!(d_outcome.receipts.iter().all(|r| r.status.is_success()));
 
         // All shared tables are consistent and synced afterwards.
-        scn.system.check_consistency().expect("consistent");
-        assert!(scn.system.share_meta(SHARE_PD).expect("meta").synced());
-        assert!(scn.system.share_meta(SHARE_RD).expect("meta").synced());
+        scn.ledger.check_consistency().expect("consistent");
+        assert!(scn.ledger.share_meta(SHARE_PD).expect("meta").synced());
+        assert!(scn.ledger.share_meta(SHARE_RD).expect("meta").synced());
 
         // Audit history shows the updates on chain.
-        let hist = scn.system.audit(SHARE_RD);
+        let hist = scn.ledger.audit(SHARE_RD);
         assert!(hist
             .iter()
             .any(|e| e.method.as_deref() == Some("request_update")));
-        assert!(hist.iter().any(|e| e.method.as_deref() == Some("ack_update")));
+        assert!(hist
+            .iter()
+            .any(|e| e.method.as_deref() == Some("ack_update")));
     }
 
     #[test]
@@ -278,40 +297,50 @@ mod tests {
         // The paper's permission-change example: Patient cannot write
         // Dosage until the Doctor grants it.
         let mut scn = build(fast_config()).expect("build");
-        scn.system
-            .peer_mut(PATIENT)
-            .expect("peer")
-            .write_shared(
-                SHARE_PD,
-                WriteOp::Update {
-                    key: vec![Value::Int(188)],
-                    assignments: vec![("dosage".into(), Value::text("self-medicating"))],
-                },
-            )
-            .expect("local edit");
         let err = scn
-            .system
-            .propagate_update(scn.patient, SHARE_PD)
+            .ledger
+            .session(scn.patient)
+            .begin(SHARE_PD)
+            .set(
+                vec![Value::Int(188)],
+                "dosage",
+                Value::text("self-medicating"),
+            )
+            .commit()
             .unwrap_err();
-        assert!(matches!(err, crate::CoreError::TxReverted(_)), "{err}");
+        assert!(err.is_permission_denied(), "{err}");
+        // The denied commit rolled the Patient's local copy back.
+        let d13 = scn.ledger.session(scn.patient).read(SHARE_PD).expect("D13");
+        assert_eq!(
+            d13.get(&[Value::Int(188)]).expect("row")[3],
+            Value::text("one tablet every 4h")
+        );
 
         // Doctor grants Patient write on dosage (Fig. 3 example).
         let (doctor, patient) = (scn.doctor, scn.patient);
-        scn.system
-            .change_permission(doctor, SHARE_PD, "dosage", &[doctor, patient])
+        scn.ledger
+            .session(doctor)
+            .grant(SHARE_PD, "dosage", &[doctor, patient])
             .expect("grant");
-        let report = scn
-            .system
-            .propagate_update(scn.patient, SHARE_PD)
+        let outcome = scn
+            .ledger
+            .session(patient)
+            .begin(SHARE_PD)
+            .set(
+                vec![Value::Int(188)],
+                "dosage",
+                Value::text("self-medicating"),
+            )
+            .commit()
             .expect("now permitted");
-        assert_eq!(report.changed_attrs, vec!["dosage".to_string()]);
+        assert_eq!(outcome.changed_attrs(), ["dosage".to_string()]);
         // The Doctor's D3 now carries the patient's dosage edit.
-        let d3 = scn.system.peer(DOCTOR).expect("peer").db.table("D3").expect("D3");
+        let d3 = scn.ledger.session(doctor).source("D3").expect("D3");
         assert_eq!(
             d3.get(&[Value::Int(188)]).expect("row")[4],
             Value::text("self-medicating")
         );
-        scn.system.check_consistency().expect("consistent");
+        scn.ledger.check_consistency().expect("consistent");
     }
 
     #[test]
@@ -325,34 +354,33 @@ mod tests {
         // Researcher (the share's authority) grants first.
         let mut scn = build(fast_config()).expect("build");
         let (doctor, researcher) = (scn.doctor, scn.researcher);
-        scn.system
-            .change_permission(researcher, SHARE_RD, "mechanism_of_action", &[doctor, researcher])
+        scn.ledger
+            .session(researcher)
+            .grant(SHARE_RD, "mechanism_of_action", &[doctor, researcher])
             .expect("grant");
-        scn.system
-            .peer_mut(DOCTOR)
-            .expect("peer")
-            .write_shared(
-                SHARE_PD,
-                WriteOp::Update {
-                    key: vec![Value::Int(188)],
-                    assignments: vec![("medication_name".into(), Value::text("IbuprofenXR"))],
-                },
+        let outcome = scn
+            .ledger
+            .session(doctor)
+            .begin(SHARE_PD)
+            .set(
+                vec![Value::Int(188)],
+                "medication_name",
+                Value::text("IbuprofenXR"),
             )
-            .expect("local edit");
-        let report = scn.system.propagate_update(scn.doctor, SHARE_PD).expect("propagate");
+            .commit()
+            .expect("commit");
         // Step 6 on the Doctor fires a cascade into D23&D32.
-        assert_eq!(report.cascades.len(), 1, "trace:\n{}", report.trace.render());
-        assert_eq!(report.cascades[0].table_id, SHARE_RD);
+        assert_eq!(
+            outcome.cascades().len(),
+            1,
+            "trace:\n{}",
+            outcome.trace.render()
+        );
+        assert_eq!(outcome.cascades()[0].table_id, SHARE_RD);
         // The Researcher's D2 now has the renamed medication.
-        let d2 = scn
-            .system
-            .peer(RESEARCHER)
-            .expect("peer")
-            .db
-            .table("D2")
-            .expect("D2");
+        let d2 = scn.ledger.session(researcher).source("D2").expect("D2");
         assert!(d2.get(&[Value::text("IbuprofenXR")]).is_some());
-        scn.system.check_consistency().expect("consistent");
+        scn.ledger.check_consistency().expect("consistent");
     }
 
     #[test]
@@ -361,27 +389,26 @@ mod tests {
         // D13&D31 but the cascade into D23&D32 is permission-blocked and
         // recorded in failed_cascades.
         let mut scn = build(fast_config()).expect("build");
-        scn.system
-            .peer_mut(DOCTOR)
-            .expect("peer")
-            .write_shared(
-                SHARE_PD,
-                WriteOp::Update {
-                    key: vec![Value::Int(188)],
-                    assignments: vec![("medication_name".into(), Value::text("IbuprofenXR"))],
-                },
+        let outcome = scn
+            .ledger
+            .session(scn.doctor)
+            .begin(SHARE_PD)
+            .set(
+                vec![Value::Int(188)],
+                "medication_name",
+                Value::text("IbuprofenXR"),
             )
-            .expect("local edit");
-        let report = scn.system.propagate_update(scn.doctor, SHARE_PD).expect("propagate");
-        assert!(report.cascades.is_empty());
-        assert_eq!(report.failed_cascades.len(), 1);
-        assert_eq!(report.failed_cascades[0].0, SHARE_RD);
+            .commit()
+            .expect("commit");
+        assert!(outcome.cascades().is_empty());
+        assert_eq!(outcome.failed_cascades().len(), 1);
+        assert_eq!(outcome.failed_cascades()[0].0, SHARE_RD);
         // The parent update still reached the Patient.
-        let d1 = scn.system.peer(PATIENT).expect("peer").db.table("D1").expect("D1");
+        let d1 = scn.ledger.session(scn.patient).source("D1").expect("D1");
         assert_eq!(
             d1.get(&[Value::Int(188)]).expect("row")[1],
             Value::text("IbuprofenXR")
         );
-        scn.system.check_consistency().expect("consistent");
+        scn.ledger.check_consistency().expect("consistent");
     }
 }

@@ -2,7 +2,7 @@
 //! Fig. 4 / Fig. 5 workflows.
 
 use crate::agreement::SharingAgreement;
-use crate::error::CoreError;
+use crate::error::{CoreError, RevertInfo};
 use crate::peer::PeerNode;
 use crate::Result;
 use medledger_bx::changed_attrs;
@@ -13,12 +13,43 @@ use medledger_contracts::sharing::{
 use medledger_contracts::{ContractRuntime, SharedTableMeta, SharingContract};
 use medledger_crypto::{Hash256, KeyPair, Prg};
 use medledger_ledger::{
-    audit, AccountId, Block, Chain, Membership, Mempool, Receipt, SignedTransaction,
-    Transaction, TxId, TxPayload, TxStatus,
+    audit, AccountId, Block, Chain, Membership, Mempool, Receipt, SignedTransaction, Transaction,
+    TxId, TxPayload, TxStatus,
 };
 use medledger_network::LatencyModel;
 use medledger_relational::WriteOp;
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Typed handle to a peer registered in a [`System`].
+///
+/// Wraps the peer's ledger account identity; obtained from
+/// [`System::add_peer`] (or the facade's `MedLedger::add_peer`) and used
+/// everywhere a peer used to be named by a raw `&str`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PeerId(AccountId);
+
+impl PeerId {
+    /// The underlying ledger account (also the public signing key).
+    pub fn account(&self) -> AccountId {
+        self.0
+    }
+
+    /// Short hex prefix for traces.
+    pub fn short(&self) -> String {
+        self.0.short()
+    }
+
+    pub(crate) fn from_account(account: AccountId) -> Self {
+        PeerId(account)
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0.short())
+    }
+}
 
 /// Which chain the system runs on (the paper's Sec. IV-3 comparison).
 #[derive(Clone, Debug, PartialEq)]
@@ -114,7 +145,13 @@ pub struct WorkflowTrace {
 }
 
 impl WorkflowTrace {
-    fn push(&mut self, number: impl Into<String>, at_ms: u64, actor: &str, desc: impl Into<String>) {
+    fn push(
+        &mut self,
+        number: impl Into<String>,
+        at_ms: u64,
+        actor: &str,
+        desc: impl Into<String>,
+    ) {
         self.steps.push(TraceStep {
             number: number.into(),
             at_ms,
@@ -153,6 +190,10 @@ pub struct UpdateReport {
     pub synced_ms: u64,
     /// Attributes that changed (what permission was checked on).
     pub changed_attrs: Vec<String>,
+    /// The on-chain transactions this update produced, in commit order
+    /// (the `request_update` first, then one ack per sharing peer).
+    /// Cascade transactions live in the cascades' own reports.
+    pub tx_ids: Vec<TxId>,
     /// Cascaded updates triggered by the Step-6 dependency check.
     pub cascades: Vec<UpdateReport>,
     /// Cascades that could not proceed (permission denied or
@@ -177,7 +218,11 @@ impl UpdateReport {
 
     /// Total number of updates including cascades.
     pub fn total_updates(&self) -> usize {
-        1 + self.cascades.iter().map(UpdateReport::total_updates).sum::<usize>()
+        1 + self
+            .cascades
+            .iter()
+            .map(UpdateReport::total_updates)
+            .sum::<usize>()
     }
 }
 
@@ -276,24 +321,36 @@ impl System {
             .ok_or_else(|| CoreError::BadAgreement("sharing contract not deployed".into()))
     }
 
-    /// Looks up a peer account by name.
-    pub fn account_of(&self, name: &str) -> Result<AccountId> {
+    /// Looks up a registered peer's typed handle by display name.
+    pub fn peer_id(&self, name: &str) -> Result<PeerId> {
         self.names
             .get(name)
             .copied()
+            .map(PeerId::from_account)
             .ok_or_else(|| CoreError::UnknownPeer(name.to_string()))
     }
 
-    /// Read access to a peer by name.
-    pub fn peer(&self, name: &str) -> Result<&PeerNode> {
-        let account = self.account_of(name)?;
-        Ok(&self.peers[&account])
+    /// All registered peers, in account order.
+    pub fn peer_ids(&self) -> Vec<PeerId> {
+        self.peers
+            .keys()
+            .copied()
+            .map(PeerId::from_account)
+            .collect()
     }
 
-    /// Mutable access to a peer by name.
-    pub fn peer_mut(&mut self, name: &str) -> Result<&mut PeerNode> {
-        let account = self.account_of(name)?;
-        Ok(self.peers.get_mut(&account).expect("account registered"))
+    /// Read access to a peer.
+    pub fn peer(&self, peer: PeerId) -> Result<&PeerNode> {
+        self.peers
+            .get(&peer.account())
+            .ok_or_else(|| CoreError::UnknownPeer(peer.to_string()))
+    }
+
+    /// Mutable access to a peer.
+    pub fn peer_mut(&mut self, peer: PeerId) -> Result<&mut PeerNode> {
+        self.peers
+            .get_mut(&peer.account())
+            .ok_or_else(|| CoreError::UnknownPeer(peer.to_string()))
     }
 
     /// The Fig. 3 metadata row for a shared table, from contract state.
@@ -315,8 +372,8 @@ impl System {
 
     // ----- membership & deployment -----------------------------------
 
-    /// Adds a peer to the network.
-    pub fn add_peer(&mut self, name: &str) -> Result<AccountId> {
+    /// Adds a peer to the network, returning its typed handle.
+    pub fn add_peer(&mut self, name: &str) -> Result<PeerId> {
         if self.names.contains_key(name) {
             return Err(CoreError::BadAgreement(format!("peer `{name}` exists")));
         }
@@ -325,7 +382,7 @@ impl System {
         self.chain.membership_mut().add_member(account);
         self.names.insert(name.to_string(), account);
         self.peers.insert(account, peer);
-        Ok(account)
+        Ok(PeerId::from_account(account))
     }
 
     /// Deploys the sharing contract (admin transaction + one block).
@@ -357,7 +414,11 @@ impl System {
 
     /// Produces one block: waits for the next block slot, runs consensus,
     /// executes transactions, appends.
-    pub fn produce_block(&mut self) -> Result<()> {
+    ///
+    /// Crate-internal: callers drive the chain through the facade's
+    /// `UpdateBatch::commit()` (or [`System::propagate_update`]), never
+    /// block by block.
+    pub(crate) fn produce_block(&mut self) -> Result<()> {
         let interval = match &self.config.consensus {
             ConsensusKind::PrivatePbft { block_interval_ms } => *block_interval_ms,
             ConsensusKind::PublicPow { .. } => self
@@ -370,7 +431,9 @@ impl System {
         self.clock_ms = self.clock_ms.max(slot);
         self.last_block_ms = slot;
 
-        let txs = self.mempool.select(self.config.max_block_txs, &BTreeSet::new());
+        let txs = self
+            .mempool
+            .select(self.config.max_block_txs, &BTreeSet::new());
         let height = self.chain.height() + 1;
 
         // Consensus: PBFT rounds add commit latency; the PoW model's
@@ -447,7 +510,11 @@ impl System {
         match self.receipt(tx) {
             Some(r) => match &r.status {
                 TxStatus::Success => Ok(()),
-                TxStatus::Reverted { reason } => Err(CoreError::TxReverted(reason.clone())),
+                TxStatus::Reverted { kind, reason } => Err(CoreError::TxReverted(RevertInfo {
+                    tx_id: *tx,
+                    kind: *kind,
+                    reason: reason.clone(),
+                })),
             },
             None => Err(CoreError::ConsensusFailed("receipt missing".into())),
         }
@@ -550,18 +617,18 @@ impl System {
     /// "Doctor can change the permission for updating Dosage").
     pub fn change_permission(
         &mut self,
-        authority: AccountId,
+        authority: PeerId,
         table_id: &str,
         attr: &str,
-        writers: &[AccountId],
+        writers: &[PeerId],
     ) -> Result<()> {
         let args = ChangePermissionArgs {
             table_id: table_id.to_string(),
             attr: attr.to_string(),
-            writers: writers.to_vec(),
+            writers: writers.iter().map(PeerId::account).collect(),
         };
         let tx = self.submit_call(
-            authority,
+            authority.account(),
             "change_permission",
             &args,
             Some(table_id.to_string()),
@@ -574,15 +641,11 @@ impl System {
     /// chain; every participating peer then drops its local copy and
     /// binding. Sources keep the data — only the sharing relationship
     /// ends. The chain retains the full audit history.
-    pub fn remove_share(&mut self, authority: AccountId, table_id: &str) -> Result<()> {
+    pub fn remove_share(&mut self, authority: PeerId, table_id: &str) -> Result<()> {
+        let authority = authority.account();
         let meta = self.share_meta(table_id)?;
         let args = serde_json::json!({ "table_id": table_id });
-        let tx = self.submit_call(
-            authority,
-            "remove_share",
-            &args,
-            Some(table_id.to_string()),
-        )?;
+        let tx = self.submit_call(authority, "remove_share", &args, Some(table_id.to_string()))?;
         self.produce_blocks_until_receipt(&tx, 16)?;
         self.expect_success(&tx)?;
         for account in &meta.peers {
@@ -599,15 +662,9 @@ impl System {
     /// Propagates a pending local change of `table_id` from `updater` to
     /// all sharing peers, running the full Fig. 5 workflow including the
     /// Step-6 dependency check and recursive cascades (Steps 7–11).
-    pub fn propagate_update(&mut self, updater: AccountId, table_id: &str) -> Result<UpdateReport> {
+    pub fn propagate_update(&mut self, updater: PeerId, table_id: &str) -> Result<UpdateReport> {
         let mut active = BTreeSet::new();
-        self.propagate_inner(updater, table_id, &mut active, 0)
-    }
-
-    /// Convenience: peer looked up by name.
-    pub fn propagate_update_by_name(&mut self, name: &str, table_id: &str) -> Result<UpdateReport> {
-        let account = self.account_of(name)?;
-        self.propagate_update(account, table_id)
+        self.propagate_inner(updater.account(), table_id, &mut active, 0)
     }
 
     fn propagate_inner(
@@ -676,12 +733,7 @@ impl System {
             new_hash,
             changed_attrs: attrs.clone(),
         };
-        let tx = self.submit_call(
-            updater,
-            "request_update",
-            &args,
-            Some(table_id.to_string()),
-        )?;
+        let tx = self.submit_call(updater, "request_update", &args, Some(table_id.to_string()))?;
         trace.push(
             "2",
             self.clock_ms,
@@ -781,7 +833,10 @@ impl System {
                 "m",
                 synced_ms,
                 "contract",
-                format!("all {} peer(s) acked version {version}; table unlocked", others.len()),
+                format!(
+                    "all {} peer(s) acked version {version}; table unlocked",
+                    others.len()
+                ),
             );
         }
 
@@ -856,6 +911,11 @@ impl System {
             visible_ms,
             synced_ms,
             changed_attrs: attrs,
+            tx_ids: {
+                let mut ids = vec![tx];
+                ids.extend(ack_txs.iter().copied());
+                ids
+            },
             cascades,
             failed_cascades,
             trace,
@@ -868,53 +928,44 @@ impl System {
     /// into the source via `put`), then propagate.
     pub fn create_shared_entry(
         &mut self,
-        peer_name: &str,
+        peer: PeerId,
         table_id: &str,
         row: medledger_relational::Row,
     ) -> Result<UpdateReport> {
-        let account = self.account_of(peer_name)?;
-        self.peers
-            .get_mut(&account)
-            .expect("peer exists")
+        self.peer_mut(peer)?
             .write_shared(table_id, WriteOp::Insert { row })?;
-        self.propagate_update(account, table_id)
+        self.propagate_update(peer, table_id)
     }
 
     /// Entry-level update on a shared table.
     pub fn update_shared_entry(
         &mut self,
-        peer_name: &str,
+        peer: PeerId,
         table_id: &str,
         key: Vec<medledger_relational::Value>,
         assignments: Vec<(String, medledger_relational::Value)>,
     ) -> Result<UpdateReport> {
-        let account = self.account_of(peer_name)?;
-        self.peers
-            .get_mut(&account)
-            .expect("peer exists")
+        self.peer_mut(peer)?
             .write_shared(table_id, WriteOp::Update { key, assignments })?;
-        self.propagate_update(account, table_id)
+        self.propagate_update(peer, table_id)
     }
 
     /// Entry-level delete on a shared table.
     pub fn delete_shared_entry(
         &mut self,
-        peer_name: &str,
+        peer: PeerId,
         table_id: &str,
         key: Vec<medledger_relational::Value>,
     ) -> Result<UpdateReport> {
-        let account = self.account_of(peer_name)?;
-        self.peers
-            .get_mut(&account)
-            .expect("peer exists")
+        self.peer_mut(peer)?
             .write_shared(table_id, WriteOp::Delete { key })?;
-        self.propagate_update(account, table_id)
+        self.propagate_update(peer, table_id)
     }
 
     /// Read: query the local database directly (the paper's Fig. 4 read
     /// path — no chain interaction).
-    pub fn read_shared(&self, peer_name: &str, table_id: &str) -> Result<medledger_relational::Table> {
-        Ok(self.peer(peer_name)?.shared_table(table_id)?.clone())
+    pub fn read_shared(&self, peer: PeerId, table_id: &str) -> Result<medledger_relational::Table> {
+        Ok(self.peer(peer)?.shared_table(table_id)?.clone())
     }
 
     // ----- invariants ---------------------------------------------------
@@ -929,8 +980,8 @@ impl System {
             .contract_state(&contract)
             .ok_or_else(|| CoreError::BadAgreement("contract state missing".into()))?;
         for table_id in SharingContract::table_ids(state) {
-            let meta = SharingContract::load_meta(state, &table_id)
-                .expect("listed tables have metadata");
+            let meta =
+                SharingContract::load_meta(state, &table_id).expect("listed tables have metadata");
             if !meta.synced() {
                 continue;
             }

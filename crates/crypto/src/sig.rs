@@ -30,9 +30,7 @@ const BITS: usize = 256;
 /// A verifying key: the Merkle root over the one-time public keys.
 ///
 /// Also used as the account identifier (`AccountId`) across the ledger.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct PublicKey(pub Hash256);
 
 impl PublicKey {

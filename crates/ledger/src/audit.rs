@@ -6,10 +6,13 @@
 
 use crate::chain::Chain;
 use crate::transaction::{AccountId, TxId};
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// One audited event in a shared table's history.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// (Serialize-only: entries are reconstructed from the chain, never
+/// parsed back, and the static `kind` label cannot be deserialized.)
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
 pub struct AuditEntry {
     /// Block height where the transaction committed.
     pub height: u64,

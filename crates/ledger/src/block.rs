@@ -84,7 +84,12 @@ impl Block {
         let header_len = serde_json::to_vec(&self.header)
             .expect("header serializes")
             .len();
-        header_len + self.txs.iter().map(SignedTransaction::encoded_len).sum::<usize>()
+        header_len
+            + self
+                .txs
+                .iter()
+                .map(SignedTransaction::encoded_len)
+                .sum::<usize>()
     }
 
     /// An inclusion proof that transaction `index` is in this block.

@@ -71,9 +71,15 @@ impl fmt::Display for ChainError {
                 account,
                 expected,
                 actual,
-            } => write!(f, "bad nonce for {account}: expected {expected}, got {actual}"),
+            } => write!(
+                f,
+                "bad nonce for {account}: expected {expected}, got {actual}"
+            ),
             ChainError::ConflictKeyCollision { key } => {
-                write!(f, "two transactions touch shared table `{key}` in one block")
+                write!(
+                    f,
+                    "two transactions touch shared table `{key}` in one block"
+                )
             }
             ChainError::BadTimestamp => write!(f, "timestamp precedes parent"),
             ChainError::UnknownProposer { account } => {
@@ -146,14 +152,7 @@ pub struct Chain {
 impl Chain {
     /// Creates a chain with an implicit empty genesis (height 0, no txs).
     pub fn new(membership: Membership, genesis_proposer: AccountId) -> Self {
-        let genesis = Block::assemble(
-            0,
-            Hash256::ZERO,
-            Hash256::ZERO,
-            0,
-            genesis_proposer,
-            vec![],
-        );
+        let genesis = Block::assemble(0, Hash256::ZERO, Hash256::ZERO, 0, genesis_proposer, vec![]);
         let mut by_hash = HashMap::new();
         by_hash.insert(genesis.hash(), 0);
         Chain {
@@ -197,7 +196,9 @@ impl Chain {
 
     /// Block by hash.
     pub fn block_by_hash(&self, hash: &Hash256) -> Option<&Block> {
-        self.by_hash.get(hash).and_then(|&h| self.blocks.get(h as usize))
+        self.by_hash
+            .get(hash)
+            .and_then(|&h| self.blocks.get(h as usize))
     }
 
     /// The next expected nonce for an account.
@@ -379,7 +380,10 @@ mod tests {
         ));
         let mut bad_parent = good.clone();
         bad_parent.header.parent = Hash256([9; 32]);
-        assert_eq!(n.chain.append(bad_parent).unwrap_err(), ChainError::BadParent);
+        assert_eq!(
+            n.chain.append(bad_parent).unwrap_err(),
+            ChainError::BadParent
+        );
         n.chain.append(good).expect("good block still fits");
     }
 
@@ -481,7 +485,11 @@ mod tests {
         n.chain.append(block(&n, vec![], 10)).expect("append");
         let tip_hash = n.chain.tip().hash();
         assert_eq!(
-            n.chain.block_by_hash(&tip_hash).expect("block").header.height,
+            n.chain
+                .block_by_hash(&tip_hash)
+                .expect("block")
+                .header
+                .height,
             1
         );
         assert!(n.chain.block_at(1).is_some());

@@ -35,5 +35,5 @@ pub use audit::{history_for_key, verify_chain, AuditEntry};
 pub use block::{Block, BlockHeader};
 pub use chain::{Chain, ChainError, Membership};
 pub use mempool::Mempool;
-pub use receipt::{LogEntry, Receipt, TxStatus};
+pub use receipt::{LogEntry, Receipt, RevertKind, TxStatus};
 pub use transaction::{AccountId, SignedTransaction, Transaction, TxId, TxPayload};

@@ -9,6 +9,30 @@ use crate::transaction::TxId;
 use medledger_crypto::Hash256;
 use serde::{Deserialize, Serialize};
 
+/// Machine-readable classification of a revert.
+///
+/// Set by whatever execution layer produced the revert (the contract
+/// runtime maps its error variants onto these); carried in receipts so
+/// callers above the chain can react to *why* a transaction failed
+/// without parsing the human-readable reason string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RevertKind {
+    /// The caller lacked write/authority permission.
+    PermissionDenied,
+    /// A referenced entity does not exist.
+    NotFound,
+    /// The entity already exists.
+    AlreadyExists,
+    /// Malformed call.
+    BadCall,
+    /// Blocked by a consistency barrier (pending acks).
+    StateLocked,
+    /// VM execution failure.
+    VmError,
+    /// Anything else.
+    Other,
+}
+
 /// Outcome of executing one transaction.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TxStatus {
@@ -16,6 +40,8 @@ pub enum TxStatus {
     Success,
     /// Reverted: no state changes, with a reason (e.g. permission denied).
     Reverted {
+        /// Machine-readable classification.
+        kind: RevertKind,
         /// Human-readable revert reason.
         reason: String,
     },
@@ -25,6 +51,14 @@ impl TxStatus {
     /// True iff the transaction succeeded.
     pub fn is_success(&self) -> bool {
         matches!(self, TxStatus::Success)
+    }
+
+    /// The revert classification, if reverted.
+    pub fn revert_kind(&self) -> Option<RevertKind> {
+        match self {
+            TxStatus::Success => None,
+            TxStatus::Reverted { kind, .. } => Some(*kind),
+        }
     }
 }
 
@@ -66,10 +100,13 @@ mod tests {
     #[test]
     fn status_predicates() {
         assert!(TxStatus::Success.is_success());
-        assert!(!TxStatus::Reverted {
-            reason: "permission denied".into()
-        }
-        .is_success());
+        let reverted = TxStatus::Reverted {
+            kind: RevertKind::PermissionDenied,
+            reason: "permission denied".into(),
+        };
+        assert!(!reverted.is_success());
+        assert_eq!(reverted.revert_kind(), Some(RevertKind::PermissionDenied));
+        assert_eq!(TxStatus::Success.revert_kind(), None);
     }
 
     #[test]

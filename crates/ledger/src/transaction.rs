@@ -105,7 +105,10 @@ impl Transaction {
     }
 
     /// Signs the transaction with `key` (consuming one one-time key).
-    pub fn sign(self, key: &mut KeyPair) -> Result<SignedTransaction, medledger_crypto::SigningError> {
+    pub fn sign(
+        self,
+        key: &mut KeyPair,
+    ) -> Result<SignedTransaction, medledger_crypto::SigningError> {
         let digest = self.digest();
         let signature = key.sign(digest.as_bytes())?;
         Ok(SignedTransaction {

@@ -255,8 +255,14 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = || {
-            let mut n: SimNet<u32> =
-                SimNet::new(LatencyModel::Uniform { min_ms: 1, max_ms: 50 }, 0.1, "same");
+            let mut n: SimNet<u32> = SimNet::new(
+                LatencyModel::Uniform {
+                    min_ms: 1,
+                    max_ms: 50,
+                },
+                0.1,
+                "same",
+            );
             for i in 0..50 {
                 n.send(0, 1, i, 1);
             }

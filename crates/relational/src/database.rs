@@ -250,8 +250,13 @@ mod tests {
     fn apply_logs_every_mutation() {
         let mut db = Database::new("p");
         db.create_table("t", schema()).expect("create");
-        db.apply("t", WriteOp::Insert { row: row![1i64, "a"] })
-            .expect("insert");
+        db.apply(
+            "t",
+            WriteOp::Insert {
+                row: row![1i64, "a"],
+            },
+        )
+        .expect("insert");
         db.apply(
             "t",
             WriteOp::Update {
@@ -260,8 +265,13 @@ mod tests {
             },
         )
         .expect("update");
-        db.apply("t", WriteOp::Delete { key: vec![Value::Int(1)] })
-            .expect("delete");
+        db.apply(
+            "t",
+            WriteOp::Delete {
+                key: vec![Value::Int(1)],
+            },
+        )
+        .expect("delete");
         assert_eq!(db.log().len(), 3);
         assert_eq!(db.log()[0].op.kind(), "insert");
         assert_eq!(db.log()[1].op.kind(), "update");
@@ -277,7 +287,12 @@ mod tests {
     fn failed_apply_is_not_logged() {
         let mut db = Database::new("p");
         db.create_table("t", schema()).expect("create");
-        let err = db.apply("t", WriteOp::Delete { key: vec![Value::Int(9)] });
+        let err = db.apply(
+            "t",
+            WriteOp::Delete {
+                key: vec![Value::Int(9)],
+            },
+        );
         assert!(err.is_err());
         assert!(db.log().is_empty());
     }
@@ -286,8 +301,13 @@ mod tests {
     fn replace_swaps_contents() {
         let mut db = Database::new("p");
         db.create_table("t", schema()).expect("create");
-        db.apply("t", WriteOp::Insert { row: row![1i64, "a"] })
-            .expect("insert");
+        db.apply(
+            "t",
+            WriteOp::Insert {
+                row: row![1i64, "a"],
+            },
+        )
+        .expect("insert");
         db.apply(
             "t",
             WriteOp::Replace {
@@ -304,8 +324,13 @@ mod tests {
     fn post_hash_tracks_table_hash() {
         let mut db = Database::new("p");
         db.create_table("t", schema()).expect("create");
-        db.apply("t", WriteOp::Insert { row: row![1i64, "a"] })
-            .expect("insert");
+        db.apply(
+            "t",
+            WriteOp::Insert {
+                row: row![1i64, "a"],
+            },
+        )
+        .expect("insert");
         let logged = db.log().last().expect("entry").post_hash;
         assert_eq!(logged, db.table("t").expect("table").content_hash());
     }
@@ -314,18 +339,33 @@ mod tests {
     fn fingerprint_is_content_based() {
         let mut a = Database::new("a");
         a.create_table("t", schema()).expect("create");
-        a.apply("t", WriteOp::Insert { row: row![1i64, "x"] })
-            .expect("insert");
+        a.apply(
+            "t",
+            WriteOp::Insert {
+                row: row![1i64, "x"],
+            },
+        )
+        .expect("insert");
 
         let mut b = Database::new("b");
         b.create_table("t", schema()).expect("create");
-        b.apply("t", WriteOp::Insert { row: row![1i64, "x"] })
-            .expect("insert");
+        b.apply(
+            "t",
+            WriteOp::Insert {
+                row: row![1i64, "x"],
+            },
+        )
+        .expect("insert");
 
         // Same content, same fingerprint (owner doesn't matter).
         assert_eq!(a.fingerprint(), b.fingerprint());
-        b.apply("t", WriteOp::Insert { row: row![2i64, "y"] })
-            .expect("insert");
+        b.apply(
+            "t",
+            WriteOp::Insert {
+                row: row![2i64, "y"],
+            },
+        )
+        .expect("insert");
         assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
@@ -334,12 +374,27 @@ mod tests {
         let mut db = Database::new("p");
         db.create_table("t1", schema()).expect("create");
         db.create_table("t2", schema()).expect("create");
-        db.apply("t1", WriteOp::Insert { row: row![1i64, "a"] })
-            .expect("insert");
-        db.apply("t2", WriteOp::Insert { row: row![1i64, "a"] })
-            .expect("insert");
-        db.apply("t1", WriteOp::Insert { row: row![2i64, "b"] })
-            .expect("insert");
+        db.apply(
+            "t1",
+            WriteOp::Insert {
+                row: row![1i64, "a"],
+            },
+        )
+        .expect("insert");
+        db.apply(
+            "t2",
+            WriteOp::Insert {
+                row: row![1i64, "a"],
+            },
+        )
+        .expect("insert");
+        db.apply(
+            "t1",
+            WriteOp::Insert {
+                row: row![2i64, "b"],
+            },
+        )
+        .expect("insert");
         assert_eq!(db.log_for("t1").len(), 2);
         assert_eq!(db.log_for("t2").len(), 1);
     }

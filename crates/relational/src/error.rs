@@ -84,10 +84,7 @@ impl fmt::Display for RelationalError {
                 column,
                 expected,
                 actual,
-            } => write!(
-                f,
-                "column `{column}` expects {expected}, got {actual}"
-            ),
+            } => write!(f, "column `{column}` expects {expected}, got {actual}"),
             RelationalError::NullViolation { column } => {
                 write!(f, "NULL in non-nullable column `{column}`")
             }

@@ -197,7 +197,9 @@ mod tests {
     fn comparisons() {
         let s = schema();
         let r = row![1i64, "bob", 40i64];
-        assert!(Predicate::eq("id", Value::Int(1)).eval(&s, &r).expect("eval"));
+        assert!(Predicate::eq("id", Value::Int(1))
+            .eval(&s, &r)
+            .expect("eval"));
         assert!(Predicate::cmp("age", CmpOp::Gt, Value::Int(30))
             .eval(&s, &r)
             .expect("eval"));
@@ -216,8 +218,7 @@ mod tests {
     fn boolean_connectives() {
         let s = schema();
         let r = row![1i64, "bob", 40i64];
-        let p = Predicate::eq("id", Value::Int(1))
-            .and(Predicate::eq("name", Value::text("bob")));
+        let p = Predicate::eq("id", Value::Int(1)).and(Predicate::eq("name", Value::text("bob")));
         assert!(p.eval(&s, &r).expect("eval"));
         let q = Predicate::eq("id", Value::Int(2)).or(Predicate::True);
         assert!(q.eval(&s, &r).expect("eval"));
@@ -229,7 +230,9 @@ mod tests {
     fn null_comparisons_are_false() {
         let s = schema();
         let r = Row::new(vec![Value::Int(1), Value::text("x"), Value::Null]);
-        assert!(!Predicate::eq("age", Value::Int(1)).eval(&s, &r).expect("eval"));
+        assert!(!Predicate::eq("age", Value::Int(1))
+            .eval(&s, &r)
+            .expect("eval"));
         assert!(!Predicate::cmp("age", CmpOp::Ne, Value::Int(1))
             .eval(&s, &r)
             .expect("eval"));

@@ -201,10 +201,8 @@ mod tests {
     #[test]
     fn project_distinct_collapses() {
         let d = db();
-        let q = Query::scan("D3").project_distinct(
-            &["medication_name", "mechanism"],
-            &["medication_name"],
-        );
+        let q = Query::scan("D3")
+            .project_distinct(&["medication_name", "mechanism"], &["medication_name"]);
         let t = q.eval(&d).expect("eval");
         assert_eq!(t.len(), 2);
     }

@@ -65,12 +65,11 @@ impl Schema {
         }
         let mut key_idx = Vec::with_capacity(key.len());
         for k in key {
-            let idx = columns
-                .iter()
-                .position(|c| c.name == *k)
-                .ok_or_else(|| RelationalError::UnknownColumn {
+            let idx = columns.iter().position(|c| c.name == *k).ok_or_else(|| {
+                RelationalError::UnknownColumn {
                     column: (*k).to_string(),
-                })?;
+                }
+            })?;
             if columns[idx].nullable {
                 return Err(RelationalError::InvalidKey {
                     reason: format!("key column `{k}` must not be nullable"),
@@ -106,7 +105,10 @@ impl Schema {
 
     /// Names of the primary key columns.
     pub fn key_names(&self) -> Vec<&str> {
-        self.key.iter().map(|&i| self.columns[i].name.as_str()).collect()
+        self.key
+            .iter()
+            .map(|&i| self.columns[i].name.as_str())
+            .collect()
     }
 
     /// All column names in order.
@@ -183,11 +185,7 @@ impl Schema {
         }
         let mut cols = self.columns.clone();
         cols[idx].name = to.to_string();
-        let key_names: Vec<String> = self
-            .key
-            .iter()
-            .map(|&i| cols[i].name.clone())
-            .collect();
+        let key_names: Vec<String> = self.key.iter().map(|&i| cols[i].name.clone()).collect();
         let key_refs: Vec<&str> = key_names.iter().map(String::as_str).collect();
         Schema::new(cols, &key_refs)
     }
@@ -206,7 +204,13 @@ impl fmt::Display for Schema {
                 write!(f, ", ")?;
             }
             let keyed = if self.key.contains(&i) { "*" } else { "" };
-            write!(f, "{keyed}{}: {}{}", c.name, c.ty, if c.nullable { "?" } else { "" })?;
+            write!(
+                f,
+                "{keyed}{}: {}{}",
+                c.name,
+                c.ty,
+                if c.nullable { "?" } else { "" }
+            )?;
         }
         write!(f, ")")
     }
@@ -254,8 +258,7 @@ mod tests {
 
     #[test]
     fn rejects_nullable_key_column() {
-        let err =
-            Schema::new(vec![Column::nullable("a", ValueType::Int)], &["a"]).unwrap_err();
+        let err = Schema::new(vec![Column::nullable("a", ValueType::Int)], &["a"]).unwrap_err();
         assert!(matches!(err, RelationalError::InvalidKey { .. }));
     }
 

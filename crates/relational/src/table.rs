@@ -471,7 +471,9 @@ mod tests {
     #[test]
     fn upsert_replaces_or_inserts() {
         let mut t = patients();
-        assert!(t.upsert(row![188i64, "Ibuprofen", "two tablets"]).expect("upsert"));
+        assert!(t
+            .upsert(row![188i64, "Ibuprofen", "two tablets"])
+            .expect("upsert"));
         assert_eq!(
             t.get(&[Value::Int(188)]).expect("row")[2],
             Value::text("two tablets")
@@ -485,7 +487,10 @@ mod tests {
         let mut t = patients();
         t.update(&[Value::Int(188)], &[("dosage", Value::text("stop"))])
             .expect("update");
-        assert_eq!(t.get(&[Value::Int(188)]).expect("row")[2], Value::text("stop"));
+        assert_eq!(
+            t.get(&[Value::Int(188)]).expect("row")[2],
+            Value::text("stop")
+        );
     }
 
     #[test]
@@ -508,7 +513,10 @@ mod tests {
         let err = t
             .update(
                 &[Value::Int(188)],
-                &[("dosage", Value::text("ok")), ("medication_name", Value::Int(3))],
+                &[
+                    ("dosage", Value::text("ok")),
+                    ("medication_name", Value::Int(3)),
+                ],
             )
             .unwrap_err();
         assert!(matches!(err, RelationalError::TypeMismatch { .. }));

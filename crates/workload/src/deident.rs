@@ -53,11 +53,7 @@ pub fn generalize_city(city: &str) -> &'static str {
 
 /// Keyed pseudonym for an identifier value: stable within one key.
 pub fn pseudonymize(key: &str, id: &Value) -> Value {
-    let digest = sha256_concat(&[
-        b"medledger.deident.v1:",
-        key.as_bytes(),
-        &id.encode(),
-    ]);
+    let digest = sha256_concat(&[b"medledger.deident.v1:", key.as_bytes(), &id.encode()]);
     Value::text(format!("P-{}", digest.short()))
 }
 
@@ -162,7 +158,16 @@ mod tests {
 
     #[test]
     fn generalization_map_covers_generator_cities() {
-        for city in ["Sapporo", "Osaka", "Tokyo", "Kyoto", "Nagoya", "Fukuoka", "Sendai", "Hiroshima"] {
+        for city in [
+            "Sapporo",
+            "Osaka",
+            "Tokyo",
+            "Kyoto",
+            "Nagoya",
+            "Fukuoka",
+            "Sendai",
+            "Hiroshima",
+        ] {
             assert_ne!(generalize_city(city), "Japan", "city {city} unmapped");
         }
         assert_eq!(generalize_city("Paris"), "Japan");

@@ -7,13 +7,13 @@ use medledger_relational::{row, Column, Row, Schema, Table, Value, ValueType};
 pub fn full_records_schema() -> Schema {
     Schema::new(
         vec![
-            Column::new("patient_id", ValueType::Int),          // a0
-            Column::new("medication_name", ValueType::Text),    // a1
-            Column::new("clinical_data", ValueType::Text),      // a2
-            Column::new("address", ValueType::Text),            // a3
-            Column::new("dosage", ValueType::Text),             // a4
-            Column::new("mechanism_of_action", ValueType::Text),// a5
-            Column::new("mode_of_action", ValueType::Text),     // a6
+            Column::new("patient_id", ValueType::Int),           // a0
+            Column::new("medication_name", ValueType::Text),     // a1
+            Column::new("clinical_data", ValueType::Text),       // a2
+            Column::new("address", ValueType::Text),             // a3
+            Column::new("dosage", ValueType::Text),              // a4
+            Column::new("mechanism_of_action", ValueType::Text), // a5
+            Column::new("mode_of_action", ValueType::Text),      // a6
         ],
         &["patient_id"],
     )
@@ -55,16 +55,31 @@ pub fn fig1_full_records() -> Table {
 const MEDICATIONS: &[(&str, &str, &str)] = &[
     ("Ibuprofen", "COX inhibition", "analgesic"),
     ("Wellbutrin", "NDRI reuptake inhibition", "antidepressant"),
-    ("Metformin", "hepatic gluconeogenesis suppression", "antidiabetic"),
+    (
+        "Metformin",
+        "hepatic gluconeogenesis suppression",
+        "antidiabetic",
+    ),
     ("Lisinopril", "ACE inhibition", "antihypertensive"),
     ("Atorvastatin", "HMG-CoA reductase inhibition", "statin"),
     ("Omeprazole", "proton pump inhibition", "antacid"),
-    ("Amoxicillin", "cell wall synthesis inhibition", "antibiotic"),
+    (
+        "Amoxicillin",
+        "cell wall synthesis inhibition",
+        "antibiotic",
+    ),
     ("Levothyroxine", "thyroid hormone replacement", "hormone"),
 ];
 
 const CITIES: &[&str] = &[
-    "Sapporo", "Osaka", "Tokyo", "Kyoto", "Nagoya", "Fukuoka", "Sendai", "Hiroshima",
+    "Sapporo",
+    "Osaka",
+    "Tokyo",
+    "Kyoto",
+    "Nagoya",
+    "Fukuoka",
+    "Sendai",
+    "Hiroshima",
 ];
 
 const DOSAGES: &[&str] = &[

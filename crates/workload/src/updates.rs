@@ -126,9 +126,7 @@ impl UpdateStream {
                 self.counter
             )),
             UpdateKind::ClinicalData => Value::text(self.ehr.sample_clinical()),
-            UpdateKind::Mechanism => {
-                Value::text(format!("revised mechanism #{}", self.counter))
-            }
+            UpdateKind::Mechanism => Value::text(format!("revised mechanism #{}", self.counter)),
         }
     }
 
@@ -162,7 +160,11 @@ mod tests {
         let ups = UpdateStream::new("z", (1..=50).collect(), 0.0).take(60);
         let distinct: std::collections::BTreeSet<String> =
             ups.iter().map(|u| u.target.to_string()).collect();
-        assert!(distinct.len() > 10, "only {} distinct targets", distinct.len());
+        assert!(
+            distinct.len() > 10,
+            "only {} distinct targets",
+            distinct.len()
+        );
     }
 
     #[test]

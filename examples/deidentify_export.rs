@@ -35,7 +35,10 @@ fn main() {
     // k-anonymity over the remaining quasi-identifier.
     for k in [2, 5, 10, 25] {
         let ok = is_k_anonymous(&released, &["address"], k).expect("check");
-        println!("k-anonymity with k={k:>2} on generalized address: {}", if ok { "HOLDS" } else { "violated" });
+        println!(
+            "k-anonymity with k={k:>2} on generalized address: {}",
+            if ok { "HOLDS" } else { "violated" }
+        );
     }
     let raw_ok = is_k_anonymous(&cohort, &["address"], 5).expect("check");
     println!("(raw city-level addresses are 5-anonymous: {raw_ok})");
@@ -48,7 +51,10 @@ fn main() {
         &SharingDesign::whole_record(&["Patient", "Researcher", "Doctor"], &all_attrs()),
         &profiles,
     );
-    println!("  {:<12} {:>28} {:>28}", "stakeholder", "fine-grained (exp/int/miss)", "whole-record (exp/int/miss)");
+    println!(
+        "  {:<12} {:>28} {:>28}",
+        "stakeholder", "fine-grained (exp/int/miss)", "whole-record (exp/int/miss)"
+    );
     for (f, w) in fine.iter().zip(&whole) {
         println!(
             "  {:<12} {:>14}/{}/{} {:>20}/{}/{}",

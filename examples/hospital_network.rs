@@ -1,31 +1,28 @@
 //! A larger deployment: one hospital (Doctor), many patients, one
-//! researcher — synthetic records, a mixed update stream, and an audit.
+//! researcher — synthetic records, a mixed update stream driven through
+//! transactional `UpdateBatch` commits, and an audit.
 //!
 //! ```sh
 //! cargo run --example hospital_network
 //! ```
 
 use medledger::bx::LensSpec;
-use medledger::core::agreement::SharingAgreement;
-use medledger::core::{ConsensusKind, System, SystemConfig};
-use medledger::relational::{Predicate, Value, WriteOp};
+use medledger::relational::Predicate;
 use medledger::workload::{EhrGenerator, UpdateStream};
+use medledger::{CommitError, MedLedger, PeerId, Value};
 
 const N_PATIENTS: usize = 8;
 
 fn main() {
-    let mut system = System::bootstrap(SystemConfig {
-        consensus: ConsensusKind::PrivatePbft {
-            block_interval_ms: 500,
-        },
-        seed: "hospital".into(),
-        peer_key_capacity: 512,
-        ..Default::default()
-    })
-    .expect("bootstrap");
+    let mut ledger = MedLedger::builder()
+        .seed("hospital")
+        .pbft(500)
+        .peer_key_capacity(512)
+        .build()
+        .expect("ledger boots");
 
     // The hospital's doctor holds the full records of all patients.
-    let _ = system.add_peer("Doctor").expect("add doctor");
+    let doctor = ledger.add_peer("Doctor").expect("add doctor");
     let mut gen = EhrGenerator::new("hospital");
     let full = gen.full_records(N_PATIENTS);
     let d3 = full
@@ -40,32 +37,37 @@ fn main() {
             &["patient_id"],
         )
         .expect("D3 projection");
-    system
-        .peer_mut("Doctor")
-        .expect("peer")
-        .add_source_table("D3", d3)
+    ledger
+        .session(doctor)
+        .load_source("D3", d3)
         .expect("add D3");
 
     // One share per patient: the patient-facing slice of their own row.
-    let mut patient_ids = Vec::new();
+    let mut patients: Vec<(i64, PeerId)> = Vec::new();
     for row in full.sorted_rows() {
         let pid = row[0].as_int().expect("patient id");
-        patient_ids.push(pid);
-        let name = format!("Patient-{pid}");
-        let account = system.add_peer(&name).expect("add patient");
+        let patient = ledger
+            .add_peer(&format!("Patient-{pid}"))
+            .expect("add patient");
+        patients.push((pid, patient));
         // The patient's local D1: their own row (a0-a4).
         let d1 = full
             .select(&Predicate::eq("patient_id", Value::Int(pid)))
             .expect("select")
             .project(
-                &["patient_id", "medication_name", "clinical_data", "address", "dosage"],
+                &[
+                    "patient_id",
+                    "medication_name",
+                    "clinical_data",
+                    "address",
+                    "dosage",
+                ],
                 &["patient_id"],
             )
             .expect("project");
-        system
-            .peer_mut(&name)
-            .expect("peer")
-            .add_source_table("D1", d1)
+        ledger
+            .session(patient)
+            .load_source("D1", d1)
             .expect("add D1");
 
         let patient_lens = LensSpec::project(
@@ -74,27 +76,28 @@ fn main() {
         );
         let doctor_lens = LensSpec::select(Predicate::eq("patient_id", Value::Int(pid)))
             .compose(patient_lens.clone());
-        let doctor_account = system.account_of("Doctor").expect("doctor");
-        let share = SharingAgreement::builder(format!("share-{pid}"))
-            .bind(account, "D1", patient_lens)
-            .bind(doctor_account, "D3", doctor_lens)
-            .allow_write("patient_id", &[doctor_account])
-            .allow_write("medication_name", &[doctor_account])
-            .allow_write("dosage", &[doctor_account])
-            .allow_write("clinical_data", &[account, doctor_account])
-            .authority(doctor_account)
-            .build();
-        system.create_share(&share).expect("create share");
+        ledger
+            .session(doctor)
+            .share(format!("share-{pid}"))
+            .bind("D3", doctor_lens)
+            .with(patient, "D1", patient_lens)
+            .writers("patient_id", &[doctor])
+            .writers("medication_name", &[doctor])
+            .writers("dosage", &[doctor])
+            .writers("clinical_data", &[patient, doctor])
+            .create()
+            .expect("create share");
     }
     println!(
         "Hospital network up: 1 doctor, {N_PATIENTS} patients, {} shares, chain height {}.",
         N_PATIENTS,
-        system.chain().height()
+        ledger.chain().height()
     );
 
     // Mixed workload: the doctor adjusts dosages, patients amend their
-    // clinical data.
-    let mut stream = UpdateStream::new("hospital-updates", patient_ids.clone(), 0.1);
+    // clinical data. Every update is one staged, transactional commit.
+    let pids: Vec<i64> = patients.iter().map(|(pid, _)| *pid).collect();
+    let mut stream = UpdateStream::new("hospital-updates", pids, 0.1);
     let mut committed = 0;
     let mut denied = 0;
     for i in 0..24 {
@@ -104,68 +107,58 @@ fn main() {
             None => continue, // mechanism updates don't apply here
         };
         let share = format!("share-{pid}");
+        let patient = patients
+            .iter()
+            .find(|(p, _)| *p == pid)
+            .expect("known patient")
+            .1;
         let doctor_turn = i % 3 != 0;
-        let result = if doctor_turn {
-            system
-                .peer_mut("Doctor")
-                .expect("peer")
-                .write_shared(
-                    &share,
-                    WriteOp::Update {
-                        key: vec![Value::Int(pid)],
-                        assignments: vec![("dosage".into(), u.new_value.clone())],
-                    },
-                )
-                .and_then(|_| {
-                    let d = system.account_of("Doctor").expect("doctor");
-                    system.propagate_update(d, &share)
-                })
+        let (actor, attr) = if doctor_turn {
+            (doctor, "dosage")
         } else {
-            let name = format!("Patient-{pid}");
-            system
-                .peer_mut(&name)
-                .expect("peer")
-                .write_shared(
-                    &share,
-                    WriteOp::Update {
-                        key: vec![Value::Int(pid)],
-                        assignments: vec![("clinical_data".into(), u.new_value.clone())],
-                    },
-                )
-                .and_then(|_| {
-                    let a = system.account_of(&name).expect("account");
-                    system.propagate_update(a, &share)
-                })
+            (patient, "clinical_data")
         };
+        let result = ledger
+            .session(actor)
+            .begin(&share)
+            .set(vec![Value::Int(pid)], attr, u.new_value.clone())
+            .commit();
         match result {
-            Ok(report) => {
+            Ok(outcome) => {
                 committed += 1;
                 println!(
                     "  [{}] {} updated {} (v{}), visible in {} ms",
                     i,
                     if doctor_turn { "Doctor" } else { "Patient" },
-                    report.table_id,
-                    report.version,
-                    report.visibility_latency_ms()
+                    outcome.report.table_id,
+                    outcome.version(),
+                    outcome.visibility_latency_ms()
                 );
             }
-            Err(medledger::core::CoreError::NoChange(_)) => {}
+            Err(e) if e.is_no_change() => {}
+            Err(CommitError::PermissionDenied { reason, receipt }) => {
+                denied += 1;
+                println!(
+                    "  [{i}] update denied: {reason} (reverted receipt on chain: {})",
+                    receipt.is_some()
+                );
+            }
             Err(e) => {
                 denied += 1;
-                println!("  [{i}] update denied: {e}");
+                println!("  [{i}] update failed: {e}");
             }
         }
     }
 
-    system.check_consistency().expect("consistent");
-    let stats = system.stats();
+    ledger.check_consistency().expect("consistent");
+    let stats = ledger.stats();
     println!("\n{committed} updates committed, {denied} denied.");
     println!(
         "Chain: {} blocks, {} txs ({} reverted), {} KiB stored per node.",
         stats.blocks,
         stats.txs,
         stats.reverted_txs,
-        system.chain().storage_bytes() / 1024
+        ledger.chain().storage_bytes() / 1024
     );
     println!(
         "Consensus traffic: {} messages / {} KiB; p2p data plane: {} transfers / {} KiB.",
@@ -176,9 +169,9 @@ fn main() {
     );
 
     // Audit one patient's share history.
-    let sample = format!("share-{}", patient_ids[0]);
+    let sample = format!("share-{}", patients[0].0);
     println!("\nAudit of `{sample}`:");
-    for e in system.audit(&sample) {
+    for e in ledger.audit(&sample) {
         println!(
             "  height {:>3}  {:<16} by {}",
             e.height,

@@ -4,9 +4,9 @@
 //! cargo run --example quickstart
 //! ```
 
-use medledger::core::scenario::{self, DOCTOR, PATIENT, RESEARCHER, SHARE_PD, SHARE_RD};
-use medledger::core::{ConsensusKind, SystemConfig};
+use medledger::core::scenario::{self, SHARE_PD, SHARE_RD};
 use medledger::workload::fig1_full_records;
+use medledger::{ConsensusKind, SystemConfig};
 
 fn main() {
     let scn = scenario::build(SystemConfig {
@@ -18,6 +18,7 @@ fn main() {
         ..Default::default()
     })
     .expect("scenario builds");
+    let (patient, doctor, researcher) = (scn.patient, scn.doctor, scn.researcher);
 
     println!("== Full medical records (Fig. 1, top) ==");
     println!("{}", fig1_full_records().to_pretty());
@@ -25,11 +26,9 @@ fn main() {
     println!("== D1 — Patient's local source ==");
     println!(
         "{}",
-        scn.system
-            .peer(PATIENT)
-            .expect("peer")
-            .db
-            .table("D1")
+        scn.ledger
+            .reader(patient)
+            .source("D1")
             .expect("D1")
             .to_pretty()
     );
@@ -37,11 +36,9 @@ fn main() {
     println!("== D2 — Researcher's local source ==");
     println!(
         "{}",
-        scn.system
-            .peer(RESEARCHER)
-            .expect("peer")
-            .db
-            .table("D2")
+        scn.ledger
+            .reader(researcher)
+            .source("D2")
             .expect("D2")
             .to_pretty()
     );
@@ -49,11 +46,9 @@ fn main() {
     println!("== D3 — Doctor's local source ==");
     println!(
         "{}",
-        scn.system
-            .peer(DOCTOR)
-            .expect("peer")
-            .db
-            .table("D3")
+        scn.ledger
+            .reader(doctor)
+            .source("D3")
             .expect("D3")
             .to_pretty()
     );
@@ -61,18 +56,26 @@ fn main() {
     println!("== D13 / D31 — shared between Patient and Doctor ==");
     println!(
         "{}",
-        scn.system.read_shared(PATIENT, SHARE_PD).expect("read").to_pretty()
+        scn.ledger
+            .reader(patient)
+            .read(SHARE_PD)
+            .expect("read")
+            .to_pretty()
     );
 
     println!("== D23 / D32 — shared between Researcher and Doctor ==");
     println!(
         "{}",
-        scn.system.read_shared(RESEARCHER, SHARE_RD).expect("read").to_pretty()
+        scn.ledger
+            .reader(researcher)
+            .read(SHARE_RD)
+            .expect("read")
+            .to_pretty()
     );
 
     println!("== Fig. 3 metadata rows on the sharing contract ==");
     for table_id in [SHARE_PD, SHARE_RD] {
-        let m = scn.system.share_meta(table_id).expect("meta");
+        let m = scn.ledger.share_meta(table_id).expect("meta");
         println!(
             "  {table_id}: peers={}, authority={}, version={}, last_update={} ms",
             m.peers.len(),
@@ -86,11 +89,11 @@ fn main() {
         }
     }
 
-    scn.system.check_consistency().expect("consistent");
+    scn.ledger.check_consistency().expect("consistent");
     println!("\nAll shared tables consistent across peers ✓");
     println!(
         "Chain height {}, {} consensus messages exchanged.",
-        scn.system.chain().height(),
-        scn.system.stats().consensus_msgs
+        scn.ledger.chain().height(),
+        scn.ledger.stats().consensus_msgs
     );
 }

@@ -3,14 +3,15 @@
 //! The Researcher revises the mechanism of action of Ibuprofen; the
 //! update flows through the sharing contract to the Doctor's full record,
 //! the Step-6 dependency check runs, and the Doctor then adjusts the
-//! dosage shared with the Patient (the paper's Steps 7–11).
+//! dosage shared with the Patient (the paper's Steps 7–11). Both updates
+//! are driven through the transactional `UpdateBatch::commit()` facade.
 //!
 //! ```sh
 //! cargo run --example researcher_update
 //! ```
 
-use medledger::core::scenario::{self, run_fig5, DOCTOR, PATIENT, SHARE_PD, SHARE_RD};
-use medledger::core::{ConsensusKind, SystemConfig};
+use medledger::core::scenario::{self, run_fig5, SHARE_PD, SHARE_RD};
+use medledger::{ConsensusKind, SystemConfig};
 
 fn main() {
     let mut scn = scenario::build(SystemConfig {
@@ -24,52 +25,58 @@ fn main() {
     .expect("scenario builds");
 
     println!("Running the Fig. 5 update workflow…\n");
-    let (researcher_report, doctor_report) = run_fig5(&mut scn).expect("workflow");
+    let (researcher_outcome, doctor_outcome) = run_fig5(&mut scn).expect("workflow");
 
     println!("-- Researcher's update of `{SHARE_RD}` (steps 1-6) --");
-    print!("{}", researcher_report.trace.render());
+    print!("{}", researcher_outcome.trace.render());
+    let r = &researcher_outcome.report;
     println!(
-        "   committed in {} ms, visible to all peers in {} ms, synced in {} ms\n",
-        researcher_report.committed_ms - researcher_report.submitted_ms,
-        researcher_report.visibility_latency_ms(),
-        researcher_report.sync_latency_ms()
+        "   committed in {} ms, visible to all peers in {} ms, synced in {} ms",
+        r.committed_ms - r.submitted_ms,
+        researcher_outcome.visibility_latency_ms(),
+        researcher_outcome.sync_latency_ms()
+    );
+    println!(
+        "   {} on-chain receipts, all successful: {}\n",
+        researcher_outcome.receipts.len(),
+        researcher_outcome
+            .receipts
+            .iter()
+            .all(|r| r.status.is_success())
     );
 
     println!("-- Doctor's follow-up on `{SHARE_PD}` (the paper's steps 7-11) --");
-    print!("{}", doctor_report.trace.render());
+    print!("{}", doctor_outcome.trace.render());
+    let d = &doctor_outcome.report;
     println!(
         "   committed in {} ms, visible in {} ms, synced in {} ms\n",
-        doctor_report.committed_ms - doctor_report.submitted_ms,
-        doctor_report.visibility_latency_ms(),
-        doctor_report.sync_latency_ms()
+        d.committed_ms - d.submitted_ms,
+        doctor_outcome.visibility_latency_ms(),
+        doctor_outcome.sync_latency_ms()
     );
 
     println!("-- Resulting tables --");
     println!("Doctor's D3 (MeA1 revised, dosage adjusted):");
     println!(
         "{}",
-        scn.system
-            .peer(DOCTOR)
-            .expect("peer")
-            .db
-            .table("D3")
+        scn.ledger
+            .session(scn.doctor)
+            .source("D3")
             .expect("D3")
             .to_pretty()
     );
     println!("Patient's D1 (dosage arrived via BX13-put):");
     println!(
         "{}",
-        scn.system
-            .peer(PATIENT)
-            .expect("peer")
-            .db
-            .table("D1")
+        scn.ledger
+            .session(scn.patient)
+            .source("D1")
             .expect("D1")
             .to_pretty()
     );
 
     println!("-- On-chain audit history of `{SHARE_RD}` --");
-    for e in scn.system.audit(SHARE_RD) {
+    for e in scn.ledger.audit(SHARE_RD) {
         println!(
             "  height {:>3} t={:>7} ms  {:<16} by {} ({})",
             e.height,
@@ -80,6 +87,6 @@ fn main() {
         );
     }
 
-    scn.system.check_consistency().expect("consistent");
+    scn.ledger.check_consistency().expect("consistent");
     println!("\nAll peers consistent ✓");
 }

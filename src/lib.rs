@@ -11,7 +11,88 @@
 //! sharing *metadata* (per-attribute write permissions, update history,
 //! sync barriers) in a smart contract.
 //!
-//! This facade re-exports the whole workspace:
+//! ## The typed session facade
+//!
+//! The public API has three layers, re-exported at the crate root:
+//!
+//! 1. [`MedLedger`] — built with a fluent builder; peers are typed
+//!    [`PeerId`] handles, never raw strings.
+//! 2. [`PeerSession`] — `ledger.session(peer)` scopes reads, sharing
+//!    agreements ([`ShareBuilder`]), audits and permission grants to one
+//!    stakeholder.
+//! 3. [`UpdateBatch`] — `session.begin(table)` stages writes;
+//!    [`UpdateBatch::commit`] runs the paper's whole Fig. 5 pipeline
+//!    (request-update transaction → consensus → lens propagation → acks
+//!    → Step-6 cascades) and returns a typed [`CommitOutcome`] with the
+//!    on-chain receipts, the propagation report, and the numbered trace.
+//!    Failures are typed [`CommitError`]s; permission denials carry the
+//!    reverted receipt and the updater's local state is rolled back.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use medledger::{MedLedger, Value};
+//! use medledger::bx::LensSpec;
+//! use medledger::workload::fig1_full_records;
+//!
+//! // A two-stakeholder ledger: Doctor shares a dosage slice with Patient.
+//! let mut ledger = MedLedger::builder()
+//!     .seed("doc-quickstart")
+//!     .pbft(100)
+//!     .peer_key_capacity(64)
+//!     .build()
+//!     .expect("ledger boots");
+//! let doctor = ledger.add_peer("Doctor").expect("add doctor");
+//! let patient = ledger.add_peer("Patient").expect("add patient");
+//!
+//! // Sources: the doctor holds the full records, the patient a slice.
+//! let full = fig1_full_records();
+//! let d3 = full
+//!     .project(&["patient_id", "medication_name", "dosage"], &["patient_id"])
+//!     .expect("project");
+//! ledger.session(doctor).load_source("D3", d3.clone()).expect("load");
+//! ledger.session(patient).load_source("P1", d3).expect("load");
+//!
+//! // A shared table with a Fig. 3 permission row: only the doctor may
+//! // change the dosage.
+//! let lens = LensSpec::project(&["patient_id", "dosage"], &["patient_id"]);
+//! ledger
+//!     .session(doctor)
+//!     .share("ward")
+//!     .bind("D3", lens.clone())
+//!     .with(patient, "P1", lens)
+//!     .writers("patient_id", &[doctor])
+//!     .writers("dosage", &[doctor])
+//!     .create()
+//!     .expect("share registered on chain");
+//!
+//! // A transactional update batch: stage, then commit through the whole
+//! // Fig. 5 pipeline (tx → consensus → lens propagation → acks).
+//! let outcome = ledger
+//!     .session(doctor)
+//!     .begin("ward")
+//!     .set(vec![Value::Int(188)], "dosage", Value::text("half a tablet"))
+//!     .commit()
+//!     .expect("commit");
+//! assert_eq!(outcome.version(), 1);
+//! assert!(outcome.receipts.iter().all(|r| r.status.is_success()));
+//!
+//! // The patient sees the new dosage; a patient-side write is denied.
+//! let view = ledger.session(patient).read("ward").expect("read");
+//! assert_eq!(view.get(&[Value::Int(188)]).expect("row")[1], Value::text("half a tablet"));
+//! let denied = ledger
+//!     .session(patient)
+//!     .begin("ward")
+//!     .set(vec![Value::Int(188)], "dosage", Value::text("double it"))
+//!     .commit()
+//!     .unwrap_err();
+//! assert!(denied.is_permission_denied());
+//!
+//! // The paper's core promise holds: all peers are consistent.
+//! ledger.check_consistency().expect("all shared tables consistent");
+//! ```
+//!
+//! ## Crate map
 //!
 //! | crate | contents |
 //! |---|---|
@@ -23,30 +104,7 @@
 //! | [`consensus`] | virtual-time PBFT simulation, PoW interval model |
 //! | [`network`] | deterministic latency-modeled message simulation |
 //! | [`workload`] | synthetic EHR generation, update streams, de-identification |
-//! | [`core`] | peers, sharing agreements, the Fig. 4/5 workflows, baselines |
-//!
-//! ## Quickstart
-//!
-//! ```
-//! use medledger::core::scenario;
-//! use medledger::core::SystemConfig;
-//!
-//! // Build the paper's Fig. 1 world: Patient, Doctor, Researcher.
-//! let mut scn = scenario::build(SystemConfig {
-//!     seed: "doc-quickstart".into(),
-//!     peer_key_capacity: 64,
-//!     ..Default::default()
-//! }).expect("scenario builds");
-//!
-//! // Run the paper's Fig. 5 update workflow.
-//! let (researcher_report, doctor_report) =
-//!     scenario::run_fig5(&mut scn).expect("workflow runs");
-//! assert!(researcher_report.version >= 1);
-//! assert_eq!(doctor_report.changed_attrs, vec!["dosage".to_string()]);
-//!
-//! // The paper's core promise holds: all peers are consistent.
-//! scn.system.check_consistency().expect("all shared tables consistent");
-//! ```
+//! | [`core`] | the engine (`System`), the facade, the Fig. 1 scenario, baselines |
 
 pub use medledger_bx as bx;
 pub use medledger_consensus as consensus;
@@ -57,3 +115,9 @@ pub use medledger_ledger as ledger;
 pub use medledger_network as network;
 pub use medledger_relational as relational;
 pub use medledger_workload as workload;
+
+pub use medledger_core::{
+    CommitError, CommitOutcome, ConsensusKind, CoreError, MedLedger, MedLedgerBuilder, PeerId,
+    PeerReader, PeerSession, ShareBuilder, SystemConfig, UpdateBatch, UpdateReport, WorkflowTrace,
+};
+pub use medledger_relational::{Row, Table, Value};

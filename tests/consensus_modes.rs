@@ -3,9 +3,8 @@
 //! chain with a short block interval delivers updates much faster than a
 //! public PoW chain with Ethereum's ~12 s mean interval.
 
-use medledger::core::scenario::{self, DOCTOR, SHARE_PD};
-use medledger::core::{ConsensusKind, SystemConfig};
-use medledger::relational::{Value, WriteOp};
+use medledger::core::scenario::{self, SHARE_PD};
+use medledger::{ConsensusKind, SystemConfig, Value};
 
 fn run_one_update(consensus: ConsensusKind, seed: &str) -> u64 {
     let mut scn = scenario::build(SystemConfig {
@@ -15,23 +14,15 @@ fn run_one_update(consensus: ConsensusKind, seed: &str) -> u64 {
         ..Default::default()
     })
     .expect("build");
-    scn.system
-        .peer_mut(DOCTOR)
-        .expect("peer")
-        .write_shared(
-            SHARE_PD,
-            WriteOp::Update {
-                key: vec![Value::Int(188)],
-                assignments: vec![("dosage".into(), Value::text("adjusted"))],
-            },
-        )
-        .expect("edit");
-    let report = scn
-        .system
-        .propagate_update(scn.doctor, SHARE_PD)
-        .expect("propagate");
-    scn.system.check_consistency().expect("consistent");
-    report.visibility_latency_ms()
+    let outcome = scn
+        .ledger
+        .session(scn.doctor)
+        .begin(SHARE_PD)
+        .set(vec![Value::Int(188)], "dosage", Value::text("adjusted"))
+        .commit()
+        .expect("commit");
+    scn.ledger.check_consistency().expect("consistent");
+    outcome.visibility_latency_ms()
 }
 
 #[test]

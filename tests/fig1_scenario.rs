@@ -1,13 +1,12 @@
 //! E1 — the paper's Fig. 1 data distribution, reproduced exactly.
 //!
-//! Builds the three-peer world and checks every table of the figure cell
-//! by cell: the full records, D1 (Patient), D2 (Researcher), D3 (Doctor),
-//! and the shared D13/D31 and D23/D32 pairs.
+//! Builds the three-peer world through the typed facade and checks every
+//! table of the figure cell by cell: the full records, D1 (Patient), D2
+//! (Researcher), D3 (Doctor), and the shared D13/D31 and D23/D32 pairs.
 
-use medledger::core::scenario::{self, DOCTOR, PATIENT, RESEARCHER, SHARE_PD, SHARE_RD};
-use medledger::core::{ConsensusKind, SystemConfig};
-use medledger::relational::Value;
+use medledger::core::scenario::{self, SHARE_PD, SHARE_RD};
 use medledger::workload::fig1_full_records;
+use medledger::{ConsensusKind, SystemConfig, Value};
 
 fn config() -> SystemConfig {
     SystemConfig {
@@ -55,10 +54,16 @@ fn source_tables_match_paper() {
     let scn = scenario::build(config()).expect("build");
 
     // D1 (Patient): attributes a0-a4, only patient 188.
-    let d1 = scn.system.peer(PATIENT).expect("peer").db.table("D1").expect("D1");
+    let d1 = scn.ledger.reader(scn.patient).source("D1").expect("D1");
     assert_eq!(
         d1.schema().column_names(),
-        vec!["patient_id", "medication_name", "clinical_data", "address", "dosage"]
+        vec![
+            "patient_id",
+            "medication_name",
+            "clinical_data",
+            "address",
+            "dosage"
+        ]
     );
     assert_eq!(d1.len(), 1);
     assert_eq!(
@@ -67,13 +72,7 @@ fn source_tables_match_paper() {
     );
 
     // D2 (Researcher): a1, a5, a6 keyed by medication.
-    let d2 = scn
-        .system
-        .peer(RESEARCHER)
-        .expect("peer")
-        .db
-        .table("D2")
-        .expect("D2");
+    let d2 = scn.ledger.reader(scn.researcher).source("D2").expect("D2");
     assert_eq!(
         d2.schema().column_names(),
         vec!["medication_name", "mechanism_of_action", "mode_of_action"]
@@ -85,7 +84,7 @@ fn source_tables_match_paper() {
     );
 
     // D3 (Doctor): a0, a1, a2, a5, a4 for both patients.
-    let d3 = scn.system.peer(DOCTOR).expect("peer").db.table("D3").expect("D3");
+    let d3 = scn.ledger.reader(scn.doctor).source("D3").expect("D3");
     assert_eq!(
         d3.schema().column_names(),
         vec![
@@ -105,12 +104,14 @@ fn shared_views_match_paper() {
 
     // D13 == D31: a0, a1, a2, a4 for patient 188 only.
     let d13 = scn
-        .system
-        .read_shared(PATIENT, SHARE_PD)
+        .ledger
+        .reader(scn.patient)
+        .read(SHARE_PD)
         .expect("patient reads D13");
     let d31 = scn
-        .system
-        .read_shared(DOCTOR, SHARE_PD)
+        .ledger
+        .reader(scn.doctor)
+        .read(SHARE_PD)
         .expect("doctor reads D31");
     assert_eq!(d13.content_hash(), d31.content_hash());
     assert_eq!(
@@ -125,12 +126,14 @@ fn shared_views_match_paper() {
 
     // D23 == D32: a1, a5 for both medications.
     let d23 = scn
-        .system
-        .read_shared(RESEARCHER, SHARE_RD)
+        .ledger
+        .reader(scn.researcher)
+        .read(SHARE_RD)
         .expect("researcher reads D23");
     let d32 = scn
-        .system
-        .read_shared(DOCTOR, SHARE_RD)
+        .ledger
+        .reader(scn.doctor)
+        .read(SHARE_RD)
         .expect("doctor reads D32");
     assert_eq!(d23.content_hash(), d32.content_hash());
     assert_eq!(
@@ -150,14 +153,14 @@ fn views_regenerate_from_sources_by_get() {
     // the lens definition of Fig. 1's arrows.
     let scn = scenario::build(config()).expect("build");
     for (peer, share) in [
-        (PATIENT, SHARE_PD),
-        (DOCTOR, SHARE_PD),
-        (RESEARCHER, SHARE_RD),
-        (DOCTOR, SHARE_RD),
+        (scn.patient, SHARE_PD),
+        (scn.doctor, SHARE_PD),
+        (scn.researcher, SHARE_RD),
+        (scn.doctor, SHARE_RD),
     ] {
-        let p = scn.system.peer(peer).expect("peer");
-        let regen = p.regenerate_view(share).expect("get");
-        let stored = p.shared_table(share).expect("stored");
+        let node = scn.ledger.system().peer(peer).expect("peer");
+        let regen = node.regenerate_view(share).expect("get");
+        let stored = node.shared_table(share).expect("stored");
         assert_eq!(
             regen.content_hash(),
             stored.content_hash(),

@@ -1,8 +1,8 @@
-//! E3 — the Fig. 3 "metadata collection in smart contract", end to end.
+//! E3 — the Fig. 3 "metadata collection in smart contract", end to end,
+//! driven through the typed facade.
 
-use medledger::core::scenario::{self, DOCTOR, SHARE_PD, SHARE_RD};
-use medledger::core::{ConsensusKind, SystemConfig};
-use medledger::relational::{Value, WriteOp};
+use medledger::core::scenario::{self, SHARE_PD, SHARE_RD};
+use medledger::{CommitError, ConsensusKind, CoreError, SystemConfig, Value};
 
 fn config() -> SystemConfig {
     SystemConfig {
@@ -21,52 +21,52 @@ fn metadata_rows_match_fig3() {
 
     // Row 1: D13 & D31 shared by Patient and Doctor; Doctor is authority;
     // Doctor writes medication/dosage; Patient+Doctor write clinical data.
-    let m = scn.system.share_meta(SHARE_PD).expect("meta");
-    assert!(m.peers.contains(&scn.patient) && m.peers.contains(&scn.doctor));
-    assert_eq!(m.authority, scn.doctor);
+    let m = scn.ledger.share_meta(SHARE_PD).expect("meta");
+    assert!(m.peers.contains(&scn.patient.account()) && m.peers.contains(&scn.doctor.account()));
+    assert_eq!(m.authority, scn.doctor.account());
     assert_eq!(
         m.write_permission["medication_name"]
             .iter()
             .collect::<Vec<_>>(),
-        vec![&scn.doctor]
+        vec![&scn.doctor.account()]
     );
-    assert!(m.write_permission["clinical_data"].contains(&scn.patient));
-    assert!(m.write_permission["clinical_data"].contains(&scn.doctor));
+    assert!(m.write_permission["clinical_data"].contains(&scn.patient.account()));
+    assert!(m.write_permission["clinical_data"].contains(&scn.doctor.account()));
     assert!(m.last_update_ms > 0, "last update time recorded");
 
     // Row 2: D23 & D32 shared by Doctor and Researcher; Researcher is
     // authority; medication writable by both, mechanism by Researcher.
-    let m = scn.system.share_meta(SHARE_RD).expect("meta");
-    assert_eq!(m.authority, scn.researcher);
-    assert!(m.write_permission["medication_name"].contains(&scn.doctor));
-    assert!(m.write_permission["medication_name"].contains(&scn.researcher));
+    let m = scn.ledger.share_meta(SHARE_RD).expect("meta");
+    assert_eq!(m.authority, scn.researcher.account());
+    assert!(m.write_permission["medication_name"].contains(&scn.doctor.account()));
+    assert!(m.write_permission["medication_name"].contains(&scn.researcher.account()));
     assert_eq!(
         m.write_permission["mechanism_of_action"]
             .iter()
             .collect::<Vec<_>>(),
-        vec![&scn.researcher]
+        vec![&scn.researcher.account()]
     );
 }
 
 #[test]
 fn last_update_time_advances_with_updates() {
     let mut scn = scenario::build(config()).expect("build");
-    let before = scn.system.share_meta(SHARE_PD).expect("meta").last_update_ms;
-    scn.system
-        .peer_mut(DOCTOR)
-        .expect("peer")
-        .write_shared(
-            SHARE_PD,
-            WriteOp::Update {
-                key: vec![Value::Int(188)],
-                assignments: vec![("dosage".into(), Value::text("halved"))],
-            },
-        )
-        .expect("edit");
-    scn.system
-        .propagate_update(scn.doctor, SHARE_PD)
-        .expect("propagate");
-    let after = scn.system.share_meta(SHARE_PD).expect("meta").last_update_ms;
+    let before = scn
+        .ledger
+        .share_meta(SHARE_PD)
+        .expect("meta")
+        .last_update_ms;
+    scn.ledger
+        .session(scn.doctor)
+        .begin(SHARE_PD)
+        .set(vec![Value::Int(188)], "dosage", Value::text("halved"))
+        .commit()
+        .expect("commit");
+    let after = scn
+        .ledger
+        .share_meta(SHARE_PD)
+        .expect("meta")
+        .last_update_ms;
     assert!(after > before, "{after} > {before}");
 }
 
@@ -78,55 +78,65 @@ fn fig3_permission_change_example() {
     let (doctor, patient) = (scn.doctor, scn.patient);
 
     assert!(!scn
-        .system
+        .ledger
         .share_meta(SHARE_PD)
         .expect("meta")
         .write_permission["dosage"]
-        .contains(&patient));
+        .contains(&patient.account()));
 
-    scn.system
-        .change_permission(doctor, SHARE_PD, "dosage", &[doctor, patient])
+    scn.ledger
+        .session(doctor)
+        .grant(SHARE_PD, "dosage", &[doctor, patient])
         .expect("doctor grants");
 
-    let m = scn.system.share_meta(SHARE_PD).expect("meta");
-    assert!(m.write_permission["dosage"].contains(&patient));
-    assert!(m.write_permission["dosage"].contains(&doctor));
+    let m = scn.ledger.share_meta(SHARE_PD).expect("meta");
+    assert!(m.write_permission["dosage"].contains(&patient.account()));
+    assert!(m.write_permission["dosage"].contains(&doctor.account()));
 
     // Non-authority cannot change permissions.
     let err = scn
-        .system
-        .change_permission(patient, SHARE_PD, "dosage", &[patient])
+        .ledger
+        .session(patient)
+        .grant(SHARE_PD, "dosage", &[patient])
         .unwrap_err();
-    assert!(matches!(err, medledger::core::CoreError::TxReverted(_)));
+    assert!(matches!(err, CoreError::TxReverted(_)));
 }
 
 #[test]
 fn version_and_pending_acks_lifecycle() {
     let mut scn = scenario::build(config()).expect("build");
-    let m0 = scn.system.share_meta(SHARE_PD).expect("meta");
+    let m0 = scn.ledger.share_meta(SHARE_PD).expect("meta");
     assert_eq!(m0.version, 0);
     assert!(m0.synced());
     assert!(m0.updater.is_none());
 
-    scn.system
-        .peer_mut(DOCTOR)
-        .expect("peer")
-        .write_shared(
-            SHARE_PD,
-            WriteOp::Update {
-                key: vec![Value::Int(188)],
-                assignments: vec![("dosage".into(), Value::text("changed"))],
-            },
-        )
-        .expect("edit");
-    scn.system
-        .propagate_update(scn.doctor, SHARE_PD)
-        .expect("propagate");
+    let outcome = scn
+        .ledger
+        .session(scn.doctor)
+        .begin(SHARE_PD)
+        .set(vec![Value::Int(188)], "dosage", Value::text("changed"))
+        .commit()
+        .expect("commit");
+    assert_eq!(outcome.version(), 1);
 
-    let m1 = scn.system.share_meta(SHARE_PD).expect("meta");
+    let m1 = scn.ledger.share_meta(SHARE_PD).expect("meta");
     assert_eq!(m1.version, 1);
-    assert_eq!(m1.updater, Some(scn.doctor));
-    // Propagation waits for acks, so by now the table is synced again.
+    assert_eq!(m1.updater, Some(scn.doctor.account()));
+    // Commit waits for acks, so by now the table is synced again.
     assert!(m1.synced());
     assert_ne!(m1.content_hash, m0.content_hash);
+}
+
+#[test]
+fn empty_batch_is_rejected_without_chain_traffic() {
+    let mut scn = scenario::build(config()).expect("build");
+    let height = scn.ledger.chain().height();
+    let err = scn
+        .ledger
+        .session(scn.doctor)
+        .begin(SHARE_PD)
+        .commit()
+        .unwrap_err();
+    assert!(matches!(err, CommitError::EmptyBatch { .. }), "{err}");
+    assert_eq!(scn.ledger.chain().height(), height);
 }

@@ -1,12 +1,14 @@
-//! E4 — the Fig. 4 CRUD procedures on shared data.
+//! E4 — the Fig. 4 CRUD procedures on shared data, through the facade.
 //!
-//! Create / Update / Delete follow the 7-step procedure (local execution,
-//! contract permission check, notification, fetch, metadata update, BX
-//! reflection); Read queries the local database directly.
+//! Create / Update / Delete are staged on an `UpdateBatch` and follow the
+//! 7-step procedure on commit (local execution, contract permission
+//! check, notification, fetch, metadata update, BX reflection); Read
+//! queries the local database directly.
 
-use medledger::core::scenario::{self, DOCTOR, PATIENT, SHARE_PD, SHARE_RD};
-use medledger::core::{ConsensusKind, CoreError, SystemConfig};
-use medledger::relational::{row, Value};
+use medledger::bx::LensSpec;
+use medledger::core::scenario::{self, SHARE_PD, SHARE_RD};
+use medledger::relational::row;
+use medledger::{CommitError, ConsensusKind, CoreError, MedLedger, PeerId, SystemConfig, Value};
 
 fn config(seed: &str) -> SystemConfig {
     SystemConfig {
@@ -22,51 +24,24 @@ fn config(seed: &str) -> SystemConfig {
 #[test]
 fn read_is_local_and_chain_free() {
     let scn = scenario::build(config("crud-read")).expect("build");
-    let blocks_before = scn.system.chain().height();
-    let t = scn.system.read_shared(PATIENT, SHARE_PD).expect("read");
+    let blocks_before = scn.ledger.chain().height();
+    let t = scn.ledger.reader(scn.patient).read(SHARE_PD).expect("read");
     assert_eq!(t.len(), 1);
     // Reading produced no chain activity.
-    assert_eq!(scn.system.chain().height(), blocks_before);
-}
-
-#[test]
-fn create_entry_propagates_to_peer() {
-    // Entry-level create needs a share whose lenses can translate
-    // inserts. The Fig. 1 patient share is pinned to one patient (its
-    // doctor-side lens selects patient 188), so we build a ward share
-    // between Doctor and Nurse with insert defaults declared.
-    let (mut system, doctor) = ward_share("crud-create-ward");
-    let report = system
-        .create_shared_entry(
-            "Doctor",
-            "ward",
-            row![190i64, "Aspirin", "one daily"],
-        )
-        .expect("create");
-    assert!(report.changed_attrs.len() >= 3);
-    let _ = doctor;
-
-    // The nurse's copy and source received the row.
-    let nurse_copy = system.read_shared("Nurse", "ward").expect("read");
-    assert!(nurse_copy.get(&[Value::Int(190)]).is_some());
-    // The doctor's source gained the row with defaults filled in.
-    let d3 = system.peer("Doctor").expect("peer").db.table("D3").expect("D3");
-    let new_row = d3.get(&[Value::Int(190)]).expect("row");
-    assert_eq!(new_row[2], Value::text("n/a"));
-    system.check_consistency().expect("consistent");
+    assert_eq!(scn.ledger.chain().height(), blocks_before);
 }
 
 /// Builds a two-peer "ward" share where inserts and deletes translate on
 /// both sides (projection lenses with declared defaults).
-fn ward_share(seed: &str) -> (medledger::core::System, medledger::ledger::AccountId) {
-    use medledger::bx::LensSpec;
-    use medledger::core::agreement::SharingAgreement;
-    use medledger::core::System;
+fn ward_share(seed: &str) -> (MedLedger, PeerId, PeerId) {
     use medledger::workload::fig1_full_records;
 
-    let mut system = System::bootstrap(config(seed)).expect("bootstrap");
-    let doctor = system.add_peer("Doctor").expect("add");
-    let nurse = system.add_peer("Nurse").expect("add");
+    let mut ledger = MedLedger::builder()
+        .config(config(seed))
+        .build()
+        .expect("boot");
+    let doctor = ledger.add_peer("Doctor").expect("add");
+    let nurse = ledger.add_peer("Nurse").expect("add");
 
     let full = fig1_full_records();
     let d3 = full
@@ -82,17 +57,15 @@ fn ward_share(seed: &str) -> (medledger::core::System, medledger::ledger::Accoun
         )
         .expect("D3");
     let nurse_src = full
-        .project(&["patient_id", "medication_name", "dosage"], &["patient_id"])
+        .project(
+            &["patient_id", "medication_name", "dosage"],
+            &["patient_id"],
+        )
         .expect("nurse source");
-    system
-        .peer_mut("Doctor")
-        .expect("peer")
-        .add_source_table("D3", d3)
-        .expect("add");
-    system
-        .peer_mut("Nurse")
-        .expect("peer")
-        .add_source_table("N1", nurse_src)
+    ledger.session(doctor).load_source("D3", d3).expect("add");
+    ledger
+        .session(nurse)
+        .load_source("N1", nurse_src)
         .expect("add");
 
     let doctor_lens = LensSpec::project_with_defaults(
@@ -107,34 +80,62 @@ fn ward_share(seed: &str) -> (medledger::core::System, medledger::ledger::Accoun
         &["patient_id", "medication_name", "dosage"],
         &["patient_id"],
     );
-    let share = SharingAgreement::builder("ward")
-        .bind(doctor, "D3", doctor_lens)
-        .bind(nurse, "N1", nurse_lens)
-        .allow_write("patient_id", &[doctor])
-        .allow_write("medication_name", &[doctor])
-        .allow_write("dosage", &[doctor, nurse])
-        .authority(doctor)
-        .build();
-    system.create_share(&share).expect("create share");
-    (system, doctor)
+    ledger
+        .session(doctor)
+        .share("ward")
+        .bind("D3", doctor_lens)
+        .with(nurse, "N1", nurse_lens)
+        .writers("patient_id", &[doctor])
+        .writers("medication_name", &[doctor])
+        .writers("dosage", &[doctor, nurse])
+        .create()
+        .expect("create share");
+    (ledger, doctor, nurse)
+}
+
+#[test]
+fn create_entry_propagates_to_peer() {
+    // Entry-level create needs a share whose lenses can translate
+    // inserts. The Fig. 1 patient share is pinned to one patient (its
+    // doctor-side lens selects patient 188), so we build a ward share
+    // between Doctor and Nurse with insert defaults declared.
+    let (mut ledger, doctor, nurse) = ward_share("crud-create-ward");
+    let outcome = ledger
+        .session(doctor)
+        .begin("ward")
+        .insert(row![190i64, "Aspirin", "one daily"])
+        .commit()
+        .expect("create");
+    assert!(outcome.changed_attrs().len() >= 3);
+
+    // The nurse's copy and source received the row.
+    let nurse_copy = ledger.session(nurse).read("ward").expect("read");
+    assert!(nurse_copy.get(&[Value::Int(190)]).is_some());
+    // The doctor's source gained the row with defaults filled in.
+    let d3 = ledger.session(doctor).source("D3").expect("D3");
+    let new_row = d3.get(&[Value::Int(190)]).expect("row");
+    assert_eq!(new_row[2], Value::text("n/a"));
+    ledger.check_consistency().expect("consistent");
 }
 
 #[test]
 fn update_entry_is_permission_checked() {
     let mut scn = scenario::build(config("crud-update")).expect("build");
     // Patient may update clinical data…
-    let report = scn
-        .system
-        .update_shared_entry(
-            PATIENT,
-            SHARE_PD,
+    let outcome = scn
+        .ledger
+        .session(scn.patient)
+        .begin(SHARE_PD)
+        .set(
             vec![Value::Int(188)],
-            vec![("clinical_data".into(), Value::text("CliD1-amended"))],
+            "clinical_data",
+            Value::text("CliD1-amended"),
         )
+        .commit()
         .expect("patient writes clinical data");
-    assert_eq!(report.changed_attrs, vec!["clinical_data".to_string()]);
+    assert_eq!(outcome.changed_attrs(), ["clinical_data".to_string()]);
     // …and the doctor's D3 sees it.
-    let d3 = scn.system.peer(DOCTOR).expect("peer").db.table("D3").expect("D3");
+    let d3 = scn.ledger.session(scn.doctor).source("D3").expect("D3");
     assert_eq!(
         d3.get(&[Value::Int(188)]).expect("row")[2],
         Value::text("CliD1-amended")
@@ -142,17 +143,18 @@ fn update_entry_is_permission_checked() {
 
     // But not the dosage (Fig. 3 matrix).
     let err = scn
-        .system
-        .update_shared_entry(
-            PATIENT,
-            SHARE_PD,
-            vec![Value::Int(188)],
-            vec![("dosage".into(), Value::text("tripled"))],
-        )
+        .ledger
+        .session(scn.patient)
+        .begin(SHARE_PD)
+        .set(vec![Value::Int(188)], "dosage", Value::text("tripled"))
+        .commit()
         .unwrap_err();
-    assert!(matches!(err, CoreError::TxReverted(_)), "{err}");
+    assert!(err.is_permission_denied(), "{err}");
+    // The typed error carries the reverted on-chain receipt.
+    let receipt = err.receipt().expect("reverted receipt");
+    assert!(!receipt.status.is_success());
     // The denied change never reached the doctor.
-    let d3 = scn.system.peer(DOCTOR).expect("peer").db.table("D3").expect("D3");
+    let d3 = scn.ledger.session(scn.doctor).source("D3").expect("D3");
     assert_eq!(
         d3.get(&[Value::Int(188)]).expect("row")[4],
         Value::text("one tablet every 4h")
@@ -161,51 +163,93 @@ fn update_entry_is_permission_checked() {
 
 #[test]
 fn delete_entry_propagates() {
-    let (mut system, _) = ward_share("crud-delete-ward");
+    let (mut ledger, doctor, nurse) = ward_share("crud-delete-ward");
     // Delete patient 189 from the ward share; the doctor's source loses
     // the row too (project lens translates deletes to source deletes).
-    let report = system
-        .delete_shared_entry("Doctor", "ward", vec![Value::Int(189)])
+    let outcome = ledger
+        .session(doctor)
+        .begin("ward")
+        .delete(vec![Value::Int(189)])
+        .commit()
         .expect("delete");
-    assert!(report.version >= 1);
-    let nurse_copy = system.read_shared("Nurse", "ward").expect("read");
+    assert!(outcome.version() >= 1);
+    let nurse_copy = ledger.session(nurse).read("ward").expect("read");
     assert!(nurse_copy.get(&[Value::Int(189)]).is_none());
-    let d3 = system.peer("Doctor").expect("peer").db.table("D3").expect("D3");
+    let d3 = ledger.session(doctor).source("D3").expect("D3");
     assert!(d3.get(&[Value::Int(189)]).is_none());
-    system.check_consistency().expect("consistent");
+    ledger.check_consistency().expect("consistent");
+}
+
+#[test]
+fn batched_writes_commit_as_one_version() {
+    // The facade's staging batches multiple entry-level writes into one
+    // request-update transaction (the paper's batching remark).
+    let (mut ledger, doctor, nurse) = ward_share("crud-batch");
+    let outcome = ledger
+        .session(doctor)
+        .begin("ward")
+        .insert(row![190i64, "Aspirin", "one daily"])
+        .set(vec![Value::Int(188)], "dosage", Value::text("two tablets"))
+        .delete(vec![Value::Int(189)])
+        .commit()
+        .expect("batch commit");
+    // One committed version, one request_update on chain.
+    assert_eq!(outcome.version(), 1);
+    let requests = ledger
+        .audit("ward")
+        .iter()
+        .filter(|e| e.method.as_deref() == Some("request_update"))
+        .count();
+    assert_eq!(requests, 1);
+    // All three effects arrived at the nurse.
+    let n = ledger.session(nurse).read("ward").expect("read");
+    assert!(n.get(&[Value::Int(190)]).is_some());
+    assert!(n.get(&[Value::Int(189)]).is_none());
+    assert_eq!(
+        n.get(&[Value::Int(188)]).expect("row")[2],
+        Value::text("two tablets")
+    );
+    ledger.check_consistency().expect("consistent");
 }
 
 #[test]
 fn denied_request_leaves_no_trace_in_metadata() {
     let mut scn = scenario::build(config("crud-denied")).expect("build");
-    let v_before = scn.system.share_meta(SHARE_PD).expect("meta").version;
-    let _ = scn
-        .system
-        .update_shared_entry(
-            PATIENT,
-            SHARE_PD,
-            vec![Value::Int(188)],
-            vec![("dosage".into(), Value::text("nope"))],
-        )
+    let v_before = scn.ledger.share_meta(SHARE_PD).expect("meta").version;
+    let err = scn
+        .ledger
+        .session(scn.patient)
+        .begin(SHARE_PD)
+        .set(vec![Value::Int(188)], "dosage", Value::text("nope"))
+        .commit()
         .unwrap_err();
-    let m = scn.system.share_meta(SHARE_PD).expect("meta");
+    assert!(err.is_permission_denied());
+    let m = scn.ledger.share_meta(SHARE_PD).expect("meta");
     assert_eq!(m.version, v_before, "denied update must not bump version");
     assert!(m.synced(), "denied update must not lock the table");
     // The reverted transaction is still on chain (auditable denial).
-    let hist = scn.system.audit(SHARE_PD);
+    let hist = scn.ledger.audit(SHARE_PD);
     assert!(hist
         .iter()
         .any(|e| e.method.as_deref() == Some("request_update")));
 }
 
 #[test]
-fn no_change_propagation_is_rejected() {
+fn no_change_commit_is_rejected() {
     let mut scn = scenario::build(config("crud-nochange")).expect("build");
+    // Writing the value a cell already holds produces no view change.
     let err = scn
-        .system
-        .propagate_update(scn.doctor, SHARE_PD)
+        .ledger
+        .session(scn.doctor)
+        .begin(SHARE_PD)
+        .set(
+            vec![Value::Int(188)],
+            "dosage",
+            Value::text("one tablet every 4h"),
+        )
+        .commit()
         .unwrap_err();
-    assert!(matches!(err, CoreError::NoChange(_)));
+    assert!(matches!(err, CommitError::NoChange { .. }), "{err}");
 }
 
 #[test]
@@ -213,22 +257,32 @@ fn table_level_delete_retires_the_share() {
     let mut scn = scenario::build(config("crud-table-delete")).expect("build");
     let doctor = scn.doctor;
     // Only the authority may remove the share.
-    let err = scn.system.remove_share(scn.patient, SHARE_PD).unwrap_err();
+    let err = scn
+        .ledger
+        .session(scn.patient)
+        .retire(SHARE_PD)
+        .unwrap_err();
     assert!(matches!(err, CoreError::TxReverted(_)));
 
-    scn.system.remove_share(doctor, SHARE_PD).expect("remove");
+    scn.ledger.session(doctor).retire(SHARE_PD).expect("remove");
     // Metadata gone, local copies gone, sources intact.
-    assert!(scn.system.share_meta(SHARE_PD).is_err());
-    assert!(scn.system.read_shared(PATIENT, SHARE_PD).is_err());
-    assert!(scn.system.read_shared(DOCTOR, SHARE_PD).is_err());
+    assert!(scn.ledger.share_meta(SHARE_PD).is_err());
+    assert!(scn.ledger.session(scn.patient).read(SHARE_PD).is_err());
+    assert!(scn.ledger.session(doctor).read(SHARE_PD).is_err());
     assert_eq!(
-        scn.system.peer(PATIENT).expect("peer").db.table("D1").expect("D1").len(),
+        scn.ledger
+            .session(scn.patient)
+            .source("D1")
+            .expect("D1")
+            .len(),
         1
     );
     // The history of the retired share is still auditable on chain.
-    let hist = scn.system.audit(SHARE_PD);
-    assert!(hist.iter().any(|e| e.method.as_deref() == Some("remove_share")));
+    let hist = scn.ledger.audit(SHARE_PD);
+    assert!(hist
+        .iter()
+        .any(|e| e.method.as_deref() == Some("remove_share")));
     // The untouched research share still works.
-    scn.system.check_consistency().expect("consistent");
-    assert!(scn.system.share_meta(SHARE_RD).is_ok());
+    scn.ledger.check_consistency().expect("consistent");
+    assert!(scn.ledger.share_meta(SHARE_RD).is_ok());
 }

@@ -1,8 +1,8 @@
-//! E5 — the Fig. 5 eleven-step update workflow, with trace verification.
+//! E5 — the Fig. 5 eleven-step update workflow, with trace verification,
+//! driven through `UpdateBatch::commit()`.
 
-use medledger::core::scenario::{self, run_fig5, DOCTOR, PATIENT, RESEARCHER, SHARE_PD, SHARE_RD};
-use medledger::core::{ConsensusKind, SystemConfig};
-use medledger::relational::Value;
+use medledger::core::scenario::{self, run_fig5, SHARE_PD, SHARE_RD};
+use medledger::{ConsensusKind, SystemConfig, Value};
 
 fn config(seed: &str) -> SystemConfig {
     SystemConfig {
@@ -18,26 +18,29 @@ fn config(seed: &str) -> SystemConfig {
 #[test]
 fn fig5_trace_has_numbered_steps() {
     let mut scn = scenario::build(config("fig5-trace")).expect("build");
-    let (r_report, d_report) = run_fig5(&mut scn).expect("fig5");
+    let (r_outcome, d_outcome) = run_fig5(&mut scn).expect("fig5");
 
     // Researcher's propagation covers steps 1-5 plus the step-6 check.
-    let numbers: Vec<&str> = r_report
+    let numbers: Vec<&str> = r_outcome
         .trace
         .steps
         .iter()
         .map(|s| s.number.as_str())
         .collect();
     for expected in ["1", "2", "3", "4", "5", "6"] {
-        assert!(numbers.contains(&expected), "missing step {expected}: {numbers:?}");
+        assert!(
+            numbers.contains(&expected),
+            "missing step {expected}: {numbers:?}"
+        );
     }
     // Steps are time-ordered.
-    let times: Vec<u64> = r_report.trace.steps.iter().map(|s| s.at_ms).collect();
+    let times: Vec<u64> = r_outcome.trace.steps.iter().map(|s| s.at_ms).collect();
     assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
 
     // The doctor-side follow-up (the paper's steps 7-11) has its own 1-5
     // shaped trace on SHARE_PD.
-    assert_eq!(d_report.table_id, SHARE_PD);
-    assert!(d_report
+    assert_eq!(d_outcome.report.table_id, SHARE_PD);
+    assert!(d_outcome
         .trace
         .steps
         .iter()
@@ -50,25 +53,19 @@ fn fig5_data_flow_matches_paper() {
     run_fig5(&mut scn).expect("fig5");
 
     // Researcher's MeA1 edit reached the Doctor's D3 (via BX32-put).
-    let d3 = scn.system.peer(DOCTOR).expect("peer").db.table("D3").expect("D3");
+    let d3 = scn.ledger.session(scn.doctor).source("D3").expect("D3");
     assert_eq!(
         d3.get(&[Value::Int(188)]).expect("row")[3],
         Value::text("MeA1-revised")
     );
     // Doctor's dosage edit reached the Patient's D1 (via BX13-put).
-    let d1 = scn.system.peer(PATIENT).expect("peer").db.table("D1").expect("D1");
+    let d1 = scn.ledger.session(scn.patient).source("D1").expect("D1");
     assert_eq!(
         d1.get(&[Value::Int(188)]).expect("row")[4],
         Value::text("two tablets every 6h")
     );
     // The researcher's own D2 keeps its local authorship.
-    let d2 = scn
-        .system
-        .peer(RESEARCHER)
-        .expect("peer")
-        .db
-        .table("D2")
-        .expect("D2");
+    let d2 = scn.ledger.session(scn.researcher).source("D2").expect("D2");
     assert_eq!(
         d2.get(&[Value::text("Ibuprofen")]).expect("row")[1],
         Value::text("MeA1-revised")
@@ -79,45 +76,35 @@ fn fig5_data_flow_matches_paper() {
 fn latency_structure_is_plausible() {
     let mut scn = scenario::build(config("fig5-latency")).expect("build");
     let (r, d) = run_fig5(&mut scn).expect("fig5");
-    for report in [&r, &d] {
+    for outcome in [&r, &d] {
+        let report = &outcome.report;
         assert!(report.submitted_ms <= report.committed_ms);
         assert!(report.committed_ms <= report.visible_ms);
         assert!(report.visible_ms <= report.synced_ms);
-        assert!(report.visibility_latency_ms() > 0);
-        assert!(report.sync_latency_ms() >= report.visibility_latency_ms());
+        assert!(outcome.visibility_latency_ms() > 0);
+        assert!(outcome.sync_latency_ms() >= outcome.visibility_latency_ms());
     }
 }
 
 #[test]
 fn barrier_blocks_concurrent_updates_on_same_table() {
     // The contract refuses a second update while acks are pending — but
-    // System::propagate_update waits for acks, so the observable effect
-    // is serialization: two sequential updates get versions 1 and 2 and
-    // the audit history interleaves request/ack per version.
+    // commit() waits for acks, so the observable effect is
+    // serialization: two sequential commits get versions 1 and 2 and the
+    // audit history interleaves request/ack per version.
     let mut scn = scenario::build(config("fig5-barrier")).expect("build");
     for (i, dosage) in ["A", "B"].iter().enumerate() {
-        scn.system
-            .peer_mut(DOCTOR)
-            .expect("peer")
-            .write_shared(
-                SHARE_PD,
-                medledger::relational::WriteOp::Update {
-                    key: vec![Value::Int(188)],
-                    assignments: vec![("dosage".into(), Value::text(*dosage))],
-                },
-            )
-            .expect("edit");
-        let report = scn
-            .system
-            .propagate_update(scn.doctor, SHARE_PD)
-            .expect("propagate");
-        assert_eq!(report.version, i as u64 + 1);
+        let outcome = scn
+            .ledger
+            .session(scn.doctor)
+            .begin(SHARE_PD)
+            .set(vec![Value::Int(188)], "dosage", Value::text(*dosage))
+            .commit()
+            .expect("commit");
+        assert_eq!(outcome.version(), i as u64 + 1);
     }
-    let hist = scn.system.audit(SHARE_PD);
-    let methods: Vec<&str> = hist
-        .iter()
-        .filter_map(|e| e.method.as_deref())
-        .collect();
+    let hist = scn.ledger.audit(SHARE_PD);
+    let methods: Vec<&str> = hist.iter().filter_map(|e| e.method.as_deref()).collect();
     // register, then request/ack, request/ack.
     let requests = methods.iter().filter(|m| **m == "request_update").count();
     let acks = methods.iter().filter(|m| **m == "ack_update").count();
@@ -129,12 +116,21 @@ fn barrier_blocks_concurrent_updates_on_same_table() {
 fn audit_history_reconstructs_update_sequence() {
     let mut scn = scenario::build(config("fig5-audit")).expect("build");
     run_fig5(&mut scn).expect("fig5");
-    let hist = scn.system.audit(SHARE_RD);
+    let hist = scn.ledger.audit(SHARE_RD);
     // register_share, request_update, ack_update in order.
     let methods: Vec<&str> = hist.iter().filter_map(|e| e.method.as_deref()).collect();
-    let reg = methods.iter().position(|m| *m == "register_share").expect("register");
-    let req = methods.iter().position(|m| *m == "request_update").expect("request");
-    let ack = methods.iter().position(|m| *m == "ack_update").expect("ack");
+    let reg = methods
+        .iter()
+        .position(|m| *m == "register_share")
+        .expect("register");
+    let req = methods
+        .iter()
+        .position(|m| *m == "request_update")
+        .expect("request");
+    let ack = methods
+        .iter()
+        .position(|m| *m == "ack_update")
+        .expect("ack");
     assert!(reg < req && req < ack);
     // Heights strictly increase (one tx per table per block).
     let heights: Vec<u64> = hist.iter().map(|e| e.height).collect();
@@ -142,10 +138,31 @@ fn audit_history_reconstructs_update_sequence() {
 }
 
 #[test]
+fn commit_outcome_receipts_match_chain() {
+    // The receipts in a CommitOutcome are exactly the on-chain
+    // request+ack transactions of the audit history, all successful.
+    let mut scn = scenario::build(config("fig5-receipts")).expect("build");
+    let (r_outcome, _) = run_fig5(&mut scn).expect("fig5");
+    // One request + one ack (two sharing peers).
+    assert_eq!(r_outcome.receipts.len(), 2);
+    assert!(r_outcome.receipts.iter().all(|r| r.status.is_success()));
+    let audited: Vec<_> = scn
+        .ledger
+        .audit(SHARE_RD)
+        .iter()
+        .filter(|e| matches!(e.method.as_deref(), Some("request_update" | "ack_update")))
+        .map(|e| e.tx_id)
+        .collect();
+    for receipt in &r_outcome.receipts {
+        assert!(audited.contains(&receipt.tx_id));
+    }
+}
+
+#[test]
 fn one_tx_per_shared_table_per_block_on_chain() {
     let mut scn = scenario::build(config("fig5-rule")).expect("build");
     run_fig5(&mut scn).expect("fig5");
-    for block in scn.system.chain().blocks() {
+    for block in scn.ledger.chain().blocks() {
         let mut keys = std::collections::BTreeSet::new();
         for tx in &block.txs {
             if let Some(k) = &tx.tx.conflict_key {

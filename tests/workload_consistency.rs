@@ -1,11 +1,11 @@
-//! Stress: a stream of mixed, permission-valid updates keeps every peer
-//! consistent (the paper's core promise) and the chain auditable.
+//! Stress: a stream of mixed, permission-valid updates driven through
+//! transactional commits keeps every peer consistent (the paper's core
+//! promise) and the chain auditable.
 
-use medledger::core::scenario::{self, DOCTOR, PATIENT, RESEARCHER, SHARE_PD, SHARE_RD};
-use medledger::core::{ConsensusKind, SystemConfig};
+use medledger::core::scenario::{self, SHARE_PD, SHARE_RD};
 use medledger::ledger::audit::verify_chain;
-use medledger::relational::{Value, WriteOp};
 use medledger::workload::{UpdateKind, UpdateStream};
+use medledger::{ConsensusKind, SystemConfig, Value};
 
 #[test]
 fn mixed_update_stream_stays_consistent() {
@@ -26,75 +26,59 @@ fn mixed_update_stream_stays_consistent() {
         let result = match u.kind {
             UpdateKind::Dosage => {
                 // Doctor-side edit through the patient share.
-                scn.system
-                    .peer_mut(DOCTOR)
-                    .expect("peer")
-                    .write_shared(
-                        SHARE_PD,
-                        WriteOp::Update {
-                            key: vec![u.target.clone()],
-                            assignments: vec![("dosage".into(), u.new_value.clone())],
-                        },
-                    )
-                    .and_then(|_| {
-                        let doctor = scn.system.account_of(DOCTOR).expect("doctor");
-                        scn.system.propagate_update(doctor, SHARE_PD)
-                    })
+                scn.ledger
+                    .session(scn.doctor)
+                    .begin(SHARE_PD)
+                    .set(vec![u.target.clone()], "dosage", u.new_value.clone())
+                    .commit()
             }
-            UpdateKind::ClinicalData => scn.system.update_shared_entry(
-                PATIENT,
-                SHARE_PD,
-                vec![u.target.clone()],
-                vec![("clinical_data".into(), u.new_value.clone())],
-            ),
+            UpdateKind::ClinicalData => scn
+                .ledger
+                .session(scn.patient)
+                .begin(SHARE_PD)
+                .set(vec![u.target.clone()], "clinical_data", u.new_value.clone())
+                .commit(),
             UpdateKind::Mechanism => {
-                // Researcher edits its D2 source, then propagates —
-                // only for medications actually present in D2.
+                // Researcher edits its D2 source, then commits through
+                // the research share — only for medications actually
+                // present in D2.
                 let present = scn
-                    .system
-                    .peer(RESEARCHER)
-                    .expect("peer")
-                    .db
-                    .table("D2")
+                    .ledger
+                    .session(scn.researcher)
+                    .source("D2")
                     .expect("D2")
                     .get(std::slice::from_ref(&u.target))
                     .is_some();
                 if !present {
                     continue;
                 }
-                scn.system
-                    .peer_mut(RESEARCHER)
-                    .expect("peer")
-                    .write_source(
+                scn.ledger
+                    .session(scn.researcher)
+                    .begin(SHARE_RD)
+                    .update_source(
                         "D2",
-                        WriteOp::Update {
-                            key: vec![u.target.clone()],
-                            assignments: vec![(
-                                "mechanism_of_action".into(),
-                                u.new_value.clone(),
-                            )],
-                        },
+                        vec![u.target.clone()],
+                        vec![("mechanism_of_action".into(), u.new_value.clone())],
                     )
-                    .and_then(|_| {
-                        let researcher = scn.system.account_of(RESEARCHER).expect("r");
-                        scn.system.propagate_update(researcher, SHARE_RD)
-                    })
+                    .commit()
             }
         };
         match result {
             Ok(_) => committed += 1,
-            Err(medledger::core::CoreError::NoChange(_)) => {}
+            Err(e) if e.is_no_change() => {}
             Err(e) => panic!("unexpected failure: {e}"),
         }
-        scn.system.check_consistency().expect("consistent after each update");
+        scn.ledger
+            .check_consistency()
+            .expect("consistent after each update");
     }
     assert!(committed >= 10, "only {committed} updates committed");
 
     // The chain structure verifies end to end and versions are dense.
-    verify_chain(scn.system.chain()).expect("chain verifies");
-    let m = scn.system.share_meta(SHARE_PD).expect("meta");
+    verify_chain(scn.ledger.chain()).expect("chain verifies");
+    let m = scn.ledger.share_meta(SHARE_PD).expect("meta");
     assert!(m.synced());
-    let hist = scn.system.audit(SHARE_PD);
+    let hist = scn.ledger.audit(SHARE_PD);
     let requests = hist
         .iter()
         .filter(|e| e.method.as_deref() == Some("request_update"))
@@ -114,25 +98,22 @@ fn contract_hash_always_matches_peer_data_when_synced() {
     })
     .expect("build");
     for i in 0..5 {
-        scn.system
-            .peer_mut(DOCTOR)
-            .expect("peer")
-            .write_shared(
-                SHARE_PD,
-                WriteOp::Update {
-                    key: vec![Value::Int(188)],
-                    assignments: vec![("dosage".into(), Value::text(format!("rev-{i}")))],
-                },
+        scn.ledger
+            .session(scn.doctor)
+            .begin(SHARE_PD)
+            .set(
+                vec![Value::Int(188)],
+                "dosage",
+                Value::text(format!("rev-{i}")),
             )
-            .expect("edit");
-        scn.system
-            .propagate_update(scn.doctor, SHARE_PD)
-            .expect("propagate");
-        let m = scn.system.share_meta(SHARE_PD).expect("meta");
+            .commit()
+            .expect("commit");
+        let m = scn.ledger.share_meta(SHARE_PD).expect("meta");
         assert!(m.synced());
-        for peer in [PATIENT, DOCTOR] {
+        for peer in [scn.patient, scn.doctor] {
+            let stored = scn.ledger.session(peer).read(SHARE_PD).expect("read");
             assert_eq!(
-                scn.system.peer(peer).expect("peer").shared_hash(SHARE_PD).expect("hash"),
+                stored.content_hash(),
                 m.content_hash,
                 "peer {peer} at rev {i}"
             );

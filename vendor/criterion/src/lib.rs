@@ -1,0 +1,241 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface this workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `bench_with_input` / `throughput` /
+//! `sample_size` / `measurement_time`, `BenchmarkId`, `Throughput` and
+//! `black_box` — with a simple measurement loop: warm up briefly, then
+//! time batches until the (shortened) measurement budget runs out, and
+//! print mean time per iteration. No statistics, plots or baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measures closures passed by benches.
+pub struct Bencher {
+    /// (iterations, total elapsed) of the final measurement.
+    result: Option<(u64, Duration)>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly within the measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one call (also primes lazily-built state).
+        black_box(f());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Throughput annotation (printed, not analyzed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The top-level bench context.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Deliberately short: this shim exists so benches compile and
+            // produce indicative numbers, not publication-grade stats.
+            budget: Duration::from_millis(200),
+        }
+    }
+}
+
+fn run_one(label: &str, budget: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        result: None,
+        budget,
+    };
+    f(&mut b);
+    match b.result {
+        Some((iters, elapsed)) if iters > 0 => {
+            let per = elapsed.as_nanos() as f64 / iters as f64;
+            println!("bench {label:<40} {:>12.1} ns/iter ({iters} iters)", per);
+        }
+        _ => println!("bench {label:<40} (no measurement)"),
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&id.to_string(), self.budget, f);
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            budget: self.budget,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's budget already bounds
+    /// sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Scales the per-bench measurement budget (capped for CI speed).
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.budget = t.min(Duration::from_millis(500));
+        self
+    }
+
+    /// Records the group throughput annotation.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.budget, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.budget, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// How much setup output `iter_batched` creates per batch (accepted for
+/// API compatibility; the shim always runs batch-per-iteration).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the per-iteration figure only approximately (the
+    /// shim times the routine calls individually in one batch loop).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        use std::time::{Duration, Instant};
+        // Warm-up.
+        black_box(routine(setup()));
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        while spent < self.budget {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            spent += t.elapsed();
+            iters += 1;
+        }
+        self.result = Some((iters, spent));
+    }
+}

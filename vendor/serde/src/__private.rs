@@ -1,0 +1,5 @@
+//! Internals re-exported for derived code. Not a public API.
+
+pub use crate::de::{from_content, take_entry, ContentDeserializer};
+pub use crate::ser::{to_content, ContentSerializer};
+pub use crate::{Content, ContentError};

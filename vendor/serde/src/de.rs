@@ -1,0 +1,272 @@
+//! Deserialization half of the shim.
+
+use crate::Content;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::Hash;
+
+/// Errors produced while deserializing.
+pub trait Error: Sized + std::fmt::Display {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// A type that can deserialize itself from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A type deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A deserialization backend: produces one [`Content`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Produces the content tree of the input.
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// The canonical backend: deserializing *from* a [`Content`] tree.
+pub struct ContentDeserializer(Content);
+
+impl ContentDeserializer {
+    /// Wraps a content tree.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer(content)
+    }
+}
+
+impl<'de> Deserializer<'de> for ContentDeserializer {
+    type Error = crate::ContentError;
+
+    fn deserialize_content(self) -> Result<Content, crate::ContentError> {
+        Ok(self.0)
+    }
+}
+
+/// Deserializes any owned value from a [`Content`] tree.
+pub fn from_content<T: DeserializeOwned>(content: Content) -> Result<T, crate::ContentError> {
+    T::deserialize(ContentDeserializer::new(content))
+}
+
+/// Removes the entry under string key `key` from a decoded map.
+/// (Used by derived `Deserialize` impls for structs.)
+pub fn take_entry(map: &mut Vec<(Content, Content)>, key: &str) -> Option<Content> {
+    let pos = map
+        .iter()
+        .position(|(k, _)| matches!(k, Content::Str(s) if s == key))?;
+    Some(map.remove(pos).1)
+}
+
+fn type_name(c: &Content) -> &'static str {
+    match c {
+        Content::Null => "null",
+        Content::Bool(_) => "bool",
+        Content::I64(_) | Content::U64(_) => "integer",
+        Content::F64(_) => "float",
+        Content::Str(_) => "string",
+        Content::Seq(_) => "sequence",
+        Content::Map(_) => "map",
+    }
+}
+
+fn unexpected<E: Error>(expected: &str, got: &Content) -> E {
+    E::custom(format!("expected {expected}, found {}", type_name(got)))
+}
+
+// ----- impls for std types -------------------------------------------------
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.deserialize_content()? {
+                    Content::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    other => Err(unexpected("integer", &other)),
+                }
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::F64(v) => Ok(v),
+            Content::I64(v) => Ok(v as f64),
+            Content::U64(v) => Ok(v as f64),
+            other => Err(unexpected("number", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Bool(v) => Ok(v),
+            other => Err(unexpected("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Str(v) => Ok(v),
+            other => Err(unexpected("string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(D::Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Null => Ok(()),
+            other => Err(unexpected("null", &other)),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let c = d.deserialize_content()?;
+        from_content::<T>(c).map(Box::new).map_err(D::Error::custom)
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Null => Ok(None),
+            c => from_content::<T>(c).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+fn seq_items<E: Error>(c: Content, expected: &str) -> Result<Vec<Content>, E> {
+    match c {
+        Content::Seq(items) => Ok(items),
+        other => Err(unexpected(expected, &other)),
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = seq_items::<D::Error>(d.deserialize_content()?, "sequence")?;
+        items
+            .into_iter()
+            .map(|c| from_content::<T>(c).map_err(D::Error::custom))
+            .collect()
+    }
+}
+
+impl<'de, T: DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = Vec::<T>::deserialize(d)?;
+        <[T; N]>::try_from(v).map_err(|v: Vec<T>| {
+            D::Error::custom(format!("expected {N} elements, found {}", v.len()))
+        })
+    }
+}
+
+impl<'de, T: DeserializeOwned + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, T: DeserializeOwned + Eq + Hash> Deserialize<'de> for HashSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+    }
+}
+
+fn map_entries<E: Error>(c: Content) -> Result<Vec<(Content, Content)>, E> {
+    match c {
+        Content::Map(entries) => Ok(entries),
+        other => Err(unexpected("map", &other)),
+    }
+}
+
+impl<'de, K: DeserializeOwned + Ord, V: DeserializeOwned> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let entries = map_entries::<D::Error>(d.deserialize_content()?)?;
+        entries
+            .into_iter()
+            .map(|(k, v)| {
+                Ok((
+                    from_content::<K>(k).map_err(D::Error::custom)?,
+                    from_content::<V>(v).map_err(D::Error::custom)?,
+                ))
+            })
+            .collect()
+    }
+}
+
+impl<'de, K: DeserializeOwned + Eq + Hash, V: DeserializeOwned> Deserialize<'de> for HashMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let entries = map_entries::<D::Error>(d.deserialize_content()?)?;
+        entries
+            .into_iter()
+            .map(|(k, v)| {
+                Ok((
+                    from_content::<K>(k).map_err(D::Error::custom)?,
+                    from_content::<V>(v).map_err(D::Error::custom)?,
+                ))
+            })
+            .collect()
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: DeserializeOwned),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                let items = seq_items::<__D::Error>(d.deserialize_content()?, "tuple")?;
+                if items.len() != $len {
+                    return Err(__D::Error::custom(format!(
+                        "expected a tuple of {} elements, found {}", $len, items.len()
+                    )));
+                }
+                let mut it = items.into_iter();
+                Ok(($(
+                    {
+                        let _ = $n;
+                        from_content::<$t>(it.next().expect("length checked"))
+                            .map_err(__D::Error::custom)?
+                    },
+                )+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1usize 0 A)
+    (2usize 0 A, 1 B)
+    (3usize 0 A, 1 B, 2 C)
+    (4usize 0 A, 1 B, 2 C, 3 D)
+}

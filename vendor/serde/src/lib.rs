@@ -1,0 +1,72 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the subset of serde's API the workspace actually uses:
+//! the `Serialize` / `Deserialize` traits (with derive macros from the
+//! sibling `serde_derive` shim), `Serializer` / `Deserializer`, and the
+//! `ser::Error` / `de::Error` extension traits.
+//!
+//! Instead of serde's visitor-based zero-copy data model, everything
+//! funnels through one self-describing tree, [`Content`]. A `Serializer`
+//! consumes a `Content`; a `Deserializer` produces one. The only backend
+//! in the workspace is JSON (the vendored `serde_json`), for which this
+//! model is exactly sufficient, and it keeps derived code tiny.
+
+pub mod de;
+pub mod ser;
+
+#[doc(hidden)]
+pub mod __private;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Derive macros (same names as the traits; they live in the macro
+// namespace, so the glob-free double export mirrors real serde).
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data tree all (de)serialization passes through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// Null / unit / `None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value exceeds `i64::MAX`).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, tuples, sets).
+    Seq(Vec<Content>),
+    /// Map / struct. Keys are full `Content` so non-string keys (e.g.
+    /// hex-serializing digests) survive until the format layer decides.
+    Map(Vec<(Content, Content)>),
+}
+
+/// The one concrete error type used by the content-tree backends.
+#[derive(Clone, Debug)]
+pub struct ContentError(pub String);
+
+impl std::fmt::Display for ContentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ContentError {}
+
+impl ser::Error for ContentError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+impl de::Error for ContentError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}

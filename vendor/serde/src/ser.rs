@@ -1,0 +1,279 @@
+//! Serialization half of the shim.
+
+use crate::Content;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Errors produced while serializing.
+pub trait Error: Sized + std::fmt::Display {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// A type that can serialize itself into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A serialization backend.
+///
+/// Unlike real serde there is a single required method: the backend
+/// consumes one [`Content`] tree. The primitive `serialize_*` helpers are
+/// provided so hand-written `Serialize` impls read exactly like their
+/// serde counterparts.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Consumes a content tree.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Str(v.to_owned()))
+    }
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Bool(v))
+    }
+
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::I64(v))
+    }
+
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(if v <= i64::MAX as u64 {
+            Content::I64(v as i64)
+        } else {
+            Content::U64(v)
+        })
+    }
+
+    /// Serializes a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::F64(v))
+    }
+
+    /// Serializes a unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Null)
+    }
+
+    /// Serializes `None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Null)
+    }
+
+    /// Serializes `Some(value)` transparently.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        let c = to_content(value).map_err(Error::custom)?;
+        self.serialize_content(c)
+    }
+}
+
+/// The canonical backend: serializing *to* a [`Content`] tree.
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = crate::ContentError;
+
+    fn serialize_content(self, content: Content) -> Result<Content, crate::ContentError> {
+        Ok(content)
+    }
+}
+
+/// Serializes any value into a [`Content`] tree.
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, crate::ContentError> {
+    value.serialize(ContentSerializer)
+}
+
+// ----- impls for std types -------------------------------------------------
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl Serialize for u64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_u64(*self)
+    }
+}
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_u64(*self as u64)
+    }
+}
+
+impl Serialize for u128 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        u64::try_from(*self)
+            .map_err(|_| Error::custom("u128 exceeds u64 range"))
+            .and_then(|v| s.serialize_u64(v))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => s.serialize_some(v),
+            None => s.serialize_none(),
+        }
+    }
+}
+
+fn seq_content<'a, T: Serialize + 'a, E: Error>(
+    items: impl Iterator<Item = &'a T>,
+) -> Result<Content, E> {
+    let mut out = Vec::new();
+    for item in items {
+        out.push(to_content(item).map_err(E::custom)?);
+    }
+    Ok(Content::Seq(out))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let c = seq_content::<T, S::Error>(self.iter())?;
+        s.serialize_content(c)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let c = seq_content::<T, S::Error>(self.iter())?;
+        s.serialize_content(c)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let c = seq_content::<T, S::Error>(self.iter())?;
+        s.serialize_content(c)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let c = seq_content::<T, S::Error>(self.iter())?;
+        s.serialize_content(c)
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let c = seq_content::<T, S::Error>(self.iter())?;
+        s.serialize_content(c)
+    }
+}
+
+fn map_content<'a, K: Serialize + 'a, V: Serialize + 'a, E: Error>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Result<Content, E> {
+    let mut out = Vec::new();
+    for (k, v) in entries {
+        out.push((
+            to_content(k).map_err(E::custom)?,
+            to_content(v).map_err(E::custom)?,
+        ));
+    }
+    Ok(Content::Map(out))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let c = map_content::<K, V, S::Error>(self.iter())?;
+        s.serialize_content(c)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let c = map_content::<K, V, S::Error>(self.iter())?;
+        s.serialize_content(c)
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let items = vec![$(to_content(&self.$n).map_err(S::Error::custom)?),+];
+                s.serialize_content(Content::Seq(items))
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}

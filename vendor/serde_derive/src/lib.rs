@@ -1,0 +1,611 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the vendored `serde` shim's content-tree model. Since syn/quote are
+//! unavailable offline, the item is parsed directly from the proc-macro
+//! token stream and code is generated as source text.
+//!
+//! Supported shapes (everything this workspace uses):
+//! * structs with named fields, tuple/newtype structs, unit structs,
+//! * enums with unit, newtype, tuple and struct variants
+//!   (externally tagged, like serde's default),
+//! * field attributes `#[serde(skip)]`, `#[serde(default)]` and
+//!   `#[serde(with = "module")]`.
+//!
+//! Generics are intentionally unsupported (none of the workspace's
+//! serialized types are generic); the macro panics with a clear message
+//! if it meets them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ----------------------------------------------------------------------
+// item model
+// ----------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    ty: String,
+    skip: bool,
+    default: bool,
+    with: Option<String>,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    /// Tuple fields: just the types (no serde attrs used on these here).
+    Tuple(Vec<String>),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+// ----------------------------------------------------------------------
+// parsing
+// ----------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Tuple(parse_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Fields::Unit),
+            other => panic!("serde_derive shim: unexpected token after struct name: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive shim: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found `{other}`"),
+    };
+    Item { name, kind }
+}
+
+/// Serde field attributes gathered while skipping `#[...]` tokens.
+#[derive(Default)]
+struct SerdeAttrs {
+    skip: bool,
+    default: bool,
+    with: Option<String>,
+}
+
+fn parse_attrs(toks: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut out = SerdeAttrs::default();
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        let group = match toks.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g.clone(),
+            other => panic!("serde_derive shim: malformed attribute: {other:?}"),
+        };
+        *i += 1;
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue; // doc comments, cfgs, other derives' helpers
+        }
+        let args = match inner.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+            other => panic!("serde_derive shim: malformed #[serde(...)]: {other:?}"),
+        };
+        let args: Vec<TokenTree> = args.into_iter().collect();
+        let mut j = 0;
+        while j < args.len() {
+            let key = match &args[j] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive shim: unexpected serde attr token {other:?}"),
+            };
+            j += 1;
+            match key.as_str() {
+                "skip" | "skip_serializing" | "skip_deserializing" => out.skip = true,
+                "default" => out.default = true,
+                "with" => match (args.get(j), args.get(j + 1)) {
+                    (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(lit)))
+                        if p.as_char() == '=' =>
+                    {
+                        let s = lit.to_string();
+                        out.with = Some(s.trim_matches('"').to_string());
+                        j += 2;
+                    }
+                    _ => panic!("serde_derive shim: expected #[serde(with = \"module\")]"),
+                },
+                other => panic!("serde_derive shim: unsupported serde attribute `{other}`"),
+            }
+            if matches!(args.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive shim: expected identifier, found {other:?}"),
+    }
+}
+
+/// Collects a type as source text up to a top-level `,` (angle-bracket
+/// depth aware).
+fn collect_type(toks: &[TokenTree], i: &mut usize) -> String {
+    let mut depth = 0i32;
+    let mut ty = String::new();
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                ',' if depth == 0 => break,
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        ty.push_str(&t.to_string());
+        // No space after a lifetime tick: `' static` is not a token.
+        if !matches!(t, TokenTree::Punct(p) if p.as_char() == '\'') {
+            ty.push(' ');
+        }
+        *i += 1;
+    }
+    ty.trim().to_string()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        let attrs = parse_attrs(&toks, &mut i);
+        skip_attrs_and_vis(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde_derive shim: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        let ty = collect_type(&toks, &mut i);
+        out.push(Field {
+            name,
+            ty,
+            skip: attrs.skip,
+            default: attrs.default,
+            with: attrs.with,
+        });
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        let attrs = parse_attrs(&toks, &mut i);
+        if attrs.skip || attrs.with.is_some() {
+            panic!("serde_derive shim: serde attrs on tuple fields are unsupported");
+        }
+        skip_attrs_and_vis(&toks, &mut i);
+        let ty = collect_type(&toks, &mut i);
+        if !ty.is_empty() {
+            out.push(ty);
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        let _ = parse_attrs(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        out.push(Variant { name, fields });
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// codegen: Serialize
+// ----------------------------------------------------------------------
+
+const CONTENT: &str = "serde::__private::Content";
+
+/// Expression serializing `expr` (a reference) into a `Content`, `?`-ing
+/// errors through `S::Error::custom`.
+fn ser_value(expr: &str, with: Option<&str>) -> String {
+    match with {
+        None => format!(
+            "match serde::__private::to_content({expr}) {{ \
+               ::std::result::Result::Ok(c) => c, \
+               ::std::result::Result::Err(e) => return ::std::result::Result::Err(\
+                   <__S::Error as serde::ser::Error>::custom(e)) }}"
+        ),
+        Some(module) => format!(
+            "match {module}::serialize({expr}, serde::__private::ContentSerializer) {{ \
+               ::std::result::Result::Ok(c) => c, \
+               ::std::result::Result::Err(e) => return ::std::result::Result::Err(\
+                   <__S::Error as serde::ser::Error>::custom(e)) }}"
+        ),
+    }
+}
+
+fn ser_named_fields(fields: &[Field], access_prefix: &str) -> String {
+    let mut body = format!(
+        "let mut __map: ::std::vec::Vec<({CONTENT}, {CONTENT})> = ::std::vec::Vec::new();\n"
+    );
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        let expr = format!("{}{}", access_prefix, f.name);
+        body.push_str(&format!(
+            "__map.push(({CONTENT}::Str(::std::string::String::from(\"{name}\")), {value}));\n",
+            name = f.name,
+            value = ser_value(&expr, f.with.as_deref()),
+        ));
+    }
+    body.push_str(&format!("{CONTENT}::Map(__map)"));
+    format!("{{ {body} }}")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let map = ser_named_fields(fields, "&self.");
+            format!("__serializer.serialize_content({map})")
+        }
+        Kind::Struct(Fields::Tuple(types)) => match types.len() {
+            1 => {
+                let v = ser_value("&self.0", None);
+                format!("__serializer.serialize_content({v})")
+            }
+            n => {
+                let items: Vec<String> = (0..n)
+                    .map(|i| ser_value(&format!("&self.{i}"), None))
+                    .collect();
+                format!(
+                    "__serializer.serialize_content({CONTENT}::Seq(::std::vec![{}]))",
+                    items.join(", ")
+                )
+            }
+        },
+        Kind::Struct(Fields::Unit) => format!("__serializer.serialize_content({CONTENT}::Null)"),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => __serializer.serialize_content(\
+                           {CONTENT}::Str(::std::string::String::from(\"{vname}\"))),\n"
+                    )),
+                    Fields::Tuple(types) => {
+                        let binders: Vec<String> =
+                            (0..types.len()).map(|i| format!("__f{i}")).collect();
+                        let inner = if types.len() == 1 {
+                            ser_value("__f0", None)
+                        } else {
+                            let items: Vec<String> =
+                                binders.iter().map(|b| ser_value(b, None)).collect();
+                            format!("{CONTENT}::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binders}) => __serializer.serialize_content(\
+                               {CONTENT}::Map(::std::vec![({CONTENT}::Str(\
+                               ::std::string::String::from(\"{vname}\")), {inner})])),\n",
+                            binders = binders.join(", "),
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let map = ser_named_fields(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binders} }} => __serializer.serialize_content(\
+                               {CONTENT}::Map(::std::vec![({CONTENT}::Str(\
+                               ::std::string::String::from(\"{vname}\")), {map})])),\n",
+                            binders = binders.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: serde::ser::Serializer>(&self, __serializer: __S)\n\
+                 -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+// ----------------------------------------------------------------------
+// codegen: Deserialize
+// ----------------------------------------------------------------------
+
+fn de_err(msg: &str) -> String {
+    format!("<__D::Error as serde::de::Error>::custom({msg})")
+}
+
+/// Expression turning a bound `Content` variable `var` into a field value.
+fn de_value(var: &str, ty: &str, with: Option<&str>) -> String {
+    match with {
+        None => format!(
+            "match serde::__private::from_content::<{ty}>({var}) {{ \
+               ::std::result::Result::Ok(v) => v, \
+               ::std::result::Result::Err(e) => return ::std::result::Result::Err({err}) }}",
+            err = de_err("e")
+        ),
+        Some(module) => format!(
+            "match {module}::deserialize(serde::__private::ContentDeserializer::new({var})) {{ \
+               ::std::result::Result::Ok(v) => v, \
+               ::std::result::Result::Err(e) => return ::std::result::Result::Err({err}) }}",
+            err = de_err("e")
+        ),
+    }
+}
+
+/// Generates `Name { field: ..., ... }` from a decoded map bound to
+/// `__map` (a `Vec<(Content, Content)>`).
+fn de_named_fields(ctor: &str, type_label: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+            continue;
+        }
+        // `default` on a field means Default::default() when the key is
+        // absent; otherwise absence is an error.
+        let missing = if f.default {
+            "::std::option::Option::None => ::std::default::Default::default(),".to_string()
+        } else {
+            format!(
+                "::std::option::Option::None => return ::std::result::Result::Err({}),",
+                de_err(&format!("\"missing field `{}` in {}\"", f.name, type_label))
+            )
+        };
+        inits.push_str(&format!(
+            "{name}: match serde::__private::take_entry(&mut __map, \"{name}\") {{ \
+                 ::std::option::Option::Some(__v) => {value}, \
+                 {missing} \
+             }},\n",
+            name = f.name,
+            value = de_value("__v", &f.ty, f.with.as_deref()),
+        ));
+    }
+    format!("{ctor} {{ {inits} }}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let build = de_named_fields(name, name, fields);
+            format!(
+                "let mut __map = match __content {{ \
+                     {CONTENT}::Map(m) => m, \
+                     _ => return ::std::result::Result::Err({err}) }};\n\
+                 ::std::result::Result::Ok({build})",
+                err = de_err(&format!("\"expected a map for struct {name}\""))
+            )
+        }
+        Kind::Struct(Fields::Tuple(types)) => match types.len() {
+            1 => format!(
+                "::std::result::Result::Ok({name}({}))",
+                de_value("__content", &types[0], None)
+            ),
+            n => {
+                let mut fields = String::new();
+                for ty in types {
+                    fields.push_str(&format!(
+                        "{},\n",
+                        de_value("__it.next().expect(\"length checked\")", ty, None)
+                    ));
+                }
+                format!(
+                    "let __items = match __content {{ \
+                         {CONTENT}::Seq(s) => s, \
+                         _ => return ::std::result::Result::Err({err_seq}) }};\n\
+                     if __items.len() != {n} {{ \
+                         return ::std::result::Result::Err({err_len}); }}\n\
+                     let mut __it = __items.into_iter();\n\
+                     ::std::result::Result::Ok({name}({fields}))",
+                    err_seq = de_err(&format!("\"expected a sequence for struct {name}\"")),
+                    err_len = de_err(&format!("\"wrong number of elements for struct {name}\"")),
+                )
+            }
+        },
+        Kind::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(types) if types.len() == 1 => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}({})),\n",
+                        de_value("__value", &types[0], None)
+                    )),
+                    Fields::Tuple(types) => {
+                        let n = types.len();
+                        let mut fields = String::new();
+                        for ty in types {
+                            fields.push_str(&format!(
+                                "{},\n",
+                                de_value("__it.next().expect(\"length checked\")", ty, None)
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{ \
+                                 let __items = match __value {{ \
+                                     {CONTENT}::Seq(s) => s, \
+                                     _ => return ::std::result::Result::Err({err_seq}) }};\n\
+                                 if __items.len() != {n} {{ \
+                                     return ::std::result::Result::Err({err_len}); }}\n\
+                                 let mut __it = __items.into_iter();\n\
+                                 ::std::result::Result::Ok({name}::{vname}({fields})) }},\n",
+                            err_seq = de_err(&format!(
+                                "\"expected a sequence for variant {name}::{vname}\""
+                            )),
+                            err_len = de_err(&format!(
+                                "\"wrong number of elements for variant {name}::{vname}\""
+                            )),
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let build = de_named_fields(
+                            &format!("{name}::{vname}"),
+                            &format!("{name}::{vname}"),
+                            fields,
+                        );
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{ \
+                                 let mut __map = match __value {{ \
+                                     {CONTENT}::Map(m) => m, \
+                                     _ => return ::std::result::Result::Err({err}) }};\n\
+                                 ::std::result::Result::Ok({build}) }},\n",
+                            err =
+                                de_err(&format!("\"expected a map for variant {name}::{vname}\"")),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __content {{\n\
+                     {CONTENT}::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err({err_var}),\n\
+                     }},\n\
+                     {CONTENT}::Map(mut __m) => {{\n\
+                         if __m.len() != 1 {{ \
+                             return ::std::result::Result::Err({err_one}); }}\n\
+                         let (__k, __value) = __m.pop().expect(\"length checked\");\n\
+                         let __k = match __k {{ \
+                             {CONTENT}::Str(s) => s, \
+                             _ => return ::std::result::Result::Err({err_key}) }};\n\
+                         match __k.as_str() {{\n\
+                             {data_arms}\
+                             __other => ::std::result::Result::Err({err_var}),\n\
+                         }}\n\
+                     }},\n\
+                     _ => ::std::result::Result::Err({err_shape}),\n\
+                 }}",
+                err_var = de_err(&format!(
+                    "format!(\"unknown variant `{{__other}}` of {name}\")"
+                )),
+                err_one = de_err(&format!("\"expected single-entry map for enum {name}\"")),
+                err_key = de_err(&format!("\"expected string variant key for enum {name}\"")),
+                err_shape = de_err(&format!("\"expected string or map for enum {name}\"")),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: serde::de::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::std::result::Result<Self, __D::Error> {{\n\
+                 let __content = __deserializer.deserialize_content()?;\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+// ----------------------------------------------------------------------
+// entry points
+// ----------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive shim generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive shim generated invalid Deserialize impl")
+}

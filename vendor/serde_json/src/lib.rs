@@ -1,0 +1,343 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Bridges the vendored `serde` shim's [`Content`](serde::Content) tree to
+//! JSON text, and provides the [`Value`] type plus `to_vec` / `to_string` /
+//! `from_slice` / `from_str` / `to_value` / `from_value` and the [`json!`]
+//! macro — the surface this workspace uses.
+
+use serde::de::DeserializeOwned;
+use serde::{Content, Serialize};
+use std::fmt;
+
+mod parse;
+mod print;
+
+pub use parse::from_str_value;
+
+/// Errors from JSON (de)serialization.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl From<serde::ContentError> for Error {
+    fn from(e: serde::ContentError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A JSON number (integer or float).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer beyond `i64::MAX`.
+    U64(u64),
+    /// Float.
+    F64(f64),
+}
+
+impl Number {
+    /// As `i64` if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Number::I64(v) => Some(*v),
+            Number::U64(v) => i64::try_from(*v).ok(),
+            Number::F64(_) => None,
+        }
+    }
+
+    /// As `u64` if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Number::I64(v) => u64::try_from(*v).ok(),
+            Number::U64(v) => Some(*v),
+            Number::F64(_) => None,
+        }
+    }
+
+    /// As `f64`.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Number::I64(v) => *v as f64,
+            Number::U64(v) => *v as f64,
+            Number::F64(v) => *v,
+        }
+    }
+}
+
+/// A JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (insertion-ordered).
+    Object(Vec<(String, Value)>),
+}
+
+static NULL_VALUE: Value = Value::Null;
+
+impl Value {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// As `&str` if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As `i64` if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// As `u64` if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// As `bool` if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True iff `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL_VALUE)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL_VALUE),
+            _ => &NULL_VALUE,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        self.as_i64() == Some(*other)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&print::print(self))
+    }
+}
+
+// ----- Content <-> Value ---------------------------------------------------
+
+fn content_to_value(c: Content) -> Result<Value> {
+    Ok(match c {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(b),
+        Content::I64(v) => Value::Number(Number::I64(v)),
+        Content::U64(v) => Value::Number(Number::U64(v)),
+        Content::F64(v) => Value::Number(Number::F64(v)),
+        Content::Str(s) => Value::String(s),
+        Content::Seq(items) => Value::Array(
+            items
+                .into_iter()
+                .map(content_to_value)
+                .collect::<Result<_>>()?,
+        ),
+        Content::Map(entries) => {
+            let mut out = Vec::with_capacity(entries.len());
+            for (k, v) in entries {
+                let key = match content_to_value(k)? {
+                    Value::String(s) => s,
+                    other => {
+                        return Err(Error(format!(
+                            "JSON object keys must serialize as strings, got {other}"
+                        )))
+                    }
+                };
+                out.push((key, content_to_value(v)?));
+            }
+            Value::Object(out)
+        }
+    })
+}
+
+fn value_to_content(v: Value) -> Content {
+    match v {
+        Value::Null => Content::Null,
+        Value::Bool(b) => Content::Bool(b),
+        Value::Number(Number::I64(n)) => Content::I64(n),
+        Value::Number(Number::U64(n)) => Content::U64(n),
+        Value::Number(Number::F64(n)) => Content::F64(n),
+        Value::String(s) => Content::Str(s),
+        Value::Array(items) => Content::Seq(items.into_iter().map(value_to_content).collect()),
+        Value::Object(entries) => Content::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (Content::Str(k), value_to_content(v)))
+                .collect(),
+        ),
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        serializer.serialize_content(value_to_content(self.clone()))
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Value {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        let c = deserializer.deserialize_content()?;
+        content_to_value(c).map_err(serde::de::Error::custom)
+    }
+}
+
+// ----- public API ----------------------------------------------------------
+
+/// Serializes a value into a [`Value`].
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    content_to_value(serde::ser::to_content(value)?)
+}
+
+/// Deserializes a typed value out of a [`Value`].
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T> {
+    serde::de::from_content(value_to_content(value)).map_err(Error::from)
+}
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(print::print(&to_value(value)?))
+}
+
+/// Serializes to pretty-printed JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(print::print_pretty(&to_value(value)?, 0))
+}
+
+/// Serializes to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes from JSON text.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T> {
+    from_value(parse::from_str_value(s)?)
+}
+
+/// Deserializes from JSON bytes.
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Builds a [`Value`] from JSON-ish syntax.
+///
+/// Supported forms: `json!(null)`, `json!([a, b, ...])` (elements are Rust
+/// expressions), `json!({ "key": expr, ... })` (values are Rust
+/// expressions), and `json!(expr)` for any `Serialize` expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem).expect("json! element serializes") ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (::std::string::String::from($key),
+                $crate::to_value(&$val).expect("json! value serializes")) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other).expect("json! value serializes") };
+}

@@ -1,0 +1,105 @@
+//! JSON text output.
+
+use crate::{Number, Value};
+
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number_into(out: &mut String, n: &Number) {
+    match n {
+        Number::I64(v) => out.push_str(&v.to_string()),
+        Number::U64(v) => out.push_str(&v.to_string()),
+        Number::F64(v) => {
+            if v.is_finite() {
+                // Rust's shortest round-trip float formatting; force a
+                // decimal point so the value re-parses as a float.
+                let s = v.to_string();
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+pub fn print(v: &Value) -> String {
+    let mut out = String::new();
+    print_into(&mut out, v);
+    out
+}
+
+fn print_into(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => number_into(out, n),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                print_into(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, k);
+                out.push(':');
+                print_into(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+pub fn print_pretty(v: &Value, indent: usize) -> String {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            let inner: Vec<String> = items
+                .iter()
+                .map(|i| format!("{pad_in}{}", print_pretty(i, indent + 1)))
+                .collect();
+            format!("[\n{}\n{pad}]", inner.join(",\n"))
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            let inner: Vec<String> = entries
+                .iter()
+                .map(|(k, val)| {
+                    let mut key = String::new();
+                    escape_into(&mut key, k);
+                    format!("{pad_in}{key}: {}", print_pretty(val, indent + 1))
+                })
+                .collect();
+            format!("{{\n{}\n{pad}}}", inner.join(",\n"))
+        }
+        other => print(other),
+    }
+}
