@@ -1,0 +1,133 @@
+//! Delta-pipeline scaling: update cost vs. table size × touched rows.
+//!
+//! The claim under test (ISSUE 2 acceptance): in `PropagationMode::Delta`
+//! the wall cost of one committed update scales with the rows it touched,
+//! while the `FullTable` baseline scales with the table. Each measured
+//! iteration drives one full Fig. 5 commit (request tx, PBFT round,
+//! propagation, ack) through the facade, so the numbers include the
+//! whole pipeline, not just the lens arithmetic.
+//!
+//! A second group replays the workload crate's *hotspot* stream — many
+//! small updates to a few rows of a large table — the access pattern
+//! where the delta pipeline's advantage is largest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medledger_bench::{one_batch_update, two_peer_system_in};
+use medledger_core::{ConsensusKind, PropagationMode};
+use medledger_workload::UpdateStream;
+
+const FIRST_PATIENT_ID: i64 = 1000;
+
+fn consensus() -> ConsensusKind {
+    ConsensusKind::PrivatePbft {
+        block_interval_ms: 100,
+    }
+}
+
+fn mode_label(mode: PropagationMode) -> &'static str {
+    match mode {
+        PropagationMode::Delta => "delta",
+        PropagationMode::FullTable => "full_table",
+    }
+}
+
+fn bench_size_touch_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delta_pipeline");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for mode in [PropagationMode::Delta, PropagationMode::FullTable] {
+        for table_rows in [64usize, 512, 4096] {
+            for touched in [1usize, 16] {
+                let label = format!("{}/rows{}/touch{}", mode_label(mode), table_rows, touched);
+                g.bench_with_input(BenchmarkId::from_parameter(&label), &label, |b, _| {
+                    let mut bench =
+                        two_peer_system_in("bench-delta", consensus(), table_rows, mode);
+                    let pids: Vec<i64> =
+                        (0..touched as i64).map(|i| FIRST_PATIENT_ID + i).collect();
+                    let mut rev = 0usize;
+                    b.iter(|| {
+                        rev += 1;
+                        // Each commit consumes one-time signing keys on
+                        // both peers; rebuild before they run dry.
+                        if bench.ledger.remaining_keys(bench.doctor).expect("keys") < 4 {
+                            bench = two_peer_system_in(
+                                &format!("bench-delta-{rev}"),
+                                consensus(),
+                                table_rows,
+                                mode,
+                            );
+                        }
+                        one_batch_update(&mut bench, &pids, rev)
+                    })
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+fn bench_hotspot_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delta_pipeline_hotspot");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    const TABLE_ROWS: usize = 2048;
+    const HOT_ROWS: usize = 4;
+    for mode in [PropagationMode::Delta, PropagationMode::FullTable] {
+        let label = format!("{}/rows{}/hot{}", mode_label(mode), TABLE_ROWS, HOT_ROWS);
+        g.bench_with_input(BenchmarkId::from_parameter(&label), &label, |b, _| {
+            let mut bench = two_peer_system_in("bench-hotspot", consensus(), TABLE_ROWS, mode);
+            let all: Vec<i64> = (0..TABLE_ROWS as i64)
+                .map(|i| FIRST_PATIENT_ID + i)
+                .collect();
+            let mut stream = UpdateStream::hotspot("bench", all, HOT_ROWS);
+            let mut rev = 0usize;
+            b.iter(|| {
+                rev += 1;
+                if bench.ledger.remaining_keys(bench.doctor).expect("keys") < 4 {
+                    bench = two_peer_system_in(
+                        &format!("bench-hotspot-{rev}"),
+                        consensus(),
+                        TABLE_ROWS,
+                        mode,
+                    );
+                }
+                let u = stream.next_update();
+                let pid = u.target.as_int().expect("row-keyed");
+                one_batch_update(&mut bench, &[pid], rev)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bandwidth_report(c: &mut Criterion) {
+    // Not a timing bench: prints the data-plane accounting so the
+    // bandwidth win is visible next to the wall numbers.
+    let mut g = c.benchmark_group("delta_pipeline_bandwidth");
+    g.sample_size(10);
+    for mode in [PropagationMode::Delta, PropagationMode::FullTable] {
+        let mut bench = two_peer_system_in("bench-bw", consensus(), 1024, mode);
+        for rev in 0..5 {
+            one_batch_update(&mut bench, &[FIRST_PATIENT_ID], rev);
+        }
+        let dp = bench.ledger.stats().data_plane;
+        println!(
+            "bandwidth {:<10} transfers={} rows={} bytes={} full_equiv={} ratio={:.4}",
+            mode_label(mode),
+            dp.transfers,
+            dp.rows,
+            dp.bytes,
+            dp.full_table_equiv_bytes,
+            dp.bytes_ratio().unwrap_or(1.0),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_size_touch_sweep,
+    bench_hotspot_stream,
+    bench_bandwidth_report
+);
+criterion_main!(benches);

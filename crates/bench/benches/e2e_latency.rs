@@ -8,6 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use medledger_bench::{one_dosage_update, two_peer_system};
 use medledger_core::ConsensusKind;
+use medledger_workload::UpdateStream;
 
 fn bench_full_update(c: &mut Criterion) {
     let mut g = c.benchmark_group("e2e_update");
@@ -52,6 +53,39 @@ fn bench_full_update(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_hotspot_updates(c: &mut Criterion) {
+    // Many small updates to a few rows of a large ward table — the
+    // workload shape where delta propagation keeps per-update cost flat
+    // in the table size.
+    let mut g = c.benchmark_group("e2e_hotspot");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    const TABLE_ROWS: usize = 1024;
+    g.bench_function("pbft_100ms_1024rows_hot4", |b| {
+        let consensus = ConsensusKind::PrivatePbft {
+            block_interval_ms: 100,
+        };
+        let mut bench = two_peer_system("bench-e2e-hot", consensus.clone(), TABLE_ROWS);
+        let all: Vec<i64> = (0..TABLE_ROWS as i64).map(|i| 1000 + i).collect();
+        let mut stream = UpdateStream::hotspot("e2e", all, 4);
+        let mut rev = 0usize;
+        b.iter(|| {
+            rev += 1;
+            if bench.ledger.remaining_keys(bench.doctor).expect("keys") < 4 {
+                bench = two_peer_system(
+                    &format!("bench-e2e-hot-{rev}"),
+                    consensus.clone(),
+                    TABLE_ROWS,
+                );
+            }
+            let u = stream.next_update();
+            let pid = u.target.as_int().expect("row-keyed");
+            one_dosage_update(&mut bench, pid, rev)
+        })
+    });
+    g.finish();
+}
+
 fn bench_system_boot(c: &mut Criterion) {
     let mut g = c.benchmark_group("system");
     g.sample_size(10);
@@ -71,5 +105,10 @@ fn bench_system_boot(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_full_update, bench_system_boot);
+criterion_group!(
+    benches,
+    bench_full_update,
+    bench_hotspot_updates,
+    bench_system_boot
+);
 criterion_main!(benches);

@@ -8,7 +8,7 @@
 //! `UpdateBatch`).
 
 use medledger_bx::LensSpec;
-use medledger_core::{ConsensusKind, MedLedger, PeerId, SystemConfig};
+use medledger_core::{ConsensusKind, MedLedger, PeerId, PropagationMode, SystemConfig};
 use medledger_relational::{Predicate, Table, Value};
 use medledger_workload::EhrGenerator;
 
@@ -36,12 +36,25 @@ pub struct WardBench {
 }
 
 /// Builds a doctor+patient ledger sharing one table over `n_patients`
-/// records.
+/// records, in the default (delta) propagation mode.
 pub fn two_peer_system(seed: &str, consensus: ConsensusKind, n_patients: usize) -> WardBench {
+    two_peer_system_in(seed, consensus, n_patients, PropagationMode::Delta)
+}
+
+/// [`two_peer_system`] with an explicit propagation mode — the knob the
+/// `delta_pipeline` bench sweeps to compare row-level deltas against the
+/// whole-table baseline.
+pub fn two_peer_system_in(
+    seed: &str,
+    consensus: ConsensusKind,
+    n_patients: usize,
+    mode: PropagationMode,
+) -> WardBench {
     let mut ledger = MedLedger::builder()
         .seed(seed)
         .consensus(consensus)
         .peer_key_capacity(1024)
+        .propagation(mode)
         .build()
         .expect("boot");
     let doctor = ledger.add_peer("Doctor").expect("add");
@@ -117,6 +130,24 @@ pub fn one_dosage_update(bench: &mut WardBench, pid: i64, rev: usize) -> (u64, u
         .commit()
         .expect("commit");
     (outcome.visibility_latency_ms(), outcome.sync_latency_ms())
+}
+
+/// Commits one doctor-side batch touching `pids` (one dosage edit per
+/// row) and returns the rows/bytes the propagation moved. The
+/// `delta_pipeline` bench's unit of work: in delta mode the cost scales
+/// with `pids.len()`, in full-table mode with the table.
+pub fn one_batch_update(bench: &mut WardBench, pids: &[i64], rev: usize) -> (u64, u64) {
+    let mut session = bench.ledger.session(bench.doctor);
+    let mut batch = session.begin("ward");
+    for pid in pids {
+        batch = batch.set(
+            vec![Value::Int(*pid)],
+            "dosage",
+            Value::text(format!("rev-{rev}-{pid}")),
+        );
+    }
+    let outcome = batch.commit().expect("commit");
+    (outcome.report.rows_moved, outcome.report.bytes_moved)
 }
 
 /// A medical-records table of `n` rows for lens benchmarks.

@@ -1,200 +1,12 @@
-//! Table version diffing.
+//! Table version diffing (re-exported from the relational substrate).
 //!
-//! Peers exchange whole shared tables (the paper's "request updated data"
-//! message), but permissions are *per attribute* (Fig. 3), so before a
-//! peer submits an update request to the sharing contract it computes
-//! which attributes actually changed — [`changed_attrs`] — and the
-//! contract checks write permission for exactly that set.
+//! [`TableDelta`], [`diff_tables`] and [`changed_attrs`] moved into
+//! `medledger-relational` so that `Table::apply_delta` and the delta types
+//! live next to the table they mutate; this module re-exports them for
+//! lens-side callers. The lens-aware *incremental* operations — pushing a
+//! delta forward through `get` or backward through `put` without touching
+//! unchanged rows — live in [`crate::incremental`].
 
-use medledger_relational::{Row, Table, Value};
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
-
-/// A key-aligned difference between two versions of a table.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize, Default)]
-pub struct TableDelta {
-    /// Rows present in `new` but not `old` (by key).
-    pub inserts: Vec<Row>,
-    /// Rows present in both but with differing non-key cells:
-    /// `(key, new_row)`.
-    pub updates: Vec<(Vec<Value>, Row)>,
-    /// Keys present in `old` but not `new`.
-    pub deletes: Vec<Vec<Value>>,
-}
-
-impl TableDelta {
-    /// True iff the delta is empty (tables agree).
-    pub fn is_empty(&self) -> bool {
-        self.inserts.is_empty() && self.updates.is_empty() && self.deletes.is_empty()
-    }
-
-    /// Total number of changed rows.
-    pub fn row_count(&self) -> usize {
-        self.inserts.len() + self.updates.len() + self.deletes.len()
-    }
-}
-
-/// Computes the key-aligned delta from `old` to `new`.
-///
-/// Both tables must share a schema; the caller guarantees this (they are
-/// two versions of the same shared table).
-pub fn diff_tables(old: &Table, new: &Table) -> TableDelta {
-    let mut delta = TableDelta::default();
-    for nrow in new.rows() {
-        let key = new.schema().key_of(nrow);
-        match old.get(&key) {
-            None => delta.inserts.push(nrow.clone()),
-            Some(orow) => {
-                if orow != nrow {
-                    delta.updates.push((key, nrow.clone()));
-                }
-            }
-        }
-    }
-    for orow in old.rows() {
-        let key = old.schema().key_of(orow);
-        if !new.contains_key(&key) {
-            delta.deletes.push(key);
-        }
-    }
-    // Canonical order for determinism.
-    delta.inserts.sort_by_key(|a| new.schema().key_of(a));
-    delta.updates.sort_by(|a, b| a.0.cmp(&b.0));
-    delta.deletes.sort();
-    delta
-}
-
-/// The set of attribute names whose values differ between `old` and `new`.
-///
-/// * For updated rows, only the columns that actually changed count.
-/// * Inserted and deleted rows count as touching **every** column (their
-///   whole contents appear/disappear).
-pub fn changed_attrs(old: &Table, new: &Table) -> BTreeSet<String> {
-    let mut out = BTreeSet::new();
-    let schema = new.schema();
-    let delta = diff_tables(old, new);
-    if !delta.inserts.is_empty() || !delta.deletes.is_empty() {
-        for c in schema.columns() {
-            out.insert(c.name.clone());
-        }
-        return out;
-    }
-    for (key, nrow) in &delta.updates {
-        if let Some(orow) = old.get(key) {
-            for (i, col) in schema.columns().iter().enumerate() {
-                if orow[i] != nrow[i] {
-                    out.insert(col.name.clone());
-                }
-            }
-        }
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use medledger_relational::{row, Column, Schema, ValueType};
-
-    fn schema() -> Schema {
-        Schema::new(
-            vec![
-                Column::new("id", ValueType::Int),
-                Column::new("name", ValueType::Text),
-                Column::new("dose", ValueType::Text),
-            ],
-            &["id"],
-        )
-        .expect("schema")
-    }
-
-    fn base() -> Table {
-        Table::from_rows(
-            schema(),
-            vec![
-                row![1i64, "Ibuprofen", "1x"],
-                row![2i64, "Wellbutrin", "2x"],
-            ],
-        )
-        .expect("table")
-    }
-
-    #[test]
-    fn identical_tables_empty_delta() {
-        let t = base();
-        let d = diff_tables(&t, &t.clone());
-        assert!(d.is_empty());
-        assert_eq!(d.row_count(), 0);
-        assert!(changed_attrs(&t, &t.clone()).is_empty());
-    }
-
-    #[test]
-    fn detects_update_and_changed_attr() {
-        let old = base();
-        let mut new = base();
-        new.update(&[Value::Int(1)], &[("dose", Value::text("3x"))])
-            .expect("update");
-        let d = diff_tables(&old, &new);
-        assert_eq!(d.updates.len(), 1);
-        assert!(d.inserts.is_empty() && d.deletes.is_empty());
-        let attrs = changed_attrs(&old, &new);
-        assert_eq!(
-            attrs.into_iter().collect::<Vec<_>>(),
-            vec!["dose".to_string()]
-        );
-    }
-
-    #[test]
-    fn detects_multiple_changed_attrs_across_rows() {
-        let old = base();
-        let mut new = base();
-        new.update(&[Value::Int(1)], &[("dose", Value::text("3x"))])
-            .expect("update");
-        new.update(&[Value::Int(2)], &[("name", Value::text("Generic"))])
-            .expect("update");
-        let attrs = changed_attrs(&old, &new);
-        assert_eq!(
-            attrs.into_iter().collect::<Vec<_>>(),
-            vec!["dose".to_string(), "name".to_string()]
-        );
-    }
-
-    #[test]
-    fn detects_insert() {
-        let old = base();
-        let mut new = base();
-        new.insert(row![3i64, "Aspirin", "1x"]).expect("insert");
-        let d = diff_tables(&old, &new);
-        assert_eq!(d.inserts.len(), 1);
-        // Inserts touch every column.
-        assert_eq!(changed_attrs(&old, &new).len(), 3);
-    }
-
-    #[test]
-    fn detects_delete() {
-        let old = base();
-        let mut new = base();
-        new.delete(&[Value::Int(2)]).expect("delete");
-        let d = diff_tables(&old, &new);
-        assert_eq!(d.deletes, vec![vec![Value::Int(2)]]);
-        assert_eq!(changed_attrs(&old, &new).len(), 3);
-    }
-
-    #[test]
-    fn mixed_delta_is_canonically_ordered() {
-        let old = base();
-        let mut new = base();
-        new.delete(&[Value::Int(1)]).expect("delete");
-        new.insert(row![5i64, "E", "e"]).expect("insert");
-        new.insert(row![4i64, "D", "d"]).expect("insert");
-        new.update(&[Value::Int(2)], &[("dose", Value::text("9x"))])
-            .expect("update");
-        let d = diff_tables(&old, &new);
-        assert_eq!(d.inserts.len(), 2);
-        assert_eq!(d.inserts[0][0], Value::Int(4));
-        assert_eq!(d.inserts[1][0], Value::Int(5));
-        assert_eq!(d.updates.len(), 1);
-        assert_eq!(d.deletes.len(), 1);
-        assert_eq!(d.row_count(), 4);
-    }
-}
+pub use medledger_relational::delta::{
+    changed_attrs, changed_attrs_from_delta, diff_tables, TableDelta,
+};

@@ -27,6 +27,14 @@ pub enum BxError {
         /// Explanation.
         reason: String,
     },
+    /// A delta does not align with the table it claims to change (e.g. an
+    /// update for a key the table does not hold, or an insert of a key it
+    /// already holds) — the incremental pipeline's analogue of a stale or
+    /// corrupt view.
+    InvalidDelta {
+        /// Explanation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for BxError {
@@ -38,6 +46,7 @@ impl fmt::Display for BxError {
                 write!(f, "untranslatable view update: {reason}")
             }
             BxError::InvalidView { reason } => write!(f, "invalid view: {reason}"),
+            BxError::InvalidDelta { reason } => write!(f, "invalid delta: {reason}"),
         }
     }
 }

@@ -73,7 +73,7 @@ pub fn put(spec: &LensSpec, source: &Table, view: &Table) -> Result<Table> {
 /// The projection lens requires the view key to be exactly the source
 /// primary key (names, in order) so that row alignment and deletes are
 /// unambiguous.
-fn check_project_key(source: &Table, view_key: &[String]) -> Result<()> {
+pub(crate) fn check_project_key(source: &Table, view_key: &[String]) -> Result<()> {
     let src_key = source.schema().key_names();
     if src_key.len() != view_key.len()
         || !src_key.iter().zip(view_key).all(|(a, b)| *a == b.as_str())

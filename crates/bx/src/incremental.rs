@@ -1,0 +1,773 @@
+//! Incremental lens execution: pushing row-level deltas through lenses.
+//!
+//! The full-table operations in [`crate::exec`] recompute the entire view
+//! (`get`) or the entire source (`put`) on every propagation. This module
+//! provides the delta forms the propagation pipeline runs on its hot path:
+//!
+//! * [`get_delta`] — translate a *source* delta into the corresponding
+//!   *view* delta (forward direction, Fig. 5 step 1 / step 6),
+//! * [`put_delta`] — translate a *view* delta into the corresponding
+//!   *source* delta (backward direction, Fig. 5 steps 5 / 11),
+//!
+//! each semantically equivalent to running the full transformation on the
+//! delta-applied table and diffing — the equivalence the tests in this
+//! module assert for every combinator.
+//!
+//! Incrementality per combinator:
+//!
+//! * `Project`, `Select`, `Rename` — fully incremental: cost is
+//!   O(delta rows), with per-row key lookups into the unchanged table.
+//! * `Compose` — partially incremental: the delta is pushed through both
+//!   stages row-by-row, but the intermediate view must be materialized
+//!   once (an O(table) `get` of the first stage) to anchor the second
+//!   stage's lookups.
+//! * `ProjectDistinct` — genuinely non-incremental: translating a group
+//!   row's change requires knowing *all* source rows of the group (the
+//!   Fig. 5 fan-out), and group membership is not indexed; it falls back
+//!   to the full transformation plus a diff.
+
+use crate::error::BxError;
+use crate::exec::{self, get, put};
+use crate::spec::LensSpec;
+use crate::Result;
+use medledger_relational::{diff_tables, Predicate, Row, Table, TableDelta, Value};
+use std::collections::BTreeMap;
+
+/// Translates a delta of the **source** into the delta of the **view**.
+///
+/// `source_old` is the source *before* `source_delta` is applied; the
+/// result is the view-side delta such that
+/// `get(source_old) + result == get(source_old + source_delta)`.
+pub fn get_delta(
+    spec: &LensSpec,
+    source_old: &Table,
+    source_delta: &TableDelta,
+) -> Result<TableDelta> {
+    if source_delta.is_empty() {
+        return Ok(TableDelta::default());
+    }
+    match spec {
+        LensSpec::Project {
+            attrs, view_key, ..
+        } => get_delta_project(source_old, source_delta, attrs, view_key),
+        LensSpec::Select { pred } => get_delta_select(source_old, source_delta, pred),
+        LensSpec::Rename { .. } => Ok(source_delta.clone()),
+        LensSpec::Compose { first, second } => {
+            let mid_delta = get_delta(first, source_old, source_delta)?;
+            if mid_delta.is_empty() {
+                return Ok(TableDelta::default());
+            }
+            let mid_old = get(first, source_old)?;
+            get_delta(second, &mid_old, &mid_delta)
+        }
+        LensSpec::ProjectDistinct { .. } => get_delta_fallback(spec, source_old, source_delta),
+    }
+}
+
+/// Translates a delta of the **view** into the delta of the **source**.
+///
+/// `source` is the source *before* the update; the result is the
+/// source-side delta such that
+/// `source + result == put(source, get(source) + view_delta)`.
+/// Untranslatable view changes error exactly as the full
+/// [`crate::exec::put`] would — this is what makes the pipeline's
+/// pre-flight check in delta mode equivalent to the full-table one.
+pub fn put_delta(spec: &LensSpec, source: &Table, view_delta: &TableDelta) -> Result<TableDelta> {
+    if view_delta.is_empty() {
+        return Ok(TableDelta::default());
+    }
+    match spec {
+        LensSpec::Project {
+            attrs,
+            view_key,
+            defaults,
+        } => put_delta_project(source, view_delta, attrs, view_key, defaults),
+        LensSpec::Select { pred } => put_delta_select(source, view_delta, pred),
+        LensSpec::Rename { from, to } => put_delta_rename(source, view_delta, from, to),
+        LensSpec::Compose { first, second } => {
+            let mid = get(first, source)?;
+            let mid_delta = put_delta(second, &mid, view_delta)?;
+            put_delta(first, source, &mid_delta)
+        }
+        LensSpec::ProjectDistinct { .. } => put_delta_fallback(spec, source, view_delta),
+    }
+}
+
+// ----------------------------------------------------------------------
+// get_delta combinators
+// ----------------------------------------------------------------------
+
+fn get_delta_project(
+    source_old: &Table,
+    source_delta: &TableDelta,
+    attrs: &[String],
+    view_key: &[String],
+) -> Result<TableDelta> {
+    exec::check_project_key(source_old, view_key)?;
+    let idxs: Vec<usize> = attrs
+        .iter()
+        .map(|a| source_old.schema().index_of(a).map_err(BxError::from))
+        .collect::<Result<_>>()?;
+    let mut out = TableDelta::default();
+    for row in &source_delta.inserts {
+        out.inserts.push(row.project(&idxs));
+    }
+    for (key, new_row) in &source_delta.updates {
+        let old_row = lookup(source_old, key)?;
+        let projected_new = new_row.project(&idxs);
+        if old_row.project(&idxs) != projected_new {
+            out.updates.push((key.clone(), projected_new));
+        }
+    }
+    out.deletes = source_delta.deletes.clone();
+    let a: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    let k: Vec<&str> = view_key.iter().map(String::as_str).collect();
+    let view_schema = source_old.schema().project(&a, &k)?;
+    out.sort_canonical(|r| view_schema.key_of(r));
+    Ok(out)
+}
+
+fn get_delta_select(
+    source_old: &Table,
+    source_delta: &TableDelta,
+    pred: &Predicate,
+) -> Result<TableDelta> {
+    let schema = source_old.schema();
+    let mut out = TableDelta::default();
+    for row in &source_delta.inserts {
+        if pred.eval(schema, row)? {
+            out.inserts.push(row.clone());
+        }
+    }
+    for (key, new_row) in &source_delta.updates {
+        let old_row = lookup(source_old, key)?;
+        let was_visible = pred.eval(schema, old_row)?;
+        let is_visible = pred.eval(schema, new_row)?;
+        match (was_visible, is_visible) {
+            (true, true) => out.updates.push((key.clone(), new_row.clone())),
+            (true, false) => out.deletes.push(key.clone()),
+            (false, true) => out.inserts.push(new_row.clone()),
+            (false, false) => {}
+        }
+    }
+    for key in &source_delta.deletes {
+        let old_row = lookup(source_old, key)?;
+        if pred.eval(schema, old_row)? {
+            out.deletes.push(key.clone());
+        }
+    }
+    let schema = schema.clone();
+    out.sort_canonical(|r| schema.key_of(r));
+    Ok(out)
+}
+
+/// Non-incremental fallback: apply the delta to a copy, run the full
+/// transformation on both versions, and diff.
+fn get_delta_fallback(
+    spec: &LensSpec,
+    source_old: &Table,
+    source_delta: &TableDelta,
+) -> Result<TableDelta> {
+    let mut source_new = source_old.clone();
+    source_new
+        .apply_delta(source_delta)
+        .map_err(|e| BxError::InvalidDelta {
+            reason: format!("source delta does not apply: {e}"),
+        })?;
+    let view_old = get(spec, source_old)?;
+    let view_new = get(spec, &source_new)?;
+    Ok(diff_tables(&view_old, &view_new))
+}
+
+// ----------------------------------------------------------------------
+// put_delta combinators
+// ----------------------------------------------------------------------
+
+fn put_delta_project(
+    source: &Table,
+    view_delta: &TableDelta,
+    attrs: &[String],
+    view_key: &[String],
+    defaults: &BTreeMap<String, Value>,
+) -> Result<TableDelta> {
+    exec::check_project_key(source, view_key)?;
+    let a: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    let k: Vec<&str> = view_key.iter().map(String::as_str).collect();
+    let view_schema = source.schema().project(&a, &k)?;
+    let src_schema = source.schema();
+    let view_pos: BTreeMap<&str, usize> = attrs
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.as_str(), i))
+        .collect();
+
+    let mut out = TableDelta::default();
+    for vrow in &view_delta.inserts {
+        view_schema.check_row(vrow).map_err(invalid_view)?;
+        let key = view_schema.key_of(vrow);
+        if source.contains_key(&key) {
+            return Err(BxError::InvalidDelta {
+                reason: format!("view insert {vrow:?} duplicates an existing source key"),
+            });
+        }
+        // Dropped columns come from defaults or NULL (if nullable);
+        // otherwise the insert is untranslatable — same rule as full put.
+        let mut cells = Vec::with_capacity(src_schema.arity());
+        for col in src_schema.columns() {
+            if let Some(&vp) = view_pos.get(col.name.as_str()) {
+                cells.push(vrow[vp].clone());
+            } else if let Some(d) = defaults.get(&col.name) {
+                cells.push(d.clone());
+            } else if col.nullable {
+                cells.push(Value::Null);
+            } else {
+                return Err(BxError::Untranslatable {
+                    reason: format!(
+                        "insert of view row {vrow:?} needs a value for dropped \
+                         non-nullable column `{}` (declare a default)",
+                        col.name
+                    ),
+                });
+            }
+        }
+        out.inserts.push(Row::new(cells));
+    }
+    for (key, vrow) in &view_delta.updates {
+        view_schema.check_row(vrow).map_err(invalid_view)?;
+        if view_schema.key_of(vrow) != *key {
+            return Err(BxError::InvalidDelta {
+                reason: format!("view update row {vrow:?} disagrees with its declared key"),
+            });
+        }
+        let srow = lookup(source, key)?;
+        let merged: Vec<Value> = src_schema
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, col)| match view_pos.get(col.name.as_str()) {
+                Some(&vp) => vrow[vp].clone(),
+                None => srow[i].clone(),
+            })
+            .collect();
+        let merged = Row::new(merged);
+        if merged != *srow {
+            out.updates.push((key.clone(), merged));
+        }
+    }
+    for key in &view_delta.deletes {
+        lookup(source, key)?;
+        out.deletes.push(key.clone());
+    }
+    let schema = src_schema.clone();
+    out.sort_canonical(|r| schema.key_of(r));
+    Ok(out)
+}
+
+fn put_delta_select(
+    source: &Table,
+    view_delta: &TableDelta,
+    pred: &Predicate,
+) -> Result<TableDelta> {
+    let schema = source.schema();
+    let mut out = TableDelta::default();
+    for vrow in &view_delta.inserts {
+        schema.check_row(vrow).map_err(invalid_view)?;
+        if !pred.eval(schema, vrow)? {
+            return Err(BxError::InvalidView {
+                reason: format!("view row {vrow:?} does not satisfy select predicate {pred}"),
+            });
+        }
+        let key = schema.key_of(vrow);
+        if let Some(existing) = source.get(&key) {
+            if pred.eval(schema, existing)? {
+                return Err(BxError::InvalidDelta {
+                    reason: format!("view insert {vrow:?} duplicates a visible view row"),
+                });
+            }
+            // Same conflict the full put reports: the insert collides
+            // with a source row the predicate hides.
+            return Err(BxError::Untranslatable {
+                reason: format!(
+                    "view row {vrow:?} collides with a source row hidden by the predicate"
+                ),
+            });
+        }
+        out.inserts.push(vrow.clone());
+    }
+    for (key, vrow) in &view_delta.updates {
+        schema.check_row(vrow).map_err(invalid_view)?;
+        if !pred.eval(schema, vrow)? {
+            return Err(BxError::InvalidView {
+                reason: format!("view row {vrow:?} does not satisfy select predicate {pred}"),
+            });
+        }
+        let old = lookup(source, key)?;
+        if !pred.eval(schema, old)? {
+            return Err(BxError::InvalidDelta {
+                reason: "view update targets a source row the predicate hides".to_string(),
+            });
+        }
+        if vrow != old {
+            out.updates.push((key.clone(), vrow.clone()));
+        }
+    }
+    for key in &view_delta.deletes {
+        let old = lookup(source, key)?;
+        if !pred.eval(schema, old)? {
+            return Err(BxError::InvalidDelta {
+                reason: "view delete targets a source row the predicate hides".to_string(),
+            });
+        }
+        out.deletes.push(key.clone());
+    }
+    let schema = schema.clone();
+    out.sort_canonical(|r| schema.key_of(r));
+    Ok(out)
+}
+
+fn put_delta_rename(
+    source: &Table,
+    view_delta: &TableDelta,
+    from: &str,
+    to: &str,
+) -> Result<TableDelta> {
+    // The view schema is the source schema with `from` renamed to `to`;
+    // cell order and key positions are unchanged, so rows pass through.
+    let expected = source.schema().rename(from, to)?;
+    let mut out = TableDelta::default();
+    for vrow in &view_delta.inserts {
+        expected.check_row(vrow).map_err(invalid_view)?;
+        if source.contains_key(&expected.key_of(vrow)) {
+            return Err(BxError::InvalidDelta {
+                reason: format!("view insert {vrow:?} duplicates an existing source key"),
+            });
+        }
+        out.inserts.push(vrow.clone());
+    }
+    for (key, vrow) in &view_delta.updates {
+        expected.check_row(vrow).map_err(invalid_view)?;
+        let old = lookup(source, key)?;
+        if vrow != old {
+            out.updates.push((key.clone(), vrow.clone()));
+        }
+    }
+    for key in &view_delta.deletes {
+        lookup(source, key)?;
+        out.deletes.push(key.clone());
+    }
+    let schema = source.schema().clone();
+    out.sort_canonical(|r| schema.key_of(r));
+    Ok(out)
+}
+
+/// Non-incremental fallback: materialize the old view, apply the delta,
+/// run the full put, and diff the sources.
+fn put_delta_fallback(
+    spec: &LensSpec,
+    source: &Table,
+    view_delta: &TableDelta,
+) -> Result<TableDelta> {
+    let view_old = get(spec, source)?;
+    let mut view_new = view_old.clone();
+    view_new
+        .apply_delta(view_delta)
+        .map_err(|e| BxError::InvalidDelta {
+            reason: format!("view delta does not apply: {e}"),
+        })?;
+    let new_source = put(spec, source, &view_new)?;
+    Ok(diff_tables(source, &new_source))
+}
+
+// ----------------------------------------------------------------------
+
+fn lookup<'t>(table: &'t Table, key: &[Value]) -> Result<&'t Row> {
+    table.get(key).ok_or_else(|| BxError::InvalidDelta {
+        reason: format!("delta references key {key:?} absent from the table"),
+    })
+}
+
+fn invalid_view(e: medledger_relational::RelationalError) -> BxError {
+    BxError::InvalidView {
+        reason: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medledger_relational::{row, Column, Schema, ValueType};
+
+    /// The paper's D3 (doctor) shape, grown to several rows.
+    fn d3() -> Table {
+        let schema = Schema::new(
+            vec![
+                Column::new("patient_id", ValueType::Int),
+                Column::new("medication_name", ValueType::Text),
+                Column::new("clinical_data", ValueType::Text),
+                Column::new("mechanism_of_action", ValueType::Text),
+                Column::new("dosage", ValueType::Text),
+            ],
+            &["patient_id"],
+        )
+        .expect("schema");
+        Table::from_rows(
+            schema,
+            vec![
+                row![188i64, "Ibuprofen", "CliD1", "MeA1", "one tablet every 4h"],
+                row![189i64, "Wellbutrin", "CliD2", "MeA2", "100 mg twice daily"],
+                row![190i64, "Ibuprofen", "CliD3", "MeA1", "two tablets"],
+            ],
+        )
+        .expect("table")
+    }
+
+    fn project_lens() -> LensSpec {
+        LensSpec::project_with_defaults(
+            &["patient_id", "medication_name", "clinical_data", "dosage"],
+            &["patient_id"],
+            &[("mechanism_of_action", Value::text("unknown"))],
+        )
+    }
+
+    fn select_lens() -> LensSpec {
+        LensSpec::select(Predicate::eq("medication_name", Value::text("Ibuprofen")))
+    }
+
+    fn distinct_lens() -> LensSpec {
+        LensSpec::project_distinct(
+            &["medication_name", "mechanism_of_action"],
+            &["medication_name"],
+        )
+    }
+
+    /// `get_delta` must agree with: apply delta to source, full get, diff.
+    fn assert_get_equiv(spec: &LensSpec, source_old: &Table, source_delta: &TableDelta) {
+        let mut source_new = source_old.clone();
+        source_new.apply_delta(source_delta).expect("delta applies");
+        let view_old = get(spec, source_old).expect("get old");
+        let view_new_full = get(spec, &source_new).expect("get new");
+        let view_delta = get_delta(spec, source_old, source_delta).expect("get_delta");
+        let mut view_new_incr = view_old.clone();
+        view_new_incr.apply_delta(&view_delta).expect("view delta");
+        assert_eq!(view_new_incr, view_new_full, "spec {spec}");
+        assert_eq!(
+            view_new_incr.content_hash(),
+            view_new_full.content_hash(),
+            "spec {spec}"
+        );
+    }
+
+    /// `put_delta` must agree with: apply delta to view, full put, diff.
+    fn assert_put_equiv(spec: &LensSpec, source: &Table, view_delta: &TableDelta) {
+        let view_old = get(spec, source).expect("get");
+        let mut view_new = view_old.clone();
+        view_new.apply_delta(view_delta).expect("view delta");
+        let source_new_full = put(spec, source, &view_new).expect("full put");
+        let source_delta = put_delta(spec, source, view_delta).expect("put_delta");
+        let mut source_new_incr = source.clone();
+        source_new_incr
+            .apply_delta(&source_delta)
+            .expect("source delta");
+        assert_eq!(source_new_incr, source_new_full, "spec {spec}");
+        assert_eq!(
+            source_new_incr.content_hash(),
+            source_new_full.content_hash(),
+            "spec {spec}"
+        );
+    }
+
+    fn update_delta(key: i64, row: Row) -> TableDelta {
+        TableDelta {
+            updates: vec![(vec![Value::Int(key)], row)],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn project_get_delta_equivalence() {
+        let src = d3();
+        // Update touching projected attrs.
+        assert_get_equiv(
+            &project_lens(),
+            &src,
+            &update_delta(188, row![188i64, "Ibuprofen", "CliD1", "MeA1", "halved"]),
+        );
+        // Update touching only a dropped attr: empty view delta.
+        let hidden = update_delta(
+            188,
+            row![
+                188i64,
+                "Ibuprofen",
+                "CliD1",
+                "MeA1-x",
+                "one tablet every 4h"
+            ],
+        );
+        let d = get_delta(&project_lens(), &src, &hidden).expect("get_delta");
+        assert!(d.is_empty());
+        assert_get_equiv(&project_lens(), &src, &hidden);
+        // Insert + delete.
+        assert_get_equiv(
+            &project_lens(),
+            &src,
+            &TableDelta {
+                inserts: vec![row![191i64, "Aspirin", "CliD4", "MeA3", "x"]],
+                deletes: vec![vec![Value::Int(189)]],
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn project_put_delta_equivalence() {
+        let src = d3();
+        // View-side dosage edit.
+        assert_put_equiv(
+            &project_lens(),
+            &src,
+            &update_delta(188, row![188i64, "Ibuprofen", "CliD1", "halved"]),
+        );
+        // View-side insert fills the dropped column from the default.
+        assert_put_equiv(
+            &project_lens(),
+            &src,
+            &TableDelta {
+                inserts: vec![row![191i64, "Aspirin", "CliD4", "x"]],
+                ..Default::default()
+            },
+        );
+        // View-side delete.
+        assert_put_equiv(
+            &project_lens(),
+            &src,
+            &TableDelta {
+                deletes: vec![vec![Value::Int(189)]],
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn project_put_delta_insert_without_default_is_untranslatable() {
+        let lens = LensSpec::project(
+            &["patient_id", "medication_name", "clinical_data", "dosage"],
+            &["patient_id"],
+        );
+        let err = put_delta(
+            &lens,
+            &d3(),
+            &TableDelta {
+                inserts: vec![row![191i64, "Aspirin", "CliD4", "x"]],
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, BxError::Untranslatable { .. }));
+    }
+
+    #[test]
+    fn select_get_delta_covers_all_visibility_transitions() {
+        let src = d3();
+        let lens = select_lens();
+        // stays visible (update), becomes hidden (delete), becomes
+        // visible (insert), stays hidden (no-op) — plus raw insert/delete.
+        for delta in [
+            update_delta(188, row![188i64, "Ibuprofen", "CliD1", "MeA1", "halved"]),
+            update_delta(
+                188,
+                row![188i64, "Advil", "CliD1", "MeA1", "one tablet every 4h"],
+            ),
+            update_delta(
+                189,
+                row![189i64, "Ibuprofen", "CliD2", "MeA2", "100 mg twice daily"],
+            ),
+            update_delta(
+                189,
+                row![189i64, "Zoloft", "CliD2", "MeA2", "100 mg twice daily"],
+            ),
+            TableDelta {
+                inserts: vec![row![191i64, "Ibuprofen", "c", "m", "d"]],
+                deletes: vec![vec![Value::Int(190)]],
+                ..Default::default()
+            },
+        ] {
+            assert_get_equiv(&lens, &src, &delta);
+        }
+    }
+
+    #[test]
+    fn select_put_delta_equivalence_and_guards() {
+        let src = d3();
+        let lens = select_lens();
+        assert_put_equiv(
+            &lens,
+            &src,
+            &update_delta(188, row![188i64, "Ibuprofen", "CliD1", "MeA1", "stop"]),
+        );
+        assert_put_equiv(
+            &lens,
+            &src,
+            &TableDelta {
+                inserts: vec![row![191i64, "Ibuprofen", "c", "m", "d"]],
+                deletes: vec![vec![Value::Int(190)]],
+                ..Default::default()
+            },
+        );
+        // Predicate-violating update is rejected, like the full put.
+        let err = put_delta(
+            &lens,
+            &src,
+            &update_delta(188, row![188i64, "Wellbutrin", "CliD1", "MeA1", "stop"]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, BxError::InvalidView { .. }));
+        // Insert colliding with a hidden source row is untranslatable.
+        let err = put_delta(
+            &lens,
+            &src,
+            &TableDelta {
+                inserts: vec![row![189i64, "Ibuprofen", "c", "m", "d"]],
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, BxError::Untranslatable { .. }));
+    }
+
+    #[test]
+    fn rename_delta_round_trips() {
+        let src = d3();
+        let lens = LensSpec::rename("dosage", "dose");
+        let delta = update_delta(188, row![188i64, "Ibuprofen", "CliD1", "MeA1", "halved"]);
+        assert_get_equiv(&lens, &src, &delta);
+        assert_put_equiv(&lens, &src, &delta);
+    }
+
+    #[test]
+    fn project_distinct_falls_back_but_stays_equivalent() {
+        let src = d3();
+        let lens = distinct_lens();
+        // A mechanism edit fans out to both Ibuprofen rows.
+        assert_put_equiv(
+            &lens,
+            &src,
+            &TableDelta {
+                updates: vec![(
+                    vec![Value::text("Ibuprofen")],
+                    row!["Ibuprofen", "MeA1-new"],
+                )],
+                ..Default::default()
+            },
+        );
+        // Group delete drops all member rows.
+        assert_put_equiv(
+            &lens,
+            &src,
+            &TableDelta {
+                deletes: vec![vec![Value::text("Ibuprofen")]],
+                ..Default::default()
+            },
+        );
+        // Forward direction: a source edit must rewrite *every* group
+        // member to keep the FD; the group's view row changes once.
+        assert_get_equiv(
+            &lens,
+            &src,
+            &TableDelta {
+                updates: vec![
+                    (
+                        vec![Value::Int(188)],
+                        row![
+                            188i64,
+                            "Ibuprofen",
+                            "CliD1",
+                            "MeA1-new",
+                            "one tablet every 4h"
+                        ],
+                    ),
+                    (
+                        vec![Value::Int(190)],
+                        row![190i64, "Ibuprofen", "CliD3", "MeA1-new", "two tablets"],
+                    ),
+                ],
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn project_distinct_put_delta_rejects_new_group_insert() {
+        let err = put_delta(
+            &distinct_lens(),
+            &d3(),
+            &TableDelta {
+                inserts: vec![row!["Aspirin", "MeA9"]],
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, BxError::Untranslatable { .. }));
+    }
+
+    #[test]
+    fn compose_delta_equivalence() {
+        let src = d3();
+        let lens = LensSpec::select(Predicate::eq("medication_name", Value::text("Ibuprofen")))
+            .compose(LensSpec::rename("dosage", "dose"))
+            .compose(LensSpec::project(
+                &["patient_id", "medication_name", "dose"],
+                &["patient_id"],
+            ));
+        assert_get_equiv(
+            &lens,
+            &src,
+            &update_delta(188, row![188i64, "Ibuprofen", "CliD1", "MeA1", "halved"]),
+        );
+        assert_put_equiv(
+            &lens,
+            &src,
+            &update_delta(188, row![188i64, "Ibuprofen", "halved"]),
+        );
+        // A source delete flows through all three stages.
+        assert_get_equiv(
+            &lens,
+            &src,
+            &TableDelta {
+                deletes: vec![vec![Value::Int(190)]],
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn stale_delta_is_rejected() {
+        let src = d3();
+        let err = get_delta(
+            &project_lens(),
+            &src,
+            &update_delta(999, row![999i64, "X", "c", "m", "d"]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, BxError::InvalidDelta { .. }));
+        let err = put_delta(
+            &project_lens(),
+            &src,
+            &update_delta(999, row![999i64, "X", "c", "d"]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, BxError::InvalidDelta { .. }));
+    }
+
+    #[test]
+    fn empty_deltas_short_circuit() {
+        let src = d3();
+        for lens in [project_lens(), select_lens(), distinct_lens()] {
+            assert!(get_delta(&lens, &src, &TableDelta::default())
+                .expect("get_delta")
+                .is_empty());
+            assert!(put_delta(&lens, &src, &TableDelta::default())
+                .expect("put_delta")
+                .is_empty());
+        }
+    }
+}

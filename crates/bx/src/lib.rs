@@ -36,19 +36,24 @@
 //! the core crate uses this for the paper's Fig. 5 Step 6 "do my other
 //! shared views overlap?" dependency check. [`delta`] diffs table versions
 //! to find changed attributes (what the sharing contract checks write
-//! permission on). [`laws`] provides executable checkers for the two laws,
-//! used by both the unit tests and the property-based suite.
+//! permission on). [`incremental`] pushes row-level deltas *through*
+//! lenses — [`get_delta`] / [`put_delta`] — so propagation cost scales
+//! with the rows an update touched, not the table. [`laws`] provides
+//! executable checkers for the two laws, used by both the unit tests and
+//! the property-based suite.
 
 pub mod analysis;
 pub mod delta;
 pub mod error;
 pub mod exec;
+pub mod incremental;
 pub mod laws;
 pub mod spec;
 
 pub use analysis::LensAnalysis;
-pub use delta::{changed_attrs, diff_tables, TableDelta};
+pub use delta::{changed_attrs, changed_attrs_from_delta, diff_tables, TableDelta};
 pub use error::BxError;
+pub use incremental::{get_delta, put_delta};
 pub use laws::{check_getput, check_putget, LawViolation};
 pub use spec::LensSpec;
 

@@ -71,9 +71,9 @@ pub enum Op {
     Jmp(u32),
     /// Pop a; jump if a != 0.
     Jmpi(u32),
-    /// Pop key; push storage[key] (0 if unset).
+    /// Pop key; push `storage[key]` (0 if unset).
     SLoad,
-    /// Pop key, value; storage[key] := value.
+    /// Pop key, value; `storage[key] := value`.
     SStore,
     /// Push the caller's account id prefix (low 64 bits).
     Caller,

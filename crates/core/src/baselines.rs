@@ -1,6 +1,6 @@
 //! Storage baselines for the E8 comparison (paper Sec. V).
 //!
-//! The paper's claim against HDG [22]: storing *metadata* on chain is
+//! The paper's claim against HDG \[22\]: storing *metadata* on chain is
 //! cheaper than storing *data* on chain, because "the medical data size
 //! can become huge so that the data become burdens for blockchain nodes'
 //! storage since each node has the same copy of blockchain".
@@ -10,9 +10,9 @@
 //!
 //! * **MedLedger (ours)** — a `request_update` call: table id, content
 //!   hash, changed attributes. Size independent of the record payload.
-//! * **HDG [22]** — the full (encrypted) record data travels on chain;
+//! * **HDG \[22\]** — the full (encrypted) record data travels on chain;
 //!   we hex-encode the canonical record bytes into the transaction.
-//! * **MedRec [4]** — a pointer record (content hash + provider location
+//! * **MedRec \[4\]** — a pointer record (content hash + provider location
 //!   string) per update; like ours it is payload-independent, but it
 //!   carries no fine-grained permission or bidirectional-update metadata.
 //!

@@ -29,11 +29,11 @@ use medledger_bx::LensSpec;
 use medledger_contracts::SharedTableMeta;
 use medledger_ledger::{AuditEntry, Chain, Receipt, RevertKind};
 use medledger_network::LatencyModel;
-use medledger_relational::{Row, Table, Value, WriteOp};
+use medledger_relational::{Row, Table, TableDelta, Value, WriteOp};
 use std::collections::BTreeSet;
 use std::fmt;
 
-pub use crate::system::{ConsensusKind, PeerId};
+pub use crate::system::{ConsensusKind, PeerId, PropagationMode};
 
 // ----------------------------------------------------------------------
 // MedLedger + builder
@@ -198,6 +198,21 @@ impl MedLedgerBuilder {
     pub fn max_block_txs(mut self, n: usize) -> Self {
         self.config.max_block_txs = n;
         self
+    }
+
+    /// How shared-table updates travel between peers (defaults to
+    /// [`PropagationMode::Delta`], the incremental hot path).
+    pub fn propagation(mut self, mode: PropagationMode) -> Self {
+        self.config.propagation = mode;
+        self
+    }
+
+    /// Selects the whole-table exchange baseline
+    /// ([`PropagationMode::FullTable`]) — every propagation re-runs full
+    /// lens `get`/`put` and ships the entire table. Kept for comparison
+    /// benches and mode-equivalence tests.
+    pub fn full_table_propagation(self) -> Self {
+        self.propagation(PropagationMode::FullTable)
     }
 
     /// One-time signing keys per peer (bounds transactions per peer).
@@ -532,12 +547,18 @@ impl UpdateBatch<'_> {
         if ops.is_empty() {
             return Err(CommitError::EmptyBatch { table_id });
         }
+        let mode = system.config.propagation;
 
-        // Targeted snapshot: only the tables the staged ops can dirty —
-        // the shared copy, the source its lens reflects into, and any
-        // explicitly staged source tables. (A full-database clone per
-        // commit would put O(db) work on the benchmarks' hot path.)
-        let snapshot: Vec<(String, Table)> = {
+        // Rollback machinery, per mode:
+        //
+        // * Delta — every staged write returns the inverse deltas of the
+        //   tables it touched; rollback re-applies them in reverse, in
+        //   O(changed rows). The pending-delta tracking is snapshotted
+        //   (cheap — pending deltas are small) and restored alongside.
+        // * FullTable — targeted snapshot of the tables the staged ops
+        //   can dirty: the shared copy, the source its lens reflects
+        //   into, and any explicitly staged source tables.
+        let snapshot: Vec<(String, Table)> = if mode == PropagationMode::FullTable {
             let node = system.peer(peer).map_err(CommitError::Engine)?;
             let mut names: BTreeSet<&str> = BTreeSet::new();
             names.insert(table_id.as_str());
@@ -553,20 +574,33 @@ impl UpdateBatch<'_> {
                 .into_iter()
                 .filter_map(|n| node.db.table(n).ok().map(|t| (n.to_string(), t.clone())))
                 .collect()
+        } else {
+            Vec::new()
         };
+        let pending_snapshot = system
+            .peer(peer)
+            .map_err(CommitError::Engine)?
+            .pending_snapshot();
 
+        let mut inverses: Vec<(String, TableDelta)> = Vec::new();
         let staged = (|| -> Result<()> {
             let node = system.peer_mut(peer)?;
             for op in ops {
                 match op {
-                    StagedOp::Shared(op) => node.write_shared(&table_id, op)?,
-                    StagedOp::Source { table, op } => node.write_source(&table, op)?,
+                    StagedOp::Shared(op) => inverses.extend(node.write_shared(&table_id, op)?),
+                    StagedOp::Source { table, op } => {
+                        inverses.extend(node.write_source(&table, op)?)
+                    }
                 }
             }
             Ok(())
         })();
+        let rollback = |system: &mut System| match mode {
+            PropagationMode::Delta => restore_inverses(system, peer, &inverses, &pending_snapshot),
+            PropagationMode::FullTable => restore_tables(system, peer, &snapshot),
+        };
         if let Err(e) = staged {
-            restore_tables(system, peer, &snapshot);
+            rollback(system);
             return Err(CommitError::from_core(e, system));
         }
 
@@ -596,7 +630,7 @@ impl UpdateBatch<'_> {
                 // are valid local edits that left the shared view
                 // untouched; keep them (matching direct source writes).
                 if !committed_on_chain && !err.is_no_change() {
-                    restore_tables(system, peer, &snapshot);
+                    rollback(system);
                 }
                 Err(err.with_commit_point(committed_on_chain))
             }
@@ -614,6 +648,24 @@ fn restore_tables(system: &mut System, peer: PeerId, snapshot: &[(String, Table)
             .apply(name, WriteOp::Replace { rows })
             .expect("restoring a snapshotted table cannot fail");
     }
+}
+
+/// Rolls a failed delta-mode batch back by re-applying the staged writes'
+/// inverse deltas in reverse order — O(changed rows), no table clones —
+/// and restoring the pending-delta tracking.
+fn restore_inverses(
+    system: &mut System,
+    peer: PeerId,
+    inverses: &[(String, TableDelta)],
+    pending_snapshot: &crate::peer::PendingSnapshot,
+) {
+    let node = system.peer_mut(peer).expect("peer exists");
+    for (table, inverse) in inverses.iter().rev() {
+        node.db
+            .apply_delta(table, inverse)
+            .expect("applying a recorded inverse delta cannot fail");
+    }
+    node.restore_pending(pending_snapshot.clone());
 }
 
 fn collect_receipts(system: &System, report: &UpdateReport, out: &mut Vec<Receipt>) {

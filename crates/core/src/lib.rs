@@ -24,7 +24,7 @@
 //!   whole Fig. 5 pipeline and returns a typed
 //!   [`facade::CommitOutcome`],
 //! * [`scenario`] — the paper's exact Fig. 1 scenario, programmatically,
-//! * [`baselines`] — storage models of HDG [22] and MedRec [4] for the
+//! * [`baselines`] — storage models of HDG \[22\] and MedRec \[4\] for the
 //!   E8/E9 comparisons,
 //! * [`exposure`] — the attribute-exposure metrics behind the paper's
 //!   privacy claims.
@@ -46,7 +46,7 @@ pub use facade::{
     CommitError, CommitOutcome, MedLedger, MedLedgerBuilder, PeerReader, PeerSession, ShareBuilder,
     UpdateBatch,
 };
-pub use peer::PeerNode;
+pub use peer::{PeerNode, PropagationMode};
 pub use system::{ConsensusKind, PeerId, System, SystemConfig, UpdateReport, WorkflowTrace};
 
 /// Crate-wide result alias.

@@ -3,20 +3,95 @@
 use crate::agreement::PeerBinding;
 use crate::error::CoreError;
 use crate::Result;
-use medledger_bx::{analysis, changed_attrs, exec};
+use medledger_bx::{analysis, changed_attrs, exec, incremental};
 use medledger_crypto::{Hash256, KeyPair};
 use medledger_ledger::AccountId;
-use medledger_relational::{Database, Schema, Table, WriteOp};
+use medledger_relational::{
+    delta_from_write_op, diff_tables, Database, Row, Schema, Table, TableDelta, Value, WriteOp,
+};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// How shared-table updates travel between peers.
+///
+/// The mode is a deployment-wide choice ([`crate::system::SystemConfig`]);
+/// both modes produce byte-identical final states — the property the
+/// workspace's mode-equivalence tests assert — but at very different cost:
+/// delta mode's per-update work and bandwidth scale with the rows an
+/// update touched, full-table mode's with the table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PropagationMode {
+    /// Ship row-level [`TableDelta`]s and run the lenses incrementally
+    /// (`get_delta` / `put_delta`). The production path.
+    #[default]
+    Delta,
+    /// Exchange whole tables and re-run full `get` / `put` on every
+    /// propagation — the paper-literal baseline, kept for comparison
+    /// benches and equivalence tests.
+    FullTable,
+}
+
+/// Tracked-but-uncommitted changes of one shared view, keyed by primary
+/// key. `Some(row)` = the row's pending state, `None` = pending delete;
+/// later writes to the same key overwrite earlier ones, which is exactly
+/// delta composition for state-valued deltas.
+type PendingRows = BTreeMap<Vec<Value>, Option<Row>>;
+
+/// Snapshot of a peer's whole pending-delta tracking state (used by the
+/// facade for transactional rollback of staged writes).
+pub(crate) type PendingSnapshot = BTreeMap<String, PendingRows>;
+
+fn merge_into_pending(pending: &mut PendingRows, schema: &Schema, delta: &TableDelta) {
+    for row in &delta.inserts {
+        pending.insert(schema.key_of(row), Some(row.clone()));
+    }
+    for (key, row) in &delta.updates {
+        pending.insert(key.clone(), Some(row.clone()));
+    }
+    for key in &delta.deletes {
+        pending.insert(key.clone(), None);
+    }
+}
+
+/// Normalizes pending rows against the committed baseline into a
+/// canonical [`TableDelta`]: no-op entries drop out, inserts/updates are
+/// classified by baseline membership. Cost is O(pending) lookups.
+fn normalize_pending(pending: &PendingRows, baseline: &Table) -> TableDelta {
+    let mut delta = TableDelta::default();
+    for (key, change) in pending {
+        match change {
+            Some(row) => match baseline.get(key) {
+                Some(old) if old == row => {}
+                Some(_) => delta.updates.push((key.clone(), row.clone())),
+                None => delta.inserts.push(row.clone()),
+            },
+            None => {
+                if baseline.contains_key(key) {
+                    delta.deletes.push(key.clone());
+                }
+            }
+        }
+    }
+    let schema = baseline.schema().clone();
+    delta.sort_canonical(|r| schema.key_of(r));
+    delta
+}
 
 /// A peer (Patient, Doctor, Researcher, …) in the Fig. 2 architecture.
 ///
 /// The peer's [`Database`] holds its *source* tables (full local data)
 /// plus a materialized copy of every shared table it participates in
 /// (stored under the shared table id). The **database manager** methods
-/// ([`PeerNode::regenerate_view`], [`PeerNode::apply_remote_view`]) are
-/// the paper's "BX" boxes: they run `get` to refresh shared copies from
-/// the source and `put` to reflect shared-table changes back into it.
+/// are the paper's "BX" boxes: in [`PropagationMode::Delta`] they push
+/// row-level deltas through the lenses (`get_delta` / `put_delta`); in
+/// [`PropagationMode::FullTable`] they re-run full `get` / `put` over
+/// whole tables.
+///
+/// State per shared table in delta mode:
+/// * the **stored copy** (in `db`) always reflects every local write,
+/// * the **baseline** is the view as of the last version committed on
+///   chain (advanced by applying the committed delta, never by cloning),
+/// * the **pending rows** are the composed local changes since the
+///   baseline — what the next propagation ships.
 #[derive(Clone, Debug)]
 pub struct PeerNode {
     /// Human-readable name ("Patient", "Doctor", …).
@@ -27,12 +102,16 @@ pub struct PeerNode {
     pub keys: KeyPair,
     /// Local database: sources + materialized shared tables.
     pub db: Database,
+    /// How this peer exchanges shared-table updates.
+    pub mode: PropagationMode,
     /// Shared-table bindings this peer participates in.
     bindings: BTreeMap<String, PeerBinding>,
     /// Per shared table: the view as of the last version committed on
-    /// chain. Diffing against this baseline yields the `changed_attrs`
-    /// the contract checks write permission on.
+    /// chain. Diffing (or normalizing pending rows) against this baseline
+    /// yields the `changed_attrs` the contract checks write permission on.
     baselines: BTreeMap<String, Table>,
+    /// Per shared table: composed uncommitted local changes (delta mode).
+    pending: BTreeMap<String, PendingRows>,
     /// Last applied version per shared table (mirror of contract state).
     pub applied_versions: BTreeMap<String, u64>,
     /// Next ledger nonce.
@@ -42,7 +121,12 @@ pub struct PeerNode {
 impl PeerNode {
     /// Creates a peer with a deterministic key derived from `name` and
     /// `seed`, able to sign `key_capacity` transactions.
-    pub fn new(name: impl Into<String>, seed: &str, key_capacity: usize) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        seed: &str,
+        key_capacity: usize,
+        mode: PropagationMode,
+    ) -> Self {
         let name = name.into();
         let keys = KeyPair::generate(&format!("{seed}-peer-{name}"), key_capacity);
         PeerNode {
@@ -50,8 +134,10 @@ impl PeerNode {
             db: Database::new(name.clone()),
             name,
             keys,
+            mode,
             bindings: BTreeMap::new(),
             baselines: BTreeMap::new(),
+            pending: BTreeMap::new(),
             applied_versions: BTreeMap::new(),
             next_nonce: 0,
         }
@@ -93,6 +179,7 @@ impl PeerNode {
         self.binding(table_id)?;
         self.bindings.remove(table_id);
         self.baselines.remove(table_id);
+        self.pending.remove(table_id);
         self.applied_versions.remove(table_id);
         self.db.drop_table(table_id)?;
         Ok(())
@@ -110,36 +197,132 @@ impl PeerNode {
         self.bindings.keys().map(String::as_str).collect()
     }
 
+    /// Sibling shares bound to the same source as `table_id` (excluding
+    /// `table_id` itself).
+    fn sibling_shares(&self, source_table: &str, except: Option<&str>) -> Vec<String> {
+        self.bindings
+            .iter()
+            .filter(|(id, b)| b.source_table == source_table && Some(id.as_str()) != except)
+            .map(|(id, _)| id.clone())
+            .collect()
+    }
+
     /// Applies a local write to a **source** table (Fig. 5 step 0: the
     /// Researcher edits D2 before propagating).
-    pub fn write_source(&mut self, table: &str, op: WriteOp) -> Result<()> {
+    ///
+    /// In delta mode the write is converted to a row-level delta, pushed
+    /// forward through every lens bound to this source (`get_delta`), the
+    /// affected shared copies are refreshed incrementally, and the view
+    /// deltas accumulate as pending changes for the next propagation.
+    /// Returns the applied inverses `(table, inverse_delta)` in
+    /// application order so a transactional caller can roll back in
+    /// O(changed rows).
+    pub fn write_source(&mut self, table: &str, op: WriteOp) -> Result<Vec<(String, TableDelta)>> {
         if self.bindings.contains_key(table) {
             return Err(CoreError::BadAgreement(format!(
                 "`{table}` is a shared table; edit the source and propagate, \
                  or use write_shared"
             )));
         }
-        self.db.apply(table, op)?;
-        Ok(())
+        if self.mode == PropagationMode::FullTable {
+            self.db.apply(table, op)?;
+            return Ok(Vec::new());
+        }
+        let source_old = self.db.table(table)?;
+        let source_delta = delta_from_write_op(source_old, &op)?;
+        // Push the source delta forward through every lens on this source
+        // *before* mutating, so the old source anchors the lookups.
+        let mut derived: Vec<(String, TableDelta)> = Vec::new();
+        for share_id in self.sibling_shares(table, None) {
+            let lens = &self.bindings[&share_id].lens;
+            let view_delta = incremental::get_delta(lens, source_old, &source_delta)?;
+            if !view_delta.is_empty() {
+                derived.push((share_id, view_delta));
+            }
+        }
+        let mut inverses = Vec::with_capacity(1 + derived.len());
+        let inv = self.db.apply_delta(table, &source_delta)?;
+        inverses.push((table.to_string(), inv));
+        for (share_id, view_delta) in derived {
+            let inv = self.db.apply_delta(&share_id, &view_delta)?;
+            let schema = self.db.table(&share_id)?.schema().clone();
+            merge_into_pending(
+                self.pending.entry(share_id.clone()).or_default(),
+                &schema,
+                &view_delta,
+            );
+            inverses.push((share_id, inv));
+        }
+        Ok(inverses)
     }
 
     /// Applies a local write directly to a **shared** table copy and
-    /// immediately reflects it into the source via `put` (entry-level
-    /// CRUD on shared data, Fig. 4). The caller still must propagate.
-    pub fn write_shared(&mut self, table_id: &str, op: WriteOp) -> Result<()> {
+    /// immediately reflects it into the source (entry-level CRUD on
+    /// shared data, Fig. 4). The caller still must propagate.
+    ///
+    /// Delta mode reflects the change via `put_delta` (O(changed rows))
+    /// and also refreshes sibling shares on the same source via
+    /// `get_delta`; full-table mode re-runs the full lens `put`. Returns
+    /// applied inverses as in [`PeerNode::write_source`].
+    pub fn write_shared(
+        &mut self,
+        table_id: &str,
+        op: WriteOp,
+    ) -> Result<Vec<(String, TableDelta)>> {
         let binding = self.binding(table_id)?.clone();
-        self.db.apply(table_id, op)?;
-        let view = self.db.table(table_id)?.clone();
-        let source = self.db.table(&binding.source_table)?;
-        let new_source = exec::put(&binding.lens, source, &view)?;
-        let rows: Vec<medledger_relational::Row> = new_source.rows().cloned().collect();
-        self.db
-            .apply(&binding.source_table, WriteOp::Replace { rows })?;
-        Ok(())
+        if self.mode == PropagationMode::FullTable {
+            self.db.apply(table_id, op)?;
+            let view = self.db.table(table_id)?.clone();
+            let source = self.db.table(&binding.source_table)?;
+            let new_source = exec::put(&binding.lens, source, &view)?;
+            let rows: Vec<Row> = new_source.rows().cloned().collect();
+            self.db
+                .apply(&binding.source_table, WriteOp::Replace { rows })?;
+            return Ok(Vec::new());
+        }
+        let view = self.db.table(table_id)?;
+        let view_delta = delta_from_write_op(view, &op)?;
+        let view_schema = view.schema().clone();
+        let source_old = self.db.table(&binding.source_table)?;
+        let source_delta = incremental::put_delta(&binding.lens, source_old, &view_delta)?;
+        // Sibling views refresh from the source delta (the raw material of
+        // the Fig. 5 step-6 dependency check).
+        let mut derived: Vec<(String, TableDelta)> = Vec::new();
+        for share_id in self.sibling_shares(&binding.source_table, Some(table_id)) {
+            let lens = &self.bindings[&share_id].lens;
+            let d = incremental::get_delta(lens, source_old, &source_delta)?;
+            if !d.is_empty() {
+                derived.push((share_id, d));
+            }
+        }
+        let mut inverses = Vec::with_capacity(2 + derived.len());
+        let inv = self.db.apply_delta(table_id, &view_delta)?;
+        inverses.push((table_id.to_string(), inv));
+        merge_into_pending(
+            self.pending.entry(table_id.to_string()).or_default(),
+            &view_schema,
+            &view_delta,
+        );
+        if !source_delta.is_empty() {
+            let inv = self.db.apply_delta(&binding.source_table, &source_delta)?;
+            inverses.push((binding.source_table.clone(), inv));
+        }
+        for (share_id, d) in derived {
+            let inv = self.db.apply_delta(&share_id, &d)?;
+            let schema = self.db.table(&share_id)?.schema().clone();
+            merge_into_pending(
+                self.pending.entry(share_id.clone()).or_default(),
+                &schema,
+                &d,
+            );
+            inverses.push((share_id, inv));
+        }
+        Ok(inverses)
     }
 
     /// Regenerates the shared view from the (possibly updated) source
-    /// without storing it (Fig. 5 step 1 uses the result to diff).
+    /// without storing it (full-table Fig. 5 step 1 uses the result to
+    /// diff).
     pub fn regenerate_view(&self, table_id: &str) -> Result<Table> {
         let binding = self.binding(table_id)?;
         let source = self.db.table(&binding.source_table)?;
@@ -157,6 +340,247 @@ impl PeerNode {
         Ok(self.shared_table(table_id)?.content_hash())
     }
 
+    /// Content hash of the last *committed* view — what must equal the
+    /// hash the sharing contract holds while the table is synced, even
+    /// when the peer carries pending local changes (e.g. a
+    /// permission-blocked cascade awaiting retry).
+    pub fn committed_hash(&self, table_id: &str) -> Result<Hash256> {
+        Ok(self.baseline(table_id)?.content_hash())
+    }
+
+    /// Verifies this peer's local invariants for a *synced* shared table
+    /// against the hash the contract committed:
+    ///
+    /// 1. the committed baseline must hash to `contract_hash`, and
+    /// 2. the stored copy must equal the baseline **plus** any tracked
+    ///    pending delta — so with nothing pending (the full-table mode
+    ///    and the quiescent delta-mode case) the stored copy itself must
+    ///    match the contract, and a peer carrying a pending change (e.g.
+    ///    a blocked cascade) is still checked against what it serves.
+    pub fn check_share_integrity(&self, table_id: &str, contract_hash: Hash256) -> Result<()> {
+        let committed = self.committed_hash(table_id)?;
+        if committed != contract_hash {
+            return Err(CoreError::ConsistencyViolation(format!(
+                "peer {} holds `{table_id}` committed at {} but contract says {}",
+                self.name,
+                committed.short(),
+                contract_hash.short()
+            )));
+        }
+        let pending = self.pending_delta(table_id)?;
+        let expected = if pending.is_empty() {
+            contract_hash
+        } else {
+            let mut t = self.baseline(table_id)?.clone();
+            t.apply_delta(&pending)?;
+            t.content_hash()
+        };
+        let stored = self.shared_hash(table_id)?;
+        if stored != expected {
+            return Err(CoreError::ConsistencyViolation(format!(
+                "peer {} stores `{table_id}` hashing to {} but committed state \
+                 plus its {} pending row(s) implies {}",
+                self.name,
+                stored.short(),
+                pending.row_count(),
+                expected.short()
+            )));
+        }
+        Ok(())
+    }
+
+    // ----- delta-mode propagation hooks -------------------------------
+
+    /// The normalized pending delta of `table_id` relative to the
+    /// committed baseline (empty delta if nothing is pending).
+    pub fn pending_delta(&self, table_id: &str) -> Result<TableDelta> {
+        let baseline = self.baseline(table_id)?;
+        Ok(match self.pending.get(table_id) {
+            Some(p) => normalize_pending(p, baseline),
+            None => TableDelta::default(),
+        })
+    }
+
+    /// True iff the peer holds a pending local change of `table_id` —
+    /// the delta-mode Fig. 5 step-6 "does this share now differ?" check,
+    /// answered in O(pending) instead of a full regenerate-and-diff.
+    pub fn has_pending_change(&self, table_id: &str) -> Result<bool> {
+        Ok(!self.pending_delta(table_id)?.is_empty())
+    }
+
+    /// Delta-mode Fig. 5 step 1: the delta this peer would propagate for
+    /// `table_id`, with the stored copy guaranteed to reflect it.
+    ///
+    /// Normally this is the normalized pending delta (O(pending)). When
+    /// no writes were tracked (out-of-band edits straight to `db`), it
+    /// falls back to a full regenerate-and-diff and brings the stored
+    /// copy and pending tracking in line.
+    pub fn prepare_update_delta(&mut self, table_id: &str) -> Result<TableDelta> {
+        let normalized = self.pending_delta(table_id)?;
+        if !normalized.is_empty() {
+            return Ok(normalized);
+        }
+        let regenerated = self.regenerate_view(table_id)?;
+        let delta = diff_tables(self.baseline(table_id)?, &regenerated);
+        if delta.is_empty() {
+            self.pending.remove(table_id);
+            return Ok(delta);
+        }
+        let stored_delta = diff_tables(self.db.table(table_id)?, &regenerated);
+        if !stored_delta.is_empty() {
+            self.db.apply_delta(table_id, &stored_delta)?;
+        }
+        let schema = self.db.table(table_id)?.schema().clone();
+        merge_into_pending(
+            self.pending.entry(table_id.to_string()).or_default(),
+            &schema,
+            &delta,
+        );
+        Ok(delta)
+    }
+
+    /// Translates an incoming view delta into this peer's source delta
+    /// (`put_delta`) **without applying anything** — the pipeline's
+    /// pre-flight check, run for every sharing peer before the update is
+    /// submitted on chain.
+    pub fn translate_remote_delta(
+        &self,
+        table_id: &str,
+        view_delta: &TableDelta,
+    ) -> Result<TableDelta> {
+        let binding = self.binding(table_id)?;
+        let source = self.db.table(&binding.source_table)?;
+        Ok(incremental::put_delta(&binding.lens, source, view_delta)?)
+    }
+
+    /// Applies a committed remote delta (Fig. 5 steps 4–5 / 10–11 in
+    /// delta mode): refreshes the stored copy row-by-row, verifies the
+    /// announced hash via the incremental digest, reflects the change
+    /// into the source with the pre-computed `source_delta`, refreshes
+    /// sibling shares (stashing their deltas as pending for the step-6
+    /// cascade), and advances the committed baseline by the same delta.
+    pub fn apply_remote_delta(
+        &mut self,
+        table_id: &str,
+        view_delta: &TableDelta,
+        source_delta: &TableDelta,
+        announced_hash: Hash256,
+        version: u64,
+    ) -> Result<()> {
+        let binding = self.binding(table_id)?.clone();
+        // Conflict path: this peer carries uncommitted local changes of
+        // the same table (e.g. a permission-blocked cascade awaiting
+        // retry) while a committed remote update arrives. Resolve exactly
+        // as full-table mode does — the remote view wins, the lens `put`
+        // merges it into the source — then re-derive the pending tracking
+        // of every share on this source from ground truth, so a residual
+        // local difference survives as a fresh pending delta (the retry
+        // is preserved, not silently dropped). O(table), but only on this
+        // rare contended path.
+        if self.pending.contains_key(table_id) {
+            let mut view_new = self.baseline(table_id)?.clone();
+            view_new.apply_delta(view_delta).map_err(|e| {
+                CoreError::ConsistencyViolation(format!(
+                    "committed `{table_id}` delta does not apply to the committed baseline: {e}"
+                ))
+            })?;
+            // Verified before any mutation: a corrupt delta leaves the
+            // peer untouched.
+            self.apply_remote_view(table_id, &view_new, announced_hash, version)?;
+            self.pending.remove(table_id);
+            for share_id in self.sibling_shares(&binding.source_table, Some(table_id)) {
+                let regenerated = self.regenerate_view(&share_id)?;
+                let stored_delta = diff_tables(self.db.table(&share_id)?, &regenerated);
+                if !stored_delta.is_empty() {
+                    self.db.apply_delta(&share_id, &stored_delta)?;
+                }
+                let pending_delta = diff_tables(self.baseline(&share_id)?, &regenerated);
+                self.pending.remove(&share_id);
+                if !pending_delta.is_empty() {
+                    let schema = regenerated.schema().clone();
+                    merge_into_pending(
+                        self.pending.entry(share_id.clone()).or_default(),
+                        &schema,
+                        &pending_delta,
+                    );
+                }
+            }
+            return Ok(());
+        }
+        let source_old = self.db.table(&binding.source_table)?;
+        let mut derived: Vec<(String, TableDelta)> = Vec::new();
+        for share_id in self.sibling_shares(&binding.source_table, Some(table_id)) {
+            let lens = &self.bindings[&share_id].lens;
+            let d = incremental::get_delta(lens, source_old, source_delta)?;
+            if !d.is_empty() {
+                derived.push((share_id, d));
+            }
+        }
+        let view_inv = self.db.apply_delta(table_id, view_delta)?;
+        if self.db.table(table_id)?.content_hash() != announced_hash {
+            // Corrupt or stale delta: restore the stored copy and refuse.
+            self.db.apply_delta(table_id, &view_inv)?;
+            return Err(CoreError::ConsistencyViolation(format!(
+                "applying the `{table_id}` delta does not reproduce the hash the \
+                 contract announced ({})",
+                announced_hash.short()
+            )));
+        }
+        if !source_delta.is_empty() {
+            self.db.apply_delta(&binding.source_table, source_delta)?;
+        }
+        for (share_id, d) in derived {
+            self.db.apply_delta(&share_id, &d)?;
+            let schema = self.db.table(&share_id)?.schema().clone();
+            merge_into_pending(
+                self.pending.entry(share_id.clone()).or_default(),
+                &schema,
+                &d,
+            );
+        }
+        let baseline = self
+            .baselines
+            .get_mut(table_id)
+            .ok_or_else(|| CoreError::UnknownShare(table_id.to_string()))?;
+        baseline.apply_delta(view_delta)?;
+        self.applied_versions.insert(table_id.to_string(), version);
+        Ok(())
+    }
+
+    /// Marks the updater's own pending delta as committed at `version`:
+    /// the baseline advances by the delta (the stored copy already
+    /// reflects it) and the pending entry clears.
+    pub fn commit_delta(&mut self, table_id: &str, delta: &TableDelta, version: u64) -> Result<()> {
+        let baseline = self
+            .baselines
+            .get_mut(table_id)
+            .ok_or_else(|| CoreError::UnknownShare(table_id.to_string()))?;
+        baseline.apply_delta(delta)?;
+        self.pending.remove(table_id);
+        self.applied_versions.insert(table_id.to_string(), version);
+        Ok(())
+    }
+
+    /// Drops the pending entry for `table_id` (delta mode; used when a
+    /// propagation turns out to be a no-op).
+    pub fn clear_pending(&mut self, table_id: &str) {
+        self.pending.remove(table_id);
+    }
+
+    /// Snapshot of the pending tracking state (cheap — pending deltas are
+    /// small). Paired with [`PeerNode::restore_pending`] for
+    /// transactional rollback of staged writes.
+    pub(crate) fn pending_snapshot(&self) -> PendingSnapshot {
+        self.pending.clone()
+    }
+
+    /// Restores a pending-state snapshot.
+    pub(crate) fn restore_pending(&mut self, snapshot: PendingSnapshot) {
+        self.pending = snapshot;
+    }
+
+    // ----- full-table propagation (the baseline) -----------------------
+
     /// Refreshes the stored shared copy from the local source (after the
     /// updater's own source edit, Fig. 5 step 1 / step 7). Returns the
     /// changed attributes relative to the previous stored copy.
@@ -165,15 +589,16 @@ impl PeerNode {
         let old_view = self.db.table(table_id)?;
         let attrs = changed_attrs(old_view, &new_view);
         if !attrs.is_empty() {
-            let rows: Vec<medledger_relational::Row> = new_view.rows().cloned().collect();
+            let rows: Vec<Row> = new_view.rows().cloned().collect();
             self.db.apply(table_id, WriteOp::Replace { rows })?;
         }
         Ok(attrs)
     }
 
-    /// Applies a shared table received from the updating peer (Fig. 5
-    /// steps 4–5 / 10–11): verifies the announced hash, replaces the
-    /// stored copy, and reflects the change into the source via `put`.
+    /// Applies a whole shared table received from the updating peer
+    /// (Fig. 5 steps 4–5 / 10–11 in full-table mode): verifies the
+    /// announced hash, replaces the stored copy, and reflects the change
+    /// into the source via `put`.
     pub fn apply_remote_view(
         &mut self,
         table_id: &str,
@@ -192,11 +617,11 @@ impl PeerNode {
         // put: reflect the view change into the source.
         let source = self.db.table(&binding.source_table)?;
         let new_source = exec::put(&binding.lens, source, new_view)?;
-        let src_rows: Vec<medledger_relational::Row> = new_source.rows().cloned().collect();
+        let src_rows: Vec<Row> = new_source.rows().cloned().collect();
         self.db
             .apply(&binding.source_table, WriteOp::Replace { rows: src_rows })?;
         // Refresh the stored shared copy and the committed baseline.
-        let view_rows: Vec<medledger_relational::Row> = new_view.rows().cloned().collect();
+        let view_rows: Vec<Row> = new_view.rows().cloned().collect();
         self.db
             .apply(table_id, WriteOp::Replace { rows: view_rows })?;
         self.baselines
@@ -213,11 +638,11 @@ impl PeerNode {
     }
 
     /// Marks `view` as committed at `version`: replaces the stored shared
-    /// copy and the baseline (called on the updater after the contract
-    /// accepted its `request_update`).
+    /// copy and the baseline (full-table mode; called on the updater
+    /// after the contract accepted its `request_update`).
     pub fn commit_view(&mut self, table_id: &str, view: &Table, version: u64) -> Result<()> {
         self.binding(table_id)?;
-        let rows: Vec<medledger_relational::Row> = view.rows().cloned().collect();
+        let rows: Vec<Row> = view.rows().cloned().collect();
         self.db.apply(table_id, WriteOp::Replace { rows })?;
         self.baselines.insert(table_id.to_string(), view.clone());
         self.applied_versions.insert(table_id.to_string(), version);
@@ -285,8 +710,8 @@ mod tests {
             .expect("D3 projection")
     }
 
-    fn doctor_with_shares() -> PeerNode {
-        let mut doctor = PeerNode::new("Doctor", "peer-test", 16);
+    fn doctor_with_shares_in(mode: PropagationMode) -> PeerNode {
+        let mut doctor = PeerNode::new("Doctor", "peer-test", 16, mode);
         doctor.add_source_table("D3", d3_table()).expect("add D3");
         // BX31: share with Patient.
         doctor
@@ -315,6 +740,10 @@ mod tests {
             )
             .expect("join D32");
         doctor
+    }
+
+    fn doctor_with_shares() -> PeerNode {
+        doctor_with_shares_in(PropagationMode::FullTable)
     }
 
     #[test]
@@ -406,6 +835,218 @@ mod tests {
     }
 
     #[test]
+    fn delta_write_shared_tracks_pending_and_siblings() {
+        let mut doctor = doctor_with_shares_in(PropagationMode::Delta);
+        let inverses = doctor
+            .write_shared(
+                "D23&D32",
+                WriteOp::Update {
+                    key: vec![Value::text("Ibuprofen")],
+                    assignments: vec![("mechanism_of_action".into(), Value::text("MeA1-new"))],
+                },
+            )
+            .expect("write shared");
+        // The stored copy, the source, and the pending delta all moved.
+        assert_eq!(
+            doctor
+                .shared_table("D23&D32")
+                .expect("D32")
+                .get(&[Value::text("Ibuprofen")])
+                .expect("row")[1],
+            Value::text("MeA1-new")
+        );
+        assert_eq!(
+            doctor
+                .db
+                .table("D3")
+                .expect("D3")
+                .get(&[Value::Int(188)])
+                .expect("row")[3],
+            Value::text("MeA1-new")
+        );
+        let pending = doctor.pending_delta("D23&D32").expect("pending");
+        assert_eq!(pending.updates.len(), 1);
+        assert!(doctor.has_pending_change("D23&D32").expect("check"));
+        // The sibling share's lens does not cover the mechanism → no
+        // pending change there.
+        assert!(!doctor.has_pending_change("D13&D31").expect("check"));
+        // The baseline still matches the last committed state.
+        assert_ne!(
+            doctor.shared_hash("D23&D32").expect("hash"),
+            doctor.committed_hash("D23&D32").expect("hash")
+        );
+
+        // Rolling back the inverses restores everything.
+        for (table, inv) in inverses.iter().rev() {
+            doctor.db.apply_delta(table, inv).expect("rollback");
+        }
+        doctor.clear_pending("D23&D32");
+        assert_eq!(
+            doctor.shared_hash("D23&D32").expect("hash"),
+            doctor.committed_hash("D23&D32").expect("hash")
+        );
+    }
+
+    #[test]
+    fn delta_remote_apply_advances_baseline_and_stashes_cascades() {
+        let mut doctor = doctor_with_shares_in(PropagationMode::Delta);
+        // The Researcher retired the Wellbutrin group from the shared
+        // D23&D32 — translatable through the project-distinct lens (all
+        // group members drop from D3).
+        let view_delta = TableDelta {
+            deletes: vec![vec![Value::text("Wellbutrin")]],
+            ..Default::default()
+        };
+        let source_delta = doctor
+            .translate_remote_delta("D23&D32", &view_delta)
+            .expect("translate");
+        assert!(!source_delta.is_empty());
+        let mut expected = doctor.shared_table("D23&D32").expect("D32").clone();
+        expected.apply_delta(&view_delta).expect("expected view");
+        doctor
+            .apply_remote_delta(
+                "D23&D32",
+                &view_delta,
+                &source_delta,
+                expected.content_hash(),
+                1,
+            )
+            .expect("apply");
+        assert_eq!(doctor.applied_versions["D23&D32"], 1);
+        assert_eq!(
+            doctor.shared_hash("D23&D32").expect("hash"),
+            doctor.committed_hash("D23&D32").expect("hash")
+        );
+        // The group delete flowed into D3, and the sibling patient share
+        // (whose lens shows patient 189's row) now has a pending cascade
+        // delta tracked from the same source delta.
+        assert!(doctor
+            .db
+            .table("D3")
+            .expect("D3")
+            .get(&[Value::Int(189)])
+            .is_none());
+        let cascade = doctor.pending_delta("D13&D31").expect("pending");
+        assert_eq!(cascade.deletes, vec![vec![Value::Int(189)]]);
+        assert!(doctor.has_pending_change("D13&D31").expect("check"));
+    }
+
+    #[test]
+    fn conflicting_pending_resolves_like_full_table_mode() {
+        // A peer carrying an uncommitted local change receives a
+        // committed remote update of the same table: the delta-mode
+        // conflict path must end byte-identical to full-table mode
+        // (remote wins on the view, lens put merges into the source),
+        // with pending tracking re-derived from ground truth.
+        let mut delta_doc = doctor_with_shares_in(PropagationMode::Delta);
+        let mut full_doc = doctor_with_shares_in(PropagationMode::FullTable);
+
+        // Local uncommitted edit: clinical data of 188, which gives the
+        // delta doctor a pending entry on the patient share.
+        let local_edit = WriteOp::Update {
+            key: vec![Value::Int(188)],
+            assignments: vec![("clinical_data".into(), Value::text("local-note"))],
+        };
+        delta_doc
+            .write_source("D3", local_edit.clone())
+            .expect("delta write");
+        assert!(delta_doc.has_pending_change("D13&D31").expect("check"));
+        full_doc.db.apply("D3", local_edit).expect("full write");
+        full_doc.refresh_view("D13&D31").expect("full refresh");
+
+        // A committed remote update (dosage of 189) built on the
+        // *committed* baseline arrives at both.
+        let view_delta = TableDelta {
+            updates: vec![(
+                vec![Value::Int(189)],
+                row![189i64, "Wellbutrin", "CliD2", "remote-dose"],
+            )],
+            ..Default::default()
+        };
+        let mut view_new = delta_doc.baseline("D13&D31").expect("baseline").clone();
+        view_new.apply_delta(&view_delta).expect("view");
+        let announced = view_new.content_hash();
+
+        let source_delta = delta_doc
+            .translate_remote_delta("D13&D31", &view_delta)
+            .expect("translate");
+        delta_doc
+            .apply_remote_delta("D13&D31", &view_delta, &source_delta, announced, 1)
+            .expect("delta apply");
+        full_doc
+            .apply_remote_view("D13&D31", &view_new, announced, 1)
+            .expect("full apply");
+
+        // Byte-identical end state across modes, and the delta doctor's
+        // stored copy equals what its source regenerates.
+        assert_eq!(delta_doc.db.fingerprint(), full_doc.db.fingerprint());
+        assert_eq!(
+            delta_doc.shared_table("D13&D31").expect("view"),
+            &delta_doc.regenerate_view("D13&D31").expect("regen")
+        );
+        assert!(!delta_doc.has_pending_change("D13&D31").expect("check"));
+        delta_doc
+            .check_share_integrity("D13&D31", announced)
+            .expect("integrity");
+    }
+
+    #[test]
+    fn delta_remote_apply_rejects_hash_mismatch_without_corruption() {
+        let mut doctor = doctor_with_shares_in(PropagationMode::Delta);
+        let before = doctor.shared_hash("D23&D32").expect("hash");
+        let view_delta = TableDelta {
+            updates: vec![(
+                vec![Value::text("Ibuprofen")],
+                row!["Ibuprofen", "MeA1-new"],
+            )],
+            ..Default::default()
+        };
+        let source_delta = doctor
+            .translate_remote_delta("D23&D32", &view_delta)
+            .expect("translate");
+        let err = doctor
+            .apply_remote_delta("D23&D32", &view_delta, &source_delta, Hash256([9; 32]), 1)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ConsistencyViolation(_)));
+        assert_eq!(doctor.shared_hash("D23&D32").expect("hash"), before);
+    }
+
+    #[test]
+    fn prepare_update_delta_falls_back_for_out_of_band_edits() {
+        let mut doctor = doctor_with_shares_in(PropagationMode::Delta);
+        // Edit the source directly, bypassing write_source tracking.
+        doctor
+            .db
+            .apply(
+                "D3",
+                WriteOp::Update {
+                    key: vec![Value::Int(188)],
+                    assignments: vec![("dosage".into(), Value::text("stop"))],
+                },
+            )
+            .expect("edit source");
+        let delta = doctor.prepare_update_delta("D13&D31").expect("prepare");
+        assert_eq!(delta.updates.len(), 1);
+        // The stored copy caught up and the pending delta is tracked.
+        assert_eq!(
+            doctor
+                .shared_table("D13&D31")
+                .expect("D31")
+                .get(&[Value::Int(188)])
+                .expect("row")[3],
+            Value::text("stop")
+        );
+        assert!(doctor.has_pending_change("D13&D31").expect("check"));
+        // Committing the delta advances the baseline and clears pending.
+        doctor.commit_delta("D13&D31", &delta, 1).expect("commit");
+        assert!(!doctor.has_pending_change("D13&D31").expect("check"));
+        assert_eq!(
+            doctor.shared_hash("D13&D31").expect("hash"),
+            doctor.committed_hash("D13&D31").expect("hash")
+        );
+    }
+
+    #[test]
     fn step6_overlap_detects_d31_d32_dependency() {
         let doctor = doctor_with_shares();
         // D31 and D32 share `medication_name` on D3.
@@ -421,7 +1062,7 @@ mod tests {
 
     #[test]
     fn step6_no_overlap_for_disjoint_lenses() {
-        let mut doctor = PeerNode::new("Doctor", "disjoint", 8);
+        let mut doctor = PeerNode::new("Doctor", "disjoint", 8, PropagationMode::FullTable);
         doctor.add_source_table("D3", d3_table()).expect("add");
         doctor
             .join_share(
@@ -452,21 +1093,24 @@ mod tests {
 
     #[test]
     fn write_shared_round_trips_into_source() {
-        let mut doctor = doctor_with_shares();
-        doctor
-            .write_shared(
-                "D13&D31",
-                WriteOp::Update {
-                    key: vec![Value::Int(189)],
-                    assignments: vec![("dosage".into(), Value::text("50 mg once"))],
-                },
-            )
-            .expect("write shared");
-        let d3 = doctor.db.table("D3").expect("D3");
-        assert_eq!(
-            d3.get(&[Value::Int(189)]).expect("row")[4],
-            Value::text("50 mg once")
-        );
+        for mode in [PropagationMode::FullTable, PropagationMode::Delta] {
+            let mut doctor = doctor_with_shares_in(mode);
+            doctor
+                .write_shared(
+                    "D13&D31",
+                    WriteOp::Update {
+                        key: vec![Value::Int(189)],
+                        assignments: vec![("dosage".into(), Value::text("50 mg once"))],
+                    },
+                )
+                .expect("write shared");
+            let d3 = doctor.db.table("D3").expect("D3");
+            assert_eq!(
+                d3.get(&[Value::Int(189)]).expect("row")[4],
+                Value::text("50 mg once"),
+                "{mode:?}"
+            );
+        }
     }
 
     #[test]
@@ -512,7 +1156,7 @@ mod tests {
 
     #[test]
     fn nonce_allocation_is_sequential() {
-        let mut p = PeerNode::new("P", "nonce", 4);
+        let mut p = PeerNode::new("P", "nonce", 4, PropagationMode::Delta);
         assert_eq!(p.take_nonce(), 0);
         assert_eq!(p.take_nonce(), 1);
         assert_eq!(p.take_nonce(), 2);
@@ -523,7 +1167,7 @@ mod tests {
         // Sanity: the workload schema matches what peers expect to split.
         let s = full_records_schema();
         assert_eq!(s.arity(), 7);
-        let mut p = PeerNode::new("P", "schema", 4);
+        let mut p = PeerNode::new("P", "schema", 4, PropagationMode::Delta);
         p.create_source_table("full", s).expect("create");
         p.db.apply(
             "full",

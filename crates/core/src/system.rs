@@ -4,8 +4,9 @@
 use crate::agreement::SharingAgreement;
 use crate::error::{CoreError, RevertInfo};
 use crate::peer::PeerNode;
+pub use crate::peer::PropagationMode;
 use crate::Result;
-use medledger_bx::changed_attrs;
+use medledger_bx::{changed_attrs, changed_attrs_from_delta, TableDelta};
 use medledger_consensus::{PbftConfig, PbftRound, PowModel, ProposerSchedule};
 use medledger_contracts::sharing::{
     AckUpdateArgs, ChangePermissionArgs, RegisterShareArgs, RequestUpdateArgs,
@@ -16,7 +17,7 @@ use medledger_ledger::{
     audit, AccountId, Block, Chain, Membership, Mempool, Receipt, SignedTransaction, Transaction,
     TxId, TxPayload, TxStatus,
 };
-use medledger_network::LatencyModel;
+use medledger_network::{DataPlaneStats, DataTransfer, LatencyModel, PayloadKind};
 use medledger_relational::WriteOp;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -87,6 +88,9 @@ pub struct SystemConfig {
     /// One-time signing keys per peer (bounds how many txs each peer can
     /// send).
     pub peer_key_capacity: usize,
+    /// How shared-table updates travel between peers: row-level deltas
+    /// (the default hot path) or whole tables (the baseline).
+    pub propagation: PropagationMode,
 }
 
 impl Default for SystemConfig {
@@ -101,6 +105,7 @@ impl Default for SystemConfig {
             seed: "medledger".into(),
             max_block_txs: 128,
             peer_key_capacity: 256,
+            propagation: PropagationMode::Delta,
         }
     }
 }
@@ -120,8 +125,12 @@ pub struct SystemStats {
     pub consensus_bytes: u64,
     /// Peer-to-peer shared-data transfers.
     pub p2p_transfers: u64,
-    /// Peer-to-peer bytes moved (encoded table sizes).
+    /// Peer-to-peer bytes moved (serialized delta size in delta mode,
+    /// encoded table size in full-table mode).
     pub p2p_bytes: u64,
+    /// Detailed data-plane accounting, including the full-table-equivalent
+    /// bytes each transfer would have cost (the bandwidth-win metric).
+    pub data_plane: DataPlaneStats,
 }
 
 /// One numbered step of a workflow trace (matching the Fig. 5 numbering).
@@ -190,6 +199,11 @@ pub struct UpdateReport {
     pub synced_ms: u64,
     /// Attributes that changed (what permission was checked on).
     pub changed_attrs: Vec<String>,
+    /// Rows shipped to each sharing peer (changed rows in delta mode,
+    /// the whole table in full-table mode).
+    pub rows_moved: u64,
+    /// Total data-plane payload bytes this update moved (all receivers).
+    pub bytes_moved: u64,
     /// The on-chain transactions this update produced, in commit order
     /// (the `request_update` first, then one ack per sharing peer).
     /// Cascade transactions live in the cascades' own reports.
@@ -377,7 +391,12 @@ impl System {
         if self.names.contains_key(name) {
             return Err(CoreError::BadAgreement(format!("peer `{name}` exists")));
         }
-        let peer = PeerNode::new(name, &self.config.seed, self.config.peer_key_capacity);
+        let peer = PeerNode::new(
+            name,
+            &self.config.seed,
+            self.config.peer_key_capacity,
+            self.config.propagation,
+        );
         let account = peer.account;
         self.chain.membership_mut().add_member(account);
         self.names.insert(name.to_string(), account);
@@ -679,6 +698,298 @@ impl System {
                 "cascade depth exceeded 16 — cyclic sharing topology?".into(),
             ));
         }
+        match self.config.propagation {
+            PropagationMode::Delta => self.propagate_delta(updater, table_id, active, depth),
+            PropagationMode::FullTable => self.propagate_full(updater, table_id, active, depth),
+        }
+    }
+
+    /// Delta propagation: the hot path. The updater ships only the rows
+    /// its update touched; every layer (diff, permission attrs, transfer,
+    /// remote apply, baseline advance, step-6 check) runs in O(changed
+    /// rows), with the incremental content digest carrying the hash
+    /// verification.
+    fn propagate_delta(
+        &mut self,
+        updater: AccountId,
+        table_id: &str,
+        active: &mut BTreeSet<String>,
+        depth: usize,
+    ) -> Result<UpdateReport> {
+        active.insert(table_id.to_string());
+        let mut trace = WorkflowTrace::default();
+        let submitted_ms = self.clock_ms;
+
+        // Step 1: the pending delta relative to the committed baseline
+        // (tracked at write time; falls back to a full diff only for
+        // out-of-band edits).
+        let (updater_name, delta, attrs, new_hash) = {
+            let peer = self
+                .peers
+                .get_mut(&updater)
+                .ok_or_else(|| CoreError::UnknownPeer(updater.to_string()))?;
+            let delta = peer.prepare_update_delta(table_id)?;
+            if delta.is_empty() {
+                active.remove(table_id);
+                return Err(CoreError::NoChange(table_id.to_string()));
+            }
+            let attrs: Vec<String> = changed_attrs_from_delta(peer.baseline(table_id)?, &delta)
+                .into_iter()
+                .collect();
+            let new_hash = peer.shared_hash(table_id)?;
+            (peer.name.clone(), delta, attrs, new_hash)
+        };
+        trace.push(
+            "1",
+            self.clock_ms,
+            &updater_name,
+            format!(
+                "computed `{table_id}` delta via BX-get-delta ({} row(s)); changed attrs: [{}]",
+                delta.row_count(),
+                attrs.join(", ")
+            ),
+        );
+
+        // Pre-flight: every sharing peer must be able to translate the
+        // delta into its source (`put_delta` must succeed) *before*
+        // anything commits on chain. The translated source deltas are
+        // kept and reused at apply time.
+        let meta0 = self.share_meta(table_id)?;
+        let mut source_deltas: BTreeMap<AccountId, TableDelta> = BTreeMap::new();
+        for other in meta0.peers.iter().filter(|p| **p != updater) {
+            let peer = self
+                .peers
+                .get(other)
+                .ok_or_else(|| CoreError::UnknownPeer(other.to_string()))?;
+            let translated = peer.translate_remote_delta(table_id, &delta)?;
+            source_deltas.insert(*other, translated);
+        }
+
+        // Step 2: request the update from the smart contract (metadata
+        // only — hash + changed attrs; the delta itself never touches
+        // the chain).
+        let args = RequestUpdateArgs {
+            table_id: table_id.to_string(),
+            new_hash,
+            changed_attrs: attrs.clone(),
+        };
+        let tx = self.submit_call(updater, "request_update", &args, Some(table_id.to_string()))?;
+        trace.push(
+            "2",
+            self.clock_ms,
+            &updater_name,
+            format!("sent update request tx {} to sharing contract", tx.short()),
+        );
+
+        // Step 3: consensus + permission verification.
+        self.produce_blocks_until_receipt(&tx, 32)?;
+        if let Err(e) = self.expect_success(&tx) {
+            trace.push(
+                "3",
+                self.clock_ms,
+                "contract",
+                format!("permission DENIED: {e}"),
+            );
+            active.remove(table_id);
+            return Err(e);
+        }
+        let committed_ms = self.clock_ms;
+        let meta = self.share_meta(table_id)?;
+        let version = meta.version;
+        trace.push(
+            "3",
+            committed_ms,
+            "contract",
+            format!(
+                "permission verified; update committed at height {} (version {version})",
+                self.chain.height()
+            ),
+        );
+
+        // The updater's baseline advances by the committed delta (its
+        // stored copy already reflects it).
+        {
+            let peer = self.peers.get_mut(&updater).expect("updater exists");
+            peer.commit_delta(table_id, &delta, version)?;
+        }
+
+        // Steps 4–5: every other sharing peer fetches the delta and
+        // applies it — stored copy, source (via the pre-translated
+        // put_delta result), and committed baseline all advance by
+        // exactly the changed rows.
+        let others: Vec<AccountId> = meta
+            .peers
+            .iter()
+            .copied()
+            .filter(|p| *p != updater)
+            .collect();
+        let delta_bytes = delta.encoded_size() as u64;
+        let full_table_bytes: u64 = {
+            let peer = self.peers.get(&updater).expect("updater exists");
+            peer.shared_table(table_id)?
+                .rows()
+                .map(|r| r.encode().len() as u64)
+                .sum()
+        };
+        let mut visible_ms = committed_ms;
+        let mut bytes_moved = 0u64;
+        let mut appliers: Vec<AccountId> = Vec::new();
+        for other in &others {
+            let notify = self.config.p2p_latency.sample(&mut self.prg);
+            let fetch = self.config.p2p_latency.sample(&mut self.prg)
+                + self.config.p2p_latency.sample(&mut self.prg);
+            let t_applied = committed_ms + notify + fetch;
+            visible_ms = visible_ms.max(t_applied);
+            self.stats.p2p_transfers += 1;
+            self.stats.p2p_bytes += delta_bytes;
+            self.stats.data_plane.record(&DataTransfer {
+                kind: PayloadKind::Delta,
+                rows: delta.row_count() as u64,
+                bytes: delta_bytes,
+                full_table_bytes,
+            });
+            bytes_moved += delta_bytes;
+            let source_delta = source_deltas.remove(other).expect("pre-flight ran");
+            let peer = self.peers.get_mut(other).expect("peer exists");
+            let peer_name = peer.name.clone();
+            trace.push(
+                "4",
+                t_applied,
+                &peer_name,
+                format!(
+                    "fetched `{table_id}` delta ({} row(s)) from {updater_name}",
+                    delta.row_count()
+                ),
+            );
+            peer.apply_remote_delta(table_id, &delta, &source_delta, new_hash, version)?;
+            trace.push(
+                "5",
+                t_applied,
+                &peer_name,
+                format!("reflected `{table_id}` delta into source via BX-put"),
+            );
+            appliers.push(*other);
+        }
+        self.clock_ms = self.clock_ms.max(visible_ms);
+
+        // Acks: peers confirm on chain; the table stays locked until all
+        // acks commit (the paper's barrier).
+        let mut ack_txs = Vec::with_capacity(others.len());
+        for other in &others {
+            let ack = AckUpdateArgs {
+                table_id: table_id.to_string(),
+                version,
+                applied_hash: new_hash,
+            };
+            let tx = self.submit_call(*other, "ack_update", &ack, Some(table_id.to_string()))?;
+            ack_txs.push(tx);
+        }
+        for tx in &ack_txs {
+            self.produce_blocks_until_receipt(tx, 32)?;
+            self.expect_success(tx)?;
+        }
+        let synced_ms = self.clock_ms;
+        if !others.is_empty() {
+            trace.push(
+                "m",
+                synced_ms,
+                "contract",
+                format!(
+                    "all {} peer(s) acked version {version}; table unlocked",
+                    others.len()
+                ),
+            );
+        }
+
+        // Step 6: dependency check. In delta mode the answer is already
+        // tracked: applying the update stashed a pending delta on every
+        // sibling share whose lens the source delta touched.
+        let mut cascades = Vec::new();
+        let mut failed_cascades: Vec<(String, String)> = Vec::new();
+        let mut participants = appliers;
+        participants.push(updater);
+        for account in participants {
+            let candidates = {
+                let peer = self.peers.get(&account).expect("peer exists");
+                peer.overlapping_shares(table_id)?
+            };
+            for other_table in candidates {
+                if active.contains(&other_table) {
+                    continue;
+                }
+                let (peer_name, differs) = {
+                    let peer = self.peers.get(&account).expect("peer exists");
+                    (peer.name.clone(), peer.has_pending_change(&other_table)?)
+                };
+                trace.push(
+                    "6",
+                    self.clock_ms,
+                    &peer_name,
+                    format!(
+                        "dependency check: `{other_table}` overlaps `{table_id}`; {}",
+                        if differs {
+                            "content changed → cascade (steps 7-11)"
+                        } else {
+                            "content unchanged → no cascade"
+                        }
+                    ),
+                );
+                if differs {
+                    match self.propagate_inner(account, &other_table, active, depth + 1) {
+                        Ok(report) => cascades.push(report),
+                        // A denied or untranslatable cascade must not roll
+                        // back the committed parent update; record it. The
+                        // blocked peer keeps its pending delta to retry.
+                        Err(
+                            e @ (CoreError::TxReverted(_)
+                            | CoreError::Bx(_)
+                            | CoreError::NoChange(_)),
+                        ) => {
+                            trace.push(
+                                "6",
+                                self.clock_ms,
+                                &peer_name,
+                                format!("cascade into `{other_table}` blocked: {e}"),
+                            );
+                            failed_cascades.push((other_table.clone(), e.to_string()));
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+
+        active.remove(table_id);
+        Ok(UpdateReport {
+            table_id: table_id.to_string(),
+            version,
+            submitted_ms,
+            committed_ms,
+            visible_ms,
+            synced_ms,
+            changed_attrs: attrs,
+            rows_moved: delta.row_count() as u64,
+            bytes_moved,
+            tx_ids: {
+                let mut ids = vec![tx];
+                ids.extend(ack_txs.iter().copied());
+                ids
+            },
+            cascades,
+            failed_cascades,
+            trace,
+        })
+    }
+
+    /// Full-table propagation: the paper-literal baseline. Whole tables
+    /// are regenerated, diffed, exchanged and re-`put` on every update.
+    fn propagate_full(
+        &mut self,
+        updater: AccountId,
+        table_id: &str,
+        active: &mut BTreeSet<String>,
+        depth: usize,
+    ) -> Result<UpdateReport> {
         active.insert(table_id.to_string());
         let mut trace = WorkflowTrace::default();
         let submitted_ms = self.clock_ms;
@@ -781,8 +1092,9 @@ impl System {
             .copied()
             .filter(|p| *p != updater)
             .collect();
-        let view_bytes: usize = current_view.rows().map(|r| r.encode().len()).sum();
+        let view_bytes: u64 = current_view.rows().map(|r| r.encode().len() as u64).sum();
         let mut visible_ms = committed_ms;
+        let mut bytes_moved = 0u64;
         let mut appliers: Vec<AccountId> = Vec::new();
         for other in &others {
             let notify = self.config.p2p_latency.sample(&mut self.prg);
@@ -791,7 +1103,14 @@ impl System {
             let t_applied = committed_ms + notify + fetch;
             visible_ms = visible_ms.max(t_applied);
             self.stats.p2p_transfers += 1;
-            self.stats.p2p_bytes += view_bytes as u64;
+            self.stats.p2p_bytes += view_bytes;
+            self.stats.data_plane.record(&DataTransfer {
+                kind: PayloadKind::FullTable,
+                rows: current_view.len() as u64,
+                bytes: view_bytes,
+                full_table_bytes: view_bytes,
+            });
+            bytes_moved += view_bytes;
             let peer = self.peers.get_mut(other).expect("peer exists");
             let peer_name = peer.name.clone();
             trace.push(
@@ -911,6 +1230,8 @@ impl System {
             visible_ms,
             synced_ms,
             changed_attrs: attrs,
+            rows_moved: current_view.len() as u64,
+            bytes_moved,
             tx_ids: {
                 let mut ids = vec![tx];
                 ids.extend(ack_txs.iter().copied());
@@ -970,9 +1291,13 @@ impl System {
 
     // ----- invariants ---------------------------------------------------
 
-    /// Verifies the paper's core promise: for every *synced* shared table,
-    /// all sharing peers hold byte-identical data matching the hash the
-    /// contract committed.
+    /// Verifies the paper's core promise: for every *synced* shared
+    /// table, every sharing peer's committed data matches the hash the
+    /// contract committed, **and** the peer's stored copy agrees with
+    /// that committed state plus whatever pending local delta it tracks
+    /// (a peer with a permission-blocked cascade awaiting retry carries
+    /// such a pending change; everything it serves is still accounted
+    /// for). See [`PeerNode::check_share_integrity`].
     pub fn check_consistency(&self) -> Result<()> {
         let contract = self.sharing_contract()?;
         let state = self
@@ -990,15 +1315,7 @@ impl System {
                     .peers
                     .get(account)
                     .ok_or_else(|| CoreError::UnknownPeer(account.to_string()))?;
-                let h = peer.shared_hash(&table_id)?;
-                if h != meta.content_hash {
-                    return Err(CoreError::ConsistencyViolation(format!(
-                        "peer {} holds `{table_id}` with hash {} but contract says {}",
-                        peer.name,
-                        h.short(),
-                        meta.content_hash.short()
-                    )));
-                }
+                peer.check_share_integrity(&table_id, meta.content_hash)?;
             }
         }
         Ok(())

@@ -6,7 +6,8 @@
 //! (FIPS 180-4), because the reproduction environment provides no
 //! cryptography crates:
 //!
-//! * [`sha256`] / [`Sha256`] — the hash function, one-shot and incremental.
+//! * [`sha256()`] / [`Sha256`] — the hash function, one-shot and
+//!   incremental (module [`mod@sha256`]).
 //! * [`hmac`] — HMAC-SHA256 (RFC 2104) used for PBFT-style message
 //!   authenticators between known validators.
 //! * [`merkle`] — binary Merkle trees with inclusion proofs, used for block

@@ -6,13 +6,13 @@
 //! sneak a violation past honest validators.
 
 use crate::transaction::{SignedTransaction, TxId};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, HashSet, VecDeque};
 
 /// A FIFO mempool with conflict-aware block selection.
 #[derive(Clone, Debug, Default)]
 pub struct Mempool {
     queue: VecDeque<SignedTransaction>,
-    ids: HashMap<TxId, ()>,
+    ids: HashSet<TxId>,
 }
 
 impl Mempool {
@@ -35,10 +35,9 @@ impl Mempool {
     /// the transaction was newly added.
     pub fn add(&mut self, tx: SignedTransaction) -> bool {
         let id = tx.id();
-        if self.ids.contains_key(&id) {
+        if !self.ids.insert(id) {
             return false;
         }
-        self.ids.insert(id, ());
         self.queue.push_back(tx);
         true
     }
@@ -162,6 +161,39 @@ mod tests {
         mp.add(tx(&mut kp_a, 1, None));
         let sel2 = mp.select(10, &locked);
         assert_eq!(sel2.len(), 1, "kp_a's nonce-1 tx must wait for nonce 0");
+    }
+
+    #[test]
+    fn duplicate_add_then_locked_key_skip() {
+        // The two behaviors the set-backed id index must preserve
+        // together: a re-broadcast transaction is ignored (id dedupe),
+        // and the one retained copy still honors the lock on its
+        // conflict key until the key unlocks.
+        let mut kp_a = KeyPair::generate("mp-dup-a", 8);
+        let mut kp_b = KeyPair::generate("mp-dup-b", 8);
+        let mut mp = Mempool::new();
+        let locked_tx = tx(&mut kp_a, 0, Some("D13"));
+        assert!(mp.add(locked_tx.clone()));
+        assert!(!mp.add(locked_tx.clone()), "duplicate id must be ignored");
+        assert!(!mp.add(locked_tx.clone()), "repeated re-adds too");
+        assert!(mp.add(tx(&mut kp_b, 0, None)));
+        assert_eq!(mp.len(), 2, "only one copy of the duplicate is queued");
+
+        let locked: BTreeSet<String> = ["D13".to_string()].into();
+        let sel = mp.select(10, &locked);
+        assert_eq!(sel.len(), 1, "locked-key tx is skipped");
+        assert_eq!(sel[0].tx.sender, kp_b.public());
+
+        // Unlocking the key releases the retained copy exactly once.
+        let sel = mp.select(10, &BTreeSet::new());
+        assert_eq!(
+            sel.iter().filter(|t| t.tx.sender == kp_a.public()).count(),
+            1
+        );
+
+        // After commit the id can be re-added (fresh lifecycle).
+        mp.remove_committed(std::slice::from_ref(&locked_tx));
+        assert!(mp.add(locked_tx));
     }
 
     #[test]

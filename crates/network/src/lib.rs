@@ -18,6 +18,8 @@
 
 pub mod latency;
 pub mod sim;
+pub mod transfer;
 
 pub use latency::LatencyModel;
 pub use sim::{Delivery, NetStats, NodeId, SimNet};
+pub use transfer::{DataPlaneStats, DataTransfer, PayloadKind};

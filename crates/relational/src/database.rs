@@ -1,5 +1,6 @@
 //! A peer's local database: named tables plus a write log.
 
+use crate::delta::TableDelta;
 use crate::error::RelationalError;
 use crate::row::Row;
 use crate::schema::Schema;
@@ -35,11 +36,18 @@ pub enum WriteOp {
         /// Primary key of the target row.
         key: Vec<Value>,
     },
-    /// Replace the entire table contents (used when a peer refreshes a
-    /// shared table from the updater, Fig. 5 step 4/10).
+    /// Replace the entire table contents (the full-table propagation
+    /// baseline, Fig. 5 step 4/10 in `PropagationMode::FullTable`).
     Replace {
         /// The new rows.
         rows: Vec<Row>,
+    },
+    /// Apply a row-level delta (the delta-propagation hot path): one
+    /// logged mutation covering all changed rows, applied through
+    /// [`Table::apply_delta`] so cost is O(changed rows).
+    Delta {
+        /// The changed rows.
+        delta: TableDelta,
     },
 }
 
@@ -52,6 +60,7 @@ impl WriteOp {
             WriteOp::Upsert { .. } => "upsert",
             WriteOp::Delete { .. } => "delete",
             WriteOp::Replace { .. } => "replace",
+            WriteOp::Delta { .. } => "delta",
         }
     }
 }
@@ -177,6 +186,9 @@ impl Database {
                 let fresh = Table::from_rows(schema, rows.clone())?;
                 *t = fresh;
             }
+            WriteOp::Delta { delta } => {
+                t.apply_delta(delta)?;
+            }
         }
         let post_hash = t.content_hash();
         self.log.push(LogRecord {
@@ -186,6 +198,30 @@ impl Database {
             post_hash,
         });
         Ok(())
+    }
+
+    /// Applies and logs a row-level delta, returning the **inverse** delta
+    /// (see [`Table::apply_delta`]). One log record per delta — in delta
+    /// propagation mode the write-ahead log grows with the number of
+    /// *updates*, not the number of rows they touch.
+    pub fn apply_delta(&mut self, table: &str, delta: &TableDelta) -> Result<TableDelta> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| RelationalError::UnknownTable {
+                table: table.to_string(),
+            })?;
+        let inverse = t.apply_delta(delta)?;
+        let post_hash = t.content_hash();
+        self.log.push(LogRecord {
+            seq: self.log.len() as u64,
+            table: table.to_string(),
+            op: WriteOp::Delta {
+                delta: delta.clone(),
+            },
+            post_hash,
+        });
+        Ok(inverse)
     }
 
     /// The mutation log, oldest first.

@@ -12,6 +12,9 @@
 //!   [`Table::content_hash`] Merkle fingerprints, and the relational
 //!   operators (project / select / rename / natural join) that the lens
 //!   crate builds on,
+//! * [`delta`] — row-level [`TableDelta`]s: the unit the propagation
+//!   pipeline ships between peers instead of whole tables, applied
+//!   incrementally with [`Table::apply_delta`],
 //! * [`predicate`] — a small predicate AST for selections,
 //! * [`query`] — a compositional query algebra evaluated against a database,
 //! * [`database`] — named tables plus a write-ahead log of every mutation
@@ -24,6 +27,7 @@
 //! hashes to enforce exactly that.
 
 pub mod database;
+pub mod delta;
 pub mod error;
 pub mod predicate;
 pub mod query;
@@ -33,6 +37,9 @@ pub mod table;
 pub mod value;
 
 pub use database::{Database, LogRecord, WriteOp};
+pub use delta::{
+    changed_attrs, changed_attrs_from_delta, delta_from_write_op, diff_tables, TableDelta,
+};
 pub use error::RelationalError;
 pub use predicate::{CmpOp, Predicate};
 pub use query::Query;

@@ -1,15 +1,83 @@
 //! Keyed in-memory tables.
 
+use crate::delta::TableDelta;
 use crate::error::RelationalError;
 use crate::predicate::Predicate;
 use crate::row::Row;
 use crate::schema::Schema;
 use crate::value::Value;
 use crate::Result;
-use medledger_crypto::{merkle::MerkleTree, Hash256};
+use medledger_crypto::{merkle, merkle::MerkleTree, sha256_concat, Hash256};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Mutex;
+
+/// Domain tag for row-chunk digests (distinct from Merkle leaf/node tags).
+const CHUNK_TAG: &[u8] = &[0x02];
+
+/// Rows per chunk the incremental digest aims for; the chunk count grows
+/// in power-of-two steps up to [`MAX_CHUNKS`] as the table grows.
+const CHUNK_TARGET: usize = 32;
+
+/// Upper bound on the chunk fan-out.
+const MAX_CHUNKS: usize = 256;
+
+/// Number of row chunks the content hash uses for a table of `n` rows.
+///
+/// Deterministic in `n` (and therefore in table *content*), so two tables
+/// with the same rows always chunk — and hash — identically.
+fn chunk_count_for(n: usize) -> usize {
+    (n / CHUNK_TARGET)
+        .max(1)
+        .next_power_of_two()
+        .min(MAX_CHUNKS)
+}
+
+/// The incremental content-hash cache: per-row leaf digests grouped into
+/// key-addressed chunks, plus cached chunk digests and the cached root.
+///
+/// Mutations update only the touched rows' leaf digests and mark their
+/// chunk dirty; [`Table::content_hash`] then recomputes dirty chunk
+/// digests and the (small) top tree instead of re-encoding and re-sorting
+/// the whole table. The cache is an acceleration structure only: when it
+/// desynchronizes (e.g. after deserialization), it is rebuilt from the
+/// rows, so the hash value never depends on cache state.
+#[derive(Debug, Default, Clone)]
+struct HashCache {
+    /// Per-chunk leaf digests (key → leaf hash), ordered by key.
+    chunks: Vec<BTreeMap<Vec<Value>, Hash256>>,
+    /// Cached digest per chunk; `None` = dirty.
+    digests: Vec<Option<Hash256>>,
+    /// Cached root over schema digest + chunk digests.
+    root: Option<Hash256>,
+    /// Cached schema digest.
+    schema_digest: Option<Hash256>,
+    /// Rows accounted for (consistency check against the table).
+    rows: usize,
+    /// False until the cache has been (re)built from the rows.
+    valid: bool,
+}
+
+impl HashCache {
+    fn invalidate(&mut self) {
+        *self = HashCache::default();
+    }
+
+    /// Chunk index for a key under the current fan-out.
+    fn chunk_of(key_digest: &Hash256, count: usize) -> usize {
+        debug_assert!(count.is_power_of_two());
+        key_digest.as_bytes()[0] as usize & (count - 1)
+    }
+}
+
+fn key_digest(key: &[Value]) -> Hash256 {
+    let mut buf = Vec::with_capacity(16 * key.len());
+    for v in key {
+        v.encode_into(&mut buf);
+    }
+    medledger_crypto::sha256(&buf)
+}
 
 /// A table: schema + rows + a primary-key index.
 ///
@@ -21,13 +89,31 @@ use std::fmt;
 /// Row order is not semantically meaningful; [`Table::content_hash`] and
 /// [`Table::sorted_rows`] use a canonical key order so two tables with the
 /// same rows always hash identically — the property peers rely on to check
-/// the paper's "all peers hold the newest shared data" condition.
-#[derive(Clone, Serialize, Deserialize)]
+/// the paper's "all peers hold the newest shared data" condition. The
+/// ordered index makes [`Table::sorted_rows`] a plain index walk (no
+/// per-call sort), and the content hash is maintained *incrementally*:
+/// each mutation refreshes only the changed rows' chunk of the digest, so
+/// hashing cost after `k` changed rows is `O(k · n/chunks + chunks)`, not
+/// a full re-encode of the table.
+#[derive(Serialize, Deserialize)]
 pub struct Table {
     schema: Schema,
     rows: Vec<Row>,
     #[serde(skip)]
-    index: HashMap<Vec<Value>, usize>,
+    index: BTreeMap<Vec<Value>, usize>,
+    #[serde(skip)]
+    cache: Mutex<HashCache>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Self {
+        Table {
+            schema: self.schema.clone(),
+            rows: self.rows.clone(),
+            index: self.index.clone(),
+            cache: Mutex::new(self.cache.lock().expect("cache lock").clone()),
+        }
+    }
 }
 
 impl Table {
@@ -36,7 +122,8 @@ impl Table {
         Table {
             schema,
             rows: Vec::new(),
-            index: HashMap::new(),
+            index: BTreeMap::new(),
+            cache: Mutex::new(HashCache::default()),
         }
     }
 
@@ -70,11 +157,74 @@ impl Table {
     }
 
     /// Rows sorted by primary key (canonical order).
+    ///
+    /// Served straight from the ordered key index — no per-call sort. The
+    /// sort fallback only runs when the index is stale (a deserialized
+    /// table before [`Table::rebuild_index`]).
     pub fn sorted_rows(&self) -> Vec<&Row> {
-        let mut out: Vec<&Row> = self.rows.iter().collect();
-        out.sort_by_key(|a| self.schema.key_of(a));
-        out
+        if self.index.len() == self.rows.len() {
+            self.index.values().map(|&pos| &self.rows[pos]).collect()
+        } else {
+            let mut out: Vec<&Row> = self.rows.iter().collect();
+            out.sort_by_key(|a| self.schema.key_of(a));
+            out
+        }
     }
+
+    // ----- cache bookkeeping ------------------------------------------
+
+    /// Records an inserted/replaced row in the hash cache. `new_len` is
+    /// the row count after the mutation.
+    fn note_upsert(&mut self, key: &[Value], row: &Row, new_len: usize) {
+        let cache = self.cache.get_mut().expect("cache lock");
+        if !cache.valid {
+            return;
+        }
+        if chunk_count_for(new_len) != cache.chunks.len() {
+            cache.invalidate();
+            return;
+        }
+        let leaf = merkle::leaf_hash(&row.encode());
+        let c = HashCache::chunk_of(&key_digest(key), cache.chunks.len());
+        cache.chunks[c].insert(key.to_vec(), leaf);
+        cache.digests[c] = None;
+        cache.root = None;
+        cache.rows = new_len;
+    }
+
+    /// Records a deleted row in the hash cache. `new_len` is the row
+    /// count after the mutation.
+    fn note_delete(&mut self, key: &[Value], new_len: usize) {
+        let cache = self.cache.get_mut().expect("cache lock");
+        if !cache.valid {
+            return;
+        }
+        if chunk_count_for(new_len) != cache.chunks.len() {
+            cache.invalidate();
+            return;
+        }
+        let c = HashCache::chunk_of(&key_digest(key), cache.chunks.len());
+        cache.chunks[c].remove(key);
+        cache.digests[c] = None;
+        cache.root = None;
+        cache.rows = new_len;
+    }
+
+    fn schema_digest_bytes(&self) -> Vec<u8> {
+        let mut schema_bytes = Vec::new();
+        for c in self.schema.columns() {
+            schema_bytes.extend_from_slice(c.name.as_bytes());
+            schema_bytes.push(0);
+            schema_bytes.extend_from_slice(c.ty.to_string().as_bytes());
+            schema_bytes.push(if c.nullable { 1 } else { 0 });
+        }
+        for &k in self.schema.key_indexes() {
+            schema_bytes.extend_from_slice(&(k as u64).to_be_bytes());
+        }
+        schema_bytes
+    }
+
+    // ----- mutations ---------------------------------------------------
 
     /// Inserts a row; errors on schema violation or duplicate key.
     pub fn insert(&mut self, row: Row) -> Result<()> {
@@ -85,6 +235,8 @@ impl Table {
                 key: format_key(&key),
             });
         }
+        let new_len = self.rows.len() + 1;
+        self.note_upsert(&key, &row, new_len);
         self.index.insert(key, self.rows.len());
         self.rows.push(row);
         Ok(())
@@ -96,9 +248,12 @@ impl Table {
         self.schema.check_row(&row)?;
         let key = self.schema.key_of(&row);
         if let Some(&pos) = self.index.get(&key) {
+            self.note_upsert(&key, &row, self.rows.len());
             self.rows[pos] = row;
             Ok(true)
         } else {
+            let new_len = self.rows.len() + 1;
+            self.note_upsert(&key, &row, new_len);
             self.index.insert(key, self.rows.len());
             self.rows.push(row);
             Ok(false)
@@ -136,6 +291,7 @@ impl Table {
             *candidate.get_mut(idx).expect("index valid") = val.clone();
         }
         self.schema.check_row(&candidate)?;
+        self.note_upsert(key, &candidate, self.rows.len());
         self.rows[pos] = candidate;
         Ok(())
     }
@@ -154,6 +310,7 @@ impl Table {
             let moved_key = self.schema.key_of(&self.rows[pos]);
             self.index.insert(moved_key, pos);
         }
+        self.note_delete(key, self.rows.len());
         Ok(removed)
     }
 
@@ -161,7 +318,90 @@ impl Table {
     pub fn clear(&mut self) {
         self.rows.clear();
         self.index.clear();
+        self.cache.get_mut().expect("cache lock").invalidate();
     }
+
+    /// Applies a row-level delta atomically: every entry is validated
+    /// against the current state first (schema, key presence/absence,
+    /// key/row agreement, cross-set disjointness), then all changes are
+    /// applied. Returns the **inverse** delta, which applied to the result
+    /// restores the original table — the basis for cheap transactional
+    /// rollback without whole-table snapshots.
+    pub fn apply_delta(&mut self, delta: &TableDelta) -> Result<TableDelta> {
+        // Validate everything against the current state first.
+        let mut touched: BTreeSet<Vec<Value>> = BTreeSet::new();
+        let mut disjoint = |key: &[Value]| -> Result<()> {
+            if !touched.insert(key.to_vec()) {
+                return Err(RelationalError::InvalidKey {
+                    reason: format!("delta touches key {} more than once", format_key(key)),
+                });
+            }
+            Ok(())
+        };
+        let mut insert_keys = Vec::with_capacity(delta.inserts.len());
+        for row in &delta.inserts {
+            self.schema.check_row(row)?;
+            let key = self.schema.key_of(row);
+            if self.index.contains_key(&key) {
+                return Err(RelationalError::DuplicateKey {
+                    key: format_key(&key),
+                });
+            }
+            disjoint(&key)?;
+            insert_keys.push(key);
+        }
+        for (key, row) in &delta.updates {
+            self.schema.check_row(row)?;
+            if self.schema.key_of(row) != *key {
+                return Err(RelationalError::InvalidKey {
+                    reason: format!(
+                        "delta update row key {} disagrees with declared key {}",
+                        format_key(&self.schema.key_of(row)),
+                        format_key(key)
+                    ),
+                });
+            }
+            if !self.index.contains_key(key) {
+                return Err(RelationalError::KeyNotFound {
+                    key: format_key(key),
+                });
+            }
+            disjoint(key)?;
+        }
+        for key in &delta.deletes {
+            if !self.index.contains_key(key) {
+                return Err(RelationalError::KeyNotFound {
+                    key: format_key(key),
+                });
+            }
+            disjoint(key)?;
+        }
+
+        // Apply (infallible after validation) and record the inverse.
+        let mut inverse = TableDelta::default();
+        for (key, row) in &delta.updates {
+            let pos = self.index[key];
+            inverse.updates.push((key.clone(), self.rows[pos].clone()));
+            self.note_upsert(key, row, self.rows.len());
+            self.rows[pos] = row.clone();
+        }
+        for key in &delta.deletes {
+            let removed = self.delete(key).expect("validated");
+            inverse.inserts.push(removed);
+        }
+        for (row, key) in delta.inserts.iter().zip(insert_keys) {
+            let new_len = self.rows.len() + 1;
+            self.note_upsert(&key, row, new_len);
+            self.index.insert(key.clone(), self.rows.len());
+            self.rows.push(row.clone());
+            inverse.deletes.push(key);
+        }
+        let schema = self.schema.clone();
+        inverse.sort_canonical(|r| schema.key_of(r));
+        Ok(inverse)
+    }
+
+    // ----- relational operators ---------------------------------------
 
     /// Key-preserving projection onto `attrs` with primary key `view_key`.
     ///
@@ -305,29 +545,60 @@ impl Table {
         Ok(out)
     }
 
-    /// Canonical content hash: a Merkle root over the schema encoding and
-    /// the key-sorted row encodings. Equal table contents ⇒ equal hashes,
-    /// regardless of insertion order.
+    // ----- hashing -----------------------------------------------------
+
+    /// Canonical content hash: a Merkle root over the schema digest and
+    /// key-addressed row-chunk digests. Equal table contents ⇒ equal
+    /// hashes, regardless of insertion order.
+    ///
+    /// The hash is served from the incremental cache: after `k` changed
+    /// rows only the touched chunks and the small top tree are rehashed.
+    /// A cold cache (fresh deserialization) triggers one full rebuild.
     pub fn content_hash(&self) -> Hash256 {
-        let mut encoded: Vec<Vec<u8>> = Vec::with_capacity(self.rows.len() + 1);
-        let mut schema_bytes = Vec::new();
-        for c in self.schema.columns() {
-            schema_bytes.extend_from_slice(c.name.as_bytes());
-            schema_bytes.push(0);
-            schema_bytes.extend_from_slice(c.ty.to_string().as_bytes());
-            schema_bytes.push(if c.nullable { 1 } else { 0 });
+        let mut cache = self.cache.lock().expect("cache lock");
+        let want_chunks = chunk_count_for(self.rows.len());
+        if !cache.valid || cache.rows != self.rows.len() || cache.chunks.len() != want_chunks {
+            // Full rebuild from the rows.
+            cache.chunks = vec![BTreeMap::new(); want_chunks];
+            for row in &self.rows {
+                let key = self.schema.key_of(row);
+                let c = HashCache::chunk_of(&key_digest(&key), want_chunks);
+                cache.chunks[c].insert(key, merkle::leaf_hash(&row.encode()));
+            }
+            cache.digests = vec![None; want_chunks];
+            cache.root = None;
+            cache.schema_digest = None;
+            cache.rows = self.rows.len();
+            cache.valid = true;
         }
-        for &k in self.schema.key_indexes() {
-            schema_bytes.extend_from_slice(&(k as u64).to_be_bytes());
+        if let Some(root) = cache.root {
+            return root;
         }
-        encoded.push(schema_bytes);
-        for row in self.sorted_rows() {
-            encoded.push(row.encode());
+        if cache.schema_digest.is_none() {
+            cache.schema_digest = Some(merkle::leaf_hash(&self.schema_digest_bytes()));
         }
-        MerkleTree::from_data(&encoded).root()
+        // Recompute dirty chunk digests only.
+        for c in 0..cache.chunks.len() {
+            if cache.digests[c].is_none() {
+                let mut parts: Vec<&[u8]> = Vec::with_capacity(cache.chunks[c].len() + 1);
+                parts.push(CHUNK_TAG);
+                for leaf in cache.chunks[c].values() {
+                    parts.push(leaf.as_bytes());
+                }
+                cache.digests[c] = Some(sha256_concat(&parts));
+            }
+        }
+        let mut leaves = Vec::with_capacity(cache.chunks.len() + 1);
+        leaves.push(cache.schema_digest.expect("just set"));
+        leaves.extend(cache.digests.iter().map(|d| d.expect("just flushed")));
+        let root = MerkleTree::from_leaves(leaves).root();
+        cache.root = Some(root);
+        root
     }
 
-    /// Rebuilds the primary-key index (needed after deserialization).
+    /// Rebuilds the primary-key index (needed after deserialization); also
+    /// discards the incremental hash cache so the next
+    /// [`Table::content_hash`] rebuilds it from the rows.
     pub fn rebuild_index(&mut self) -> Result<()> {
         self.index.clear();
         for (pos, row) in self.rows.iter().enumerate() {
@@ -338,6 +609,7 @@ impl Table {
                 });
             }
         }
+        self.cache.get_mut().expect("cache lock").invalidate();
         Ok(())
     }
 
@@ -575,6 +847,45 @@ mod tests {
         .expect("schema");
         let t2 = Table::new(s2);
         assert_ne!(t1.content_hash(), t2.content_hash());
+    }
+
+    #[test]
+    fn incremental_hash_matches_fresh_rebuild() {
+        // Interleave hashing with mutations; the warm incremental cache
+        // must always agree with a cold rebuild of the same contents.
+        let mut t = Table::new(patients_schema());
+        for i in 0..200i64 {
+            t.insert(row![i, format!("med-{i}"), "d"]).expect("insert");
+            if i % 37 == 0 {
+                let _ = t.content_hash();
+            }
+        }
+        t.update(&[Value::Int(13)], &[("dosage", Value::text("x"))])
+            .expect("update");
+        t.delete(&[Value::Int(77)]).expect("delete");
+        let warm = t.content_hash();
+
+        let mut cold =
+            Table::from_rows(patients_schema(), t.rows().cloned().collect()).expect("rebuild");
+        assert_eq!(warm, cold.content_hash());
+        // And after an explicit cache reset.
+        cold.rebuild_index().expect("rebuild index");
+        assert_eq!(warm, cold.content_hash());
+    }
+
+    #[test]
+    fn hash_survives_chunk_count_growth() {
+        // Push the table across chunk-fanout boundaries and verify the
+        // hash stays content-determined.
+        let mut t = Table::new(patients_schema());
+        for i in 0..(CHUNK_TARGET as i64 * 4 + 5) {
+            t.insert(row![i, "m", "d"]).expect("insert");
+            let incr = t.content_hash();
+            let fresh = Table::from_rows(patients_schema(), t.rows().cloned().collect())
+                .expect("rebuild")
+                .content_hash();
+            assert_eq!(incr, fresh, "at {i} rows");
+        }
     }
 
     #[test]

@@ -71,6 +71,27 @@ impl UpdateStream {
         self
     }
 
+    /// A **hotspot** stream: many small row-level edits concentrated on
+    /// `hot_rows` patients drawn (seeded) from `patient_ids` — the shape
+    /// where delta propagation shines, because every update touches a
+    /// handful of rows of an arbitrarily large shared table. Only
+    /// row-keyed kinds (dosage / clinical data) are generated.
+    pub fn hotspot(seed: &str, patient_ids: Vec<i64>, hot_rows: usize) -> Self {
+        assert!(!patient_ids.is_empty(), "need at least one patient");
+        assert!(hot_rows >= 1, "need at least one hot row");
+        let mut prg = Prg::from_label(&format!("hotspot-{seed}"));
+        let mut pool = patient_ids;
+        let mut hot = Vec::with_capacity(hot_rows.min(pool.len()));
+        for _ in 0..hot_rows.min(pool.len()) {
+            let idx = prg.next_below(pool.len() as u64) as usize;
+            hot.push(pool.swap_remove(idx));
+        }
+        UpdateStream::new(&format!("hotspot-{seed}"), hot, 0.0).with_mix(vec![
+            (UpdateKind::Dosage, 0.7),
+            (UpdateKind::ClinicalData, 0.3),
+        ])
+    }
+
     fn sample_kind(&mut self) -> UpdateKind {
         let total: f64 = self.mix.iter().map(|(_, w)| w).sum();
         let mut x = self.prg.next_f64() * total;
@@ -173,6 +194,23 @@ mod tests {
         let distinct: std::collections::BTreeSet<String> =
             ups.iter().map(|u| u.new_value.to_string()).collect();
         assert_eq!(distinct.len(), 10);
+    }
+
+    #[test]
+    fn hotspot_concentrates_on_few_rows() {
+        let all: Vec<i64> = (1..=1000).collect();
+        let ups = UpdateStream::hotspot("h", all.clone(), 4).take(100);
+        let targets: std::collections::BTreeSet<i64> = ups
+            .iter()
+            .map(|u| u.target.as_int().expect("row-keyed"))
+            .collect();
+        assert!(targets.len() <= 4, "{} distinct targets", targets.len());
+        assert!(targets.iter().all(|t| all.contains(t)));
+        // Row-keyed kinds only, and deterministic.
+        assert!(ups
+            .iter()
+            .all(|u| matches!(u.kind, UpdateKind::Dosage | UpdateKind::ClinicalData)));
+        assert_eq!(UpdateStream::hotspot("h", all, 4).take(100), ups);
     }
 
     #[test]

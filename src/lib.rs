@@ -118,6 +118,7 @@ pub use medledger_workload as workload;
 
 pub use medledger_core::{
     CommitError, CommitOutcome, ConsensusKind, CoreError, MedLedger, MedLedgerBuilder, PeerId,
-    PeerReader, PeerSession, ShareBuilder, SystemConfig, UpdateBatch, UpdateReport, WorkflowTrace,
+    PeerReader, PeerSession, PropagationMode, ShareBuilder, SystemConfig, UpdateBatch,
+    UpdateReport, WorkflowTrace,
 };
 pub use medledger_relational::{Row, Table, Value};

@@ -1,6 +1,6 @@
 //! Offline stand-in for `serde_json`.
 //!
-//! Bridges the vendored `serde` shim's [`Content`](serde::Content) tree to
+//! Bridges the vendored `serde` shim's [`serde::Content`] tree to
 //! JSON text, and provides the [`Value`] type plus `to_vec` / `to_string` /
 //! `from_slice` / `from_str` / `to_value` / `from_value` and the [`json!`]
 //! macro — the surface this workspace uses.
