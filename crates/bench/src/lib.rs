@@ -9,7 +9,8 @@
 
 use medledger_bx::LensSpec;
 use medledger_core::{ConsensusKind, MedLedger, PeerId, PropagationMode, SystemConfig};
-use medledger_relational::{Predicate, Table, Value};
+use medledger_engine::CommitQueue;
+use medledger_relational::{row, Column, Predicate, Schema, Table, Value, ValueType};
 use medledger_workload::EhrGenerator;
 
 /// A fast PBFT config for benches (100 ms blocks).
@@ -148,6 +149,136 @@ pub fn one_batch_update(bench: &mut WardBench, pids: &[i64], rev: usize) -> (u64
     }
     let outcome = batch.commit().expect("commit");
     (outcome.report.rows_moved, outcome.report.bytes_moved)
+}
+
+/// A hub-and-spokes deployment for the group-commit benches: one hub
+/// peer shares `n_tables` **distinct** shared tables, each with the same
+/// `n_receivers` receiver peers — the shape where group commit amortizes
+/// consensus cost and the receiver fan-out parallelizes.
+pub struct HubBench {
+    /// The running ledger.
+    pub ledger: MedLedger,
+    /// The hub (holds write permission on every table's `dosage`).
+    pub hub: PeerId,
+    /// The receiving peers (every table is shared with all of them).
+    pub receivers: Vec<PeerId>,
+    /// The shared-table ids, `ward-0` … `ward-{n-1}`.
+    pub tables: Vec<String>,
+}
+
+/// Builds a [`HubBench`]: `n_tables` distinct tables of `rows_per_table`
+/// rows, each shared between the hub and all `n_receivers` receivers,
+/// with `fanout_workers` parallel data-plane channels (0 = all receivers
+/// overlap).
+pub fn hub_system(
+    seed: &str,
+    n_tables: usize,
+    n_receivers: usize,
+    rows_per_table: usize,
+    fanout_workers: usize,
+) -> HubBench {
+    let mut ledger = MedLedger::builder()
+        .seed(seed)
+        .pbft(100)
+        .peer_key_capacity(4096)
+        .fanout_workers(fanout_workers)
+        .build()
+        .expect("boot");
+    let hub = ledger.add_peer("Hub").expect("add hub");
+    let receivers: Vec<PeerId> = (0..n_receivers)
+        .map(|i| ledger.add_peer(&format!("R{i}")).expect("add receiver"))
+        .collect();
+    let schema = Schema::new(
+        vec![
+            Column::new("patient_id", ValueType::Int),
+            Column::new("dosage", ValueType::Text),
+        ],
+        &["patient_id"],
+    )
+    .expect("schema");
+    let mut table = Table::new(schema);
+    for pid in 0..rows_per_table as i64 {
+        table.insert(row![pid, "10 mg"]).expect("seed row");
+    }
+    let lens = LensSpec::project(&["patient_id", "dosage"], &["patient_id"]);
+    let tables: Vec<String> = (0..n_tables).map(|i| format!("ward-{i}")).collect();
+    for t in &tables {
+        ledger
+            .session(hub)
+            .load_source(&format!("H-{t}"), table.clone())
+            .expect("hub source");
+        for (j, r) in receivers.iter().enumerate() {
+            ledger
+                .session(*r)
+                .load_source(&format!("R{j}-{t}"), table.clone())
+                .expect("receiver source");
+        }
+        let mut session = ledger.session(hub);
+        let mut share = session
+            .share(t.clone())
+            .bind(format!("H-{t}"), lens.clone());
+        for (j, r) in receivers.iter().enumerate() {
+            share = share.with(*r, format!("R{j}-{t}"), lens.clone());
+        }
+        share
+            .writers("patient_id", &[hub])
+            .writers("dosage", &[hub])
+            .create()
+            .expect("create share");
+    }
+    HubBench {
+        ledger,
+        hub,
+        receivers,
+        tables,
+    }
+}
+
+/// Commits one dosage update on each of the first `batch` tables as a
+/// single group through the engine's [`CommitQueue`]. Returns the blocks
+/// the group consumed and the slowest member's sync latency (virtual ms).
+pub fn one_group_commit(bench: &mut HubBench, batch: usize, rev: usize) -> (u64, u64) {
+    let blocks_before = bench.ledger.stats().blocks;
+    let mut queue = CommitQueue::new();
+    for t in bench.tables.iter().take(batch) {
+        queue
+            .begin(bench.hub, t.clone())
+            .set(
+                vec![Value::Int(0)],
+                "dosage",
+                Value::text(format!("rev-{rev}")),
+            )
+            .queue()
+            .expect("distinct tables queue cleanly");
+    }
+    let mut sync_ms = 0;
+    for outcome in queue.commit_all(&mut bench.ledger) {
+        let ok = outcome.result.expect("group member commits");
+        sync_ms = sync_ms.max(ok.sync_latency_ms());
+    }
+    (bench.ledger.stats().blocks - blocks_before, sync_ms)
+}
+
+/// The serial baseline for [`one_group_commit`]: the same updates, one
+/// facade commit (one block + ack rounds) at a time.
+pub fn serial_commits(bench: &mut HubBench, batch: usize, rev: usize) -> (u64, u64) {
+    let blocks_before = bench.ledger.stats().blocks;
+    let mut sync_ms = 0;
+    for t in bench.tables.iter().take(batch).cloned().collect::<Vec<_>>() {
+        let outcome = bench
+            .ledger
+            .session(bench.hub)
+            .begin(t)
+            .set(
+                vec![Value::Int(0)],
+                "dosage",
+                Value::text(format!("rev-{rev}")),
+            )
+            .commit()
+            .expect("serial commit");
+        sync_ms += outcome.sync_latency_ms();
+    }
+    (bench.ledger.stats().blocks - blocks_before, sync_ms)
 }
 
 /// A medical-records table of `n` rows for lens benchmarks.

@@ -67,6 +67,11 @@ pub struct RoundOutcome {
     pub bytes: u64,
     /// Number of view changes that occurred.
     pub view_changes: u64,
+    /// The view in which the block was first committed (0 when the
+    /// scheduled proposer succeeded; higher after view changes). Block
+    /// production uses this to attribute the block to the proposer that
+    /// actually drove the deciding round.
+    pub deciding_view: u64,
     /// Authentication failures observed (should be 0 without an attacker).
     pub auth_failures: u64,
 }
@@ -233,6 +238,7 @@ impl PbftRound {
         let live_count = n - self.crashed.len();
         let mut first_commit: Option<u64> = None;
         let mut all_commit: Option<u64> = None;
+        let mut deciding_view: u64 = 0;
 
         while let Some(delivery) = net.step() {
             if net.now_ms() > max_virtual_ms {
@@ -387,6 +393,7 @@ impl PbftRound {
                         r.committed_at = Some(now);
                         if first_commit.is_none() {
                             first_commit = Some(now);
+                            deciding_view = r.view;
                         }
                         let committed = replicas
                             .iter()
@@ -418,6 +425,7 @@ impl PbftRound {
             messages: stats.delivered,
             bytes: stats.bytes,
             view_changes,
+            deciding_view,
             auth_failures,
         }
     }
@@ -438,6 +446,7 @@ mod tests {
         assert!(out.committed);
         assert!(out.all_commit_ms.is_some());
         assert_eq!(out.view_changes, 0);
+        assert_eq!(out.deciding_view, 0);
         assert_eq!(out.auth_failures, 0);
         // Commit should happen in a few network round trips (LAN = 2-8ms).
         assert!(out.all_commit_ms.expect("ms") < 100);
@@ -476,6 +485,9 @@ mod tests {
         let out = round.run(1, digest(), 1_000_000);
         assert!(out.committed, "view change should rescue the round");
         assert!(out.view_changes >= 1);
+        // The deciding round ran in a later view than the crashed
+        // proposer's view 0.
+        assert!(out.deciding_view >= 1);
         // Commit happens after the timeout.
         assert!(out.first_commit_ms.expect("ms") >= 1_000);
     }

@@ -55,6 +55,11 @@ pub enum CoreError {
     ConsistencyViolation(String),
     /// The update produced no change (nothing to propagate).
     NoChange(String),
+    /// A group-commit member targets a shared table that another queued
+    /// (or still-uncommitted) update already claims — the paper's
+    /// one-update-per-table-per-block rule surfaced as a typed error
+    /// instead of a silent re-queue.
+    Conflicted(String),
 }
 
 impl fmt::Display for CoreError {
@@ -72,6 +77,9 @@ impl fmt::Display for CoreError {
             CoreError::KeysExhausted => write!(f, "signing keys exhausted"),
             CoreError::ConsistencyViolation(s) => write!(f, "consistency violation: {s}"),
             CoreError::NoChange(s) => write!(f, "no change to propagate for `{s}`"),
+            CoreError::Conflicted(s) => {
+                write!(f, "another queued update already claims shared table `{s}`")
+            }
         }
     }
 }

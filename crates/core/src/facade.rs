@@ -30,7 +30,6 @@ use medledger_contracts::SharedTableMeta;
 use medledger_ledger::{AuditEntry, Chain, Receipt, RevertKind};
 use medledger_network::LatencyModel;
 use medledger_relational::{Row, Table, TableDelta, Value, WriteOp};
-use std::collections::BTreeSet;
 use std::fmt;
 
 pub use crate::system::{ConsensusKind, PeerId, PropagationMode};
@@ -144,6 +143,14 @@ impl MedLedger {
     pub fn system(&self) -> &System {
         &self.system
     }
+
+    /// Mutable access to the underlying engine — the seam the concurrent
+    /// commit engine (`medledger-engine`'s `CommitQueue`) drives group
+    /// commits through. Normal workflows go through [`PeerSession`] /
+    /// [`UpdateBatch`] instead.
+    pub fn system_mut(&mut self) -> &mut System {
+        &mut self.system
+    }
 }
 
 /// Fluent builder over [`SystemConfig`].
@@ -218,6 +225,14 @@ impl MedLedgerBuilder {
     /// One-time signing keys per peer (bounds transactions per peer).
     pub fn peer_key_capacity(mut self, n: usize) -> Self {
         self.config.peer_key_capacity = n;
+        self
+    }
+
+    /// Parallel data-plane channels (and worker threads) for the
+    /// per-receiver propagation fan-out: `0` (default) overlaps every
+    /// receiver, `1` models the serial one-receiver-at-a-time baseline.
+    pub fn fanout_workers(mut self, n: usize) -> Self {
+        self.config.fanout_workers = n;
         self
     }
 
@@ -547,36 +562,12 @@ impl UpdateBatch<'_> {
         if ops.is_empty() {
             return Err(CommitError::EmptyBatch { table_id });
         }
-        let mode = system.config.propagation;
 
-        // Rollback machinery, per mode:
-        //
-        // * Delta — every staged write returns the inverse deltas of the
-        //   tables it touched; rollback re-applies them in reverse, in
-        //   O(changed rows). The pending-delta tracking is snapshotted
-        //   (cheap — pending deltas are small) and restored alongside.
-        // * FullTable — targeted snapshot of the tables the staged ops
-        //   can dirty: the shared copy, the source its lens reflects
-        //   into, and any explicitly staged source tables.
-        let snapshot: Vec<(String, Table)> = if mode == PropagationMode::FullTable {
-            let node = system.peer(peer).map_err(CommitError::Engine)?;
-            let mut names: BTreeSet<&str> = BTreeSet::new();
-            names.insert(table_id.as_str());
-            if let Ok(binding) = node.binding(&table_id) {
-                names.insert(binding.source_table.as_str());
-            }
-            for op in &ops {
-                if let StagedOp::Source { table, .. } = op {
-                    names.insert(table.as_str());
-                }
-            }
-            names
-                .into_iter()
-                .filter_map(|n| node.db.table(n).ok().map(|t| (n.to_string(), t.clone())))
-                .collect()
-        } else {
-            Vec::new()
-        };
+        // Rollback machinery, both modes: every staged write returns the
+        // inverse deltas of the tables it touched; rollback re-applies
+        // them in reverse, in O(changed rows) — no table snapshots. The
+        // pending-delta tracking is snapshotted (cheap — pending deltas
+        // are small) and restored alongside.
         let pending_snapshot = system
             .peer(peer)
             .map_err(CommitError::Engine)?
@@ -595,9 +586,9 @@ impl UpdateBatch<'_> {
             }
             Ok(())
         })();
-        let rollback = |system: &mut System| match mode {
-            PropagationMode::Delta => restore_inverses(system, peer, &inverses, &pending_snapshot),
-            PropagationMode::FullTable => restore_tables(system, peer, &snapshot),
+        let rollback = |system: &mut System| {
+            let node = system.peer_mut(peer).expect("peer exists");
+            node.rollback_writes(&inverses, pending_snapshot.clone());
         };
         if let Err(e) = staged {
             rollback(system);
@@ -638,37 +629,11 @@ impl UpdateBatch<'_> {
     }
 }
 
-/// Restores the snapshotted tables of a failed batch (schemas are
-/// unchanged within a batch, so replacing the row sets is a full revert).
-fn restore_tables(system: &mut System, peer: PeerId, snapshot: &[(String, Table)]) {
-    let node = system.peer_mut(peer).expect("peer exists");
-    for (name, table) in snapshot {
-        let rows: Vec<Row> = table.rows().cloned().collect();
-        node.db
-            .apply(name, WriteOp::Replace { rows })
-            .expect("restoring a snapshotted table cannot fail");
-    }
-}
-
-/// Rolls a failed delta-mode batch back by re-applying the staged writes'
-/// inverse deltas in reverse order — O(changed rows), no table clones —
-/// and restoring the pending-delta tracking.
-fn restore_inverses(
-    system: &mut System,
-    peer: PeerId,
-    inverses: &[(String, TableDelta)],
-    pending_snapshot: &crate::peer::PendingSnapshot,
-) {
-    let node = system.peer_mut(peer).expect("peer exists");
-    for (table, inverse) in inverses.iter().rev() {
-        node.db
-            .apply_delta(table, inverse)
-            .expect("applying a recorded inverse delta cannot fail");
-    }
-    node.restore_pending(pending_snapshot.clone());
-}
-
-fn collect_receipts(system: &System, report: &UpdateReport, out: &mut Vec<Receipt>) {
+/// Collects the receipts of every transaction a report (and its cascades)
+/// produced, in commit order — the receipts a [`CommitOutcome`] carries.
+/// Public so engines layered above the facade (e.g. the group-commit
+/// queue in `medledger-engine`) can assemble identical outcomes.
+pub fn collect_receipts(system: &System, report: &UpdateReport, out: &mut Vec<Receipt>) {
     for tx in &report.tx_ids {
         if let Some(r) = system.receipt(tx) {
             out.push(r.clone());
@@ -771,6 +736,14 @@ pub enum CommitError {
         /// The target table.
         table_id: String,
     },
+    /// Another queued (or still-uncommitted) update already claims the
+    /// same shared table — the paper's one-update-per-table-per-block
+    /// rule, surfaced as a typed error at enqueue/commit time instead of
+    /// a silent re-queue. Retry after the conflicting update commits.
+    Conflicted {
+        /// The contended shared table.
+        table_id: String,
+    },
     /// A sharing peer could not translate the new view back into its
     /// source (lens `put` failed) — rejected before anything committed.
     Untranslatable {
@@ -790,7 +763,11 @@ pub enum CommitError {
 }
 
 impl CommitError {
-    fn from_core(e: CoreError, system: &System) -> Self {
+    /// Classifies an engine error into the typed commit-error taxonomy,
+    /// resolving reverted transactions to their on-chain receipts. Public
+    /// so engines layered above the facade (the group-commit queue) can
+    /// surface identical errors.
+    pub fn from_core(e: CoreError, system: &System) -> Self {
         match e {
             CoreError::TxReverted(info) => {
                 let receipt = system.receipt(&info.tx_id).cloned();
@@ -811,6 +788,7 @@ impl CommitError {
                 }
             }
             CoreError::NoChange(table_id) => CommitError::NoChange { table_id },
+            CoreError::Conflicted(table_id) => CommitError::Conflicted { table_id },
             CoreError::Bx(e) => CommitError::Untranslatable {
                 reason: e.to_string(),
             },
@@ -820,7 +798,7 @@ impl CommitError {
 
     /// Marks the error as having occurred after the on-chain commit
     /// point (local state kept); pre-commit errors pass through.
-    fn with_commit_point(self, committed_on_chain: bool) -> Self {
+    pub fn with_commit_point(self, committed_on_chain: bool) -> Self {
         if committed_on_chain {
             CommitError::AfterCommit {
                 source: Box::new(self),
@@ -858,6 +836,12 @@ impl CommitError {
     pub fn is_no_change(&self) -> bool {
         matches!(self, CommitError::NoChange { .. })
     }
+
+    /// True iff another queued update already claims the same shared
+    /// table (retry after it commits).
+    pub fn is_conflicted(&self) -> bool {
+        matches!(self, CommitError::Conflicted { .. })
+    }
 }
 
 impl fmt::Display for CommitError {
@@ -878,6 +862,12 @@ impl fmt::Display for CommitError {
             }
             CommitError::EmptyBatch { table_id } => {
                 write!(f, "empty batch for `{table_id}`")
+            }
+            CommitError::Conflicted { table_id } => {
+                write!(
+                    f,
+                    "another queued update already claims shared table `{table_id}`"
+                )
             }
             CommitError::Untranslatable { reason } => {
                 write!(f, "a sharing peer cannot translate the update: {reason}")

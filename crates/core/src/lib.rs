@@ -46,8 +46,11 @@ pub use facade::{
     CommitError, CommitOutcome, MedLedger, MedLedgerBuilder, PeerReader, PeerSession, ShareBuilder,
     UpdateBatch,
 };
-pub use peer::{PeerNode, PropagationMode};
-pub use system::{ConsensusKind, PeerId, System, SystemConfig, UpdateReport, WorkflowTrace};
+pub use peer::{PeerNode, PendingSnapshot, PropagationMode};
+pub use system::{
+    ConsensusKind, GroupEntry, GroupEntryFailure, GroupEntryResult, PeerId, System, SystemConfig,
+    UpdateReport, WorkflowTrace,
+};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

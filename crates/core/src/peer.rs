@@ -36,9 +36,14 @@ pub enum PropagationMode {
 /// delta composition for state-valued deltas.
 type PendingRows = BTreeMap<Vec<Value>, Option<Row>>;
 
-/// Snapshot of a peer's whole pending-delta tracking state (used by the
-/// facade for transactional rollback of staged writes).
-pub(crate) type PendingSnapshot = BTreeMap<String, PendingRows>;
+/// Opaque snapshot of a peer's whole pending-delta tracking state.
+/// Paired with the inverse deltas a staged write returns, it is
+/// everything a transactional caller (the facade's `UpdateBatch`, the
+/// engine's `CommitQueue`) needs to roll a failed batch back via
+/// [`PeerNode::rollback_writes`]. Cheap: pending deltas hold only the
+/// rows touched since the last committed version.
+#[derive(Clone, Debug, Default)]
+pub struct PendingSnapshot(BTreeMap<String, PendingRows>);
 
 fn merge_into_pending(pending: &mut PendingRows, schema: &Schema, delta: &TableDelta) {
     for row in &delta.inserts {
@@ -225,8 +230,13 @@ impl PeerNode {
             )));
         }
         if self.mode == PropagationMode::FullTable {
-            self.db.apply(table, op)?;
-            return Ok(Vec::new());
+            // Full-table mode defers the lens work to propagation time,
+            // but the write itself still applies as a delta so the caller
+            // gets an inverse for O(changed rows) transactional rollback
+            // (same contract as delta mode — no table snapshots).
+            let source_delta = delta_from_write_op(self.db.table(table)?, &op)?;
+            let inv = self.db.apply_delta(table, &source_delta)?;
+            return Ok(vec![(table.to_string(), inv)]);
         }
         let source_old = self.db.table(table)?;
         let source_delta = delta_from_write_op(source_old, &op)?;
@@ -271,14 +281,31 @@ impl PeerNode {
     ) -> Result<Vec<(String, TableDelta)>> {
         let binding = self.binding(table_id)?.clone();
         if self.mode == PropagationMode::FullTable {
-            self.db.apply(table_id, op)?;
+            // The lens still runs as a full `put` (that is the mode's
+            // point), but both mutations apply as deltas so the caller
+            // gets inverses for rollback instead of table snapshots.
+            let view_delta = delta_from_write_op(self.db.table(table_id)?, &op)?;
+            let view_inv = self.db.apply_delta(table_id, &view_delta)?;
             let view = self.db.table(table_id)?.clone();
-            let source = self.db.table(&binding.source_table)?;
-            let new_source = exec::put(&binding.lens, source, &view)?;
-            let rows: Vec<Row> = new_source.rows().cloned().collect();
-            self.db
-                .apply(&binding.source_table, WriteOp::Replace { rows })?;
-            return Ok(Vec::new());
+            let source_old = self.db.table(&binding.source_table)?;
+            // An untranslatable write must leave the peer untouched: undo
+            // the already-applied view delta before surfacing the error.
+            let new_source = match exec::put(&binding.lens, source_old, &view) {
+                Ok(t) => t,
+                Err(e) => {
+                    self.db
+                        .apply_delta(table_id, &view_inv)
+                        .expect("inverse of a just-applied delta applies");
+                    return Err(e.into());
+                }
+            };
+            let source_delta = diff_tables(source_old, &new_source);
+            let mut inverses = vec![(table_id.to_string(), view_inv)];
+            if !source_delta.is_empty() {
+                let inv = self.db.apply_delta(&binding.source_table, &source_delta)?;
+                inverses.push((binding.source_table.clone(), inv));
+            }
+            return Ok(inverses);
         }
         let view = self.db.table(table_id)?;
         let view_delta = delta_from_write_op(view, &op)?;
@@ -568,15 +595,28 @@ impl PeerNode {
     }
 
     /// Snapshot of the pending tracking state (cheap — pending deltas are
-    /// small). Paired with [`PeerNode::restore_pending`] for
+    /// small). Paired with [`PeerNode::rollback_writes`] for
     /// transactional rollback of staged writes.
-    pub(crate) fn pending_snapshot(&self) -> PendingSnapshot {
-        self.pending.clone()
+    pub fn pending_snapshot(&self) -> PendingSnapshot {
+        PendingSnapshot(self.pending.clone())
     }
 
     /// Restores a pending-state snapshot.
-    pub(crate) fn restore_pending(&mut self, snapshot: PendingSnapshot) {
-        self.pending = snapshot;
+    pub fn restore_pending(&mut self, snapshot: PendingSnapshot) {
+        self.pending = snapshot.0;
+    }
+
+    /// Rolls a failed transactional batch back: re-applies the staged
+    /// writes' inverse deltas in reverse order — O(changed rows), no
+    /// table snapshots in either propagation mode — and restores the
+    /// pending-delta tracking captured before staging.
+    pub fn rollback_writes(&mut self, inverses: &[(String, TableDelta)], pending: PendingSnapshot) {
+        for (table, inverse) in inverses.iter().rev() {
+            self.db
+                .apply_delta(table, inverse)
+                .expect("applying a recorded inverse delta cannot fail");
+        }
+        self.restore_pending(pending);
     }
 
     // ----- full-table propagation (the baseline) -----------------------

@@ -17,8 +17,8 @@ use medledger_ledger::{
     audit, AccountId, Block, Chain, Membership, Mempool, Receipt, SignedTransaction, Transaction,
     TxId, TxPayload, TxStatus,
 };
-use medledger_network::{DataPlaneStats, DataTransfer, LatencyModel, PayloadKind};
-use medledger_relational::WriteOp;
+use medledger_network::{fanout, DataPlaneStats, DataTransfer, LatencyModel, PayloadKind};
+use medledger_relational::{Table, WriteOp};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -91,6 +91,17 @@ pub struct SystemConfig {
     /// How shared-table updates travel between peers: row-level deltas
     /// (the default hot path) or whole tables (the baseline).
     pub propagation: PropagationMode,
+    /// Parallel data-plane channels for the per-receiver fan-out
+    /// (Fig. 5 steps 4–5): how many receivers fetch and apply an update
+    /// concurrently. `0` (the default) means one channel per receiver —
+    /// every transfer overlaps — while `1` models the paper-literal
+    /// serial baseline where receivers are served one after another. The
+    /// same number sizes the `std::thread` worker pool that executes the
+    /// per-receiver verify/apply work (with `0` using whatever
+    /// parallelism the host offers). Thread count never changes results,
+    /// only wall-clock; the virtual-time schedule depends only on this
+    /// configured value.
+    pub fanout_workers: usize,
 }
 
 impl Default for SystemConfig {
@@ -106,6 +117,7 @@ impl Default for SystemConfig {
             max_block_txs: 128,
             peer_key_capacity: 256,
             propagation: PropagationMode::Delta,
+            fanout_workers: 0,
         }
     }
 }
@@ -238,6 +250,89 @@ impl UpdateReport {
             .map(UpdateReport::total_updates)
             .sum::<usize>()
     }
+}
+
+/// One member of a group commit: a pending local change of `table_id`
+/// already staged on `updater`, to be committed alongside the other
+/// members in a single block and a single scheduled consensus round (see
+/// [`System::commit_group`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupEntry {
+    /// The peer whose staged change is being committed.
+    pub updater: PeerId,
+    /// The shared table the change targets (distinct per group member).
+    pub table_id: String,
+}
+
+impl GroupEntry {
+    /// Convenience constructor.
+    pub fn new(updater: PeerId, table_id: impl Into<String>) -> Self {
+        GroupEntry {
+            updater,
+            table_id: table_id.into(),
+        }
+    }
+}
+
+/// Why one member of a group commit failed while the group proceeded.
+#[derive(Clone, Debug)]
+pub struct GroupEntryFailure {
+    /// The underlying failure.
+    pub error: CoreError,
+    /// True iff the member's update reached the chain before the failure
+    /// — the caller must then *keep* the updater's local state (it
+    /// already matches the chain and the other peers); false means
+    /// nothing committed and the member's staged writes should be rolled
+    /// back via their inverse deltas.
+    pub committed_on_chain: bool,
+}
+
+/// Per-member outcome of [`System::commit_group`].
+pub type GroupEntryResult = std::result::Result<UpdateReport, GroupEntryFailure>;
+
+/// Mode-specific payload of a prepared update (what the receivers fetch).
+enum PreparedPayload {
+    /// Row-level delta plus every receiver's pre-translated `put_delta`
+    /// result (computed at pre-flight, consumed at apply time).
+    Delta {
+        delta: TableDelta,
+        source_deltas: BTreeMap<AccountId, TableDelta>,
+    },
+    /// The regenerated whole view (the full-table baseline).
+    Full { view: Table },
+}
+
+/// A Step-1-and-pre-flight-complete update, ready to submit on chain.
+struct PreparedUpdate {
+    updater: AccountId,
+    updater_name: String,
+    table_id: String,
+    attrs: Vec<String>,
+    new_hash: Hash256,
+    payload: PreparedPayload,
+}
+
+/// Completed and blocked cascades of one Step-6 dependency sweep:
+/// `(reports, failed)` where `failed` records `(table_id, reason)`.
+type CascadeOutcome = (Vec<UpdateReport>, Vec<(String, String)>);
+
+/// Below this much total fan-out work (payload rows × receivers), the
+/// auto-sized worker pool runs inline — thread spawn would cost more
+/// than the per-receiver applies. Explicit `fanout_workers` settings
+/// bypass this. Results are identical either way; only wall-clock
+/// differs.
+const PARALLEL_FANOUT_MIN_ROWS: u64 = 256;
+
+/// What the receiver fan-out produced for one committed update.
+struct FanoutSummary {
+    /// The receivers, in canonical (account) order.
+    others: Vec<AccountId>,
+    /// When the last receiver had applied the data (virtual ms).
+    visible_ms: u64,
+    /// Total data-plane payload bytes moved to all receivers.
+    bytes_moved: u64,
+    /// Rows shipped to each receiver.
+    rows_moved: u64,
 }
 
 /// The whole simulated deployment.
@@ -455,8 +550,11 @@ impl System {
             .select(self.config.max_block_txs, &BTreeSet::new());
         let height = self.chain.height() + 1;
 
-        // Consensus: PBFT rounds add commit latency; the PoW model's
+        // Consensus: one scheduled PBFT round decides the whole block (the
+        // pre-prepare carries every transaction, so a group-committed
+        // multi-tx block still costs a single round); the PoW model's
         // latency is the interval itself (a found block is announced).
+        let mut deciding_view = 0u64;
         if let ConsensusKind::PrivatePbft { .. } = self.config.consensus {
             let digest = Block::tx_root(&txs);
             let payload: usize = txs.iter().map(SignedTransaction::encoded_len).sum();
@@ -473,6 +571,7 @@ impl System {
                 .all_commit_ms
                 .ok_or_else(|| CoreError::ConsensusFailed(format!("height {height}")))?;
             self.clock_ms += commit;
+            deciding_view = out.deciding_view;
             self.stats.consensus_msgs += out.messages;
             self.stats.consensus_bytes += out.bytes;
         }
@@ -486,7 +585,9 @@ impl System {
             self.receipts.insert(stx.id(), (height, receipt));
         }
         let state_root = self.runtime.state_root();
-        let proposer = self.schedule.proposer(height, 0);
+        // Attribute the block to the proposer of the round that actually
+        // decided it (view 0 normally; later views after view changes).
+        let proposer = self.schedule.proposer(height, deciding_view);
         let block = Block::assemble(
             height,
             self.chain.tip().hash(),
@@ -686,6 +787,11 @@ impl System {
         self.propagate_inner(updater.account(), table_id, &mut active, 0)
     }
 
+    /// One update through the whole pipeline: Step 1 + pre-flight,
+    /// request transaction, consensus, parallel receiver fan-out, acks,
+    /// Step-6 cascades. Both propagation modes share this skeleton; the
+    /// mode decides how [`System::prepare_update`] computes the payload
+    /// and how the fan-out applies it.
     fn propagate_inner(
         &mut self,
         updater: AccountId,
@@ -698,86 +804,32 @@ impl System {
                 "cascade depth exceeded 16 — cyclic sharing topology?".into(),
             ));
         }
-        match self.config.propagation {
-            PropagationMode::Delta => self.propagate_delta(updater, table_id, active, depth),
-            PropagationMode::FullTable => self.propagate_full(updater, table_id, active, depth),
-        }
-    }
-
-    /// Delta propagation: the hot path. The updater ships only the rows
-    /// its update touched; every layer (diff, permission attrs, transfer,
-    /// remote apply, baseline advance, step-6 check) runs in O(changed
-    /// rows), with the incremental content digest carrying the hash
-    /// verification.
-    fn propagate_delta(
-        &mut self,
-        updater: AccountId,
-        table_id: &str,
-        active: &mut BTreeSet<String>,
-        depth: usize,
-    ) -> Result<UpdateReport> {
         active.insert(table_id.to_string());
         let mut trace = WorkflowTrace::default();
         let submitted_ms = self.clock_ms;
 
-        // Step 1: the pending delta relative to the committed baseline
-        // (tracked at write time; falls back to a full diff only for
-        // out-of-band edits).
-        let (updater_name, delta, attrs, new_hash) = {
-            let peer = self
-                .peers
-                .get_mut(&updater)
-                .ok_or_else(|| CoreError::UnknownPeer(updater.to_string()))?;
-            let delta = peer.prepare_update_delta(table_id)?;
-            if delta.is_empty() {
+        // Step 1 + pre-flight translatability check.
+        let mut prepared = match self.prepare_update(updater, table_id, &mut trace) {
+            Ok(p) => p,
+            Err(e) => {
                 active.remove(table_id);
-                return Err(CoreError::NoChange(table_id.to_string()));
+                return Err(e);
             }
-            let attrs: Vec<String> = changed_attrs_from_delta(peer.baseline(table_id)?, &delta)
-                .into_iter()
-                .collect();
-            let new_hash = peer.shared_hash(table_id)?;
-            (peer.name.clone(), delta, attrs, new_hash)
         };
-        trace.push(
-            "1",
-            self.clock_ms,
-            &updater_name,
-            format!(
-                "computed `{table_id}` delta via BX-get-delta ({} row(s)); changed attrs: [{}]",
-                delta.row_count(),
-                attrs.join(", ")
-            ),
-        );
-
-        // Pre-flight: every sharing peer must be able to translate the
-        // delta into its source (`put_delta` must succeed) *before*
-        // anything commits on chain. The translated source deltas are
-        // kept and reused at apply time.
-        let meta0 = self.share_meta(table_id)?;
-        let mut source_deltas: BTreeMap<AccountId, TableDelta> = BTreeMap::new();
-        for other in meta0.peers.iter().filter(|p| **p != updater) {
-            let peer = self
-                .peers
-                .get(other)
-                .ok_or_else(|| CoreError::UnknownPeer(other.to_string()))?;
-            let translated = peer.translate_remote_delta(table_id, &delta)?;
-            source_deltas.insert(*other, translated);
-        }
 
         // Step 2: request the update from the smart contract (metadata
-        // only — hash + changed attrs; the delta itself never touches
-        // the chain).
+        // only — hash + changed attrs; the data itself never touches the
+        // chain).
         let args = RequestUpdateArgs {
             table_id: table_id.to_string(),
-            new_hash,
-            changed_attrs: attrs.clone(),
+            new_hash: prepared.new_hash,
+            changed_attrs: prepared.attrs.clone(),
         };
         let tx = self.submit_call(updater, "request_update", &args, Some(table_id.to_string()))?;
         trace.push(
             "2",
             self.clock_ms,
-            &updater_name,
+            &prepared.updater_name,
             format!("sent update request tx {} to sharing contract", tx.short()),
         );
 
@@ -794,8 +846,7 @@ impl System {
             return Err(e);
         }
         let committed_ms = self.clock_ms;
-        let meta = self.share_meta(table_id)?;
-        let version = meta.version;
+        let version = self.share_meta(table_id)?.version;
         trace.push(
             "3",
             committed_ms,
@@ -806,111 +857,453 @@ impl System {
             ),
         );
 
-        // The updater's baseline advances by the committed delta (its
-        // stored copy already reflects it).
-        {
-            let peer = self.peers.get_mut(&updater).expect("updater exists");
-            peer.commit_delta(table_id, &delta, version)?;
-        }
+        // The updater's stored copy and committed baseline advance to the
+        // committed state.
+        self.commit_local(&prepared, version)?;
 
-        // Steps 4–5: every other sharing peer fetches the delta and
-        // applies it — stored copy, source (via the pre-translated
-        // put_delta result), and committed baseline all advance by
-        // exactly the changed rows.
-        let others: Vec<AccountId> = meta
-            .peers
-            .iter()
-            .copied()
-            .filter(|p| *p != updater)
-            .collect();
-        let delta_bytes = delta.encoded_size() as u64;
-        let full_table_bytes: u64 = {
-            let peer = self.peers.get(&updater).expect("updater exists");
-            peer.shared_table(table_id)?
-                .rows()
-                .map(|r| r.encode().len() as u64)
-                .sum()
-        };
-        let mut visible_ms = committed_ms;
-        let mut bytes_moved = 0u64;
-        let mut appliers: Vec<AccountId> = Vec::new();
-        for other in &others {
-            let notify = self.config.p2p_latency.sample(&mut self.prg);
-            let fetch = self.config.p2p_latency.sample(&mut self.prg)
-                + self.config.p2p_latency.sample(&mut self.prg);
-            let t_applied = committed_ms + notify + fetch;
-            visible_ms = visible_ms.max(t_applied);
-            self.stats.p2p_transfers += 1;
-            self.stats.p2p_bytes += delta_bytes;
-            self.stats.data_plane.record(&DataTransfer {
-                kind: PayloadKind::Delta,
-                rows: delta.row_count() as u64,
-                bytes: delta_bytes,
-                full_table_bytes,
-            });
-            bytes_moved += delta_bytes;
-            let source_delta = source_deltas.remove(other).expect("pre-flight ran");
-            let peer = self.peers.get_mut(other).expect("peer exists");
-            let peer_name = peer.name.clone();
-            trace.push(
-                "4",
-                t_applied,
-                &peer_name,
-                format!(
-                    "fetched `{table_id}` delta ({} row(s)) from {updater_name}",
-                    delta.row_count()
-                ),
-            );
-            peer.apply_remote_delta(table_id, &delta, &source_delta, new_hash, version)?;
-            trace.push(
-                "5",
-                t_applied,
-                &peer_name,
-                format!("reflected `{table_id}` delta into source via BX-put"),
-            );
-            appliers.push(*other);
-        }
-        self.clock_ms = self.clock_ms.max(visible_ms);
+        // Steps 4–5: parallel fan-out to every other sharing peer.
+        let fan = self.fanout_apply(&mut prepared, version, committed_ms, &mut trace)?;
 
         // Acks: peers confirm on chain; the table stays locked until all
         // acks commit (the paper's barrier).
-        let mut ack_txs = Vec::with_capacity(others.len());
-        for other in &others {
-            let ack = AckUpdateArgs {
-                table_id: table_id.to_string(),
-                version,
-                applied_hash: new_hash,
-            };
-            let tx = self.submit_call(*other, "ack_update", &ack, Some(table_id.to_string()))?;
-            ack_txs.push(tx);
-        }
-        for tx in &ack_txs {
-            self.produce_blocks_until_receipt(tx, 32)?;
-            self.expect_success(tx)?;
+        let ack_txs = self.submit_ack_round(table_id, version, prepared.new_hash, &fan.others)?;
+        self.produce_blocks_until_all(&ack_txs)?;
+        for t in &ack_txs {
+            self.expect_success(t)?;
         }
         let synced_ms = self.clock_ms;
-        if !others.is_empty() {
+        if !fan.others.is_empty() {
             trace.push(
                 "m",
                 synced_ms,
                 "contract",
                 format!(
                     "all {} peer(s) acked version {version}; table unlocked",
-                    others.len()
+                    fan.others.len()
                 ),
             );
         }
 
-        // Step 6: dependency check. In delta mode the answer is already
-        // tracked: applying the update stashed a pending delta on every
-        // sibling share whose lens the source delta touched.
+        // Step 6: dependency check on every peer that applied the change
+        // (and the updater itself), with recursive cascades.
+        let mut participants = fan.others.clone();
+        participants.push(updater);
+        let (cascades, failed_cascades) =
+            self.step6_cascades(table_id, &participants, active, depth, &mut trace)?;
+
+        active.remove(table_id);
+        Ok(UpdateReport {
+            table_id: table_id.to_string(),
+            version,
+            submitted_ms,
+            committed_ms,
+            visible_ms: fan.visible_ms,
+            synced_ms,
+            changed_attrs: prepared.attrs,
+            rows_moved: fan.rows_moved,
+            bytes_moved: fan.bytes_moved,
+            tx_ids: {
+                let mut ids = vec![tx];
+                ids.extend(ack_txs.iter().copied());
+                ids
+            },
+            cascades,
+            failed_cascades,
+            trace,
+        })
+    }
+
+    /// Fig. 5 Step 1 plus the pre-flight translatability check, per
+    /// propagation mode.
+    ///
+    /// * Delta — the pending delta relative to the committed baseline
+    ///   (tracked at write time; falls back to a full diff only for
+    ///   out-of-band edits), plus every sharing peer's pre-translated
+    ///   `put_delta` result, kept and reused at apply time.
+    /// * FullTable — the regenerated whole view, with every sharing
+    ///   peer's full `put` checked before anything commits on chain.
+    fn prepare_update(
+        &mut self,
+        updater: AccountId,
+        table_id: &str,
+        trace: &mut WorkflowTrace,
+    ) -> Result<PreparedUpdate> {
+        match self.config.propagation {
+            PropagationMode::Delta => {
+                let (updater_name, delta, attrs, new_hash) = {
+                    let peer = self
+                        .peers
+                        .get_mut(&updater)
+                        .ok_or_else(|| CoreError::UnknownPeer(updater.to_string()))?;
+                    let delta = peer.prepare_update_delta(table_id)?;
+                    if delta.is_empty() {
+                        return Err(CoreError::NoChange(table_id.to_string()));
+                    }
+                    let attrs: Vec<String> =
+                        changed_attrs_from_delta(peer.baseline(table_id)?, &delta)
+                            .into_iter()
+                            .collect();
+                    let new_hash = peer.shared_hash(table_id)?;
+                    (peer.name.clone(), delta, attrs, new_hash)
+                };
+                trace.push(
+                    "1",
+                    self.clock_ms,
+                    &updater_name,
+                    format!(
+                        "computed `{table_id}` delta via BX-get-delta ({} row(s)); changed attrs: [{}]",
+                        delta.row_count(),
+                        attrs.join(", ")
+                    ),
+                );
+                // Pre-flight: every sharing peer must be able to translate
+                // the delta into its source (`put_delta` must succeed)
+                // *before* anything commits on chain.
+                let meta0 = self.share_meta(table_id)?;
+                let mut source_deltas: BTreeMap<AccountId, TableDelta> = BTreeMap::new();
+                for other in meta0.peers.iter().filter(|p| **p != updater) {
+                    let peer = self
+                        .peers
+                        .get(other)
+                        .ok_or_else(|| CoreError::UnknownPeer(other.to_string()))?;
+                    source_deltas.insert(*other, peer.translate_remote_delta(table_id, &delta)?);
+                }
+                Ok(PreparedUpdate {
+                    updater,
+                    updater_name,
+                    table_id: table_id.to_string(),
+                    attrs,
+                    new_hash,
+                    payload: PreparedPayload::Delta {
+                        delta,
+                        source_deltas,
+                    },
+                })
+            }
+            PropagationMode::FullTable => {
+                let (updater_name, current_view, attrs) = {
+                    let peer = self
+                        .peers
+                        .get(&updater)
+                        .ok_or_else(|| CoreError::UnknownPeer(updater.to_string()))?;
+                    let current = peer.regenerate_view(table_id)?;
+                    let baseline = peer.baseline(table_id)?;
+                    let attrs: Vec<String> =
+                        changed_attrs(baseline, &current).into_iter().collect();
+                    (peer.name.clone(), current, attrs)
+                };
+                if attrs.is_empty() {
+                    return Err(CoreError::NoChange(table_id.to_string()));
+                }
+                let new_hash = current_view.content_hash();
+                trace.push(
+                    "1",
+                    self.clock_ms,
+                    &updater_name,
+                    format!(
+                        "regenerated `{table_id}` via BX-get; changed attrs: [{}]",
+                        attrs.join(", ")
+                    ),
+                );
+                // Pre-flight: every sharing peer must be able to translate
+                // the new view into its source (`put` must succeed) before
+                // anything commits on chain.
+                let meta0 = self.share_meta(table_id)?;
+                for other in meta0.peers.iter().filter(|p| **p != updater) {
+                    let peer = self
+                        .peers
+                        .get(other)
+                        .ok_or_else(|| CoreError::UnknownPeer(other.to_string()))?;
+                    let binding = peer.binding(table_id)?;
+                    let source = peer.db.table(&binding.source_table)?;
+                    medledger_bx::exec::put(&binding.lens, source, &current_view)?;
+                }
+                Ok(PreparedUpdate {
+                    updater,
+                    updater_name,
+                    table_id: table_id.to_string(),
+                    attrs,
+                    new_hash,
+                    payload: PreparedPayload::Full { view: current_view },
+                })
+            }
+        }
+    }
+
+    /// Advances the updater's own stored copy and committed baseline to
+    /// the state the contract just committed.
+    fn commit_local(&mut self, prepared: &PreparedUpdate, version: u64) -> Result<()> {
+        let peer = self
+            .peers
+            .get_mut(&prepared.updater)
+            .expect("updater exists");
+        match &prepared.payload {
+            PreparedPayload::Delta { delta, .. } => {
+                peer.commit_delta(&prepared.table_id, delta, version)
+            }
+            PreparedPayload::Full { view } => peer.commit_view(&prepared.table_id, view, version),
+        }
+    }
+
+    /// Steps 4–5 for every sharing peer other than the updater: fetch the
+    /// committed payload, verify it against the announced hash, apply it,
+    /// and reflect it into the local source via BX-put.
+    ///
+    /// The per-receiver verify/apply work runs on a pool of scoped
+    /// `std::thread` workers ([`fanout::run_partitioned`]): receivers map
+    /// to **disjoint** `&mut PeerNode`s, so the workers share no state and
+    /// need no locks. Everything order-sensitive — PRG latency draws,
+    /// transfer accounting, trace lines — happens serially outside the
+    /// pool, and results merge back in receiver order, so traces,
+    /// receipts and stats are byte-identical regardless of the host's
+    /// core count. Virtual time follows the same partition via
+    /// [`fanout::schedule_ms`]: `fanout_workers` parallel data channels,
+    /// each serving its chunk of receivers sequentially (0 = one channel
+    /// per receiver, i.e. full overlap).
+    fn fanout_apply(
+        &mut self,
+        prepared: &mut PreparedUpdate,
+        version: u64,
+        committed_ms: u64,
+        trace: &mut WorkflowTrace,
+    ) -> Result<FanoutSummary> {
+        let table_id = prepared.table_id.clone();
+        let updater_name = prepared.updater_name.clone();
+        let meta = self.share_meta(&table_id)?;
+        let others: Vec<AccountId> = meta
+            .peers
+            .iter()
+            .copied()
+            .filter(|p| *p != prepared.updater)
+            .collect();
+
+        // Payload accounting, identical for every receiver.
+        let (kind, rows_moved, payload_bytes, full_table_bytes) = match &prepared.payload {
+            PreparedPayload::Delta { delta, .. } => {
+                let peer = self.peers.get(&prepared.updater).expect("updater exists");
+                let full: u64 = peer
+                    .shared_table(&table_id)?
+                    .rows()
+                    .map(|r| r.encode().len() as u64)
+                    .sum();
+                (
+                    PayloadKind::Delta,
+                    delta.row_count() as u64,
+                    delta.encoded_size() as u64,
+                    full,
+                )
+            }
+            PreparedPayload::Full { view } => {
+                let bytes: u64 = view.rows().map(|r| r.encode().len() as u64).sum();
+                (PayloadKind::FullTable, view.len() as u64, bytes, bytes)
+            }
+        };
+
+        // Per-receiver latency draws, in receiver order (the PRG sequence
+        // is part of the deterministic contract — thread count must never
+        // change it).
+        let mut service: Vec<u64> = Vec::with_capacity(others.len());
+        for _ in &others {
+            let notify = self.config.p2p_latency.sample(&mut self.prg);
+            let fetch = self.config.p2p_latency.sample(&mut self.prg)
+                + self.config.p2p_latency.sample(&mut self.prg);
+            service.push(notify + fetch);
+        }
+        let virtual_channels = match self.config.fanout_workers {
+            0 => others.len().max(1),
+            w => w,
+        };
+        let applied_at = fanout::schedule_ms(committed_ms, &service, virtual_channels);
+        let names: Vec<String> = others
+            .iter()
+            .map(|a| {
+                self.peers
+                    .get(a)
+                    .map(|p| p.name.clone())
+                    .unwrap_or_else(|| a.to_string())
+            })
+            .collect();
+
+        // Parallel apply over disjoint mutable peer references. In auto
+        // mode (`fanout_workers == 0`) tiny payloads run inline: a
+        // one-row delta's per-receiver apply is microseconds, not worth
+        // a thread spawn. An explicit worker count is always honored.
+        let exec_workers = if self.config.fanout_workers == 0
+            && rows_moved * (others.len() as u64) < PARALLEL_FANOUT_MIN_ROWS
+        {
+            1
+        } else {
+            self.exec_fanout_workers(others.len())
+        };
+        let new_hash = prepared.new_hash;
+        let tid: &str = &table_id;
+        let results: Vec<Result<()>> = {
+            let wanted: BTreeSet<AccountId> = others.iter().copied().collect();
+            let mut refs: BTreeMap<AccountId, &mut PeerNode> = self
+                .peers
+                .iter_mut()
+                .filter(|(a, _)| wanted.contains(a))
+                .map(|(a, p)| (*a, p))
+                .collect();
+            match &mut prepared.payload {
+                PreparedPayload::Delta {
+                    delta,
+                    source_deltas,
+                } => {
+                    let jobs: Vec<(&mut PeerNode, TableDelta)> = others
+                        .iter()
+                        .map(|a| {
+                            (
+                                refs.remove(a).expect("sharing peer exists"),
+                                source_deltas.remove(a).expect("pre-flight ran"),
+                            )
+                        })
+                        .collect();
+                    let delta: &TableDelta = delta;
+                    fanout::run_partitioned(jobs, exec_workers, move |(peer, source_delta)| {
+                        peer.apply_remote_delta(tid, delta, &source_delta, new_hash, version)
+                    })
+                }
+                PreparedPayload::Full { view } => {
+                    let jobs: Vec<&mut PeerNode> = others
+                        .iter()
+                        .map(|a| refs.remove(a).expect("sharing peer exists"))
+                        .collect();
+                    let view: &Table = view;
+                    fanout::run_partitioned(jobs, exec_workers, move |peer| {
+                        peer.apply_remote_view(tid, view, new_hash, version)
+                    })
+                }
+            }
+        };
+
+        // Deterministic merge in receiver order. Unlike the old serial
+        // pipeline (which stopped at the first failed receiver), the
+        // pool contacts EVERY receiver — so every receiver's transfer is
+        // accounted and traced, keeping stats in agreement with actual
+        // peer state even on the error path. A receiver whose apply
+        // failed self-reverted; its trace records the failure, and the
+        // first error is surfaced after the merge. (Workers could
+        // accumulate their own `DataPlaneStats` and fold them with
+        // `DataPlaneStats::merge`; since every transfer of one update is
+        // identical, recording here in receiver order is byte-identical
+        // and simpler.)
+        let mut visible_ms = committed_ms;
+        let mut bytes_moved = 0u64;
+        let mut first_err: Option<CoreError> = None;
+        for i in 0..others.len() {
+            visible_ms = visible_ms.max(applied_at[i]);
+            self.stats.p2p_transfers += 1;
+            self.stats.p2p_bytes += payload_bytes;
+            self.stats.data_plane.record(&DataTransfer {
+                kind,
+                rows: rows_moved,
+                bytes: payload_bytes,
+                full_table_bytes,
+            });
+            bytes_moved += payload_bytes;
+            let fetched = match kind {
+                PayloadKind::Delta => {
+                    format!("fetched `{table_id}` delta ({rows_moved} row(s)) from {updater_name}")
+                }
+                PayloadKind::FullTable => {
+                    format!("fetched updated `{table_id}` from {updater_name}")
+                }
+            };
+            trace.push("4", applied_at[i], &names[i], fetched);
+            match &results[i] {
+                Err(e) => {
+                    trace.push(
+                        "5",
+                        applied_at[i],
+                        &names[i],
+                        format!("FAILED to apply `{table_id}` (local copy self-reverted): {e}"),
+                    );
+                    if first_err.is_none() {
+                        first_err = Some(e.clone());
+                    }
+                }
+                Ok(()) => {
+                    let reflected = match kind {
+                        PayloadKind::Delta => {
+                            format!("reflected `{table_id}` delta into source via BX-put")
+                        }
+                        PayloadKind::FullTable => {
+                            format!("reflected `{table_id}` into source via BX-put")
+                        }
+                    };
+                    trace.push("5", applied_at[i], &names[i], reflected);
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        self.clock_ms = self.clock_ms.max(visible_ms);
+        Ok(FanoutSummary {
+            others,
+            visible_ms,
+            bytes_moved,
+            rows_moved,
+        })
+    }
+
+    /// OS threads for the fan-out pool: the configured channel count, or
+    /// (auto, `0`) whatever parallelism the host offers, capped at the
+    /// receiver count.
+    fn exec_fanout_workers(&self, receivers: usize) -> usize {
+        let w = match self.config.fanout_workers {
+            0 => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            w => w,
+        };
+        w.min(receivers.max(1))
+    }
+
+    /// Submits one `ack_update` per receiver (the paper's barrier: the
+    /// table stays locked until every ack commits).
+    fn submit_ack_round(
+        &mut self,
+        table_id: &str,
+        version: u64,
+        applied_hash: Hash256,
+        others: &[AccountId],
+    ) -> Result<Vec<TxId>> {
+        let mut ack_txs = Vec::with_capacity(others.len());
+        for other in others {
+            let ack = AckUpdateArgs {
+                table_id: table_id.to_string(),
+                version,
+                applied_hash,
+            };
+            ack_txs.push(self.submit_call(
+                *other,
+                "ack_update",
+                &ack,
+                Some(table_id.to_string()),
+            )?);
+        }
+        Ok(ack_txs)
+    }
+
+    /// The Fig. 5 **Step 6** dependency check on every participant, with
+    /// recursive cascades (Steps 7–11). The propagation mode decides how
+    /// "does this share now differ?" is answered: O(pending) tracking in
+    /// delta mode, a full regenerate-and-diff in full-table mode.
+    fn step6_cascades(
+        &mut self,
+        table_id: &str,
+        participants: &[AccountId],
+        active: &mut BTreeSet<String>,
+        depth: usize,
+        trace: &mut WorkflowTrace,
+    ) -> Result<CascadeOutcome> {
         let mut cascades = Vec::new();
         let mut failed_cascades: Vec<(String, String)> = Vec::new();
-        let mut participants = appliers;
-        participants.push(updater);
         for account in participants {
             let candidates = {
-                let peer = self.peers.get(&account).expect("peer exists");
+                let peer = self.peers.get(account).expect("peer exists");
                 peer.overlapping_shares(table_id)?
             };
             for other_table in candidates {
@@ -918,8 +1311,15 @@ impl System {
                     continue;
                 }
                 let (peer_name, differs) = {
-                    let peer = self.peers.get(&account).expect("peer exists");
-                    (peer.name.clone(), peer.has_pending_change(&other_table)?)
+                    let peer = self.peers.get(account).expect("peer exists");
+                    let differs = match self.config.propagation {
+                        PropagationMode::Delta => peer.has_pending_change(&other_table)?,
+                        PropagationMode::FullTable => {
+                            let regenerated = peer.regenerate_view(&other_table)?;
+                            !changed_attrs(peer.baseline(&other_table)?, &regenerated).is_empty()
+                        }
+                    };
+                    (peer.name.clone(), differs)
                 };
                 trace.push(
                     "6",
@@ -935,7 +1335,7 @@ impl System {
                     ),
                 );
                 if differs {
-                    match self.propagate_inner(account, &other_table, active, depth + 1) {
+                    match self.propagate_inner(*account, &other_table, active, depth + 1) {
                         Ok(report) => cascades.push(report),
                         // A denied or untranslatable cascade must not roll
                         // back the committed parent update; record it. The
@@ -958,289 +1358,374 @@ impl System {
                 }
             }
         }
+        Ok((cascades, failed_cascades))
+    }
 
-        active.remove(table_id);
-        Ok(UpdateReport {
-            table_id: table_id.to_string(),
-            version,
-            submitted_ms,
-            committed_ms,
-            visible_ms,
-            synced_ms,
-            changed_attrs: attrs,
-            rows_moved: delta.row_count() as u64,
-            bytes_moved,
-            tx_ids: {
-                let mut ids = vec![tx];
-                ids.extend(ack_txs.iter().copied());
-                ids
-            },
-            cascades,
-            failed_cascades,
-            trace,
+    // ----- group commit ------------------------------------------------
+
+    /// Screens a prospective commit group for members that cannot share
+    /// a block. A member is inadmissible (`Some(CoreError::Conflicted)`)
+    /// when — earlier members winning —
+    ///
+    /// * an earlier member already claims the same table,
+    /// * the mempool still holds a transaction for the table, or
+    /// * the table *interacts* with an earlier member's table: some
+    ///   sharing peer binds both to one source with overlapping lens
+    ///   footprints, so committing one would cascade into (or absorb
+    ///   uncommitted state of) the other. Interacting tables must
+    ///   serialize across groups, exactly like same-table claims.
+    pub fn screen_group(&self, entries: &[GroupEntry]) -> Vec<Option<CoreError>> {
+        let queued = self.mempool.pending_conflict_keys();
+        let mut out: Vec<Option<CoreError>> = Vec::with_capacity(entries.len());
+        let mut admitted: Vec<&str> = Vec::new();
+        for e in entries {
+            let conflicted = queued.contains(&e.table_id)
+                || admitted.iter().any(|t| *t == e.table_id)
+                || admitted
+                    .iter()
+                    .any(|t| self.tables_interact(t, &e.table_id));
+            if conflicted {
+                out.push(Some(CoreError::Conflicted(e.table_id.clone())));
+            } else {
+                admitted.push(&e.table_id);
+                out.push(None);
+            }
+        }
+        out
+    }
+
+    /// True iff some sharing peer of `a` also participates in `b` with
+    /// an overlapping lens footprint on the same source — the Step-6
+    /// dependency relation, applied pairwise to group members.
+    fn tables_interact(&self, a: &str, b: &str) -> bool {
+        let Ok(meta) = self.share_meta(a) else {
+            return false;
+        };
+        meta.peers.iter().any(|acct| {
+            self.peers.get(acct).is_some_and(|p| {
+                p.overlapping_shares(a)
+                    .is_ok_and(|list| list.iter().any(|t| t == b))
+            })
         })
     }
 
-    /// Full-table propagation: the paper-literal baseline. Whole tables
-    /// are regenerated, diffed, exchanged and re-`put` on every update.
-    fn propagate_full(
-        &mut self,
-        updater: AccountId,
-        table_id: &str,
-        active: &mut BTreeSet<String>,
-        depth: usize,
-    ) -> Result<UpdateReport> {
-        active.insert(table_id.to_string());
-        let mut trace = WorkflowTrace::default();
-        let submitted_ms = self.clock_ms;
-
-        // Step 1: regenerate the view from the updated source and diff
-        // against the last committed baseline.
-        let (updater_name, current_view, attrs) = {
-            let peer = self
-                .peers
-                .get(&updater)
-                .ok_or_else(|| CoreError::UnknownPeer(updater.to_string()))?;
-            let current = peer.regenerate_view(table_id)?;
-            let baseline = peer.baseline(table_id)?;
-            let attrs: Vec<String> = changed_attrs(baseline, &current).into_iter().collect();
-            (peer.name.clone(), current, attrs)
-        };
-        if attrs.is_empty() {
-            active.remove(table_id);
-            return Err(CoreError::NoChange(table_id.to_string()));
+    /// Commits many staged updates touching **distinct** shared tables in
+    /// one block and one scheduled consensus round, then fans each update
+    /// out to its receivers and batches all acknowledgement rounds.
+    ///
+    /// The paper's conflict rule — one update per shared table per block,
+    /// enforced by `Mempool::select` and re-checked by chain validation —
+    /// becomes the batching criterion instead of a one-at-a-time limiter:
+    /// because group members touch distinct tables, all their
+    /// `request_update` transactions fit in the next block, so consensus
+    /// cost per update drops to `~(1 + receivers) / group_size` blocks
+    /// (and the request round alone to `1 / group_size`).
+    ///
+    /// Outcomes are demultiplexed per member: a denied or untranslatable
+    /// member fails alone — callers roll back exactly that member's
+    /// staged writes via its inverse deltas — while the rest of the block
+    /// commits. A member targeting a table that an earlier member (or a
+    /// transaction still queued in the mempool) already claims fails with
+    /// [`CoreError::Conflicted`]. A whole-group `Err` is reserved for
+    /// engine-level failures (e.g. consensus death) where nothing
+    /// committed.
+    pub fn commit_group(&mut self, entries: &[GroupEntry]) -> Result<Vec<GroupEntryResult>> {
+        fn fail(error: CoreError, committed_on_chain: bool) -> GroupEntryFailure {
+            GroupEntryFailure {
+                error,
+                committed_on_chain,
+            }
         }
-        let new_hash = current_view.content_hash();
-        trace.push(
-            "1",
-            self.clock_ms,
-            &updater_name,
-            format!(
-                "regenerated `{table_id}` via BX-get; changed attrs: [{}]",
-                attrs.join(", ")
-            ),
-        );
+        let mut slots: Vec<Option<GroupEntryResult>> = entries.iter().map(|_| None).collect();
 
-        // Pre-flight: every sharing peer must be able to translate the
-        // new view into its source (`put` must succeed) *before* anything
-        // commits on chain — otherwise a peer could be left unable to
-        // apply an already-committed update.
-        {
-            let meta0 = self.share_meta(table_id)?;
-            for other in meta0.peers.iter().filter(|p| **p != updater) {
-                let peer = self
-                    .peers
-                    .get(other)
-                    .ok_or_else(|| CoreError::UnknownPeer(other.to_string()))?;
-                let binding = peer.binding(table_id)?;
-                let source = peer.db.table(&binding.source_table)?;
-                medledger_bx::exec::put(&binding.lens, source, &current_view)?;
+        // Conflict screening (see [`System::screen_group`]): distinct,
+        // non-interacting tables only, none with a transaction still
+        // queued from outside the group.
+        for (i, screen) in self.screen_group(entries).into_iter().enumerate() {
+            if let Some(err) = screen {
+                slots[i] = Some(Err(fail(err, false)));
             }
         }
 
-        // Step 2: request the update from the smart contract.
-        let args = RequestUpdateArgs {
-            table_id: table_id.to_string(),
-            new_hash,
-            changed_attrs: attrs.clone(),
-        };
-        let tx = self.submit_call(updater, "request_update", &args, Some(table_id.to_string()))?;
-        trace.push(
-            "2",
-            self.clock_ms,
-            &updater_name,
-            format!("sent update request tx {} to sharing contract", tx.short()),
-        );
-
-        // Step 3: consensus + permission verification.
-        self.produce_blocks_until_receipt(&tx, 32)?;
-        if let Err(e) = self.expect_success(&tx) {
-            trace.push(
-                "3",
-                self.clock_ms,
-                "contract",
-                format!("permission DENIED: {e}"),
-            );
-            active.remove(table_id);
-            return Err(e);
+        // Phase 1 — Step 1 + pre-flight per member, then submit every
+        // `request_update` (distinct conflict keys: the next block takes
+        // them all).
+        struct InFlight {
+            idx: usize,
+            prepared: PreparedUpdate,
+            trace: WorkflowTrace,
+            submitted_ms: u64,
+            tx: TxId,
         }
-        let committed_ms = self.clock_ms;
-        let meta = self.share_meta(table_id)?;
-        let version = meta.version;
-        trace.push(
-            "3",
-            committed_ms,
-            "contract",
-            format!(
-                "permission verified; update committed at height {} (version {version})",
-                self.chain.height()
-            ),
-        );
-
-        // The updater's copy and baseline advance to the committed view.
-        {
-            let peer = self.peers.get_mut(&updater).expect("updater exists");
-            peer.commit_view(table_id, &current_view, version)?;
-        }
-
-        // Steps 4–5: every other sharing peer is notified, fetches the
-        // data from the updater, applies it, and reflects it into its
-        // source via BX-put.
-        let others: Vec<AccountId> = meta
-            .peers
-            .iter()
-            .copied()
-            .filter(|p| *p != updater)
-            .collect();
-        let view_bytes: u64 = current_view.rows().map(|r| r.encode().len() as u64).sum();
-        let mut visible_ms = committed_ms;
-        let mut bytes_moved = 0u64;
-        let mut appliers: Vec<AccountId> = Vec::new();
-        for other in &others {
-            let notify = self.config.p2p_latency.sample(&mut self.prg);
-            let fetch = self.config.p2p_latency.sample(&mut self.prg)
-                + self.config.p2p_latency.sample(&mut self.prg);
-            let t_applied = committed_ms + notify + fetch;
-            visible_ms = visible_ms.max(t_applied);
-            self.stats.p2p_transfers += 1;
-            self.stats.p2p_bytes += view_bytes;
-            self.stats.data_plane.record(&DataTransfer {
-                kind: PayloadKind::FullTable,
-                rows: current_view.len() as u64,
-                bytes: view_bytes,
-                full_table_bytes: view_bytes,
-            });
-            bytes_moved += view_bytes;
-            let peer = self.peers.get_mut(other).expect("peer exists");
-            let peer_name = peer.name.clone();
-            trace.push(
-                "4",
-                t_applied,
-                &peer_name,
-                format!("fetched updated `{table_id}` from {updater_name}"),
-            );
-            peer.apply_remote_view(table_id, &current_view, new_hash, version)?;
-            trace.push(
-                "5",
-                t_applied,
-                &peer_name,
-                format!("reflected `{table_id}` into source via BX-put"),
-            );
-            appliers.push(*other);
-        }
-        self.clock_ms = self.clock_ms.max(visible_ms);
-
-        // Acks: peers confirm on chain; the table stays locked until all
-        // acks commit (the paper's barrier).
-        let mut ack_txs = Vec::with_capacity(others.len());
-        for other in &others {
-            let ack = AckUpdateArgs {
-                table_id: table_id.to_string(),
-                version,
-                applied_hash: new_hash,
-            };
-            let tx = self.submit_call(*other, "ack_update", &ack, Some(table_id.to_string()))?;
-            ack_txs.push(tx);
-        }
-        for tx in &ack_txs {
-            self.produce_blocks_until_receipt(tx, 32)?;
-            self.expect_success(tx)?;
-        }
-        let synced_ms = self.clock_ms;
-        if !others.is_empty() {
-            trace.push(
-                "m",
-                synced_ms,
-                "contract",
-                format!(
-                    "all {} peer(s) acked version {version}; table unlocked",
-                    others.len()
-                ),
-            );
-        }
-
-        // Step 6: dependency check on every peer that applied the change
-        // (and the updater itself): do other shares on the same source
-        // overlap and now differ from their committed baseline?
-        let mut cascades = Vec::new();
-        let mut failed_cascades: Vec<(String, String)> = Vec::new();
-        let mut participants = appliers;
-        participants.push(updater);
-        for account in participants {
-            let candidates = {
-                let peer = self.peers.get(&account).expect("peer exists");
-                peer.overlapping_shares(table_id)?
-            };
-            for other_table in candidates {
-                if active.contains(&other_table) {
+        let mut inflight: Vec<InFlight> = Vec::new();
+        for (i, e) in entries.iter().enumerate() {
+            if slots[i].is_some() {
+                continue;
+            }
+            let mut trace = WorkflowTrace::default();
+            let submitted_ms = self.clock_ms;
+            let prepared = match self.prepare_update(e.updater.account(), &e.table_id, &mut trace) {
+                Ok(p) => p,
+                Err(err) => {
+                    slots[i] = Some(Err(fail(err, false)));
                     continue;
                 }
-                let (peer_name, differs) = {
-                    let peer = self.peers.get(&account).expect("peer exists");
-                    let regenerated = peer.regenerate_view(&other_table)?;
-                    let baseline = peer.baseline(&other_table)?;
-                    (
-                        peer.name.clone(),
-                        !changed_attrs(baseline, &regenerated).is_empty(),
-                    )
-                };
-                trace.push(
-                    "6",
-                    self.clock_ms,
-                    &peer_name,
-                    format!(
-                        "dependency check: `{other_table}` overlaps `{table_id}`; {}",
-                        if differs {
-                            "content changed → cascade (steps 7-11)"
-                        } else {
-                            "content unchanged → no cascade"
-                        }
-                    ),
-                );
-                if differs {
-                    match self.propagate_inner(account, &other_table, active, depth + 1) {
-                        Ok(report) => cascades.push(report),
-                        // A denied or untranslatable cascade must not roll
-                        // back the committed parent update; record it.
-                        Err(
-                            e @ (CoreError::TxReverted(_)
-                            | CoreError::Bx(_)
-                            | CoreError::NoChange(_)),
-                        ) => {
-                            trace.push(
-                                "6",
-                                self.clock_ms,
-                                &peer_name,
-                                format!("cascade into `{other_table}` blocked: {e}"),
-                            );
-                            failed_cascades.push((other_table.clone(), e.to_string()));
-                        }
-                        Err(e) => return Err(e),
-                    }
+            };
+            let args = RequestUpdateArgs {
+                table_id: e.table_id.clone(),
+                new_hash: prepared.new_hash,
+                changed_attrs: prepared.attrs.clone(),
+            };
+            match self.submit_call(
+                prepared.updater,
+                "request_update",
+                &args,
+                Some(e.table_id.clone()),
+            ) {
+                Ok(tx) => {
+                    trace.push(
+                        "2",
+                        self.clock_ms,
+                        &prepared.updater_name,
+                        format!(
+                            "sent update request tx {} to sharing contract (group of {})",
+                            tx.short(),
+                            entries.len()
+                        ),
+                    );
+                    inflight.push(InFlight {
+                        idx: i,
+                        prepared,
+                        trace,
+                        submitted_ms,
+                        tx,
+                    });
                 }
+                Err(err) => slots[i] = Some(Err(fail(err, false))),
             }
         }
 
-        active.remove(table_id);
-        Ok(UpdateReport {
-            table_id: table_id.to_string(),
-            version,
-            submitted_ms,
-            committed_ms,
-            visible_ms,
-            synced_ms,
-            changed_attrs: attrs,
-            rows_moved: current_view.len() as u64,
-            bytes_moved,
-            tx_ids: {
-                let mut ids = vec![tx];
-                ids.extend(ack_txs.iter().copied());
-                ids
-            },
-            cascades,
-            failed_cascades,
-            trace,
-        })
+        // Phase 2 — one consensus wait for the whole group (a single
+        // scheduled round when the block limit admits everything). If
+        // block production dies mid-group, some requests may already
+        // have committed in earlier blocks: report each member with an
+        // accurate commit point instead of a whole-group error, so
+        // callers only roll back members whose update never reached the
+        // chain.
+        let request_txs: Vec<TxId> = inflight.iter().map(|f| f.tx).collect();
+        if let Err(e) = self.produce_blocks_until_all(&request_txs) {
+            for f in inflight {
+                let committed = matches!(
+                    self.receipts.get(&f.tx),
+                    Some((_, r)) if r.status.is_success()
+                );
+                slots[f.idx] = Some(Err(fail(e.clone(), committed)));
+            }
+            return Ok(slots
+                .into_iter()
+                .map(|s| s.expect("every group member resolved"))
+                .collect());
+        }
+
+        // Phase 3 — demultiplex receipts; committed members advance their
+        // updater and fan out to their receivers.
+        struct CommittedEntry {
+            idx: usize,
+            table_id: String,
+            updater: AccountId,
+            new_hash: Hash256,
+            attrs: Vec<String>,
+            trace: WorkflowTrace,
+            submitted_ms: u64,
+            committed_ms: u64,
+            version: u64,
+            tx: TxId,
+            fan: FanoutSummary,
+            ack_txs: Vec<TxId>,
+        }
+        let mut committed: Vec<CommittedEntry> = Vec::new();
+        for f in inflight {
+            let InFlight {
+                idx,
+                mut prepared,
+                mut trace,
+                submitted_ms,
+                tx,
+            } = f;
+            if let Err(e) = self.expect_success(&tx) {
+                trace.push(
+                    "3",
+                    self.clock_ms,
+                    "contract",
+                    format!("permission DENIED: {e}"),
+                );
+                slots[idx] = Some(Err(fail(e, false)));
+                continue;
+            }
+            let committed_ms = self.receipt_time(&tx).unwrap_or(self.clock_ms);
+            let height = self
+                .receipts
+                .get(&tx)
+                .map(|(h, _)| *h)
+                .unwrap_or_else(|| self.chain.height());
+            let version = match self.share_meta(&prepared.table_id) {
+                Ok(meta) => meta.version,
+                Err(e) => {
+                    slots[idx] = Some(Err(fail(e, true)));
+                    continue;
+                }
+            };
+            trace.push(
+                "3",
+                committed_ms,
+                "contract",
+                format!(
+                    "permission verified; update committed at height {height} (version {version})"
+                ),
+            );
+            if let Err(e) = self.commit_local(&prepared, version) {
+                slots[idx] = Some(Err(fail(e, true)));
+                continue;
+            }
+            match self.fanout_apply(&mut prepared, version, committed_ms, &mut trace) {
+                Ok(fan) => committed.push(CommittedEntry {
+                    idx,
+                    table_id: prepared.table_id,
+                    updater: prepared.updater,
+                    new_hash: prepared.new_hash,
+                    attrs: prepared.attrs,
+                    trace,
+                    submitted_ms,
+                    committed_ms,
+                    version,
+                    tx,
+                    fan,
+                    ack_txs: Vec::new(),
+                }),
+                Err(e) => slots[idx] = Some(Err(fail(e, true))),
+            }
+        }
+
+        // Phase 4 — submit every member's acks, then wait for all of them
+        // together. Acks of the same table still serialize across blocks
+        // (the conflict rule), but acks of distinct tables share blocks,
+        // so the group pays ~max-receivers ack rounds instead of the sum.
+        let mut survivors: Vec<CommittedEntry> = Vec::new();
+        for mut c in committed {
+            match self.submit_ack_round(&c.table_id, c.version, c.new_hash, &c.fan.others) {
+                Ok(acks) => {
+                    c.ack_txs = acks;
+                    survivors.push(c);
+                }
+                Err(e) => slots[c.idx] = Some(Err(fail(e, true))),
+            }
+        }
+        let all_acks: Vec<TxId> = survivors
+            .iter()
+            .flat_map(|c| c.ack_txs.iter().copied())
+            .collect();
+        if let Err(e) = self.produce_blocks_until_all(&all_acks) {
+            // Every survivor's update is already on chain; an ack-phase
+            // consensus failure is post-commit for all of them.
+            for c in survivors {
+                slots[c.idx] = Some(Err(fail(e.clone(), true)));
+            }
+            return Ok(slots
+                .into_iter()
+                .map(|s| s.expect("every group member resolved"))
+                .collect());
+        }
+
+        // Phase 5 — per member: verify acks, close the trace, run the
+        // Step-6 dependency check and cascades.
+        for mut c in survivors {
+            let mut ack_err = None;
+            let mut synced_ms = c.committed_ms;
+            for t in &c.ack_txs {
+                if let Err(e) = self.expect_success(t) {
+                    ack_err = Some(e);
+                    break;
+                }
+                synced_ms = synced_ms.max(self.receipt_time(t).unwrap_or(self.clock_ms));
+            }
+            if let Some(e) = ack_err {
+                slots[c.idx] = Some(Err(fail(e, true)));
+                continue;
+            }
+            if !c.fan.others.is_empty() {
+                c.trace.push(
+                    "m",
+                    synced_ms,
+                    "contract",
+                    format!(
+                        "all {} peer(s) acked version {}; table unlocked",
+                        c.fan.others.len(),
+                        c.version
+                    ),
+                );
+            }
+            let mut participants = c.fan.others.clone();
+            participants.push(c.updater);
+            let mut active = BTreeSet::new();
+            active.insert(c.table_id.clone());
+            match self.step6_cascades(&c.table_id, &participants, &mut active, 0, &mut c.trace) {
+                Ok((cascades, failed_cascades)) => {
+                    slots[c.idx] = Some(Ok(UpdateReport {
+                        table_id: c.table_id,
+                        version: c.version,
+                        submitted_ms: c.submitted_ms,
+                        committed_ms: c.committed_ms,
+                        visible_ms: c.fan.visible_ms,
+                        synced_ms,
+                        changed_attrs: c.attrs,
+                        rows_moved: c.fan.rows_moved,
+                        bytes_moved: c.fan.bytes_moved,
+                        tx_ids: {
+                            let mut ids = vec![c.tx];
+                            ids.extend(c.ack_txs.iter().copied());
+                            ids
+                        },
+                        cascades,
+                        failed_cascades,
+                        trace: c.trace,
+                    }));
+                }
+                Err(e) => slots[c.idx] = Some(Err(fail(e, true))),
+            }
+        }
+
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every group member resolved"))
+            .collect())
+    }
+
+    /// Produces blocks until every listed transaction has a receipt.
+    fn produce_blocks_until_all(&mut self, txs: &[TxId]) -> Result<()> {
+        let max_blocks = 32 + txs.len();
+        for _ in 0..max_blocks {
+            if txs.iter().all(|t| self.receipts.contains_key(t)) {
+                return Ok(());
+            }
+            self.produce_block()?;
+        }
+        if txs.iter().all(|t| self.receipts.contains_key(t)) {
+            Ok(())
+        } else {
+            Err(CoreError::ConsensusFailed(format!(
+                "{} of {} group transactions uncommitted after {max_blocks} blocks",
+                txs.iter()
+                    .filter(|t| !self.receipts.contains_key(t))
+                    .count(),
+                txs.len()
+            )))
+        }
+    }
+
+    /// Block timestamp (virtual ms) of the block holding `tx`'s receipt.
+    fn receipt_time(&self, tx: &TxId) -> Option<u64> {
+        let (height, _) = self.receipts.get(tx)?;
+        self.chain.block_at(*height).map(|b| b.header.timestamp_ms)
     }
 
     // ----- Fig. 4 CRUD on shared data ----------------------------------

@@ -1,0 +1,124 @@
+//! # medledger-engine
+//!
+//! The **concurrent commit engine**: group-commit batching plus parallel
+//! delta fan-out, layered between the typed facade (`MedLedger`) and the
+//! core `System`.
+//!
+//! The paper's Step 1–6 workflow commits one update per block and pays a
+//! consensus round per update. Its conflict rule — *at most one update
+//! per shared table per block* — is usually read as a limiter, but it is
+//! equally a **batching criterion**: updates touching *distinct* shared
+//! tables cannot conflict, so they can share one block and one scheduled
+//! PBFT round. The [`CommitQueue`] exploits exactly that:
+//!
+//! ```text
+//!   batch(T1)┐                                  ┌─ outcome(T1)
+//!   batch(T2)┼─► CommitQueue ─► ONE block ──────┼─ outcome(T2)
+//!   batch(T3)┘     (distinct     ONE PBFT round └─ outcome(T3)
+//!                   tables)          │
+//!                                    ▼
+//!                       per-update parallel fan-out
+//!                       (std::thread worker pool,
+//!                        deterministic merge order)
+//! ```
+//!
+//! * **Group commit** — [`CommitQueue::begin`] stages writes exactly like
+//!   the facade's `UpdateBatch`; [`QueuedBatch::queue`] claims the target
+//!   table (a second claim on the same table is a typed
+//!   [`CommitError::Conflicted`], not a silent re-queue);
+//!   [`CommitQueue::commit_all`] submits every member's `request_update`
+//!   into one block, batches all acknowledgement rounds, and
+//!   demultiplexes per-batch [`BatchOutcome`]s. A denied member rolls
+//!   back **only its own** staged writes via inverse deltas; the rest of
+//!   the block commits.
+//! * **Parallel fan-out** — the per-receiver fetch/`put_delta`/verify
+//!   pipeline runs on a scoped `std::thread` worker pool inside the core
+//!   `System` (receivers map to disjoint peers, so no locks), with PRG
+//!   draws, transfer accounting and trace lines merged in deterministic
+//!   receiver order. Thread count never changes results, only wall-clock;
+//!   `MedLedgerBuilder::fanout_workers` also sets how many virtual data
+//!   channels the latency model overlaps (`0` = all receivers at once,
+//!   `1` = the serial baseline).
+//!
+//! Consensus cost per update drops from `1 + receivers` blocks to
+//! `(1 + receivers) / group_size` — the request round alone amortizes to
+//! `1 / group_size`.
+//!
+//! ## Example
+//!
+//! Two doctors share two distinct ward tables with the same patient; both
+//! updates commit in one block and one PBFT round:
+//!
+//! ```
+//! use medledger_bx::LensSpec;
+//! use medledger_core::MedLedger;
+//! use medledger_engine::CommitQueue;
+//! use medledger_relational::{row, Column, Schema, Table, Value, ValueType};
+//!
+//! let mut ledger = MedLedger::builder()
+//!     .seed("engine-doc")
+//!     .pbft(100)
+//!     .peer_key_capacity(64)
+//!     .build()
+//!     .expect("ledger boots");
+//! let doctor = ledger.add_peer("Doctor").expect("add");
+//! let patient = ledger.add_peer("Patient").expect("add");
+//!
+//! // Two independent shared tables over tiny sources.
+//! for t in ["ward-a", "ward-b"] {
+//!     let schema = Schema::new(
+//!         vec![
+//!             Column::new("patient_id", ValueType::Int),
+//!             Column::new("dosage", ValueType::Text),
+//!         ],
+//!         &["patient_id"],
+//!     )
+//!     .expect("schema");
+//!     let mut table = Table::new(schema);
+//!     table.insert(row![1i64, "10 mg"]).expect("seed row");
+//!     let lens = LensSpec::project(&["patient_id", "dosage"], &["patient_id"]);
+//!     ledger
+//!         .session(doctor)
+//!         .load_source(&format!("D-{t}"), table.clone())
+//!         .expect("load");
+//!     ledger
+//!         .session(patient)
+//!         .load_source(&format!("P-{t}"), table)
+//!         .expect("load");
+//!     ledger
+//!         .session(doctor)
+//!         .share(t)
+//!         .bind(format!("D-{t}"), lens.clone())
+//!         .with(patient, format!("P-{t}"), lens)
+//!         .writers("dosage", &[doctor])
+//!         .create()
+//!         .expect("share");
+//! }
+//!
+//! // Queue one update per table, then commit them as ONE group.
+//! let blocks_before = ledger.stats().blocks;
+//! let mut queue = CommitQueue::new();
+//! for t in ["ward-a", "ward-b"] {
+//!     queue
+//!         .begin(doctor, t)
+//!         .set(vec![Value::Int(1)], "dosage", Value::text("20 mg"))
+//!         .queue()
+//!         .expect("distinct tables queue cleanly");
+//! }
+//! let outcomes = queue.commit_all(&mut ledger);
+//! assert_eq!(outcomes.len(), 2);
+//! for o in &outcomes {
+//!     o.result.as_ref().expect("both members commit");
+//! }
+//! // Both request_update transactions shared one block (one PBFT
+//! // round), plus one block for the single receiver's two acks.
+//! assert_eq!(ledger.stats().blocks - blocks_before, 2);
+//! ledger.check_consistency().expect("all peers in sync");
+//! ```
+
+#![warn(missing_docs)]
+
+mod queue;
+
+pub use medledger_core::{CommitError, CommitOutcome, GroupEntry, GroupEntryFailure};
+pub use queue::{BatchOutcome, BatchTicket, CommitQueue, QueuedBatch};

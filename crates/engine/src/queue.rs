@@ -1,0 +1,397 @@
+//! The group-commit queue: many staged batches, one block, one round.
+
+use medledger_core::{
+    CommitError, CommitOutcome, GroupEntry, MedLedger, PeerId, PendingSnapshot, System,
+};
+use medledger_ledger::Receipt;
+use medledger_relational::{Row, TableDelta, Value, WriteOp};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Handle to one queued batch; returned by [`QueuedBatch::queue`] and
+/// echoed in the matching [`BatchOutcome`] so callers can correlate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BatchTicket(usize);
+
+impl fmt::Display for BatchTicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "batch#{}", self.0)
+    }
+}
+
+/// One staged local write (mirrors the facade's `UpdateBatch` staging).
+enum StagedWrite {
+    /// A write against the shared table's materialized copy.
+    Shared(WriteOp),
+    /// A write against one of the peer's *source* tables.
+    Source { table: String, op: WriteOp },
+}
+
+struct PendingBatch {
+    ticket: BatchTicket,
+    peer: PeerId,
+    table_id: String,
+    writes: Vec<StagedWrite>,
+}
+
+/// A queue of staged update batches that commit **together**: one block,
+/// one scheduled consensus round for all their `request_update`
+/// transactions, batched acknowledgement rounds, and per-batch outcomes
+/// demultiplexed back to the caller.
+///
+/// The paper's conflict rule (one update per shared table per block) is
+/// the batching criterion: every queued batch must touch a *distinct*
+/// shared table. A second batch on the same table is rejected at queue
+/// time with [`CommitError::Conflicted`] — a typed error instead of a
+/// silent re-queue — so the caller can retry it in the next group.
+///
+/// Transactionality matches the facade: a batch whose member is denied
+/// (or untranslatable, or conflicted) rolls back exactly that batch's
+/// staged writes via inverse deltas; the other members of the block
+/// commit unaffected.
+#[derive(Default)]
+pub struct CommitQueue {
+    batches: Vec<PendingBatch>,
+    next_ticket: usize,
+}
+
+impl CommitQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued batches.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// True iff nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// The shared tables the queued batches claim, in queue order.
+    pub fn tables(&self) -> Vec<&str> {
+        self.batches.iter().map(|b| b.table_id.as_str()).collect()
+    }
+
+    /// Starts staging a batch of writes by `peer` against `table_id`.
+    /// Writes buffer on the returned [`QueuedBatch`]; nothing touches the
+    /// ledger (or the queue) until [`QueuedBatch::queue`].
+    pub fn begin(&mut self, peer: PeerId, table_id: impl Into<String>) -> QueuedBatch<'_> {
+        QueuedBatch {
+            queue: self,
+            peer,
+            table_id: table_id.into(),
+            writes: Vec::new(),
+        }
+    }
+
+    /// Commits every queued batch as one group through
+    /// [`System::commit_group`] and drains the queue. Returns one
+    /// [`BatchOutcome`] per batch, in queue order.
+    ///
+    /// Per-batch failure semantics mirror `UpdateBatch::commit`:
+    /// pre-commit failures roll back that batch's staged writes (except
+    /// [`CommitError::NoChange`], which keeps valid local edits);
+    /// post-commit failures keep local state because the update is
+    /// already on chain.
+    pub fn commit_all(&mut self, ledger: &mut MedLedger) -> Vec<BatchOutcome> {
+        let batches = std::mem::take(&mut self.batches);
+        let system = ledger.system_mut();
+        let mut outcomes: Vec<BatchOutcome> = Vec::with_capacity(batches.len());
+        let mut staged: Vec<StagedState> = Vec::new();
+
+        // Screen BEFORE staging (see `System::screen_group`): a batch
+        // whose table interacts with an earlier batch's table — same
+        // table, a still-queued transaction, or overlapping lens
+        // footprints on a shared source at any peer — must not even
+        // stage, or its uncommitted writes could leak into the other
+        // member's committed payload or Step-6 cascades.
+        let screens = system.screen_group(
+            &batches
+                .iter()
+                .map(|b| GroupEntry::new(b.peer, b.table_id.clone()))
+                .collect::<Vec<_>>(),
+        );
+
+        // Stage the admitted batches' writes on their peers, recording
+        // the inverse deltas + pending snapshot needed to undo exactly
+        // one batch. Two batches from the SAME peer must also touch
+        // disjoint local tables (a write can fan into sibling shares and
+        // the common source): an overlap here is the same conflict, and
+        // the later batch is unstaged on the spot. This disjointness is
+        // also what makes per-batch rollback order-independent.
+        for (b, screen) in batches.into_iter().zip(screens) {
+            if let Some(err) = screen {
+                outcomes.push(BatchOutcome::failed(
+                    &b,
+                    CommitError::from_core(err, system),
+                ));
+                continue;
+            }
+            let pending = match system.peer(b.peer) {
+                Ok(node) => node.pending_snapshot(),
+                Err(e) => {
+                    outcomes.push(BatchOutcome::failed(&b, CommitError::Engine(e)));
+                    continue;
+                }
+            };
+            let mut inverses: Vec<(String, TableDelta)> = Vec::new();
+            let result = (|| -> medledger_core::Result<()> {
+                let node = system.peer_mut(b.peer)?;
+                for w in &b.writes {
+                    match w {
+                        StagedWrite::Shared(op) => {
+                            inverses.extend(node.write_shared(&b.table_id, op.clone())?)
+                        }
+                        StagedWrite::Source { table, op } => {
+                            inverses.extend(node.write_source(table, op.clone())?)
+                        }
+                    }
+                }
+                Ok(())
+            })();
+            match result {
+                Ok(()) => {
+                    let touched: BTreeSet<String> =
+                        inverses.iter().map(|(t, _)| t.clone()).collect();
+                    let same_peer_overlap = staged
+                        .iter()
+                        .any(|s| s.batch.peer == b.peer && !s.touched.is_disjoint(&touched));
+                    if same_peer_overlap {
+                        rollback(system, b.peer, &inverses, pending);
+                        outcomes.push(BatchOutcome::failed(
+                            &b,
+                            CommitError::Conflicted {
+                                table_id: b.table_id.clone(),
+                            },
+                        ));
+                        continue;
+                    }
+                    let outcome_idx = outcomes.len();
+                    outcomes.push(BatchOutcome {
+                        ticket: b.ticket,
+                        peer: b.peer,
+                        table_id: b.table_id.clone(),
+                        result: Err(CommitError::EmptyBatch {
+                            table_id: b.table_id.clone(),
+                        }), // placeholder, always overwritten below
+                    });
+                    staged.push(StagedState {
+                        outcome_idx,
+                        batch: b,
+                        inverses,
+                        touched,
+                        pending,
+                    });
+                }
+                Err(e) => {
+                    rollback(system, b.peer, &inverses, pending);
+                    outcomes.push(BatchOutcome::failed(&b, CommitError::from_core(e, system)));
+                }
+            }
+        }
+
+        // One group commit for everything that staged cleanly.
+        let entries: Vec<GroupEntry> = staged
+            .iter()
+            .map(|s| GroupEntry::new(s.batch.peer, s.batch.table_id.clone()))
+            .collect();
+        match system.commit_group(&entries) {
+            Ok(results) => {
+                for (s, r) in staged.into_iter().zip(results) {
+                    outcomes[s.outcome_idx].result = match r {
+                        Ok(report) => {
+                            let mut receipts = Vec::new();
+                            medledger_core::facade::collect_receipts(
+                                system,
+                                &report,
+                                &mut receipts,
+                            );
+                            Ok(CommitOutcome {
+                                trace: report.trace.clone(),
+                                receipts,
+                                report,
+                            })
+                        }
+                        Err(f) => {
+                            let err = CommitError::from_core(f.error, system);
+                            // Keep local state for NoChange (valid local
+                            // edits, nothing to propagate) and for
+                            // post-commit failures (the chain already has
+                            // the update); roll back everything else.
+                            if !f.committed_on_chain && !err.is_no_change() {
+                                rollback(system, s.batch.peer, &s.inverses, s.pending);
+                            }
+                            Err(err.with_commit_point(f.committed_on_chain))
+                        }
+                    };
+                }
+            }
+            Err(e) => {
+                // Whole-group engine failure before anything committed:
+                // undo every staged batch.
+                for s in staged {
+                    rollback(system, s.batch.peer, &s.inverses, s.pending);
+                    outcomes[s.outcome_idx].result = Err(CommitError::from_core(e.clone(), system));
+                }
+            }
+        }
+        outcomes
+    }
+
+    fn claim(&mut self, peer: PeerId, table_id: String, writes: Vec<StagedWrite>) -> BatchTicket {
+        let ticket = BatchTicket(self.next_ticket);
+        self.next_ticket += 1;
+        self.batches.push(PendingBatch {
+            ticket,
+            peer,
+            table_id,
+            writes,
+        });
+        ticket
+    }
+}
+
+struct StagedState {
+    outcome_idx: usize,
+    batch: PendingBatch,
+    inverses: Vec<(String, TableDelta)>,
+    /// Local tables the staged writes touched (target share, siblings,
+    /// sources) — same-peer batches must touch disjoint sets.
+    touched: BTreeSet<String>,
+    pending: PendingSnapshot,
+}
+
+fn rollback(
+    system: &mut System,
+    peer: PeerId,
+    inverses: &[(String, TableDelta)],
+    pending: PendingSnapshot,
+) {
+    let node = system.peer_mut(peer).expect("peer exists");
+    node.rollback_writes(inverses, pending);
+}
+
+/// A batch of writes being staged for the queue (the engine's counterpart
+/// of the facade's `UpdateBatch`; writes buffer locally until
+/// [`QueuedBatch::queue`] claims the table in the [`CommitQueue`]).
+#[must_use = "staged writes do nothing until .queue()"]
+pub struct QueuedBatch<'q> {
+    queue: &'q mut CommitQueue,
+    peer: PeerId,
+    table_id: String,
+    writes: Vec<StagedWrite>,
+}
+
+impl QueuedBatch<'_> {
+    /// Stages an entry-level insert into the shared table.
+    pub fn insert(mut self, row: Row) -> Self {
+        self.writes
+            .push(StagedWrite::Shared(WriteOp::Insert { row }));
+        self
+    }
+
+    /// Stages an entry-level multi-attribute update.
+    pub fn update(mut self, key: Vec<Value>, assignments: Vec<(String, Value)>) -> Self {
+        self.writes
+            .push(StagedWrite::Shared(WriteOp::Update { key, assignments }));
+        self
+    }
+
+    /// Stages a single-attribute update (sugar over [`QueuedBatch::update`]).
+    pub fn set(self, key: Vec<Value>, attr: impl Into<String>, value: Value) -> Self {
+        self.update(key, vec![(attr.into(), value)])
+    }
+
+    /// Stages an entry-level delete.
+    pub fn delete(mut self, key: Vec<Value>) -> Self {
+        self.writes
+            .push(StagedWrite::Shared(WriteOp::Delete { key }));
+        self
+    }
+
+    /// Stages an update against one of the peer's *source* tables; the
+    /// change reaches the shared table through the lens on commit.
+    pub fn update_source(
+        mut self,
+        table: impl Into<String>,
+        key: Vec<Value>,
+        assignments: Vec<(String, Value)>,
+    ) -> Self {
+        self.writes.push(StagedWrite::Source {
+            table: table.into(),
+            op: WriteOp::Update { key, assignments },
+        });
+        self
+    }
+
+    /// Number of staged writes.
+    pub fn staged(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Claims the target table in the queue.
+    ///
+    /// Fails with [`CommitError::Conflicted`] when another queued batch
+    /// already claims the same shared table (the paper's
+    /// one-update-per-table-per-block rule, surfaced as a typed error —
+    /// retry in the next group), and with [`CommitError::EmptyBatch`]
+    /// when nothing was staged.
+    ///
+    /// (The error type matches the facade's commit taxonomy on purpose;
+    /// its size is dominated by the receipt variants.)
+    #[allow(clippy::result_large_err)]
+    pub fn queue(self) -> Result<BatchTicket, CommitError> {
+        if self.writes.is_empty() {
+            return Err(CommitError::EmptyBatch {
+                table_id: self.table_id,
+            });
+        }
+        if self
+            .queue
+            .batches
+            .iter()
+            .any(|b| b.table_id == self.table_id)
+        {
+            return Err(CommitError::Conflicted {
+                table_id: self.table_id,
+            });
+        }
+        Ok(self.queue.claim(self.peer, self.table_id, self.writes))
+    }
+}
+
+/// Per-batch result of [`CommitQueue::commit_all`], in queue order.
+pub struct BatchOutcome {
+    /// The ticket [`QueuedBatch::queue`] returned for this batch.
+    pub ticket: BatchTicket,
+    /// The peer that staged the batch.
+    pub peer: PeerId,
+    /// The shared table the batch targeted.
+    pub table_id: String,
+    /// The commit outcome — the same [`CommitOutcome`] / [`CommitError`]
+    /// taxonomy the facade's `UpdateBatch::commit` returns.
+    pub result: Result<CommitOutcome, CommitError>,
+}
+
+impl BatchOutcome {
+    fn failed(b: &PendingBatch, e: CommitError) -> Self {
+        BatchOutcome {
+            ticket: b.ticket,
+            peer: b.peer,
+            table_id: b.table_id.clone(),
+            result: Err(e),
+        }
+    }
+
+    /// The receipts of a successful commit (empty on failure).
+    pub fn receipts(&self) -> &[Receipt] {
+        match &self.result {
+            Ok(o) => &o.receipts,
+            Err(_) => &[],
+        }
+    }
+}

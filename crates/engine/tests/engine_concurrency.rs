@@ -1,0 +1,610 @@
+//! Concurrency-safety and determinism tests for the commit engine.
+//!
+//! The contract under test: group commits over N fan-out worker threads
+//! and M distinct shared tables end in a final state **byte-identical**
+//! to serial facade commits of the same updates, with receipt and trace
+//! ordering fully deterministic; a denied group member rolls back alone;
+//! and claiming an already-claimed table is a typed
+//! [`CommitError::Conflicted`], not a silent re-queue.
+
+#![allow(clippy::result_large_err)]
+
+use medledger_bx::LensSpec;
+use medledger_core::{CommitError, ConsensusKind, GroupEntry, MedLedger, PeerId, PropagationMode};
+use medledger_engine::CommitQueue;
+use medledger_relational::{row, Column, Schema, Table, Value, ValueType, WriteOp};
+
+const ROWS_PER_TABLE: i64 = 3;
+
+fn ward_schema() -> Schema {
+    Schema::new(
+        vec![
+            Column::new("patient_id", ValueType::Int),
+            Column::new("dosage", ValueType::Text),
+        ],
+        &["patient_id"],
+    )
+    .expect("schema")
+}
+
+fn ward_table() -> Table {
+    let mut t = Table::new(ward_schema());
+    for pid in 1..=ROWS_PER_TABLE {
+        t.insert(row![pid, "10 mg"]).expect("seed row");
+    }
+    t
+}
+
+struct Hub {
+    ledger: MedLedger,
+    hub: PeerId,
+    receivers: Vec<PeerId>,
+    tables: Vec<String>,
+}
+
+/// A hub peer sharing `n_tables` distinct tables with `n_receivers`
+/// receiver peers. `deny_hub_on` marks tables whose `dosage` attribute
+/// the hub may NOT write (the first receiver holds the permission).
+fn hub_ledger(
+    seed: &str,
+    n_tables: usize,
+    n_receivers: usize,
+    mode: PropagationMode,
+    fanout_workers: usize,
+    deny_hub_on: &[usize],
+    key_capacity: usize,
+) -> Hub {
+    let mut ledger = MedLedger::builder()
+        .seed(seed)
+        .consensus(ConsensusKind::PrivatePbft {
+            block_interval_ms: 100,
+        })
+        .propagation(mode)
+        .fanout_workers(fanout_workers)
+        .peer_key_capacity(key_capacity)
+        .build()
+        .expect("ledger boots");
+    let hub = ledger.add_peer("Hub").expect("add hub");
+    let receivers: Vec<PeerId> = (0..n_receivers)
+        .map(|i| ledger.add_peer(&format!("R{i}")).expect("add receiver"))
+        .collect();
+    let lens = LensSpec::project(&["patient_id", "dosage"], &["patient_id"]);
+    let tables: Vec<String> = (0..n_tables).map(|i| format!("ward-{i}")).collect();
+    for (i, t) in tables.iter().enumerate() {
+        ledger
+            .session(hub)
+            .load_source(&format!("H-{t}"), ward_table())
+            .expect("hub source");
+        for (j, r) in receivers.iter().enumerate() {
+            ledger
+                .session(*r)
+                .load_source(&format!("R{j}-{t}"), ward_table())
+                .expect("receiver source");
+        }
+        let mut session = ledger.session(hub);
+        let mut share = session
+            .share(t.clone())
+            .bind(format!("H-{t}"), lens.clone());
+        for (j, r) in receivers.iter().enumerate() {
+            share = share.with(*r, format!("R{j}-{t}"), lens.clone());
+        }
+        let dosage_writers: Vec<PeerId> = if deny_hub_on.contains(&i) {
+            vec![receivers[0]]
+        } else {
+            vec![hub]
+        };
+        share
+            .writers("dosage", &dosage_writers)
+            .writers("patient_id", &[hub])
+            .create()
+            .expect("create share");
+    }
+    Hub {
+        ledger,
+        hub,
+        receivers,
+        tables,
+    }
+}
+
+/// Fingerprints of every peer's database, in peer order.
+fn fingerprints(hub: &Hub) -> Vec<String> {
+    let mut peers = vec![hub.hub];
+    peers.extend(hub.receivers.iter().copied());
+    peers
+        .iter()
+        .map(|p| {
+            format!(
+                "{:?}",
+                hub.ledger.system().peer(*p).expect("peer").db.fingerprint()
+            )
+        })
+        .collect()
+}
+
+fn group_round(hub: &mut Hub, rev: usize) -> Vec<Result<Vec<String>, CommitError>> {
+    let mut queue = CommitQueue::new();
+    for t in hub.tables.clone() {
+        queue
+            .begin(hub.hub, t)
+            .set(
+                vec![Value::Int(1)],
+                "dosage",
+                Value::text(format!("rev-{rev}")),
+            )
+            .queue()
+            .expect("distinct tables queue cleanly");
+    }
+    queue
+        .commit_all(&mut hub.ledger)
+        .into_iter()
+        .map(|o| {
+            o.result
+                .map(|ok| ok.receipts.iter().map(|r| r.tx_id.short()).collect())
+        })
+        .collect()
+}
+
+#[test]
+fn conflicted_queue_claim_is_a_typed_error() {
+    let mut hub = hub_ledger("eng-conflict", 2, 1, PropagationMode::Delta, 0, &[], 16);
+    let mut queue = CommitQueue::new();
+    queue
+        .begin(hub.hub, "ward-0")
+        .set(vec![Value::Int(1)], "dosage", Value::text("first"))
+        .queue()
+        .expect("first claim");
+    // Regression: a second batch on the same shared table must surface a
+    // typed Conflicted error (it used to be possible to silently re-queue
+    // behind the first at the mempool level).
+    let err = queue
+        .begin(hub.hub, "ward-0")
+        .set(vec![Value::Int(2)], "dosage", Value::text("second"))
+        .queue()
+        .unwrap_err();
+    assert!(err.is_conflicted(), "got {err}");
+    assert!(matches!(err, CommitError::Conflicted { ref table_id } if table_id == "ward-0"));
+    // A distinct table still queues, and the group commits cleanly.
+    queue
+        .begin(hub.hub, "ward-1")
+        .set(vec![Value::Int(1)], "dosage", Value::text("other"))
+        .queue()
+        .expect("distinct table");
+    let outcomes = queue.commit_all(&mut hub.ledger);
+    assert_eq!(outcomes.len(), 2);
+    for o in &outcomes {
+        o.result.as_ref().expect("both commit");
+    }
+    // After the drain, the table can be claimed again.
+    queue
+        .begin(hub.hub, "ward-0")
+        .set(vec![Value::Int(1)], "dosage", Value::text("third"))
+        .queue()
+        .expect("fresh claim after drain");
+    hub.ledger.check_consistency().expect("consistent");
+}
+
+#[test]
+fn system_level_duplicate_group_members_conflict() {
+    let mut hub = hub_ledger("eng-sysdup", 1, 1, PropagationMode::Delta, 0, &[], 8);
+    let hub_id = hub.hub;
+    let system = hub.ledger.system_mut();
+    system
+        .peer_mut(hub_id)
+        .expect("hub")
+        .write_shared(
+            "ward-0",
+            WriteOp::Update {
+                key: vec![Value::Int(1)],
+                assignments: vec![("dosage".into(), Value::text("dup"))],
+            },
+        )
+        .expect("stage");
+    let results = system
+        .commit_group(&[
+            GroupEntry::new(hub_id, "ward-0"),
+            GroupEntry::new(hub_id, "ward-0"),
+        ])
+        .expect("group runs");
+    assert!(results[0].is_ok(), "first claim commits");
+    let failure = results[1].as_ref().unwrap_err();
+    assert!(!failure.committed_on_chain);
+    assert!(matches!(
+        failure.error,
+        medledger_core::CoreError::Conflicted(ref t) if t == "ward-0"
+    ));
+}
+
+#[test]
+fn group_commit_matches_serial_commits_byte_identically() {
+    const TABLES: usize = 5;
+    let mut grouped = hub_ledger(
+        "eng-vs-serial",
+        TABLES,
+        2,
+        PropagationMode::Delta,
+        0,
+        &[],
+        32,
+    );
+    let mut serial = hub_ledger(
+        "eng-vs-serial",
+        TABLES,
+        2,
+        PropagationMode::Delta,
+        0,
+        &[],
+        32,
+    );
+
+    let blocks_before = grouped.ledger.stats().blocks;
+    for r in group_round(&mut grouped, 1) {
+        r.expect("group member commits");
+    }
+    let grouped_blocks = grouped.ledger.stats().blocks - blocks_before;
+
+    let blocks_before = serial.ledger.stats().blocks;
+    for t in serial.tables.clone() {
+        serial
+            .ledger
+            .session(serial.hub)
+            .begin(t)
+            .set(vec![Value::Int(1)], "dosage", Value::text("rev-1"))
+            .commit()
+            .expect("serial commit");
+    }
+    let serial_blocks = serial.ledger.stats().blocks - blocks_before;
+
+    // Same final bytes on every peer...
+    assert_eq!(fingerprints(&grouped), fingerprints(&serial));
+    grouped
+        .ledger
+        .check_consistency()
+        .expect("grouped consistent");
+    serial
+        .ledger
+        .check_consistency()
+        .expect("serial consistent");
+    // ...at a fraction of the consensus cost: the group pays one request
+    // block for all five updates (serial pays five), and its ack rounds
+    // amortize across tables.
+    assert!(
+        grouped_blocks < serial_blocks,
+        "grouped {grouped_blocks} blocks vs serial {serial_blocks}"
+    );
+    assert!(
+        grouped_blocks as usize <= 1 + 2,
+        "1 request block + <= receiver-count ack blocks, got {grouped_blocks}"
+    );
+}
+
+#[test]
+fn stress_thread_counts_and_tables_stay_byte_identical() {
+    const TABLES: usize = 4;
+    const ROUNDS: usize = 2;
+    let mut reference: Option<Vec<String>> = None;
+    for workers in [1usize, 2, 4] {
+        let mut hub = hub_ledger(
+            "eng-stress",
+            TABLES,
+            2,
+            PropagationMode::Delta,
+            workers,
+            &[],
+            32,
+        );
+        for rev in 1..=ROUNDS {
+            for r in group_round(&mut hub, rev) {
+                r.expect("member commits");
+            }
+        }
+        hub.ledger.check_consistency().expect("consistent");
+        let fp = fingerprints(&hub);
+        match &reference {
+            None => reference = Some(fp),
+            Some(expected) => assert_eq!(
+                &fp, expected,
+                "{workers} fan-out workers changed the final state"
+            ),
+        }
+    }
+}
+
+#[test]
+fn receipt_and_trace_ordering_is_deterministic() {
+    // Same seed, same workload; `0` (auto threads, every receiver on its
+    // own virtual channel) vs an explicit channel per receiver must agree
+    // byte-for-byte on receipts AND traces — thread scheduling must never
+    // leak into results.
+    let run = |workers: usize| {
+        let mut hub = hub_ledger("eng-det", 3, 2, PropagationMode::Delta, workers, &[], 16);
+        let mut receipts: Vec<String> = Vec::new();
+        let mut traces = String::new();
+        for rev in 1..=2 {
+            let mut queue = CommitQueue::new();
+            for t in hub.tables.clone() {
+                queue
+                    .begin(hub.hub, t)
+                    .set(
+                        vec![Value::Int(2)],
+                        "dosage",
+                        Value::text(format!("rev-{rev}")),
+                    )
+                    .queue()
+                    .expect("queue");
+            }
+            for o in queue.commit_all(&mut hub.ledger) {
+                let outcome = o.result.expect("commits");
+                receipts.extend(outcome.receipts.iter().map(|r| r.tx_id.short()));
+                traces.push_str(&outcome.trace.render());
+            }
+        }
+        (receipts, traces, fingerprints(&hub))
+    };
+    let (receipts_auto, traces_auto, fp_auto) = run(0);
+    let (receipts_three, traces_three, fp_three) = run(3);
+    assert_eq!(receipts_auto, receipts_three);
+    assert_eq!(traces_auto, traces_three);
+    assert_eq!(fp_auto, fp_three);
+    // Repeatability: the exact same call produces the exact same bytes.
+    let (receipts_again, traces_again, fp_again) = run(0);
+    assert_eq!(receipts_auto, receipts_again);
+    assert_eq!(traces_auto, traces_again);
+    assert_eq!(fp_auto, fp_again);
+}
+
+#[test]
+fn group_commit_delta_and_full_table_modes_agree() {
+    let run = |mode: PropagationMode| {
+        let mut hub = hub_ledger("eng-modes", 2, 2, mode, 0, &[], 16);
+        for rev in 1..=2 {
+            for r in group_round(&mut hub, rev) {
+                r.expect("member commits");
+            }
+        }
+        hub.ledger.check_consistency().expect("consistent");
+        fingerprints(&hub)
+    };
+    assert_eq!(
+        run(PropagationMode::Delta),
+        run(PropagationMode::FullTable),
+        "group commits must be mode-equivalent"
+    );
+}
+
+#[test]
+fn denied_member_rolls_back_alone() {
+    for mode in [PropagationMode::Delta, PropagationMode::FullTable] {
+        // The hub may not write dosage on ward-1; ward-0 and ward-2 are
+        // fine. All three go into one group.
+        let mut hub = hub_ledger("eng-denied", 3, 1, mode, 0, &[1], 16);
+        let before = hub
+            .ledger
+            .reader(hub.hub)
+            .read("ward-1")
+            .expect("read ward-1");
+        let outcomes = group_round(&mut hub, 1);
+        outcomes[0].as_ref().expect("ward-0 commits");
+        outcomes[2].as_ref().expect("ward-2 commits");
+        let err = outcomes[1].as_ref().unwrap_err();
+        assert!(err.is_permission_denied(), "{mode:?}: got {err}");
+        assert!(
+            err.receipt().is_some(),
+            "{mode:?}: denial carries the reverted on-chain receipt"
+        );
+        // The denied batch's staged writes were rolled back — the hub's
+        // ward-1 copy is untouched — while the committed members stand.
+        let after = hub
+            .ledger
+            .reader(hub.hub)
+            .read("ward-1")
+            .expect("read ward-1");
+        assert_eq!(before, after, "{mode:?}: denied member rolled back");
+        let ward0 = hub.ledger.reader(hub.hub).read("ward-0").expect("ward-0");
+        assert_eq!(
+            ward0.get(&[Value::Int(1)]).expect("row")[1],
+            Value::text("rev-1"),
+            "{mode:?}: committed member stands"
+        );
+        // Every receiver converged on the committed members too.
+        for r in &hub.receivers {
+            let w0 = hub.ledger.reader(*r).read("ward-0").expect("ward-0");
+            assert_eq!(
+                w0.get(&[Value::Int(1)]).expect("row")[1],
+                Value::text("rev-1")
+            );
+        }
+        hub.ledger.check_consistency().expect("consistent");
+    }
+}
+
+#[test]
+fn serial_fanout_channel_is_slower_in_virtual_time() {
+    // One table, 8 receivers: with one virtual channel the last receiver
+    // sees the data after the *sum* of the transfer latencies; with one
+    // channel per receiver, after the *max*. Virtual wall-clock must
+    // reflect that ordering.
+    let visibility = |workers: usize| {
+        let mut hub = hub_ledger("eng-chan", 1, 8, PropagationMode::Delta, workers, &[], 8);
+        let outcome = hub
+            .ledger
+            .session(hub.hub)
+            .begin("ward-0")
+            .set(vec![Value::Int(1)], "dosage", Value::text("x"))
+            .commit()
+            .expect("commit");
+        outcome.visibility_latency_ms()
+    };
+    let parallel = visibility(0);
+    let serial = visibility(1);
+    assert!(
+        serial > parallel,
+        "serial fan-out ({serial} ms) must be slower than parallel ({parallel} ms)"
+    );
+}
+
+/// Topology for the interaction-conflict tests: hub X binds ONE source
+/// to two shares with overlapping lens footprints (`medication` appears
+/// in both), T1 shared with Y and T2 shared with Z.
+fn overlapping_shares_ledger(seed: &str) -> (MedLedger, PeerId, PeerId, PeerId) {
+    let schema = Schema::new(
+        vec![
+            Column::new("patient_id", ValueType::Int),
+            Column::new("medication", ValueType::Text),
+            Column::new("dosage", ValueType::Text),
+        ],
+        &["patient_id"],
+    )
+    .expect("schema");
+    let mut source = Table::new(schema);
+    source
+        .insert(row![1i64, "ibuprofen", "10 mg"])
+        .expect("row");
+    source.insert(row![2i64, "aspirin", "20 mg"]).expect("row");
+
+    let mut ledger = MedLedger::builder()
+        .seed(seed)
+        .consensus(ConsensusKind::PrivatePbft {
+            block_interval_ms: 100,
+        })
+        .peer_key_capacity(16)
+        .build()
+        .expect("boot");
+    let x = ledger.add_peer("X").expect("x");
+    let y = ledger.add_peer("Y").expect("y");
+    let z = ledger.add_peer("Z").expect("z");
+
+    let full_lens = LensSpec::project(&["patient_id", "medication", "dosage"], &["patient_id"]);
+    let med_lens = LensSpec::project(&["patient_id", "medication"], &["patient_id"]);
+    ledger
+        .session(x)
+        .load_source("SX", source.clone())
+        .expect("sx");
+    ledger
+        .session(y)
+        .load_source("SY", source.clone())
+        .expect("sy");
+    ledger
+        .session(z)
+        .load_source(
+            "SZ",
+            source
+                .project(&["patient_id", "medication"], &["patient_id"])
+                .expect("proj"),
+        )
+        .expect("sz");
+
+    ledger
+        .session(x)
+        .share("t-dose")
+        .bind("SX", full_lens.clone())
+        .with(y, "SY", full_lens)
+        .writers("dosage", &[x])
+        .writers("medication", &[x])
+        .writers("patient_id", &[x])
+        .create()
+        .expect("t-dose");
+    ledger
+        .session(x)
+        .share("t-med")
+        .bind("SX", med_lens.clone())
+        .with(z, "SZ", med_lens)
+        .writers("medication", &[x, z])
+        .writers("patient_id", &[x])
+        .create()
+        .expect("t-med");
+    (ledger, x, y, z)
+}
+
+#[test]
+fn same_peer_sibling_share_batches_conflict_and_stay_isolated() {
+    // Regression: two batches from ONE peer whose shares sit on the same
+    // source must not share a group — the second batch's staged write
+    // cascades into the first's share (sibling refresh), so its
+    // uncommitted rows would ride along with the first member's commit
+    // and a later rollback would corrupt committed state.
+    let (mut ledger, x, _y, z) = overlapping_shares_ledger("eng-sibling");
+    let med_before = ledger.reader(x).read("t-med").expect("read");
+    let mut queue = CommitQueue::new();
+    queue
+        .begin(x, "t-dose")
+        .set(vec![Value::Int(1)], "dosage", Value::text("15 mg"))
+        .queue()
+        .expect("queue t-dose");
+    queue
+        .begin(x, "t-med")
+        .set(vec![Value::Int(2)], "medication", Value::text("naproxen"))
+        .queue()
+        .expect("queue t-med (distinct table name)");
+    let outcomes = queue.commit_all(&mut ledger);
+    let dose = outcomes[0].result.as_ref().expect("t-dose commits");
+    // The committed payload carries ONLY the dosage edit — the sibling
+    // batch's medication change did not leak into it.
+    assert_eq!(dose.changed_attrs(), ["dosage"]);
+    let med_err = outcomes[1].result.as_ref().unwrap_err();
+    assert!(med_err.is_conflicted(), "got {med_err}");
+    // The conflicted batch was fully unstaged.
+    assert_eq!(med_before, ledger.reader(x).read("t-med").expect("read"));
+    assert_eq!(
+        ledger
+            .reader(z)
+            .read("t-med")
+            .expect("read")
+            .get(&[Value::Int(2)])
+            .expect("row")[1],
+        Value::text("aspirin")
+    );
+    ledger.check_consistency().expect("consistent");
+    // Retry in the NEXT group succeeds.
+    let mut retry = CommitQueue::new();
+    retry
+        .begin(x, "t-med")
+        .set(vec![Value::Int(2)], "medication", Value::text("naproxen"))
+        .queue()
+        .expect("re-queue");
+    let outcomes = retry.commit_all(&mut ledger);
+    outcomes[0].result.as_ref().expect("retry commits");
+    ledger.check_consistency().expect("consistent after retry");
+}
+
+#[test]
+fn cross_peer_overlapping_tables_conflict_before_staging() {
+    // Regression: members on DIFFERENT updaters whose tables overlap
+    // through a third peer's bindings (X binds both t-dose and t-med to
+    // one source) must not share a group either — X's fan-out of the
+    // first member would stash a Step-6 cascade that absorbs the second
+    // member's still-staged writes.
+    let (mut ledger, x, _y, z) = overlapping_shares_ledger("eng-xpeer");
+    let z_before = ledger.system().peer(z).expect("z").db.fingerprint();
+    let mut queue = CommitQueue::new();
+    queue
+        .begin(x, "t-dose")
+        .set(vec![Value::Int(1)], "dosage", Value::text("15 mg"))
+        .queue()
+        .expect("queue t-dose");
+    queue
+        .begin(z, "t-med")
+        .set(vec![Value::Int(2)], "medication", Value::text("naproxen"))
+        .queue()
+        .expect("queue t-med");
+    let outcomes = queue.commit_all(&mut ledger);
+    outcomes[0].result.as_ref().expect("t-dose commits");
+    let err = outcomes[1].result.as_ref().unwrap_err();
+    assert!(err.is_conflicted(), "got {err}");
+    // The conflicted member never staged: Z's database is bit-identical.
+    assert_eq!(
+        z_before,
+        ledger.system().peer(z).expect("z").db.fingerprint()
+    );
+    ledger.check_consistency().expect("consistent");
+    // And it commits cleanly in its own group afterwards.
+    let mut retry = CommitQueue::new();
+    retry
+        .begin(z, "t-med")
+        .set(vec![Value::Int(2)], "medication", Value::text("naproxen"))
+        .queue()
+        .expect("re-queue");
+    let outcomes = retry.commit_all(&mut ledger);
+    outcomes[0].result.as_ref().expect("retry commits");
+    ledger.check_consistency().expect("consistent after retry");
+}

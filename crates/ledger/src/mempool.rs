@@ -82,6 +82,18 @@ impl Mempool {
         }
     }
 
+    /// The conflict keys of all queued transactions. The group-commit
+    /// engine checks a new group against this set: a shared table with a
+    /// transaction still queued from an earlier round must not be claimed
+    /// again (the later batch surfaces a typed conflict instead of
+    /// silently re-queueing behind the first).
+    pub fn pending_conflict_keys(&self) -> BTreeSet<String> {
+        self.queue
+            .iter()
+            .filter_map(|t| t.tx.conflict_key.clone())
+            .collect()
+    }
+
     /// Pending transactions touching `key` (diagnostics / benches).
     pub fn pending_for_key(&self, key: &str) -> usize {
         self.queue
@@ -194,6 +206,22 @@ mod tests {
         // After commit the id can be re-added (fresh lifecycle).
         mp.remove_committed(std::slice::from_ref(&locked_tx));
         assert!(mp.add(locked_tx));
+    }
+
+    #[test]
+    fn pending_conflict_keys_tracks_queue() {
+        let mut kp = KeyPair::generate("mp-keys", 8);
+        let mut mp = Mempool::new();
+        assert!(mp.pending_conflict_keys().is_empty());
+        let a = tx(&mut kp, 0, Some("D13"));
+        mp.add(a.clone());
+        mp.add(tx(&mut kp, 1, Some("D23")));
+        mp.add(tx(&mut kp, 2, None));
+        let keys = mp.pending_conflict_keys();
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains("D13") && keys.contains("D23"));
+        mp.remove_committed(std::slice::from_ref(&a));
+        assert!(!mp.pending_conflict_keys().contains("D13"));
     }
 
     #[test]

@@ -12,10 +12,14 @@
 //! * virtual milliseconds instead of wall-clock time, so a bench can model
 //!   a 12-second Ethereum block interval (Sec. IV-1) in microseconds of
 //!   real time,
-//! * [`NetStats`] — message/byte accounting for the experiments.
+//! * [`NetStats`] — message/byte accounting for the experiments,
+//! * [`fanout`] — a deterministic worker pool (scoped `std::thread`s) plus
+//!   the matching virtual-time channel model for parallel per-receiver
+//!   data-plane fan-out.
 //!
 //! Determinism: same seed ⇒ same delivery order, bit for bit.
 
+pub mod fanout;
 pub mod latency;
 pub mod sim;
 pub mod transfer;

@@ -56,6 +56,16 @@ impl DataPlaneStats {
         self.full_table_equiv_bytes += t.full_table_bytes;
     }
 
+    /// Folds another accumulator into this one. Parallel fan-out workers
+    /// each account their own chunk of receivers; merging the per-worker
+    /// accumulators in worker order reproduces the serial totals exactly.
+    pub fn merge(&mut self, other: &DataPlaneStats) {
+        self.transfers += other.transfers;
+        self.rows += other.rows;
+        self.bytes += other.bytes;
+        self.full_table_equiv_bytes += other.full_table_equiv_bytes;
+    }
+
     /// Fraction of full-table bytes actually moved (1.0 = no saving;
     /// 0.0 with traffic = everything saved). `None` before any transfer.
     pub fn bytes_ratio(&self) -> Option<f64> {
@@ -93,5 +103,34 @@ mod tests {
         assert_eq!(s.full_table_equiv_bytes, 2_000);
         let ratio = s.bytes_ratio().expect("traffic");
         assert!((ratio - 0.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merging_per_worker_stats_reproduces_serial_totals() {
+        let transfers: Vec<DataTransfer> = (0..7)
+            .map(|i| DataTransfer {
+                kind: PayloadKind::Delta,
+                rows: i + 1,
+                bytes: 10 * (i + 1),
+                full_table_bytes: 100 * (i + 1),
+            })
+            .collect();
+        let mut serial = DataPlaneStats::default();
+        for t in &transfers {
+            serial.record(t);
+        }
+        // Two workers account disjoint chunks, then merge in order.
+        let mut w0 = DataPlaneStats::default();
+        let mut w1 = DataPlaneStats::default();
+        for t in &transfers[..4] {
+            w0.record(t);
+        }
+        for t in &transfers[4..] {
+            w1.record(t);
+        }
+        let mut merged = DataPlaneStats::default();
+        merged.merge(&w0);
+        merged.merge(&w1);
+        assert_eq!(merged, serial);
     }
 }

@@ -105,12 +105,22 @@
 //! | [`network`] | deterministic latency-modeled message simulation |
 //! | [`workload`] | synthetic EHR generation, update streams, de-identification |
 //! | [`core`] | the engine (`System`), the facade, the Fig. 1 scenario, baselines |
+//! | [`engine`] | concurrent commit engine: group-commit queue + parallel fan-out |
+//!
+//! ## Group commits
+//!
+//! Updates touching **distinct** shared tables can share one block and
+//! one consensus round: stage them on an [`engine::CommitQueue`] and
+//! call `commit_all` — per-batch outcomes come back demultiplexed, and
+//! a denied member rolls back alone. See the `medledger-engine` crate
+//! docs for a runnable example.
 
 pub use medledger_bx as bx;
 pub use medledger_consensus as consensus;
 pub use medledger_contracts as contracts;
 pub use medledger_core as core;
 pub use medledger_crypto as crypto;
+pub use medledger_engine as engine;
 pub use medledger_ledger as ledger;
 pub use medledger_network as network;
 pub use medledger_relational as relational;

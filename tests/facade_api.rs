@@ -8,7 +8,7 @@
 //! consistent after every step.
 
 use medledger::core::scenario::{self, SHARE_PD, SHARE_RD};
-use medledger::{ConsensusKind, MedLedger, SystemConfig, Value};
+use medledger::{ConsensusKind, MedLedger, PropagationMode, SystemConfig, Value};
 
 fn config(seed: &str) -> SystemConfig {
     SystemConfig {
@@ -19,6 +19,47 @@ fn config(seed: &str) -> SystemConfig {
         peer_key_capacity: 64,
         ..Default::default()
     }
+}
+
+#[test]
+fn permission_denied_commit_reverts_via_inverse_deltas_in_full_table_mode() {
+    // Regression for the delta-aware snapshot retirement: full-table
+    // mode no longer snapshots whole tables for rollback — staged
+    // writes return inverse deltas in both modes, and a denied commit
+    // must still restore the shared copy and the source exactly.
+    let mut cfg = config("facade-denied-full");
+    cfg.propagation = PropagationMode::FullTable;
+    let mut scn = scenario::build(cfg).expect("build");
+    let before = scn
+        .ledger
+        .session(scn.patient)
+        .read(SHARE_PD)
+        .expect("read");
+    let d1_before = scn.ledger.session(scn.patient).source("D1").expect("D1");
+
+    let err = scn
+        .ledger
+        .session(scn.patient)
+        .begin(SHARE_PD)
+        .set(
+            vec![Value::Int(188)],
+            "dosage",
+            Value::text("self-medicating"),
+        )
+        .commit()
+        .unwrap_err();
+    assert!(err.is_permission_denied(), "{err}");
+    assert!(err.receipt().is_some());
+
+    let after = scn
+        .ledger
+        .session(scn.patient)
+        .read(SHARE_PD)
+        .expect("read");
+    assert_eq!(before.content_hash(), after.content_hash());
+    let d1_after = scn.ledger.session(scn.patient).source("D1").expect("D1");
+    assert_eq!(d1_before.content_hash(), d1_after.content_hash());
+    scn.ledger.check_consistency().expect("consistent");
 }
 
 #[test]
