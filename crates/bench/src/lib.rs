@@ -252,7 +252,7 @@ pub fn one_group_commit(bench: &mut HubBench, batch: usize, rev: usize) -> (u64,
             .expect("distinct tables queue cleanly");
     }
     let mut sync_ms = 0;
-    for outcome in queue.commit_all(&mut bench.ledger) {
+    for (_, outcome) in queue.commit_all(&mut bench.ledger) {
         let ok = outcome.result.expect("group member commits");
         sync_ms = sync_ms.max(ok.sync_latency_ms());
     }
@@ -284,6 +284,165 @@ pub fn serial_commits(bench: &mut HubBench, batch: usize, rev: usize) -> (u64, u
 /// A medical-records table of `n` rows for lens benchmarks.
 pub fn records(n: usize, seed: &str) -> Table {
     EhrGenerator::new(seed).full_records(n)
+}
+
+// ----------------------------------------------------------------------
+// Ticketed pipeline / write-combining contention bench
+// ----------------------------------------------------------------------
+
+/// A deployment where `n_submitters` writer peers contend on ONE shared
+/// table: the pipeline's write-combining workload. Each writer owns one
+/// attribute column (`attr-i`) of the shared `ward` table, so combined
+/// same-table waves exercise per-submitter permissions.
+pub struct ContentionBench {
+    /// The pipeline service owning the ledger.
+    pub service: medledger_engine::LedgerService,
+    /// The contending writers, in registration order.
+    pub writers: Vec<PeerId>,
+}
+
+/// Builds a [`ContentionBench`] over `rows` seeded rows.
+pub fn contention_system(seed: &str, n_submitters: usize, rows: usize) -> ContentionBench {
+    let mut columns = vec![Column::new("patient_id", ValueType::Int)];
+    let mut attrs = vec!["patient_id".to_string()];
+    for i in 0..n_submitters {
+        columns.push(Column::new(format!("attr-{i}"), ValueType::Text));
+        attrs.push(format!("attr-{i}"));
+    }
+    let schema = Schema::new(columns, &["patient_id"]).expect("schema");
+    let mut table = Table::new(schema);
+    for pid in 0..rows as i64 {
+        let mut cells = vec![Value::Int(pid)];
+        cells.extend((0..n_submitters).map(|i| Value::text(format!("init-{i}"))));
+        table
+            .insert(medledger_relational::Row::new(cells))
+            .expect("seed row");
+    }
+    let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    let lens = LensSpec::project(&attr_refs, &["patient_id"]);
+
+    let mut ledger = MedLedger::builder()
+        .config(fast_pbft_config(seed))
+        .peer_key_capacity(1024)
+        .build()
+        .expect("boot");
+    let writers: Vec<PeerId> = (0..n_submitters)
+        .map(|i| ledger.add_peer(&format!("W{i}")).expect("add writer"))
+        .collect();
+    for (i, w) in writers.iter().enumerate() {
+        ledger
+            .session(*w)
+            .load_source(&format!("S{i}"), table.clone())
+            .expect("source");
+    }
+    // A share needs at least two peers: with a single submitter, a
+    // silent reader joins so the fan-out/ack path still runs.
+    let reader = if writers.len() == 1 {
+        let reader = ledger.add_peer("Reader").expect("reader");
+        ledger
+            .session(reader)
+            .load_source("SR", table)
+            .expect("source");
+        Some(reader)
+    } else {
+        None
+    };
+    let mut session = ledger.session(writers[0]);
+    let mut share = session.share("ward").bind("S0", lens.clone());
+    for (i, w) in writers.iter().enumerate().skip(1) {
+        share = share.with(*w, format!("S{i}"), lens.clone());
+    }
+    if let Some(reader) = reader {
+        share = share.with(reader, "SR", lens.clone());
+    }
+    share = share.writers("patient_id", &[writers[0]]);
+    for (i, w) in writers.iter().enumerate() {
+        share = share.writers(format!("attr-{i}"), &[*w]);
+    }
+    share.create().expect("share");
+    ContentionBench {
+        service: medledger_engine::LedgerService::new(ledger),
+        writers,
+    }
+}
+
+/// One pipeline round: every writer submits an update of its own
+/// attribute against the SAME table, then the service drains. Returns
+/// `(blocks consumed, tickets resolved)` — with write combining this is
+/// one wave: one request block (request + co-requests) plus the batched
+/// ack blocks.
+pub fn one_contended_wave(bench: &mut ContentionBench, rev: usize) -> (u64, usize) {
+    let blocks_before = bench.service.ledger().stats().blocks;
+    let tickets: Vec<_> = bench
+        .writers
+        .clone()
+        .into_iter()
+        .enumerate()
+        .map(|(i, w)| {
+            bench
+                .service
+                .submit(w, "ward")
+                .set(
+                    vec![Value::Int(0)],
+                    format!("attr-{i}"),
+                    Value::text(format!("rev-{rev}-{i}")),
+                )
+                .submit()
+                .expect("submit")
+        })
+        .collect();
+    let resolved = bench.service.drain().expect("drain");
+    for t in tickets {
+        bench
+            .service
+            .take(t)
+            .expect("resolved")
+            .expect("contended submission commits");
+    }
+    (
+        bench.service.ledger().stats().blocks - blocks_before,
+        resolved,
+    )
+}
+
+/// The PR-3 serial-conflict baseline for [`one_contended_wave`]: the same
+/// updates, one blocking facade commit at a time (the `CommitQueue` would
+/// reject the same-table claims outright, so serial commits are what a
+/// conflict-rejecting caller must fall back to). Returns blocks consumed.
+pub fn serial_contended_commits(bench: &mut ContentionBench, rev: usize) -> u64 {
+    let blocks_before = bench.service.ledger().stats().blocks;
+    for (i, w) in bench.writers.clone().into_iter().enumerate() {
+        bench
+            .service
+            .ledger_mut()
+            .session(w)
+            .begin("ward")
+            .set(
+                vec![Value::Int(0)],
+                format!("attr-{i}"),
+                Value::text(format!("serial-{rev}-{i}")),
+            )
+            .commit()
+            .expect("serial commit");
+    }
+    bench.service.ledger().stats().blocks - blocks_before
+}
+
+/// Remaining signing keys of the scarcest writer (benches rebuild before
+/// keys run dry).
+pub fn contention_keys_left(bench: &ContentionBench) -> u64 {
+    bench
+        .writers
+        .iter()
+        .map(|w| {
+            bench
+                .service
+                .ledger()
+                .remaining_keys(*w)
+                .expect("known peer")
+        })
+        .min()
+        .unwrap_or(0)
 }
 
 /// The standard projection lens used in the lens-scaling benches.

@@ -21,17 +21,21 @@
 //!   stages row-by-row, but the intermediate view must be materialized
 //!   once (an O(table) `get` of the first stage) to anchor the second
 //!   stage's lookups.
-//! * `ProjectDistinct` — genuinely non-incremental: translating a group
-//!   row's change requires knowing *all* source rows of the group (the
-//!   Fig. 5 fan-out), and group membership is not indexed; it falls back
-//!   to the full transformation plus a diff.
+//! * `ProjectDistinct` — incremental via the source-side **group index**
+//!   ([`crate::group::GroupIndex`], `group key → source row keys`):
+//!   translating a group row's change touches only that group's source
+//!   rows. With a cached index ([`get_delta_indexed`] /
+//!   [`put_delta_indexed`]) the cost is O(rows of the touched groups);
+//!   without one, a partial touched-groups-only index is built in a
+//!   single scan — no view materialization, no full diff.
 
 use crate::error::BxError;
-use crate::exec::{self, get, put};
+use crate::exec::{self, get};
+use crate::group::{group_attr_indexes, GroupIndex};
 use crate::spec::LensSpec;
 use crate::Result;
-use medledger_relational::{diff_tables, Predicate, Row, Table, TableDelta, Value};
-use std::collections::BTreeMap;
+use medledger_relational::{Predicate, RelationalError, Row, Table, TableDelta, Value};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Translates a delta of the **source** into the delta of the **view**.
 ///
@@ -60,7 +64,27 @@ pub fn get_delta(
             let mid_old = get(first, source_old)?;
             get_delta(second, &mid_old, &mid_delta)
         }
-        LensSpec::ProjectDistinct { .. } => get_delta_fallback(spec, source_old, source_delta),
+        LensSpec::ProjectDistinct { attrs, view_key } => {
+            get_delta_project_distinct(source_old, source_delta, attrs, view_key, None)
+        }
+    }
+}
+
+/// [`get_delta`] with a caller-maintained [`GroupIndex`] over the source
+/// (keyed by the `ProjectDistinct` view key). The index makes the
+/// group-membership lookups O(group) instead of a source scan; for every
+/// other combinator the index is ignored.
+pub fn get_delta_indexed(
+    spec: &LensSpec,
+    source_old: &Table,
+    source_delta: &TableDelta,
+    index: &GroupIndex,
+) -> Result<TableDelta> {
+    match spec {
+        LensSpec::ProjectDistinct { attrs, view_key } if !source_delta.is_empty() => {
+            get_delta_project_distinct(source_old, source_delta, attrs, view_key, Some(index))
+        }
+        _ => get_delta(spec, source_old, source_delta),
     }
 }
 
@@ -89,7 +113,25 @@ pub fn put_delta(spec: &LensSpec, source: &Table, view_delta: &TableDelta) -> Re
             let mid_delta = put_delta(second, &mid, view_delta)?;
             put_delta(first, source, &mid_delta)
         }
-        LensSpec::ProjectDistinct { .. } => put_delta_fallback(spec, source, view_delta),
+        LensSpec::ProjectDistinct { attrs, view_key } => {
+            put_delta_project_distinct(source, view_delta, attrs, view_key, None)
+        }
+    }
+}
+
+/// [`put_delta`] with a caller-maintained [`GroupIndex`] over the source
+/// (keyed by the `ProjectDistinct` view key); see [`get_delta_indexed`].
+pub fn put_delta_indexed(
+    spec: &LensSpec,
+    source: &Table,
+    view_delta: &TableDelta,
+    index: &GroupIndex,
+) -> Result<TableDelta> {
+    match spec {
+        LensSpec::ProjectDistinct { attrs, view_key } if !view_delta.is_empty() => {
+            put_delta_project_distinct(source, view_delta, attrs, view_key, Some(index))
+        }
+        _ => put_delta(spec, source, view_delta),
     }
 }
 
@@ -161,22 +203,136 @@ fn get_delta_select(
     Ok(out)
 }
 
-/// Non-incremental fallback: apply the delta to a copy, run the full
-/// transformation on both versions, and diff.
-fn get_delta_fallback(
-    spec: &LensSpec,
+/// `ProjectDistinct` forward direction via the group index: only the
+/// groups the source delta touches are re-projected. Equivalent to the
+/// retired full-recompute fallback (apply, full `get` twice, diff) —
+/// including the functional-dependency check, evaluated on the touched
+/// groups' post-delta rows.
+fn get_delta_project_distinct(
     source_old: &Table,
     source_delta: &TableDelta,
+    attrs: &[String],
+    view_key: &[String],
+    index: Option<&GroupIndex>,
 ) -> Result<TableDelta> {
-    let mut source_new = source_old.clone();
-    source_new
-        .apply_delta(source_delta)
-        .map_err(|e| BxError::InvalidDelta {
-            reason: format!("source delta does not apply: {e}"),
-        })?;
-    let view_old = get(spec, source_old)?;
-    let view_new = get(spec, &source_new)?;
-    Ok(diff_tables(&view_old, &view_new))
+    let src_schema = source_old.schema();
+    let group_idx = group_attr_indexes(source_old, view_key)?;
+    let attr_idx = group_attr_indexes(source_old, attrs)?;
+    let view_schema = {
+        let a: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let k: Vec<&str> = view_key.iter().map(String::as_str).collect();
+        src_schema.project(&a, &k).map_err(BxError::from)?
+    };
+    let group_of =
+        |row: &Row| -> Vec<Value> { group_idx.iter().map(|&i| row[i].clone()).collect() };
+    let proj_of = |row: &Row| -> Row { row.project(&attr_idx) };
+    let old_row = |key: &[Value]| -> Result<&Row> { lookup(source_old, key) };
+
+    // The groups whose membership or values the delta can change.
+    let mut touched: BTreeSet<Vec<Value>> = BTreeSet::new();
+    for row in &source_delta.inserts {
+        let key = src_schema.key_of(row);
+        if source_old.contains_key(&key) {
+            return Err(BxError::InvalidDelta {
+                reason: format!("insert of key {key:?} already present in the table"),
+            });
+        }
+        touched.insert(group_of(row));
+    }
+    for (key, new_row) in &source_delta.updates {
+        touched.insert(group_of(old_row(key)?));
+        touched.insert(group_of(new_row));
+    }
+    for key in &source_delta.deletes {
+        touched.insert(group_of(old_row(key)?));
+    }
+
+    // Membership of the touched groups: the cached index, or a partial
+    // one built in a single scan.
+    let partial;
+    let members = match index {
+        Some(idx) => idx,
+        None => {
+            partial = GroupIndex::build_partial(source_old, view_key, &touched)?;
+            &partial
+        }
+    };
+
+    // Keys the delta removes from / rewrites in their old group.
+    let mut displaced: BTreeMap<Vec<Value>, BTreeSet<Vec<Value>>> = BTreeMap::new();
+    for (key, _) in &source_delta.updates {
+        displaced
+            .entry(group_of(old_row(key)?))
+            .or_default()
+            .insert(key.clone());
+    }
+    for key in &source_delta.deletes {
+        displaced
+            .entry(group_of(old_row(key)?))
+            .or_default()
+            .insert(key.clone());
+    }
+
+    let mut out = TableDelta::default();
+    for group in &touched {
+        let old_members = members.rows_of(group);
+        let old_proj: Option<Row> = match old_members {
+            Some(m) => Some(proj_of(old_row(m.iter().next().expect("non-empty group"))?)),
+            None => None,
+        };
+        // Rows of this group after the delta: untouched old members keep
+        // the old projection; inserted and updated-in rows contribute
+        // their new projections.
+        let untouched_remaining = match old_members {
+            Some(m) => {
+                let gone = displaced.get(group).map(BTreeSet::len).unwrap_or(0);
+                m.len() - gone
+            }
+            None => 0,
+        };
+        let mut new_proj: Option<Row> = if untouched_remaining > 0 {
+            old_proj.clone()
+        } else {
+            None
+        };
+        let check_fd = |candidate: Row, new_proj: &mut Option<Row>| -> Result<()> {
+            match new_proj {
+                None => {
+                    *new_proj = Some(candidate);
+                    Ok(())
+                }
+                Some(existing) if *existing == candidate => Ok(()),
+                Some(existing) => Err(BxError::Relational(RelationalError::FdViolation {
+                    reason: format!(
+                        "rows with key {group:?} disagree on projected attributes: \
+                         {existing:?} vs {candidate:?}"
+                    ),
+                })),
+            }
+        };
+        for row in &source_delta.inserts {
+            if group_of(row) == *group {
+                check_fd(proj_of(row), &mut new_proj)?;
+            }
+        }
+        for (_, new_row) in &source_delta.updates {
+            if group_of(new_row) == *group {
+                check_fd(proj_of(new_row), &mut new_proj)?;
+            }
+        }
+        match (old_proj, new_proj) {
+            (Some(_), None) => out.deletes.push(group.clone()),
+            (Some(old), Some(new)) => {
+                if old != new {
+                    out.updates.push((group.clone(), new));
+                }
+            }
+            (None, Some(new)) => out.inserts.push(new),
+            (None, None) => {}
+        }
+    }
+    out.sort_canonical(|r| view_schema.key_of(r));
+    Ok(out)
 }
 
 // ----------------------------------------------------------------------
@@ -360,22 +516,96 @@ fn put_delta_rename(
     Ok(out)
 }
 
-/// Non-incremental fallback: materialize the old view, apply the delta,
-/// run the full put, and diff the sources.
-fn put_delta_fallback(
-    spec: &LensSpec,
+/// `ProjectDistinct` backward direction via the group index: a view-row
+/// change fans out to exactly its group's source rows (the Fig. 5
+/// one-edit-rewrites-every-patient-row semantics), a group delete drops
+/// them, and an insert of a brand new group stays untranslatable — all
+/// with the same error classification as the retired full-recompute
+/// fallback.
+fn put_delta_project_distinct(
     source: &Table,
     view_delta: &TableDelta,
+    attrs: &[String],
+    view_key: &[String],
+    index: Option<&GroupIndex>,
 ) -> Result<TableDelta> {
-    let view_old = get(spec, source)?;
-    let mut view_new = view_old.clone();
-    view_new
-        .apply_delta(view_delta)
-        .map_err(|e| BxError::InvalidDelta {
-            reason: format!("view delta does not apply: {e}"),
-        })?;
-    let new_source = put(spec, source, &view_new)?;
-    Ok(diff_tables(source, &new_source))
+    let src_schema = source.schema();
+    let attr_idx = group_attr_indexes(source, attrs)?;
+    let view_schema = {
+        let a: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let k: Vec<&str> = view_key.iter().map(String::as_str).collect();
+        src_schema.project(&a, &k).map_err(BxError::from)?
+    };
+
+    let mut touched: BTreeSet<Vec<Value>> = BTreeSet::new();
+    for vrow in &view_delta.inserts {
+        view_schema.check_row(vrow).map_err(invalid_view)?;
+        touched.insert(view_schema.key_of(vrow));
+    }
+    for (group, vrow) in &view_delta.updates {
+        view_schema.check_row(vrow).map_err(invalid_view)?;
+        if view_schema.key_of(vrow) != *group {
+            return Err(BxError::InvalidDelta {
+                reason: format!("view update row {vrow:?} disagrees with its declared key"),
+            });
+        }
+        touched.insert(group.clone());
+    }
+    for group in &view_delta.deletes {
+        touched.insert(group.clone());
+    }
+
+    let partial;
+    let members = match index {
+        Some(idx) => idx,
+        None => {
+            partial = GroupIndex::build_partial(source, view_key, &touched)?;
+            &partial
+        }
+    };
+    let members_of = |group: &[Value]| -> Result<&BTreeSet<Vec<Value>>> {
+        members.rows_of(group).ok_or_else(|| BxError::InvalidDelta {
+            reason: format!("delta references group key {group:?} absent from the view"),
+        })
+    };
+
+    let mut out = TableDelta::default();
+    if let Some(vrow) = view_delta.inserts.first() {
+        let group = view_schema.key_of(vrow);
+        if members.rows_of(&group).is_some() {
+            return Err(BxError::InvalidDelta {
+                reason: format!("view insert {vrow:?} duplicates an existing view row"),
+            });
+        }
+        return Err(BxError::Untranslatable {
+            reason: format!(
+                "view insert {vrow:?} introduces group key not present in the source; \
+                 no source rows exist to carry it"
+            ),
+        });
+    }
+    for (group, vrow) in &view_delta.updates {
+        for key in members_of(group)? {
+            let srow = lookup(source, key)?;
+            let mut cells: Vec<Value> = srow.iter().cloned().collect();
+            // attrs[i] sits at position i of the view row.
+            for (view_pos, &src_i) in attr_idx.iter().enumerate() {
+                cells[src_i] = vrow[view_pos].clone();
+            }
+            let merged = Row::new(cells);
+            if merged != *srow {
+                out.updates.push((key.clone(), merged));
+            }
+        }
+    }
+    for group in &view_delta.deletes {
+        for key in members_of(group)? {
+            out.deletes.push(key.clone());
+        }
+    }
+    let schema = src_schema.clone();
+    out.sort_canonical(|r| schema.key_of(r));
+    Ok(out)
 }
 
 // ----------------------------------------------------------------------
@@ -395,6 +625,7 @@ fn invalid_view(e: medledger_relational::RelationalError) -> BxError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::put;
     use medledger_relational::{row, Column, Schema, ValueType};
 
     /// The paper's D3 (doctor) shape, grown to several rows.
@@ -693,6 +924,131 @@ mod tests {
                 ..Default::default()
             },
         );
+    }
+
+    /// The indexed variants must agree with the plain ones (which build a
+    /// partial index per call), and both with the full get/put — across
+    /// inserts, deletes, group moves and group-value edits.
+    #[test]
+    fn project_distinct_indexed_matches_plain_and_full() {
+        let src = d3();
+        let lens = distinct_lens();
+        let source_deltas = [
+            // New member joins an existing group.
+            TableDelta {
+                inserts: vec![row![191i64, "Ibuprofen", "CliD4", "MeA1", "x"]],
+                ..Default::default()
+            },
+            // New group appears.
+            TableDelta {
+                inserts: vec![row![191i64, "Aspirin", "CliD4", "MeA3", "x"]],
+                ..Default::default()
+            },
+            // Last member of a group leaves → group delete.
+            TableDelta {
+                deletes: vec![vec![Value::Int(189)]],
+                ..Default::default()
+            },
+            // A member switches groups, taking the old group with it.
+            update_delta(
+                189,
+                row![189i64, "Ibuprofen", "CliD2", "MeA1", "100 mg twice daily"],
+            ),
+            // Whole-group value rewrite (both members move together).
+            TableDelta {
+                updates: vec![
+                    (
+                        vec![Value::Int(188)],
+                        row![
+                            188i64,
+                            "Ibuprofen",
+                            "CliD1",
+                            "MeA1-new",
+                            "one tablet every 4h"
+                        ],
+                    ),
+                    (
+                        vec![Value::Int(190)],
+                        row![190i64, "Ibuprofen", "CliD3", "MeA1-new", "two tablets"],
+                    ),
+                ],
+                ..Default::default()
+            },
+            // An edit outside the lens footprint: empty view delta.
+            update_delta(
+                188,
+                row![
+                    188i64,
+                    "Ibuprofen",
+                    "CliD1-x",
+                    "MeA1",
+                    "one tablet every 4h"
+                ],
+            ),
+        ];
+        let index = GroupIndex::build(&src, &["medication_name".to_string()]).expect("index");
+        for sd in &source_deltas {
+            assert_get_equiv(&lens, &src, sd);
+            let plain = get_delta(&lens, &src, sd).expect("plain");
+            let indexed = get_delta_indexed(&lens, &src, sd, &index).expect("indexed");
+            assert_eq!(plain, indexed);
+        }
+
+        let view_deltas = [
+            TableDelta {
+                updates: vec![(
+                    vec![Value::text("Ibuprofen")],
+                    row!["Ibuprofen", "MeA1-new"],
+                )],
+                ..Default::default()
+            },
+            TableDelta {
+                deletes: vec![vec![Value::text("Wellbutrin")]],
+                ..Default::default()
+            },
+        ];
+        for vd in &view_deltas {
+            assert_put_equiv(&lens, &src, vd);
+            let plain = put_delta(&lens, &src, vd).expect("plain");
+            let indexed = put_delta_indexed(&lens, &src, vd, &index).expect("indexed");
+            assert_eq!(plain, indexed);
+        }
+    }
+
+    /// A source delta breaking the functional dependency must error, just
+    /// like the full `get` would on the post-delta table.
+    #[test]
+    fn project_distinct_get_delta_rejects_fd_violation() {
+        let src = d3();
+        // Patient 190 joins the Ibuprofen group with a *different*
+        // mechanism: the group's rows now disagree.
+        let bad = update_delta(
+            190,
+            row![190i64, "Ibuprofen", "CliD3", "MeA-clash", "two tablets"],
+        );
+        let err = get_delta(&distinct_lens(), &src, &bad).unwrap_err();
+        assert!(matches!(
+            err,
+            BxError::Relational(medledger_relational::RelationalError::FdViolation { .. })
+        ));
+        // Sanity: the full path errors on the same input.
+        let mut applied = src.clone();
+        applied.apply_delta(&bad).expect("delta applies");
+        assert!(get(&distinct_lens(), &applied).is_err());
+    }
+
+    #[test]
+    fn project_distinct_put_delta_rejects_stale_group() {
+        let err = put_delta(
+            &distinct_lens(),
+            &d3(),
+            &TableDelta {
+                deletes: vec![vec![Value::text("Nonexistent")]],
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, BxError::InvalidDelta { .. }));
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod analysis;
 pub mod delta;
 pub mod error;
 pub mod exec;
+pub mod group;
 pub mod incremental;
 pub mod laws;
 pub mod spec;
@@ -53,7 +54,8 @@ pub mod spec;
 pub use analysis::LensAnalysis;
 pub use delta::{changed_attrs, changed_attrs_from_delta, diff_tables, TableDelta};
 pub use error::BxError;
-pub use incremental::{get_delta, put_delta};
+pub use group::GroupIndex;
+pub use incremental::{get_delta, get_delta_indexed, put_delta, put_delta_indexed};
 pub use laws::{check_getput, check_putget, LawViolation};
 pub use spec::LensSpec;
 

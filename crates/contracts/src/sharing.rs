@@ -96,6 +96,24 @@ pub struct RequestUpdateArgs {
     pub changed_attrs: Vec<String>,
 }
 
+/// Arguments of `co_request_update` — a co-author's signature on an
+/// update already requested by the lead updater in the same block (the
+/// write-combining path: several peers' deltas composed into one data
+/// update, each peer permission-checked and receipted individually).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CoRequestUpdateArgs {
+    /// Target metadata id.
+    pub table_id: String,
+    /// The version the lead's `request_update` is expected to commit.
+    pub version: u64,
+    /// Attributes **this co-author** changed (checked against the
+    /// co-author's write permission, not the lead's).
+    pub changed_attrs: Vec<String>,
+    /// Content hash of the composed shared data (must match what the lead
+    /// committed).
+    pub new_hash: Hash256,
+}
+
 /// Arguments of `ack_update`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct AckUpdateArgs {
@@ -178,6 +196,7 @@ impl SharingContract {
         match method {
             "register_share" => Self::register_share(state, ctx, parse(args)?),
             "request_update" => Self::request_update(state, ctx, parse(args)?),
+            "co_request_update" => Self::co_request_update(state, ctx, parse(args)?),
             "ack_update" => Self::ack_update(state, ctx, parse(args)?),
             "change_permission" => Self::change_permission(state, ctx, parse(args)?),
             "get_meta" => Self::get_meta(state, parse(args)?),
@@ -312,6 +331,68 @@ impl SharingContract {
                     "changed_attrs": args.changed_attrs,
                     "updater": ctx.sender,
                     "pending": pending,
+                }),
+            )],
+            gas_used: GAS_BASE + GAS_PER_ATTR * args.changed_attrs.len() as u64,
+        })
+    }
+
+    /// A co-author's signature on a combined (write-combined) update: the
+    /// lead peer's `request_update` committed the composed data hash
+    /// earlier in the same block; each co-author then records — under its
+    /// **own** signature and its **own** per-attribute permission — which
+    /// attributes it contributed. This is what keeps the Fig. 3
+    /// fine-grained permission matrix meaningful when several peers'
+    /// deltas share one block: the union of changed attributes is checked
+    /// across the right senders, and every co-author's receipt is
+    /// individually auditable (including denials, which revert here).
+    ///
+    /// The permission check runs **before** the version/hash match so a
+    /// denied co-author's receipt names the permission as the reason even
+    /// when its delta was (correctly) excluded from the composed data.
+    fn co_request_update(
+        state: &mut ContractState,
+        ctx: &CallCtx,
+        args: CoRequestUpdateArgs,
+    ) -> Result<CallOutput, ContractError> {
+        let meta = Self::load_meta(state, &args.table_id)
+            .ok_or_else(|| ContractError::NotFound(format!("shared table `{}`", args.table_id)))?;
+        if !meta.peers.contains(&ctx.sender) {
+            return Err(ContractError::PermissionDenied(format!(
+                "{} is not a sharing peer of `{}`",
+                ctx.sender, args.table_id
+            )));
+        }
+        if args.changed_attrs.is_empty() {
+            return Err(ContractError::BadCall(
+                "co-update must declare at least one changed attribute".into(),
+            ));
+        }
+        meta.may_write_all(&ctx.sender, &args.changed_attrs)
+            .map_err(ContractError::PermissionDenied)?;
+        if meta.version != args.version
+            || meta.content_hash != args.new_hash
+            || meta.updater.is_none()
+        {
+            return Err(ContractError::BadCall(format!(
+                "no matching in-flight update of `{}` at version {} to co-sign \
+                 (table is at version {})",
+                args.table_id, args.version, meta.version
+            )));
+        }
+        // No state change: the lead's request already committed the data
+        // hash and the ack barrier; this call is the co-author's
+        // individually-signed, individually-permissioned attestation.
+        Ok(CallOutput {
+            ret: serde_json::json!({ "co_signed": args.version }),
+            logs: vec![log(
+                ctx,
+                "CoUpdateCommitted",
+                serde_json::json!({
+                    "table_id": args.table_id,
+                    "version": args.version,
+                    "co_author": ctx.sender,
+                    "changed_attrs": args.changed_attrs,
                 }),
             )],
             gas_used: GAS_BASE + GAS_PER_ATTR * args.changed_attrs.len() as u64,
@@ -809,6 +890,114 @@ mod tests {
             },
         )
         .is_err());
+    }
+
+    #[test]
+    fn co_request_checks_own_permission_and_in_flight_match() {
+        let mut f = fixture();
+        let doctor = f.doctor;
+        let patient = f.patient;
+        let researcher = f.researcher;
+        // No in-flight update yet: a co-request by a permitted writer
+        // fails on the version match, not on permission.
+        let premature = call(
+            &mut f,
+            patient,
+            1500,
+            "co_request_update",
+            &CoRequestUpdateArgs {
+                table_id: "D13&D31".into(),
+                version: 1,
+                changed_attrs: vec!["clinical_data".into()],
+                new_hash: Hash256([2; 32]),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(premature, ContractError::BadCall(_)));
+
+        // Lead commits the composed update...
+        call(
+            &mut f,
+            doctor,
+            2000,
+            "request_update",
+            &RequestUpdateArgs {
+                table_id: "D13&D31".into(),
+                new_hash: Hash256([2; 32]),
+                changed_attrs: vec!["dosage".into()],
+            },
+        )
+        .expect("lead update");
+        // ...and the patient co-signs its own clinical_data contribution.
+        let out = call(
+            &mut f,
+            patient,
+            2000,
+            "co_request_update",
+            &CoRequestUpdateArgs {
+                table_id: "D13&D31".into(),
+                version: 1,
+                changed_attrs: vec!["clinical_data".into()],
+                new_hash: Hash256([2; 32]),
+            },
+        )
+        .expect("co-sign");
+        assert_eq!(out.logs[0].topic, "CoUpdateCommitted");
+        // The barrier is untouched: the patient still owes its ack.
+        let meta = SharingContract::load_meta(&f.state, "D13&D31").expect("meta");
+        assert!(meta.pending_acks.contains(&patient));
+
+        // A co-author without permission on its attrs is denied — the
+        // permission reason wins even though the hash would not match
+        // either (the denied delta was excluded from the composition).
+        let denied = call(
+            &mut f,
+            patient,
+            2000,
+            "co_request_update",
+            &CoRequestUpdateArgs {
+                table_id: "D13&D31".into(),
+                version: 1,
+                changed_attrs: vec!["dosage".into()],
+                new_hash: Hash256([9; 32]),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(denied, ContractError::PermissionDenied(_)));
+
+        // Outsiders and hash mismatches are rejected.
+        assert!(matches!(
+            call(
+                &mut f,
+                researcher,
+                2000,
+                "co_request_update",
+                &CoRequestUpdateArgs {
+                    table_id: "D13&D31".into(),
+                    version: 1,
+                    changed_attrs: vec!["clinical_data".into()],
+                    new_hash: Hash256([2; 32]),
+                },
+            )
+            .unwrap_err(),
+            ContractError::PermissionDenied(_)
+        ));
+        assert!(matches!(
+            call(
+                &mut f,
+                patient,
+                2000,
+                "co_request_update",
+                &CoRequestUpdateArgs {
+                    table_id: "D13&D31".into(),
+                    version: 1,
+                    changed_attrs: vec!["clinical_data".into()],
+                    new_hash: Hash256([9; 32]),
+                },
+            )
+            .unwrap_err(),
+            ContractError::BadCall(_)
+        ));
     }
 
     #[test]

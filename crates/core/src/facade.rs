@@ -138,16 +138,27 @@ impl MedLedger {
         Ok(self.system.peer(peer)?.keys.remaining())
     }
 
-    /// Read-only access to the underlying engine (experiment harnesses;
-    /// not needed for normal workflows).
+    /// Read-only access to the underlying engine.
+    ///
+    /// **Escape hatch** — hidden from the docs on purpose: application
+    /// code should not need the raw `System`. For reads use
+    /// [`MedLedger::reader`] / the accessors on this type; for pipelined
+    /// and batched commits use `medledger-engine`'s `LedgerService`
+    /// (`submit()` / `drain()`), which owns this seam internally.
+    #[doc(hidden)]
     pub fn system(&self) -> &System {
         &self.system
     }
 
-    /// Mutable access to the underlying engine — the seam the concurrent
-    /// commit engine (`medledger-engine`'s `CommitQueue`) drives group
-    /// commits through. Normal workflows go through [`PeerSession`] /
-    /// [`UpdateBatch`] instead.
+    /// Mutable access to the underlying engine.
+    ///
+    /// **Escape hatch** — hidden from the docs on purpose: this bypasses
+    /// the facade's transactional staging and rollback guarantees. The
+    /// sanctioned path for concurrent / batched commits is
+    /// `medledger-engine`'s `LedgerService` (ticketed `submit()` +
+    /// `drain()`), which drives `System::commit_group_with` through this
+    /// seam so callers never have to.
+    #[doc(hidden)]
     pub fn system_mut(&mut self) -> &mut System {
         &mut self.system
     }

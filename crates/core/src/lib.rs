@@ -48,8 +48,8 @@ pub use facade::{
 };
 pub use peer::{PeerNode, PendingSnapshot, PropagationMode};
 pub use system::{
-    ConsensusKind, GroupEntry, GroupEntryFailure, GroupEntryResult, PeerId, System, SystemConfig,
-    UpdateReport, WorkflowTrace,
+    CascadeMode, CoSubmitter, ConsensusKind, DeferredCascade, GroupCommitOutcome, GroupEntry,
+    GroupEntryFailure, GroupEntryResult, PeerId, System, SystemConfig, UpdateReport, WorkflowTrace,
 };
 
 /// Crate-wide result alias.

@@ -9,7 +9,7 @@ use crate::Result;
 use medledger_bx::{changed_attrs, changed_attrs_from_delta, TableDelta};
 use medledger_consensus::{PbftConfig, PbftRound, PowModel, ProposerSchedule};
 use medledger_contracts::sharing::{
-    AckUpdateArgs, ChangePermissionArgs, RegisterShareArgs, RequestUpdateArgs,
+    AckUpdateArgs, ChangePermissionArgs, CoRequestUpdateArgs, RegisterShareArgs, RequestUpdateArgs,
 };
 use medledger_contracts::{ContractRuntime, SharedTableMeta, SharingContract};
 use medledger_crypto::{Hash256, KeyPair, Prg};
@@ -252,6 +252,20 @@ impl UpdateReport {
     }
 }
 
+/// A co-author of a write-combined group member: a peer whose own delta
+/// was composed into the lead updater's staged change. Each co-submitter
+/// gets its own `co_request_update` transaction in the same block —
+/// permission-checked on **its** declared attributes and individually
+/// receipted (including denials, for which the engine deliberately
+/// includes pre-screened riders so the refusal is on-chain auditable).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoSubmitter {
+    /// The co-authoring peer.
+    pub peer: PeerId,
+    /// The attributes this co-author's delta changed.
+    pub attrs: Vec<String>,
+}
+
 /// One member of a group commit: a pending local change of `table_id`
 /// already staged on `updater`, to be committed alongside the other
 /// members in a single block and a single scheduled consensus round (see
@@ -262,16 +276,85 @@ pub struct GroupEntry {
     pub updater: PeerId,
     /// The shared table the change targets (distinct per group member).
     pub table_id: String,
+    /// For a write-combined member: the attributes the **lead** updater
+    /// itself changed — what its `request_update` declares instead of the
+    /// full (composed) changed-attribute set, so the contract checks each
+    /// author's permission on each author's own attributes. `None` means
+    /// the member is sole-authored and declares everything it changed.
+    pub declared_attrs: Option<Vec<String>>,
+    /// Co-authors whose deltas were composed into the member (empty for
+    /// sole-authored members).
+    pub co_submitters: Vec<CoSubmitter>,
 }
 
 impl GroupEntry {
-    /// Convenience constructor.
+    /// Convenience constructor for a sole-authored member.
     pub fn new(updater: PeerId, table_id: impl Into<String>) -> Self {
         GroupEntry {
             updater,
             table_id: table_id.into(),
+            declared_attrs: None,
+            co_submitters: Vec::new(),
         }
     }
+
+    /// Restricts the lead's declared attributes (write-combined members).
+    pub fn declaring(mut self, attrs: Vec<String>) -> Self {
+        self.declared_attrs = Some(attrs);
+        self
+    }
+
+    /// Adds a co-author with its declared attributes.
+    pub fn with_co_submitter(mut self, peer: PeerId, attrs: Vec<String>) -> Self {
+        self.co_submitters.push(CoSubmitter { peer, attrs });
+        self
+    }
+}
+
+/// How [`System::commit_group_with`] treats the Fig. 5 Step-6 cascades a
+/// committed member triggers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CascadeMode {
+    /// Run each member's cascades recursively right after the group (the
+    /// classic blocking behavior of [`System::commit_group`]).
+    Inline,
+    /// Only *detect* the cascades and return them as
+    /// [`DeferredCascade`]s, so a pipelined caller (the engine's
+    /// `LedgerService`) can re-enter cascades touching distinct tables
+    /// into its **next wave** — one more shared block and one more
+    /// scheduled round for all of them — instead of propagating each
+    /// serially.
+    Defer,
+}
+
+/// A Step-6 cascade detected but not run (see [`CascadeMode::Defer`]):
+/// `peer` holds a pending change of `table_id` caused by the committed
+/// update of `origin`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeferredCascade {
+    /// The peer whose sibling share now differs.
+    pub peer: PeerId,
+    /// The table carrying the pending cascade delta.
+    pub table_id: String,
+    /// The committed table whose update triggered the cascade.
+    pub origin: String,
+}
+
+/// What [`System::commit_group_with`] returns: per-member results, the
+/// co-authors' transaction ids (aligned with each entry's
+/// `co_submitters`, for per-submitter receipt demultiplexing), and the
+/// cascades deferred to the caller's next wave.
+#[derive(Debug)]
+pub struct GroupCommitOutcome {
+    /// Per-member outcome, in entry order.
+    pub results: Vec<GroupEntryResult>,
+    /// Per-member co-author transactions: `co_txs[i][j]` is the
+    /// `co_request_update` of `entries[i].co_submitters[j]` (resolve its
+    /// receipt via [`System::receipt`]). Empty when a member failed
+    /// before its transactions were submitted.
+    pub co_txs: Vec<Vec<TxId>>,
+    /// Cascades detected under [`CascadeMode::Defer`], deduplicated.
+    pub deferred: Vec<DeferredCascade>,
 }
 
 /// Why one member of a group commit failed while the group proceeded.
@@ -353,6 +436,9 @@ pub struct System {
     prg: Prg,
     receipts: BTreeMap<TxId, (u64, Receipt)>,
     stats: SystemStats,
+    /// The commit-pipeline wave currently producing blocks, if any
+    /// (stamped into every block header; see `BlockHeader::wave`).
+    wave: Option<u64>,
 }
 
 impl System {
@@ -391,8 +477,21 @@ impl System {
             prg,
             receipts: BTreeMap::new(),
             stats: SystemStats::default(),
+            wave: None,
             config,
         }
+    }
+
+    /// Marks the start of a commit-pipeline wave: every block produced
+    /// until [`System::end_wave`] carries `wave` in its header, so the
+    /// chain records which consensus rounds each wave paid for.
+    pub fn begin_wave(&mut self, wave: u64) {
+        self.wave = Some(wave);
+    }
+
+    /// Ends the current wave (blocks go back to unattributed).
+    pub fn end_wave(&mut self) {
+        self.wave = None;
     }
 
     /// A default system with the sharing contract deployed.
@@ -460,6 +559,14 @@ impl System {
         self.peers
             .get_mut(&peer.account())
             .ok_or_else(|| CoreError::UnknownPeer(peer.to_string()))
+    }
+
+    /// A peer's display name, falling back to the short id.
+    fn peer_name_or_id(&self, peer: PeerId) -> String {
+        self.peers
+            .get(&peer.account())
+            .map(|p| p.name.clone())
+            .unwrap_or_else(|| peer.to_string())
     }
 
     /// The Fig. 3 metadata row for a shared table, from contract state.
@@ -595,7 +702,8 @@ impl System {
             self.clock_ms,
             proposer,
             txs.clone(),
-        );
+        )
+        .in_wave(self.wave);
         self.chain.append(block)?;
         self.mempool.remove_committed(&txs);
         self.stats.blocks += 1;
@@ -1430,6 +1538,29 @@ impl System {
     /// engine-level failures (e.g. consensus death) where nothing
     /// committed.
     pub fn commit_group(&mut self, entries: &[GroupEntry]) -> Result<Vec<GroupEntryResult>> {
+        Ok(self
+            .commit_group_with(entries, CascadeMode::Inline)?
+            .results)
+    }
+
+    /// [`System::commit_group`] with explicit cascade handling and full
+    /// per-submitter demultiplexing — the seam the ticketed commit
+    /// pipeline (`medledger-engine`'s `LedgerService`) drives waves
+    /// through:
+    ///
+    /// * a write-combined member (non-empty `co_submitters`) submits the
+    ///   lead's `request_update` — declaring only the lead's own
+    ///   attributes — plus one `co_request_update` per co-author in the
+    ///   **same block**, each permission-checked on that co-author's
+    ///   declared attributes and individually receipted (`co_txs`);
+    /// * under [`CascadeMode::Defer`] the Fig. 5 Step-6 sweep only
+    ///   *detects* cascades and returns them as [`DeferredCascade`]s for
+    ///   the caller's next wave, instead of propagating each serially.
+    pub fn commit_group_with(
+        &mut self,
+        entries: &[GroupEntry],
+        cascades_mode: CascadeMode,
+    ) -> Result<GroupCommitOutcome> {
         fn fail(error: CoreError, committed_on_chain: bool) -> GroupEntryFailure {
             GroupEntryFailure {
                 error,
@@ -1437,6 +1568,9 @@ impl System {
             }
         }
         let mut slots: Vec<Option<GroupEntryResult>> = entries.iter().map(|_| None).collect();
+        let mut co_txs_out: Vec<Vec<TxId>> = entries.iter().map(|_| Vec::new()).collect();
+        let mut deferred: Vec<DeferredCascade> = Vec::new();
+        let mut co_seq: usize = 0;
 
         // Conflict screening (see [`System::screen_group`]): distinct,
         // non-interacting tables only, none with a transaction still
@@ -1456,6 +1590,7 @@ impl System {
             trace: WorkflowTrace,
             submitted_ms: u64,
             tx: TxId,
+            co_txs: Vec<TxId>,
         }
         let mut inflight: Vec<InFlight> = Vec::new();
         for (i, e) in entries.iter().enumerate() {
@@ -1471,11 +1606,72 @@ impl System {
                     continue;
                 }
             };
+            // A write-combined member distributes the permission check:
+            // the lead declares only its own attributes, each co-author
+            // its own. The union must still cover every attribute the
+            // composed delta actually changes — otherwise some change
+            // would dodge the Fig. 3 matrix entirely.
+            let declared = e
+                .declared_attrs
+                .clone()
+                .unwrap_or_else(|| prepared.attrs.clone());
+            if e.declared_attrs.is_some() || !e.co_submitters.is_empty() {
+                let mut covered: BTreeSet<&str> = declared.iter().map(String::as_str).collect();
+                for co in &e.co_submitters {
+                    covered.extend(co.attrs.iter().map(String::as_str));
+                }
+                if let Some(missing) = prepared
+                    .attrs
+                    .iter()
+                    .find(|a| !covered.contains(a.as_str()))
+                {
+                    slots[i] = Some(Err(fail(
+                        CoreError::BadAgreement(format!(
+                            "combined update of `{}` changes attribute `{missing}` \
+                             that no submitter declares",
+                            e.table_id
+                        )),
+                        false,
+                    )));
+                    continue;
+                }
+            }
             let args = RequestUpdateArgs {
                 table_id: e.table_id.clone(),
                 new_hash: prepared.new_hash,
-                changed_attrs: prepared.attrs.clone(),
+                changed_attrs: declared,
             };
+            let expected_version = match self.share_meta(&e.table_id) {
+                Ok(meta) => meta.version + 1,
+                Err(err) => {
+                    slots[i] = Some(Err(fail(err, false)));
+                    continue;
+                }
+            };
+            // Every signature this member needs must be available BEFORE
+            // the lead's request enters the mempool: once the request is
+            // queued it cannot be withdrawn, so a late signing failure
+            // would leave the member half-submitted. Count per peer —
+            // the lead's request plus one co-request per co-author, and
+            // the same peer may appear several times (a peer co-signs
+            // its own member when the engine composed two of its
+            // submissions).
+            let mut needed: BTreeMap<AccountId, u64> = BTreeMap::new();
+            *needed.entry(e.updater.account()).or_insert(0) += 1;
+            for co in &e.co_submitters {
+                *needed.entry(co.peer.account()).or_insert(0) += 1;
+            }
+            let precheck = needed
+                .iter()
+                .find_map(|(account, n)| match self.peers.get(account) {
+                    Some(node) if node.keys.remaining() < *n => Some(CoreError::KeysExhausted),
+                    Some(_) => None,
+                    None => Some(CoreError::UnknownPeer(account.to_string())),
+                });
+            if let Some(err) = precheck {
+                slots[i] = Some(Err(fail(err, false)));
+                continue;
+            }
             match self.submit_call(
                 prepared.updater,
                 "request_update",
@@ -1493,12 +1689,66 @@ impl System {
                             entries.len()
                         ),
                     );
+                    // Each co-author's individually signed co-request
+                    // rides in the same block under a derived conflict
+                    // key (the data change itself is still one per table
+                    // per block — the lead's).
+                    let mut member_co_txs = Vec::with_capacity(e.co_submitters.len());
+                    let mut co_err: Option<CoreError> = None;
+                    for co in &e.co_submitters {
+                        let co_args = CoRequestUpdateArgs {
+                            table_id: e.table_id.clone(),
+                            version: expected_version,
+                            changed_attrs: co.attrs.clone(),
+                            new_hash: prepared.new_hash,
+                        };
+                        let key = format!("{}@co:{co_seq}", e.table_id);
+                        co_seq += 1;
+                        match self.submit_call(
+                            co.peer.account(),
+                            "co_request_update",
+                            &co_args,
+                            Some(key),
+                        ) {
+                            Ok(co_tx) => {
+                                trace.push(
+                                    "2",
+                                    self.clock_ms,
+                                    &self.peer_name_or_id(co.peer),
+                                    format!(
+                                        "co-signed combined update as tx {} (attrs [{}])",
+                                        co_tx.short(),
+                                        co.attrs.join(", ")
+                                    ),
+                                );
+                                member_co_txs.push(co_tx);
+                            }
+                            Err(err) => {
+                                co_err = Some(err);
+                                break;
+                            }
+                        }
+                    }
+                    if let Some(err) = co_err {
+                        // Unreachable in practice (signing capacity was
+                        // pre-checked above); if it fires, the lead's
+                        // request is already queued and will commit, so
+                        // the member must be reported post-commit-point
+                        // to keep the caller from rolling back state the
+                        // chain is about to hold.
+                        self.produce_blocks_until_all(&[tx])?;
+                        slots[i] = Some(Err(fail(err, self.expect_success(&tx).is_ok())));
+                        co_txs_out[i] = member_co_txs;
+                        continue;
+                    }
+                    co_txs_out[i] = member_co_txs.clone();
                     inflight.push(InFlight {
                         idx: i,
                         prepared,
                         trace,
                         submitted_ms,
                         tx,
+                        co_txs: member_co_txs,
                     });
                 }
                 Err(err) => slots[i] = Some(Err(fail(err, false))),
@@ -1512,8 +1762,9 @@ impl System {
         // accurate commit point instead of a whole-group error, so
         // callers only roll back members whose update never reached the
         // chain.
-        let request_txs: Vec<TxId> = inflight.iter().map(|f| f.tx).collect();
-        if let Err(e) = self.produce_blocks_until_all(&request_txs) {
+        let mut wave_txs: Vec<TxId> = inflight.iter().map(|f| f.tx).collect();
+        wave_txs.extend(inflight.iter().flat_map(|f| f.co_txs.iter().copied()));
+        if let Err(e) = self.produce_blocks_until_all(&wave_txs) {
             for f in inflight {
                 let committed = matches!(
                     self.receipts.get(&f.tx),
@@ -1521,10 +1772,14 @@ impl System {
                 );
                 slots[f.idx] = Some(Err(fail(e.clone(), committed)));
             }
-            return Ok(slots
-                .into_iter()
-                .map(|s| s.expect("every group member resolved"))
-                .collect());
+            return Ok(GroupCommitOutcome {
+                results: slots
+                    .into_iter()
+                    .map(|s| s.expect("every group member resolved"))
+                    .collect(),
+                co_txs: co_txs_out,
+                deferred,
+            });
         }
 
         // Phase 3 — demultiplex receipts; committed members advance their
@@ -1540,6 +1795,7 @@ impl System {
             committed_ms: u64,
             version: u64,
             tx: TxId,
+            co_txs: Vec<TxId>,
             fan: FanoutSummary,
             ack_txs: Vec<TxId>,
         }
@@ -1551,6 +1807,7 @@ impl System {
                 mut trace,
                 submitted_ms,
                 tx,
+                co_txs,
             } = f;
             if let Err(e) = self.expect_success(&tx) {
                 trace.push(
@@ -1561,6 +1818,18 @@ impl System {
                 );
                 slots[idx] = Some(Err(fail(e, false)));
                 continue;
+            }
+            // Co-author attestations are per-submitter outcomes, not
+            // member outcomes: a reverted co-request (a pre-screened
+            // denied rider) never sinks the member — the caller
+            // demultiplexes each co receipt to its own submitter.
+            for (co, co_tx) in entries[idx].co_submitters.iter().zip(&co_txs) {
+                let verdict = match self.expect_success(co_tx) {
+                    Ok(()) => format!("co-author verified for attrs [{}]", co.attrs.join(", ")),
+                    Err(e) => format!("co-author DENIED: {e}"),
+                };
+                let name = self.peer_name_or_id(co.peer);
+                trace.push("3", self.clock_ms, &name, verdict);
             }
             let committed_ms = self.receipt_time(&tx).unwrap_or(self.clock_ms);
             let height = self
@@ -1599,6 +1868,7 @@ impl System {
                     committed_ms,
                     version,
                     tx,
+                    co_txs,
                     fan,
                     ack_txs: Vec::new(),
                 }),
@@ -1630,10 +1900,14 @@ impl System {
             for c in survivors {
                 slots[c.idx] = Some(Err(fail(e.clone(), true)));
             }
-            return Ok(slots
-                .into_iter()
-                .map(|s| s.expect("every group member resolved"))
-                .collect());
+            return Ok(GroupCommitOutcome {
+                results: slots
+                    .into_iter()
+                    .map(|s| s.expect("every group member resolved"))
+                    .collect(),
+                co_txs: co_txs_out,
+                deferred,
+            });
         }
 
         // Phase 5 — per member: verify acks, close the trace, run the
@@ -1666,9 +1940,17 @@ impl System {
             }
             let mut participants = c.fan.others.clone();
             participants.push(c.updater);
-            let mut active = BTreeSet::new();
-            active.insert(c.table_id.clone());
-            match self.step6_cascades(&c.table_id, &participants, &mut active, 0, &mut c.trace) {
+            let swept = match cascades_mode {
+                CascadeMode::Inline => {
+                    let mut active = BTreeSet::new();
+                    active.insert(c.table_id.clone());
+                    self.step6_cascades(&c.table_id, &participants, &mut active, 0, &mut c.trace)
+                }
+                CascadeMode::Defer => self
+                    .step6_detect(&c.table_id, &participants, &mut deferred, &mut c.trace)
+                    .map(|()| (Vec::new(), Vec::new())),
+            };
+            match swept {
                 Ok((cascades, failed_cascades)) => {
                     slots[c.idx] = Some(Ok(UpdateReport {
                         table_id: c.table_id,
@@ -1682,6 +1964,7 @@ impl System {
                         bytes_moved: c.fan.bytes_moved,
                         tx_ids: {
                             let mut ids = vec![c.tx];
+                            ids.extend(c.co_txs.iter().copied());
                             ids.extend(c.ack_txs.iter().copied());
                             ids
                         },
@@ -1694,10 +1977,73 @@ impl System {
             }
         }
 
-        Ok(slots
-            .into_iter()
-            .map(|s| s.expect("every group member resolved"))
-            .collect())
+        Ok(GroupCommitOutcome {
+            results: slots
+                .into_iter()
+                .map(|s| s.expect("every group member resolved"))
+                .collect(),
+            co_txs: co_txs_out,
+            deferred,
+        })
+    }
+
+    /// The [`CascadeMode::Defer`] Step-6 sweep: detects which sibling
+    /// shares now carry a pending change without propagating any of them,
+    /// appending deduplicated [`DeferredCascade`]s for the caller's next
+    /// wave.
+    fn step6_detect(
+        &mut self,
+        table_id: &str,
+        participants: &[AccountId],
+        deferred: &mut Vec<DeferredCascade>,
+        trace: &mut WorkflowTrace,
+    ) -> Result<()> {
+        for account in participants {
+            let candidates = {
+                let peer = self.peers.get(account).expect("peer exists");
+                peer.overlapping_shares(table_id)?
+            };
+            for other_table in candidates {
+                let (peer_name, differs) = {
+                    let peer = self.peers.get(account).expect("peer exists");
+                    let differs = match self.config.propagation {
+                        PropagationMode::Delta => peer.has_pending_change(&other_table)?,
+                        PropagationMode::FullTable => {
+                            let regenerated = peer.regenerate_view(&other_table)?;
+                            !changed_attrs(peer.baseline(&other_table)?, &regenerated).is_empty()
+                        }
+                    };
+                    (peer.name.clone(), differs)
+                };
+                trace.push(
+                    "6",
+                    self.clock_ms,
+                    &peer_name,
+                    format!(
+                        "dependency check: `{other_table}` overlaps `{table_id}`; {}",
+                        if differs {
+                            "content changed → cascade deferred to next wave"
+                        } else {
+                            "content unchanged → no cascade"
+                        }
+                    ),
+                );
+                if differs {
+                    let peer = PeerId::from_account(*account);
+                    if !deferred
+                        .iter()
+                        .any(|d| d.peer == peer && d.table_id == other_table)
+                    {
+                        deferred.push(DeferredCascade {
+                            peer,
+                            table_id: other_table,
+                            origin: table_id.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Produces blocks until every listed transaction has a receipt.

@@ -1,15 +1,121 @@
 //! # medledger-engine
 //!
-//! The **concurrent commit engine**: group-commit batching plus parallel
-//! delta fan-out, layered between the typed facade (`MedLedger`) and the
-//! core `System`.
+//! The **concurrent commit engine**: the ticketed commit pipeline
+//! ([`LedgerService`]), group-commit batching ([`CommitQueue`]) and the
+//! parallel delta fan-out, layered between the typed facade
+//! (`MedLedger`) and the core `System`.
 //!
-//! The paper's Step 1–6 workflow commits one update per block and pays a
-//! consensus round per update. Its conflict rule — *at most one update
-//! per shared table per block* — is usually read as a limiter, but it is
-//! equally a **batching criterion**: updates touching *distinct* shared
-//! tables cannot conflict, so they can share one block and one scheduled
-//! PBFT round. The [`CommitQueue`] exploits exactly that:
+//! ## The ticketed commit pipeline
+//!
+//! The paper's Fig. 5 workflow is request/response — a writer submits an
+//! update and later learns whether consensus admitted it — so the
+//! service front door is asynchronous: stage writes, [`Submission::submit`]
+//! for a [`CommitTicket`] (non-blocking), and let
+//! [`LedgerService::tick`] / [`LedgerService::drain`] form **waves**:
+//!
+//! ```text
+//!   submit(T1 by A)┐                                ┌ ticket A ─ outcome
+//!   submit(T1 by B)┼─► LedgerService ─► wave N ─────┼ ticket B ─ outcome
+//!   submit(T2 by C)┘    (T1: A+B COMBINED, one      └ ticket C ─ outcome
+//!         │              member, A's request +
+//!         ▼              B's co-request in ONE
+//!   Step-6 cascades      block / ONE PBFT round)
+//!   re-enter wave N+1
+//! ```
+//!
+//! * **Same-table write combining** — concurrent submissions against one
+//!   shared table *compose* (deltas compose; each later submission sees
+//!   the earlier one's staged state) instead of conflicting. Every
+//!   co-author is permission-checked on **its own** changed attributes
+//!   via its own `co_request_update` transaction and individually
+//!   receipted; a denied submitter is excluded from the composition and
+//!   rolls back **alone**, its denial still on-chain.
+//! * **Cascade re-entry** — Step-6 cascades are detected, not run
+//!   inline: they become first-class members of the next wave, where
+//!   cascades touching distinct tables again share one block and one
+//!   scheduled round.
+//!
+//! The blocking shapes remain: [`Submission::commit`] is a thin
+//! submit+wait wrapper, and the facade's `UpdateBatch::commit` is
+//! untouched for one-off updates.
+//!
+//! ```
+//! use medledger_bx::LensSpec;
+//! use medledger_core::MedLedger;
+//! use medledger_engine::LedgerService;
+//! use medledger_relational::{row, Column, Schema, Table, Value, ValueType};
+//!
+//! let mut ledger = MedLedger::builder()
+//!     .seed("service-doc")
+//!     .pbft(100)
+//!     .peer_key_capacity(64)
+//!     .build()
+//!     .expect("ledger boots");
+//! let doctor = ledger.add_peer("Doctor").expect("add");
+//! let patient = ledger.add_peer("Patient").expect("add");
+//!
+//! // One shared ward table; the doctor owns `dosage`, the patient
+//! // `clinical` (a Fig. 3 permission split).
+//! let schema = Schema::new(
+//!     vec![
+//!         Column::new("patient_id", ValueType::Int),
+//!         Column::new("dosage", ValueType::Text),
+//!         Column::new("clinical", ValueType::Text),
+//!     ],
+//!     &["patient_id"],
+//! )
+//! .expect("schema");
+//! let mut table = Table::new(schema);
+//! table.insert(row![1i64, "10 mg", "stable"]).expect("seed");
+//! let lens = LensSpec::project(&["patient_id", "dosage", "clinical"], &["patient_id"]);
+//! ledger.session(doctor).load_source("D", table.clone()).expect("load");
+//! ledger.session(patient).load_source("P", table).expect("load");
+//! ledger
+//!     .session(doctor)
+//!     .share("ward")
+//!     .bind("D", lens.clone())
+//!     .with(patient, "P", lens)
+//!     .writers("dosage", &[doctor])
+//!     .writers("clinical", &[patient])
+//!     .create()
+//!     .expect("share");
+//!
+//! // Two concurrent submissions against the SAME table — no Conflicted:
+//! // the scheduler composes them into one member.
+//! let mut service = LedgerService::new(ledger);
+//! let t1 = service
+//!     .submit(doctor, "ward")
+//!     .set(vec![Value::Int(1)], "dosage", Value::text("20 mg"))
+//!     .submit()
+//!     .expect("doctor submits");
+//! let t2 = service
+//!     .submit(patient, "ward")
+//!     .set(vec![Value::Int(1)], "clinical", Value::text("improving"))
+//!     .submit()
+//!     .expect("patient submits");
+//!
+//! // ONE wave: one combined member, one block for the request + the
+//! // co-request, one scheduled PBFT round.
+//! let wave = service.tick().expect("wave commits");
+//! assert_eq!(wave.members, 1);
+//! let doctor_outcome = service.take(t1).expect("resolved").expect("commits");
+//! let patient_outcome = service.take(t2).expect("resolved").expect("commits");
+//! assert_eq!(doctor_outcome.version(), 1); // one version bump for both
+//! // Distinct per-submitter receipts.
+//! assert_ne!(
+//!     doctor_outcome.receipts[0].tx_id,
+//!     patient_outcome.receipts[0].tx_id
+//! );
+//! service.ledger().check_consistency().expect("all peers in sync");
+//! ```
+//!
+//! ## The blocking group-commit queue
+//!
+//! The conflict rule — *at most one update per shared table per block* —
+//! is usually read as a limiter, but it is equally a **batching
+//! criterion**: updates touching *distinct* shared tables cannot
+//! conflict, so they can share one block and one scheduled PBFT round.
+//! The [`CommitQueue`] exploits exactly that:
 //!
 //! ```text
 //!   batch(T1)┐                                  ┌─ outcome(T1)
@@ -42,9 +148,11 @@
 //!
 //! Consensus cost per update drops from `1 + receivers` blocks to
 //! `(1 + receivers) / group_size` — the request round alone amortizes to
-//! `1 / group_size`.
+//! `1 / group_size` — and with same-table combining on top, `n`
+//! contending writers pay `~(1 + receivers) / n` instead of `n` full
+//! rounds.
 //!
-//! ## Example
+//! ## Queue example
 //!
 //! Two doctors share two distinct ward tables with the same patient; both
 //! updates commit in one block and one PBFT round:
@@ -107,7 +215,7 @@
 //! }
 //! let outcomes = queue.commit_all(&mut ledger);
 //! assert_eq!(outcomes.len(), 2);
-//! for o in &outcomes {
+//! for o in outcomes.values() {
 //!     o.result.as_ref().expect("both members commit");
 //! }
 //! // Both request_update transactions shared one block (one PBFT
@@ -119,6 +227,23 @@
 #![warn(missing_docs)]
 
 mod queue;
+mod service;
 
 pub use medledger_core::{CommitError, CommitOutcome, GroupEntry, GroupEntryFailure};
 pub use queue::{BatchOutcome, BatchTicket, CommitQueue, QueuedBatch};
+pub use service::{CascadeRecord, CommitTicket, LedgerService, Submission, WaveReport};
+
+/// The single crate-internal funnel onto the facade's hidden `System`
+/// escape hatch (read side). Everything in this crate that needs the raw
+/// engine goes through here, keeping the `#[doc(hidden)]` seam to one
+/// audited spot.
+pub(crate) fn raw_system(ledger: &medledger_core::MedLedger) -> &medledger_core::System {
+    ledger.system()
+}
+
+/// Write-side funnel; see [`raw_system`].
+pub(crate) fn raw_system_mut(
+    ledger: &mut medledger_core::MedLedger,
+) -> &mut medledger_core::System {
+    ledger.system_mut()
+}

@@ -5,7 +5,7 @@ use medledger_core::{
 };
 use medledger_ledger::Receipt;
 use medledger_relational::{Row, TableDelta, Value, WriteOp};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Handle to one queued batch; returned by [`QueuedBatch::queue`] and
@@ -20,7 +20,9 @@ impl fmt::Display for BatchTicket {
 }
 
 /// One staged local write (mirrors the facade's `UpdateBatch` staging).
-enum StagedWrite {
+/// Shared with the pipelined `LedgerService`, whose submissions buffer
+/// the same shapes.
+pub(crate) enum StagedWrite {
     /// A write against the shared table's materialized copy.
     Shared(WriteOp),
     /// A write against one of the peer's *source* tables.
@@ -90,16 +92,20 @@ impl CommitQueue {
 
     /// Commits every queued batch as one group through
     /// [`System::commit_group`] and drains the queue. Returns one
-    /// [`BatchOutcome`] per batch, in queue order.
+    /// [`BatchOutcome`] per batch, **keyed by its [`BatchTicket`]**, so
+    /// callers correlate outcomes to the handles `queue()` returned by
+    /// lookup instead of positional bookkeeping — under a denied member
+    /// the positional result list told you nothing about *which* ticket
+    /// failed without re-deriving the queue order.
     ///
     /// Per-batch failure semantics mirror `UpdateBatch::commit`:
     /// pre-commit failures roll back that batch's staged writes (except
     /// [`CommitError::NoChange`], which keeps valid local edits);
     /// post-commit failures keep local state because the update is
     /// already on chain.
-    pub fn commit_all(&mut self, ledger: &mut MedLedger) -> Vec<BatchOutcome> {
+    pub fn commit_all(&mut self, ledger: &mut MedLedger) -> BTreeMap<BatchTicket, BatchOutcome> {
         let batches = std::mem::take(&mut self.batches);
-        let system = ledger.system_mut();
+        let system = crate::raw_system_mut(ledger);
         let mut outcomes: Vec<BatchOutcome> = Vec::with_capacity(batches.len());
         let mut staged: Vec<StagedState> = Vec::new();
 
@@ -239,7 +245,7 @@ impl CommitQueue {
                 }
             }
         }
-        outcomes
+        outcomes.into_iter().map(|o| (o.ticket, o)).collect()
     }
 
     fn claim(&mut self, peer: PeerId, table_id: String, writes: Vec<StagedWrite>) -> BatchTicket {

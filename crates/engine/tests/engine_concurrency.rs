@@ -137,7 +137,7 @@ fn group_round(hub: &mut Hub, rev: usize) -> Vec<Result<Vec<String>, CommitError
     }
     queue
         .commit_all(&mut hub.ledger)
-        .into_iter()
+        .into_values()
         .map(|o| {
             o.result
                 .map(|ok| ok.receipts.iter().map(|r| r.tx_id.short()).collect())
@@ -172,7 +172,7 @@ fn conflicted_queue_claim_is_a_typed_error() {
         .expect("distinct table");
     let outcomes = queue.commit_all(&mut hub.ledger);
     assert_eq!(outcomes.len(), 2);
-    for o in &outcomes {
+    for o in outcomes.values() {
         o.result.as_ref().expect("both commit");
     }
     // After the drain, the table can be claimed again.
@@ -181,6 +181,45 @@ fn conflicted_queue_claim_is_a_typed_error() {
         .set(vec![Value::Int(1)], "dosage", Value::text("third"))
         .queue()
         .expect("fresh claim after drain");
+    hub.ledger.check_consistency().expect("consistent");
+}
+
+/// Regression for the ticket-keyed `commit_all` result: under a denied
+/// MIDDLE member, every outcome must be retrievable by the ticket
+/// `queue()` handed out — no positional bookkeeping — and each mapped
+/// outcome must echo its own ticket, peer, and table.
+#[test]
+fn commit_all_outcomes_key_by_ticket_under_denied_middle_member() {
+    // Three tables; the hub may not write dosage on the MIDDLE one.
+    let mut hub = hub_ledger("eng-ticketmap", 3, 1, PropagationMode::Delta, 0, &[1], 32);
+    let mut queue = CommitQueue::new();
+    let tickets: Vec<_> = hub
+        .tables
+        .clone()
+        .into_iter()
+        .map(|t| {
+            queue
+                .begin(hub.hub, t)
+                .set(vec![Value::Int(1)], "dosage", Value::text("mapped"))
+                .queue()
+                .expect("queue")
+        })
+        .collect();
+    let outcomes = queue.commit_all(&mut hub.ledger);
+    assert_eq!(outcomes.len(), 3);
+    for (i, ticket) in tickets.iter().enumerate() {
+        let o = &outcomes[ticket];
+        assert_eq!(o.ticket, *ticket);
+        assert_eq!(o.peer, hub.hub);
+        assert_eq!(o.table_id, hub.tables[i]);
+        if i == 1 {
+            let err = o.result.as_ref().unwrap_err();
+            assert!(err.is_permission_denied(), "middle member denied: {err}");
+            assert!(err.receipt().is_some());
+        } else {
+            o.result.as_ref().expect("outer members commit");
+        }
+    }
     hub.ledger.check_consistency().expect("consistent");
 }
 
@@ -333,7 +372,7 @@ fn receipt_and_trace_ordering_is_deterministic() {
                     .queue()
                     .expect("queue");
             }
-            for o in queue.commit_all(&mut hub.ledger) {
+            for o in queue.commit_all(&mut hub.ledger).into_values() {
                 let outcome = o.result.expect("commits");
                 receipts.extend(outcome.receipts.iter().map(|r| r.tx_id.short()));
                 traces.push_str(&outcome.trace.render());
@@ -526,22 +565,25 @@ fn same_peer_sibling_share_batches_conflict_and_stay_isolated() {
     let (mut ledger, x, _y, z) = overlapping_shares_ledger("eng-sibling");
     let med_before = ledger.reader(x).read("t-med").expect("read");
     let mut queue = CommitQueue::new();
-    queue
+    let dose_ticket = queue
         .begin(x, "t-dose")
         .set(vec![Value::Int(1)], "dosage", Value::text("15 mg"))
         .queue()
         .expect("queue t-dose");
-    queue
+    let med_ticket = queue
         .begin(x, "t-med")
         .set(vec![Value::Int(2)], "medication", Value::text("naproxen"))
         .queue()
         .expect("queue t-med (distinct table name)");
     let outcomes = queue.commit_all(&mut ledger);
-    let dose = outcomes[0].result.as_ref().expect("t-dose commits");
+    let dose = outcomes[&dose_ticket]
+        .result
+        .as_ref()
+        .expect("t-dose commits");
     // The committed payload carries ONLY the dosage edit — the sibling
     // batch's medication change did not leak into it.
     assert_eq!(dose.changed_attrs(), ["dosage"]);
-    let med_err = outcomes[1].result.as_ref().unwrap_err();
+    let med_err = outcomes[&med_ticket].result.as_ref().unwrap_err();
     assert!(med_err.is_conflicted(), "got {med_err}");
     // The conflicted batch was fully unstaged.
     assert_eq!(med_before, ledger.reader(x).read("t-med").expect("read"));
@@ -557,13 +599,16 @@ fn same_peer_sibling_share_batches_conflict_and_stay_isolated() {
     ledger.check_consistency().expect("consistent");
     // Retry in the NEXT group succeeds.
     let mut retry = CommitQueue::new();
-    retry
+    let retry_ticket = retry
         .begin(x, "t-med")
         .set(vec![Value::Int(2)], "medication", Value::text("naproxen"))
         .queue()
         .expect("re-queue");
     let outcomes = retry.commit_all(&mut ledger);
-    outcomes[0].result.as_ref().expect("retry commits");
+    outcomes[&retry_ticket]
+        .result
+        .as_ref()
+        .expect("retry commits");
     ledger.check_consistency().expect("consistent after retry");
 }
 
@@ -577,19 +622,22 @@ fn cross_peer_overlapping_tables_conflict_before_staging() {
     let (mut ledger, x, _y, z) = overlapping_shares_ledger("eng-xpeer");
     let z_before = ledger.system().peer(z).expect("z").db.fingerprint();
     let mut queue = CommitQueue::new();
-    queue
+    let dose_ticket = queue
         .begin(x, "t-dose")
         .set(vec![Value::Int(1)], "dosage", Value::text("15 mg"))
         .queue()
         .expect("queue t-dose");
-    queue
+    let med_ticket = queue
         .begin(z, "t-med")
         .set(vec![Value::Int(2)], "medication", Value::text("naproxen"))
         .queue()
         .expect("queue t-med");
     let outcomes = queue.commit_all(&mut ledger);
-    outcomes[0].result.as_ref().expect("t-dose commits");
-    let err = outcomes[1].result.as_ref().unwrap_err();
+    outcomes[&dose_ticket]
+        .result
+        .as_ref()
+        .expect("t-dose commits");
+    let err = outcomes[&med_ticket].result.as_ref().unwrap_err();
     assert!(err.is_conflicted(), "got {err}");
     // The conflicted member never staged: Z's database is bit-identical.
     assert_eq!(
@@ -599,12 +647,15 @@ fn cross_peer_overlapping_tables_conflict_before_staging() {
     ledger.check_consistency().expect("consistent");
     // And it commits cleanly in its own group afterwards.
     let mut retry = CommitQueue::new();
-    retry
+    let retry_ticket = retry
         .begin(z, "t-med")
         .set(vec![Value::Int(2)], "medication", Value::text("naproxen"))
         .queue()
         .expect("re-queue");
     let outcomes = retry.commit_all(&mut ledger);
-    outcomes[0].result.as_ref().expect("retry commits");
+    outcomes[&retry_ticket]
+        .result
+        .as_ref()
+        .expect("retry commits");
     ledger.check_consistency().expect("consistent after retry");
 }

@@ -30,11 +30,23 @@ pub struct AuditEntry {
 
 /// Returns the chronological history of transactions touching conflict key
 /// `key` (a shared-table id).
+///
+/// Besides exact matches, this includes co-authored combined updates,
+/// whose `co_request_update` transactions carry the derived conflict key
+/// `"{key}@co:<n>"` (derived so several co-signatures of one table fit in
+/// one block without violating the one-transaction-per-key rule). Every
+/// submitter of a write-combined update therefore stays individually
+/// visible in the table's history.
 pub fn history_for_key(chain: &Chain, key: &str) -> Vec<AuditEntry> {
+    let co_prefix = format!("{key}@co:");
     let mut out = Vec::new();
     for block in chain.blocks() {
         for stx in &block.txs {
-            if stx.tx.conflict_key.as_deref() == Some(key) {
+            let matches = match stx.tx.conflict_key.as_deref() {
+                Some(k) => k == key || k.starts_with(&co_prefix),
+                None => false,
+            };
+            if matches {
                 let method = match &stx.tx.payload {
                     crate::transaction::TxPayload::CallContract { method, .. } => {
                         Some(method.clone())
@@ -148,6 +160,28 @@ mod tests {
         assert_eq!(hist[1].method.as_deref(), Some("ack_update"));
         assert!(hist.windows(2).all(|w| w[0].height < w[1].height));
         assert!(history_for_key(&chain, "other").is_empty());
+    }
+
+    #[test]
+    fn history_includes_co_request_keys() {
+        let (mut chain, mut alice, validator) = setup();
+        let lead = call_tx(&mut alice, 0, "D13&D31", "request_update");
+        let co = call_tx(&mut alice, 1, "D13&D31@co:0", "co_request_update");
+        let unrelated = call_tx(&mut alice, 2, "D13&D31-other", "request_update");
+        let b = Block::assemble(
+            1,
+            chain.tip().hash(),
+            Hash256::ZERO,
+            1000,
+            validator.public(),
+            vec![lead, co, unrelated],
+        );
+        chain.append(b).expect("append");
+        let hist = history_for_key(&chain, "D13&D31");
+        assert_eq!(hist.len(), 2);
+        assert_eq!(hist[1].method.as_deref(), Some("co_request_update"));
+        // The sibling table with a prefix-sharing id is not swept in.
+        assert_eq!(history_for_key(&chain, "D13&D31-other").len(), 1);
     }
 
     #[test]

@@ -19,6 +19,13 @@ pub struct BlockHeader {
     pub timestamp_ms: u64,
     /// The validator that proposed the block.
     pub proposer: AccountId,
+    /// The commit-pipeline wave this block was produced for, if any: all
+    /// blocks of one `LedgerService` wave (the combined request round,
+    /// its batched ack rounds) carry the same wave number, attributing
+    /// consensus cost to the wave that paid it. `None` for blocks
+    /// produced outside a wave (bootstrap, share registration, the
+    /// blocking one-off paths).
+    pub wave: Option<u64>,
 }
 
 impl BlockHeader {
@@ -57,9 +64,17 @@ impl Block {
                 state_root,
                 timestamp_ms,
                 proposer,
+                wave: None,
             },
             txs,
         }
+    }
+
+    /// Attributes the block to a commit-pipeline wave (see
+    /// [`BlockHeader::wave`]). The block hash covers the attribution.
+    pub fn in_wave(mut self, wave: Option<u64>) -> Block {
+        self.header.wave = wave;
+        self
     }
 
     /// Merkle root over transaction encodings.
@@ -148,6 +163,19 @@ mod tests {
         h4.parent = Hash256([1; 32]);
         assert_ne!(h4.hash(), base);
         let _ = signed(0, &mut kp);
+    }
+
+    #[test]
+    fn wave_attribution_is_hash_covered() {
+        let kp = KeyPair::generate("blk-wave", 4);
+        let plain = Block::assemble(1, Hash256::ZERO, Hash256::ZERO, 1000, kp.public(), vec![]);
+        assert_eq!(plain.header.wave, None);
+        let waved = plain.clone().in_wave(Some(7));
+        assert_eq!(waved.header.wave, Some(7));
+        assert_ne!(waved.hash(), plain.hash());
+        // `in_wave(None)` is the identity on the header (assemble already
+        // defaults to no attribution).
+        assert_eq!(plain.clone().in_wave(None).hash(), plain.hash());
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::table::Table;
 use crate::value::Value;
 use crate::Result;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A key-aligned difference between two versions of a table.
 ///
@@ -66,6 +66,130 @@ impl TableDelta {
         self.inserts.sort_by_key(|r| key_of(r));
         self.updates.sort_by(|a, b| a.0.cmp(&b.0));
         self.deletes.sort();
+    }
+
+    /// The keys this delta touches (inserted, updated, deleted), given the
+    /// schema's key extractor for insert rows.
+    pub fn touched_keys(&self, key_of: impl Fn(&Row) -> Vec<Value>) -> BTreeSet<Vec<Value>> {
+        let mut out: BTreeSet<Vec<Value>> = BTreeSet::new();
+        for r in &self.inserts {
+            out.insert(key_of(r));
+        }
+        for (k, _) in &self.updates {
+            out.insert(k.clone());
+        }
+        for k in &self.deletes {
+            out.insert(k.clone());
+        }
+        out
+    }
+
+    /// Sequential composition: the delta equivalent to applying `self`
+    /// first and `then` second.
+    ///
+    /// `then` must be valid relative to the state *after* `self` applied
+    /// (exactly the contract [`crate::Table::apply_delta`] enforces for a
+    /// chain of applications); the result is valid relative to the state
+    /// `self` applied to. This is the cross-peer generalization of the
+    /// per-peer pending-row merge: later writes win per key, with
+    /// insert/update/delete reclassified against the *original* base so
+    /// the composed delta still applies in one shot:
+    ///
+    /// * insert then update → insert (the base never held the key),
+    /// * insert then delete → nothing,
+    /// * delete then insert → update (the base still holds the key),
+    /// * update then delete → delete.
+    pub fn compose(&self, then: &TableDelta, key_of: impl Fn(&Row) -> Vec<Value>) -> TableDelta {
+        /// Per-key effect relative to the original base table.
+        enum Op {
+            Ins(Row),
+            Upd(Row),
+            Del,
+        }
+        let mut map: BTreeMap<Vec<Value>, Op> = BTreeMap::new();
+        for r in &self.inserts {
+            map.insert(key_of(r), Op::Ins(r.clone()));
+        }
+        for (k, r) in &self.updates {
+            map.insert(k.clone(), Op::Upd(r.clone()));
+        }
+        for k in &self.deletes {
+            map.insert(k.clone(), Op::Del);
+        }
+        for r in &then.inserts {
+            let key = key_of(r);
+            match map.get(&key) {
+                // The base held the key (self deleted it): re-creating it
+                // is an update of the base.
+                Some(Op::Del) => {
+                    map.insert(key, Op::Upd(r.clone()));
+                }
+                _ => {
+                    map.insert(key, Op::Ins(r.clone()));
+                }
+            }
+        }
+        for (k, r) in &then.updates {
+            match map.get(k) {
+                // The key never existed in the base: it stays an insert.
+                Some(Op::Ins(_)) => {
+                    map.insert(k.clone(), Op::Ins(r.clone()));
+                }
+                _ => {
+                    map.insert(k.clone(), Op::Upd(r.clone()));
+                }
+            }
+        }
+        for k in &then.deletes {
+            match map.get(k) {
+                // Inserted by self, deleted by then: a no-op on the base.
+                Some(Op::Ins(_)) => {
+                    map.remove(k);
+                }
+                _ => {
+                    map.insert(k.clone(), Op::Del);
+                }
+            }
+        }
+        let mut out = TableDelta::default();
+        for (key, op) in map {
+            match op {
+                Op::Ins(r) => out.inserts.push(r),
+                Op::Upd(r) => out.updates.push((key, r)),
+                Op::Del => out.deletes.push(key),
+            }
+        }
+        // The map iterates in key order, so the parts are already sorted
+        // canonically.
+        out
+    }
+
+    /// The inverse delta relative to `base` — the table this delta would
+    /// apply to — computed without applying anything. Applying `self` and
+    /// then the result returns the table to `base`; this is how the
+    /// inverse of a *composed* delta is recovered when the per-write
+    /// inverses were never recorded.
+    pub fn invert(&self, base: &Table) -> Result<TableDelta> {
+        let schema = base.schema();
+        let mut out = TableDelta::default();
+        for r in &self.inserts {
+            out.deletes.push(schema.key_of(r));
+        }
+        for (k, _) in &self.updates {
+            let old = base.get(k).ok_or_else(|| RelationalError::KeyNotFound {
+                key: format!("{k:?}"),
+            })?;
+            out.updates.push((k.clone(), old.clone()));
+        }
+        for k in &self.deletes {
+            let old = base.get(k).ok_or_else(|| RelationalError::KeyNotFound {
+                key: format!("{k:?}"),
+            })?;
+            out.inserts.push(old.clone());
+        }
+        let schema = schema.clone();
+        out.sort_canonical(|r| schema.key_of(r));
+        Ok(out)
     }
 }
 
@@ -367,6 +491,105 @@ mod tests {
         )
         .is_err());
         Ok(())
+    }
+
+    /// Exhaustive pairwise composition check: for every pair of small
+    /// deltas (valid in sequence), applying the composition must equal
+    /// applying the two in order, and the inverse of the composition must
+    /// restore the base.
+    #[test]
+    fn compose_equals_sequential_application() -> Result<()> {
+        let base = base();
+        let schema = schema();
+        // A set of first deltas covering insert/update/delete.
+        let firsts = vec![
+            TableDelta {
+                inserts: vec![row![3i64, "Aspirin", "1x"]],
+                ..Default::default()
+            },
+            TableDelta {
+                updates: vec![(vec![Value::Int(1)], row![1i64, "Ibuprofen", "5x"])],
+                ..Default::default()
+            },
+            TableDelta {
+                deletes: vec![vec![Value::Int(2)]],
+                ..Default::default()
+            },
+            TableDelta {
+                inserts: vec![row![4i64, "D", "d"]],
+                updates: vec![(vec![Value::Int(1)], row![1i64, "Ibuprofen", "7x"])],
+                deletes: vec![vec![Value::Int(2)]],
+            },
+        ];
+        for first in &firsts {
+            let mut mid = base.clone();
+            mid.apply_delta(first)?;
+            // Second deltas derived from the mid state, hitting every
+            // reclassification case: update-after-insert, delete-after-
+            // insert, insert-after-delete, delete-after-update.
+            let mut seconds = vec![TableDelta::default()];
+            if mid.contains_key(&[Value::Int(3)]) {
+                seconds.push(TableDelta {
+                    updates: vec![(vec![Value::Int(3)], row![3i64, "Aspirin", "9x"])],
+                    deletes: vec![],
+                    inserts: vec![],
+                });
+                seconds.push(TableDelta {
+                    deletes: vec![vec![Value::Int(3)]],
+                    ..Default::default()
+                });
+            }
+            if !mid.contains_key(&[Value::Int(2)]) {
+                seconds.push(TableDelta {
+                    inserts: vec![row![2i64, "Wellbutrin", "back"]],
+                    ..Default::default()
+                });
+            }
+            if mid.contains_key(&[Value::Int(1)]) {
+                seconds.push(TableDelta {
+                    deletes: vec![vec![Value::Int(1)]],
+                    ..Default::default()
+                });
+            }
+            for second in &seconds {
+                let mut sequential = mid.clone();
+                sequential.apply_delta(second)?;
+                let composed = first.compose(second, |r| schema.key_of(r));
+                let mut one_shot = base.clone();
+                one_shot.apply_delta(&composed)?;
+                assert_eq!(one_shot, sequential);
+                assert_eq!(one_shot.content_hash(), sequential.content_hash());
+                // Inverse of the composed delta restores the base.
+                let inverse = composed.invert(&base)?;
+                one_shot.apply_delta(&inverse)?;
+                assert_eq!(one_shot, base);
+            }
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn invert_rejects_mismatched_base() {
+        let d = TableDelta {
+            deletes: vec![vec![Value::Int(42)]],
+            ..Default::default()
+        };
+        assert!(d.invert(&base()).is_err());
+    }
+
+    #[test]
+    fn touched_keys_covers_all_parts() {
+        let s = schema();
+        let d = TableDelta {
+            inserts: vec![row![4i64, "D", "d"]],
+            updates: vec![(vec![Value::Int(1)], row![1i64, "Ibuprofen", "7x"])],
+            deletes: vec![vec![Value::Int(2)]],
+        };
+        let keys = d.touched_keys(|r| s.key_of(r));
+        assert_eq!(keys.len(), 3);
+        assert!(keys.contains(&vec![Value::Int(4)]));
+        assert!(keys.contains(&vec![Value::Int(1)]));
+        assert!(keys.contains(&vec![Value::Int(2)]));
     }
 
     #[test]

@@ -1,17 +1,69 @@
-//! A larger deployment: one hospital (Doctor), many patients, one
-//! researcher — synthetic records, a mixed update stream driven through
-//! transactional `UpdateBatch` commits, and an audit.
+//! A larger deployment: one hospital (Doctor), many patients — synthetic
+//! records, a mixed update stream driven through the **ticketed commit
+//! pipeline** (`LedgerService`): updates are submitted non-blocking in
+//! rounds, each wave commits every admitted member in one block and one
+//! scheduled PBFT round (same-table submissions composed, denials
+//! receipted individually), and tickets resolve to typed outcomes.
 //!
 //! ```sh
 //! cargo run --example hospital_network
 //! ```
 
 use medledger::bx::LensSpec;
+use medledger::engine::{CommitTicket, LedgerService};
 use medledger::relational::Predicate;
 use medledger::workload::{EhrGenerator, UpdateStream};
 use medledger::{CommitError, MedLedger, PeerId, Value};
 
 const N_PATIENTS: usize = 8;
+
+/// Drives waves until everything in flight resolves, then reports each
+/// ticket's outcome.
+fn drain_round(
+    service: &mut LedgerService,
+    in_flight: &mut Vec<(usize, &'static str, CommitTicket)>,
+    committed: &mut usize,
+    denied: &mut usize,
+) {
+    if in_flight.is_empty() {
+        return;
+    }
+    let report = service.tick().expect("wave commits");
+    println!(
+        "  wave {}: {} member(s), {} ticket(s) resolved",
+        report.wave, report.members, report.resolved
+    );
+    while service.has_work() {
+        service.tick().expect("follow-up wave");
+    }
+    for (i, actor, ticket) in in_flight.drain(..) {
+        match service.take(ticket).expect("resolved") {
+            Ok(outcome) => {
+                *committed += 1;
+                println!(
+                    "  [{}] {} updated {} (v{}), visible in {} ms",
+                    i,
+                    actor,
+                    outcome.report.table_id,
+                    outcome.version(),
+                    outcome.visibility_latency_ms()
+                );
+            }
+            Err(e) if e.is_no_change() => {}
+            Err(CommitError::PermissionDenied { reason, receipt }) => {
+                *denied += 1;
+                println!(
+                    "  [{i}] update denied: {reason} (reverted receipt on chain: {})",
+                    receipt.is_some()
+                );
+            }
+            Err(e) => {
+                *denied += 1;
+                println!("  [{i}] update failed: {e}");
+            }
+        }
+    }
+}
 
 fn main() {
     let mut ledger = MedLedger::builder()
@@ -94,12 +146,17 @@ fn main() {
         ledger.chain().height()
     );
 
-    // Mixed workload: the doctor adjusts dosages, patients amend their
-    // clinical data. Every update is one staged, transactional commit.
+    // Mixed workload through the ticketed pipeline: the doctor adjusts
+    // dosages, patients amend their clinical data. Updates are submitted
+    // non-blocking in rounds of four; each wave commits every admitted
+    // member in ONE block + ONE scheduled PBFT round (same-table
+    // submissions compose into a combined member instead of conflicting).
+    let mut service = LedgerService::new(ledger);
     let pids: Vec<i64> = patients.iter().map(|(pid, _)| *pid).collect();
     let mut stream = UpdateStream::new("hospital-updates", pids, 0.1);
     let mut committed = 0;
     let mut denied = 0;
+    let mut in_flight: Vec<(usize, &'static str, CommitTicket)> = Vec::new();
     for i in 0..24 {
         let u = stream.next_update();
         let pid = match u.target.as_int() {
@@ -113,44 +170,33 @@ fn main() {
             .expect("known patient")
             .1;
         let doctor_turn = i % 3 != 0;
-        let (actor, attr) = if doctor_turn {
-            (doctor, "dosage")
+        let (actor, actor_name, attr) = if doctor_turn {
+            (doctor, "Doctor", "dosage")
         } else {
-            (patient, "clinical_data")
+            (patient, "Patient", "clinical_data")
         };
-        let result = ledger
-            .session(actor)
-            .begin(&share)
+        let ticket = service
+            .submit(actor, &share)
             .set(vec![Value::Int(pid)], attr, u.new_value.clone())
-            .commit();
-        match result {
-            Ok(outcome) => {
-                committed += 1;
-                println!(
-                    "  [{}] {} updated {} (v{}), visible in {} ms",
-                    i,
-                    if doctor_turn { "Doctor" } else { "Patient" },
-                    outcome.report.table_id,
-                    outcome.version(),
-                    outcome.visibility_latency_ms()
-                );
-            }
-            Err(e) if e.is_no_change() => {}
-            Err(CommitError::PermissionDenied { reason, receipt }) => {
-                denied += 1;
-                println!(
-                    "  [{i}] update denied: {reason} (reverted receipt on chain: {})",
-                    receipt.is_some()
-                );
-            }
-            Err(e) => {
-                denied += 1;
-                println!("  [{i}] update failed: {e}");
-            }
+            .submit()
+            .expect("non-empty submission");
+        in_flight.push((i, actor_name, ticket));
+
+        // Every fourth submission, drive the pipeline: one or more waves
+        // commit everything queued so far.
+        if in_flight.len() == 4 {
+            drain_round(&mut service, &mut in_flight, &mut committed, &mut denied);
         }
     }
+    drain_round(&mut service, &mut in_flight, &mut committed, &mut denied);
 
-    ledger.check_consistency().expect("consistent");
+    service.ledger().check_consistency().expect("consistent");
+    println!(
+        "Pipeline: {} waves; {} cascades re-entered.",
+        service.waves(),
+        service.cascades().len()
+    );
+    let ledger = service.into_ledger();
     let stats = ledger.stats();
     println!("\n{committed} updates committed, {denied} denied.");
     println!(

@@ -105,15 +105,22 @@
 //! | [`network`] | deterministic latency-modeled message simulation |
 //! | [`workload`] | synthetic EHR generation, update streams, de-identification |
 //! | [`core`] | the engine (`System`), the facade, the Fig. 1 scenario, baselines |
-//! | [`engine`] | concurrent commit engine: group-commit queue + parallel fan-out |
+//! | [`engine`] | ticketed commit pipeline, group-commit queue, parallel fan-out |
 //!
-//! ## Group commits
+//! ## The ticketed commit pipeline
 //!
-//! Updates touching **distinct** shared tables can share one block and
-//! one consensus round: stage them on an [`engine::CommitQueue`] and
-//! call `commit_all` — per-batch outcomes come back demultiplexed, and
-//! a denied member rolls back alone. See the `medledger-engine` crate
-//! docs for a runnable example.
+//! For concurrent writers, wrap the ledger in a [`LedgerService`]:
+//! submissions stage writes like an [`UpdateBatch`] but end with a
+//! non-blocking `submit()` returning a [`CommitTicket`]; `tick()` /
+//! `drain()` commit each **wave** in one block and one scheduled PBFT
+//! round. Same-table submissions are *composed* into one member (each
+//! submitter permission-checked and receipted individually; a denied
+//! submitter rolls back alone) instead of rejected, and Step-6 cascades
+//! re-enter the next wave instead of running serially. Updates touching
+//! **distinct** shared tables can also still be staged on an
+//! [`engine::CommitQueue`] and committed together with blocking
+//! `commit_all`. See the `medledger-engine` crate docs for runnable
+//! examples of both.
 
 pub use medledger_bx as bx;
 pub use medledger_consensus as consensus;
@@ -131,4 +138,5 @@ pub use medledger_core::{
     PeerReader, PeerSession, PropagationMode, ShareBuilder, SystemConfig, UpdateBatch,
     UpdateReport, WorkflowTrace,
 };
+pub use medledger_engine::{CommitTicket, LedgerService, Submission, WaveReport};
 pub use medledger_relational::{Row, Table, Value};
