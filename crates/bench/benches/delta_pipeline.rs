@@ -11,7 +11,7 @@
 //! small updates to a few rows of a large table — the access pattern
 //! where the delta pipeline's advantage is largest.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, record_metric, BenchmarkId, Criterion};
 use medledger_bench::{one_batch_update, two_peer_system_in};
 use medledger_core::{ConsensusKind, PropagationMode};
 use medledger_workload::UpdateStream;
@@ -111,6 +111,12 @@ fn bench_bandwidth_report(c: &mut Criterion) {
             one_batch_update(&mut bench, &[FIRST_PATIENT_ID], rev);
         }
         let dp = bench.ledger.stats().data_plane;
+        if mode == PropagationMode::Delta {
+            // The headline bandwidth win (virtual-sim deterministic —
+            // tracked by the CI bench-trajectory gate).
+            record_metric("delta_bytes_ratio", dp.bytes_ratio().unwrap_or(1.0));
+            record_metric("delta_bytes_moved", dp.bytes as f64);
+        }
         println!(
             "bandwidth {:<10} transfers={} rows={} bytes={} full_equiv={} ratio={:.4}",
             mode_label(mode),

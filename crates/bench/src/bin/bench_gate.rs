@@ -1,0 +1,151 @@
+//! Bench-trajectory regression gate.
+//!
+//! Usage: `bench_gate <BENCH_json> <bench-name> <baseline.json> [--threshold 0.25]`
+//!
+//! Reads the machine-readable output a bench binary wrote via
+//! `--save-json` (see the vendored criterion shim) and compares every
+//! metric the committed baseline tracks for that bench. A metric
+//! regressing more than the threshold (25% by default) fails the gate
+//! with a non-zero exit, which is what stops a silent perf regression
+//! from merging.
+//!
+//! Baseline format (`bench/baseline.json`):
+//!
+//! ```json
+//! {
+//!   "shard_scaling": {
+//!     "shard_speedup_1_to_8": {"baseline": 1.0, "dir": "higher"},
+//!     "pipeline_blocks_per_update": {"baseline": 2.0, "dir": "lower"}
+//!   }
+//! }
+//! ```
+//!
+//! `dir` says which direction is good: `"lower"` metrics fail when the
+//! measured value exceeds `baseline * (1 + threshold)`, `"higher"`
+//! metrics when it falls below `baseline * (1 - threshold)`. Untracked
+//! metrics never gate; a tracked metric missing from the bench output
+//! fails (a silently dropped metric is itself a regression).
+
+use serde_json::Value;
+use std::process::exit;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_gate: {msg}");
+    exit(1)
+}
+
+/// Numeric coercion over the vendored JSON value.
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Number(n) => Some(n.as_f64()),
+        _ => None,
+    }
+}
+
+/// Object entries, or an empty list for any other shape.
+fn entries(v: &Value) -> Vec<(String, Value)> {
+    match v {
+        Value::Object(e) => e.clone(),
+        _ => Vec::new(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        fail("usage: bench_gate <BENCH_json> <bench-name> <baseline.json> [--threshold 0.25]");
+    }
+    let bench_path = &args[0];
+    let bench_name = &args[1];
+    let baseline_path = &args[2];
+    let mut threshold = 0.25f64;
+    let mut it = args[3..].iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold" {
+            threshold = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .unwrap_or_else(|| fail("--threshold needs a number"));
+        }
+    }
+
+    let bench_raw = std::fs::read_to_string(bench_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {bench_path}: {e}")));
+    let bench: Value = serde_json::from_str(&bench_raw)
+        .unwrap_or_else(|e| fail(&format!("{bench_path} is not valid JSON: {e}")));
+    let baseline_raw = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {baseline_path}: {e}")));
+    let baseline: Value = serde_json::from_str(&baseline_raw)
+        .unwrap_or_else(|e| fail(&format!("{baseline_path} is not valid JSON: {e}")));
+
+    let metrics: Vec<(String, Value)> = bench.get("metrics").map(entries).unwrap_or_default();
+    let tracked: Vec<(String, Value)> = match baseline.get(bench_name.as_str()) {
+        Some(b) => entries(b),
+        None => {
+            println!("bench_gate: no tracked metrics for `{bench_name}` — nothing to gate");
+            return;
+        }
+    };
+
+    let mut failures = Vec::new();
+    for (name, spec) in &tracked {
+        let base = spec
+            .get("baseline")
+            .and_then(as_f64)
+            .unwrap_or_else(|| fail(&format!("baseline entry `{name}` lacks a numeric baseline")));
+        let dir = spec
+            .get("dir")
+            .and_then(Value::as_str)
+            .unwrap_or("lower")
+            .to_string();
+        let Some(value) = metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| as_f64(v))
+        else {
+            failures.push(format!(
+                "`{name}`: tracked in the baseline but missing from {bench_path}"
+            ));
+            continue;
+        };
+        let (ok, bound) = match dir.as_str() {
+            "higher" => {
+                let bound = base * (1.0 - threshold);
+                (value >= bound, bound)
+            }
+            "lower" => {
+                let bound = base * (1.0 + threshold);
+                (value <= bound, bound)
+            }
+            other => fail(&format!(
+                "baseline entry `{name}` has unknown dir `{other}` \
+                 (expected \"lower\" or \"higher\") — refusing to guess \
+                 which direction is a regression"
+            )),
+        };
+        let verdict = if ok { "ok" } else { "REGRESSED" };
+        println!(
+            "bench_gate: {bench_name}/{name} = {value:.4} (baseline {base:.4}, \
+             {dir}-is-better, bound {bound:.4}) … {verdict}"
+        );
+        if !ok {
+            failures.push(format!(
+                "`{name}` regressed: {value:.4} vs baseline {base:.4} (allowed {bound:.4})"
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("bench_gate: {f}");
+        }
+        fail(&format!(
+            "{} tracked metric(s) regressed more than {:.0}% for `{bench_name}`",
+            failures.len(),
+            threshold * 100.0
+        ));
+    }
+    println!(
+        "bench_gate: `{bench_name}` within {:.0}% of baseline",
+        threshold * 100.0
+    );
+}

@@ -8,10 +8,15 @@
 //! `UpdateBatch`).
 
 use medledger_bx::LensSpec;
-use medledger_core::{ConsensusKind, MedLedger, PeerId, PropagationMode, SystemConfig};
+use medledger_core::{
+    ConsensusKind, MedLedger, PeerBinding, PeerId, PeerNode, PropagationMode, SystemConfig,
+};
+use medledger_crypto::Hash256;
 use medledger_engine::CommitQueue;
-use medledger_relational::{row, Column, Predicate, Schema, Table, Value, ValueType};
-use medledger_workload::EhrGenerator;
+use medledger_relational::{
+    diff_tables, row, Column, Predicate, Schema, Table, TableDelta, Value, ValueType,
+};
+use medledger_workload::{EhrGenerator, UpdateStream};
 
 /// A fast PBFT config for benches (100 ms blocks).
 pub fn fast_pbft_config(seed: &str) -> SystemConfig {
@@ -443,6 +448,180 @@ pub fn contention_keys_left(bench: &ContentionBench) -> u64 {
         })
         .min()
         .unwrap_or(0)
+}
+
+// ----------------------------------------------------------------------
+// Sharded-peer scaling bench
+// ----------------------------------------------------------------------
+
+/// [`two_peer_system`] with an explicit `shards_per_table` — the knob the
+/// `shard_scaling` bench sweeps to compare shard-routed delta application
+/// against the unsharded baseline on the full pipeline.
+pub fn two_peer_system_sharded(
+    seed: &str,
+    consensus: ConsensusKind,
+    n_patients: usize,
+    shards: usize,
+) -> WardBench {
+    let mut ledger = MedLedger::builder()
+        .seed(seed)
+        .consensus(consensus)
+        .peer_key_capacity(1024)
+        .shards_per_table(shards)
+        .build()
+        .expect("boot");
+    let doctor = ledger.add_peer("Doctor").expect("add");
+    let patient = ledger.add_peer("Patient").expect("add");
+
+    let full = EhrGenerator::new(seed).full_records(n_patients);
+    let shared_attrs = &["patient_id", "medication_name", "clinical_data", "dosage"];
+    let view = full
+        .project(shared_attrs, &["patient_id"])
+        .expect("shared view");
+    ledger
+        .session(doctor)
+        .load_source("D3", view.clone())
+        .expect("add");
+    ledger
+        .session(patient)
+        .load_source("P1", view)
+        .expect("add");
+    let lens = LensSpec::project(shared_attrs, &["patient_id"]);
+    ledger
+        .session(doctor)
+        .share("ward")
+        .bind("D3", lens.clone())
+        .with(patient, "P1", lens)
+        .writers("patient_id", &[doctor])
+        .writers("medication_name", &[doctor])
+        .writers("dosage", &[doctor])
+        .writers("clinical_data", &[doctor, patient])
+        .create()
+        .expect("create share");
+    WardBench {
+        ledger,
+        doctor,
+        patient,
+    }
+}
+
+/// One precomputed committed update for [`ShardApplyBench`]: the view
+/// delta, its pre-translated source delta, and the announced hash.
+struct ApplyStep {
+    view_delta: TableDelta,
+    source_delta: TableDelta,
+    hash: Hash256,
+}
+
+/// A receiver-side rig that isolates the cost of applying ONE committed
+/// delta to a stored shared table — the per-receiver unit of work of the
+/// Fig. 5 fan-out, without the chain/consensus around it. Two
+/// precomputed hotspot deltas toggle the table between two states, so
+/// every measured iteration performs a real apply (stored copy + hash
+/// verification + source reflection + baseline advance).
+pub struct ShardApplyBench {
+    receiver: PeerNode,
+    steps: [ApplyStep; 2],
+    next: usize,
+    version: u64,
+}
+
+/// Builds a [`ShardApplyBench`] over a `rows`-row shared table with
+/// `shards` key-range shards (1 = the unsharded baseline). The toggled
+/// delta touches the workload crate's hotspot row set (`hot_rows` seeded
+/// hot patients).
+pub fn shard_apply_bench(
+    seed: &str,
+    rows: usize,
+    hot_rows: usize,
+    shards: usize,
+) -> ShardApplyBench {
+    let full = EhrGenerator::new(seed).full_records(rows);
+    let shared_attrs = &["patient_id", "medication_name", "clinical_data", "dosage"];
+    let src = full
+        .project(shared_attrs, &["patient_id"])
+        .expect("source projection");
+    let mut receiver = PeerNode::new("Receiver", seed, 4, PropagationMode::Delta, shards);
+    receiver.add_source_table("S", src).expect("source");
+    receiver
+        .join_share(
+            "ward",
+            PeerBinding {
+                source_table: "S".into(),
+                lens: LensSpec::project(shared_attrs, &["patient_id"]),
+            },
+        )
+        .expect("join share");
+    assert_eq!(receiver.is_sharded("ward"), shards > 1);
+
+    // The hotspot row set, drawn exactly as the workload crate draws it.
+    let all_ids: Vec<i64> = (0..rows as i64).map(|i| 1000 + i).collect();
+    let hot: std::collections::BTreeSet<i64> = UpdateStream::hotspot(seed, all_ids, hot_rows)
+        .take(hot_rows * 4)
+        .into_iter()
+        .filter_map(|u| u.target.as_int())
+        .collect();
+
+    let view0 = receiver.shared_table("ward").expect("view").clone();
+    let mut view1 = view0.clone();
+    for pid in &hot {
+        view1
+            .update(
+                &[Value::Int(*pid)],
+                &[("dosage", Value::text(format!("hot-{pid}")))],
+            )
+            .expect("hot update");
+    }
+    let d01 = diff_tables(&view0, &view1);
+    let d10 = diff_tables(&view1, &view0);
+    // The lens projects every shared column, so both translations are
+    // valid against either source state.
+    let s01 = receiver
+        .translate_remote_delta("ward", &d01)
+        .expect("translate 0→1");
+    let s10 = receiver
+        .translate_remote_delta("ward", &d10)
+        .expect("translate 1→0");
+    ShardApplyBench {
+        receiver,
+        steps: [
+            ApplyStep {
+                view_delta: d01,
+                source_delta: s01,
+                hash: view1.content_hash(),
+            },
+            ApplyStep {
+                view_delta: d10,
+                source_delta: s10,
+                hash: view0.content_hash(),
+            },
+        ],
+        next: 0,
+        version: 0,
+    }
+}
+
+/// Applies the next toggled hotspot delta (the measured unit: one
+/// committed-update apply on the receiver).
+pub fn one_shard_apply(bench: &mut ShardApplyBench) {
+    let ShardApplyBench {
+        receiver,
+        steps,
+        next,
+        version,
+    } = bench;
+    let step = &steps[*next];
+    *next ^= 1;
+    *version += 1;
+    receiver
+        .apply_remote_delta(
+            "ward",
+            &step.view_delta,
+            &step.source_delta,
+            step.hash,
+            *version,
+        )
+        .expect("hotspot apply");
 }
 
 /// The standard projection lens used in the lens-scaling benches.

@@ -3,11 +3,12 @@
 use crate::agreement::PeerBinding;
 use crate::error::CoreError;
 use crate::Result;
-use medledger_bx::{analysis, changed_attrs, exec, incremental};
+use medledger_bx::{analysis, changed_attrs, exec, incremental, GroupIndex, LensSpec};
 use medledger_crypto::{Hash256, KeyPair};
 use medledger_ledger::AccountId;
 use medledger_relational::{
-    delta_from_write_op, diff_tables, Database, Row, Schema, Table, TableDelta, Value, WriteOp,
+    delta_from_write_op, diff_tables, normalize_shard_count, Database, Row, Schema, Shard,
+    ShardMap, ShardPlan, Table, TableDelta, Value, WriteOp,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -41,9 +42,69 @@ type PendingRows = BTreeMap<Vec<Value>, Option<Row>>;
 /// everything a transactional caller (the facade's `UpdateBatch`, the
 /// engine's `CommitQueue`) needs to roll a failed batch back via
 /// [`PeerNode::rollback_writes`]. Cheap: pending deltas hold only the
-/// rows touched since the last committed version.
+/// rows touched since the last committed version. (Internally pending
+/// rows are tracked per shard; snapshotting is shard-layout agnostic.)
 #[derive(Clone, Debug, Default)]
-pub struct PendingSnapshot(BTreeMap<String, PendingRows>);
+pub struct PendingSnapshot(BTreeMap<String, Vec<PendingRows>>);
+
+/// The sharded mirror of one shared table's state: the stored copy and
+/// the committed baseline, each split into key-range shards aligned with
+/// the content digest ([`ShardMap`]). Kept in lockstep with the assembled
+/// copies (`db` / `baselines`), which remain the cheap read path; the
+/// shard maps are the hash and apply path — folds serve the content hash
+/// from per-shard subtree roots, and deltas route to the shards they land
+/// in.
+#[derive(Clone, Debug)]
+struct ShardState {
+    /// Sharded stored copy (mirrors the table under `table_id` in `db`).
+    store: ShardMap,
+    /// Sharded committed baseline (mirrors `baselines[table_id]`).
+    baseline: ShardMap,
+    /// [`Database::table_version`] of the assembled copy when `store`
+    /// last synced with it. An out-of-band edit straight to `db` bumps
+    /// the version, so a stale mirror is detected and resynced (or
+    /// bypassed on read paths) — never silently served.
+    synced_at: u64,
+}
+
+/// How a receiver applies one committed remote delta (see
+/// [`PeerNode::plan_remote_apply`]).
+pub(crate) enum RemoteApply {
+    /// Shard-routed: run the plan's per-shard jobs (concurrently if the
+    /// caller has a pool), then [`PeerNode::finish_remote_apply`].
+    Sharded(RemoteShardPlan),
+    /// Whole-table path — unsharded receiver or conflicted-pending
+    /// resolution; drive through [`PeerNode::apply_remote_delta`].
+    Serial,
+}
+
+/// A planned shard-routed remote apply: the per-shard split of the view
+/// delta plus the pre-derived sibling cascade deltas.
+pub(crate) struct RemoteShardPlan {
+    plan: ShardPlan,
+    touched: Vec<usize>,
+    derived: Vec<(String, TableDelta)>,
+}
+
+impl RemoteShardPlan {
+    /// Number of per-shard jobs this plan produces.
+    pub(crate) fn job_count(&self) -> usize {
+        self.touched.len()
+    }
+}
+
+/// One shard job of a planned remote apply: applies the sub-delta under
+/// the target chunk layout and pre-warms the shard's subtree root, so
+/// the map-level fold after the pool drains only combines cached
+/// subroots. Runs on the fan-out worker pool (shard-granular mode) or
+/// inline — the result is identical.
+pub(crate) fn run_shard_job(
+    (shard, delta, chunk_count): (&mut Shard, &TableDelta, usize),
+) -> medledger_relational::Result<TableDelta> {
+    let inverse = shard.apply(delta, chunk_count)?;
+    shard.warm(chunk_count);
+    Ok(inverse)
+}
 
 fn merge_into_pending(pending: &mut PendingRows, schema: &Schema, delta: &TableDelta) {
     for row in &delta.inserts {
@@ -115,8 +176,25 @@ pub struct PeerNode {
     /// chain. Diffing (or normalizing pending rows) against this baseline
     /// yields the `changed_attrs` the contract checks write permission on.
     baselines: BTreeMap<String, Table>,
-    /// Per shared table: composed uncommitted local changes (delta mode).
-    pending: BTreeMap<String, PendingRows>,
+    /// Per shared table: composed uncommitted local changes (delta mode),
+    /// tracked per shard (index = `shard_of_key`; one slot when
+    /// unsharded).
+    pending: BTreeMap<String, Vec<PendingRows>>,
+    /// Key-range shards per shared table: `1` leaves the peer exactly as
+    /// before (the equivalence baseline); a power of two `> 1` splits
+    /// every shared table's stored copy and baseline into [`ShardMap`]s
+    /// in delta mode.
+    shards_per_table: usize,
+    /// Sharded mirrors of shared-table state (delta mode,
+    /// `shards_per_table > 1` only).
+    shard_states: BTreeMap<String, ShardState>,
+    /// Cached `bx` group indexes, one per `ProjectDistinct` binding
+    /// (keyed by shared table id), advanced with every applied source
+    /// delta — the O(group) hot path for group-lens translation.
+    /// Each entry is `(source table version at last sync, index)`; the
+    /// version guard ([`Database::table_version`]) means an index left
+    /// stale by an out-of-band `db` edit is bypassed, never misused.
+    group_indexes: BTreeMap<String, (u64, GroupIndex)>,
     /// Last applied version per shared table (mirror of contract state).
     pub applied_versions: BTreeMap<String, u64>,
     /// Next ledger nonce.
@@ -125,12 +203,15 @@ pub struct PeerNode {
 
 impl PeerNode {
     /// Creates a peer with a deterministic key derived from `name` and
-    /// `seed`, able to sign `key_capacity` transactions.
+    /// `seed`, able to sign `key_capacity` transactions. `shards_per_table`
+    /// (normalized to a power of two) splits shared-table state into
+    /// key-range shards in delta mode; `1` is the unsharded baseline.
     pub fn new(
         name: impl Into<String>,
         seed: &str,
         key_capacity: usize,
         mode: PropagationMode,
+        shards_per_table: usize,
     ) -> Self {
         let name = name.into();
         let keys = KeyPair::generate(&format!("{seed}-peer-{name}"), key_capacity);
@@ -143,9 +224,22 @@ impl PeerNode {
             bindings: BTreeMap::new(),
             baselines: BTreeMap::new(),
             pending: BTreeMap::new(),
+            shards_per_table: normalize_shard_count(shards_per_table),
+            shard_states: BTreeMap::new(),
+            group_indexes: BTreeMap::new(),
             applied_versions: BTreeMap::new(),
             next_nonce: 0,
         }
+    }
+
+    /// Key-range shards per shared table (1 = unsharded).
+    pub fn shards_per_table(&self) -> usize {
+        self.shards_per_table
+    }
+
+    /// True iff `table_id`'s stored state is sharded on this peer.
+    pub fn is_sharded(&self, table_id: &str) -> bool {
+        self.shard_states.contains_key(table_id)
     }
 
     /// Registers a source table with initial contents.
@@ -161,7 +255,9 @@ impl PeerNode {
     }
 
     /// Joins a shared table: records the binding, materializes the view
-    /// via the lens's `get`, and stores it under `table_id`.
+    /// via the lens's `get`, and stores it under `table_id`. In delta
+    /// mode this also builds the sharded mirror (when sharding is on) and
+    /// the cached group index (for `ProjectDistinct` bindings).
     pub fn join_share(&mut self, table_id: &str, binding: PeerBinding) -> Result<Hash256> {
         let source = self.db.table(&binding.source_table)?;
         let view = exec::get(&binding.lens, source)?;
@@ -172,7 +268,26 @@ impl PeerNode {
                 self.name
             )));
         }
+        if self.mode == PropagationMode::Delta {
+            if let LensSpec::ProjectDistinct { view_key, .. } = &binding.lens {
+                let synced_at = self.db.table_version(&binding.source_table);
+                self.group_indexes.insert(
+                    table_id.to_string(),
+                    (synced_at, GroupIndex::build(source, view_key)?),
+                );
+            }
+        }
         self.db.put_table(table_id, view.clone())?;
+        if self.mode == PropagationMode::Delta && self.shards_per_table > 1 {
+            self.shard_states.insert(
+                table_id.to_string(),
+                ShardState {
+                    store: ShardMap::from_table(&view, self.shards_per_table),
+                    baseline: ShardMap::from_table(&view, self.shards_per_table),
+                    synced_at: self.db.table_version(table_id),
+                },
+            );
+        }
         self.bindings.insert(table_id.to_string(), binding);
         self.baselines.insert(table_id.to_string(), view);
         self.applied_versions.insert(table_id.to_string(), 0);
@@ -185,6 +300,8 @@ impl PeerNode {
         self.bindings.remove(table_id);
         self.baselines.remove(table_id);
         self.pending.remove(table_id);
+        self.shard_states.remove(table_id);
+        self.group_indexes.remove(table_id);
         self.applied_versions.remove(table_id);
         self.db.drop_table(table_id)?;
         Ok(())
@@ -212,6 +329,279 @@ impl PeerNode {
             .collect()
     }
 
+    // ----- shard / group-index plumbing --------------------------------
+    //
+    // Every mutation of a shared table's stored copy, of a source table,
+    // or of a committed baseline funnels through the helpers below, which
+    // keep three derived structures in lockstep with the assembled
+    // tables: the per-table [`ShardMap`]s (stored copy + baseline, delta
+    // mode with `shards_per_table > 1`), the per-shard pending-row
+    // tracking, and the cached [`GroupIndex`] of every `ProjectDistinct`
+    // binding.
+
+    /// Merges a view delta into `table_id`'s pending tracking, routed to
+    /// the shards the rows land in.
+    fn merge_pending(&mut self, table_id: &str, schema: &Schema, delta: &TableDelta) {
+        let shards = self.shards_per_table;
+        let entry = self
+            .pending
+            .entry(table_id.to_string())
+            .or_insert_with(|| vec![PendingRows::new(); shards]);
+        if shards == 1 {
+            merge_into_pending(&mut entry[0], schema, delta);
+        } else {
+            for (s, part) in delta.split_by_shard(schema, shards).iter().enumerate() {
+                if !part.is_empty() {
+                    merge_into_pending(&mut entry[s], schema, part);
+                }
+            }
+        }
+    }
+
+    /// The share ids of every cached group index bound to `source_table`.
+    fn indexed_shares_of(&self, source_table: &str) -> Vec<String> {
+        self.bindings
+            .iter()
+            .filter(|(id, b)| {
+                b.source_table == source_table && self.group_indexes.contains_key(*id)
+            })
+            .map(|(id, _)| id.clone())
+            .collect()
+    }
+
+    /// The cached group index of `share_id`, only when it is provably in
+    /// sync with the source (the recorded [`Database::table_version`]
+    /// still matches). Out-of-band edits straight to `db` bump the
+    /// version, so a stale index is bypassed — never silently used.
+    fn fresh_group_index(&self, share_id: &str) -> Option<&GroupIndex> {
+        let (synced_at, idx) = self.group_indexes.get(share_id)?;
+        let source = &self.bindings.get(share_id)?.source_table;
+        (*synced_at == self.db.table_version(source)).then_some(idx)
+    }
+
+    /// `get_delta` through `share_id`'s lens, using the cached group
+    /// index when the binding is a `ProjectDistinct` and the index is
+    /// fresh (falls back to the partial-index path otherwise).
+    fn get_delta_for_share(
+        &self,
+        share_id: &str,
+        source_old: &Table,
+        source_delta: &TableDelta,
+    ) -> Result<TableDelta> {
+        let lens = &self.bindings[share_id].lens;
+        Ok(match self.fresh_group_index(share_id) {
+            Some(idx) => incremental::get_delta_indexed(lens, source_old, source_delta, idx)?,
+            None => incremental::get_delta(lens, source_old, source_delta)?,
+        })
+    }
+
+    /// `put_delta` through `share_id`'s lens, using the cached group
+    /// index when the binding is a `ProjectDistinct` and the index is
+    /// fresh (falls back to the partial-index path otherwise).
+    fn put_delta_for_share(
+        &self,
+        share_id: &str,
+        source: &Table,
+        view_delta: &TableDelta,
+    ) -> Result<TableDelta> {
+        let lens = &self.bindings[share_id].lens;
+        Ok(match self.fresh_group_index(share_id) {
+            Some(idx) => incremental::put_delta_indexed(lens, source, view_delta, idx)?,
+            None => incremental::put_delta(lens, source, view_delta)?,
+        })
+    }
+
+    /// Re-stamps every index on `source_table` as synced with the
+    /// source's current mutation version.
+    fn mark_group_indexes_synced(&mut self, source_table: &str) {
+        let version = self.db.table_version(source_table);
+        for id in self.indexed_shares_of(source_table) {
+            if let Some(entry) = self.group_indexes.get_mut(&id) {
+                entry.0 = version;
+            }
+        }
+    }
+
+    /// Advances every cached group index bound to `source_table` past
+    /// `delta`. Must run while the pre-delta source is still in `db`;
+    /// the caller re-stamps sync versions after the table itself moves.
+    fn advance_group_indexes(&mut self, source_table: &str, delta: &TableDelta) -> Result<()> {
+        if delta.is_empty() {
+            return Ok(());
+        }
+        let share_ids = self.indexed_shares_of(source_table);
+        if share_ids.is_empty() {
+            return Ok(());
+        }
+        let source_old = self.db.table(source_table)?;
+        for id in share_ids {
+            self.group_indexes
+                .get_mut(&id)
+                .expect("filtered on presence")
+                .1
+                .apply_source_delta(source_old, delta)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the cached group indexes of every `ProjectDistinct`
+    /// binding on `source_table` from the current source contents (used
+    /// after whole-table rewrites and out-of-band edits that bypass
+    /// delta tracking), stamping them with the current table version.
+    fn rebuild_group_indexes_for_source(&mut self, source_table: &str) -> Result<()> {
+        let version = self.db.table_version(source_table);
+        for id in self.indexed_shares_of(source_table) {
+            if let LensSpec::ProjectDistinct { view_key, .. } = &self.bindings[&id].lens {
+                let idx = GroupIndex::build(self.db.table(source_table)?, view_key)?;
+                self.group_indexes.insert(id, (version, idx));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a delta to a shared table's stored copy: the sharded
+    /// mirror (when present) and the assembled copy in `db` move
+    /// together, touching only the shards the delta lands in. Returns the
+    /// inverse.
+    ///
+    /// Sharded tables log the WAL `post_hash` from the shard fold (cached
+    /// per-shard subtree roots) instead of forcing a full rehash of the
+    /// assembled copy — the two are byte-identical by construction, and
+    /// this is precisely where shard-routed application beats the
+    /// unsharded path per delta.
+    fn apply_view_delta(&mut self, table_id: &str, delta: &TableDelta) -> Result<TableDelta> {
+        if !self.shard_states.contains_key(table_id) {
+            return Ok(self.db.apply_delta(table_id, delta)?);
+        }
+        // An out-of-band edit may have left the mirror behind; re-derive
+        // it from ground truth before applying on top.
+        self.ensure_shard_state_synced(table_id)?;
+        let state = self.shard_states.get_mut(table_id).expect("just checked");
+        // Shards first — they validate identically, so a rejected
+        // delta leaves both representations untouched.
+        let shard_inv = state.store.apply_delta(delta)?;
+        let post_hash = state.store.content_hash();
+        match self.db.apply_delta_with_hash(table_id, delta, post_hash) {
+            Ok(inv) => {
+                self.stamp_shard_state(table_id);
+                Ok(inv)
+            }
+            Err(e) => {
+                self.shard_states
+                    .get_mut(table_id)
+                    .expect("just present")
+                    .store
+                    .apply_delta(&shard_inv)
+                    .expect("inverse of a just-applied delta applies");
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Applies a delta to a **source** table, keeping the cached group
+    /// indexes in step. Returns the inverse.
+    ///
+    /// Fresh indexes advance incrementally (O(delta)); indexes left
+    /// behind by an out-of-band edit straight to `db` (detected via
+    /// [`Database::table_version`]) are rebuilt from ground truth after
+    /// the apply instead — correctness never depends on every caller
+    /// using the tracked paths.
+    fn apply_source_delta_db(
+        &mut self,
+        source_table: &str,
+        delta: &TableDelta,
+    ) -> Result<TableDelta> {
+        let indexed = self.indexed_shares_of(source_table);
+        if indexed.is_empty() {
+            return Ok(self.db.apply_delta(source_table, delta)?);
+        }
+        let current = self.db.table_version(source_table);
+        let all_fresh = indexed.iter().all(|id| self.group_indexes[id].0 == current);
+        if all_fresh {
+            self.advance_group_indexes(source_table, delta)?;
+            match self.db.apply_delta(source_table, delta) {
+                Ok(inv) => {
+                    self.mark_group_indexes_synced(source_table);
+                    Ok(inv)
+                }
+                Err(e) => {
+                    // The indexes advanced past a delta the table
+                    // refused — re-derive them before surfacing.
+                    self.rebuild_group_indexes_for_source(source_table)?;
+                    Err(e.into())
+                }
+            }
+        } else {
+            let inv = self.db.apply_delta(source_table, delta)?;
+            self.rebuild_group_indexes_for_source(source_table)?;
+            Ok(inv)
+        }
+    }
+
+    /// Advances `table_id`'s committed baseline (assembled + sharded) by
+    /// a committed delta.
+    fn advance_baseline_by(&mut self, table_id: &str, delta: &TableDelta) -> Result<()> {
+        let baseline = self
+            .baselines
+            .get_mut(table_id)
+            .ok_or_else(|| CoreError::UnknownShare(table_id.to_string()))?;
+        baseline.apply_delta(delta)?;
+        if let Some(state) = self.shard_states.get_mut(table_id) {
+            state
+                .baseline
+                .apply_delta(delta)
+                .expect("baseline shadow accepted the same delta");
+        }
+        Ok(())
+    }
+
+    /// Re-splits `table_id`'s sharded mirror from the assembled copies
+    /// (used after whole-table rewrites, e.g. conflict resolution via
+    /// [`PeerNode::apply_remote_view`]).
+    fn resync_shard_state(&mut self, table_id: &str) -> Result<()> {
+        if !self.shard_states.contains_key(table_id) {
+            return Ok(());
+        }
+        let store = ShardMap::from_table(self.db.table(table_id)?, self.shards_per_table);
+        let baseline = ShardMap::from_table(self.baseline(table_id)?, self.shards_per_table);
+        let synced_at = self.db.table_version(table_id);
+        self.shard_states.insert(
+            table_id.to_string(),
+            ShardState {
+                store,
+                baseline,
+                synced_at,
+            },
+        );
+        Ok(())
+    }
+
+    /// The sharded mirror of `table_id`, only when it is provably in
+    /// sync with the assembled copy (out-of-band `db` edits bump the
+    /// table version and flag it stale).
+    fn fresh_shard_state(&self, table_id: &str) -> Option<&ShardState> {
+        let state = self.shard_states.get(table_id)?;
+        (state.synced_at == self.db.table_version(table_id)).then_some(state)
+    }
+
+    /// Resyncs `table_id`'s mirror from the assembled copies if an
+    /// out-of-band edit left it stale (no-op when absent or fresh).
+    fn ensure_shard_state_synced(&mut self, table_id: &str) -> Result<()> {
+        if self.shard_states.contains_key(table_id) && self.fresh_shard_state(table_id).is_none() {
+            self.resync_shard_state(table_id)?;
+        }
+        Ok(())
+    }
+
+    /// Re-stamps `table_id`'s mirror as synced with the assembled copy's
+    /// current mutation version.
+    fn stamp_shard_state(&mut self, table_id: &str) {
+        let version = self.db.table_version(table_id);
+        if let Some(state) = self.shard_states.get_mut(table_id) {
+            state.synced_at = version;
+        }
+    }
+
     /// Applies a local write to a **source** table (Fig. 5 step 0: the
     /// Researcher edits D2 before propagating).
     ///
@@ -235,7 +625,7 @@ impl PeerNode {
             // gets an inverse for O(changed rows) transactional rollback
             // (same contract as delta mode — no table snapshots).
             let source_delta = delta_from_write_op(self.db.table(table)?, &op)?;
-            let inv = self.db.apply_delta(table, &source_delta)?;
+            let inv = self.apply_source_delta_db(table, &source_delta)?;
             return Ok(vec![(table.to_string(), inv)]);
         }
         let source_old = self.db.table(table)?;
@@ -244,23 +634,18 @@ impl PeerNode {
         // *before* mutating, so the old source anchors the lookups.
         let mut derived: Vec<(String, TableDelta)> = Vec::new();
         for share_id in self.sibling_shares(table, None) {
-            let lens = &self.bindings[&share_id].lens;
-            let view_delta = incremental::get_delta(lens, source_old, &source_delta)?;
+            let view_delta = self.get_delta_for_share(&share_id, source_old, &source_delta)?;
             if !view_delta.is_empty() {
                 derived.push((share_id, view_delta));
             }
         }
         let mut inverses = Vec::with_capacity(1 + derived.len());
-        let inv = self.db.apply_delta(table, &source_delta)?;
+        let inv = self.apply_source_delta_db(table, &source_delta)?;
         inverses.push((table.to_string(), inv));
         for (share_id, view_delta) in derived {
-            let inv = self.db.apply_delta(&share_id, &view_delta)?;
+            let inv = self.apply_view_delta(&share_id, &view_delta)?;
             let schema = self.db.table(&share_id)?.schema().clone();
-            merge_into_pending(
-                self.pending.entry(share_id.clone()).or_default(),
-                &schema,
-                &view_delta,
-            );
+            self.merge_pending(&share_id, &schema, &view_delta);
             inverses.push((share_id, inv));
         }
         Ok(inverses)
@@ -285,7 +670,7 @@ impl PeerNode {
             // point), but both mutations apply as deltas so the caller
             // gets inverses for rollback instead of table snapshots.
             let view_delta = delta_from_write_op(self.db.table(table_id)?, &op)?;
-            let view_inv = self.db.apply_delta(table_id, &view_delta)?;
+            let view_inv = self.apply_view_delta(table_id, &view_delta)?;
             let view = self.db.table(table_id)?.clone();
             let source_old = self.db.table(&binding.source_table)?;
             // An untranslatable write must leave the peer untouched: undo
@@ -293,8 +678,7 @@ impl PeerNode {
             let new_source = match exec::put(&binding.lens, source_old, &view) {
                 Ok(t) => t,
                 Err(e) => {
-                    self.db
-                        .apply_delta(table_id, &view_inv)
+                    self.apply_view_delta(table_id, &view_inv)
                         .expect("inverse of a just-applied delta applies");
                     return Err(e.into());
                 }
@@ -302,7 +686,7 @@ impl PeerNode {
             let source_delta = diff_tables(source_old, &new_source);
             let mut inverses = vec![(table_id.to_string(), view_inv)];
             if !source_delta.is_empty() {
-                let inv = self.db.apply_delta(&binding.source_table, &source_delta)?;
+                let inv = self.apply_source_delta_db(&binding.source_table, &source_delta)?;
                 inverses.push((binding.source_table.clone(), inv));
             }
             return Ok(inverses);
@@ -311,37 +695,28 @@ impl PeerNode {
         let view_delta = delta_from_write_op(view, &op)?;
         let view_schema = view.schema().clone();
         let source_old = self.db.table(&binding.source_table)?;
-        let source_delta = incremental::put_delta(&binding.lens, source_old, &view_delta)?;
+        let source_delta = self.put_delta_for_share(table_id, source_old, &view_delta)?;
         // Sibling views refresh from the source delta (the raw material of
         // the Fig. 5 step-6 dependency check).
         let mut derived: Vec<(String, TableDelta)> = Vec::new();
         for share_id in self.sibling_shares(&binding.source_table, Some(table_id)) {
-            let lens = &self.bindings[&share_id].lens;
-            let d = incremental::get_delta(lens, source_old, &source_delta)?;
+            let d = self.get_delta_for_share(&share_id, source_old, &source_delta)?;
             if !d.is_empty() {
                 derived.push((share_id, d));
             }
         }
         let mut inverses = Vec::with_capacity(2 + derived.len());
-        let inv = self.db.apply_delta(table_id, &view_delta)?;
+        let inv = self.apply_view_delta(table_id, &view_delta)?;
         inverses.push((table_id.to_string(), inv));
-        merge_into_pending(
-            self.pending.entry(table_id.to_string()).or_default(),
-            &view_schema,
-            &view_delta,
-        );
+        self.merge_pending(table_id, &view_schema, &view_delta);
         if !source_delta.is_empty() {
-            let inv = self.db.apply_delta(&binding.source_table, &source_delta)?;
+            let inv = self.apply_source_delta_db(&binding.source_table, &source_delta)?;
             inverses.push((binding.source_table.clone(), inv));
         }
         for (share_id, d) in derived {
-            let inv = self.db.apply_delta(&share_id, &d)?;
+            let inv = self.apply_view_delta(&share_id, &d)?;
             let schema = self.db.table(&share_id)?.schema().clone();
-            merge_into_pending(
-                self.pending.entry(share_id.clone()).or_default(),
-                &schema,
-                &d,
-            );
+            self.merge_pending(&share_id, &schema, &d);
             inverses.push((share_id, inv));
         }
         Ok(inverses)
@@ -362,16 +737,29 @@ impl PeerNode {
         Ok(self.db.table(table_id)?)
     }
 
-    /// Content hash of the stored shared copy.
+    /// Content hash of the stored shared copy. On a sharded peer this is
+    /// the fold of per-shard subtree roots — byte-identical to hashing
+    /// the assembled copy, but only shards touched since the last fold
+    /// rehash. A mirror left stale by an out-of-band `db` edit is
+    /// bypassed: the assembled copy is hashed directly instead.
     pub fn shared_hash(&self, table_id: &str) -> Result<Hash256> {
+        if let Some(state) = self.fresh_shard_state(table_id) {
+            self.binding(table_id)?;
+            return Ok(state.store.content_hash());
+        }
         Ok(self.shared_table(table_id)?.content_hash())
     }
 
     /// Content hash of the last *committed* view — what must equal the
     /// hash the sharing contract holds while the table is synced, even
     /// when the peer carries pending local changes (e.g. a
-    /// permission-blocked cascade awaiting retry).
+    /// permission-blocked cascade awaiting retry). Served from the
+    /// sharded baseline's fold when sharding is on.
     pub fn committed_hash(&self, table_id: &str) -> Result<Hash256> {
+        if let Some(state) = self.shard_states.get(table_id) {
+            self.binding(table_id)?;
+            return Ok(state.baseline.content_hash());
+        }
         Ok(self.baseline(table_id)?.content_hash())
     }
 
@@ -419,13 +807,19 @@ impl PeerNode {
     // ----- delta-mode propagation hooks -------------------------------
 
     /// The normalized pending delta of `table_id` relative to the
-    /// committed baseline (empty delta if nothing is pending).
+    /// committed baseline (empty delta if nothing is pending). Per-shard
+    /// pending rows normalize independently (their keys are disjoint by
+    /// construction) and merge into one canonically ordered delta.
     pub fn pending_delta(&self, table_id: &str) -> Result<TableDelta> {
         let baseline = self.baseline(table_id)?;
-        Ok(match self.pending.get(table_id) {
-            Some(p) => normalize_pending(p, baseline),
-            None => TableDelta::default(),
-        })
+        let Some(parts) = self.pending.get(table_id) else {
+            return Ok(TableDelta::default());
+        };
+        let schema = baseline.schema().clone();
+        Ok(TableDelta::merge_disjoint(
+            parts.iter().map(|part| normalize_pending(part, baseline)),
+            |r| schema.key_of(r),
+        ))
     }
 
     /// True iff the peer holds a pending local change of `table_id` —
@@ -455,21 +849,18 @@ impl PeerNode {
         }
         let stored_delta = diff_tables(self.db.table(table_id)?, &regenerated);
         if !stored_delta.is_empty() {
-            self.db.apply_delta(table_id, &stored_delta)?;
+            self.apply_view_delta(table_id, &stored_delta)?;
         }
         let schema = self.db.table(table_id)?.schema().clone();
-        merge_into_pending(
-            self.pending.entry(table_id.to_string()).or_default(),
-            &schema,
-            &delta,
-        );
+        self.merge_pending(table_id, &schema, &delta);
         Ok(delta)
     }
 
     /// Translates an incoming view delta into this peer's source delta
     /// (`put_delta`) **without applying anything** — the pipeline's
     /// pre-flight check, run for every sharing peer before the update is
-    /// submitted on chain.
+    /// submitted on chain. Uses the cached group index for
+    /// `ProjectDistinct` bindings (O(touched groups), no source scan).
     pub fn translate_remote_delta(
         &self,
         table_id: &str,
@@ -477,7 +868,7 @@ impl PeerNode {
     ) -> Result<TableDelta> {
         let binding = self.binding(table_id)?;
         let source = self.db.table(&binding.source_table)?;
-        Ok(incremental::put_delta(&binding.lens, source, view_delta)?)
+        self.put_delta_for_share(table_id, source, view_delta)
     }
 
     /// Applies a committed remote delta (Fig. 5 steps 4–5 / 10–11 in
@@ -486,7 +877,53 @@ impl PeerNode {
     /// into the source with the pre-computed `source_delta`, refreshes
     /// sibling shares (stashing their deltas as pending for the step-6
     /// cascade), and advances the committed baseline by the same delta.
+    ///
+    /// On a sharded peer the view delta routes to the shards it lands in
+    /// ([`TableDelta::split_by_shard`]) and the announced hash is checked
+    /// against the fold of per-shard subtree roots — only the touched
+    /// shards rehash. Callers that own a worker pool (the system's
+    /// fan-out) drive the same three phases — plan, per-shard jobs,
+    /// finish — through the crate-internal shard-apply API so disjoint
+    /// shards apply in parallel; this entry point runs the jobs inline,
+    /// byte-identically.
     pub fn apply_remote_delta(
+        &mut self,
+        table_id: &str,
+        view_delta: &TableDelta,
+        source_delta: &TableDelta,
+        announced_hash: Hash256,
+        version: u64,
+    ) -> Result<()> {
+        match self.plan_remote_apply(table_id, view_delta, source_delta)? {
+            RemoteApply::Sharded(plan) => {
+                let results: Vec<medledger_relational::Result<TableDelta>> = self
+                    .remote_shard_jobs(table_id, &plan)
+                    .into_iter()
+                    .map(run_shard_job)
+                    .collect();
+                self.finish_remote_apply(
+                    table_id,
+                    plan,
+                    results,
+                    view_delta,
+                    source_delta,
+                    announced_hash,
+                    version,
+                )
+            }
+            RemoteApply::Serial => self.apply_remote_delta_serial(
+                table_id,
+                view_delta,
+                source_delta,
+                announced_hash,
+                version,
+            ),
+        }
+    }
+
+    /// The unsharded / conflicted apply path (see
+    /// [`PeerNode::apply_remote_delta`]).
+    fn apply_remote_delta_serial(
         &mut self,
         table_id: &str,
         view_delta: &TableDelta,
@@ -519,17 +956,13 @@ impl PeerNode {
                 let regenerated = self.regenerate_view(&share_id)?;
                 let stored_delta = diff_tables(self.db.table(&share_id)?, &regenerated);
                 if !stored_delta.is_empty() {
-                    self.db.apply_delta(&share_id, &stored_delta)?;
+                    self.apply_view_delta(&share_id, &stored_delta)?;
                 }
                 let pending_delta = diff_tables(self.baseline(&share_id)?, &regenerated);
                 self.pending.remove(&share_id);
                 if !pending_delta.is_empty() {
                     let schema = regenerated.schema().clone();
-                    merge_into_pending(
-                        self.pending.entry(share_id.clone()).or_default(),
-                        &schema,
-                        &pending_delta,
-                    );
+                    self.merge_pending(&share_id, &schema, &pending_delta);
                 }
             }
             return Ok(());
@@ -537,16 +970,15 @@ impl PeerNode {
         let source_old = self.db.table(&binding.source_table)?;
         let mut derived: Vec<(String, TableDelta)> = Vec::new();
         for share_id in self.sibling_shares(&binding.source_table, Some(table_id)) {
-            let lens = &self.bindings[&share_id].lens;
-            let d = incremental::get_delta(lens, source_old, source_delta)?;
+            let d = self.get_delta_for_share(&share_id, source_old, source_delta)?;
             if !d.is_empty() {
                 derived.push((share_id, d));
             }
         }
-        let view_inv = self.db.apply_delta(table_id, view_delta)?;
-        if self.db.table(table_id)?.content_hash() != announced_hash {
+        let view_inv = self.apply_view_delta(table_id, view_delta)?;
+        if self.shared_hash(table_id)? != announced_hash {
             // Corrupt or stale delta: restore the stored copy and refuse.
-            self.db.apply_delta(table_id, &view_inv)?;
+            self.apply_view_delta(table_id, &view_inv)?;
             return Err(CoreError::ConsistencyViolation(format!(
                 "applying the `{table_id}` delta does not reproduce the hash the \
                  contract announced ({})",
@@ -554,22 +986,176 @@ impl PeerNode {
             )));
         }
         if !source_delta.is_empty() {
-            self.db.apply_delta(&binding.source_table, source_delta)?;
+            self.apply_source_delta_db(&binding.source_table, source_delta)?;
         }
         for (share_id, d) in derived {
-            self.db.apply_delta(&share_id, &d)?;
+            self.apply_view_delta(&share_id, &d)?;
             let schema = self.db.table(&share_id)?.schema().clone();
-            merge_into_pending(
-                self.pending.entry(share_id.clone()).or_default(),
-                &schema,
-                &d,
-            );
+            self.merge_pending(&share_id, &schema, &d);
         }
-        let baseline = self
-            .baselines
+        self.advance_baseline_by(table_id, view_delta)?;
+        self.applied_versions.insert(table_id.to_string(), version);
+        Ok(())
+    }
+
+    // ----- shard-routed remote apply (three phases) --------------------
+
+    /// Phase 1 of a shard-routed remote apply: decides whether the
+    /// receiver can take the shard path and, if so, splits the view delta
+    /// per shard and pre-derives the sibling cascade deltas (anchored on
+    /// the pre-delta source). Pure planning — nothing mutates.
+    ///
+    /// Returns [`RemoteApply::Serial`] for unsharded tables and for the
+    /// rare conflicted-pending case, which resolves through the
+    /// whole-table merge in [`PeerNode::apply_remote_delta`].
+    pub(crate) fn plan_remote_apply(
+        &self,
+        table_id: &str,
+        view_delta: &TableDelta,
+        source_delta: &TableDelta,
+    ) -> Result<RemoteApply> {
+        let binding = self.binding(table_id)?;
+        // Serial fallback for unsharded tables, conflicted-pending
+        // resolution, and a mirror left stale by an out-of-band edit
+        // (the serial path resyncs it before applying).
+        if self.pending.contains_key(table_id) {
+            return Ok(RemoteApply::Serial);
+        }
+        let Some(state) = self.fresh_shard_state(table_id) else {
+            return Ok(RemoteApply::Serial);
+        };
+        let source_table = binding.source_table.clone();
+        let source_old = self.db.table(&source_table)?;
+        let mut derived: Vec<(String, TableDelta)> = Vec::new();
+        for share_id in self.sibling_shares(&source_table, Some(table_id)) {
+            let d = self.get_delta_for_share(&share_id, source_old, source_delta)?;
+            if !d.is_empty() {
+                derived.push((share_id, d));
+            }
+        }
+        let plan = state.store.plan(view_delta);
+        let touched = plan.touched();
+        Ok(RemoteApply::Sharded(RemoteShardPlan {
+            plan,
+            touched,
+            derived,
+        }))
+    }
+
+    /// Phase 2: the disjoint per-shard jobs of a planned apply — each is
+    /// one touched shard plus its sub-delta and the target chunk layout,
+    /// runnable concurrently (see [`run_shard_job`]).
+    pub(crate) fn remote_shard_jobs<'a, 'p>(
+        &'a mut self,
+        table_id: &str,
+        rplan: &'p RemoteShardPlan,
+    ) -> Vec<(&'a mut Shard, &'p TableDelta, usize)> {
+        let state = self
+            .shard_states
             .get_mut(table_id)
-            .ok_or_else(|| CoreError::UnknownShare(table_id.to_string()))?;
-        baseline.apply_delta(view_delta)?;
+            .expect("planned on a sharded table");
+        let chunk_count = rplan.plan.chunk_count;
+        let mut slots: Vec<Option<&'a mut Shard>> =
+            state.store.shards_mut().iter_mut().map(Some).collect();
+        rplan
+            .touched
+            .iter()
+            .map(|&s| {
+                (
+                    slots[s].take().expect("touched shards are distinct"),
+                    &rplan.plan.per_shard[s],
+                    chunk_count,
+                )
+            })
+            .collect()
+    }
+
+    /// Phase 3: merges per-shard apply results back into the peer —
+    /// reverts every shard if one rejected its sub-delta, verifies the
+    /// announced hash against the folded per-shard roots, then runs the
+    /// serial tail (assembled copy, source via BX-put, sibling cascades,
+    /// baseline advance) exactly as the unsharded path does. The
+    /// assembled copy's WAL record reuses the verified fold as its
+    /// `post_hash`, so no second whole-tree rehash happens anywhere.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn finish_remote_apply(
+        &mut self,
+        table_id: &str,
+        rplan: RemoteShardPlan,
+        results: Vec<medledger_relational::Result<TableDelta>>,
+        view_delta: &TableDelta,
+        source_delta: &TableDelta,
+        announced_hash: Hash256,
+        version: u64,
+    ) -> Result<()> {
+        let binding = self.binding(table_id)?.clone();
+        let state = self
+            .shard_states
+            .get_mut(table_id)
+            .expect("planned on a sharded table");
+        let chunk_count = rplan.plan.chunk_count;
+        let mut applied: Vec<(usize, TableDelta)> = Vec::new();
+        let mut first_err: Option<medledger_relational::RelationalError> = None;
+        for (&s, r) in rplan.touched.iter().zip(results) {
+            match r {
+                Ok(inv) => applied.push((s, inv)),
+                Err(e) if first_err.is_none() => first_err = Some(e),
+                Err(_) => {}
+            }
+        }
+        if let Some(e) = first_err {
+            // Every job ran (the pool does not short-circuit): revert the
+            // shards that applied, newest first.
+            for (s, inv) in applied.iter().rev() {
+                state.store.shards_mut()[*s]
+                    .apply(inv, chunk_count)
+                    .expect("inverse of a just-applied sub-delta applies");
+            }
+            return Err(e.into());
+        }
+        // Merged inverse of the whole view delta (for hash-mismatch and
+        // shadow-failure reverts).
+        let schema = state.store.schema().clone();
+        let merged_inverse =
+            TableDelta::merge_disjoint(applied.into_iter().map(|(_, inv)| inv), |r| {
+                schema.key_of(r)
+            });
+        state.store.commit_plan(&rplan.plan);
+        if state.store.content_hash() != announced_hash {
+            state
+                .store
+                .apply_delta(&merged_inverse)
+                .expect("inverse of a just-applied delta applies");
+            return Err(CoreError::ConsistencyViolation(format!(
+                "applying the `{table_id}` delta does not reproduce the hash the \
+                 contract announced ({})",
+                announced_hash.short()
+            )));
+        }
+        // The assembled shadow follows (pure row ops; the WAL logs the
+        // verified fold instead of rehashing the assembled copy).
+        if let Err(e) = self
+            .db
+            .apply_delta_with_hash(table_id, view_delta, announced_hash)
+        {
+            self.shard_states
+                .get_mut(table_id)
+                .expect("just present")
+                .store
+                .apply_delta(&merged_inverse)
+                .expect("inverse of a just-applied delta applies");
+            return Err(e.into());
+        }
+        self.stamp_shard_state(table_id);
+        if !source_delta.is_empty() {
+            self.apply_source_delta_db(&binding.source_table, source_delta)?;
+        }
+        for (share_id, d) in rplan.derived {
+            self.apply_view_delta(&share_id, &d)?;
+            let schema = self.db.table(&share_id)?.schema().clone();
+            self.merge_pending(&share_id, &schema, &d);
+        }
+        self.advance_baseline_by(table_id, view_delta)?;
         self.applied_versions.insert(table_id.to_string(), version);
         Ok(())
     }
@@ -578,11 +1164,7 @@ impl PeerNode {
     /// the baseline advances by the delta (the stored copy already
     /// reflects it) and the pending entry clears.
     pub fn commit_delta(&mut self, table_id: &str, delta: &TableDelta, version: u64) -> Result<()> {
-        let baseline = self
-            .baselines
-            .get_mut(table_id)
-            .ok_or_else(|| CoreError::UnknownShare(table_id.to_string()))?;
-        baseline.apply_delta(delta)?;
+        self.advance_baseline_by(table_id, delta)?;
         self.pending.remove(table_id);
         self.applied_versions.insert(table_id.to_string(), version);
         Ok(())
@@ -609,12 +1191,19 @@ impl PeerNode {
     /// Rolls a failed transactional batch back: re-applies the staged
     /// writes' inverse deltas in reverse order — O(changed rows), no
     /// table snapshots in either propagation mode — and restores the
-    /// pending-delta tracking captured before staging.
+    /// pending-delta tracking captured before staging. Sharded mirrors
+    /// and cached group indexes roll back alongside.
     pub fn rollback_writes(&mut self, inverses: &[(String, TableDelta)], pending: PendingSnapshot) {
         for (table, inverse) in inverses.iter().rev() {
-            self.db
-                .apply_delta(table, inverse)
-                .expect("applying a recorded inverse delta cannot fail");
+            if self.shard_states.contains_key(table) {
+                self.apply_view_delta(table, inverse)
+                    .expect("applying a recorded inverse delta cannot fail");
+            } else {
+                // Source tables (shared copies are always sharded when
+                // sharding is on): keep the group indexes in step.
+                self.apply_source_delta_db(table, inverse)
+                    .expect("applying a recorded inverse delta cannot fail");
+            }
         }
         self.restore_pending(pending);
     }
@@ -667,6 +1256,10 @@ impl PeerNode {
         self.baselines
             .insert(table_id.to_string(), new_view.clone());
         self.applied_versions.insert(table_id.to_string(), version);
+        // Whole-table rewrites bypass delta tracking: re-derive the
+        // sharded mirror and the group indexes from ground truth.
+        self.resync_shard_state(table_id)?;
+        self.rebuild_group_indexes_for_source(&binding.source_table)?;
         Ok(())
     }
 
@@ -686,6 +1279,7 @@ impl PeerNode {
         self.db.apply(table_id, WriteOp::Replace { rows })?;
         self.baselines.insert(table_id.to_string(), view.clone());
         self.applied_versions.insert(table_id.to_string(), version);
+        self.resync_shard_state(table_id)?;
         Ok(())
     }
 
@@ -722,9 +1316,24 @@ impl PeerNode {
         self.db.clone()
     }
 
-    /// Restores a database snapshot.
+    /// Restores a database snapshot, re-deriving the sharded mirrors and
+    /// group indexes from the restored contents.
     pub fn restore(&mut self, snapshot: Database) {
         self.db = snapshot;
+        let sharded: Vec<String> = self.shard_states.keys().cloned().collect();
+        for table_id in sharded {
+            self.resync_shard_state(&table_id)
+                .expect("restored snapshot holds every sharded table");
+        }
+        let sources: BTreeSet<String> = self
+            .group_indexes
+            .keys()
+            .filter_map(|id| self.bindings.get(id).map(|b| b.source_table.clone()))
+            .collect();
+        for source in sources {
+            self.rebuild_group_indexes_for_source(&source)
+                .expect("restored snapshot holds every indexed source");
+        }
     }
 }
 
@@ -751,7 +1360,11 @@ mod tests {
     }
 
     fn doctor_with_shares_in(mode: PropagationMode) -> PeerNode {
-        let mut doctor = PeerNode::new("Doctor", "peer-test", 16, mode);
+        doctor_with_shares_sharded(mode, 1)
+    }
+
+    fn doctor_with_shares_sharded(mode: PropagationMode, shards: usize) -> PeerNode {
+        let mut doctor = PeerNode::new("Doctor", "peer-test", 16, mode, shards);
         doctor.add_source_table("D3", d3_table()).expect("add D3");
         // BX31: share with Patient.
         doctor
@@ -1102,7 +1715,7 @@ mod tests {
 
     #[test]
     fn step6_no_overlap_for_disjoint_lenses() {
-        let mut doctor = PeerNode::new("Doctor", "disjoint", 8, PropagationMode::FullTable);
+        let mut doctor = PeerNode::new("Doctor", "disjoint", 8, PropagationMode::FullTable, 1);
         doctor.add_source_table("D3", d3_table()).expect("add");
         doctor
             .join_share(
@@ -1194,9 +1807,293 @@ mod tests {
         assert!(doctor.leave_share("D23&D32").is_err());
     }
 
+    /// Runs the same staged-write + remote-apply + commit sequence on a
+    /// sharded and an unsharded doctor and asserts byte-identical state.
+    fn run_mixed_sequence(doctor: &mut PeerNode) {
+        doctor
+            .write_shared(
+                "D23&D32",
+                WriteOp::Update {
+                    key: vec![Value::text("Ibuprofen")],
+                    assignments: vec![("mechanism_of_action".into(), Value::text("MeA1-x"))],
+                },
+            )
+            .expect("write shared");
+        let delta = doctor.prepare_update_delta("D23&D32").expect("prepare");
+        doctor.commit_delta("D23&D32", &delta, 1).expect("commit");
+        doctor
+            .write_source(
+                "D3",
+                WriteOp::Update {
+                    key: vec![Value::Int(188)],
+                    assignments: vec![("dosage".into(), Value::text("2x daily"))],
+                },
+            )
+            .expect("write source");
+        let d31 = doctor.prepare_update_delta("D13&D31").expect("prepare 31");
+        doctor.commit_delta("D13&D31", &d31, 1).expect("commit 31");
+        // A committed remote delta on the patient share.
+        let view_delta = TableDelta {
+            updates: vec![(
+                vec![Value::Int(188)],
+                row![188i64, "Ibuprofen", "CliD1", "remote-dose"],
+            )],
+            ..Default::default()
+        };
+        let source_delta = doctor
+            .translate_remote_delta("D13&D31", &view_delta)
+            .expect("translate");
+        let mut expected = doctor.baseline("D13&D31").expect("baseline").clone();
+        expected.apply_delta(&view_delta).expect("expected");
+        doctor
+            .apply_remote_delta(
+                "D13&D31",
+                &view_delta,
+                &source_delta,
+                expected.content_hash(),
+                2,
+            )
+            .expect("remote apply");
+    }
+
+    #[test]
+    fn sharded_peer_is_byte_identical_to_unsharded() {
+        for shards in [2usize, 8] {
+            let mut plain = doctor_with_shares_sharded(PropagationMode::Delta, 1);
+            let mut sharded = doctor_with_shares_sharded(PropagationMode::Delta, shards);
+            assert!(sharded.is_sharded("D13&D31"));
+            assert!(!plain.is_sharded("D13&D31"));
+            run_mixed_sequence(&mut plain);
+            run_mixed_sequence(&mut sharded);
+            assert_eq!(
+                plain.db.fingerprint(),
+                sharded.db.fingerprint(),
+                "shards={shards}"
+            );
+            for table in ["D13&D31", "D23&D32"] {
+                assert_eq!(
+                    plain.shared_hash(table).expect("hash"),
+                    sharded.shared_hash(table).expect("hash")
+                );
+                assert_eq!(
+                    plain.committed_hash(table).expect("hash"),
+                    sharded.committed_hash(table).expect("hash")
+                );
+                assert_eq!(
+                    plain.pending_delta(table).expect("pending"),
+                    sharded.pending_delta(table).expect("pending")
+                );
+                // The sharded mirrors agree with the assembled copies.
+                let state = &sharded.shard_states[table];
+                assert_eq!(
+                    state.store.content_hash(),
+                    sharded.shared_table(table).expect("table").content_hash()
+                );
+                assert_eq!(
+                    state.baseline.content_hash(),
+                    sharded.baseline(table).expect("baseline").content_hash()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_remote_apply_rejects_hash_mismatch_without_corruption() {
+        let mut doctor = doctor_with_shares_sharded(PropagationMode::Delta, 8);
+        let before = doctor.shared_hash("D13&D31").expect("hash");
+        let view_delta = TableDelta {
+            updates: vec![(
+                vec![Value::Int(188)],
+                row![188i64, "Ibuprofen", "CliD1", "bad-dose"],
+            )],
+            ..Default::default()
+        };
+        let source_delta = doctor
+            .translate_remote_delta("D13&D31", &view_delta)
+            .expect("translate");
+        let err = doctor
+            .apply_remote_delta("D13&D31", &view_delta, &source_delta, Hash256([9; 32]), 1)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ConsistencyViolation(_)));
+        assert_eq!(doctor.shared_hash("D13&D31").expect("hash"), before);
+        let state = &doctor.shard_states["D13&D31"];
+        assert_eq!(state.store.content_hash(), before);
+    }
+
+    #[test]
+    fn sharded_rollback_keeps_mirrors_in_sync() {
+        let mut doctor = doctor_with_shares_sharded(PropagationMode::Delta, 8);
+        let before_fp = doctor.db.fingerprint();
+        let before_hash = doctor.shared_hash("D13&D31").expect("hash");
+        let pending = doctor.pending_snapshot();
+        let inverses = doctor
+            .write_shared(
+                "D13&D31",
+                WriteOp::Update {
+                    key: vec![Value::Int(189)],
+                    assignments: vec![("dosage".into(), Value::text("staged"))],
+                },
+            )
+            .expect("write shared");
+        assert_ne!(doctor.shared_hash("D13&D31").expect("hash"), before_hash);
+        doctor.rollback_writes(&inverses, pending);
+        assert_eq!(doctor.db.fingerprint(), before_fp);
+        assert_eq!(doctor.shared_hash("D13&D31").expect("hash"), before_hash);
+        let state = &doctor.shard_states["D13&D31"];
+        assert_eq!(state.store.content_hash(), before_hash);
+        assert!(!doctor.has_pending_change("D13&D31").expect("check"));
+    }
+
+    #[test]
+    fn cached_group_index_tracks_applied_deltas() {
+        let mut doctor = doctor_with_shares_in(PropagationMode::Delta);
+        // The ProjectDistinct share got an index at join time.
+        assert!(doctor.group_indexes.contains_key("D23&D32"));
+        assert!(!doctor.group_indexes.contains_key("D13&D31"));
+        doctor
+            .write_source(
+                "D3",
+                WriteOp::Insert {
+                    row: row![190i64, "Ibuprofen", "CliD9", "MeA1", "3x"],
+                },
+            )
+            .expect("insert");
+        let rebuilt = GroupIndex::build(
+            doctor.db.table("D3").expect("D3"),
+            &["medication_name".to_string()],
+        )
+        .expect("rebuild");
+        // The index is fresh (advanced, not rebuilt) and correct.
+        assert!(doctor.fresh_group_index("D23&D32").is_some());
+        let cached = &doctor.group_indexes["D23&D32"].1;
+        assert_eq!(cached.group_count(), rebuilt.group_count());
+        let ibu = cached
+            .rows_of(&[Value::text("Ibuprofen")])
+            .expect("group present");
+        assert_eq!(ibu.len(), 2);
+        assert!(ibu.contains(&vec![Value::Int(190)]));
+        // And indexed translation agrees with a fresh (uncached) path.
+        let view_delta = TableDelta {
+            deletes: vec![vec![Value::text("Wellbutrin")]],
+            ..Default::default()
+        };
+        let indexed = doctor
+            .translate_remote_delta("D23&D32", &view_delta)
+            .expect("indexed translate");
+        let fresh = incremental::put_delta(
+            &doctor.bindings["D23&D32"].lens,
+            doctor.db.table("D3").expect("D3"),
+            &view_delta,
+        )
+        .expect("uncached translate");
+        assert_eq!(indexed, fresh);
+    }
+
+    #[test]
+    fn out_of_band_shared_edit_never_serves_a_stale_fold() {
+        let mut doctor = doctor_with_shares_sharded(PropagationMode::Delta, 8);
+        // Warm the mirror's fold, then edit the stored shared copy
+        // directly via the public `db` field, bypassing the tracked
+        // paths.
+        let before = doctor.shared_hash("D13&D31").expect("hash");
+        doctor
+            .db
+            .apply(
+                "D13&D31",
+                WriteOp::Update {
+                    key: vec![Value::Int(188)],
+                    assignments: vec![("dosage".into(), Value::text("oob-dose"))],
+                },
+            )
+            .expect("out-of-band edit");
+        assert!(
+            doctor.fresh_shard_state("D13&D31").is_none(),
+            "version guard must flag the mirror stale"
+        );
+        // The fold is bypassed: shared_hash reflects the edited copy.
+        let after = doctor.shared_hash("D13&D31").expect("hash");
+        assert_ne!(after, before);
+        assert_eq!(
+            after,
+            doctor
+                .shared_table("D13&D31")
+                .expect("table")
+                .content_hash()
+        );
+        // The next tracked apply resyncs the mirror from ground truth
+        // before applying on top, and re-stamps it fresh.
+        doctor
+            .write_shared(
+                "D13&D31",
+                WriteOp::Update {
+                    key: vec![Value::Int(189)],
+                    assignments: vec![("dosage".into(), Value::text("tracked"))],
+                },
+            )
+            .expect("tracked write");
+        assert!(doctor.fresh_shard_state("D13&D31").is_some());
+        let state = &doctor.shard_states["D13&D31"];
+        assert_eq!(
+            state.store.content_hash(),
+            doctor
+                .shared_table("D13&D31")
+                .expect("table")
+                .content_hash()
+        );
+    }
+
+    #[test]
+    fn out_of_band_source_edit_never_uses_a_stale_group_index() {
+        let mut doctor = doctor_with_shares_in(PropagationMode::Delta);
+        // Edit the source directly, bypassing the tracked write paths —
+        // a supported flow (see prepare_update_delta). The cached index
+        // has not seen patient 191 join the Wellbutrin group.
+        doctor
+            .db
+            .apply(
+                "D3",
+                WriteOp::Insert {
+                    row: row![191i64, "Wellbutrin", "CliD9", "MeA2", "50 mg"],
+                },
+            )
+            .expect("out-of-band insert");
+        assert!(
+            doctor.fresh_group_index("D23&D32").is_none(),
+            "version guard must flag the index stale"
+        );
+        // Translating a whole-group delete must still cover BOTH members
+        // (189 and the out-of-band 191) — the stale index is bypassed.
+        let view_delta = TableDelta {
+            deletes: vec![vec![Value::text("Wellbutrin")]],
+            ..Default::default()
+        };
+        let translated = doctor
+            .translate_remote_delta("D23&D32", &view_delta)
+            .expect("translate");
+        assert!(translated.deletes.contains(&vec![Value::Int(189)]));
+        assert!(translated.deletes.contains(&vec![Value::Int(191)]));
+        // The next tracked source apply rebuilds the index from ground
+        // truth and re-stamps it fresh.
+        doctor
+            .write_source(
+                "D3",
+                WriteOp::Update {
+                    key: vec![Value::Int(188)],
+                    assignments: vec![("dosage".into(), Value::text("1x"))],
+                },
+            )
+            .expect("tracked write");
+        assert!(doctor.fresh_group_index("D23&D32").is_some());
+        let idx = &doctor.group_indexes["D23&D32"].1;
+        assert!(idx
+            .rows_of(&[Value::text("Wellbutrin")])
+            .expect("group")
+            .contains(&vec![Value::Int(191)]));
+    }
+
     #[test]
     fn nonce_allocation_is_sequential() {
-        let mut p = PeerNode::new("P", "nonce", 4, PropagationMode::Delta);
+        let mut p = PeerNode::new("P", "nonce", 4, PropagationMode::Delta, 1);
         assert_eq!(p.take_nonce(), 0);
         assert_eq!(p.take_nonce(), 1);
         assert_eq!(p.take_nonce(), 2);
@@ -1207,7 +2104,7 @@ mod tests {
         // Sanity: the workload schema matches what peers expect to split.
         let s = full_records_schema();
         assert_eq!(s.arity(), 7);
-        let mut p = PeerNode::new("P", "schema", 4, PropagationMode::Delta);
+        let mut p = PeerNode::new("P", "schema", 4, PropagationMode::Delta, 1);
         p.create_source_table("full", s).expect("create");
         p.db.apply(
             "full",

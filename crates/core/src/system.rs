@@ -3,8 +3,8 @@
 
 use crate::agreement::SharingAgreement;
 use crate::error::{CoreError, RevertInfo};
-use crate::peer::PeerNode;
 pub use crate::peer::PropagationMode;
+use crate::peer::{run_shard_job, PeerNode, RemoteApply, RemoteShardPlan};
 use crate::Result;
 use medledger_bx::{changed_attrs, changed_attrs_from_delta, TableDelta};
 use medledger_consensus::{PbftConfig, PbftRound, PowModel, ProposerSchedule};
@@ -18,6 +18,7 @@ use medledger_ledger::{
     TxId, TxPayload, TxStatus,
 };
 use medledger_network::{fanout, DataPlaneStats, DataTransfer, LatencyModel, PayloadKind};
+use medledger_relational::normalize_shard_count;
 use medledger_relational::{Table, WriteOp};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -102,6 +103,17 @@ pub struct SystemConfig {
     /// only wall-clock; the virtual-time schedule depends only on this
     /// configured value.
     pub fanout_workers: usize,
+    /// Key-range shards per shared table (normalized to a power of two
+    /// in `1..=256`). With `1` — the default and the equivalence
+    /// baseline — peers store shared tables exactly as before. A larger
+    /// value splits every peer's stored copies and baselines into
+    /// digest-aligned shards (delta mode): deltas route to the shards
+    /// they land in, hash verification folds cached per-shard Merkle
+    /// subroots instead of rehashing the whole chunk tree, and one
+    /// receiver's disjoint shards apply in parallel on the fan-out
+    /// worker pool. Final state, hashes, traces and receipts are
+    /// byte-identical for every setting.
+    pub shards_per_table: usize,
 }
 
 impl Default for SystemConfig {
@@ -118,6 +130,7 @@ impl Default for SystemConfig {
             peer_key_capacity: 256,
             propagation: PropagationMode::Delta,
             fanout_workers: 0,
+            shards_per_table: 1,
         }
     }
 }
@@ -443,7 +456,8 @@ pub struct System {
 
 impl System {
     /// Builds a system with the given configuration.
-    pub fn new(config: SystemConfig) -> Self {
+    pub fn new(mut config: SystemConfig) -> Self {
+        config.shards_per_table = normalize_shard_count(config.shards_per_table);
         let validator_keys: Vec<KeyPair> = (0..config.n_validators.max(1))
             .map(|i| KeyPair::generate(&format!("{}-validator-{i}", config.seed), 2))
             .collect();
@@ -598,6 +612,7 @@ impl System {
             &self.config.seed,
             self.config.peer_key_capacity,
             self.config.propagation,
+            self.config.shards_per_table,
         );
         let account = peer.account;
         self.chain.membership_mut().add_member(account);
@@ -1232,55 +1247,64 @@ impl System {
             })
             .collect();
 
-        // Parallel apply over disjoint mutable peer references. In auto
-        // mode (`fanout_workers == 0`) tiny payloads run inline: a
-        // one-row delta's per-receiver apply is microseconds, not worth
-        // a thread spawn. An explicit worker count is always honored.
-        let exec_workers = if self.config.fanout_workers == 0
-            && rows_moved * (others.len() as u64) < PARALLEL_FANOUT_MIN_ROWS
-        {
-            1
-        } else {
-            self.exec_fanout_workers(others.len())
-        };
         let new_hash = prepared.new_hash;
         let tid: &str = &table_id;
-        let results: Vec<Result<()>> = {
-            let wanted: BTreeSet<AccountId> = others.iter().copied().collect();
-            let mut refs: BTreeMap<AccountId, &mut PeerNode> = self
-                .peers
-                .iter_mut()
-                .filter(|(a, _)| wanted.contains(a))
-                .map(|(a, p)| (*a, p))
-                .collect();
-            match &mut prepared.payload {
-                PreparedPayload::Delta {
-                    delta,
-                    source_deltas,
-                } => {
-                    let jobs: Vec<(&mut PeerNode, TableDelta)> = others
-                        .iter()
-                        .map(|a| {
-                            (
-                                refs.remove(a).expect("sharing peer exists"),
-                                source_deltas.remove(a).expect("pre-flight ran"),
-                            )
+        let results: Vec<Result<()>> = match &mut prepared.payload {
+            // Sharded deployments route each receiver's delta to its
+            // owning shards and run ALL receivers' shard jobs on one
+            // shard-granular pool — see
+            // [`System::fanout_apply_shard_routed`].
+            PreparedPayload::Delta {
+                delta,
+                source_deltas,
+            } if self.config.shards_per_table > 1 => self.fanout_apply_shard_routed(
+                tid,
+                delta,
+                source_deltas,
+                &others,
+                rows_moved,
+                new_hash,
+                version,
+            ),
+            payload => {
+                // Parallel apply over disjoint mutable peer references.
+                let exec_workers = self.fanout_pool_workers(others.len(), rows_moved, others.len());
+                let wanted: BTreeSet<AccountId> = others.iter().copied().collect();
+                let mut refs: BTreeMap<AccountId, &mut PeerNode> = self
+                    .peers
+                    .iter_mut()
+                    .filter(|(a, _)| wanted.contains(a))
+                    .map(|(a, p)| (*a, p))
+                    .collect();
+                match payload {
+                    PreparedPayload::Delta {
+                        delta,
+                        source_deltas,
+                    } => {
+                        let jobs: Vec<(&mut PeerNode, TableDelta)> = others
+                            .iter()
+                            .map(|a| {
+                                (
+                                    refs.remove(a).expect("sharing peer exists"),
+                                    source_deltas.remove(a).expect("pre-flight ran"),
+                                )
+                            })
+                            .collect();
+                        let delta: &TableDelta = delta;
+                        fanout::run_partitioned(jobs, exec_workers, move |(peer, source_delta)| {
+                            peer.apply_remote_delta(tid, delta, &source_delta, new_hash, version)
                         })
-                        .collect();
-                    let delta: &TableDelta = delta;
-                    fanout::run_partitioned(jobs, exec_workers, move |(peer, source_delta)| {
-                        peer.apply_remote_delta(tid, delta, &source_delta, new_hash, version)
-                    })
-                }
-                PreparedPayload::Full { view } => {
-                    let jobs: Vec<&mut PeerNode> = others
-                        .iter()
-                        .map(|a| refs.remove(a).expect("sharing peer exists"))
-                        .collect();
-                    let view: &Table = view;
-                    fanout::run_partitioned(jobs, exec_workers, move |peer| {
-                        peer.apply_remote_view(tid, view, new_hash, version)
-                    })
+                    }
+                    PreparedPayload::Full { view } => {
+                        let jobs: Vec<&mut PeerNode> = others
+                            .iter()
+                            .map(|a| refs.remove(a).expect("sharing peer exists"))
+                            .collect();
+                        let view: &Table = view;
+                        fanout::run_partitioned(jobs, exec_workers, move |peer| {
+                            peer.apply_remote_view(tid, view, new_hash, version)
+                        })
+                    }
                 }
             }
         };
@@ -1354,6 +1378,119 @@ impl System {
             bytes_moved,
             rows_moved,
         })
+    }
+
+    /// The shard-routed variant of the receiver fan-out (delta mode with
+    /// `shards_per_table > 1`), in three phases:
+    ///
+    /// 1. **Plan** (read-only): each receiver splits the committed view
+    ///    delta by shard and pre-derives its sibling cascade deltas.
+    /// 2. **Shard jobs**: every receiver's touched shards become
+    ///    independent jobs on ONE pool in [`fanout::run_sharded`]'s
+    ///    shard-granular partitioning mode — so even a single receiver's
+    ///    disjoint shards apply (and pre-warm their Merkle subroots) in
+    ///    parallel.
+    /// 3. **Finish** (serial, receiver order): fold-verify the announced
+    ///    hash, advance the assembled copy, reflect into the source via
+    ///    BX-put, stash sibling cascades, advance the baseline.
+    ///
+    /// Receivers that cannot take the shard path (a conflicted pending
+    /// change) fall back to the whole-table resolution, still slotted in
+    /// receiver order. Results are byte-identical to the unsharded pipe
+    /// for any worker count.
+    #[allow(clippy::too_many_arguments)]
+    fn fanout_apply_shard_routed(
+        &mut self,
+        table_id: &str,
+        delta: &TableDelta,
+        source_deltas: &mut BTreeMap<AccountId, TableDelta>,
+        others: &[AccountId],
+        rows_moved: u64,
+        new_hash: Hash256,
+        version: u64,
+    ) -> Vec<Result<()>> {
+        let mut slots: Vec<Option<Result<()>>> = others.iter().map(|_| None).collect();
+
+        // Phase 1 — plan per receiver.
+        let mut sharded: Vec<(usize, RemoteShardPlan)> = Vec::new();
+        let mut serial: Vec<usize> = Vec::new();
+        for (i, a) in others.iter().enumerate() {
+            let Some(peer) = self.peers.get(a) else {
+                slots[i] = Some(Err(CoreError::UnknownPeer(a.to_string())));
+                continue;
+            };
+            let sd = source_deltas.get(a).expect("pre-flight ran");
+            match peer.plan_remote_apply(table_id, delta, sd) {
+                Ok(RemoteApply::Sharded(plan)) => sharded.push((i, plan)),
+                Ok(RemoteApply::Serial) => serial.push(i),
+                Err(e) => slots[i] = Some(Err(e)),
+            }
+        }
+
+        // Phase 2 — all receivers' shard jobs on one pool, shard-granular.
+        let total_jobs: usize = sharded.iter().map(|(_, p)| p.job_count()).sum();
+        let workers = self.fanout_pool_workers(total_jobs, rows_moved, others.len());
+        let shard_results: Vec<Vec<medledger_relational::Result<TableDelta>>> = {
+            let wanted: BTreeSet<AccountId> = sharded.iter().map(|(i, _)| others[*i]).collect();
+            let mut refs: BTreeMap<AccountId, &mut PeerNode> = self
+                .peers
+                .iter_mut()
+                .filter(|(a, _)| wanted.contains(a))
+                .map(|(a, p)| (*a, p))
+                .collect();
+            let groups = sharded
+                .iter()
+                .map(|(i, plan)| {
+                    refs.remove(&others[*i])
+                        .expect("sharing peer exists")
+                        .remote_shard_jobs(table_id, plan)
+                })
+                .collect();
+            fanout::run_sharded(groups, workers, run_shard_job)
+        };
+
+        // Phase 3 — serial tails, receiver order; conflicted receivers
+        // resolve through the whole-table path.
+        for ((i, plan), res) in sharded.into_iter().zip(shard_results) {
+            let a = others[i];
+            let sd = source_deltas.remove(&a).expect("pre-flight ran");
+            let r = self
+                .peers
+                .get_mut(&a)
+                .expect("sharing peer exists")
+                .finish_remote_apply(table_id, plan, res, delta, &sd, new_hash, version);
+            slots[i] = Some(r);
+        }
+        for i in serial {
+            let a = others[i];
+            let sd = source_deltas.remove(&a).expect("pre-flight ran");
+            let r = self
+                .peers
+                .get_mut(&a)
+                .expect("sharing peer exists")
+                .apply_remote_delta(table_id, delta, &sd, new_hash, version);
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every receiver resolved"))
+            .collect()
+    }
+
+    /// OS threads for one fan-out pool run over `total_jobs` jobs
+    /// (receivers, or receiver×shard jobs in shard-granular mode). In
+    /// auto mode (`fanout_workers == 0`) tiny payloads run inline — a
+    /// one-row delta's per-receiver apply is microseconds, not worth a
+    /// thread spawn; an explicit worker count is always honored. The
+    /// single home of the inline threshold for both partition grains.
+    fn fanout_pool_workers(&self, total_jobs: usize, rows_moved: u64, receivers: usize) -> usize {
+        if self.config.fanout_workers == 0
+            && rows_moved * (receivers as u64) < PARALLEL_FANOUT_MIN_ROWS
+        {
+            1
+        } else {
+            self.exec_fanout_workers(total_jobs)
+        }
     }
 
     /// OS threads for the fan-out pool: the configured channel count, or

@@ -27,6 +27,14 @@
 //!   are not run serially; they are detected and re-entered into the
 //!   *next* wave, where cascades touching distinct tables again share
 //!   one block and one consensus round.
+//!
+//! On a sharded deployment (`shards_per_table > 1` on the builder) the
+//! waves' composed deltas are additionally **shard-routed** on every
+//! receiver: the fan-out splits each member's delta along the content
+//! digest's key ranges, disjoint shards apply in parallel on the worker
+//! pool, and hash verification folds cached per-shard Merkle subroots —
+//! with byte-identical outcomes, receipts and traces (see the core
+//! `shards_per_table` docs).
 
 use crate::queue::StagedWrite;
 use medledger_bx::{changed_attrs, changed_attrs_from_delta};

@@ -10,6 +10,11 @@
 //!   into *contiguous* chunks, each chunk runs sequentially on its own
 //!   worker, and results come back in input order — so the outcome is
 //!   byte-identical no matter how many OS threads actually ran.
+//! * [`run_sharded`] is the shard-granular partitioning mode: per-receiver
+//!   groups of per-shard jobs flatten onto one pool, so a single
+//!   receiver's disjoint shards (a sharded peer store) still fill every
+//!   worker — results come back per group, byte-identical for any worker
+//!   count.
 //! * [`schedule_ms`] mirrors the same partition in *virtual* time: given
 //!   per-receiver service durations, it computes when each receiver has
 //!   the data if `workers` parallel channels serve the chunks
@@ -87,6 +92,32 @@ where
     results.into_iter().flatten().collect()
 }
 
+/// Shard-granular partitioning: runs per-receiver **groups** of per-shard
+/// jobs on one pool, returning per-group results in input order.
+///
+/// This is [`run_partitioned`] with the partition grain moved from whole
+/// receivers to individual shards: all groups' jobs are flattened into a
+/// single list, split into contiguous chunks across up to `workers`
+/// scoped threads, and reassembled group-by-group afterwards. One
+/// receiver's disjoint shards therefore apply in parallel even when it is
+/// the only receiver — the shape a sharded peer store produces — and the
+/// result is byte-identical for any worker count, exactly as for
+/// [`run_partitioned`].
+pub fn run_sharded<J, R, F>(groups: Vec<Vec<J>>, workers: usize, f: F) -> Vec<Vec<R>>
+where
+    J: Send,
+    R: Send,
+    F: Fn(J) -> R + Sync,
+{
+    let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+    let flat: Vec<J> = groups.into_iter().flatten().collect();
+    let mut results = run_partitioned(flat, workers, f).into_iter();
+    sizes
+        .iter()
+        .map(|&n| results.by_ref().take(n).collect())
+        .collect()
+}
+
 /// Virtual-time completion of each item under `workers` parallel channels.
 ///
 /// Item `i` takes `service_ms[i]` on its channel; channels serve their
@@ -152,6 +183,19 @@ mod tests {
             assert_eq!(
                 run_partitioned(jobs.clone(), workers, |j| j * j + 1),
                 serial
+            );
+        }
+    }
+
+    #[test]
+    fn run_sharded_reassembles_groups_in_order() {
+        let groups: Vec<Vec<usize>> = vec![vec![1, 2, 3], vec![], vec![4], vec![5, 6]];
+        for workers in [1usize, 2, 4, 16] {
+            let out = run_sharded(groups.clone(), workers, |j| j * 10);
+            assert_eq!(
+                out,
+                vec![vec![10, 20, 30], vec![], vec![40], vec![50, 60]],
+                "workers={workers}"
             );
         }
     }

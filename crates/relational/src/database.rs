@@ -88,6 +88,12 @@ pub struct Database {
     pub owner: String,
     tables: BTreeMap<String, Table>,
     log: Vec<LogRecord>,
+    /// Per-table mutation counter: bumped by every write path (including
+    /// `table_mut` handouts and whole-table swaps), so callers caching
+    /// state derived from a table (e.g. a peer's group indexes) can
+    /// detect that the table moved under them.
+    #[serde(default)]
+    versions: BTreeMap<String, u64>,
 }
 
 impl Database {
@@ -97,7 +103,20 @@ impl Database {
             owner: owner.into(),
             tables: BTreeMap::new(),
             log: Vec::new(),
+            versions: BTreeMap::new(),
         }
+    }
+
+    fn bump_version(&mut self, name: &str) {
+        *self.versions.entry(name.to_string()).or_insert(0) += 1;
+    }
+
+    /// Monotonic mutation counter of one table (0 for unknown tables).
+    /// Any write path — logged applies, `table_mut` handouts, table
+    /// creation or replacement — advances it, so equality of two
+    /// observations proves the table content did not change in between.
+    pub fn table_version(&self, name: &str) -> u64 {
+        self.versions.get(name).copied().unwrap_or(0)
     }
 
     /// Creates an empty table.
@@ -106,6 +125,7 @@ impl Database {
         if self.tables.contains_key(&name) {
             return Err(RelationalError::TableExists { table: name });
         }
+        self.bump_version(&name);
         self.tables.insert(name, Table::new(schema));
         Ok(())
     }
@@ -116,17 +136,21 @@ impl Database {
         if self.tables.contains_key(&name) {
             return Err(RelationalError::TableExists { table: name });
         }
+        self.bump_version(&name);
         self.tables.insert(name, table);
         Ok(())
     }
 
     /// Removes a table, returning it.
     pub fn drop_table(&mut self, name: &str) -> Result<Table> {
-        self.tables
+        let removed = self
+            .tables
             .remove(name)
             .ok_or_else(|| RelationalError::UnknownTable {
                 table: name.to_string(),
-            })
+            })?;
+        self.bump_version(name);
+        Ok(removed)
     }
 
     /// Read access to a table.
@@ -139,13 +163,18 @@ impl Database {
     }
 
     /// Mutable access to a table. Mutations through this path are *not*
-    /// logged; prefer [`Database::apply`].
+    /// logged; prefer [`Database::apply`]. Handing out the reference
+    /// counts as a mutation for [`Database::table_version`].
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
-        self.tables
+        let t = self
+            .tables
             .get_mut(name)
             .ok_or_else(|| RelationalError::UnknownTable {
                 table: name.to_string(),
-            })
+            })?;
+        // Bump only for real handouts, so unknown tables stay at 0.
+        *self.versions.entry(name.to_string()).or_insert(0) += 1;
+        Ok(t)
     }
 
     /// True iff a table with this name exists.
@@ -191,6 +220,7 @@ impl Database {
             }
         }
         let post_hash = t.content_hash();
+        self.bump_version(table);
         self.log.push(LogRecord {
             seq: self.log.len() as u64,
             table: table.to_string(),
@@ -213,6 +243,42 @@ impl Database {
             })?;
         let inverse = t.apply_delta(delta)?;
         let post_hash = t.content_hash();
+        self.bump_version(table);
+        self.log.push(LogRecord {
+            seq: self.log.len() as u64,
+            table: table.to_string(),
+            op: WriteOp::Delta {
+                delta: delta.clone(),
+            },
+            post_hash,
+        });
+        Ok(inverse)
+    }
+
+    /// [`Database::apply_delta`] with a caller-supplied post-state hash
+    /// for the log record, skipping the rehash of the stored table.
+    ///
+    /// For callers that maintain an equivalent digest of the same table
+    /// elsewhere — a sharded peer verifies the announced hash against its
+    /// folded per-shard Merkle subroots *before* the assembled copy
+    /// advances — recomputing the content hash here would redo the very
+    /// work the shard fold amortizes. The caller attests that `post_hash`
+    /// equals the table's content hash after `delta`; the log record is
+    /// byte-identical to the one [`Database::apply_delta`] would write.
+    pub fn apply_delta_with_hash(
+        &mut self,
+        table: &str,
+        delta: &TableDelta,
+        post_hash: Hash256,
+    ) -> Result<TableDelta> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| RelationalError::UnknownTable {
+                table: table.to_string(),
+            })?;
+        let inverse = t.apply_delta(delta)?;
+        self.bump_version(table);
         self.log.push(LogRecord {
             seq: self.log.len() as u64,
             table: table.to_string(),

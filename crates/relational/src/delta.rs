@@ -164,6 +164,24 @@ impl TableDelta {
         out
     }
 
+    /// Merges deltas whose touched key sets are pairwise disjoint (e.g.
+    /// per-shard splits or per-shard inverses) back into one canonically
+    /// ordered delta. The disjointness is the caller's invariant; under
+    /// it, applying the merge equals applying the parts in any order.
+    pub fn merge_disjoint(
+        parts: impl IntoIterator<Item = TableDelta>,
+        key_of: impl Fn(&Row) -> Vec<Value>,
+    ) -> TableDelta {
+        let mut out = TableDelta::default();
+        for part in parts {
+            out.inserts.extend(part.inserts);
+            out.updates.extend(part.updates);
+            out.deletes.extend(part.deletes);
+        }
+        out.sort_canonical(key_of);
+        out
+    }
+
     /// The inverse delta relative to `base` — the table this delta would
     /// apply to — computed without applying anything. Applying `self` and
     /// then the result returns the table to `base`; this is how the

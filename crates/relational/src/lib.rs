@@ -15,6 +15,11 @@
 //! * [`delta`] — row-level [`TableDelta`]s: the unit the propagation
 //!   pipeline ships between peers instead of whole tables, applied
 //!   incrementally with [`Table::apply_delta`],
+//! * [`shard`] — key-range sharding aligned with the chunked content
+//!   digest: [`ShardMap`] partitions rows (and, via
+//!   [`TableDelta::split_by_shard`], deltas) so disjoint shards apply
+//!   independently while the folded per-shard Merkle subroots reproduce
+//!   [`Table::content_hash`] byte-identically,
 //! * [`predicate`] — a small predicate AST for selections,
 //! * [`query`] — a compositional query algebra evaluated against a database,
 //! * [`database`] — named tables plus a write-ahead log of every mutation
@@ -33,6 +38,7 @@ pub mod predicate;
 pub mod query;
 pub mod row;
 pub mod schema;
+pub mod shard;
 pub mod table;
 pub mod value;
 
@@ -45,6 +51,7 @@ pub use predicate::{CmpOp, Predicate};
 pub use query::Query;
 pub use row::Row;
 pub use schema::{Column, Schema};
+pub use shard::{normalize_shard_count, shard_of_key, Shard, ShardMap, ShardPlan};
 pub use table::Table;
 pub use value::{Value, ValueType};
 

@@ -7,31 +7,85 @@ use crate::row::Row;
 use crate::schema::Schema;
 use crate::value::Value;
 use crate::Result;
-use medledger_crypto::{merkle, merkle::MerkleTree, sha256_concat, Hash256};
+use medledger_crypto::{merkle, sha256_concat, Hash256};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Mutex;
 
 /// Domain tag for row-chunk digests (distinct from Merkle leaf/node tags).
-const CHUNK_TAG: &[u8] = &[0x02];
+pub(crate) const CHUNK_TAG: &[u8] = &[0x02];
 
 /// Rows per chunk the incremental digest aims for; the chunk count grows
 /// in power-of-two steps up to [`MAX_CHUNKS`] as the table grows.
 const CHUNK_TARGET: usize = 32;
 
 /// Upper bound on the chunk fan-out.
-const MAX_CHUNKS: usize = 256;
+pub(crate) const MAX_CHUNKS: usize = 256;
 
 /// Number of row chunks the content hash uses for a table of `n` rows.
 ///
 /// Deterministic in `n` (and therefore in table *content*), so two tables
 /// with the same rows always chunk — and hash — identically.
-fn chunk_count_for(n: usize) -> usize {
+pub(crate) fn chunk_count_for(n: usize) -> usize {
     (n / CHUNK_TARGET)
         .max(1)
         .next_power_of_two()
         .min(MAX_CHUNKS)
+}
+
+/// Chunk index of a key digest under a `count`-chunk layout (`count` a
+/// power of two ≤ 256): the **top** `log2(count)` bits of the digest's
+/// first byte. Top-bit routing makes a chunk a *contiguous* digest range,
+/// so a power-of-two group of consecutive chunks is itself a digest range
+/// — the alignment [`crate::shard`] relies on to give every shard a
+/// contiguous run of chunks (and therefore a cacheable Merkle subtree).
+pub(crate) fn chunk_of_digest(key_digest: &Hash256, count: usize) -> usize {
+    debug_assert!(count.is_power_of_two() && count <= 256);
+    (key_digest.as_bytes()[0] as usize * count) >> 8
+}
+
+/// Canonical digest of a primary key (the routing value for both chunk
+/// and shard placement).
+pub(crate) fn key_digest(key: &[Value]) -> Hash256 {
+    let mut buf = Vec::with_capacity(16 * key.len());
+    for v in key {
+        v.encode_into(&mut buf);
+    }
+    medledger_crypto::sha256(&buf)
+}
+
+/// The canonical byte encoding of a schema, as covered by
+/// [`Table::content_hash`].
+pub(crate) fn schema_digest_bytes(schema: &Schema) -> Vec<u8> {
+    let mut schema_bytes = Vec::new();
+    for c in schema.columns() {
+        schema_bytes.extend_from_slice(c.name.as_bytes());
+        schema_bytes.push(0);
+        schema_bytes.extend_from_slice(c.ty.to_string().as_bytes());
+        schema_bytes.push(if c.nullable { 1 } else { 0 });
+    }
+    for &k in schema.key_indexes() {
+        schema_bytes.extend_from_slice(&(k as u64).to_be_bytes());
+    }
+    schema_bytes
+}
+
+/// Digest of one chunk's leaf hashes, in canonical key order.
+pub(crate) fn chunk_digest<'a>(leaves: impl Iterator<Item = &'a Hash256>) -> Hash256 {
+    let mut parts: Vec<&[u8]> = vec![CHUNK_TAG];
+    let collected: Vec<&Hash256> = leaves.collect();
+    parts.extend(collected.iter().map(|h| h.as_bytes() as &[u8]));
+    sha256_concat(&parts)
+}
+
+/// Folds a schema digest and an ordered, power-of-two list of chunk
+/// digests into the canonical table content root. This is *the* root
+/// formula — [`Table::content_hash`] and the sharded
+/// [`crate::shard::ShardMap::content_hash`] both funnel through it, which
+/// is what keeps the two byte-identical.
+pub(crate) fn fold_content_root(schema_leaf: &Hash256, chunk_digests: &[Hash256]) -> Hash256 {
+    merkle::node_hash(schema_leaf, &merkle::fold_nodes(chunk_digests))
 }
 
 /// The incremental content-hash cache: per-row leaf digests grouped into
@@ -66,17 +120,8 @@ impl HashCache {
 
     /// Chunk index for a key under the current fan-out.
     fn chunk_of(key_digest: &Hash256, count: usize) -> usize {
-        debug_assert!(count.is_power_of_two());
-        key_digest.as_bytes()[0] as usize & (count - 1)
+        chunk_of_digest(key_digest, count)
     }
-}
-
-fn key_digest(key: &[Value]) -> Hash256 {
-    let mut buf = Vec::with_capacity(16 * key.len());
-    for v in key {
-        v.encode_into(&mut buf);
-    }
-    medledger_crypto::sha256(&buf)
 }
 
 /// A table: schema + rows + a primary-key index.
@@ -211,17 +256,7 @@ impl Table {
     }
 
     fn schema_digest_bytes(&self) -> Vec<u8> {
-        let mut schema_bytes = Vec::new();
-        for c in self.schema.columns() {
-            schema_bytes.extend_from_slice(c.name.as_bytes());
-            schema_bytes.push(0);
-            schema_bytes.extend_from_slice(c.ty.to_string().as_bytes());
-            schema_bytes.push(if c.nullable { 1 } else { 0 });
-        }
-        for &k in self.schema.key_indexes() {
-            schema_bytes.extend_from_slice(&(k as u64).to_be_bytes());
-        }
-        schema_bytes
+        schema_digest_bytes(&self.schema)
     }
 
     // ----- mutations ---------------------------------------------------
@@ -580,18 +615,15 @@ impl Table {
         // Recompute dirty chunk digests only.
         for c in 0..cache.chunks.len() {
             if cache.digests[c].is_none() {
-                let mut parts: Vec<&[u8]> = Vec::with_capacity(cache.chunks[c].len() + 1);
-                parts.push(CHUNK_TAG);
-                for leaf in cache.chunks[c].values() {
-                    parts.push(leaf.as_bytes());
-                }
-                cache.digests[c] = Some(sha256_concat(&parts));
+                cache.digests[c] = Some(chunk_digest(cache.chunks[c].values()));
             }
         }
-        let mut leaves = Vec::with_capacity(cache.chunks.len() + 1);
-        leaves.push(cache.schema_digest.expect("just set"));
-        leaves.extend(cache.digests.iter().map(|d| d.expect("just flushed")));
-        let root = MerkleTree::from_leaves(leaves).root();
+        let digests: Vec<Hash256> = cache
+            .digests
+            .iter()
+            .map(|d| d.expect("just flushed"))
+            .collect();
+        let root = fold_content_root(&cache.schema_digest.expect("just set"), &digests);
         cache.root = Some(root);
         root
     }

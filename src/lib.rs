@@ -139,4 +139,4 @@ pub use medledger_core::{
     UpdateReport, WorkflowTrace,
 };
 pub use medledger_engine::{CommitTicket, LedgerService, Submission, WaveReport};
-pub use medledger_relational::{Row, Table, Value};
+pub use medledger_relational::{Row, ShardMap, Table, Value};

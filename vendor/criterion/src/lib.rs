@@ -5,10 +5,19 @@
 //! benchmark groups with `bench_with_input` / `throughput` /
 //! `sample_size` / `measurement_time`, `BenchmarkId`, `Throughput` and
 //! `black_box` — with a simple measurement loop: warm up briefly, then
-//! time batches until the (shortened) measurement budget runs out, and
-//! print mean time per iteration. No statistics, plots or baselines.
+//! time iterations until the (shortened) measurement budget runs out, and
+//! print mean/median time per iteration. No plots or baselines.
+//!
+//! One extension beyond upstream: **machine-readable output**. Every
+//! measurement (and any custom metric a bench registers via
+//! [`record_metric`]) lands in a process-wide registry, and when the
+//! bench binary is invoked with `--save-json <path>` (after `--` under
+//! `cargo bench`), `criterion_main!` writes the registry as JSON on exit
+//! — the artifact the CI bench-trajectory gate diffs against the
+//! committed baseline.
 
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Opaque-to-the-optimizer identity function.
@@ -16,28 +25,133 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// One finished measurement, as stored in the process-wide registry.
+struct Measurement {
+    id: String,
+    mean_ns: f64,
+    median_ns: f64,
+    iters: u64,
+}
+
+/// (timing measurements, custom metrics) recorded this process.
+type Registry = (Vec<Measurement>, Vec<(String, f64)>);
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new((Vec::new(), Vec::new())))
+}
+
+/// Registers a custom named metric (e.g. `blocks_per_update`,
+/// `bytes_moved`) for the `--save-json` output. Later registrations of
+/// the same name overwrite earlier ones.
+pub fn record_metric(name: impl Into<String>, value: f64) {
+    let name = name.into();
+    let mut reg = registry().lock().expect("registry lock");
+    if let Some(slot) = reg.1.iter_mut().find(|(n, _)| *n == name) {
+        slot.1 = value;
+    } else {
+        reg.1.push((name, value));
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// True when the binary was invoked with `--test` (cargo bench's smoke
+/// mode): each benchmark runs a single iteration instead of a timed
+/// loop, so CI exercises every bench path quickly. Custom metrics
+/// ([`record_metric`]) are computed exactly either way.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Writes the registry as `BENCH_<name>.json`-style output when the
+/// process was started with `--save-json <path>`. Called by the `main`
+/// that [`criterion_main!`] generates; a no-op without the flag.
+pub fn save_json_if_requested() {
+    let mut args = std::env::args();
+    let mut path: Option<String> = None;
+    while let Some(a) = args.next() {
+        if a == "--save-json" {
+            path = args.next();
+        }
+    }
+    let Some(path) = path else { return };
+    let reg = registry().lock().expect("registry lock");
+    let mut out = String::from("{\n  \"results\": {\n");
+    for (i, m) in reg.0.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"iters\": {}}}{}\n",
+            json_escape(&m.id),
+            m.mean_ns,
+            m.median_ns,
+            m.iters,
+            if i + 1 < reg.0.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n  \"metrics\": {\n");
+    for (i, (name, value)) in reg.1.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            json_escape(name),
+            if value.is_finite() {
+                format!("{value}")
+            } else {
+                "null".to_string()
+            },
+            if i + 1 < reg.1.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("bench results saved to {path}"),
+        Err(e) => {
+            eprintln!("failed to save bench results to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Measures closures passed by benches.
 pub struct Bencher {
     /// (iterations, total elapsed) of the final measurement.
     result: Option<(u64, Duration)>,
+    /// Per-iteration wall times (ns) of the final measurement.
+    samples: Vec<u64>,
     budget: Duration,
 }
 
+/// Per-iteration samples kept for the median; past this, iterations are
+/// still counted and timed in aggregate but no longer sampled — bounding
+/// memory for nanosecond-scale benches that run millions of iterations.
+const MAX_SAMPLES: usize = 65_536;
+
 impl Bencher {
-    /// Times `f` repeatedly within the measurement budget.
+    /// Times `f` repeatedly within the measurement budget (one clock
+    /// read per iteration — the same overhead the aggregate-only loop
+    /// had — doubling as the per-iteration sample).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm-up: one call (also primes lazily-built state).
         black_box(f());
         let start = Instant::now();
+        let mut last = start;
         let mut iters = 0u64;
+        let mut samples = Vec::new();
         loop {
             black_box(f());
+            let now = Instant::now();
+            if samples.len() < MAX_SAMPLES {
+                samples.push((now - last).as_nanos() as u64);
+            }
+            last = now;
             iters += 1;
-            if start.elapsed() >= self.budget {
+            if now - start >= self.budget {
                 break;
             }
         }
-        self.result = Some((iters, start.elapsed()));
+        self.samples = samples;
+        self.result = Some((iters, last - start));
     }
 }
 
@@ -94,15 +208,42 @@ impl Default for Criterion {
 }
 
 fn run_one(label: &str, budget: Duration, f: impl FnOnce(&mut Bencher)) {
+    let budget = if test_mode() {
+        // Smoke mode: the first post-warm-up iteration always exceeds a
+        // 1 ns budget, so every bench runs exactly once.
+        Duration::from_nanos(1)
+    } else {
+        budget
+    };
     let mut b = Bencher {
         result: None,
+        samples: Vec::new(),
         budget,
     };
     f(&mut b);
     match b.result {
         Some((iters, elapsed)) if iters > 0 => {
             let per = elapsed.as_nanos() as f64 / iters as f64;
-            println!("bench {label:<40} {:>12.1} ns/iter ({iters} iters)", per);
+            let mut s = std::mem::take(&mut b.samples);
+            let median = if s.is_empty() {
+                per
+            } else {
+                s.sort_unstable();
+                s[s.len() / 2] as f64
+            };
+            println!(
+                "bench {label:<40} {per:>12.1} ns/iter (median {median:.1} ns, {iters} iters)"
+            );
+            registry()
+                .lock()
+                .expect("registry lock")
+                .0
+                .push(Measurement {
+                    id: label.to_string(),
+                    mean_ns: per,
+                    median_ns: median,
+                    iters,
+                });
         }
         _ => println!("bench {label:<40} (no measurement)"),
     }
@@ -192,12 +333,13 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench binary's `main`.
+/// Declares the bench binary's `main` (which also honors `--save-json`).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::save_json_if_requested();
         }
     };
 }
@@ -229,13 +371,19 @@ impl Bencher {
         black_box(routine(setup()));
         let mut iters = 0u64;
         let mut spent = Duration::ZERO;
+        let mut samples = Vec::new();
         while spent < self.budget {
             let input = setup();
             let t = Instant::now();
             black_box(routine(input));
-            spent += t.elapsed();
+            let elapsed = t.elapsed();
+            if samples.len() < MAX_SAMPLES {
+                samples.push(elapsed.as_nanos() as u64);
+            }
+            spent += elapsed;
             iters += 1;
         }
+        self.samples = samples;
         self.result = Some((iters, spent));
     }
 }
