@@ -1,0 +1,164 @@
+//! Durable-storage cost: flush overhead per commit, recovery time vs.
+//! WAL length, and the binary codec's size advantage over JSON.
+//!
+//! The claim under test (ISSUE 6 acceptance): persistence rides along
+//! the commit pipeline — segmented per-peer WALs plus periodic
+//! snapshots — without changing any result, so its cost must stay a
+//! modest additive overhead per committed update, and recovery must be
+//! a replay whose cost tracks the WAL suffix length (snapshots bound
+//! it), not the workload's whole history.
+//!
+//! The timing group commits dosage updates through the full Fig. 5
+//! pipeline on an in-memory deployment and on a durable one (same seed,
+//! same workload) — the difference is the flush. A second group times
+//! cold recovery (`MedLedgerBuilder::build` over existing bytes) at two
+//! snapshot cadences, so the snapshot's WAL-bounding effect is visible.
+//! The report group records the deterministic virtual-sim metrics for
+//! the CI bench-trajectory gate: WAL bytes appended per commit and the
+//! binary-codec/JSON size ratio of the same log records.
+
+use criterion::{criterion_group, criterion_main, record_metric, BenchmarkId, Criterion};
+use medledger_bench::{one_dosage_update, two_peer_system, two_peer_system_durable};
+use medledger_core::ConsensusKind;
+use medledger_storage::{Decode, Encode, SharedBackend, StorageBackend};
+
+const ROWS: usize = 256;
+const FIRST_PATIENT_ID: i64 = 1000;
+
+fn consensus() -> ConsensusKind {
+    ConsensusKind::PrivatePbft {
+        block_interval_ms: 100,
+    }
+}
+
+fn bench_commit_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("storage_persistence");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+
+    g.bench_function("commit_in_memory_256", |b| {
+        let mut bench = two_peer_system("persist-mem", consensus(), ROWS);
+        let mut rev = 0usize;
+        b.iter(|| {
+            rev += 1;
+            one_dosage_update(&mut bench, FIRST_PATIENT_ID, rev)
+        })
+    });
+
+    for snapshot_every in [1u64, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("commit_durable_256_snap", snapshot_every),
+            &snapshot_every,
+            |b, &snapshot_every| {
+                let (mut bench, _backend) =
+                    two_peer_system_durable("persist-dur", consensus(), ROWS, snapshot_every);
+                let mut rev = 0usize;
+                b.iter(|| {
+                    rev += 1;
+                    one_dosage_update(&mut bench, FIRST_PATIENT_ID, rev)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("storage_recovery");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+
+    // Tight snapshots (replay ≈ 0 records) vs. one initial snapshot
+    // only (replay = the whole workload's WAL suffix).
+    for (label, snapshot_every) in [("snap_every_1", 1u64), ("snap_never", 1_000_000)] {
+        let (mut bench, backend) =
+            two_peer_system_durable("persist-rec", consensus(), ROWS, snapshot_every);
+        for rev in 1..=16 {
+            one_dosage_update(&mut bench, FIRST_PATIENT_ID, rev);
+        }
+        bench.ledger.close().expect("close");
+        let state = backend.snapshot_state();
+        g.bench_function(BenchmarkId::new("recover_16_commits", label), |b| {
+            b.iter(|| {
+                medledger_core::MedLedger::builder()
+                    .seed("persist-rec")
+                    .consensus(consensus())
+                    .peer_key_capacity(1024)
+                    .storage_backend(Box::new(SharedBackend::from_state(state.clone())))
+                    .build()
+                    .expect("recover")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_size_report(c: &mut Criterion) {
+    let g = c.benchmark_group("storage_persistence_report");
+
+    // Deterministic virtual-sim metrics: run a fixed durable workload,
+    // then size what landed in the backend.
+    const COMMITS: usize = 8;
+    let (mut bench, backend) =
+        two_peer_system_durable("persist-report", consensus(), ROWS, 1_000_000);
+    let before: u64 = stream_bytes(&backend);
+    for rev in 1..=COMMITS {
+        one_dosage_update(&mut bench, FIRST_PATIENT_ID, rev);
+    }
+    let wal_bytes_per_commit = (stream_bytes(&backend) - before) as f64 / COMMITS as f64;
+
+    // The same mutation records, binary codec vs. serde_json.
+    let doctor = bench.doctor;
+    let sys = bench.ledger.system();
+    let records = sys.peer(doctor).expect("doctor").db.log_since(0).to_vec();
+    let (mut binary_bytes, mut json_bytes) = (0usize, 0usize);
+    // The log drains into the WAL at every flush; re-derive a fresh set
+    // by encoding the records of one more staged update if empty.
+    let sample: Vec<_> = if records.is_empty() {
+        let mut state = SharedBackend::from_state(backend.snapshot_state());
+        state
+            .read_from("peer/Doctor", 0)
+            .expect("read WAL")
+            .into_iter()
+            .map(|raw| medledger_relational::LogRecord::decode(&raw).expect("decode WAL record"))
+            .collect()
+    } else {
+        records
+    };
+    assert!(!sample.is_empty(), "workload must produce log records");
+    for rec in &sample {
+        binary_bytes += rec.encoded().len();
+        json_bytes += serde_json::to_vec(rec).expect("json").len();
+    }
+    let ratio = binary_bytes as f64 / json_bytes as f64;
+
+    record_metric("wal_bytes_per_commit", wal_bytes_per_commit);
+    record_metric("binary_vs_json_record_bytes_ratio", ratio);
+    record_metric("wal_records_sampled", sample.len() as f64);
+    println!(
+        "storage_persistence: {wal_bytes_per_commit:.0} WAL bytes/commit, \
+         binary/json record size ratio {ratio:.3} over {} records",
+        sample.len()
+    );
+    g.finish();
+}
+
+/// Total bytes across every record stream of the backend.
+fn stream_bytes(backend: &SharedBackend) -> u64 {
+    let mut state = SharedBackend::from_state(backend.snapshot_state());
+    let mut total = 0u64;
+    for stream in ["peer/Doctor", "peer/Patient", "chain", "sys"] {
+        for rec in state.read_from(stream, 0).expect("read") {
+            total += rec.len() as u64;
+        }
+    }
+    total
+}
+
+criterion_group!(
+    benches,
+    bench_commit_overhead,
+    bench_recovery,
+    bench_size_report
+);
+criterion_main!(benches);

@@ -16,6 +16,7 @@ use medledger_engine::CommitQueue;
 use medledger_relational::{
     diff_tables, row, Column, Predicate, Schema, Table, TableDelta, Value, ValueType,
 };
+use medledger_storage::SharedBackend;
 use medledger_workload::{EhrGenerator, UpdateStream};
 
 /// A fast PBFT config for benches (100 ms blocks).
@@ -56,13 +57,41 @@ pub fn two_peer_system_in(
     n_patients: usize,
     mode: PropagationMode,
 ) -> WardBench {
-    let mut ledger = MedLedger::builder()
+    let ledger = MedLedger::builder()
         .seed(seed)
         .consensus(consensus)
         .peer_key_capacity(1024)
         .propagation(mode)
         .build()
         .expect("boot");
+    populate_ward(ledger, seed, n_patients)
+}
+
+/// [`two_peer_system`] on a *durable* ledger over a fresh
+/// [`SharedBackend`]; the returned backend handle sees every byte the
+/// deployment flushes (the `storage_persistence` bench recovers from its
+/// captures and sizes its streams).
+pub fn two_peer_system_durable(
+    seed: &str,
+    consensus: ConsensusKind,
+    n_patients: usize,
+    snapshot_every: u64,
+) -> (WardBench, SharedBackend) {
+    let backend = SharedBackend::new();
+    let ledger = MedLedger::builder()
+        .seed(seed)
+        .consensus(consensus)
+        .peer_key_capacity(1024)
+        .storage_backend(Box::new(backend.clone()))
+        .snapshot_every(snapshot_every)
+        .build()
+        .expect("boot durable");
+    (populate_ward(ledger, seed, n_patients), backend)
+}
+
+/// Loads the ward scenario (doctor + patient, one shared table over
+/// `n_patients` records) onto an already-built ledger.
+fn populate_ward(mut ledger: MedLedger, seed: &str, n_patients: usize) -> WardBench {
     let doctor = ledger.add_peer("Doctor").expect("add");
     let patient = ledger.add_peer("Patient").expect("add");
 

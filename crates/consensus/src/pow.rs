@@ -46,6 +46,18 @@ impl PowModel {
         (interval.round() as u64).max(1)
     }
 
+    /// The interval generator's resumable position (see [`Prg::state`]),
+    /// captured by durable-storage flushes so a recovered PoW model
+    /// samples the same future block intervals the live one would have.
+    pub fn prg_state(&self) -> (u64, usize) {
+        self.prg.state()
+    }
+
+    /// Restores a position captured with [`PowModel::prg_state`].
+    pub fn restore_prg_state(&mut self, counter: u64, buf_pos: usize) {
+        self.prg.restore_state(counter, buf_pos);
+    }
+
     /// Samples `count` block arrival times starting from `start_ms`.
     pub fn arrival_times(&mut self, start_ms: u64, count: usize) -> Vec<u64> {
         let mut out = Vec::with_capacity(count);

@@ -60,6 +60,9 @@ pub enum CoreError {
     /// one-update-per-table-per-block rule surfaced as a typed error
     /// instead of a silent re-queue.
     Conflicted(String),
+    /// The durable storage layer failed (WAL/snapshot I/O, corruption, or
+    /// a recovered state that disagrees with the recovered chain).
+    Storage(String),
 }
 
 impl fmt::Display for CoreError {
@@ -80,6 +83,7 @@ impl fmt::Display for CoreError {
             CoreError::Conflicted(s) => {
                 write!(f, "another queued update already claims shared table `{s}`")
             }
+            CoreError::Storage(s) => write!(f, "storage: {s}"),
         }
     }
 }
@@ -113,5 +117,11 @@ impl From<ContractError> for CoreError {
 impl From<medledger_crypto::SigningError> for CoreError {
     fn from(_: medledger_crypto::SigningError) -> Self {
         CoreError::KeysExhausted
+    }
+}
+
+impl From<medledger_storage::StorageError> for CoreError {
+    fn from(e: medledger_storage::StorageError) -> Self {
+        CoreError::Storage(e.to_string())
     }
 }

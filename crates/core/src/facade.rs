@@ -23,6 +23,7 @@
 
 use crate::agreement::SharingAgreement;
 use crate::error::CoreError;
+use crate::persist::Recovery;
 use crate::system::{System, SystemConfig, SystemStats, UpdateReport, WorkflowTrace};
 use crate::Result;
 use medledger_bx::LensSpec;
@@ -30,7 +31,9 @@ use medledger_contracts::SharedTableMeta;
 use medledger_ledger::{AuditEntry, Chain, Receipt, RevertKind};
 use medledger_network::LatencyModel;
 use medledger_relational::{Row, Table, TableDelta, Value, WriteOp};
+use medledger_storage::{DurableStore, StorageBackend};
 use std::fmt;
+use std::path::PathBuf;
 
 pub use crate::system::{ConsensusKind, PeerId, PropagationMode};
 
@@ -53,6 +56,8 @@ impl MedLedger {
     pub fn builder() -> MedLedgerBuilder {
         MedLedgerBuilder {
             config: SystemConfig::default(),
+            durable_path: None,
+            backend: None,
         }
     }
 
@@ -138,6 +143,26 @@ impl MedLedger {
         Ok(self.system.peer(peer)?.keys.remaining())
     }
 
+    /// True when the deployment persists to a durable backend (built
+    /// with [`MedLedgerBuilder::durable`] /
+    /// [`MedLedgerBuilder::storage_backend`]).
+    pub fn is_durable(&self) -> bool {
+        self.system.storage_attached()
+    }
+
+    /// Flushes all unpersisted state to the durable backend (no-op for
+    /// in-memory deployments). Commit boundaries already flush; this is
+    /// for callers that mutated state through lower-level seams.
+    pub fn flush(&mut self) -> Result<()> {
+        self.system.flush_storage()
+    }
+
+    /// Flushes and shuts the deployment down. Rebuilding with the same
+    /// configuration and backend recovers this exact state.
+    pub fn close(mut self) -> Result<()> {
+        self.system.flush_storage()
+    }
+
     /// Read-only access to the underlying engine.
     ///
     /// **Escape hatch** — hidden from the docs on purpose: application
@@ -167,6 +192,8 @@ impl MedLedger {
 /// Fluent builder over [`SystemConfig`].
 pub struct MedLedgerBuilder {
     config: SystemConfig,
+    durable_path: Option<PathBuf>,
+    backend: Option<Box<dyn StorageBackend>>,
 }
 
 impl MedLedgerBuilder {
@@ -267,9 +294,57 @@ impl MedLedgerBuilder {
         self
     }
 
-    /// Boots the system and deploys the sharing contract.
+    /// Persists the deployment under `dir` (segmented per-peer WALs,
+    /// periodic snapshots, the block stream). [`MedLedgerBuilder::build`]
+    /// then *recovers* when the directory already holds a committed
+    /// state — replaying WALs onto the latest snapshot and re-verifying
+    /// the folded per-shard Merkle subroots against the replayed chain —
+    /// and bootstraps fresh (writing an initial snapshot) otherwise.
+    pub fn durable(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durable_path = Some(dir.into());
+        self.backend = None;
+        self
+    }
+
+    /// Like [`MedLedgerBuilder::durable`] but with a caller-supplied
+    /// backend (e.g. [`medledger_storage::MemoryBackend`] in tests, or a
+    /// fault-injecting wrapper in the crash-recovery suite).
+    pub fn storage_backend(mut self, backend: Box<dyn StorageBackend>) -> Self {
+        self.backend = Some(backend);
+        self.durable_path = None;
+        self
+    }
+
+    /// Snapshot cadence for durable mode: a full snapshot every `n`
+    /// flushes (structural changes always force one). See
+    /// [`crate::persist::StorageOptions`].
+    pub fn snapshot_every(mut self, n: u64) -> Self {
+        self.config.storage.snapshot_every = n;
+        self
+    }
+
+    /// Boots the system and deploys the sharing contract — or, in
+    /// durable mode with existing state on disk, recovers the previous
+    /// deployment instead (verifying it before serving).
     pub fn build(self) -> Result<MedLedger> {
-        MedLedger::from_config(self.config)
+        let backend: Option<Box<dyn StorageBackend>> = match (self.backend, &self.durable_path) {
+            (Some(b), _) => Some(b),
+            (None, Some(dir)) => Some(Box::new(
+                DurableStore::open(dir.clone()).map_err(|e| CoreError::Storage(e.to_string()))?,
+            )),
+            (None, None) => None,
+        };
+        let Some(backend) = backend else {
+            return MedLedger::from_config(self.config);
+        };
+        match System::recover(self.config.clone(), backend)? {
+            Recovery::Resumed(system) => Ok(MedLedger { system: *system }),
+            Recovery::Fresh(backend) => {
+                let mut system = System::bootstrap(self.config)?;
+                system.attach_storage(backend)?;
+                Ok(MedLedger { system })
+            }
+        }
     }
 }
 

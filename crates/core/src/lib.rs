@@ -37,6 +37,7 @@ pub mod error;
 pub mod exposure;
 pub mod facade;
 pub mod peer;
+pub mod persist;
 pub mod scenario;
 pub mod system;
 
@@ -47,6 +48,7 @@ pub use facade::{
     UpdateBatch,
 };
 pub use peer::{PeerNode, PendingSnapshot, PropagationMode};
+pub use persist::{Recovery, StorageOptions};
 pub use system::{
     CascadeMode, CoSubmitter, ConsensusKind, DeferredCascade, GroupCommitOutcome, GroupEntry,
     GroupEntryFailure, GroupEntryResult, PeerId, System, SystemConfig, UpdateReport, WorkflowTrace,

@@ -478,8 +478,42 @@ impl PeerNode {
         self.ensure_shard_state_synced(table_id)?;
         let state = self.shard_states.get_mut(table_id).expect("just checked");
         // Shards first — they validate identically, so a rejected
-        // delta leaves both representations untouched.
-        let shard_inv = state.store.apply_delta(delta)?;
+        // delta leaves both representations untouched. Route through the
+        // same plan / per-shard job / commit sequence as the remote-apply
+        // path: split once, touch only the shards the delta lands in, and
+        // fold the cached subtree roots for the WAL `post_hash`.
+        let plan = state.store.plan(delta);
+        let chunk_count = plan.chunk_count;
+        let mut applied: Vec<(usize, TableDelta)> = Vec::new();
+        let mut first_err: Option<medledger_relational::RelationalError> = None;
+        for s in plan.touched() {
+            match run_shard_job((
+                &mut state.store.shards_mut()[s],
+                &plan.per_shard[s],
+                chunk_count,
+            )) {
+                Ok(inv) => applied.push((s, inv)),
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            // Revert the shards that already applied, newest first.
+            for (s, inv) in applied.iter().rev() {
+                state.store.shards_mut()[*s]
+                    .apply(inv, chunk_count)
+                    .expect("inverse of a just-applied sub-delta applies");
+            }
+            return Err(e.into());
+        }
+        let schema = state.store.schema().clone();
+        let merged_inverse =
+            TableDelta::merge_disjoint(applied.into_iter().map(|(_, inv)| inv), |r| {
+                schema.key_of(r)
+            });
+        state.store.commit_plan(&plan);
         let post_hash = state.store.content_hash();
         match self.db.apply_delta_with_hash(table_id, delta, post_hash) {
             Ok(inv) => {
@@ -491,7 +525,7 @@ impl PeerNode {
                     .get_mut(table_id)
                     .expect("just present")
                     .store
-                    .apply_delta(&shard_inv)
+                    .apply_delta(&merged_inverse)
                     .expect("inverse of a just-applied delta applies");
                 Err(e.into())
             }
@@ -1314,6 +1348,103 @@ impl PeerNode {
     /// A full snapshot of the peer's database (for revert-on-deny).
     pub fn snapshot(&self) -> Database {
         self.db.clone()
+    }
+
+    // ----- durable-storage support -------------------------------------
+
+    /// The peer's share bindings (persisted verbatim in snapshots).
+    pub(crate) fn bindings_map(&self) -> &BTreeMap<String, PeerBinding> {
+        &self.bindings
+    }
+
+    /// Per-share inverse deltas that rewind each stored copy back to its
+    /// committed baseline (`diff_tables(stored, baseline)`). O(pending
+    /// rows) per share — this is how a flush records baseline + pending
+    /// state without writing a second copy of any table.
+    pub(crate) fn baseline_inverses(&self) -> Vec<(String, TableDelta)> {
+        let mut out = Vec::new();
+        for (table_id, baseline) in &self.baselines {
+            let Ok(stored) = self.db.table(table_id) else {
+                continue;
+            };
+            let inv = diff_tables(stored, baseline);
+            if !inv.is_empty() {
+                out.push((table_id.clone(), inv));
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a peer from persisted parts: the recovered database
+    /// (snapshot + WAL replay), the share bindings, and the per-share
+    /// baseline inverses recorded at the last flush. Signing keys are
+    /// re-derived from the deployment seed (they are never persisted) and
+    /// fast-forwarded past the already-consumed one-time signatures;
+    /// baselines rewind from the stored copies via the inverses, pending
+    /// rows re-derive as `diff_tables(baseline, stored)`, and the sharded
+    /// mirrors and group indexes rebuild from ground truth.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn restore_from_parts(
+        name: &str,
+        seed: &str,
+        key_capacity: usize,
+        mode: PropagationMode,
+        shards_per_table: usize,
+        db: Database,
+        bindings: BTreeMap<String, PeerBinding>,
+        baseline_inverses: &[(String, TableDelta)],
+        applied_versions: BTreeMap<String, u64>,
+        next_nonce: u64,
+        keys_used: u64,
+    ) -> Result<PeerNode> {
+        let mut peer = PeerNode::new(name, seed, key_capacity, mode, shards_per_table);
+        peer.keys.restore_used(keys_used);
+        peer.db = db;
+        peer.bindings = bindings;
+        peer.applied_versions = applied_versions;
+        peer.next_nonce = next_nonce;
+        let inverses: BTreeMap<&str, &TableDelta> = baseline_inverses
+            .iter()
+            .map(|(id, d)| (id.as_str(), d))
+            .collect();
+        let share_ids: Vec<String> = peer.bindings.keys().cloned().collect();
+        for table_id in &share_ids {
+            let stored = peer.db.table(table_id)?;
+            let mut baseline = stored.clone();
+            if let Some(inv) = inverses.get(table_id.as_str()) {
+                baseline.apply_delta(inv)?;
+            }
+            let pending_delta = diff_tables(&baseline, stored);
+            let schema = stored.schema().clone();
+            if peer.mode == PropagationMode::Delta && peer.shards_per_table > 1 {
+                peer.shard_states.insert(
+                    table_id.clone(),
+                    ShardState {
+                        store: ShardMap::from_table(stored, peer.shards_per_table),
+                        baseline: ShardMap::from_table(&baseline, peer.shards_per_table),
+                        synced_at: peer.db.table_version(table_id),
+                    },
+                );
+            }
+            peer.baselines.insert(table_id.clone(), baseline);
+            if !pending_delta.is_empty() {
+                peer.merge_pending(table_id, &schema, &pending_delta);
+            }
+        }
+        if peer.mode == PropagationMode::Delta {
+            for table_id in &share_ids {
+                if let LensSpec::ProjectDistinct { view_key, .. } =
+                    &peer.bindings[table_id].lens.clone()
+                {
+                    let source_table = peer.bindings[table_id].source_table.clone();
+                    let synced_at = peer.db.table_version(&source_table);
+                    let idx = GroupIndex::build(peer.db.table(&source_table)?, view_key)?;
+                    peer.group_indexes
+                        .insert(table_id.clone(), (synced_at, idx));
+                }
+            }
+        }
+        Ok(peer)
     }
 
     /// Restores a database snapshot, re-deriving the sharded mirrors and

@@ -89,7 +89,14 @@ pub fn bx32_lens() -> LensSpec {
 
 /// Builds the Fig. 1 scenario on a fresh ledger.
 pub fn build(config: SystemConfig) -> Result<Fig1Scenario> {
-    let mut ledger = MedLedger::builder().config(config).build()?;
+    populate(MedLedger::builder().config(config).build()?)
+}
+
+/// Loads the Fig. 1 peers, sources, and shares onto an already-built
+/// ledger (e.g. one constructed with
+/// [`crate::facade::MedLedgerBuilder::durable`]). The ledger must be
+/// freshly bootstrapped — peer names must not collide.
+pub fn populate(mut ledger: MedLedger) -> Result<Fig1Scenario> {
     let patient = ledger.add_peer(PATIENT)?;
     let doctor = ledger.add_peer(DOCTOR)?;
     let researcher = ledger.add_peer(RESEARCHER)?;

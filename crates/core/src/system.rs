@@ -114,6 +114,10 @@ pub struct SystemConfig {
     /// worker pool. Final state, hashes, traces and receipts are
     /// byte-identical for every setting.
     pub shards_per_table: usize,
+    /// Durable-storage tuning (snapshot cadence). Only consulted when a
+    /// [`medledger_storage::StorageBackend`] is attached — the default
+    /// in-memory deployment ignores it entirely.
+    pub storage: crate::persist::StorageOptions,
 }
 
 impl Default for SystemConfig {
@@ -131,12 +135,13 @@ impl Default for SystemConfig {
             propagation: PropagationMode::Delta,
             fanout_workers: 0,
             shards_per_table: 1,
+            storage: crate::persist::StorageOptions::default(),
         }
     }
 }
 
 /// Aggregate system statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SystemStats {
     /// Blocks committed.
     pub blocks: u64,
@@ -435,23 +440,27 @@ struct FanoutSummary {
 pub struct System {
     /// Configuration.
     pub config: SystemConfig,
-    peers: BTreeMap<AccountId, PeerNode>,
-    names: BTreeMap<String, AccountId>,
-    chain: Chain,
-    runtime: ContractRuntime,
-    mempool: Mempool,
+    pub(crate) peers: BTreeMap<AccountId, PeerNode>,
+    pub(crate) names: BTreeMap<String, AccountId>,
+    pub(crate) chain: Chain,
+    pub(crate) runtime: ContractRuntime,
+    pub(crate) mempool: Mempool,
     schedule: ProposerSchedule,
-    admin: KeyPair,
-    contract: Option<Hash256>,
-    clock_ms: u64,
-    last_block_ms: u64,
-    pow: Option<PowModel>,
-    prg: Prg,
-    receipts: BTreeMap<TxId, (u64, Receipt)>,
-    stats: SystemStats,
+    pub(crate) admin: KeyPair,
+    pub(crate) contract: Option<Hash256>,
+    pub(crate) clock_ms: u64,
+    pub(crate) last_block_ms: u64,
+    pub(crate) pow: Option<PowModel>,
+    pub(crate) prg: Prg,
+    pub(crate) receipts: BTreeMap<TxId, (u64, Receipt)>,
+    pub(crate) stats: SystemStats,
     /// The commit-pipeline wave currently producing blocks, if any
     /// (stamped into every block header; see `BlockHeader::wave`).
     wave: Option<u64>,
+    /// The attached durable-storage session, if any (see
+    /// [`crate::persist`]). `None` — the default — keeps the system fully
+    /// in-memory, exactly as before.
+    pub(crate) persist: Option<crate::persist::Persistence>,
 }
 
 impl System {
@@ -492,6 +501,7 @@ impl System {
             receipts: BTreeMap::new(),
             stats: SystemStats::default(),
             wave: None,
+            persist: None,
             config,
         }
     }
@@ -618,6 +628,7 @@ impl System {
         self.chain.membership_mut().add_member(account);
         self.names.insert(name.to_string(), account);
         self.peers.insert(account, peer);
+        self.flush_structural()?;
         Ok(PeerId::from_account(account))
     }
 
@@ -643,6 +654,7 @@ impl System {
         self.produce_blocks_until_receipt(&id, 16)?;
         self.expect_success(&id)?;
         self.contract = Some(contract);
+        self.flush_structural()?;
         Ok(contract)
     }
 
@@ -853,6 +865,7 @@ impl System {
             let peer = self.peers.get_mut(account).expect("checked above");
             peer.join_share(&agreement.table_id, binding.clone())?;
         }
+        self.flush_structural()?;
         Ok(())
     }
 
@@ -877,7 +890,9 @@ impl System {
             Some(table_id.to_string()),
         )?;
         self.produce_blocks_until_receipt(&tx, 16)?;
-        self.expect_success(&tx)
+        self.expect_success(&tx)?;
+        self.flush_storage()?;
+        Ok(())
     }
 
     /// Table-level delete (Fig. 4): the authority retires the share on
@@ -897,6 +912,7 @@ impl System {
                 let _ = peer.leave_share(table_id);
             }
         }
+        self.flush_structural()?;
         Ok(())
     }
 
@@ -907,7 +923,9 @@ impl System {
     /// Step-6 dependency check and recursive cascades (Steps 7–11).
     pub fn propagate_update(&mut self, updater: PeerId, table_id: &str) -> Result<UpdateReport> {
         let mut active = BTreeSet::new();
-        self.propagate_inner(updater.account(), table_id, &mut active, 0)
+        let report = self.propagate_inner(updater.account(), table_id, &mut active, 0)?;
+        self.flush_storage()?;
+        Ok(report)
     }
 
     /// One update through the whole pipeline: Step 1 + pre-flight,
@@ -2114,6 +2132,7 @@ impl System {
             }
         }
 
+        self.flush_storage()?;
         Ok(GroupCommitOutcome {
             results: slots
                 .into_iter()

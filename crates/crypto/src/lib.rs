@@ -17,11 +17,14 @@
 //!   Signature Scheme) used to sign ledger transactions.
 //! * [`prg`] — a deterministic SHA-256 counter-mode byte stream used to
 //!   derive keys and to make every experiment reproducible.
+//! * [`mod@crc32`] — CRC-32 frame checksums for the durable-storage WAL
+//!   and snapshot files (corruption detection, not authentication).
 //!
 //! The design document (DESIGN.md §2) records why these primitives are a
 //! faithful substitution for the paper's Ethereum accounts: only collision
 //! resistance and unforgeability are load-bearing for the architecture.
 
+pub mod crc32;
 pub mod hash;
 pub mod hmac;
 pub mod merkle;
@@ -29,6 +32,7 @@ pub mod prg;
 pub mod sha256;
 pub mod sig;
 
+pub use crc32::{crc32, Crc32};
 pub use hash::Hash256;
 pub use hmac::{hmac_sha256, HmacKey};
 pub use merkle::{MerkleProof, MerkleTree};

@@ -107,6 +107,37 @@ impl Prg {
     pub fn bernoulli(&mut self, p: f64) -> bool {
         self.next_f64() < p
     }
+
+    /// The generator's resumable position: `(counter, buf_pos)`.
+    ///
+    /// The seed is *not* part of the state — callers that persist a
+    /// generator re-derive the seed from the same label and restore the
+    /// position with [`Prg::restore_state`], so no seed material ever
+    /// needs to leave memory.
+    pub fn state(&self) -> (u64, usize) {
+        (self.counter, self.buf_pos)
+    }
+
+    /// Restores a position previously captured with [`Prg::state`].
+    ///
+    /// The stream after a restore is byte-identical to the stream the
+    /// captured generator would have produced (the current block is
+    /// re-derived from the counter when partially consumed).
+    pub fn restore_state(&mut self, counter: u64, buf_pos: usize) {
+        let buf_pos = buf_pos.min(32);
+        if buf_pos < 32 && counter > 0 {
+            // Re-derive the partially consumed block: `refill` advanced
+            // the counter after producing it.
+            let block = sha256_concat(&[
+                b"medledger.prg.block:",
+                self.seed.as_bytes(),
+                &(counter - 1).to_be_bytes(),
+            ]);
+            self.buf = *block.as_bytes();
+        }
+        self.counter = counter;
+        self.buf_pos = if counter == 0 { 32 } else { buf_pos };
+    }
 }
 
 #[cfg(test)]

@@ -201,6 +201,21 @@ impl KeyPair {
         self.capacity
     }
 
+    /// One-time keys already consumed (the next leaf index to sign with).
+    pub fn used(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Restores the consumed-key watermark after recovering a key pair
+    /// via [`KeyPair::generate`] / [`KeyPair::from_seed`].
+    ///
+    /// Durable storage persists only `(label-derived seed, used)` — never
+    /// secret material — and a recovered signer must not reuse a one-time
+    /// key it already revealed, so the watermark only ever moves forward.
+    pub fn restore_used(&mut self, used: u64) {
+        self.next_index = self.next_index.max(used.min(self.capacity));
+    }
+
     fn ots_secret(seed: &Hash256, key_index: u64, bit_pos: u64, bit_val: u8) -> Hash256 {
         sha256_concat(&[
             b"medledger.ots.sk:",

@@ -164,7 +164,19 @@ pub struct LedgerService {
 
 impl LedgerService {
     /// Wraps a ledger in the pipeline service.
+    ///
+    /// The wave counter resumes from the highest wave stamped into the
+    /// chain's blocks, so a service over a *recovered* durable ledger
+    /// numbers its next wave after the pre-crash ones instead of
+    /// restarting at 1.
     pub fn new(ledger: MedLedger) -> Self {
+        let wave = ledger
+            .chain()
+            .blocks()
+            .iter()
+            .filter_map(|b| b.header.wave)
+            .max()
+            .unwrap_or(0);
         LedgerService {
             ledger,
             pending: VecDeque::new(),
@@ -172,7 +184,7 @@ impl LedgerService {
             resolved: BTreeMap::new(),
             cascade_log: Vec::new(),
             next_ticket: 0,
-            wave: 0,
+            wave,
         }
     }
 
@@ -191,6 +203,16 @@ impl LedgerService {
     /// Consumes the service, returning the ledger.
     pub fn into_ledger(self) -> MedLedger {
         self.ledger
+    }
+
+    /// Graceful shutdown: runs waves until every queued submission and
+    /// deferred cascade resolves, then flushes the ledger's durable
+    /// state (a no-op for in-memory deployments). Rebuilding from the
+    /// same backend and wrapping in a new service resumes exactly here —
+    /// including the wave numbering.
+    pub fn close(mut self) -> medledger_core::Result<()> {
+        self.drain()?;
+        self.ledger.close()
     }
 
     /// Starts staging a submission by `peer` against shared `table_id`.

@@ -2,6 +2,7 @@
 
 use crate::transaction::{AccountId, SignedTransaction};
 use medledger_crypto::{merkle::MerkleTree, sha256_concat, Hash256};
+use medledger_storage::Encode;
 use serde::{Deserialize, Serialize};
 
 /// A block header.
@@ -29,10 +30,11 @@ pub struct BlockHeader {
 }
 
 impl BlockHeader {
-    /// Canonical digest of the header — the block hash.
+    /// Canonical digest of the header — the block hash. The `v2` domain
+    /// tag marks the binary canonical form from [`crate::binary`] (`v1`
+    /// hashed the old JSON encoding).
     pub fn hash(&self) -> Hash256 {
-        let encoded = serde_json::to_vec(self).expect("header serializes");
-        sha256_concat(&[b"medledger.block.v1:", &encoded])
+        sha256_concat(&[b"medledger.block.v2:", &Encode::encoded(self)])
     }
 }
 
@@ -93,13 +95,10 @@ impl Block {
         self.header.tx_root == Self::tx_root(&self.txs)
     }
 
-    /// Approximate wire/storage size in bytes (header + transactions),
-    /// used by the storage experiments (E8).
+    /// Exact wire/storage size in bytes of the canonical binary encoding
+    /// (header + transactions), used by the storage experiments (E8).
     pub fn encoded_len(&self) -> usize {
-        let header_len = serde_json::to_vec(&self.header)
-            .expect("header serializes")
-            .len();
-        header_len
+        Encode::encoded(&self.header).len()
             + self
                 .txs
                 .iter()

@@ -25,6 +25,7 @@
 //! `medledger-contracts`. This crate owns pure data-structure validity.
 
 pub mod audit;
+pub mod binary;
 pub mod block;
 pub mod chain;
 pub mod mempool;

@@ -1,6 +1,7 @@
 //! Transactions.
 
 use medledger_crypto::{sha256_concat, Hash256, KeyPair, PublicKey, Signature};
+use medledger_storage::Encode;
 use serde::{Deserialize, Serialize};
 
 /// Hex (de)serialization for byte fields, keeping JSON transaction
@@ -98,10 +99,10 @@ pub struct Transaction {
 
 impl Transaction {
     /// Canonical digest of the transaction body (the id, and what gets
-    /// signed).
+    /// signed). The `v2` domain tag marks the binary canonical form from
+    /// [`crate::binary`] (`v1` hashed the old JSON encoding).
     pub fn digest(&self) -> TxId {
-        let encoded = serde_json::to_vec(self).expect("transaction serializes");
-        sha256_concat(&[b"medledger.tx.v1:", &encoded])
+        sha256_concat(&[b"medledger.tx.v2:", &Encode::encoded(self)])
     }
 
     /// Signs the transaction with `key` (consuming one one-time key).
@@ -139,13 +140,15 @@ impl SignedTransaction {
             .verify(&self.tx.sender, self.tx.digest().as_bytes())
     }
 
-    /// Canonical encoding used for Merkle tx roots.
+    /// Canonical encoding used for Merkle tx roots, WAL records and
+    /// snapshots (the binary form from [`crate::binary`]).
     pub fn encode(&self) -> Vec<u8> {
-        serde_json::to_vec(self).expect("signed transaction serializes")
+        Encode::encoded(self)
     }
 
-    /// Approximate wire size in bytes, used by the storage experiments
-    /// (E8): what each blockchain node must persist per transaction.
+    /// Exact wire size in bytes of the canonical encoding, used by the
+    /// storage experiments (E8): what each blockchain node must persist
+    /// per transaction.
     pub fn encoded_len(&self) -> usize {
         self.encode().len()
     }

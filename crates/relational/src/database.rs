@@ -94,6 +94,12 @@ pub struct Database {
     /// detect that the table moved under them.
     #[serde(default)]
     versions: BTreeMap<String, u64>,
+    /// Sequence number of the oldest record still in `log`: records below
+    /// it were handed to durable storage and dropped via
+    /// [`Database::truncate_log`]. Sequence numbers stay monotonic across
+    /// truncation.
+    #[serde(default)]
+    base_seq: u64,
 }
 
 impl Database {
@@ -104,7 +110,14 @@ impl Database {
             tables: BTreeMap::new(),
             log: Vec::new(),
             versions: BTreeMap::new(),
+            base_seq: 0,
         }
+    }
+
+    /// Sequence number the next logged mutation will carry
+    /// (`base_seq + log length`).
+    pub fn next_seq(&self) -> u64 {
+        self.base_seq + self.log.len() as u64
     }
 
     fn bump_version(&mut self, name: &str) {
@@ -222,7 +235,7 @@ impl Database {
         let post_hash = t.content_hash();
         self.bump_version(table);
         self.log.push(LogRecord {
-            seq: self.log.len() as u64,
+            seq: self.next_seq(),
             table: table.to_string(),
             op,
             post_hash,
@@ -245,7 +258,7 @@ impl Database {
         let post_hash = t.content_hash();
         self.bump_version(table);
         self.log.push(LogRecord {
-            seq: self.log.len() as u64,
+            seq: self.next_seq(),
             table: table.to_string(),
             op: WriteOp::Delta {
                 delta: delta.clone(),
@@ -280,7 +293,7 @@ impl Database {
         let inverse = t.apply_delta(delta)?;
         self.bump_version(table);
         self.log.push(LogRecord {
-            seq: self.log.len() as u64,
+            seq: self.next_seq(),
             table: table.to_string(),
             op: WriteOp::Delta {
                 delta: delta.clone(),
@@ -298,6 +311,124 @@ impl Database {
     /// Log entries touching one table.
     pub fn log_for(&self, table: &str) -> Vec<&LogRecord> {
         self.log.iter().filter(|r| r.table == table).collect()
+    }
+
+    /// Sequence number of the oldest record still held in memory.
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// The records with sequence numbers ≥ `seq` (all of them if `seq`
+    /// predates the retained window).
+    pub fn log_since(&self, seq: u64) -> &[LogRecord] {
+        let skip = seq.saturating_sub(self.base_seq).min(self.log.len() as u64);
+        &self.log[skip as usize..]
+    }
+
+    /// Drops in-memory log records with sequence numbers < `upto`.
+    ///
+    /// The log is otherwise unbounded; the durable-storage layer calls
+    /// this after the records are safely in the WAL (and audits replay
+    /// them from there). Sequence numbers keep counting from where they
+    /// were — truncation never renumbers.
+    pub fn truncate_log(&mut self, upto: u64) {
+        if upto <= self.base_seq {
+            return;
+        }
+        let drop = (upto - self.base_seq).min(self.log.len() as u64);
+        self.log.drain(..drop as usize);
+        self.base_seq += drop;
+    }
+
+    /// Re-applies a log record recovered from durable storage.
+    ///
+    /// The mutation is applied exactly as [`Database::apply`] would, the
+    /// record is re-appended verbatim, and two integrity checks guard the
+    /// replay: the record's `seq` must be the next expected sequence
+    /// number, and the table's content hash after the mutation must equal
+    /// the record's `post_hash` (the hash the live system attested when
+    /// it wrote the record).
+    pub fn replay_record(&mut self, rec: &LogRecord) -> Result<()> {
+        if rec.seq != self.next_seq() {
+            return Err(RelationalError::ReplayMismatch {
+                reason: format!(
+                    "record seq {} replayed into database expecting seq {}",
+                    rec.seq,
+                    self.next_seq()
+                ),
+            });
+        }
+        let t = self
+            .tables
+            .get_mut(&rec.table)
+            .ok_or_else(|| RelationalError::UnknownTable {
+                table: rec.table.clone(),
+            })?;
+        match &rec.op {
+            WriteOp::Insert { row } => t.insert(row.clone())?,
+            WriteOp::Update { key, assignments } => {
+                let assigns: Vec<(&str, Value)> = assignments
+                    .iter()
+                    .map(|(c, v)| (c.as_str(), v.clone()))
+                    .collect();
+                t.update(key, &assigns)?;
+            }
+            WriteOp::Upsert { row } => {
+                t.upsert(row.clone())?;
+            }
+            WriteOp::Delete { key } => {
+                t.delete(key)?;
+            }
+            WriteOp::Replace { rows } => {
+                let schema = t.schema().clone();
+                let fresh = Table::from_rows(schema, rows.clone())?;
+                *t = fresh;
+            }
+            WriteOp::Delta { delta } => {
+                t.apply_delta(delta)?;
+            }
+        }
+        let recovered = t.content_hash();
+        if recovered != rec.post_hash {
+            return Err(RelationalError::ReplayMismatch {
+                reason: format!(
+                    "table `{}` hashes to {} after replaying seq {}, log attests {}",
+                    rec.table,
+                    recovered.to_hex(),
+                    rec.seq,
+                    rec.post_hash.to_hex()
+                ),
+            });
+        }
+        self.bump_version(&rec.table);
+        self.log.push(rec.clone());
+        Ok(())
+    }
+
+    /// Decomposes the database for snapshot encoding. Returns
+    /// `(owner, tables, versions, next_seq)`; the in-memory log is *not*
+    /// part of a snapshot (the WAL owns history).
+    pub fn export_parts(&self) -> (&str, &BTreeMap<String, Table>, &BTreeMap<String, u64>, u64) {
+        (&self.owner, &self.tables, &self.versions, self.next_seq())
+    }
+
+    /// Reassembles a database from snapshot parts: the inverse of
+    /// [`Database::export_parts`]. The log starts empty with `base_seq`
+    /// positioned so the next mutation continues the pre-snapshot
+    /// sequence.
+    pub fn from_parts(
+        owner: String,
+        tables: BTreeMap<String, Table>,
+        versions: BTreeMap<String, u64>,
+        base_seq: u64,
+    ) -> Self {
+        Database {
+            owner,
+            tables,
+            log: Vec::new(),
+            versions,
+            base_seq,
+        }
     }
 
     /// A fingerprint over all table content hashes; two databases with the
@@ -499,6 +630,87 @@ mod tests {
         .expect("insert");
         assert_eq!(db.log_for("t1").len(), 2);
         assert_eq!(db.log_for("t2").len(), 1);
+    }
+
+    #[test]
+    fn truncate_log_keeps_sequence_monotonic() {
+        let mut db = Database::new("p");
+        db.create_table("t", schema()).expect("create");
+        for i in 0..5i64 {
+            db.apply("t", WriteOp::Insert { row: row![i, "r"] })
+                .expect("insert");
+        }
+        db.truncate_log(3);
+        assert_eq!(db.base_seq(), 3);
+        assert_eq!(db.log().len(), 2);
+        assert_eq!(db.log()[0].seq, 3);
+        assert_eq!(db.log_since(4).len(), 1);
+        assert_eq!(db.log_since(0).len(), 2, "clamped to retained window");
+        // New mutations continue the global numbering.
+        db.apply(
+            "t",
+            WriteOp::Insert {
+                row: row![99i64, "r"],
+            },
+        )
+        .expect("insert");
+        assert_eq!(db.log().last().expect("entry").seq, 5);
+        // Truncating below base_seq is a no-op.
+        db.truncate_log(1);
+        assert_eq!(db.base_seq(), 3);
+    }
+
+    #[test]
+    fn replay_record_verifies_seq_and_hash() {
+        let mut live = Database::new("p");
+        live.create_table("t", schema()).expect("create");
+        for i in 0..3i64 {
+            live.apply("t", WriteOp::Insert { row: row![i, "x"] })
+                .expect("insert");
+        }
+        let mut recovered = Database::new("p");
+        recovered.create_table("t", schema()).expect("create");
+        for rec in live.log() {
+            recovered.replay_record(rec).expect("replays");
+        }
+        assert_eq!(recovered.fingerprint(), live.fingerprint());
+        assert_eq!(recovered.log().len(), 3);
+        // A seq gap is rejected.
+        let mut gap = live.log()[0].clone();
+        gap.seq = 9;
+        assert!(matches!(
+            recovered.replay_record(&gap),
+            Err(RelationalError::ReplayMismatch { .. })
+        ));
+        // A wrong post-hash is rejected (and nothing silently diverges).
+        let mut fresh = Database::new("p");
+        fresh.create_table("t", schema()).expect("create");
+        let mut bad = live.log()[0].clone();
+        bad.post_hash = Hash256([9; 32]);
+        assert!(matches!(
+            fresh.replay_record(&bad),
+            Err(RelationalError::ReplayMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn export_and_from_parts_round_trip() {
+        let mut db = Database::new("peer-a");
+        db.create_table("t", schema()).expect("create");
+        db.apply(
+            "t",
+            WriteOp::Insert {
+                row: row![1i64, "a"],
+            },
+        )
+        .expect("insert");
+        let (owner, tables, versions, next) = db.export_parts();
+        let rebuilt =
+            Database::from_parts(owner.to_string(), tables.clone(), versions.clone(), next);
+        assert_eq!(rebuilt.fingerprint(), db.fingerprint());
+        assert_eq!(rebuilt.base_seq(), 1);
+        assert!(rebuilt.log().is_empty(), "snapshots do not carry the log");
+        assert_eq!(rebuilt.table_version("t"), db.table_version("t"));
     }
 
     #[test]

@@ -69,6 +69,12 @@ pub enum RelationalError {
         /// Explanation.
         reason: String,
     },
+    /// A replayed log record does not fit the database it is replayed
+    /// into (sequence gap, or post-state hash disagreement).
+    ReplayMismatch {
+        /// Explanation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RelationalError {
@@ -95,6 +101,7 @@ impl fmt::Display for RelationalError {
                 write!(f, "functional dependency violated: {reason}")
             }
             RelationalError::SchemaMismatch { reason } => write!(f, "schema mismatch: {reason}"),
+            RelationalError::ReplayMismatch { reason } => write!(f, "replay mismatch: {reason}"),
         }
     }
 }

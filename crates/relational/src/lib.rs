@@ -52,7 +52,7 @@ pub use query::Query;
 pub use row::Row;
 pub use schema::{Column, Schema};
 pub use shard::{normalize_shard_count, shard_of_key, Shard, ShardMap, ShardPlan};
-pub use table::Table;
+pub use table::{HashStats, Table};
 pub use value::{Value, ValueType};
 
 /// Crate-wide result alias.

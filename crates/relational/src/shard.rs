@@ -47,8 +47,8 @@ use crate::delta::TableDelta;
 use crate::row::Row;
 use crate::schema::Schema;
 use crate::table::{
-    chunk_count_for, chunk_digest, chunk_of_digest, key_digest, schema_digest_bytes, Table,
-    MAX_CHUNKS,
+    chunk_count_for, chunk_digest, chunk_of_digest, fold_content_root, key_digest,
+    schema_digest_bytes, Table, MAX_CHUNKS,
 };
 use crate::value::Value;
 use crate::Result;
@@ -501,7 +501,7 @@ impl ShardMap {
                 .collect();
             // fold(subroots) == fold(all chunk digests): each subroot is
             // the fold of a contiguous, equal, power-of-two chunk run.
-            merkle::node_hash(&self.schema_leaf, &merkle::fold_nodes(&subroots))
+            fold_content_root(&self.schema_leaf, &subroots)
         } else {
             // Fewer chunks than shards: each chunk's digest range spans
             // several shards; merge their leaf buckets in key order.
@@ -519,7 +519,7 @@ impl ShardMap {
                 }
                 digests.push(chunk_digest(merged.values()));
             }
-            merkle::node_hash(&self.schema_leaf, &merkle::fold_nodes(&digests))
+            fold_content_root(&self.schema_leaf, &digests)
         }
     }
 

@@ -88,21 +88,46 @@ pub(crate) fn fold_content_root(schema_leaf: &Hash256, chunk_digests: &[Hash256]
     merkle::node_hash(schema_leaf, &merkle::fold_nodes(chunk_digests))
 }
 
+/// Counters of incremental-hash work, exposed via [`Table::hash_stats`].
+///
+/// The WAL-heavy durable path recomputes the content hash once per log
+/// record; these counters make the cost observable (and testable): after
+/// one changed row, `chunk_recomputes` should rise by 1 and
+/// `node_recomputes` by at most `log2(chunks)` — not by the whole
+/// digest fold.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HashStats {
+    /// Times the cache was rebuilt from all rows (cold cache, fan-out
+    /// growth, deserialization).
+    pub full_rebuilds: u64,
+    /// Chunk digests computed (each walks one chunk's leaf hashes).
+    pub chunk_recomputes: u64,
+    /// Internal fold-tree nodes hashed above the chunk level.
+    pub node_recomputes: u64,
+}
+
 /// The incremental content-hash cache: per-row leaf digests grouped into
-/// key-addressed chunks, plus cached chunk digests and the cached root.
+/// key-addressed chunks, plus cached chunk digests, the cached internal
+/// levels of the chunk fold tree, and the cached root.
 ///
 /// Mutations update only the touched rows' leaf digests and mark their
-/// chunk dirty; [`Table::content_hash`] then recomputes dirty chunk
-/// digests and the (small) top tree instead of re-encoding and re-sorting
-/// the whole table. The cache is an acceleration structure only: when it
-/// desynchronizes (e.g. after deserialization), it is rebuilt from the
-/// rows, so the hash value never depends on cache state.
+/// chunk — and the fold-tree path above it — dirty;
+/// [`Table::content_hash`] then recomputes the dirty chunk digests and
+/// only the `log2(chunks)` fold nodes on the dirty paths instead of
+/// re-folding every chunk digest. The cache is an acceleration structure
+/// only: when it desynchronizes (e.g. after deserialization), it is
+/// rebuilt from the rows, so the hash value never depends on cache state.
 #[derive(Debug, Default, Clone)]
 struct HashCache {
     /// Per-chunk leaf digests (key → leaf hash), ordered by key.
     chunks: Vec<BTreeMap<Vec<Value>, Hash256>>,
     /// Cached digest per chunk; `None` = dirty.
     digests: Vec<Option<Hash256>>,
+    /// Cached fold-tree levels above the chunks: `levels[0]` holds the
+    /// pairwise hashes of the chunk digests (`chunks.len() / 2` nodes),
+    /// each next level halves again, down to a single node. `None` =
+    /// dirty. Empty when there is only one chunk.
+    levels: Vec<Vec<Option<Hash256>>>,
     /// Cached root over schema digest + chunk digests.
     root: Option<Hash256>,
     /// Cached schema digest.
@@ -111,16 +136,29 @@ struct HashCache {
     rows: usize,
     /// False until the cache has been (re)built from the rows.
     valid: bool,
+    /// Work counters (survive invalidation).
+    stats: HashStats,
 }
 
 impl HashCache {
     fn invalidate(&mut self) {
+        let stats = self.stats;
         *self = HashCache::default();
+        self.stats = stats;
     }
 
     /// Chunk index for a key under the current fan-out.
     fn chunk_of(key_digest: &Hash256, count: usize) -> usize {
         chunk_of_digest(key_digest, count)
+    }
+
+    /// Marks chunk `c` and the fold-tree path above it dirty.
+    fn mark_dirty(&mut self, c: usize) {
+        self.digests[c] = None;
+        for (l, level) in self.levels.iter_mut().enumerate() {
+            level[c >> (l + 1)] = None;
+        }
+        self.root = None;
     }
 }
 
@@ -232,8 +270,7 @@ impl Table {
         let leaf = merkle::leaf_hash(&row.encode());
         let c = HashCache::chunk_of(&key_digest(key), cache.chunks.len());
         cache.chunks[c].insert(key.to_vec(), leaf);
-        cache.digests[c] = None;
-        cache.root = None;
+        cache.mark_dirty(c);
         cache.rows = new_len;
     }
 
@@ -250,8 +287,7 @@ impl Table {
         }
         let c = HashCache::chunk_of(&key_digest(key), cache.chunks.len());
         cache.chunks[c].remove(key);
-        cache.digests[c] = None;
-        cache.root = None;
+        cache.mark_dirty(c);
         cache.rows = new_len;
     }
 
@@ -587,8 +623,10 @@ impl Table {
     /// hashes, regardless of insertion order.
     ///
     /// The hash is served from the incremental cache: after `k` changed
-    /// rows only the touched chunks and the small top tree are rehashed.
-    /// A cold cache (fresh deserialization) triggers one full rebuild.
+    /// rows only the touched chunks and the `O(k · log2(chunks))` fold
+    /// nodes on their dirty paths are rehashed — clean chunk digests and
+    /// clean fold subtrees are reused as-is. A cold cache (fresh
+    /// deserialization) triggers one full rebuild.
     pub fn content_hash(&self) -> Hash256 {
         let mut cache = self.cache.lock().expect("cache lock");
         let want_chunks = chunk_count_for(self.rows.len());
@@ -601,10 +639,23 @@ impl Table {
                 cache.chunks[c].insert(key, merkle::leaf_hash(&row.encode()));
             }
             cache.digests = vec![None; want_chunks];
+            cache.levels = {
+                let mut levels = Vec::new();
+                let mut width = want_chunks / 2;
+                while width >= 1 {
+                    levels.push(vec![None; width]);
+                    if width == 1 {
+                        break;
+                    }
+                    width /= 2;
+                }
+                levels
+            };
             cache.root = None;
             cache.schema_digest = None;
             cache.rows = self.rows.len();
             cache.valid = true;
+            cache.stats.full_rebuilds += 1;
         }
         if let Some(root) = cache.root {
             return root;
@@ -616,16 +667,44 @@ impl Table {
         for c in 0..cache.chunks.len() {
             if cache.digests[c].is_none() {
                 cache.digests[c] = Some(chunk_digest(cache.chunks[c].values()));
+                cache.stats.chunk_recomputes += 1;
             }
         }
-        let digests: Vec<Hash256> = cache
-            .digests
-            .iter()
-            .map(|d| d.expect("just flushed"))
-            .collect();
-        let root = fold_content_root(&cache.schema_digest.expect("just set"), &digests);
+        // Refold only the dirty paths of the chunk tree; clean subtrees
+        // are served from the cached levels. The resulting top node is by
+        // construction identical to `merkle::fold_nodes(digests)`.
+        for l in 0..cache.levels.len() {
+            for i in 0..cache.levels[l].len() {
+                if cache.levels[l][i].is_some() {
+                    continue;
+                }
+                let (left, right) = if l == 0 {
+                    (
+                        cache.digests[2 * i].expect("just flushed"),
+                        cache.digests[2 * i + 1].expect("just flushed"),
+                    )
+                } else {
+                    (
+                        cache.levels[l - 1][2 * i].expect("lower level folded"),
+                        cache.levels[l - 1][2 * i + 1].expect("lower level folded"),
+                    )
+                };
+                cache.levels[l][i] = Some(merkle::node_hash(&left, &right));
+                cache.stats.node_recomputes += 1;
+            }
+        }
+        let top = match cache.levels.last() {
+            Some(level) => level[0].expect("top folded"),
+            None => cache.digests[0].expect("just flushed"),
+        };
+        let root = merkle::node_hash(&cache.schema_digest.expect("just set"), &top);
         cache.root = Some(root);
         root
+    }
+
+    /// Snapshot of the incremental-hash work counters (see [`HashStats`]).
+    pub fn hash_stats(&self) -> HashStats {
+        self.cache.lock().expect("cache lock").stats
     }
 
     /// Rebuilds the primary-key index (needed after deserialization); also
@@ -903,6 +982,50 @@ mod tests {
         // And after an explicit cache reset.
         cold.rebuild_index().expect("rebuild index");
         assert_eq!(warm, cold.content_hash());
+    }
+
+    #[test]
+    fn dirty_path_refold_touches_log_many_nodes() {
+        // Large table: enough rows for a multi-level chunk fold tree.
+        let rows = CHUNK_TARGET as i64 * 16; // 16 chunks → 4 fold levels
+        let mut t = Table::new(patients_schema());
+        for i in 0..rows {
+            t.insert(row![i, "m", "d"]).expect("insert");
+        }
+        let _ = t.content_hash(); // warm the cache
+        let warm = t.hash_stats();
+        let chunks = chunk_count_for(t.len());
+        assert!(chunks >= 16, "test premise: multi-level tree");
+
+        // One changed row must recompute exactly one chunk digest and at
+        // most log2(chunks) fold nodes — not the whole digest fold.
+        t.update(&[Value::Int(7)], &[("dosage", Value::text("x"))])
+            .expect("update");
+        let before = t.content_hash();
+        let after = t.hash_stats();
+        assert_eq!(after.full_rebuilds, warm.full_rebuilds, "no rebuild");
+        assert_eq!(
+            after.chunk_recomputes - warm.chunk_recomputes,
+            1,
+            "single chunk rehashed"
+        );
+        let log2_chunks = chunks.trailing_zeros() as u64;
+        assert!(
+            after.node_recomputes - warm.node_recomputes <= log2_chunks,
+            "refolded {} nodes, dirty path is only {log2_chunks} deep",
+            after.node_recomputes - warm.node_recomputes,
+        );
+
+        // Served-from-cache repeat does no hashing work at all.
+        let again = t.content_hash();
+        assert_eq!(again, before);
+        assert_eq!(t.hash_stats(), after);
+
+        // And the dirty-path refold agrees with a cold full rebuild.
+        let cold = Table::from_rows(patients_schema(), t.rows().cloned().collect())
+            .expect("rebuild")
+            .content_hash();
+        assert_eq!(before, cold);
     }
 
     #[test]

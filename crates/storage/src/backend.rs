@@ -1,0 +1,237 @@
+//! The backend abstraction the system core persists through.
+//!
+//! `medledger-core` writes WAL records, flush commit markers, and
+//! snapshots through [`StorageBackend`] without knowing whether the
+//! bytes land on disk ([`crate::DurableStore`]), stay in memory
+//! ([`MemoryBackend`] — hermetic tests), or pass through a fault
+//! injector (the crash-recovery suite wraps a backend and fails appends
+//! after a budget).
+
+use crate::Result;
+use std::collections::BTreeMap;
+
+/// A set of named append-only record streams plus a snapshot store.
+///
+/// Streams are created implicitly on first touch. Record indices are
+/// dense and start at 0; compaction may make a prefix unreadable but
+/// never renumbers. Snapshot ids are chosen by the caller (the core
+/// uses the flush epoch) and must be increasing.
+pub trait StorageBackend: Send {
+    /// Appends a record to `stream`, returning its index.
+    fn append(&mut self, stream: &str, payload: &[u8]) -> Result<u64>;
+
+    /// Number of records ever appended to `stream` (0 if untouched).
+    fn stream_len(&mut self, stream: &str) -> Result<u64>;
+
+    /// Reads records `[from, len)` of `stream` in order.
+    fn read_from(&mut self, stream: &str, from: u64) -> Result<Vec<Vec<u8>>>;
+
+    /// Drops every record of `stream` with index ≥ `len`.
+    fn truncate_to(&mut self, stream: &str, len: u64) -> Result<()>;
+
+    /// Allows the backend to reclaim records of `stream` below `below`.
+    /// Advisory: a backend may retain more than asked.
+    fn compact(&mut self, stream: &str, below: u64) -> Result<()>;
+
+    /// Stores snapshot `id` atomically (visible fully or not at all).
+    fn write_snapshot(&mut self, id: u64, payload: &[u8]) -> Result<()>;
+
+    /// Returns the newest readable snapshot as `(id, payload)`.
+    fn latest_snapshot(&mut self) -> Result<Option<(u64, Vec<u8>)>>;
+
+    /// Returns snapshot `id` if it is still retained and readable.
+    ///
+    /// Recovery needs this: a crash between snapshot write and the flush
+    /// commit record leaves the *newest* snapshot unreferenced, and the
+    /// committed state points one snapshot back.
+    fn read_snapshot(&mut self, id: u64) -> Result<Option<Vec<u8>>>;
+
+    /// Flushes all buffered writes to stable storage.
+    fn sync(&mut self) -> Result<()>;
+}
+
+/// An in-memory backend: same semantics as the durable store, zero I/O.
+///
+/// Used by hermetic tests and as the substrate for fault-injecting
+/// wrappers; "crashing" is modelled by cloning the backend at the crash
+/// point and recovering from the clone.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryBackend {
+    streams: BTreeMap<String, Vec<Vec<u8>>>,
+    snapshots: BTreeMap<u64, Vec<u8>>,
+}
+
+impl MemoryBackend {
+    /// An empty backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of snapshots currently retained.
+    pub fn snapshot_count(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Names of streams that have been touched.
+    pub fn stream_names(&self) -> Vec<String> {
+        self.streams.keys().cloned().collect()
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn append(&mut self, stream: &str, payload: &[u8]) -> Result<u64> {
+        let records = self.streams.entry(stream.to_string()).or_default();
+        records.push(payload.to_vec());
+        Ok(records.len() as u64 - 1)
+    }
+
+    fn stream_len(&mut self, stream: &str) -> Result<u64> {
+        Ok(self.streams.get(stream).map_or(0, |r| r.len() as u64))
+    }
+
+    fn read_from(&mut self, stream: &str, from: u64) -> Result<Vec<Vec<u8>>> {
+        let records = self.streams.get(stream).map(Vec::as_slice).unwrap_or(&[]);
+        Ok(records.iter().skip(from as usize).cloned().collect())
+    }
+
+    fn truncate_to(&mut self, stream: &str, len: u64) -> Result<()> {
+        if let Some(records) = self.streams.get_mut(stream) {
+            records.truncate(len as usize);
+        }
+        Ok(())
+    }
+
+    fn compact(&mut self, _stream: &str, _below: u64) -> Result<()> {
+        // Memory reclamation is not worth renumbering complexity here.
+        Ok(())
+    }
+
+    fn write_snapshot(&mut self, id: u64, payload: &[u8]) -> Result<()> {
+        self.snapshots.insert(id, payload.to_vec());
+        // Match the durable store's retention: latest two.
+        while self.snapshots.len() > 2 {
+            let oldest = *self.snapshots.keys().next().expect("non-empty");
+            self.snapshots.remove(&oldest);
+        }
+        Ok(())
+    }
+
+    fn latest_snapshot(&mut self) -> Result<Option<(u64, Vec<u8>)>> {
+        Ok(self
+            .snapshots
+            .iter()
+            .next_back()
+            .map(|(id, payload)| (*id, payload.clone())))
+    }
+
+    fn read_snapshot(&mut self, id: u64) -> Result<Option<Vec<u8>>> {
+        Ok(self.snapshots.get(&id).cloned())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// A cloneable handle onto one shared [`MemoryBackend`].
+///
+/// The core consumes its backend by value; tests that want to inspect
+/// (or recover from) the bytes a system wrote hand it a `SharedBackend`
+/// clone and keep another. `snapshot_state()` captures the underlying
+/// backend at a "crash point"; recovering from a fresh `SharedBackend`
+/// over that capture models a restart that lost everything after it.
+#[derive(Clone, Debug, Default)]
+pub struct SharedBackend {
+    inner: std::sync::Arc<std::sync::Mutex<MemoryBackend>>,
+}
+
+impl SharedBackend {
+    /// An empty shared backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing captured state (see [`SharedBackend::snapshot_state`]).
+    pub fn from_state(state: MemoryBackend) -> Self {
+        SharedBackend {
+            inner: std::sync::Arc::new(std::sync::Mutex::new(state)),
+        }
+    }
+
+    /// A deep copy of the current backend state.
+    pub fn snapshot_state(&self) -> MemoryBackend {
+        self.inner.lock().expect("backend lock").clone()
+    }
+
+    fn with<T>(&self, f: impl FnOnce(&mut MemoryBackend) -> Result<T>) -> Result<T> {
+        f(&mut self.inner.lock().expect("backend lock"))
+    }
+}
+
+impl StorageBackend for SharedBackend {
+    fn append(&mut self, stream: &str, payload: &[u8]) -> Result<u64> {
+        self.with(|b| b.append(stream, payload))
+    }
+
+    fn stream_len(&mut self, stream: &str) -> Result<u64> {
+        self.with(|b| b.stream_len(stream))
+    }
+
+    fn read_from(&mut self, stream: &str, from: u64) -> Result<Vec<Vec<u8>>> {
+        self.with(|b| b.read_from(stream, from))
+    }
+
+    fn truncate_to(&mut self, stream: &str, len: u64) -> Result<()> {
+        self.with(|b| b.truncate_to(stream, len))
+    }
+
+    fn compact(&mut self, stream: &str, below: u64) -> Result<()> {
+        self.with(|b| b.compact(stream, below))
+    }
+
+    fn write_snapshot(&mut self, id: u64, payload: &[u8]) -> Result<()> {
+        self.with(|b| b.write_snapshot(id, payload))
+    }
+
+    fn latest_snapshot(&mut self) -> Result<Option<(u64, Vec<u8>)>> {
+        self.with(|b| b.latest_snapshot())
+    }
+
+    fn read_snapshot(&mut self, id: u64) -> Result<Option<Vec<u8>>> {
+        self.with(|b| b.read_snapshot(id))
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.with(|b| b.sync())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_independent_and_ordered() {
+        let mut b = MemoryBackend::new();
+        assert_eq!(b.append("a", b"1").expect("append"), 0);
+        assert_eq!(b.append("b", b"x").expect("append"), 0);
+        assert_eq!(b.append("a", b"2").expect("append"), 1);
+        assert_eq!(b.stream_len("a").expect("len"), 2);
+        assert_eq!(b.stream_len("missing").expect("len"), 0);
+        assert_eq!(b.read_from("a", 1).expect("read"), vec![b"2".to_vec()]);
+        b.truncate_to("a", 1).expect("truncate");
+        assert_eq!(b.stream_len("a").expect("len"), 1);
+    }
+
+    #[test]
+    fn snapshots_keep_latest_two() {
+        let mut b = MemoryBackend::new();
+        for id in 1..=4u64 {
+            b.write_snapshot(id, &[id as u8]).expect("write");
+        }
+        assert_eq!(b.snapshot_count(), 2);
+        let (id, payload) = b.latest_snapshot().expect("latest").expect("some");
+        assert_eq!(id, 4);
+        assert_eq!(payload, vec![4]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Atomic snapshot files.
+//!
+//! A snapshot is an opaque payload (the core serialises full system
+//! state through the codec) stored as `snap-<id>.bin`:
+//!
+//! ```text
+//! [magic "MLSNAP01": 8 bytes][crc32(payload): u32 LE]
+//! [payload len: u64 LE][payload]
+//! ```
+//!
+//! Writes go through a temp file + rename so a crash mid-write leaves
+//! either the old set of snapshots or the new one, never a half file.
+//! The two most recent snapshots are retained; older ones are pruned
+//! after a successful write, so there is always a fallback if the
+//! newest file fails its checksum.
+
+use crate::{Result, StorageError};
+use medledger_crypto::crc32::crc32;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"MLSNAP01";
+const HEADER: usize = 8 + 4 + 8;
+
+/// Directory-backed snapshot store.
+#[derive(Debug)]
+pub struct SnapshotDir {
+    dir: PathBuf,
+}
+
+impl SnapshotDir {
+    /// Opens (creating if needed) the snapshot directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SnapshotDir { dir })
+    }
+
+    fn path_for(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("snap-{id:012}.bin"))
+    }
+
+    /// Writes snapshot `id` atomically and prunes all but the newest two.
+    pub fn write(&self, id: u64, payload: &[u8]) -> Result<()> {
+        let mut bytes = Vec::with_capacity(HEADER + payload.len());
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        let tmp = self.dir.join(format!("snap-{id:012}.tmp"));
+        fs::write(&tmp, &bytes)?;
+        let f = fs::File::open(&tmp)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, self.path_for(id))?;
+        self.prune(2)?;
+        Ok(())
+    }
+
+    /// Lists snapshot ids present on disk, oldest first.
+    pub fn ids(&self) -> Result<Vec<u64>> {
+        let mut ids = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(id) = name
+                .strip_prefix("snap-")
+                .and_then(|s| s.strip_suffix(".bin"))
+                .and_then(|s| s.parse().ok())
+            {
+                ids.push(id);
+            }
+        }
+        ids.sort_unstable();
+        Ok(ids)
+    }
+
+    /// Reads and verifies snapshot `id`, or `None` if absent.
+    pub fn read(&self, id: u64) -> Result<Option<Vec<u8>>> {
+        let path = self.path_for(id);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let bytes = fs::read(&path)?;
+        Ok(Some(parse(&bytes, &path)?))
+    }
+
+    /// Returns the newest snapshot whose checksum verifies.
+    ///
+    /// A newest file that fails verification (crash between rename and
+    /// fsync of the directory, cosmic-ray damage) falls back to the one
+    /// before it; damage to *all* retained snapshots is loud.
+    pub fn latest(&self) -> Result<Option<(u64, Vec<u8>)>> {
+        let ids = self.ids()?;
+        let mut last_err = None;
+        for id in ids.iter().rev() {
+            let path = self.path_for(*id);
+            let bytes = fs::read(&path)?;
+            match parse(&bytes, &path) {
+                Ok(payload) => return Ok(Some((*id, payload))),
+                Err(err) => last_err = Some(err),
+            }
+        }
+        match last_err {
+            Some(err) => Err(err),
+            None => Ok(None),
+        }
+    }
+
+    /// Removes all but the newest `keep` snapshots.
+    fn prune(&self, keep: usize) -> Result<()> {
+        let ids = self.ids()?;
+        if ids.len() > keep {
+            for id in &ids[..ids.len() - keep] {
+                fs::remove_file(self.path_for(*id))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validates a snapshot file's framing and checksum.
+fn parse(bytes: &[u8], path: &Path) -> Result<Vec<u8>> {
+    if bytes.len() < HEADER || &bytes[..8] != MAGIC {
+        return Err(StorageError::Corrupt(format!(
+            "snapshot {} has bad magic or truncated header",
+            path.display()
+        )));
+    }
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+    let payload = &bytes[HEADER..];
+    if payload.len() != len {
+        return Err(StorageError::Corrupt(format!(
+            "snapshot {} declares {len} payload bytes, has {}",
+            path.display(),
+            payload.len()
+        )));
+    }
+    if crc32(payload) != crc {
+        return Err(StorageError::Corrupt(format!(
+            "snapshot {} checksum mismatch",
+            path.display()
+        )));
+    }
+    Ok(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("medledger-snap-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn write_read_prune() {
+        let dir = temp_dir("wrp");
+        let snaps = SnapshotDir::open(&dir).expect("open");
+        assert!(snaps.latest().expect("latest").is_none());
+        for id in 1..=3u64 {
+            snaps
+                .write(id, format!("state-{id}").as_bytes())
+                .expect("write");
+        }
+        assert_eq!(snaps.ids().expect("ids"), vec![2, 3], "pruned to two");
+        let (id, payload) = snaps.latest().expect("latest").expect("some");
+        assert_eq!(id, 3);
+        assert_eq!(payload, b"state-3");
+        assert_eq!(snaps.read(2).expect("read").expect("some"), b"state-2");
+        assert!(snaps.read(1).expect("read").is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn damaged_latest_falls_back() {
+        let dir = temp_dir("fallback");
+        let snaps = SnapshotDir::open(&dir).expect("open");
+        snaps.write(5, b"good-old").expect("write");
+        snaps.write(6, b"good-new").expect("write");
+        // Flip a payload byte in the newest file.
+        let path = dir.join("snap-000000000006.bin");
+        let mut bytes = fs::read(&path).expect("read");
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        fs::write(&path, &bytes).expect("write");
+        let (id, payload) = snaps.latest().expect("latest").expect("some");
+        assert_eq!(id, 5);
+        assert_eq!(payload, b"good-old");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn all_snapshots_damaged_is_loud() {
+        let dir = temp_dir("loud");
+        let snaps = SnapshotDir::open(&dir).expect("open");
+        snaps.write(1, b"only").expect("write");
+        let path = dir.join("snap-000000000001.bin");
+        let mut bytes = fs::read(&path).expect("read");
+        bytes[HEADER] ^= 0xFF;
+        fs::write(&path, &bytes).expect("write");
+        assert!(matches!(snaps.latest(), Err(StorageError::Corrupt(_))));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

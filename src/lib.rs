@@ -103,6 +103,7 @@
 //! | [`contracts`] | contract runtime, the Fig. 3 sharing contract, the MedVM |
 //! | [`consensus`] | virtual-time PBFT simulation, PoW interval model |
 //! | [`network`] | deterministic latency-modeled message simulation |
+//! | [`storage`] | versioned binary codec, segmented WALs, snapshots, storage backends |
 //! | [`workload`] | synthetic EHR generation, update streams, de-identification |
 //! | [`core`] | the engine (`System`), the facade, the Fig. 1 scenario, baselines |
 //! | [`engine`] | ticketed commit pipeline, group-commit queue, parallel fan-out |
@@ -131,12 +132,13 @@ pub use medledger_engine as engine;
 pub use medledger_ledger as ledger;
 pub use medledger_network as network;
 pub use medledger_relational as relational;
+pub use medledger_storage as storage;
 pub use medledger_workload as workload;
 
 pub use medledger_core::{
     CommitError, CommitOutcome, ConsensusKind, CoreError, MedLedger, MedLedgerBuilder, PeerId,
-    PeerReader, PeerSession, PropagationMode, ShareBuilder, SystemConfig, UpdateBatch,
-    UpdateReport, WorkflowTrace,
+    PeerReader, PeerSession, PropagationMode, Recovery, ShareBuilder, StorageOptions, SystemConfig,
+    UpdateBatch, UpdateReport, WorkflowTrace,
 };
 pub use medledger_engine::{CommitTicket, LedgerService, Submission, WaveReport};
 pub use medledger_relational::{Row, ShardMap, Table, Value};
