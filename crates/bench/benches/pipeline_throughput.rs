@@ -14,7 +14,8 @@
 
 use criterion::{criterion_group, criterion_main, record_metric, BenchmarkId, Criterion};
 use medledger_bench::{
-    contention_keys_left, contention_system, one_contended_wave, serial_contended_commits,
+    ack_rounds_in_last_blocks, contention_keys_left, contention_system, hub_system_with_acks,
+    one_contended_wave, one_group_commit, serial_contended_commits,
 };
 
 const ROWS: usize = 8;
@@ -109,9 +110,61 @@ fn bench_blocks_per_update_report(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_receiver_sweep_report(c: &mut Criterion) {
+    // Not a timing bench: the ISSUE 7 chain-cost model. One group-commit
+    // wave of BATCH distinct-table updates at increasing receiver
+    // counts, aggregated threshold acks vs the legacy per-receiver
+    // protocol. Aggregated, the wave pays ~2 blocks total (one shared
+    // request block + ONE shared aggregated-ack block), so blocks/update
+    // ≈ 2/batch *independent of R*; legacy, the ack side grows with the
+    // receiver count.
+    const BATCH: usize = 4;
+    let g = c.benchmark_group("pipeline_throughput_receivers");
+    println!(
+        "{:<12} {:>10} {:>14} {:>16}",
+        "acks", "receivers", "blocks/update", "ack rounds/wave"
+    );
+    for receivers in [2usize, 8, 32] {
+        for (label, aggregated) in [("aggregated", true), ("legacy", false)] {
+            let mut bench = hub_system_with_acks(
+                &format!("ack-sweep-{label}-{receivers}"),
+                BATCH,
+                receivers,
+                ROWS,
+                0,
+                aggregated,
+            );
+            let (blocks, _sync) = one_group_commit(&mut bench, BATCH, 1);
+            bench.ledger.check_consistency().expect("consistent");
+            let ack_rounds = ack_rounds_in_last_blocks(&bench.ledger, blocks);
+            let blocks_per_update = blocks as f64 / BATCH as f64;
+            println!(
+                "{:<12} {:>10} {:>14.3} {:>16}",
+                label, receivers, blocks_per_update, ack_rounds
+            );
+            if aggregated {
+                // Deterministic virtual-sim outputs, tracked by the CI
+                // bench-trajectory gate: the aggregated wave's chain cost
+                // must stay O(1) in the receiver count.
+                match receivers {
+                    2 => record_metric("blocks_per_update_r2", blocks_per_update),
+                    8 => record_metric("blocks_per_update_r8", blocks_per_update),
+                    32 => {
+                        record_metric("blocks_per_update_r32", blocks_per_update);
+                        record_metric("ack_rounds_per_wave", ack_rounds as f64);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_contention_sweep,
-    bench_blocks_per_update_report
+    bench_blocks_per_update_report,
+    bench_receiver_sweep_report
 );
 criterion_main!(benches);

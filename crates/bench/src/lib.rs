@@ -211,11 +211,34 @@ pub fn hub_system(
     rows_per_table: usize,
     fanout_workers: usize,
 ) -> HubBench {
+    hub_system_with_acks(
+        seed,
+        n_tables,
+        n_receivers,
+        rows_per_table,
+        fanout_workers,
+        true,
+    )
+}
+
+/// [`hub_system`] with an explicit ack protocol: `aggregated = true` is
+/// the default one-threshold-ack-per-wave protocol, `false` the legacy
+/// one-`ack_update`-per-receiver baseline the `pipeline_throughput`
+/// receiver sweep compares against.
+pub fn hub_system_with_acks(
+    seed: &str,
+    n_tables: usize,
+    n_receivers: usize,
+    rows_per_table: usize,
+    fanout_workers: usize,
+    aggregated: bool,
+) -> HubBench {
     let mut ledger = MedLedger::builder()
         .seed(seed)
         .pbft(100)
         .peer_key_capacity(4096)
         .fanout_workers(fanout_workers)
+        .aggregated_acks(aggregated)
         .build()
         .expect("boot");
     let hub = ledger.add_peer("Hub").expect("add hub");
@@ -291,6 +314,28 @@ pub fn one_group_commit(bench: &mut HubBench, batch: usize, rev: usize) -> (u64,
         sync_ms = sync_ms.max(ok.sync_latency_ms());
     }
     (bench.ledger.stats().blocks - blocks_before, sync_ms)
+}
+
+/// Counts, among the newest `window` blocks of the chain, how many carry
+/// at least one ack transaction (`ack_update` or `ack_update_aggregate`)
+/// — the chain cost of a wave's ack side in consensus rounds. With
+/// aggregated acks, a whole group-commit wave pays exactly one.
+pub fn ack_rounds_in_last_blocks(ledger: &MedLedger, window: u64) -> u64 {
+    let blocks = ledger.chain().blocks();
+    let skip = blocks.len().saturating_sub(window as usize);
+    blocks
+        .iter()
+        .skip(skip)
+        .filter(|b| {
+            b.txs.iter().any(|stx| {
+                matches!(
+                    &stx.tx.payload,
+                    medledger_ledger::TxPayload::CallContract { method, .. }
+                        if method == "ack_update" || method == "ack_update_aggregate"
+                )
+            })
+        })
+        .count() as u64
 }
 
 /// The serial baseline for [`one_group_commit`]: the same updates, one

@@ -47,12 +47,34 @@ pub struct SharedTableMeta {
     pub updater: Option<AccountId>,
     /// Peers that have not yet confirmed they fetched version `version`.
     pub pending_acks: BTreeSet<AccountId>,
+    /// Acks recorded for the current version via aggregated attestations.
+    pub ack_count: u64,
+    /// Bitmap over `peers` (in iteration order, 64 peers per word) marking
+    /// which peers' acks for the current version arrived aggregated.
+    pub ack_bitmap: Vec<u64>,
 }
 
 impl SharedTableMeta {
     /// True iff every peer holds the newest shared data.
     pub fn synced(&self) -> bool {
         self.pending_acks.is_empty()
+    }
+
+    /// Index of `who` in the canonical peer order, if a peer.
+    fn peer_index(&self, who: &AccountId) -> Option<usize> {
+        self.peers.iter().position(|p| p == who)
+    }
+
+    /// Marks `who`'s ack as recorded via an aggregated attestation.
+    fn mark_aggregated_ack(&mut self, who: &AccountId) {
+        if let Some(idx) = self.peer_index(who) {
+            let word = idx / 64;
+            if self.ack_bitmap.len() <= word {
+                self.ack_bitmap.resize(word + 1, 0);
+            }
+            self.ack_bitmap[word] |= 1u64 << (idx % 64);
+            self.ack_count += 1;
+        }
     }
 
     /// True iff `who` may write every attribute in `attrs`.
@@ -123,6 +145,27 @@ pub struct AckUpdateArgs {
     pub version: u64,
     /// Content hash of the data the peer applied (must match).
     pub applied_hash: Hash256,
+}
+
+/// Arguments of `ack_update_aggregate` — one threshold ack transaction
+/// standing in for every contributing receiver's individual `ack_update`
+/// of the same `(table, version)` wave. The updater submits it after
+/// verifying each receiver's one-time signature share over the canonical
+/// ack message off-chain; `attestation` is the SHA-256 fold over the
+/// verified shares (see `medledger_crypto::fold_attestation`), kept
+/// on-chain so any auditor holding the shares can recompute it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AckAggregateArgs {
+    /// Target metadata id.
+    pub table_id: String,
+    /// The version being acknowledged.
+    pub version: u64,
+    /// Content hash of the data every contributor applied (must match).
+    pub applied_hash: Hash256,
+    /// Contributing receivers, in canonical (sorted) order, no duplicates.
+    pub contributors: Vec<AccountId>,
+    /// Fold of the contributors' verified signature shares.
+    pub attestation: Hash256,
 }
 
 /// Arguments of `change_permission`.
@@ -198,6 +241,7 @@ impl SharingContract {
             "request_update" => Self::request_update(state, ctx, parse(args)?),
             "co_request_update" => Self::co_request_update(state, ctx, parse(args)?),
             "ack_update" => Self::ack_update(state, ctx, parse(args)?),
+            "ack_update_aggregate" => Self::ack_update_aggregate(state, ctx, parse(args)?),
             "change_permission" => Self::change_permission(state, ctx, parse(args)?),
             "get_meta" => Self::get_meta(state, parse(args)?),
             "remove_share" => Self::remove_share(state, ctx, parse(args)?),
@@ -258,6 +302,8 @@ impl SharingContract {
             content_hash: args.initial_hash,
             updater: None,
             pending_acks: BTreeSet::new(),
+            ack_count: 0,
+            ack_bitmap: Vec::new(),
         };
         state.set_json(meta_key(&args.table_id), &meta);
         Ok(CallOutput {
@@ -316,6 +362,8 @@ impl SharingContract {
             .copied()
             .filter(|p| *p != ctx.sender)
             .collect();
+        meta.ack_count = 0;
+        meta.ack_bitmap.clear();
         let version = meta.version;
         let pending: Vec<AccountId> = meta.pending_acks.iter().copied().collect();
         state.set_json(meta_key(&args.table_id), &meta);
@@ -449,6 +497,90 @@ impl SharingContract {
             ret: serde_json::json!({ "synced": synced }),
             logs,
             gas_used: GAS_BASE,
+        })
+    }
+
+    /// One aggregated threshold ack per `(table, wave)` — the O(1)
+    /// replacement for R individual `ack_update` transactions. The
+    /// updater (who verified every contributor's signature share over the
+    /// canonical ack message) submits the fold; the contract re-checks the
+    /// contributor set against `pending_acks` and clears it in one step,
+    /// recording the count and a contributor bitmap so the barrier state
+    /// stays fully auditable. A receiver whose share failed verification
+    /// is *not* listed here — it falls back to an individual dissent
+    /// `ack_update`, preserving the paper's lock/denial semantics.
+    fn ack_update_aggregate(
+        state: &mut ContractState,
+        ctx: &CallCtx,
+        args: AckAggregateArgs,
+    ) -> Result<CallOutput, ContractError> {
+        let mut meta = Self::load_meta(state, &args.table_id)
+            .ok_or_else(|| ContractError::NotFound(format!("shared table `{}`", args.table_id)))?;
+        if meta.updater != Some(ctx.sender) {
+            return Err(ContractError::PermissionDenied(format!(
+                "only the updater may submit the aggregated ack of `{}`",
+                args.table_id
+            )));
+        }
+        if args.version != meta.version {
+            return Err(ContractError::BadCall(format!(
+                "aggregated ack for version {} but table is at version {}",
+                args.version, meta.version
+            )));
+        }
+        if args.applied_hash != meta.content_hash {
+            return Err(ContractError::BadCall(format!(
+                "aggregated ack hash {} does not match committed hash {}",
+                args.applied_hash.short(),
+                meta.content_hash.short()
+            )));
+        }
+        if args.contributors.is_empty() {
+            return Err(ContractError::BadCall(
+                "aggregated ack needs at least one contributor".into(),
+            ));
+        }
+        if !args.contributors.windows(2).all(|w| w[0] < w[1]) {
+            return Err(ContractError::BadCall(
+                "aggregated ack contributors must be sorted and unique".into(),
+            ));
+        }
+        for c in &args.contributors {
+            if !meta.pending_acks.contains(c) {
+                return Err(ContractError::BadCall(format!(
+                    "{c} has no pending ack for `{}`",
+                    args.table_id
+                )));
+            }
+        }
+        for c in &args.contributors {
+            meta.pending_acks.remove(c);
+            meta.mark_aggregated_ack(c);
+        }
+        let synced = meta.synced();
+        let version = meta.version;
+        state.set_json(meta_key(&args.table_id), &meta);
+        let mut logs = vec![log(
+            ctx,
+            "AckAggregateRecorded",
+            serde_json::json!({
+                "table_id": args.table_id,
+                "version": version,
+                "contributors": args.contributors,
+                "attestation": args.attestation,
+            }),
+        )];
+        if synced {
+            logs.push(log(
+                ctx,
+                "AllPeersSynced",
+                serde_json::json!({ "table_id": args.table_id, "version": version }),
+            ));
+        }
+        Ok(CallOutput {
+            ret: serde_json::json!({ "synced": synced, "acked": args.contributors.len() }),
+            logs,
+            gas_used: GAS_BASE + args.contributors.len() as u64,
         })
     }
 
@@ -890,6 +1022,214 @@ mod tests {
             },
         )
         .is_err());
+    }
+
+    /// A 3-peer share so aggregated acks have a real contributor set.
+    fn trio_fixture() -> Fixture {
+        let mut f = fixture();
+        let doctor = f.doctor;
+        let patient = f.patient;
+        let researcher = f.researcher;
+        let args = RegisterShareArgs {
+            table_id: "TRIO".into(),
+            peers: vec![doctor, patient, researcher],
+            write_permission: [("clinical_data".to_string(), vec![doctor])]
+                .into_iter()
+                .collect(),
+            authority: doctor,
+            initial_hash: Hash256([1; 32]),
+        };
+        call(&mut f, doctor, 1000, "register_share", &args).expect("register trio");
+        call(
+            &mut f,
+            doctor,
+            2000,
+            "request_update",
+            &RequestUpdateArgs {
+                table_id: "TRIO".into(),
+                new_hash: Hash256([2; 32]),
+                changed_attrs: vec!["clinical_data".into()],
+            },
+        )
+        .expect("trio update");
+        f
+    }
+
+    fn sorted_pair(a: AccountId, b: AccountId) -> Vec<AccountId> {
+        let mut v = vec![a, b];
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn aggregated_ack_clears_all_contributors_in_one_call() {
+        let mut f = trio_fixture();
+        let doctor = f.doctor;
+        let contributors = sorted_pair(f.patient, f.researcher);
+        let out = call(
+            &mut f,
+            doctor,
+            3000,
+            "ack_update_aggregate",
+            &AckAggregateArgs {
+                table_id: "TRIO".into(),
+                version: 1,
+                applied_hash: Hash256([2; 32]),
+                contributors,
+                attestation: Hash256([9; 32]),
+            },
+        )
+        .expect("aggregate");
+        assert_eq!(out.logs[0].topic, "AckAggregateRecorded");
+        assert!(out.logs.iter().any(|l| l.topic == "AllPeersSynced"));
+        let meta = SharingContract::load_meta(&f.state, "TRIO").expect("meta");
+        assert!(meta.synced());
+        assert_eq!(meta.ack_count, 2);
+        // Two bits set in the bitmap, at the contributors' peer indices.
+        let set_bits: u32 = meta.ack_bitmap.iter().map(|w| w.count_ones()).sum();
+        assert_eq!(set_bits, 2);
+        // The barrier reopens.
+        call(
+            &mut f,
+            doctor,
+            4000,
+            "request_update",
+            &RequestUpdateArgs {
+                table_id: "TRIO".into(),
+                new_hash: Hash256([3; 32]),
+                changed_attrs: vec!["clinical_data".into()],
+            },
+        )
+        .expect("next update after aggregated sync");
+        // ...and the new version starts with a clean aggregate state.
+        let meta = SharingContract::load_meta(&f.state, "TRIO").expect("meta");
+        assert_eq!(meta.ack_count, 0);
+        assert!(meta.ack_bitmap.iter().all(|w| *w == 0));
+    }
+
+    #[test]
+    fn partial_aggregate_keeps_barrier_until_dissenter_acks() {
+        let mut f = trio_fixture();
+        let doctor = f.doctor;
+        let patient = f.patient;
+        let researcher = f.researcher;
+        // Only the patient's share verified; the researcher dissents.
+        let out = call(
+            &mut f,
+            doctor,
+            3000,
+            "ack_update_aggregate",
+            &AckAggregateArgs {
+                table_id: "TRIO".into(),
+                version: 1,
+                applied_hash: Hash256([2; 32]),
+                contributors: vec![patient],
+                attestation: Hash256([9; 32]),
+            },
+        )
+        .expect("partial aggregate");
+        assert!(!out.logs.iter().any(|l| l.topic == "AllPeersSynced"));
+        let meta = SharingContract::load_meta(&f.state, "TRIO").expect("meta");
+        assert!(!meta.synced());
+        assert!(meta.pending_acks.contains(&researcher));
+        assert_eq!(meta.ack_count, 1);
+        // A further update is still locked — the paper's barrier holds.
+        assert!(matches!(
+            call(
+                &mut f,
+                doctor,
+                3500,
+                "request_update",
+                &RequestUpdateArgs {
+                    table_id: "TRIO".into(),
+                    new_hash: Hash256([3; 32]),
+                    changed_attrs: vec!["clinical_data".into()],
+                },
+            )
+            .unwrap_err(),
+            ContractError::StateLocked(_)
+        ));
+        // The dissenter's individual ack still works and completes the sync.
+        let out = call(
+            &mut f,
+            researcher,
+            4000,
+            "ack_update",
+            &AckUpdateArgs {
+                table_id: "TRIO".into(),
+                version: 1,
+                applied_hash: Hash256([2; 32]),
+            },
+        )
+        .expect("individual dissent-path ack");
+        assert!(out.logs.iter().any(|l| l.topic == "AllPeersSynced"));
+    }
+
+    #[test]
+    fn aggregated_ack_validation_rejections() {
+        let mut f = trio_fixture();
+        let doctor = f.doctor;
+        let patient = f.patient;
+        let researcher = f.researcher;
+        let good = |contributors: Vec<AccountId>| AckAggregateArgs {
+            table_id: "TRIO".into(),
+            version: 1,
+            applied_hash: Hash256([2; 32]),
+            contributors,
+            attestation: Hash256([9; 32]),
+        };
+        // Only the updater may submit the aggregate.
+        assert!(matches!(
+            call(
+                &mut f,
+                patient,
+                3000,
+                "ack_update_aggregate",
+                &good(vec![researcher])
+            )
+            .unwrap_err(),
+            ContractError::PermissionDenied(_)
+        ));
+        // Wrong version / wrong hash.
+        let mut wrong_version = good(vec![patient]);
+        wrong_version.version = 9;
+        assert!(call(&mut f, doctor, 3000, "ack_update_aggregate", &wrong_version).is_err());
+        let mut wrong_hash = good(vec![patient]);
+        wrong_hash.applied_hash = Hash256([7; 32]);
+        assert!(call(&mut f, doctor, 3000, "ack_update_aggregate", &wrong_hash).is_err());
+        // Empty, duplicated, unsorted or non-pending contributors.
+        assert!(call(&mut f, doctor, 3000, "ack_update_aggregate", &good(vec![])).is_err());
+        assert!(call(
+            &mut f,
+            doctor,
+            3000,
+            "ack_update_aggregate",
+            &good(vec![patient, patient])
+        )
+        .is_err());
+        let mut unsorted = sorted_pair(patient, researcher);
+        unsorted.reverse();
+        assert!(call(
+            &mut f,
+            doctor,
+            3000,
+            "ack_update_aggregate",
+            &good(unsorted)
+        )
+        .is_err());
+        // The updater itself has no pending ack, so listing it fails.
+        assert!(call(
+            &mut f,
+            doctor,
+            3000,
+            "ack_update_aggregate",
+            &good(vec![doctor])
+        )
+        .is_err());
+        // And a rejected aggregate left the barrier untouched.
+        let meta = SharingContract::load_meta(&f.state, "TRIO").expect("meta");
+        assert_eq!(meta.pending_acks.len(), 2);
+        assert_eq!(meta.ack_count, 0);
     }
 
     #[test]

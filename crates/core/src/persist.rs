@@ -773,12 +773,26 @@ impl System {
         // Replay the chain from genesis through a fresh contract runtime,
         // verifying each block's state root commitment as we go. This
         // rebuilds contract state and the receipt index without trusting
-        // anything but the chain itself.
+        // anything but the chain itself. Pipelined consensus overlaps
+        // round *preparation*, never commit order, so the replay also
+        // re-verifies that wave attributions are non-decreasing — a chain
+        // whose blocks sealed out of wave order was not produced by this
+        // pipeline and must not serve.
         let raw_blocks = backend.read_from("chain", 0).map_err(storage_err)?;
+        let mut last_wave: Option<u64> = None;
         for raw in &raw_blocks {
             let block = Block::decode(raw)
                 .map_err(|e| CoreError::Storage(format!("corrupt block record: {e}")))?;
             let height = block.header.height;
+            if let Some(wave) = block.header.wave {
+                if last_wave.is_some_and(|prev| wave < prev) {
+                    return Err(CoreError::Storage(format!(
+                        "block {height} attributed to wave {wave} after a block of wave {}",
+                        last_wave.expect("checked some")
+                    )));
+                }
+                last_wave = Some(wave);
+            }
             for stx in &block.txs {
                 let receipt = sys.runtime.execute(stx, height, block.header.timestamp_ms);
                 sys.receipts.insert(stx.id(), (height, receipt));
@@ -790,6 +804,11 @@ impl System {
                     block.header.state_root.short()
                 )));
             }
+            // Re-seed the pipelined admission schedule from the chain's
+            // own seal times: the admission rule is a pure function of
+            // them, so the recovered node reproduces the exact timeline a
+            // non-crashed node would have.
+            sys.pipeline.sealed(block.header.timestamp_ms);
             sys.chain.append(block).map_err(|e| {
                 CoreError::Storage(format!("recovered chain rejects block {height}: {e}"))
             })?;

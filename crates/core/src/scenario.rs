@@ -296,7 +296,7 @@ mod tests {
             .any(|e| e.method.as_deref() == Some("request_update")));
         assert!(hist
             .iter()
-            .any(|e| e.method.as_deref() == Some("ack_update")));
+            .any(|e| e.method.as_deref() == Some("ack_update_aggregate")));
     }
 
     #[test]

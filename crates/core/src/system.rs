@@ -7,12 +7,13 @@ pub use crate::peer::PropagationMode;
 use crate::peer::{run_shard_job, PeerNode, RemoteApply, RemoteShardPlan};
 use crate::Result;
 use medledger_bx::{changed_attrs, changed_attrs_from_delta, TableDelta};
-use medledger_consensus::{PbftConfig, PbftRound, PowModel, ProposerSchedule};
+use medledger_consensus::{PbftConfig, PbftRound, PipelineSchedule, PowModel, ProposerSchedule};
 use medledger_contracts::sharing::{
-    AckUpdateArgs, ChangePermissionArgs, CoRequestUpdateArgs, RegisterShareArgs, RequestUpdateArgs,
+    AckAggregateArgs, AckUpdateArgs, ChangePermissionArgs, CoRequestUpdateArgs, RegisterShareArgs,
+    RequestUpdateArgs,
 };
 use medledger_contracts::{ContractRuntime, SharedTableMeta, SharingContract};
-use medledger_crypto::{Hash256, KeyPair, Prg};
+use medledger_crypto::{ack_message, fold_attestation, Hash256, KeyPair, Prg, Signature};
 use medledger_ledger::{
     audit, AccountId, Block, Chain, Membership, Mempool, Receipt, SignedTransaction, Transaction,
     TxId, TxPayload, TxStatus,
@@ -114,6 +115,24 @@ pub struct SystemConfig {
     /// worker pool. Final state, hashes, traces and receipts are
     /// byte-identical for every setting.
     pub shards_per_table: usize,
+    /// Fold every receiver's acknowledgement of a committed update into
+    /// **one** aggregated threshold-ack transaction per `(table, wave)`
+    /// (the default): each receiver signs the canonical ack message with
+    /// its own one-time key, the updater verifies the shares off-chain,
+    /// folds them into a single attestation and submits
+    /// `ack_update_aggregate` under a derived conflict key — so the ack
+    /// side of a wave costs O(1) blocks regardless of the receiver
+    /// count. `false` restores the legacy one-`ack_update`-per-receiver
+    /// round (still exercised by the equivalence tests).
+    pub aggregated_acks: bool,
+    /// Consensus pipeline depth. `1` (the default) is the serial
+    /// schedule: a round's PBFT pre-prepare waits for the previous
+    /// wave's fan-out. `d > 1` overlaps up to `d` rounds: the next
+    /// round is admitted as soon as the block `d - 1` rounds back was
+    /// sealed, hiding consensus latency behind the data plane (see
+    /// [`medledger_consensus::PipelineSchedule`]). Replay-deterministic:
+    /// recovery reseeds the schedule from the chain's block timestamps.
+    pub pipeline_depth: usize,
     /// Durable-storage tuning (snapshot cadence). Only consulted when a
     /// [`medledger_storage::StorageBackend`] is attached — the default
     /// in-memory deployment ignores it entirely.
@@ -135,6 +154,8 @@ impl Default for SystemConfig {
             propagation: PropagationMode::Delta,
             fanout_workers: 0,
             shards_per_table: 1,
+            aggregated_acks: true,
+            pipeline_depth: 1,
             storage: crate::persist::StorageOptions::default(),
         }
     }
@@ -234,8 +255,10 @@ pub struct UpdateReport {
     pub rows_moved: u64,
     /// Total data-plane payload bytes this update moved (all receivers).
     pub bytes_moved: u64,
-    /// The on-chain transactions this update produced, in commit order
-    /// (the `request_update` first, then one ack per sharing peer).
+    /// The on-chain transactions this update produced, in commit order:
+    /// the `request_update` first, then the ack side — one aggregated
+    /// threshold ack per wave by default (plus any individual dissent
+    /// acks), or one ack per sharing peer in legacy mode.
     /// Cascade transactions live in the cascades' own reports.
     pub tx_ids: Vec<TxId>,
     /// Cascaded updates triggered by the Step-6 dependency check.
@@ -446,6 +469,9 @@ pub struct System {
     pub(crate) runtime: ContractRuntime,
     pub(crate) mempool: Mempool,
     schedule: ProposerSchedule,
+    /// Pipelined consensus-round admission (depth from
+    /// `config.pipeline_depth`; depth 1 is the serial schedule).
+    pub(crate) pipeline: PipelineSchedule,
     pub(crate) admin: KeyPair,
     pub(crate) contract: Option<Hash256>,
     pub(crate) clock_ms: u64,
@@ -485,6 +511,7 @@ impl System {
             ConsensusKind::PrivatePbft { .. } => None,
         };
         let prg = Prg::from_label(&format!("{}-system", config.seed));
+        let pipeline = PipelineSchedule::new(config.pipeline_depth);
         System {
             peers: BTreeMap::new(),
             names: BTreeMap::new(),
@@ -492,6 +519,7 @@ impl System {
             runtime: ContractRuntime::new(),
             mempool: Mempool::new(),
             schedule,
+            pipeline,
             admin,
             contract: None,
             clock_ms: 0,
@@ -676,7 +704,18 @@ impl System {
                 .next_interval_ms(),
         };
         let slot = self.last_block_ms + interval;
-        self.clock_ms = self.clock_ms.max(slot);
+        // Round admission. The serial schedule (pipeline depth 1) starts
+        // consensus at the current clock — i.e. after the previous wave's
+        // fan-out advanced it. A pipelined round instead starts the moment
+        // its pipeline slot frees up (the seal of the block `depth - 1`
+        // rounds back), so its PBFT pre-prepare/prepare overlap the
+        // previous wave's data-plane fan-out in virtual time. The PoW
+        // interval model announces found blocks and has no phases to
+        // overlap, so it always admits serially.
+        let start = match self.config.consensus {
+            ConsensusKind::PrivatePbft { .. } => self.pipeline.admit(self.clock_ms).max(slot),
+            ConsensusKind::PublicPow { .. } => self.clock_ms.max(slot),
+        };
         self.last_block_ms = slot;
 
         let txs = self
@@ -689,6 +728,7 @@ impl System {
         // multi-tx block still costs a single round); the PoW model's
         // latency is the interval itself (a found block is announced).
         let mut deciding_view = 0u64;
+        let mut seal_ms = start;
         if let ConsensusKind::PrivatePbft { .. } = self.config.consensus {
             let digest = Block::tx_root(&txs);
             let payload: usize = txs.iter().map(SignedTransaction::encoded_len).sum();
@@ -704,15 +744,20 @@ impl System {
             let commit = out
                 .all_commit_ms
                 .ok_or_else(|| CoreError::ConsensusFailed(format!("height {height}")))?;
-            self.clock_ms += commit;
+            seal_ms = start + commit;
             deciding_view = out.deciding_view;
             self.stats.consensus_msgs += out.messages;
             self.stats.consensus_bytes += out.bytes;
         }
+        // Commit order stays serial even when consensus rounds overlap:
+        // a pipelined round that finished early still seals after its
+        // predecessor, keeping block timestamps monotonic.
+        seal_ms = seal_ms.max(self.chain.tip().header.timestamp_ms);
 
-        // Execute.
+        // Execute at the seal time (identical to the old clock time on
+        // the serial schedule).
         for stx in &txs {
-            let receipt = self.runtime.execute(stx, height, self.clock_ms);
+            let receipt = self.runtime.execute(stx, height, seal_ms);
             if !receipt.status.is_success() {
                 self.stats.reverted_txs += 1;
             }
@@ -726,13 +771,15 @@ impl System {
             height,
             self.chain.tip().hash(),
             state_root,
-            self.clock_ms,
+            seal_ms,
             proposer,
             txs.clone(),
         )
         .in_wave(self.wave);
         self.chain.append(block)?;
         self.mempool.remove_committed(&txs);
+        self.clock_ms = self.clock_ms.max(seal_ms);
+        self.pipeline.sealed(seal_ms);
         self.stats.blocks += 1;
         self.stats.txs += txs.len() as u64;
         Ok(())
@@ -1006,8 +1053,10 @@ impl System {
         let fan = self.fanout_apply(&mut prepared, version, committed_ms, &mut trace)?;
 
         // Acks: peers confirm on chain; the table stays locked until all
-        // acks commit (the paper's barrier).
-        let ack_txs = self.submit_ack_round(table_id, version, prepared.new_hash, &fan.others)?;
+        // acks commit (the paper's barrier). One aggregated attestation
+        // transaction by default; one tx per receiver in legacy mode.
+        let ack_txs =
+            self.submit_ack_round(table_id, version, prepared.new_hash, updater, &fan.others)?;
         self.produce_blocks_until_all(&ack_txs)?;
         for t in &ack_txs {
             self.expect_success(t)?;
@@ -1524,28 +1573,99 @@ impl System {
         w.min(receivers.max(1))
     }
 
-    /// Submits one `ack_update` per receiver (the paper's barrier: the
-    /// table stays locked until every ack commits).
+    /// Submits the acknowledgement round for one committed update (the
+    /// paper's barrier: the table stays locked until all acks commit).
+    ///
+    /// With `aggregated_acks` (the default), every receiver signs the
+    /// canonical ack message with its own one-time key (the same key
+    /// budget the per-receiver round consumed), the updater verifies each
+    /// share off-chain, folds the verified shares into one attestation
+    /// and submits a **single** `ack_update_aggregate` transaction under
+    /// the derived conflict key `"{table}@ack:{version}"`. Distinct
+    /// derived keys let every table's aggregate share one block per wave,
+    /// so the ack side costs O(1) blocks regardless of the receiver
+    /// count. A receiver whose share fails verification falls back to an
+    /// individual dissent `ack_update` under
+    /// `"{table}@ack:{version}:d<i>"`, so the lock/denial semantics of
+    /// the paper's barrier survive aggregation unchanged.
+    ///
+    /// With the knob off, the legacy round is submitted: one `ack_update`
+    /// per receiver under the plain table key (serializing one ack block
+    /// per receiver), with the identical args built once and reused.
     fn submit_ack_round(
         &mut self,
         table_id: &str,
         version: u64,
         applied_hash: Hash256,
+        updater: AccountId,
         others: &[AccountId],
     ) -> Result<Vec<TxId>> {
-        let mut ack_txs = Vec::with_capacity(others.len());
-        for other in others {
+        if others.is_empty() {
+            return Ok(Vec::new());
+        }
+        if !self.config.aggregated_acks {
             let ack = AckUpdateArgs {
                 table_id: table_id.to_string(),
                 version,
                 applied_hash,
             };
+            let mut ack_txs = Vec::with_capacity(others.len());
+            for other in others {
+                ack_txs.push(self.submit_call(
+                    *other,
+                    "ack_update",
+                    &ack,
+                    Some(table_id.to_string()),
+                )?);
+            }
+            return Ok(ack_txs);
+        }
+
+        // Aggregated path. Shares are collected in canonical (account)
+        // order so every node folds the identical attestation.
+        let msg = ack_message(table_id, version, &applied_hash);
+        let mut sorted: Vec<AccountId> = others.to_vec();
+        sorted.sort();
+        let mut shares: Vec<(AccountId, Signature)> = Vec::with_capacity(sorted.len());
+        for other in &sorted {
+            let peer = self
+                .peers
+                .get_mut(other)
+                .ok_or_else(|| CoreError::UnknownPeer(other.to_string()))?;
+            shares.push((*other, peer.keys.sign(&msg)?));
+        }
+        let (contributors, dissenters) = partition_ack_shares(&msg, &shares);
+        let mut ack_txs = Vec::with_capacity(1 + dissenters.len());
+        if !contributors.is_empty() {
+            let attestation = fold_attestation(&msg, &contributors);
+            let args = AckAggregateArgs {
+                table_id: table_id.to_string(),
+                version,
+                applied_hash,
+                contributors: contributors.iter().map(|(a, _)| *a).collect(),
+                attestation,
+            };
             ack_txs.push(self.submit_call(
-                *other,
-                "ack_update",
-                &ack,
-                Some(table_id.to_string()),
+                updater,
+                "ack_update_aggregate",
+                &args,
+                Some(format!("{table_id}@ack:{version}")),
             )?);
+        }
+        if !dissenters.is_empty() {
+            let ack = AckUpdateArgs {
+                table_id: table_id.to_string(),
+                version,
+                applied_hash,
+            };
+            for (i, d) in dissenters.iter().enumerate() {
+                ack_txs.push(self.submit_call(
+                    *d,
+                    "ack_update",
+                    &ack,
+                    Some(format!("{table_id}@ack:{version}:d{i}")),
+                )?);
+            }
         }
         Ok(ack_txs)
     }
@@ -1680,9 +1800,12 @@ impl System {
     /// enforced by `Mempool::select` and re-checked by chain validation —
     /// becomes the batching criterion instead of a one-at-a-time limiter:
     /// because group members touch distinct tables, all their
-    /// `request_update` transactions fit in the next block, so consensus
-    /// cost per update drops to `~(1 + receivers) / group_size` blocks
-    /// (and the request round alone to `1 / group_size`).
+    /// `request_update` transactions fit in the next block, and with
+    /// aggregated acks (the default) every member's ack side is one
+    /// transaction too, so the whole group's acks share a block as well —
+    /// consensus cost per update drops to `~2 / group_size` blocks
+    /// (`~(1 + receivers) / group_size` in legacy per-receiver ack mode;
+    /// the request round alone is `1 / group_size` in both).
     ///
     /// Outcomes are demultiplexed per member: a denied or untranslatable
     /// member fails alone — callers roll back exactly that member's
@@ -1813,6 +1936,11 @@ impl System {
             // submissions).
             let mut needed: BTreeMap<AccountId, u64> = BTreeMap::new();
             *needed.entry(e.updater.account()).or_insert(0) += 1;
+            if self.config.aggregated_acks {
+                // The updater also signs the member's aggregated ack
+                // transaction after the fan-out.
+                *needed.entry(e.updater.account()).or_insert(0) += 1;
+            }
             for co in &e.co_submitters {
                 *needed.entry(co.peer.account()).or_insert(0) += 1;
             }
@@ -2032,12 +2160,22 @@ impl System {
         }
 
         // Phase 4 — submit every member's acks, then wait for all of them
-        // together. Acks of the same table still serialize across blocks
-        // (the conflict rule), but acks of distinct tables share blocks,
-        // so the group pays ~max-receivers ack rounds instead of the sum.
+        // together. With aggregated acks (the default) each member emits
+        // ONE `ack_update_aggregate` under its own derived conflict key,
+        // so the whole group's ack side fits a single block — the wave
+        // pays ~2 rounds (request + aggregated ack) regardless of the
+        // receiver count. In legacy mode, acks of the same table still
+        // serialize across blocks (the conflict rule) while acks of
+        // distinct tables share blocks, i.e. ~max-receivers ack rounds.
         let mut survivors: Vec<CommittedEntry> = Vec::new();
         for mut c in committed {
-            match self.submit_ack_round(&c.table_id, c.version, c.new_hash, &c.fan.others) {
+            match self.submit_ack_round(
+                &c.table_id,
+                c.version,
+                c.new_hash,
+                c.updater,
+                &c.fan.others,
+            ) {
                 Ok(acks) => {
                     c.ack_txs = acks;
                     survivors.push(c);
@@ -2306,5 +2444,73 @@ impl System {
             }
         }
         Ok(())
+    }
+}
+
+/// Splits collected ack signature shares into verified **contributors** —
+/// `(account, share digest)` pairs in the input's canonical order, ready
+/// to fold into the aggregate attestation — and **dissenters**, receivers
+/// whose share failed verification against their own public key and must
+/// fall back to an individual on-chain ack (preserving the barrier's
+/// denial semantics for exactly them).
+fn partition_ack_shares(
+    msg: &[u8],
+    shares: &[(AccountId, Signature)],
+) -> (Vec<(AccountId, Hash256)>, Vec<AccountId>) {
+    let mut contributors = Vec::with_capacity(shares.len());
+    let mut dissenters = Vec::new();
+    for (account, sig) in shares {
+        if sig.verify(account, msg) {
+            contributors.push((*account, sig.share_digest()));
+        } else {
+            dissenters.push(*account);
+        }
+    }
+    (contributors, dissenters)
+}
+
+#[cfg(test)]
+mod ack_share_tests {
+    use super::*;
+
+    #[test]
+    fn all_valid_shares_contribute() {
+        let msg = ack_message("T", 1, &Hash256([2; 32]));
+        let mut a = KeyPair::generate("ack-share-a", 4);
+        let mut b = KeyPair::generate("ack-share-b", 4);
+        let shares = vec![
+            (a.public(), a.sign(&msg).expect("a")),
+            (b.public(), b.sign(&msg).expect("b")),
+        ];
+        let (contributors, dissenters) = partition_ack_shares(&msg, &shares);
+        assert_eq!(contributors.len(), 2);
+        assert!(dissenters.is_empty());
+        assert_eq!(contributors[0].0, a.public());
+        assert_eq!(contributors[1].0, b.public());
+    }
+
+    #[test]
+    fn corrupted_share_becomes_dissenter() {
+        let msg = ack_message("T", 1, &Hash256([2; 32]));
+        let mut a = KeyPair::generate("ack-diss-a", 4);
+        let mut b = KeyPair::generate("ack-diss-b", 4);
+        let mut bad = b.sign(&msg).expect("b");
+        bad.revealed[3] = Hash256([0xee; 32]);
+        let shares = vec![(a.public(), a.sign(&msg).expect("a")), (b.public(), bad)];
+        let (contributors, dissenters) = partition_ack_shares(&msg, &shares);
+        assert_eq!(contributors.len(), 1);
+        assert_eq!(contributors[0].0, a.public());
+        assert_eq!(dissenters, vec![b.public()]);
+    }
+
+    #[test]
+    fn share_signed_over_wrong_message_dissents() {
+        let msg = ack_message("T", 1, &Hash256([2; 32]));
+        let stale = ack_message("T", 1, &Hash256([3; 32]));
+        let mut a = KeyPair::generate("ack-stale", 4);
+        let shares = vec![(a.public(), a.sign(&stale).expect("a"))];
+        let (contributors, dissenters) = partition_ack_shares(&msg, &shares);
+        assert!(contributors.is_empty());
+        assert_eq!(dissenters, vec![a.public()]);
     }
 }

@@ -38,4 +38,4 @@ pub use hmac::{hmac_sha256, HmacKey};
 pub use merkle::{MerkleProof, MerkleTree};
 pub use prg::Prg;
 pub use sha256::{sha256, sha256_concat, Sha256};
-pub use sig::{KeyPair, PublicKey, Signature, SigningError};
+pub use sig::{ack_message, fold_attestation, KeyPair, PublicKey, Signature, SigningError};

@@ -271,6 +271,70 @@ impl KeyPair {
     }
 }
 
+/// The canonical message a sharing peer signs to acknowledge that it
+/// applied `version` of shared table `table_id` with content `applied_hash`.
+///
+/// Domain-tagged and length-unambiguous (the table id is followed by a NUL
+/// that cannot occur inside it, then fixed-width fields), so the same
+/// message is reconstructed identically by signer, verifier and auditor.
+pub fn ack_message(table_id: &str, version: u64, applied_hash: &Hash256) -> Vec<u8> {
+    let mut m = Vec::with_capacity(17 + table_id.len() + 1 + 8 + 32);
+    m.extend_from_slice(b"medledger.ack.v1:");
+    m.extend_from_slice(table_id.as_bytes());
+    m.push(0);
+    m.extend_from_slice(&version.to_be_bytes());
+    m.extend_from_slice(applied_hash.as_bytes());
+    m
+}
+
+impl Signature {
+    /// Canonical digest of this signature's full content (leaf index,
+    /// revealed preimages, complements, authentication path).
+    ///
+    /// Used as a signature *share* in aggregated acknowledgements: the
+    /// digest commits to every byte of the share, so the fold over shares
+    /// changes if any contributor's signature is altered.
+    pub fn share_digest(&self) -> Hash256 {
+        let mut h = Sha256::new();
+        h.update(b"medledger.ack.share.v1:");
+        h.update(&self.leaf_index.to_be_bytes());
+        for r in &self.revealed {
+            h.update(r.as_bytes());
+        }
+        for c in &self.complements {
+            h.update(c.as_bytes());
+        }
+        h.update(&self.auth_path.leaf_index.to_be_bytes());
+        for p in &self.auth_path.path {
+            h.update(p.as_bytes());
+        }
+        h.finalize()
+    }
+}
+
+/// Folds verified signature shares into one aggregate attestation hash.
+///
+/// The fold is a sequential SHA-256 chain seeded with the digest of the
+/// common ack message, absorbing `(contributor, share digest)` pairs in the
+/// given order. Callers pass contributors in canonical (sorted) order so
+/// every node derives the same attestation; the result commits to the
+/// message, the contributor set *and* each contributor's actual one-time
+/// signature — there is no algebraic aggregation, only hash folding, which
+/// keeps the scheme inside the paper's SHA-256-only trust base.
+pub fn fold_attestation(message: &[u8], shares: &[(PublicKey, Hash256)]) -> Hash256 {
+    let msg_digest = sha256(message);
+    let mut acc = sha256_concat(&[b"medledger.ack.fold.v1:", msg_digest.as_bytes()]);
+    for (contributor, share) in shares {
+        acc = sha256_concat(&[
+            b"medledger.ack.fold.step:",
+            acc.as_bytes(),
+            contributor.0.as_bytes(),
+            share.as_bytes(),
+        ]);
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,5 +433,51 @@ mod tests {
         let sig = kp.sign(b"m").expect("sign");
         // 512 hashes + 3-deep path + index.
         assert_eq!(sig.encoded_len(), 8 + 32 * (256 + 256 + 3));
+    }
+
+    #[test]
+    fn ack_message_is_unambiguous() {
+        let h = Hash256([5; 32]);
+        let a = ack_message("D13&D31", 3, &h);
+        let b = ack_message("D13&D31", 4, &h);
+        let c = ack_message("D13&D3", 13, &h);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        // Deterministic.
+        assert_eq!(a, ack_message("D13&D31", 3, &h));
+    }
+
+    #[test]
+    fn share_digest_commits_to_every_byte() {
+        let mut kp = KeyPair::generate("share", 4);
+        let msg = ack_message("T", 1, &Hash256([2; 32]));
+        let sig = kp.sign(&msg).expect("sign");
+        let d = sig.share_digest();
+        let mut tampered = sig.clone();
+        tampered.revealed[0] = Hash256([0xaa; 32]);
+        assert_ne!(d, tampered.share_digest());
+        let mut tampered2 = sig.clone();
+        tampered2.leaf_index ^= 1;
+        assert_ne!(d, tampered2.share_digest());
+    }
+
+    #[test]
+    fn fold_attestation_is_order_and_content_sensitive() {
+        let msg = ack_message("T", 1, &Hash256([2; 32]));
+        let mut a = KeyPair::generate("fold-a", 4);
+        let mut b = KeyPair::generate("fold-b", 4);
+        let sa = (a.public(), a.sign(&msg).expect("a").share_digest());
+        let sb = (b.public(), b.sign(&msg).expect("b").share_digest());
+        let ab = fold_attestation(&msg, &[sa, sb]);
+        let ba = fold_attestation(&msg, &[sb, sa]);
+        assert_ne!(ab, ba);
+        // Deterministic given the same order.
+        assert_eq!(ab, fold_attestation(&msg, &[sa, sb]));
+        // Commits to the message.
+        let other_msg = ack_message("T", 2, &Hash256([2; 32]));
+        assert_ne!(ab, fold_attestation(&other_msg, &[sa, sb]));
+        // Commits to the contributor set (empty vs non-empty differ).
+        assert_ne!(ab, fold_attestation(&msg, &[sa]));
     }
 }

@@ -294,9 +294,11 @@ impl LedgerService {
     /// Forms and commits ONE wave: admits queued cascades and submission
     /// groups onto distinct shared tables, composes same-table
     /// submissions into combined members, commits everything through one
-    /// block and one scheduled consensus round (plus batched acks), and
-    /// resolves the affected tickets. Members whose tables conflict with
-    /// an earlier member re-queue for the next wave.
+    /// block and one scheduled consensus round (plus the ack side — one
+    /// aggregated threshold ack per member by default, so the wave's
+    /// acks share a single block too), and resolves the affected
+    /// tickets. Members whose tables conflict with an earlier member
+    /// re-queue for the next wave.
     pub fn tick(&mut self) -> medledger_core::Result<WaveReport> {
         if !self.has_work() {
             return Ok(WaveReport::default());

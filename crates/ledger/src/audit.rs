@@ -37,21 +37,31 @@ pub struct AuditEntry {
 /// one block without violating the one-transaction-per-key rule). Every
 /// submitter of a write-combined update therefore stays individually
 /// visible in the table's history.
+///
+/// Aggregated threshold acks get the same treatment from the other side:
+/// an `ack_update_aggregate` transaction carries the derived conflict key
+/// `"{key}@ack:<version>"` (dissent fallbacks `"{key}@ack:<version>:d<n>"`)
+/// and replaces R per-receiver `ack_update` transactions. So that no
+/// receiver disappears from the audit trail, the aggregate is *expanded*
+/// here: after the submitter's own entry, one entry per contributing
+/// receiver is emitted (same block, same tx id, sender = the contributor),
+/// reconstructed from the transaction's `contributors` argument.
 pub fn history_for_key(chain: &Chain, key: &str) -> Vec<AuditEntry> {
     let co_prefix = format!("{key}@co:");
+    let ack_prefix = format!("{key}@ack:");
     let mut out = Vec::new();
     for block in chain.blocks() {
         for stx in &block.txs {
             let matches = match stx.tx.conflict_key.as_deref() {
-                Some(k) => k == key || k.starts_with(&co_prefix),
+                Some(k) => k == key || k.starts_with(&co_prefix) || k.starts_with(&ack_prefix),
                 None => false,
             };
             if matches {
-                let method = match &stx.tx.payload {
-                    crate::transaction::TxPayload::CallContract { method, .. } => {
-                        Some(method.clone())
+                let (method, args) = match &stx.tx.payload {
+                    crate::transaction::TxPayload::CallContract { method, args, .. } => {
+                        (Some(method.clone()), Some(args))
                     }
-                    _ => None,
+                    _ => (None, None),
                 };
                 out.push(AuditEntry {
                     height: block.header.height,
@@ -59,12 +69,47 @@ pub fn history_for_key(chain: &Chain, key: &str) -> Vec<AuditEntry> {
                     tx_id: stx.id(),
                     sender: stx.tx.sender,
                     kind: stx.tx.payload.kind(),
-                    method,
+                    method: method.clone(),
                 });
+                if method.as_deref() == Some("ack_update_aggregate") {
+                    if let Some(args) = args {
+                        for contributor in aggregate_contributors(args) {
+                            out.push(AuditEntry {
+                                height: block.header.height,
+                                timestamp_ms: block.header.timestamp_ms,
+                                tx_id: stx.id(),
+                                sender: contributor,
+                                kind: stx.tx.payload.kind(),
+                                method: method.clone(),
+                            });
+                        }
+                    }
+                }
             }
         }
     }
     out
+}
+
+/// Parses the `contributors` list out of `ack_update_aggregate` call args.
+///
+/// Tolerant by construction: a malformed argument blob yields no extra
+/// attributions rather than failing the whole audit.
+fn aggregate_contributors(args: &[u8]) -> Vec<AccountId> {
+    let Ok(value) = serde_json::from_slice::<serde_json::Value>(args) else {
+        return Vec::new();
+    };
+    let Some(serde_json::Value::Array(items)) = value.get("contributors") else {
+        return Vec::new();
+    };
+    items
+        .iter()
+        .filter_map(|v| {
+            v.as_str()
+                .and_then(medledger_crypto::Hash256::from_hex)
+                .map(medledger_crypto::PublicKey)
+        })
+        .collect()
 }
 
 /// Re-validates the whole chain structure from genesis: linkage, tx roots
@@ -182,6 +227,54 @@ mod tests {
         assert_eq!(hist[1].method.as_deref(), Some("co_request_update"));
         // The sibling table with a prefix-sharing id is not swept in.
         assert_eq!(history_for_key(&chain, "D13&D31-other").len(), 1);
+    }
+
+    #[test]
+    fn history_expands_aggregated_ack_contributors() {
+        let (mut chain, mut alice, validator) = setup();
+        let peer_a = KeyPair::generate("audit-peer-a", 2).public();
+        let peer_b = KeyPair::generate("audit-peer-b", 2).public();
+        let args = format!(
+            r#"{{"table_id":"D13&D31","version":1,"applied_hash":"{}","contributors":["{}","{}"],"attestation":"{}"}}"#,
+            Hash256([2; 32]).to_hex(),
+            peer_a.0.to_hex(),
+            peer_b.0.to_hex(),
+            Hash256([9; 32]).to_hex(),
+        );
+        let agg = Transaction {
+            sender: alice.public(),
+            nonce: 0,
+            payload: TxPayload::CallContract {
+                contract: Hash256::ZERO,
+                method: "ack_update_aggregate".into(),
+                args: args.into_bytes(),
+            },
+            conflict_key: Some("D13&D31@ack:1".into()),
+        }
+        .sign(&mut alice)
+        .expect("sign");
+        let b = Block::assemble(
+            1,
+            chain.tip().hash(),
+            Hash256::ZERO,
+            1000,
+            validator.public(),
+            vec![agg],
+        );
+        chain.append(b).expect("append");
+        let hist = history_for_key(&chain, "D13&D31");
+        // Submitter entry + one attribution entry per contributor.
+        assert_eq!(hist.len(), 3);
+        assert_eq!(hist[0].sender, alice.public());
+        assert_eq!(hist[1].sender, peer_a);
+        assert_eq!(hist[2].sender, peer_b);
+        assert!(hist
+            .iter()
+            .all(|e| e.method.as_deref() == Some("ack_update_aggregate")));
+        // All three share the on-chain transaction.
+        assert_eq!(hist[0].tx_id, hist[1].tx_id);
+        // A dissent fallback key also belongs to the table's history.
+        assert!(history_for_key(&chain, "other").is_empty());
     }
 
     #[test]

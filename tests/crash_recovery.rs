@@ -562,6 +562,212 @@ fn ledger_service_close_and_reopen_resumes_waves() {
 }
 
 // ----------------------------------------------------------------------
+// Log truncation + pipelined consensus
+// ----------------------------------------------------------------------
+
+/// Snapshots bound the WAL: each snapshot flush truncates the in-memory
+/// database log below the persisted sequence and compacts the on-disk
+/// peer stream, so neither grows with workload length.
+#[test]
+fn snapshots_truncate_the_wal_and_bound_its_growth() {
+    let cfg = config("crash-truncate");
+    let root =
+        std::env::temp_dir().join(format!("medledger-crash-truncate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    // Small segments so the segment-granular compaction has something to
+    // reclaim within this short workload.
+    let store =
+        medledger::storage::DurableStore::open_with_segment_bytes(&root, 256).expect("open");
+    let mut scn = durable_fig1(&cfg, Box::new(store), 2).expect("build");
+    for i in 0..6 {
+        workload_commit(&mut scn, i).expect("commit");
+    }
+
+    // In-memory: the retained log window is shorter than the full record
+    // sequence — `Database::truncate_log` ran on the snapshot path.
+    let doctor_db = &scn.ledger.system().peer(scn.doctor).expect("doctor").db;
+    let total_records = doctor_db.next_seq();
+    let retained = doctor_db.log_since(0).len() as u64;
+    assert!(total_records > 0);
+    assert!(
+        retained < total_records,
+        "snapshot flushes must truncate the in-memory log \
+         (retained {retained} of {total_records} records)"
+    );
+
+    scn.ledger.close().expect("close");
+
+    // On disk: the peer stream's committed prefix was reclaimed — the
+    // segmented log refuses to read below its compaction horizon, which
+    // is exactly the proof that the snapshot path compacted it.
+    let mut reopened =
+        medledger::storage::DurableStore::open_with_segment_bytes(&root, 256).expect("reopen");
+    let logical = reopened.stream_len("peer/Doctor").expect("len");
+    assert!(logical > 0);
+    let err = reopened
+        .read_from("peer/Doctor", 0)
+        .expect_err("snapshot flushes must compact the durable WAL");
+    assert!(
+        err.to_string().contains("compacted"),
+        "unexpected read error: {err}"
+    );
+
+    // And the compacted deployment still recovers and works.
+    let mut recovered = MedLedger::builder()
+        .config(cfg.clone())
+        .storage_backend(Box::new(reopened))
+        .build()
+        .expect("recover compacted");
+    recovered.check_consistency().expect("consistent");
+    assert_live(&mut recovered);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+fn pipelined_config(seed: &str) -> SystemConfig {
+    SystemConfig {
+        pipeline_depth: 3,
+        ..config(seed)
+    }
+}
+
+/// A deployment running pipelined consensus (depth 3) recovers exactly:
+/// the replay re-verifies every block's attested state root in wave
+/// order, re-seeds the pipeline admission schedule from the chain's own
+/// seal times, and the resumed service continues wave numbering.
+#[test]
+fn pipelined_deployment_recovers_and_resumes_waves() {
+    let cfg = pipelined_config("crash-pipelined");
+    let shared = SharedBackend::new();
+    let scn = durable_fig1(&cfg, Box::new(shared.clone()), 3).expect("build");
+    let (doctor, researcher) = (scn.doctor, scn.researcher);
+
+    let mut service = LedgerService::new(scn.ledger);
+    for round in 0..2 {
+        service
+            .submit(doctor, SHARE_PD)
+            .set(
+                vec![Value::Int(188)],
+                "dosage",
+                Value::text(format!("pipe-{round}")),
+            )
+            .submit()
+            .expect("stage");
+        service
+            .submit(researcher, SHARE_RD)
+            .update_source(
+                "D2",
+                vec![Value::text("Ibuprofen")],
+                vec![(
+                    "mechanism_of_action".into(),
+                    Value::text(format!("pipe-mech-{round}")),
+                )],
+            )
+            .submit()
+            .expect("stage");
+        service.drain().expect("drain");
+    }
+    let waves_before = service.waves();
+    assert!(waves_before >= 2);
+    let committed = capture(service.ledger());
+    // The chain the pipelined run produced is wave-ordered (overlap
+    // never reorders commits) with monotonic seal times.
+    let waves: Vec<u64> = service
+        .ledger()
+        .chain()
+        .blocks()
+        .iter()
+        .filter_map(|b| b.header.wave)
+        .collect();
+    assert!(waves.windows(2).all(|w| w[0] <= w[1]), "{waves:?}");
+    service.close().expect("close");
+
+    let recovered = recover(&cfg, shared.snapshot_state()).expect("recover pipelined");
+    assert_eq!(capture(&recovered), committed);
+    recovered.check_consistency().expect("consistent");
+    let mut service = LedgerService::new(recovered);
+    assert_eq!(service.waves(), waves_before, "wave numbering resumes");
+    service
+        .submit(doctor, SHARE_PD)
+        .set(vec![Value::Int(188)], "dosage", Value::text("post-pipe"))
+        .submit()
+        .expect("stage");
+    service.drain().expect("drain");
+    assert_eq!(service.waves(), waves_before + 1);
+    service
+        .ledger()
+        .check_consistency()
+        .expect("consistent after resumed pipelined wave");
+}
+
+/// A stored chain whose wave attributions go backwards was not produced
+/// by the pipeline (overlap admits rounds early but never reorders
+/// commits) — recovery must refuse it loudly.
+#[test]
+fn out_of_wave_order_chain_fails_recovery() {
+    use medledger::ledger::Block;
+    use medledger::storage::{Decode, Encode};
+
+    let cfg = pipelined_config("crash-wave-order");
+    let shared = SharedBackend::new();
+    let scn = durable_fig1(&cfg, Box::new(shared.clone()), 3).expect("build");
+    let (doctor, researcher) = (scn.doctor, scn.researcher);
+    let mut service = LedgerService::new(scn.ledger);
+    for round in 0..2 {
+        service
+            .submit(doctor, SHARE_PD)
+            .set(
+                vec![Value::Int(188)],
+                "dosage",
+                Value::text(format!("tamper-{round}")),
+            )
+            .submit()
+            .expect("stage");
+        service
+            .submit(researcher, SHARE_RD)
+            .update_source(
+                "D2",
+                vec![Value::text("Ibuprofen")],
+                vec![(
+                    "mechanism_of_action".into(),
+                    Value::text(format!("tamper-mech-{round}")),
+                )],
+            )
+            .submit()
+            .expect("stage");
+        service.drain().expect("drain");
+    }
+    service.close().expect("close");
+
+    // Re-attribute the FIRST waved block to a far-future wave; the next
+    // waved block then reads as a wave regression during replay.
+    let mut state = shared.snapshot_state();
+    let mut records = state.read_from("chain", 0).expect("read");
+    let first_waved = records
+        .iter()
+        .position(|raw| {
+            Block::decode(raw)
+                .map(|b| b.header.wave.is_some())
+                .unwrap_or(false)
+        })
+        .expect("a waved block exists");
+    let block = Block::decode(&records[first_waved]).expect("decode");
+    records[first_waved] = block.in_wave(Some(u64::MAX)).encoded();
+    state.truncate_to("chain", 0).expect("clear");
+    for rec in &records {
+        state.append("chain", rec).expect("rewrite");
+    }
+
+    let err = match recover(&cfg, state) {
+        Ok(_) => panic!("wave-order violation must not recover"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(&err, medledger::CoreError::Storage(msg) if msg.contains("wave")),
+        "unexpected error: {err}"
+    );
+}
+
+// ----------------------------------------------------------------------
 // Property: random crash budgets always recover
 // ----------------------------------------------------------------------
 
