@@ -1,0 +1,150 @@
+//! Gateway throughput through the async multi-node runtime.
+//!
+//! The claim under test (ISSUE 8 acceptance): the concurrent gateway
+//! front door multiplexes many client sessions into the same composed
+//! waves the serial `LedgerService` would run — so the chain cost per
+//! submission *falls* as sessions rise (they share waves), the admission
+//! queue's high-water mark stays bounded by the offered load, and the
+//! wire protocol's byte overhead per commit stays flat.
+//!
+//! The timing group measures wall-clock for a full submit→pump→resolve
+//! round at each session count; the report group runs the sessions sweep
+//! 1 → 256 and records the deterministic metrics the CI bench-trajectory
+//! gate tracks: waves per submission, queue-depth high-water, and wire
+//! bytes per commit.
+
+use criterion::{criterion_group, criterion_main, record_metric, BenchmarkId, Criterion};
+use medledger_bench::two_peer_system;
+use medledger_core::ConsensusKind;
+use medledger_engine::LedgerService;
+use medledger_node::wire::WireWrite;
+use medledger_node::{Deployment, GatewayClient, GatewayConfig, SubmitReply};
+use medledger_relational::{Value, WriteOp};
+
+/// One keyed ward record per concurrent session (pids are dense from
+/// 1000 in the EHR generator).
+const FIRST_PID: i64 = 1000;
+
+fn dosage_op(pid: i64, rev: usize) -> WriteOp {
+    WriteOp::Update {
+        key: vec![Value::Int(pid)],
+        assignments: vec![("dosage".into(), Value::text(format!("{rev} mg")))],
+    }
+}
+
+/// Boots the ward scenario behind a manually-pumped gateway with one
+/// connected client per session.
+fn deploy(seed: &str, sessions: usize) -> (Deployment, Vec<GatewayClient>) {
+    let bench = two_peer_system(
+        seed,
+        ConsensusKind::PrivatePbft {
+            block_interval_ms: 100,
+        },
+        sessions.max(8),
+    );
+    let dep = Deployment::start(
+        LedgerService::new(bench.ledger),
+        GatewayConfig::default().manual_pump(),
+    )
+    .expect("deployment");
+    let clients = (0..sessions).map(|_| dep.connect()).collect();
+    (dep, clients)
+}
+
+/// One full round: every session submits a dosage update on its own
+/// record (arrival order pinned by awaiting each `Accepted`), the pump
+/// drains all waves (commit waves plus Step-6 cascade re-entries), and
+/// every session collects its commit. Returns commits resolved.
+fn one_round(dep: &Deployment, clients: &mut [GatewayClient], rev: usize) -> usize {
+    let mut tickets = Vec::with_capacity(clients.len());
+    for (s, client) in clients.iter_mut().enumerate() {
+        let op = dosage_op(FIRST_PID + s as i64, rev);
+        let reply = dep
+            .block_on(client.submit("Doctor", "ward", vec![WireWrite::Shared(op)]))
+            .expect("submit");
+        match reply {
+            SubmitReply::Accepted { ticket } => tickets.push(ticket),
+            other => panic!("admission failed: {other:?}"),
+        }
+    }
+    while dep.pump().expect("pump").members > 0 {}
+    let mut committed = 0;
+    for (client, ticket) in clients.iter_mut().zip(tickets) {
+        let outcome = dep.block_on(client.wait(ticket)).expect("wait");
+        outcome.expect("commit");
+        committed += 1;
+    }
+    committed
+}
+
+fn bench_session_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gateway_throughput");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for sessions in [1usize, 8, 32] {
+        let label = format!("sessions{sessions}");
+        g.bench_with_input(BenchmarkId::from_parameter(&label), &label, |b, _| {
+            let (dep, mut clients) = deploy(&format!("bench-gw-{sessions}"), sessions);
+            let mut rev = 0usize;
+            b.iter(|| {
+                rev += 1;
+                one_round(&dep, &mut clients, rev)
+            });
+            drop(clients);
+            dep.shutdown().expect("shutdown");
+        });
+    }
+    g.finish();
+}
+
+fn bench_gateway_report(c: &mut Criterion) {
+    // Not a timing bench: the deterministic gateway accounting across
+    // the sessions sweep. Arrival order is pinned (each submit awaits
+    // its `Accepted`), the pump is manual, and the wire protocol is
+    // deterministic — so every number here is identical on every
+    // machine and thread count.
+    let g = c.benchmark_group("gateway_report");
+    println!(
+        "{:>10} {:>8} {:>10} {:>18} {:>12} {:>18}",
+        "sessions", "waves", "commits", "waves/submission", "queue high", "wire bytes/commit"
+    );
+    for sessions in [1usize, 4, 16, 64, 256] {
+        let (dep, mut clients) = deploy(&format!("gw-report-{sessions}"), sessions);
+        let committed = one_round(&dep, &mut clients, 1);
+        assert_eq!(committed, sessions, "every session commits");
+        let stats = dep.stats();
+        let wire_bytes = dep.wire_bytes();
+        let waves_per_submission = stats.waves as f64 / stats.submissions as f64;
+        let bytes_per_commit = wire_bytes as f64 / committed as f64;
+        println!(
+            "{:>10} {:>8} {:>10} {:>18.4} {:>12} {:>18.1}",
+            sessions,
+            stats.waves,
+            committed,
+            waves_per_submission,
+            stats.queue_high_water,
+            bytes_per_commit
+        );
+        if sessions == 256 {
+            // The headline gateway numbers the CI bench-trajectory gate
+            // tracks: chain cost per submission must keep amortizing at
+            // scale, admission may not queue beyond the offered load,
+            // and the framing overhead must stay flat.
+            record_metric("gateway_waves_per_submission_256", waves_per_submission);
+            record_metric(
+                "gateway_queue_high_water_256",
+                stats.queue_high_water as f64,
+            );
+            record_metric("gateway_wire_bytes_per_commit_256", bytes_per_commit);
+        }
+        let service = dep.shutdown().expect("shutdown");
+        service
+            .ledger()
+            .check_consistency()
+            .expect("all shared tables consistent after the sweep");
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_session_sweep, bench_gateway_report);
+criterion_main!(benches);

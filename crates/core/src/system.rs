@@ -613,6 +613,40 @@ impl System {
             .ok_or_else(|| CoreError::UnknownPeer(peer.to_string()))
     }
 
+    /// Removes a peer's node state from the system, transferring
+    /// ownership to the caller. The name registration stays, so the
+    /// peer is expected back: a system with detached peers must not run
+    /// updates or flushes until every peer is [re-attached]. This is
+    /// the ownership seam the `medledger-node` runtime is built on —
+    /// between waves each per-peer event loop owns its `PeerNode`; the
+    /// wave pump checks peers out, ticks, and checks them back in.
+    ///
+    /// [re-attached]: System::attach_peer
+    pub fn detach_peer(&mut self, peer: PeerId) -> Result<PeerNode> {
+        self.peers
+            .remove(&peer.account())
+            .ok_or_else(|| CoreError::UnknownPeer(peer.to_string()))
+    }
+
+    /// Returns a [detached] peer's node state to the system. Rejects a
+    /// node whose account was never registered here (the name map is
+    /// the registration of record) or whose slot is already occupied.
+    ///
+    /// [detached]: System::detach_peer
+    pub fn attach_peer(&mut self, node: PeerNode) -> Result<()> {
+        if self.names.get(&node.name) != Some(&node.account) {
+            return Err(CoreError::UnknownPeer(node.name.clone()));
+        }
+        if self.peers.contains_key(&node.account) {
+            return Err(CoreError::BadAgreement(format!(
+                "peer `{}` is already attached",
+                node.name
+            )));
+        }
+        self.peers.insert(node.account, node);
+        Ok(())
+    }
+
     /// A peer's display name, falling back to the short id.
     fn peer_name_or_id(&self, peer: PeerId) -> String {
         self.peers

@@ -64,9 +64,14 @@ impl fmt::Display for CommitTicket {
 }
 
 impl CommitTicket {
-    /// Blocks until this ticket's submission resolves (driving waves as
-    /// needed) and takes the outcome. Convenience over
-    /// [`LedgerService::wait`].
+    /// Resolves this ticket's submission and takes the outcome — a thin
+    /// wrapper over [`LedgerService::wait`], kept for the serial,
+    /// single-owner path. It is *synchronous*: each iteration runs a
+    /// full wave, so it never spins without making progress, but it
+    /// also cannot overlap with other waiters. Under the
+    /// `medledger-node` gateway, tickets instead resolve by async
+    /// notification (a parked wire `Poll` answered when the wave pump
+    /// drains `take_resolved`) — no polling loop on either side.
     #[allow(clippy::result_large_err)]
     pub fn wait(self, service: &mut LedgerService) -> Result<CommitOutcome, CommitError> {
         service.wait(self)
@@ -262,6 +267,18 @@ impl LedgerService {
     /// resolved, or already taken).
     pub fn take(&mut self, ticket: CommitTicket) -> Option<Result<CommitOutcome, CommitError>> {
         self.resolved.remove(&ticket.0)
+    }
+
+    /// Drains *every* resolved outcome, in ticket order. This is the
+    /// wave pump's post-tick notification source: the gateway does not
+    /// know which tickets a wave resolved (cascade re-entry can resolve
+    /// more than the wave admitted), so it takes them all and routes
+    /// each to its waiting session.
+    pub fn take_resolved(&mut self) -> Vec<(CommitTicket, Result<CommitOutcome, CommitError>)> {
+        std::mem::take(&mut self.resolved)
+            .into_iter()
+            .map(|(t, r)| (CommitTicket(t), r))
+            .collect()
     }
 
     /// Blocks until `ticket` resolves, driving waves as needed, and takes
@@ -1036,6 +1053,25 @@ impl Submission<'_> {
         self.writes.push(StagedWrite::Source {
             table: table.into(),
             op: WriteOp::Update { key, assignments },
+        });
+        self
+    }
+
+    /// Stages a raw shared-table write. This is the generic entry the
+    /// wire gateway replays `Submit` frames through —
+    /// [`Submission::insert`] / [`Submission::update`] /
+    /// [`Submission::delete`] are sugar over it.
+    pub fn write(mut self, op: WriteOp) -> Self {
+        self.writes.push(StagedWrite::Shared(op));
+        self
+    }
+
+    /// Stages a raw write against one of the peer's *source* tables
+    /// (the generic form of [`Submission::update_source`]).
+    pub fn write_source(mut self, table: impl Into<String>, op: WriteOp) -> Self {
+        self.writes.push(StagedWrite::Source {
+            table: table.into(),
+            op,
         });
         self
     }

@@ -1,0 +1,110 @@
+//! Per-peer event loops: each registered peer's node state lives in its
+//! own async task, not inside the shared `System`.
+//!
+//! Between waves the loop task *owns* its `Box<PeerNode>` — the
+//! gateway's `System` holds no peers at all — so reads and telemetry
+//! against one peer never contend with another. When the wave pump
+//! forms a wave it checks every peer out over the wire
+//! ([`Message::Checkout`] / [`Message::CheckoutAck`]) and receives the
+//! state itself over the deployment's typed state channel (the
+//! in-process stand-in for state staying on the node while the
+//! coordinator drives it), ticks the ledger service, and checks the
+//! updated state back in ([`Message::Checkin`]) together with the
+//! wave's oneway notifications ([`Message::FanOut`],
+//! [`Message::AckSealed`], [`Message::ConsensusSealed`]).
+
+use std::sync::{Arc, Mutex};
+
+use medledger_core::PeerNode;
+
+use crate::sync;
+use crate::wire::{Envelope, Message, WireConn};
+
+/// Counters a peer's event loop maintains from the notifications it
+/// receives; a cheap stand-in for the read traffic a deployed node
+/// would serve from its owned state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TelemetryCounts {
+    /// Times the pump checked this peer's state out for a wave.
+    pub checkouts: u64,
+    /// Times the state came back after a wave.
+    pub checkins: u64,
+    /// Fan-out notifications: waves whose committed update changed a
+    /// shared table this peer materializes (Fig. 5 step 5).
+    pub fan_outs: u64,
+    /// Waves whose aggregated threshold-ack transaction sealed.
+    pub acks_sealed: u64,
+    /// Waves whose consensus round sealed a block.
+    pub consensus_sealed: u64,
+}
+
+/// Shared handle onto one peer loop's [`TelemetryCounts`].
+#[derive(Clone, Default)]
+pub struct PeerTelemetry {
+    inner: Arc<Mutex<TelemetryCounts>>,
+}
+
+impl PeerTelemetry {
+    /// The counts as of now.
+    pub fn snapshot(&self) -> TelemetryCounts {
+        *self.inner.lock().expect("telemetry lock")
+    }
+
+    fn update(&self, f: impl FnOnce(&mut TelemetryCounts)) {
+        f(&mut self.inner.lock().expect("telemetry lock"));
+    }
+}
+
+/// Drives one peer's event loop until the pump sends
+/// [`Message::Close`] or hangs up.
+pub(crate) async fn run(
+    mut conn: WireConn,
+    node: Box<PeerNode>,
+    mut from_pump: sync::Receiver<Box<PeerNode>>,
+    to_pump: sync::Sender<Box<PeerNode>>,
+    telemetry: PeerTelemetry,
+) {
+    let mut node = Some(node);
+    while let Ok(Some(env)) = conn.recv().await {
+        match env.body {
+            Message::Checkout { peer, .. } => {
+                if let Some(n) = node.take() {
+                    if to_pump.try_send(n).is_err() {
+                        break;
+                    }
+                    telemetry.update(|t| t.checkouts += 1);
+                    if conn
+                        .send(&Envelope {
+                            corr: env.corr,
+                            body: Message::CheckoutAck { peer },
+                        })
+                        .await
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            }
+            Message::Checkin { .. } => match from_pump.recv().await {
+                Some(n) => {
+                    node = Some(n);
+                    telemetry.update(|t| t.checkins += 1);
+                }
+                None => break,
+            },
+            Message::FanOut { .. } => telemetry.update(|t| t.fan_outs += 1),
+            Message::AckSealed { .. } => telemetry.update(|t| t.acks_sealed += 1),
+            Message::ConsensusSealed { .. } => telemetry.update(|t| t.consensus_sealed += 1),
+            Message::Close => {
+                let _ = conn
+                    .send(&Envelope {
+                        corr: env.corr,
+                        body: Message::Closed,
+                    })
+                    .await;
+                break;
+            }
+            _ => {}
+        }
+    }
+}

@@ -107,6 +107,7 @@
 //! | [`workload`] | synthetic EHR generation, update streams, de-identification |
 //! | [`core`] | the engine (`System`), the facade, the Fig. 1 scenario, baselines |
 //! | [`engine`] | ticketed commit pipeline, group-commit queue, parallel fan-out |
+//! | [`node`] | async runtime, per-peer event loops, wire protocol, gateway |
 //!
 //! ## The ticketed commit pipeline
 //!
@@ -122,6 +123,11 @@
 //! [`engine::CommitQueue`] and committed together with blocking
 //! `commit_all`. See the `medledger-engine` crate docs for runnable
 //! examples of both.
+//!
+//! For a *deployment* — per-peer event loops, a framed wire protocol,
+//! and a concurrent gateway serving thousands of client sessions over
+//! that pipeline on a dependency-free async runtime — see the
+//! [`node`] crate ([`node::Deployment`]).
 
 pub use medledger_bx as bx;
 pub use medledger_consensus as consensus;
@@ -131,6 +137,7 @@ pub use medledger_crypto as crypto;
 pub use medledger_engine as engine;
 pub use medledger_ledger as ledger;
 pub use medledger_network as network;
+pub use medledger_node as node;
 pub use medledger_relational as relational;
 pub use medledger_storage as storage;
 pub use medledger_workload as workload;
