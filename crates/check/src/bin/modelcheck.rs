@@ -1,0 +1,190 @@
+//! Model-checker CLI.
+//!
+//! ```text
+//! # explore every scenario with the default budget
+//! cargo run --release -p medledger-check --bin modelcheck
+//!
+//! # one scenario, bigger budget, fail unless 500 distinct schedules
+//! cargo run --release -p medledger-check --bin modelcheck -- \
+//!     --scenario mpsc-handoff --max-exec 5000 --min-distinct 500
+//!
+//! # replay a failure exactly as the report printed it
+//! cargo run -p medledger-check --bin modelcheck -- \
+//!     --scenario broken-notify --replay-seed 0x1234
+//! cargo run -p medledger-check --bin modelcheck -- \
+//!     --scenario broken-notify --replay-trace 1.0.2
+//! ```
+//!
+//! Exits 0 when every explored scenario holds, 1 on a failure (with
+//! the replayable schedule), 2 on usage errors.
+
+use medledger_check::explore::Checker;
+use medledger_check::scenarios;
+
+struct Cli {
+    scenario: Option<String>,
+    replay_seed: Option<u64>,
+    replay_trace: Option<Vec<usize>>,
+    max_exec: usize,
+    sample: usize,
+    max_decisions: usize,
+    seed: u64,
+    min_distinct: usize,
+    list: bool,
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let r = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    r.map_err(|_| format!("not a number: {s}"))
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        scenario: None,
+        replay_seed: None,
+        replay_trace: None,
+        max_exec: 1500,
+        sample: 600,
+        max_decisions: 40,
+        seed: 0x1CDE_2019,
+        min_distinct: 0,
+        list: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--scenario" => cli.scenario = Some(value("--scenario")?),
+            "--replay-seed" => cli.replay_seed = Some(parse_u64(&value("--replay-seed")?)?),
+            "--replay-trace" => {
+                let t = value("--replay-trace")?;
+                let trace: Result<Vec<usize>, _> =
+                    t.split('.').map(|p| p.parse::<usize>()).collect();
+                cli.replay_trace = Some(trace.map_err(|_| format!("bad trace: {t}"))?);
+            }
+            "--max-exec" => cli.max_exec = parse_u64(&value("--max-exec")?)? as usize,
+            "--sample" => cli.sample = parse_u64(&value("--sample")?)? as usize,
+            "--max-decisions" => {
+                cli.max_decisions = parse_u64(&value("--max-decisions")?)? as usize
+            }
+            "--seed" => cli.seed = parse_u64(&value("--seed")?)?,
+            "--min-distinct" => cli.min_distinct = parse_u64(&value("--min-distinct")?)? as usize,
+            "--list" => cli.list = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: modelcheck [--scenario NAME] [--max-exec N] [--sample N] \
+                     [--max-decisions N] [--seed N] [--min-distinct N] \
+                     [--replay-seed N | --replay-trace a.b.c] [--list]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() {
+    let cli = match parse_cli() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("modelcheck: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    if cli.list {
+        for s in scenarios::all() {
+            println!("{}", s.name);
+        }
+        for s in scenarios::broken::all() {
+            println!("{} (intentionally broken)", s.name);
+        }
+        return;
+    }
+
+    let checker = Checker {
+        max_dfs: cli.max_exec,
+        max_samples: cli.sample,
+        max_decisions: cli.max_decisions,
+        seed: cli.seed,
+    };
+
+    // Replay modes need one named scenario (broken ones allowed).
+    if cli.replay_seed.is_some() || cli.replay_trace.is_some() {
+        let Some(name) = &cli.scenario else {
+            eprintln!("modelcheck: replay needs --scenario");
+            std::process::exit(2);
+        };
+        let Some(sc) = scenarios::by_name(name) else {
+            eprintln!("modelcheck: unknown scenario `{name}` (try --list)");
+            std::process::exit(2);
+        };
+        let failure = if let Some(seed) = cli.replay_seed {
+            checker.replay_seed(&sc, seed)
+        } else {
+            checker.replay_trace(&sc, cli.replay_trace.as_deref().unwrap_or(&[]))
+        };
+        match failure {
+            Some(f) => {
+                println!("{f}");
+                std::process::exit(1);
+            }
+            None => {
+                println!("replay: schedule passes (bug no longer reproduces)");
+                return;
+            }
+        }
+    }
+
+    let selected: Vec<_> = match &cli.scenario {
+        Some(name) => match scenarios::by_name(name) {
+            Some(sc) => vec![sc],
+            None => {
+                eprintln!("modelcheck: unknown scenario `{name}` (try --list)");
+                std::process::exit(2);
+            }
+        },
+        None => scenarios::all(),
+    };
+
+    let mut total_exec = 0usize;
+    let mut total_distinct = 0usize;
+    let mut failed = false;
+    for sc in &selected {
+        let outcome = checker.check(sc);
+        total_exec += outcome.executions;
+        total_distinct += outcome.distinct;
+        let status = match (&outcome.failure, outcome.exhausted) {
+            (Some(_), _) => "FAIL",
+            (None, true) => "ok (exhausted)",
+            (None, false) => "ok",
+        };
+        println!(
+            "{:<28} {:>6} executions, {:>6} distinct schedules  {status}",
+            outcome.scenario, outcome.executions, outcome.distinct
+        );
+        if let Some(f) = outcome.failure {
+            println!("{f}");
+            failed = true;
+        }
+    }
+    println!(
+        "total: {total_exec} executions, {total_distinct} distinct schedules across {} scenario(s)",
+        selected.len()
+    );
+    if cli.min_distinct > 0 && total_distinct < cli.min_distinct {
+        eprintln!(
+            "modelcheck: coverage below floor ({} distinct < {} required)",
+            total_distinct, cli.min_distinct
+        );
+        std::process::exit(1);
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

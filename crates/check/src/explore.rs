@@ -1,0 +1,341 @@
+//! Schedule exploration: bounded exhaustive DFS over decision traces,
+//! topped up with seeded random sampling, plus deterministic replay of
+//! a failing schedule from either its decision trace or its seed.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::model::{self, Decision, Strategy};
+use crate::rng::{mix, SplitMix64};
+use crate::scenarios::Scenario;
+
+/// DFS strategy: replays a fixed decision prefix, then takes choice 0
+/// for every new decision. Backtracking happens between executions via
+/// [`advance`].
+struct Dfs {
+    prefix: Vec<Decision>,
+}
+
+impl Strategy for Dfs {
+    fn choose(&mut self, idx: usize, _options: usize) -> usize {
+        self.prefix.get(idx).map_or(0, |d| d.chosen)
+    }
+}
+
+/// Seeded random strategy.
+struct RandomWalk {
+    rng: SplitMix64,
+}
+
+impl Strategy for RandomWalk {
+    fn choose(&mut self, _idx: usize, options: usize) -> usize {
+        self.rng.below(options)
+    }
+}
+
+/// Fixed-trace replay strategy (choice 0 beyond the trace, like DFS).
+struct Replay {
+    trace: Vec<usize>,
+}
+
+impl Strategy for Replay {
+    fn choose(&mut self, idx: usize, _options: usize) -> usize {
+        self.trace.get(idx).copied().unwrap_or(0)
+    }
+}
+
+/// Advances a recorded decision trace to the lexicographically next
+/// unexplored one: bump the last decision that still has an untried
+/// alternative, drop everything after it. Returns `false` when the
+/// space is exhausted.
+fn advance(trace: &mut Vec<Decision>) -> bool {
+    while let Some(last) = trace.last_mut() {
+        if last.chosen + 1 < last.options {
+            last.chosen += 1;
+            return true;
+        }
+        trace.pop();
+    }
+    false
+}
+
+fn fingerprint(decisions: &[Decision]) -> u64 {
+    let mut acc = 0xD1F0_5EED_u64;
+    for d in decisions {
+        acc = mix(acc, (d.options as u64) << 32 | d.chosen as u64);
+    }
+    acc
+}
+
+/// A failing schedule, replayable two ways.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Scenario that failed.
+    pub scenario: &'static str,
+    /// What went wrong (assertion message, deadlock report, livelock).
+    pub message: String,
+    /// The recorded decision trace (chosen indices, in order).
+    pub trace: Vec<usize>,
+    /// Seed that reproduces it via random walk, if found by sampling.
+    pub seed: Option<u64>,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "scenario `{}` failed: {}", self.scenario, self.message)?;
+        let trace = self
+            .trace
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(".");
+        writeln!(
+            f,
+            "  trace: {}",
+            if trace.is_empty() { "(empty)" } else { &trace }
+        )?;
+        if let Some(seed) = self.seed {
+            writeln!(f, "  seed:  {seed:#x}")?;
+            write!(
+                f,
+                "  replay: cargo run -p medledger-check --bin modelcheck -- \
+                 --scenario {} --replay-seed {seed:#x}",
+                self.scenario
+            )
+        } else {
+            write!(
+                f,
+                "  replay: cargo run -p medledger-check --bin modelcheck -- \
+                 --scenario {} --replay-trace {}",
+                self.scenario,
+                if trace.is_empty() { "0" } else { &trace }
+            )
+        }
+    }
+}
+
+/// Exploration results for one scenario.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Executions actually run (DFS + random).
+    pub executions: usize,
+    /// Distinct decision traces observed (trace fingerprints).
+    pub distinct: usize,
+    /// Whether DFS exhausted the whole bounded space.
+    pub exhausted: bool,
+    /// First failure found, if any.
+    pub failure: Option<Failure>,
+}
+
+/// Exploration budget and seed for one scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct Checker {
+    /// Max DFS executions before switching to sampling.
+    pub max_dfs: usize,
+    /// Random-walk executions after (or instead of) DFS.
+    pub max_samples: usize,
+    /// Decision budget per execution; later decisions use deterministic
+    /// round-robin and are not branched on.
+    pub max_decisions: usize,
+    /// Base seed for the sampling phase.
+    pub seed: u64,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker {
+            max_dfs: 400,
+            max_samples: 200,
+            max_decisions: 40,
+            seed: 0x1CDE_2019,
+        }
+    }
+}
+
+impl Checker {
+    fn run_with(
+        &self,
+        sc: &Scenario,
+        strategy: Box<dyn Strategy>,
+    ) -> (Vec<Decision>, Option<String>, Box<dyn Strategy>) {
+        let run = (sc.build)();
+        let out = model::run_one(strategy, run.threads, self.max_decisions);
+        let mut failure = out.failure;
+        if failure.is_none() {
+            if let Some(finale) = run.finale {
+                let r = model::run_quiet(|| {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(finale))
+                });
+                if let Err(p) = r {
+                    failure = Some(format!("finale: {}", panic_text(p.as_ref())));
+                }
+            }
+        }
+        (out.decisions, failure, out.strategy)
+    }
+
+    /// Explores `sc`: bounded-exhaustive DFS first, then seeded random
+    /// top-up. Stops at the first failure.
+    pub fn check(&self, sc: &Scenario) -> Outcome {
+        let mut fingerprints = HashSet::new();
+        let mut executions = 0usize;
+        let mut exhausted = false;
+
+        // Phase 1: DFS over the bounded decision space.
+        let mut prefix: Vec<Decision> = Vec::new();
+        loop {
+            if executions >= self.max_dfs {
+                break;
+            }
+            let strategy = Box::new(Dfs {
+                prefix: prefix.clone(),
+            });
+            let (decisions, failure, _) = self.run_with(sc, strategy);
+            executions += 1;
+            fingerprints.insert(fingerprint(&decisions));
+            if let Some(message) = failure {
+                return Outcome {
+                    scenario: sc.name,
+                    executions,
+                    distinct: fingerprints.len(),
+                    exhausted: false,
+                    failure: Some(Failure {
+                        scenario: sc.name,
+                        message,
+                        trace: decisions.iter().map(|d| d.chosen).collect(),
+                        seed: None,
+                    }),
+                };
+            }
+            prefix = decisions;
+            if !advance(&mut prefix) {
+                exhausted = true;
+                break;
+            }
+        }
+
+        // Phase 2: seeded random sampling (skipped when DFS already
+        // covered everything).
+        if !exhausted {
+            for k in 0..self.max_samples {
+                let seed = mix(self.seed, k as u64);
+                let strategy = Box::new(RandomWalk {
+                    rng: SplitMix64::new(seed),
+                });
+                let (decisions, failure, _) = self.run_with(sc, strategy);
+                executions += 1;
+                fingerprints.insert(fingerprint(&decisions));
+                if let Some(message) = failure {
+                    return Outcome {
+                        scenario: sc.name,
+                        executions,
+                        distinct: fingerprints.len(),
+                        exhausted: false,
+                        failure: Some(Failure {
+                            scenario: sc.name,
+                            message,
+                            trace: decisions.iter().map(|d| d.chosen).collect(),
+                            seed: Some(seed),
+                        }),
+                    };
+                }
+            }
+        }
+
+        Outcome {
+            scenario: sc.name,
+            executions,
+            distinct: fingerprints.len(),
+            exhausted,
+            failure: None,
+        }
+    }
+
+    /// Replays one execution from an explicit decision trace. Returns
+    /// the failure, if the trace still produces one.
+    pub fn replay_trace(&self, sc: &Scenario, trace: &[usize]) -> Option<Failure> {
+        let strategy = Box::new(Replay {
+            trace: trace.to_vec(),
+        });
+        let (decisions, failure, _) = self.run_with(sc, strategy);
+        failure.map(|message| Failure {
+            scenario: sc.name,
+            message,
+            trace: decisions.iter().map(|d| d.chosen).collect(),
+            seed: None,
+        })
+    }
+
+    /// Replays one execution from a sampling seed (the exact seed
+    /// printed by a [`Failure`], not the base seed).
+    pub fn replay_seed(&self, sc: &Scenario, seed: u64) -> Option<Failure> {
+        let strategy = Box::new(RandomWalk {
+            rng: SplitMix64::new(seed),
+        });
+        let (decisions, failure, _) = self.run_with(sc, strategy);
+        failure.map(|message| Failure {
+            scenario: sc.name,
+            message,
+            trace: decisions.iter().map(|d| d.chosen).collect(),
+            seed: Some(seed),
+        })
+    }
+}
+
+fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_enumerates_lexicographically() {
+        let mut t = vec![
+            Decision {
+                options: 2,
+                chosen: 0,
+            },
+            Decision {
+                options: 3,
+                chosen: 2,
+            },
+        ];
+        assert!(advance(&mut t));
+        assert_eq!(
+            t,
+            vec![Decision {
+                options: 2,
+                chosen: 1
+            }],
+            "exhausted tail popped, previous decision bumped"
+        );
+        assert!(!advance(&mut vec![Decision {
+            options: 2,
+            chosen: 1
+        }]));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_traces() {
+        let a = [Decision {
+            options: 2,
+            chosen: 0,
+        }];
+        let b = [Decision {
+            options: 2,
+            chosen: 1,
+        }];
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_eq!(fingerprint(&a), fingerprint(&a));
+    }
+}

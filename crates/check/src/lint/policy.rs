@@ -1,0 +1,154 @@
+//! Hand-parsed reader for `ordering_policy.toml` — the TOML subset the
+//! policy file actually uses: `[table]` headers, a string-array
+//! `orderings` key, and a `"""..."""` multi-line `rationale` key.
+//! Anything outside that subset is an error, which doubles as a format
+//! lint on the policy file itself.
+
+use std::collections::BTreeMap;
+
+/// One policy entry.
+#[derive(Debug, Clone)]
+pub struct PolicyEntry {
+    /// Atomic-ordering variants the key permits (e.g. `"Acquire"`).
+    pub orderings: Vec<String>,
+    /// Human rationale; must be non-empty.
+    pub rationale: String,
+}
+
+/// The parsed policy table, keyed by marker name.
+pub type Policy = BTreeMap<String, PolicyEntry>;
+
+const ORDERING_NAMES: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Parses the policy file contents. Errors carry a line number.
+pub fn parse(src: &str) -> Result<Policy, String> {
+    let mut policy = Policy::new();
+    let mut current: Option<String> = None;
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((i, raw)) = lines.next() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let name = name.trim().to_string();
+            if name.is_empty() {
+                return Err(format!("line {lineno}: empty table name"));
+            }
+            if policy.contains_key(&name) {
+                return Err(format!("line {lineno}: duplicate table [{name}]"));
+            }
+            policy.insert(
+                name.clone(),
+                PolicyEntry {
+                    orderings: Vec::new(),
+                    rationale: String::new(),
+                },
+            );
+            current = Some(name);
+            continue;
+        }
+        let Some(key) = current.clone() else {
+            return Err(format!("line {lineno}: key outside any [table]"));
+        };
+        let entry = policy.get_mut(&key).expect("current table exists");
+        if let Some(rest) = line.strip_prefix("orderings") {
+            let rest = rest.trim_start();
+            let Some(rest) = rest.strip_prefix('=') else {
+                return Err(format!("line {lineno}: expected `orderings = [...]`"));
+            };
+            let rest = rest.trim();
+            let inner = rest
+                .strip_prefix('[')
+                .and_then(|r| r.strip_suffix(']'))
+                .ok_or_else(|| format!("line {lineno}: orderings must be a [..] array"))?;
+            for item in inner.split(',') {
+                let item = item.trim();
+                if item.is_empty() {
+                    continue;
+                }
+                let name = item
+                    .strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {lineno}: orderings items must be quoted"))?;
+                if !ORDERING_NAMES.contains(&name) {
+                    return Err(format!("line {lineno}: `{name}` is not an atomic ordering"));
+                }
+                entry.orderings.push(name.to_string());
+            }
+            if entry.orderings.is_empty() {
+                return Err(format!("line {lineno}: [{key}] permits no orderings"));
+            }
+        } else if let Some(rest) = line.strip_prefix("rationale") {
+            let rest = rest.trim_start();
+            let Some(rest) = rest.strip_prefix('=') else {
+                return Err(format!("line {lineno}: expected `rationale = \"...\"`"));
+            };
+            let rest = rest.trim();
+            if let Some(after) = rest.strip_prefix("\"\"\"") {
+                let mut text = String::new();
+                if let Some(end) = after.find("\"\"\"") {
+                    text.push_str(&after[..end]);
+                } else {
+                    text.push_str(after);
+                    let mut closed = false;
+                    for (_, raw) in lines.by_ref() {
+                        if let Some(end) = raw.find("\"\"\"") {
+                            text.push_str(&raw[..end]);
+                            closed = true;
+                            break;
+                        }
+                        text.push_str(raw);
+                        text.push('\n');
+                    }
+                    if !closed {
+                        return Err(format!("line {lineno}: unterminated \"\"\" string"));
+                    }
+                }
+                entry.rationale = text.trim().to_string();
+            } else if let Some(inner) = rest.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+                entry.rationale = inner.trim().to_string();
+            } else {
+                return Err(format!("line {lineno}: rationale must be a string"));
+            }
+        } else {
+            return Err(format!("line {lineno}: unknown key in [{key}]"));
+        }
+    }
+    for (name, entry) in &policy {
+        if entry.orderings.is_empty() {
+            return Err(format!("[{name}] is missing `orderings`"));
+        }
+        if entry.rationale.is_empty() {
+            return Err(format!("[{name}] is missing a non-empty `rationale`"));
+        }
+    }
+    Ok(policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_subset() {
+        let src = "# comment\n[alpha]\norderings = [\"Acquire\", \"Release\"]\nrationale = \"\"\"\nmulti\nline\n\"\"\"\n\n[beta]\norderings = [\"Relaxed\"]\nrationale = \"one line\"\n";
+        let p = parse(src).expect("parses");
+        assert_eq!(p["alpha"].orderings, vec!["Acquire", "Release"]);
+        assert!(p["alpha"].rationale.contains("multi\nline"));
+        assert_eq!(p["beta"].rationale, "one line");
+    }
+
+    #[test]
+    fn rejects_bad_ordering_names() {
+        let src = "[a]\norderings = [\"Sequential\"]\nrationale = \"x\"\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_rationale() {
+        let src = "[a]\norderings = [\"Relaxed\"]\n";
+        assert!(parse(src).is_err());
+    }
+}

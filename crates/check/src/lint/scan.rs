@@ -1,0 +1,305 @@
+//! Line-oriented Rust source scanner: a character-level stripper that
+//! classifies every line into code and comment parts (string and
+//! comment *contents* blanked from the code view, so token searches
+//! can't be fooled by `"unsafe"` in a string literal) and tracks which
+//! lines sit inside `#[cfg(test)]` regions.
+//!
+//! This is deliberately not a parser. The rules it feeds need token
+//! presence and comment adjacency, nothing more, and keeping it at the
+//! character level means zero dependencies and total transparency about
+//! what is and isn't matched.
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line with comments removed and string/char literal contents
+    /// blanked (quotes kept). Token searches run against this.
+    pub code: String,
+    /// The comment text on this line (without `//` / block markers),
+    /// empty when none.
+    pub comment: String,
+    /// Whether the line is inside a `#[cfg(test)]` item or module.
+    pub in_test: bool,
+}
+
+impl Line {
+    /// Whether the line holds no code tokens at all (blank or
+    /// comment-only).
+    pub fn is_comment_only(&self) -> bool {
+        self.code.trim().is_empty() && !self.comment.trim().is_empty()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Scans `src` into classified [`Line`]s.
+pub fn scan(src: &str) -> Vec<Line> {
+    let stripped = strip(src);
+    mark_tests(stripped)
+}
+
+/// Pass 1: split each physical line into code and comment parts,
+/// blanking string/char contents in the code part.
+fn strip(src: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut number = 1usize;
+    let mut mode = Mode::Code;
+    let mut chars = src.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '\n' {
+            lines.push(Line {
+                number,
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: false,
+            });
+            number += 1;
+            // Line comments end at the newline; everything else
+            // continues.
+            continue;
+        }
+        match mode {
+            Mode::Code => match c {
+                '/' if chars.peek() == Some(&'/') => {
+                    chars.next();
+                    // Consume the rest of the physical line as comment.
+                    while let Some(&n) = chars.peek() {
+                        if n == '\n' {
+                            break;
+                        }
+                        comment.push(n);
+                        chars.next();
+                    }
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    mode = Mode::BlockComment(1);
+                }
+                '"' => {
+                    code.push('"');
+                    mode = Mode::Str;
+                }
+                'r' if matches!(chars.peek(), Some(&'"') | Some(&'#')) => {
+                    // Possible raw string: r"..." or r#"..."#. Look
+                    // ahead for hashes then a quote.
+                    let mut hashes = 0u32;
+                    let mut look = chars.clone();
+                    while look.peek() == Some(&'#') {
+                        hashes += 1;
+                        look.next();
+                    }
+                    if look.peek() == Some(&'"') {
+                        for _ in 0..hashes {
+                            chars.next();
+                        }
+                        chars.next(); // the quote
+                        code.push('"');
+                        mode = Mode::RawStr(hashes);
+                    } else {
+                        code.push('r');
+                    }
+                }
+                '\'' => {
+                    // Lifetime or char literal? A char literal closes
+                    // with a quote shortly after; a lifetime is
+                    // followed by an identifier and no closing quote.
+                    let mut look = chars.clone();
+                    let mut is_char = false;
+                    let mut seen = 0;
+                    while let Some(n) = look.next() {
+                        seen += 1;
+                        if n == '\\' {
+                            look.next();
+                            seen += 1;
+                            continue;
+                        }
+                        if n == '\'' {
+                            is_char = true;
+                            break;
+                        }
+                        if seen > 2 {
+                            break;
+                        }
+                    }
+                    code.push('\'');
+                    if is_char {
+                        mode = Mode::Char;
+                    }
+                }
+                _ => code.push(c),
+            },
+            Mode::BlockComment(depth) => match c {
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    mode = Mode::BlockComment(depth + 1);
+                }
+                '*' if chars.peek() == Some(&'/') => {
+                    chars.next();
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                }
+                _ => comment.push(c),
+            },
+            Mode::Str => match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    code.push('"');
+                    mode = Mode::Code;
+                }
+                _ => {}
+            },
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut look = chars.clone();
+                    let mut ok = true;
+                    for _ in 0..hashes {
+                        if look.next() != Some('#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..hashes {
+                            chars.next();
+                        }
+                        code.push('"');
+                        mode = Mode::Code;
+                    }
+                }
+            }
+            Mode::Char => {
+                if c == '\\' {
+                    chars.next();
+                } else if c == '\'' {
+                    code.push('\'');
+                    mode = Mode::Code;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(Line {
+            number,
+            code,
+            comment,
+            in_test: false,
+        });
+    }
+    lines
+}
+
+/// Pass 2: mark lines covered by a `#[cfg(test)]` attribute — from the
+/// attribute through the end of the item it gates (tracked by brace
+/// depth).
+fn mark_tests(mut lines: Vec<Line>) -> Vec<Line> {
+    let mut i = 0;
+    while i < lines.len() {
+        let code = lines[i].code.trim().to_string();
+        let is_test_attr = code.starts_with("#[cfg(test)]")
+            || code.starts_with("#[cfg(all(test")
+            || code.starts_with("#[test]");
+        if !is_test_attr {
+            i += 1;
+            continue;
+        }
+        // Everything from here until the gated item closes is test
+        // code. Find the first `{`, then run the brace counter to its
+        // matching `}` (an attribute gating a brace-less item — e.g. a
+        // `use` — ends at the first `;` before any `{`).
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut j = i;
+        while j < lines.len() {
+            lines[j].in_test = true;
+            for c in lines[j].code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    ';' if !opened => {
+                        depth = 0;
+                        opened = true; // terminate below
+                    }
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let x = \"unsafe { }\"; // unsafe here\nunsafe { real() }\n";
+        let lines = scan(src);
+        assert!(!lines[0].code.contains("unsafe"), "{}", lines[0].code);
+        assert!(lines[0].comment.contains("unsafe here"));
+        assert!(lines[1].code.contains("unsafe"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let src = "a();\n/* Ordering::Relaxed\nstill comment */ b();\n";
+        let lines = scan(src);
+        assert!(!lines[1].code.contains("Ordering"));
+        assert!(lines[1].comment.contains("Ordering::Relaxed"));
+        assert!(lines[2].code.contains("b()"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn prod2() {}\n";
+        let lines = scan(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test && lines[2].in_test && lines[3].in_test && lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'q';\nlet n = '\\n';\n";
+        let lines = scan(src);
+        assert!(lines[0].code.contains("str"), "{}", lines[0].code);
+        assert!(!lines[1].code.contains('q'));
+        assert!(
+            lines[2].code.contains("''")
+                || !lines[2].code.contains('n')
+                || lines[2].code.contains("let n")
+        );
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let s = r#\"Ordering::SeqCst \"quoted\" \"#; f();\n";
+        let lines = scan(src);
+        assert!(!lines[0].code.contains("Ordering"), "{}", lines[0].code);
+        assert!(lines[0].code.contains("f()"));
+    }
+}

@@ -1,0 +1,494 @@
+//! Sequentialized model execution: runs a scenario's threads as real OS
+//! threads with exactly one running at a time, handing the "run token"
+//! between them at instrumentation points.
+//!
+//! Each model thread installs a [`SchedHook`] (see
+//! [`medledger_node::sched`]) for its lifetime. Every
+//! `sched::point(..)` in the code under test becomes a *switch point*:
+//! the scheduler picks the next runnable thread, and when more than one
+//! is runnable the pick is a recorded [`Decision`] supplied by a
+//! [`Strategy`]. Traced-atomic staleness choices flow through the same
+//! decision stream, so one decision trace fully determines one
+//! execution — the property DFS enumeration and seed replay both rest
+//! on.
+//!
+//! Blocking is modeled, not real: [`block_on`] parks the calling model
+//! thread at the scheduler (never the OS), and [`Waker`]s created by it
+//! mark the thread runnable again. If no thread is runnable while some
+//! are parked, the execution reports a deadlock with each parked
+//! thread's last instrumentation label. A global step limit converts
+//! livelocks into failures as well.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use medledger_node::sched::{self, SchedHook};
+
+/// One recorded nondeterministic decision: which of `options`
+/// alternatives ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// How many alternatives existed at this point.
+    pub options: usize,
+    /// The alternative taken.
+    pub chosen: usize,
+}
+
+/// Supplies decisions during one execution. `idx` counts decisions from
+/// 0; `options` is always ≥ 2. Implementations must be deterministic
+/// functions of their own state for replay to work.
+pub trait Strategy: Send {
+    /// Picks one of `options` alternatives for decision `idx`.
+    fn choose(&mut self, idx: usize, options: usize) -> usize;
+}
+
+/// Panic payload used to unwind model threads when an execution aborts
+/// (failure elsewhere, or forced stop). Never reported as a failure
+/// itself.
+struct ModelAbort;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    Runnable,
+    Running,
+    Blocked,
+    Done,
+}
+
+struct ExecState {
+    threads: Vec<TState>,
+    /// Wake arrived while the thread was not blocked; consume it at the
+    /// thread's next park instead of losing it.
+    pending_wake: Vec<bool>,
+    /// Last instrumentation label each thread passed (deadlock
+    /// diagnostics).
+    last_label: Vec<&'static str>,
+    strategy: Option<Box<dyn Strategy>>,
+    decisions: Vec<Decision>,
+    /// Decisions beyond this budget are not recorded (and DFS will not
+    /// branch on them); they fall back to deterministic round-robin so
+    /// every thread keeps progressing.
+    decision_cap: usize,
+    overflow: usize,
+    steps: usize,
+    step_limit: usize,
+    failure: Option<String>,
+    abort: bool,
+    finished: usize,
+}
+
+impl ExecState {
+    fn runnable(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == TState::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn decide(&mut self, options: usize) -> usize {
+        if options <= 1 {
+            return 0;
+        }
+        let idx = self.decisions.len();
+        if idx >= self.decision_cap {
+            let turn = self.overflow;
+            self.overflow += 1;
+            return turn % options;
+        }
+        let chosen = self
+            .strategy
+            .as_mut()
+            .expect("strategy present during execution")
+            .choose(idx, options)
+            .min(options - 1);
+        self.decisions.push(Decision { options, chosen });
+        chosen
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(msg);
+        }
+        self.abort = true;
+    }
+}
+
+pub(crate) struct Shared {
+    mx: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+impl Shared {
+    /// Hands the run token back to the scheduler. With `park` the
+    /// calling thread blocks until woken (unless a wake is already
+    /// pending); otherwise it stays runnable and may be re-picked
+    /// immediately.
+    fn switch(&self, me: usize, label: &'static str, park: bool) {
+        let mut st = self.mx.lock().expect("model state lock");
+        st.last_label[me] = label;
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        st.steps += 1;
+        if st.steps > st.step_limit {
+            let limit = st.step_limit;
+            st.fail(format!(
+                "livelock: exceeded {limit} scheduler steps without completing"
+            ));
+            self.cv.notify_all();
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        if park && !st.pending_wake[me] {
+            st.threads[me] = TState::Blocked;
+        } else {
+            st.pending_wake[me] = false;
+            st.threads[me] = TState::Runnable;
+        }
+        let runnable = st.runnable();
+        if runnable.is_empty() {
+            // `me` just parked and every other thread is parked or done.
+            // All wake sources are model threads, so nothing can ever
+            // make progress again: deadlock.
+            let parked: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s == TState::Blocked)
+                .map(|(i, _)| format!("t{i}@{}", st.last_label[i]))
+                .collect();
+            st.fail(format!(
+                "deadlock: no runnable thread; parked: [{}]",
+                parked.join(", ")
+            ));
+            self.cv.notify_all();
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        let next = runnable[st.decide(runnable.len())];
+        st.threads[next] = TState::Running;
+        if next == me {
+            return;
+        }
+        self.cv.notify_all();
+        while st.threads[me] != TState::Running {
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            st = self.cv.wait(st).expect("model state wait");
+        }
+    }
+
+    /// Marks a wake for thread `id` (waker fired).
+    fn wake(&self, id: usize) {
+        let mut st = self.mx.lock().expect("model state lock");
+        match st.threads[id] {
+            TState::Blocked => st.threads[id] = TState::Runnable,
+            TState::Done => {}
+            _ => st.pending_wake[id] = true,
+        }
+    }
+
+    /// Retires thread `me` with its body's result.
+    fn finish(&self, me: usize, result: Result<(), Box<dyn Any + Send>>) {
+        let mut st = self.mx.lock().expect("model state lock");
+        st.threads[me] = TState::Done;
+        st.finished += 1;
+        if let Err(p) = result {
+            if p.downcast_ref::<ModelAbort>().is_none() {
+                st.fail(panic_message(p.as_ref()));
+            }
+        }
+        if !st.abort {
+            let runnable = st.runnable();
+            if !runnable.is_empty() {
+                let next = runnable[st.decide(runnable.len())];
+                st.threads[next] = TState::Running;
+            } else if st.threads.contains(&TState::Blocked) {
+                let parked: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| **s == TState::Blocked)
+                    .map(|(i, _)| format!("t{i}@{}", st.last_label[i]))
+                    .collect();
+                st.fail(format!(
+                    "deadlock: last runnable thread finished; parked: [{}]",
+                    parked.join(", ")
+                ));
+            }
+        }
+        self.cv.notify_all();
+    }
+}
+
+struct ModelHook {
+    shared: Arc<Shared>,
+    id: usize,
+}
+
+impl SchedHook for ModelHook {
+    fn point(&self, label: &'static str) {
+        self.shared.switch(self.id, label, false);
+    }
+
+    fn choose(&self, label: &'static str, options: usize) -> usize {
+        let mut st = self.shared.mx.lock().expect("model state lock");
+        st.last_label[self.id] = label;
+        if st.abort {
+            // Don't unwind from here: the caller may hold primitive
+            // locks. Return a fixed choice; the thread aborts cleanly
+            // at its next switch point.
+            return 0;
+        }
+        st.decide(options)
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Shared>, usize)>> = const { RefCell::new(None) };
+    static QUIET: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Waker handed to futures driven by [`block_on`]: waking marks the
+/// owning model thread runnable at the scheduler.
+struct MWaker {
+    shared: Arc<Shared>,
+    id: usize,
+}
+
+impl Wake for MWaker {
+    fn wake(self: Arc<Self>) {
+        self.shared.wake(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.shared.wake(self.id);
+    }
+}
+
+/// Drives `fut` to completion on the calling **model** thread, parking
+/// at the model scheduler between polls. Panics when called outside a
+/// scenario thread.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let (shared, id) = CURRENT
+        .with(|c| c.borrow().clone())
+        .expect("model::block_on called outside a model thread");
+    let waker = Waker::from(Arc::new(MWaker {
+        shared: Arc::clone(&shared),
+        id,
+    }));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = std::pin::pin!(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => shared.switch(id, "block_on.park", true),
+        }
+    }
+}
+
+/// Installs (once, chained) a panic hook that silences panics from
+/// model threads and quiet sections: expected-failure executions would
+/// otherwise spam stderr thousands of times per exploration.
+fn quiet_model_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let named_model = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("model-"));
+            if named_model || QUIET.with(|q| q.get()) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Runs `f` with the quiet-panic flag set on this thread (used for
+/// finale assertions, which run outside model threads).
+pub(crate) fn run_quiet<R>(f: impl FnOnce() -> R) -> R {
+    quiet_model_panics();
+    QUIET.with(|q| q.set(true));
+    let r = f();
+    QUIET.with(|q| q.set(false));
+    r
+}
+
+fn panic_message(p: &(dyn Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// The result of one execution.
+pub(crate) struct RunOutcome {
+    pub decisions: Vec<Decision>,
+    pub failure: Option<String>,
+    pub strategy: Box<dyn Strategy>,
+}
+
+/// Executes `bodies` once under `strategy`, returning the recorded
+/// decision trace (the first `decision_cap` decisions), any failure,
+/// and the strategy (so DFS can be advanced by the caller).
+pub(crate) fn run_one(
+    strategy: Box<dyn Strategy>,
+    bodies: Vec<Box<dyn FnOnce() + Send>>,
+    decision_cap: usize,
+) -> RunOutcome {
+    quiet_model_panics();
+    let n = bodies.len();
+    assert!(n > 0, "scenario with no threads");
+    let shared = Arc::new(Shared {
+        mx: Mutex::new(ExecState {
+            threads: vec![TState::Runnable; n],
+            pending_wake: vec![false; n],
+            last_label: vec!["start"; n],
+            strategy: Some(strategy),
+            decisions: Vec::new(),
+            decision_cap,
+            overflow: 0,
+            steps: 0,
+            step_limit: decision_cap.saturating_mul(8).saturating_add(10_000),
+            failure: None,
+            abort: false,
+            finished: 0,
+        }),
+        cv: Condvar::new(),
+    });
+    let handles: Vec<_> = bodies
+        .into_iter()
+        .enumerate()
+        .map(|(i, body)| {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("model-{i}"))
+                .spawn(move || {
+                    // Wait for the scheduler to hand this thread the
+                    // token for the first time.
+                    let started = {
+                        let mut st = sh.mx.lock().expect("model state lock");
+                        loop {
+                            if st.threads[i] == TState::Running {
+                                break true;
+                            }
+                            if st.abort {
+                                break false;
+                            }
+                            st = sh.cv.wait(st).expect("model state wait");
+                        }
+                    };
+                    if started {
+                        sched::install(Arc::new(ModelHook {
+                            shared: Arc::clone(&sh),
+                            id: i,
+                        }));
+                        CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&sh), i)));
+                        let r = catch_unwind(AssertUnwindSafe(body));
+                        CURRENT.with(|c| *c.borrow_mut() = None);
+                        sched::uninstall();
+                        sh.finish(i, r);
+                    } else {
+                        sh.finish(i, Ok(()));
+                    }
+                })
+                .expect("spawn model thread")
+        })
+        .collect();
+    // Kick off: the first runner is itself a recorded decision.
+    {
+        let mut st = shared.mx.lock().expect("model state lock");
+        let runnable = st.runnable();
+        let first = runnable[st.decide(runnable.len())];
+        st.threads[first] = TState::Running;
+        shared.cv.notify_all();
+    }
+    {
+        let mut st = shared.mx.lock().expect("model state lock");
+        while st.finished < n {
+            st = shared.cv.wait(st).expect("model state wait");
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let mut st = shared.mx.lock().expect("model state lock");
+    RunOutcome {
+        decisions: std::mem::take(&mut st.decisions),
+        failure: st.failure.take(),
+        strategy: st.strategy.take().expect("strategy returned"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Zeros;
+    impl Strategy for Zeros {
+        fn choose(&mut self, _idx: usize, _options: usize) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn threads_all_run_and_finish() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..3)
+            .map(|_| {
+                let h = Arc::clone(&hits);
+                Box::new(move || {
+                    sched::point("test.step");
+                    h.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        let out = run_one(Box::new(Zeros), bodies, 64);
+        assert!(out.failure.is_none(), "{:?}", out.failure);
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+        assert!(!out.decisions.is_empty());
+    }
+
+    #[test]
+    fn panics_become_failures() {
+        let bodies: Vec<Box<dyn FnOnce() + Send>> = vec![
+            Box::new(|| panic!("scenario invariant violated")),
+            Box::new(|| sched::point("test.other")),
+        ];
+        let out = run_one(Box::new(Zeros), bodies, 64);
+        let msg = out.failure.expect("failure recorded");
+        assert!(msg.contains("scenario invariant violated"), "{msg}");
+    }
+
+    #[test]
+    fn lost_wakeup_is_reported_as_deadlock() {
+        // A future that parks without ever arranging a wake.
+        struct Never;
+        impl Future for Never {
+            type Output = ();
+            fn poll(self: std::pin::Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+                Poll::Pending
+            }
+        }
+        let bodies: Vec<Box<dyn FnOnce() + Send>> = vec![Box::new(|| block_on(Never))];
+        let out = run_one(Box::new(Zeros), bodies, 64);
+        let msg = out.failure.expect("deadlock detected");
+        assert!(msg.contains("deadlock"), "{msg}");
+    }
+}

@@ -1,0 +1,44 @@
+//! The ordering-mutant gate. CI runs this test twice:
+//!
+//! - default features: the runtime's quiescence load is `Acquire` and
+//!   the `rt-quiescence` scenario must hold;
+//! - `--features order-mutant`: the load is downgraded to `Relaxed`
+//!   (the seeded wrong-ordering build) and the checker MUST catch it —
+//!   proving the staleness model actually has teeth, not just green
+//!   lights.
+
+use medledger_check::explore::Checker;
+use medledger_check::scenarios;
+
+#[test]
+fn quiescence_ordering_mutant_is_detected() {
+    let sc = scenarios::by_name("rt-quiescence").expect("known scenario");
+    let checker = Checker {
+        max_dfs: 3000,
+        max_samples: 1000,
+        max_decisions: 40,
+        seed: 0x0DD_0DD,
+    };
+    let outcome = checker.check(&sc);
+    if cfg!(feature = "order-mutant") {
+        let failure = outcome
+            .failure
+            .expect("the Relaxed quiescence load must be caught by the checker");
+        assert!(
+            failure.message.contains("mid-poll"),
+            "expected the stale-zero quiescence violation, got: {}",
+            failure.message
+        );
+        // The detection replays deterministically from its trace.
+        let again = checker
+            .replay_trace(&sc, &failure.trace)
+            .expect("mutant failure must replay");
+        assert_eq!(again.message, failure.message);
+    } else {
+        assert!(
+            outcome.failure.is_none(),
+            "unmutated build must pass rt-quiescence:\n{}",
+            outcome.failure.expect("checked some")
+        );
+    }
+}

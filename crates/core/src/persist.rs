@@ -408,7 +408,11 @@ fn storage_err(e: impl std::fmt::Display) -> CoreError {
 fn build_snapshot(sys: &System, id: u64) -> Result<Vec<u8>> {
     let mut peers = Vec::with_capacity(sys.names.len());
     for (name, account) in &sys.names {
-        let peer = sys.peers.get(account).expect("names map to peers");
+        let peer = sys.peers.get(account).ok_or_else(|| {
+            CoreError::Storage(format!(
+                "peer record missing for `{name}` while snapshotting"
+            ))
+        })?;
         let (owner, tables, versions, next_seq) = peer.db.export_parts();
         let bindings_json = serde_json::to_vec(peer.bindings_map()).map_err(storage_err)?;
         peers.push(PeerSnapshot {
@@ -450,7 +454,9 @@ fn flush_inner(sys: &mut System, p: &mut Persistence, force_snapshot: bool) -> R
     let mut new_marks: BTreeMap<String, u64> = BTreeMap::new();
     let mut new_seqs: BTreeMap<String, u64> = BTreeMap::new();
     for (name, account) in &sys.names {
-        let peer = sys.peers.get(account).expect("names map to peers");
+        let peer = sys.peers.get(account).ok_or_else(|| {
+            CoreError::Storage(format!("peer record missing for `{name}` during flush"))
+        })?;
         let stream = peer_stream(name);
         let from_seq = p
             .peer_seqs
@@ -482,7 +488,9 @@ fn flush_inner(sys: &mut System, p: &mut Persistence, force_snapshot: bool) -> R
     // stream holds blocks 1.. (genesis is reproduced from configuration).
     let height = sys.chain.height();
     for h in (p.chain_mark + 1)..=height {
-        let block = sys.chain.block_at(h).expect("height within chain");
+        let block = sys.chain.block_at(h).ok_or_else(|| {
+            CoreError::Storage(format!("chain height is {height} but block {h} is missing"))
+        })?;
         if let Err(e) = p.backend.append("chain", &block.encoded()) {
             p.poisoned = true;
             return Err(storage_err(e));
@@ -524,12 +532,15 @@ fn flush_inner(sys: &mut System, p: &mut Persistence, force_snapshot: bool) -> R
         admin_used: sys.admin.used(),
         contract: sys.contract,
         stats: sys.stats,
-        peers: sys
-            .names
-            .iter()
-            .map(|(name, account)| {
-                let peer = sys.peers.get(account).expect("names map to peers");
-                PeerMeta {
+        peers: {
+            let mut metas = Vec::with_capacity(sys.names.len());
+            for (name, account) in &sys.names {
+                let peer = sys.peers.get(account).ok_or_else(|| {
+                    CoreError::Storage(format!(
+                        "peer record missing for `{name}` while writing sys meta"
+                    ))
+                })?;
+                metas.push(PeerMeta {
                     name: name.clone(),
                     stream_mark: new_marks[name],
                     snapshot_mark: snapshot_marks.get(name).copied().unwrap_or(0),
@@ -542,9 +553,10 @@ fn flush_inner(sys: &mut System, p: &mut Persistence, force_snapshot: bool) -> R
                         .map(|(k, v)| (k.clone(), *v))
                         .collect(),
                     baseline_inverses: peer.baseline_inverses(),
-                }
-            })
-            .collect(),
+                });
+            }
+            metas
+        },
     };
     if let Err(e) = p.backend.append("sys", &meta.encoded()) {
         p.poisoned = true;
@@ -569,7 +581,9 @@ fn flush_inner(sys: &mut System, p: &mut Persistence, force_snapshot: bool) -> R
     p.snapshot_marks = snapshot_marks;
     for (name, seq) in &new_seqs {
         let account = sys.names[name];
-        let peer = sys.peers.get_mut(&account).expect("names map to peers");
+        let peer = sys.peers.get_mut(&account).ok_or_else(|| {
+            CoreError::Storage(format!("peer record missing for `{name}` while compacting"))
+        })?;
         peer.db.truncate_log(*seq);
         p.peer_seqs.insert(name.clone(), *seq);
         if take_snapshot {
@@ -696,7 +710,12 @@ impl System {
         let snap_bytes = backend
             .read_snapshot(meta.snapshot_id)
             .map_err(storage_err)?
-            .expect("checked readable above");
+            .ok_or_else(|| {
+                CoreError::Storage(format!(
+                    "snapshot {} disappeared between probe and read",
+                    meta.snapshot_id
+                ))
+            })?;
         let snapshot = Snapshot::decode(&snap_bytes)
             .map_err(|e| CoreError::Storage(format!("corrupt snapshot: {e}")))?;
         if snapshot.id != meta.snapshot_id {
@@ -785,11 +804,12 @@ impl System {
                 .map_err(|e| CoreError::Storage(format!("corrupt block record: {e}")))?;
             let height = block.header.height;
             if let Some(wave) = block.header.wave {
-                if last_wave.is_some_and(|prev| wave < prev) {
-                    return Err(CoreError::Storage(format!(
-                        "block {height} attributed to wave {wave} after a block of wave {}",
-                        last_wave.expect("checked some")
-                    )));
+                if let Some(prev) = last_wave {
+                    if wave < prev {
+                        return Err(CoreError::Storage(format!(
+                            "block {height} attributed to wave {wave} after a block of wave {prev}"
+                        )));
+                    }
                 }
                 last_wave = Some(wave);
             }

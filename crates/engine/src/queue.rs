@@ -277,8 +277,11 @@ fn rollback(
     inverses: &[(String, TableDelta)],
     pending: PendingSnapshot,
 ) {
-    let node = system.peer_mut(peer).expect("peer exists");
-    node.rollback_writes(inverses, pending);
+    // A rollback for a peer that no longer exists has nothing to undo;
+    // dropping it beats panicking mid-unwind.
+    if let Ok(node) = system.peer_mut(peer) {
+        node.rollback_writes(inverses, pending);
+    }
 }
 
 /// A batch of writes being staged for the queue (the engine's counterpart

@@ -686,7 +686,13 @@ impl LedgerService {
                 continue;
             }
             let system = crate::raw_system_mut(&mut self.ledger);
-            let node = system.peer_mut(group.lead_peer).expect("lead staged");
+            // The lead staged earlier in this wave, so the lookup only
+            // misses if the deployment changed under us — requeue the
+            // co-submission for the next wave rather than crash.
+            let Ok(node) = system.peer_mut(group.lead_peer) else {
+                requeue_subs.push(sub);
+                continue;
+            };
             let snapshot = node.pending_snapshot();
             match stage_writes(node, table_id, &sub.writes, &snapshot) {
                 Ok((invs, attrs, composed)) => {
@@ -710,7 +716,15 @@ impl LedgerService {
                     // Off-chain permission pre-screen on the co-author's
                     // OWN attributes: a denied submitter must not leak
                     // its delta into the composed (committed!) data.
-                    let meta = meta.as_ref().expect("meta read when co-subs exist");
+                    // Meta is read whenever co-submitters exist; if it
+                    // is somehow absent, unwind this submission's
+                    // staging and retry it as next wave's lead instead
+                    // of crashing the pump.
+                    let Some(meta) = meta.as_ref() else {
+                        node.rollback_writes(&invs, snapshot);
+                        requeue_subs.push(sub);
+                        continue;
+                    };
                     match meta.may_write_all(&sub.peer.account(), &attrs_vec) {
                         Ok(()) => {
                             group.inverses.extend(invs);
@@ -917,8 +931,11 @@ fn rollback(
     inverses: &[(String, TableDelta)],
     pending: PendingSnapshot,
 ) {
-    let node = system.peer_mut(peer).expect("peer exists");
-    node.rollback_writes(inverses, pending);
+    // A rollback for a peer that no longer exists has nothing to undo;
+    // dropping it beats panicking mid-unwind.
+    if let Ok(node) = system.peer_mut(peer) {
+        node.rollback_writes(inverses, pending);
+    }
 }
 
 /// The changed-attribute set a peer's *pre-existing* pending delta of

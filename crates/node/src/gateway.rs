@@ -733,6 +733,7 @@ impl Deployment {
     /// framed duplex conn; a reader task and a writer task serve the
     /// other end, so thousands of sessions can be open at once.
     pub fn connect(&self) -> GatewayClient {
+        // ordering: session-id
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
         let (client_conn, server_conn) = duplex_metered(self.pipe_capacity, &self.meter);
         let (mut srv_tx, mut srv_rx) = server_conn.split();

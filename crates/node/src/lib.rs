@@ -113,9 +113,12 @@
 //! assert_eq!(service.ledger().peers().len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod gateway;
 pub mod peer_loop;
 pub mod rt;
+pub mod sched;
 pub mod sync;
 pub mod wire;
 

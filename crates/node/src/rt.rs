@@ -14,14 +14,22 @@
 //! no task priorities, no work stealing: a single injector queue behind
 //! a mutex + condvar is plenty for thousands of mostly-parked session
 //! tasks.
+//!
+//! The task state machine and quiescence accounting are traced through
+//! [`crate::sched`] so the `medledger-check` model checker can explore
+//! their interleavings; every `Ordering::` choice here is justified in
+//! `crates/check/ordering_policy.toml` under the key named by the
+//! `// ordering:` marker on the line.
 
 use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::task::{Context, Poll, Wake, Waker};
 use std::time::{Duration, Instant};
+
+use crate::sched::{self, TracedAtomicBool, TracedAtomicU64, TracedAtomicU8};
 
 type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
 
@@ -37,7 +45,7 @@ const RESCHEDULED: u8 = 3;
 const COMPLETE: u8 = 4;
 
 struct Task {
-    state: AtomicU8,
+    state: TracedAtomicU8,
     /// The future, present until completion. The mutex is never
     /// contended for polling (the state machine admits one runner), it
     /// only guards the drop-on-shutdown path.
@@ -46,20 +54,32 @@ struct Task {
 }
 
 impl Task {
+    fn new(fut: BoxFuture, core: &Arc<Core>) -> Arc<Self> {
+        Arc::new(Task {
+            state: TracedAtomicU8::new("rt.task.state", SCHEDULED),
+            future: Mutex::new(Some(fut)),
+            core: Arc::downgrade(core),
+        })
+    }
+
     /// Polls the task once; called by a worker after dequeueing.
     fn run(self: Arc<Self>) {
-        self.state.store(RUNNING, Ordering::SeqCst);
+        sched::point("rt.task.run");
+        // ordering: task-state
+        self.state.store(RUNNING, Ordering::Release);
         let waker = Waker::from(Arc::clone(&self));
         let mut cx = Context::from_waker(&waker);
         let mut slot = self.future.lock().expect("task future lock");
         let Some(fut) = slot.as_mut() else {
-            self.state.store(COMPLETE, Ordering::SeqCst);
+            // ordering: task-state
+            self.state.store(COMPLETE, Ordering::Release);
             return;
         };
         match fut.as_mut().poll(&mut cx) {
             Poll::Ready(()) => {
                 *slot = None;
-                self.state.store(COMPLETE, Ordering::SeqCst);
+                // ordering: task-state
+                self.state.store(COMPLETE, Ordering::Release);
             }
             Poll::Pending => {
                 drop(slot);
@@ -67,11 +87,13 @@ impl Task {
                 // on the queue; otherwise it parks as IDLE.
                 if self
                     .state
-                    .compare_exchange(RUNNING, IDLE, Ordering::SeqCst, Ordering::SeqCst)
+                    // ordering: task-state
+                    .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
                     .is_err()
                 {
                     // Must have been RESCHEDULED.
-                    self.state.store(SCHEDULED, Ordering::SeqCst);
+                    // ordering: task-state
+                    self.state.store(SCHEDULED, Ordering::Release);
                     if let Some(core) = self.core.upgrade() {
                         core.enqueue(Arc::clone(&self));
                     }
@@ -83,12 +105,15 @@ impl Task {
 
 impl Wake for Task {
     fn wake(self: Arc<Self>) {
+        sched::point("rt.task.wake");
         loop {
-            match self.state.load(Ordering::SeqCst) {
+            // ordering: task-state
+            match self.state.load(Ordering::Acquire) {
                 IDLE => {
                     if self
                         .state
-                        .compare_exchange(IDLE, SCHEDULED, Ordering::SeqCst, Ordering::SeqCst)
+                        // ordering: task-state
+                        .compare_exchange(IDLE, SCHEDULED, Ordering::AcqRel, Ordering::Acquire)
                         .is_ok()
                     {
                         if let Some(core) = self.core.upgrade() {
@@ -100,7 +125,14 @@ impl Wake for Task {
                 RUNNING => {
                     if self
                         .state
-                        .compare_exchange(RUNNING, RESCHEDULED, Ordering::SeqCst, Ordering::SeqCst)
+                        .compare_exchange(
+                            RUNNING,
+                            RESCHEDULED,
+                            // ordering: task-state
+                            Ordering::AcqRel,
+                            // ordering: task-state
+                            Ordering::Acquire,
+                        )
                         .is_ok()
                     {
                         return;
@@ -147,55 +179,119 @@ impl Ord for TimerRef {
 struct Core {
     queue: Mutex<VecDeque<Arc<Task>>>,
     available: Condvar,
-    shutdown: AtomicBool,
+    shutdown: TracedAtomicBool,
     timers: Mutex<BinaryHeap<TimerRef>>,
     timer_wake: Condvar,
     timer_seq: AtomicU64,
     /// Tasks currently being polled by a worker; together with an empty
     /// run queue this defines quiescence (see [`Runtime::drain`]).
-    active: AtomicU64,
+    active: TracedAtomicU64,
 }
 
 impl Core {
+    fn new() -> Arc<Self> {
+        Arc::new(Core {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: TracedAtomicBool::new("rt.shutdown", false),
+            timers: Mutex::new(BinaryHeap::new()),
+            timer_wake: Condvar::new(),
+            timer_seq: AtomicU64::new(0),
+            active: TracedAtomicU64::new("rt.active", 0),
+        })
+    }
+
     fn enqueue(&self, task: Arc<Task>) {
+        sched::point("rt.enqueue");
         self.queue.lock().expect("run queue lock").push_back(task);
         self.available.notify_one();
     }
 
+    /// Pops one queued task without blocking, counting it active while
+    /// the queue lock is still held so [`Core::is_quiescent`] never
+    /// observes "queue empty, nothing active" between the pop and the
+    /// run. Returns `None` when shut down or empty. Shared by the
+    /// worker loop and the model-checker [`probe`], so both drive the
+    /// exact accounting the checker verifies.
+    fn try_take(&self) -> Option<Arc<Task>> {
+        sched::point("rt.pop");
+        let mut q = self.queue.lock().expect("run queue lock");
+        // ordering: run-queue-shutdown
+        if self.shutdown.load(Ordering::Acquire) {
+            return None;
+        }
+        let t = q.pop_front()?;
+        // ordering: active-tasks
+        self.active.fetch_add(1, Ordering::AcqRel);
+        Some(t)
+    }
+
+    /// Polls a taken task and retires its active count.
+    fn finish_run(&self, task: Arc<Task>) {
+        task.run();
+        // ordering: active-tasks
+        self.active.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// True when no task is queued and none is mid-poll. Tasks parked
+    /// on wakers don't count; they hold no scheduled work.
+    fn is_quiescent(&self) -> bool {
+        let queued = self.queue.lock().expect("run queue lock").len();
+        // The gap between the two reads is where a racy implementation
+        // would let `drain` return while a task is still mid-poll.
+        sched::point("rt.quiescent.gap");
+        if queued != 0 {
+            return false;
+        }
+        #[cfg(not(feature = "order-mutant"))]
+        // ordering: active-tasks
+        let active = self.active.load(Ordering::Acquire);
+        #[cfg(feature = "order-mutant")]
+        // ordering: active-tasks-mutant
+        let active = self.active.load(Ordering::Relaxed);
+        active == 0
+    }
+
     fn worker_loop(&self) {
         loop {
-            let task = {
-                let mut q = self.queue.lock().expect("run queue lock");
-                loop {
-                    if self.shutdown.load(Ordering::SeqCst) {
-                        return;
-                    }
-                    if let Some(t) = q.pop_front() {
-                        // Count while still holding the queue lock so
-                        // `drain` never observes "queue empty, nothing
-                        // active" between the pop and the run.
-                        self.active.fetch_add(1, Ordering::SeqCst);
-                        break t;
-                    }
-                    q = self.available.wait(q).expect("run queue wait");
-                }
-            };
-            task.run();
-            self.active.fetch_sub(1, Ordering::SeqCst);
+            // Fast path: grab work (same code the model-checker probe
+            // drives).
+            if let Some(task) = self.try_take() {
+                self.finish_run(task);
+                continue;
+            }
+            // Slow path: park on the condvar. `try_take` returning
+            // `None` means "empty or shut down at that instant", so
+            // re-check both under the lock before waiting — `enqueue`
+            // and `shutdown` both touch the queue lock, which makes
+            // this check/wait race-free.
+            let q = self.queue.lock().expect("run queue lock");
+            // ordering: run-queue-shutdown
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if !q.is_empty() {
+                continue;
+            }
+            let _woken = self.available.wait(q).expect("run queue wait");
         }
     }
 
     fn timer_loop(&self) {
         let mut heap = self.timers.lock().expect("timer lock");
         loop {
-            if self.shutdown.load(Ordering::SeqCst) {
+            // ordering: run-queue-shutdown
+            if self.shutdown.load(Ordering::Acquire) {
                 return;
             }
             let now = Instant::now();
             // Fire everything due.
             while heap.peek().is_some_and(|t| t.0.deadline <= now) {
-                let entry = heap.pop().expect("peeked").0;
-                entry.fired.store(true, Ordering::SeqCst);
+                let Some(TimerRef(entry)) = heap.pop() else {
+                    break;
+                };
+                // ordering: timer-fired
+                entry.fired.store(true, Ordering::Release);
                 let waker = entry.waker.lock().expect("timer waker lock").take();
                 if let Some(w) = waker {
                     w.wake();
@@ -232,15 +328,7 @@ impl Runtime {
     /// deterministic single-lane schedule.
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
-        let core = Arc::new(Core {
-            queue: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            timers: Mutex::new(BinaryHeap::new()),
-            timer_wake: Condvar::new(),
-            timer_seq: AtomicU64::new(0),
-            active: AtomicU64::new(0),
-        });
+        let core = Core::new();
         let mut threads = Vec::with_capacity(workers + 1);
         for i in 0..workers {
             let c = Arc::clone(&core);
@@ -248,6 +336,8 @@ impl Runtime {
                 std::thread::Builder::new()
                     .name(format!("medledger-rt-{i}"))
                     .spawn(move || c.worker_loop())
+                    // lint: allow(unwrap) — a runtime that cannot start its
+                    // worker pool cannot run at all; construction aborts.
                     .expect("spawn worker"),
             );
         }
@@ -256,6 +346,7 @@ impl Runtime {
             std::thread::Builder::new()
                 .name("medledger-rt-timer".into())
                 .spawn(move || c.timer_loop())
+                // lint: allow(unwrap) — same as worker spawn above.
                 .expect("spawn timer thread"),
         );
         Runtime {
@@ -301,7 +392,8 @@ impl Runtime {
         }
         impl Wake for Unparker {
             fn wake(self: Arc<Self>) {
-                self.notified.store(true, Ordering::SeqCst);
+                // ordering: block-on-park
+                self.notified.store(true, Ordering::Release);
                 self.thread.unpark();
             }
         }
@@ -316,7 +408,8 @@ impl Runtime {
             match fut.as_mut().poll(&mut cx) {
                 Poll::Ready(v) => return v,
                 Poll::Pending => {
-                    while !unparker.notified.swap(false, Ordering::SeqCst) {
+                    // ordering: block-on-park
+                    while !unparker.notified.swap(false, Ordering::AcqRel) {
                         std::thread::park();
                     }
                 }
@@ -333,8 +426,7 @@ impl Runtime {
     pub fn drain(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
-            let queued = self.core.queue.lock().expect("run queue lock").len();
-            if queued == 0 && self.core.active.load(Ordering::SeqCst) == 0 {
+            if self.core.is_quiescent() {
                 return true;
             }
             if Instant::now() >= deadline {
@@ -347,8 +439,23 @@ impl Runtime {
     /// Stops workers and the timer thread, dropping queued tasks. Also
     /// runs on [`Drop`].
     pub fn shutdown(&self) {
-        self.core.shutdown.store(true, Ordering::SeqCst);
+        // Store the flag while holding the queue lock: a worker either
+        // checks the flag before we take the lock (then its condvar
+        // wait is entered before our notify and is woken by it), or
+        // after (and sees `true`). Storing without the lock loses the
+        // wakeup when the store lands between a worker's check and its
+        // wait — a shutdown-time hang the model checker's
+        // `rt-shutdown` scenario guards against.
+        {
+            let _q = self.core.queue.lock().expect("run queue lock");
+            // ordering: run-queue-shutdown
+            self.core.shutdown.store(true, Ordering::Release);
+        }
         self.core.available.notify_all();
+        // Same fence for the timer thread: its loop checks the flag
+        // with the timer lock held, so an empty critical section orders
+        // our store before its next check-or-wait.
+        drop(self.core.timers.lock().expect("timer lock"));
         self.core.timer_wake.notify_all();
         let mut threads = self.threads.lock().expect("thread registry lock");
         for t in threads.drain(..) {
@@ -379,13 +486,12 @@ impl Handle {
         F::Output: Send + 'static,
     {
         let (tx, rx) = crate::sync::oneshot();
-        let task = Arc::new(Task {
-            state: AtomicU8::new(SCHEDULED),
-            future: Mutex::new(Some(Box::pin(async move {
+        let task = Task::new(
+            Box::pin(async move {
                 let _ = tx.send(fut.await);
-            }))),
-            core: Arc::downgrade(&self.core),
-        });
+            }),
+            &self.core,
+        );
         self.core.enqueue(task);
         JoinHandle { rx }
     }
@@ -444,7 +550,8 @@ impl Future for Sleep {
             return Poll::Ready(());
         }
         if let Some(entry) = &self.entry {
-            if entry.fired.load(Ordering::SeqCst) {
+            // ordering: timer-fired
+            if entry.fired.load(Ordering::Acquire) {
                 return Poll::Ready(());
             }
             // Keep the registered waker current across task migrations.
@@ -457,7 +564,8 @@ impl Future for Sleep {
         };
         let entry = Arc::new(TimerEntry {
             deadline: self.deadline,
-            seq: core.timer_seq.fetch_add(1, Ordering::SeqCst),
+            // ordering: timer-seq
+            seq: core.timer_seq.fetch_add(1, Ordering::Relaxed),
             waker: Mutex::new(Some(cx.waker().clone())),
             fired: AtomicBool::new(false),
         });
@@ -492,6 +600,100 @@ impl Future for YieldNow {
             self.yielded = true;
             cx.waker().wake_by_ref();
             Poll::Pending
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod probe {
+    //! Model-checker window onto the executor internals.
+    //!
+    //! Exposes the worker fast path ([`ExecutorProbe::poll_task`]), the
+    //! quiescence predicate, and shutdown flagging as directly drivable
+    //! steps, sharing the executor `Core`'s real code paths without
+    //! spawning any OS worker threads — the `medledger-check` harness
+    //! provides the "threads" and interleaves these calls. Hidden from
+    //! docs because it is an internal testing contract, not runtime API.
+
+    use super::*;
+
+    /// Drives the executor core's queue, task state machine, and
+    /// quiescence accounting one step at a time.
+    pub struct ExecutorProbe {
+        core: Arc<Core>,
+    }
+
+    impl Default for ExecutorProbe {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl ExecutorProbe {
+        /// A core with no OS threads attached.
+        pub fn new() -> Self {
+            ExecutorProbe { core: Core::new() }
+        }
+
+        /// Spawns `fut` onto the probe's queue, returning an external
+        /// wake handle for it.
+        pub fn spawn<F>(&self, fut: F) -> TaskHandle
+        where
+            F: Future<Output = ()> + std::marker::Send + 'static,
+        {
+            let task = Task::new(Box::pin(fut), &self.core);
+            self.core.enqueue(Arc::clone(&task));
+            TaskHandle { task }
+        }
+
+        /// Pops and polls one queued task — the worker fast path.
+        /// Returns `false` when the queue was empty or the core is
+        /// shut down.
+        pub fn poll_task(&self) -> bool {
+            match self.core.try_take() {
+                Some(t) => {
+                    self.core.finish_run(t);
+                    true
+                }
+                None => false,
+            }
+        }
+
+        /// The [`Runtime::drain`] predicate: queue empty and no task
+        /// mid-poll.
+        pub fn is_quiescent(&self) -> bool {
+            self.core.is_quiescent()
+        }
+
+        /// Tasks currently queued.
+        pub fn queued(&self) -> usize {
+            self.core.queue.lock().expect("run queue lock").len()
+        }
+
+        /// Flags shutdown exactly like [`Runtime::shutdown`] does
+        /// (store under the queue lock), without joining any threads.
+        pub fn begin_shutdown(&self) {
+            let _q = self.core.queue.lock().expect("run queue lock");
+            // ordering: run-queue-shutdown
+            self.core.shutdown.store(true, Ordering::Release);
+        }
+    }
+
+    /// External waker for a probe-spawned task.
+    pub struct TaskHandle {
+        task: Arc<Task>,
+    }
+
+    impl TaskHandle {
+        /// Wakes the task exactly as a stored [`Waker`] would.
+        pub fn wake(&self) {
+            Wake::wake(Arc::clone(&self.task));
+        }
+
+        /// Whether the task has polled to completion.
+        pub fn is_complete(&self) -> bool {
+            // ordering: task-state
+            self.task.state.load(Ordering::Acquire) == COMPLETE
         }
     }
 }
@@ -567,5 +769,35 @@ mod tests {
         let rt = Runtime::new(2);
         let h = rt.spawn(SelfWake { polls: 0 });
         assert_eq!(rt.block_on(h), 5);
+    }
+
+    #[test]
+    fn probe_drives_spawn_run_wake_cycle() {
+        struct TwoPoll {
+            polls: usize,
+        }
+        impl Future for TwoPoll {
+            type Output = ();
+            fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+                self.polls += 1;
+                if self.polls >= 2 {
+                    Poll::Ready(())
+                } else {
+                    Poll::Pending
+                }
+            }
+        }
+        let p = probe::ExecutorProbe::new();
+        let h = p.spawn(TwoPoll { polls: 0 });
+        assert!(!p.is_quiescent());
+        assert!(p.poll_task());
+        // First poll returned Pending with no waker stored: parked.
+        assert!(p.is_quiescent());
+        h.wake();
+        assert!(!p.is_quiescent());
+        assert!(p.poll_task());
+        assert!(h.is_complete());
+        p.begin_shutdown();
+        assert!(!p.poll_task());
     }
 }

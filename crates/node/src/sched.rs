@@ -1,0 +1,323 @@
+//! Scheduler shim: instrumentation points for deterministic model
+//! checking.
+//!
+//! The runtime and its synchronization primitives call [`point`] at the
+//! places where a concurrency bug could hide — entry to a send, the gap
+//! between reading a queue length and reading a counter, the instant
+//! before a waker is parked. In production no hook is installed and a
+//! `point` is a single thread-local read: effectively free, always
+//! compiled in, never feature-gated (so the shipped binary is the
+//! checked binary).
+//!
+//! Under the `medledger-check` model checker each model thread installs
+//! a [`SchedHook`]. `point` then hands control to the checker's
+//! scheduler, which explores every interleaving of the instrumented
+//! threads (bounded DFS or seeded random sampling). The traced atomics
+//! ([`TracedAtomicU8`], [`TracedAtomicU64`], [`TracedAtomicBool`])
+//! additionally model *weak-memory staleness*: a `Relaxed` load may
+//! return any value the atomic held since the loading thread's last
+//! synchronizing access to it — each such choice is a decision the
+//! checker enumerates and replays.
+//!
+//! # Placement rules (load-bearing)
+//!
+//! A [`point`] suspends the calling model thread and may run another
+//! one, so a `point` **must never be placed while a lock is held**: the
+//! other thread could block on that lock while the suspended holder is
+//! not scheduled, deadlocking the host process (not the model). Traced
+//! atomic operations are safe anywhere — they only record a *value
+//! choice* (no thread switch), which is why the executor can trace its
+//! `active` counter while holding the run-queue lock.
+//!
+//! # Memory-model simplification
+//!
+//! The staleness model is per-location coherence only:
+//! - `Relaxed` loads may observe any value at or after the thread's
+//!   coherence floor for that atomic (the floor advances to whatever
+//!   index the load picked, so a single thread never sees a location
+//!   move backwards).
+//! - `Acquire`/`SeqCst` loads observe the latest value and advance the
+//!   floor to it.
+//! - Read-modify-writes (`fetch_add`, `compare_exchange`, ...) always
+//!   operate on the latest value, as real hardware does.
+//!
+//! Crucially, mutex-induced happens-before is **not** credited: a value
+//! published under a lock and read via a `Relaxed` load on another
+//! thread still shows up stale. That is stricter than the C++ model,
+//! and it is the basis of the ordering policy in
+//! `crates/check/ordering_policy.toml` — every atomic protocol in this
+//! crate must be correct from its own orderings alone, without leaning
+//! on incidental lock synchronization.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Checker-side scheduler interface. Installed per model thread by the
+/// `medledger-check` harness; production threads never install one.
+pub trait SchedHook {
+    /// A potential thread switch. The hook may suspend the calling
+    /// thread and run any other runnable model thread before returning.
+    /// Must only be called while the caller holds no locks.
+    fn point(&self, label: &'static str);
+
+    /// A nondeterministic choice among `options` alternatives (used for
+    /// weak-memory value selection). Must **not** switch threads — it
+    /// is called from inside lock-held regions.
+    fn choose(&self, label: &'static str, options: usize) -> usize;
+}
+
+thread_local! {
+    static HOOK: RefCell<Option<Arc<dyn SchedHook>>> = const { RefCell::new(None) };
+    /// Per-(thread, atomic) coherence floor: index into the atomic's
+    /// value history below which this thread can no longer read.
+    static FLOORS: RefCell<HashMap<usize, usize>> = RefCell::new(HashMap::new());
+}
+
+/// Installs `hook` for the calling thread and resets its coherence
+/// floors. Called by the model-checker harness at model-thread start.
+pub fn install(hook: Arc<dyn SchedHook>) {
+    FLOORS.with(|f| f.borrow_mut().clear());
+    HOOK.with(|h| *h.borrow_mut() = Some(hook));
+}
+
+/// Removes the calling thread's hook (model-thread teardown).
+pub fn uninstall() {
+    HOOK.with(|h| *h.borrow_mut() = None);
+    FLOORS.with(|f| f.borrow_mut().clear());
+}
+
+/// Whether the calling thread is running under a model-checker hook.
+pub fn hooked() -> bool {
+    HOOK.with(|h| h.borrow().is_some())
+}
+
+/// Declares a potential thread-switch point. No-op in production and
+/// while panicking (so destructors running during a model-abort unwind
+/// cannot re-enter the scheduler).
+#[inline]
+pub fn point(label: &'static str) {
+    if std::thread::panicking() {
+        return;
+    }
+    let hook = HOOK.with(|h| h.borrow().clone());
+    if let Some(h) = hook {
+        h.point(label);
+    }
+}
+
+/// Asks the hook to pick one of `options` alternatives; `None` when
+/// unhooked or only one option exists.
+fn choose(label: &'static str, options: usize) -> Option<usize> {
+    if options <= 1 || std::thread::panicking() {
+        return None;
+    }
+    let hook = HOOK.with(|h| h.borrow().clone());
+    hook.map(|h| h.choose(label, options).min(options - 1))
+}
+
+fn floor_of(key: usize) -> usize {
+    FLOORS.with(|f| f.borrow().get(&key).copied().unwrap_or(0))
+}
+
+fn set_floor(key: usize, v: usize) {
+    FLOORS.with(|f| {
+        f.borrow_mut().insert(key, v);
+    });
+}
+
+macro_rules! traced_atomic {
+    ($(#[$doc:meta])* $name:ident, $atomic:ty, $value:ty) => {
+        $(#[$doc])*
+        pub struct $name {
+            label: &'static str,
+            inner: $atomic,
+            /// Every value the atomic has held, oldest first. Only
+            /// populated under a hook; empty (and untouched) in
+            /// production.
+            hist: Mutex<Vec<$value>>,
+        }
+
+        impl $name {
+            /// Creates the atomic with an initial value. `label` names
+            /// the site in checker decision traces.
+            pub fn new(label: &'static str, v: $value) -> Self {
+                $name {
+                    label,
+                    inner: <$atomic>::new(v),
+                    hist: Mutex::new(Vec::new()),
+                }
+            }
+
+            fn key(&self) -> usize {
+                self as *const _ as usize
+            }
+
+            /// Appends the latest inner value if the history is empty
+            /// (first hooked access) and returns the locked history.
+            fn hist_mut(&self) -> std::sync::MutexGuard<'_, Vec<$value>> {
+                let mut h = self.hist.lock().expect("traced atomic history lock");
+                if h.is_empty() {
+                    // ordering: traced-passthrough
+                    h.push(self.inner.load(Ordering::SeqCst));
+                }
+                h
+            }
+
+            /// Loads the value. Under a hook, a `Relaxed` load may
+            /// return any value at or after the calling thread's
+            /// coherence floor — a checker decision.
+            pub fn load(&self, ord: Ordering) -> $value {
+                if !hooked() {
+                    return self.inner.load(ord);
+                }
+                let h = self.hist_mut();
+                let latest = h.len() - 1;
+                let idx = match ord {
+                    // ordering: traced-passthrough
+                    Ordering::Relaxed => {
+                        let floor = floor_of(self.key()).min(latest);
+                        floor + choose(self.label, latest - floor + 1).unwrap_or(0)
+                    }
+                    _ => latest,
+                };
+                set_floor(self.key(), idx);
+                h[idx]
+            }
+
+            /// Stores `v` (always the latest value in the history).
+            pub fn store(&self, v: $value, ord: Ordering) {
+                if !hooked() {
+                    return self.inner.store(v, ord);
+                }
+                let mut h = self.hist_mut();
+                // ordering: traced-passthrough
+                self.inner.store(v, Ordering::SeqCst);
+                h.push(v);
+                set_floor(self.key(), h.len() - 1);
+            }
+
+            /// Compare-exchange on the latest value (RMWs never act on
+            /// stale values, matching hardware).
+            pub fn compare_exchange(
+                &self,
+                current: $value,
+                new: $value,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$value, $value> {
+                if !hooked() {
+                    return self.inner.compare_exchange(current, new, success, failure);
+                }
+                let mut h = self.hist_mut();
+                let r = self
+                    .inner
+                    // ordering: traced-passthrough
+                    .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst);
+                if r.is_ok() {
+                    h.push(new);
+                }
+                set_floor(self.key(), h.len() - 1);
+                r
+            }
+        }
+    };
+}
+
+traced_atomic!(
+    /// Shim over [`AtomicU8`] with hook-visible value history.
+    TracedAtomicU8,
+    AtomicU8,
+    u8
+);
+traced_atomic!(
+    /// Shim over [`AtomicU64`] with hook-visible value history.
+    TracedAtomicU64,
+    AtomicU64,
+    u64
+);
+traced_atomic!(
+    /// Shim over [`AtomicBool`] with hook-visible value history.
+    TracedAtomicBool,
+    AtomicBool,
+    bool
+);
+
+impl TracedAtomicU64 {
+    /// Adds `delta` to the latest value, returning the previous value.
+    pub fn fetch_add(&self, delta: u64, ord: Ordering) -> u64 {
+        if !hooked() {
+            return self.inner.fetch_add(delta, ord);
+        }
+        let mut h = self.hist_mut();
+        // ordering: traced-passthrough
+        let prev = self.inner.fetch_add(delta, Ordering::SeqCst);
+        h.push(prev.wrapping_add(delta));
+        set_floor(self.key(), h.len() - 1);
+        prev
+    }
+
+    /// Subtracts `delta` from the latest value, returning the previous
+    /// value.
+    pub fn fetch_sub(&self, delta: u64, ord: Ordering) -> u64 {
+        if !hooked() {
+            return self.inner.fetch_sub(delta, ord);
+        }
+        let mut h = self.hist_mut();
+        // ordering: traced-passthrough
+        let prev = self.inner.fetch_sub(delta, Ordering::SeqCst);
+        h.push(prev.wrapping_sub(delta));
+        set_floor(self.key(), h.len() - 1);
+        prev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hook that always picks the oldest (most stale) permitted value.
+    struct Stalest;
+    impl SchedHook for Stalest {
+        fn point(&self, _label: &'static str) {}
+        fn choose(&self, _label: &'static str, _options: usize) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn unhooked_atomics_pass_through() {
+        let a = TracedAtomicU64::new("t", 1);
+        assert_eq!(a.load(Ordering::Relaxed), 1);
+        a.store(5, Ordering::Release);
+        assert_eq!(a.fetch_add(2, Ordering::AcqRel), 5);
+        assert_eq!(a.load(Ordering::Acquire), 7);
+        assert!(a.hist.lock().expect("hist").is_empty());
+    }
+
+    #[test]
+    fn hooked_relaxed_load_can_be_stale_but_coherent() {
+        install(Arc::new(Stalest));
+        let a = TracedAtomicU64::new("t", 0);
+        assert_eq!(a.load(Ordering::Relaxed), 0);
+        a.inner.store(9, Ordering::SeqCst); // simulate another thread
+        a.hist.lock().expect("hist").push(9);
+        // Stalest hook picks the floor: still sees 0.
+        assert_eq!(a.load(Ordering::Relaxed), 0);
+        // An Acquire load advances the floor to the latest...
+        assert_eq!(a.load(Ordering::Acquire), 9);
+        // ...after which Relaxed can no longer go backwards.
+        assert_eq!(a.load(Ordering::Relaxed), 9);
+        uninstall();
+    }
+
+    #[test]
+    fn hooked_rmw_acts_on_latest() {
+        install(Arc::new(Stalest));
+        let a = TracedAtomicU64::new("t", 3);
+        assert_eq!(a.fetch_add(1, Ordering::Relaxed), 3);
+        assert_eq!(a.load(Ordering::Relaxed), 4);
+        uninstall();
+    }
+}

@@ -12,6 +12,8 @@ use std::pin::Pin;
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Waker};
 
+use crate::sched;
+
 // ---------------------------------------------------------------------
 // oneshot
 // ---------------------------------------------------------------------
@@ -53,6 +55,7 @@ pub fn oneshot<T>() -> (OneSender<T>, OneReceiver<T>) {
 impl<T> OneSender<T> {
     /// Delivers the value; `Err(v)` when the receiver is gone.
     pub fn send(self, v: T) -> Result<(), T> {
+        sched::point("oneshot.send");
         let mut s = self.inner.lock().expect("oneshot lock");
         if !s.receiver_alive {
             return Err(v);
@@ -68,6 +71,7 @@ impl<T> OneSender<T> {
 
 impl<T> Drop for OneSender<T> {
     fn drop(&mut self) {
+        sched::point("oneshot.send.drop");
         let mut s = self.inner.lock().expect("oneshot lock");
         s.sender_alive = false;
         if let Some(w) = s.waker.take() {
@@ -80,6 +84,7 @@ impl<T> Drop for OneSender<T> {
 impl<T> OneReceiver<T> {
     /// Takes the value if it was already sent, without waiting.
     pub fn try_take(&mut self) -> Option<T> {
+        sched::point("oneshot.try_take");
         self.inner.lock().expect("oneshot lock").value.take()
     }
 }
@@ -88,6 +93,7 @@ impl<T> Future for OneReceiver<T> {
     type Output = Option<T>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        sched::point("oneshot.recv.poll");
         let mut s = self.inner.lock().expect("oneshot lock");
         if let Some(v) = s.value.take() {
             return Poll::Ready(Some(v));
@@ -102,6 +108,7 @@ impl<T> Future for OneReceiver<T> {
 
 impl<T> Drop for OneReceiver<T> {
     fn drop(&mut self) {
+        sched::point("oneshot.recv.drop");
         self.inner.lock().expect("oneshot lock").receiver_alive = false;
     }
 }
@@ -198,6 +205,7 @@ impl<T> Clone for Sender<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
+        sched::point("mpsc.send.drop");
         let mut s = self.inner.state.lock().expect("chan lock");
         s.senders -= 1;
         if s.senders == 0 {
@@ -220,6 +228,7 @@ impl<T> Sender<T> {
 
     /// Queues `v` without waiting.
     pub fn try_send(&self, v: T) -> Result<(), TrySendError<T>> {
+        sched::point("mpsc.try_send");
         let mut s = self.inner.state.lock().expect("chan lock");
         if !s.receiver_alive {
             return Err(TrySendError::Closed(v));
@@ -242,14 +251,26 @@ pub struct Send<'a, T> {
     value: Option<T>,
 }
 
+// `Send` holds a shared reference and an owned `Option<T>` — no
+// self-references, nothing whose address the future relies on — so
+// pinning it guarantees nothing and the impl is unconditionally sound.
+// (The auto-impl would require `T: Unpin`; this lifts that bound so the
+// projection below can use the safe `Pin::get_mut`.)
+impl<T> Unpin for Send<'_, T> {}
+
 impl<T> Future for Send<'_, T> {
     type Output = Result<(), SendError<T>>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        // Safety: we never move out of `chan`, and `value` is Unpin-safe
-        // to take because Send contains no self-references.
-        let this = unsafe { self.get_unchecked_mut() };
-        let v = this.value.take().expect("polled after completion");
+        sched::point("mpsc.send.poll");
+        let this = self.get_mut();
+        let v = this
+            .value
+            .take()
+            // lint: allow(unwrap) — contract: a `Send` future must not be
+            // polled again after it returned `Ready`; the panic is the
+            // diagnostic for that caller bug, not a recoverable state.
+            .expect("polled after completion");
         let mut s = this.chan.inner.state.lock().expect("chan lock");
         if !s.receiver_alive {
             return Poll::Ready(Err(SendError(v)));
@@ -277,6 +298,7 @@ impl<T> Receiver<T> {
 
     /// Pops a queued value without waiting.
     pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+        sched::point("mpsc.try_recv");
         let mut s = self.inner.state.lock().expect("chan lock");
         match s.queue.pop_front() {
             Some(v) => {
@@ -294,6 +316,7 @@ impl<T> Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
+        sched::point("mpsc.recv.drop");
         let mut s = self.inner.state.lock().expect("chan lock");
         s.receiver_alive = false;
         s.queue.clear();
@@ -314,7 +337,10 @@ impl<T> Future for Recv<'_, T> {
     type Output = Option<T>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
-        let this = unsafe { self.get_unchecked_mut() };
+        sched::point("mpsc.recv.poll");
+        // `Recv` is just a mutable borrow (always `Unpin`), so the safe
+        // projection suffices.
+        let this = self.get_mut();
         let mut s = this.chan.inner.state.lock().expect("chan lock");
         if let Some(v) = s.queue.pop_front() {
             if let Some(w) = s.send_wakers.pop_front() {
@@ -369,6 +395,11 @@ impl Notify {
     /// A future resolving at the next [`Notify::notify_waiters`] call
     /// after this one.
     pub fn notified(&self) -> Notified {
+        // The generation is captured *here*, not at first poll: a
+        // notify landing between this call and the first poll must
+        // still resolve the future (the checker's `notify` scenarios
+        // pin this down).
+        sched::point("notify.notified");
         let g = self.state.lock().expect("notify lock").generation;
         Notified {
             state: Arc::clone(&self.state),
@@ -378,6 +409,7 @@ impl Notify {
 
     /// Wakes every current waiter.
     pub fn notify_waiters(&self) {
+        sched::point("notify.notify");
         let wakers: Vec<Waker> = {
             let mut s = self.state.lock().expect("notify lock");
             s.generation += 1;
@@ -399,6 +431,7 @@ impl Future for Notified {
     type Output = ();
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        sched::point("notify.poll");
         let mut s = self.state.lock().expect("notify lock");
         if s.generation != self.observed {
             return Poll::Ready(());

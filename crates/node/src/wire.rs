@@ -108,11 +108,13 @@ impl ByteMeter {
 
     /// Total bytes written through metered pipes so far.
     pub fn bytes(&self) -> u64 {
+        // ordering: byte-meter
         self.0.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     fn add(&self, n: usize) {
         self.0
+            // ordering: byte-meter
             .fetch_add(n as u64, std::sync::atomic::Ordering::Relaxed);
     }
 }
@@ -174,6 +176,7 @@ fn pipe_with(capacity: usize, meter: Option<ByteMeter>) -> (PipeWriter, PipeRead
 
 impl Drop for PipeWriter {
     fn drop(&mut self) {
+        crate::sched::point("pipe.write.drop");
         let mut s = self.state.lock().expect("pipe lock");
         s.writer_alive = false;
         let w = s.wake_reader();
@@ -186,6 +189,7 @@ impl Drop for PipeWriter {
 
 impl Drop for PipeReader {
     fn drop(&mut self) {
+        crate::sched::point("pipe.read.drop");
         let mut s = self.state.lock().expect("pipe lock");
         s.reader_alive = false;
         let w = s.wake_writer();
@@ -218,34 +222,50 @@ pub struct WriteAll<'a> {
 impl Future for WriteAll<'_> {
     type Output = Result<(), WireError>;
 
-    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        let mut s = self.state.lock().expect("pipe lock");
-        loop {
-            if !s.reader_alive {
-                return Poll::Ready(Err(WireError::Closed));
-            }
-            let room = s.capacity.saturating_sub(s.buf.len());
-            let want = self.bytes.len() - self.off;
-            let n = room.min(want);
-            if n > 0 {
-                let off = self.off;
-                s.buf.extend(&self.bytes[off..off + n]);
-                self.off += n;
-                if let Some(m) = &s.meter {
-                    m.add(n);
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        crate::sched::point("pipe.write.poll");
+        // All fields are references or plain integers, so `WriteAll` is
+        // `Unpin` and the safe projection suffices.
+        let this = self.get_mut();
+        // The reader's waker (if any) fires only after the pipe lock is
+        // released: waking under the lock would make the woken side
+        // contend immediately, and a model-thread switch while holding
+        // a lock is forbidden (see `crate::sched`).
+        let (out, wake) = {
+            let mut s = this.state.lock().expect("pipe lock");
+            let mut wake = None;
+            let out = loop {
+                if !s.reader_alive {
+                    break Poll::Ready(Err(WireError::Closed));
                 }
-                if let Some(w) = s.wake_reader() {
-                    w.wake();
+                let room = s.capacity.saturating_sub(s.buf.len());
+                let want = this.bytes.len() - this.off;
+                let n = room.min(want);
+                if n > 0 {
+                    let off = this.off;
+                    s.buf.extend(&this.bytes[off..off + n]);
+                    this.off += n;
+                    if let Some(m) = &s.meter {
+                        m.add(n);
+                    }
+                    if let Some(w) = s.wake_reader() {
+                        wake = Some(w);
+                    }
                 }
-            }
-            if self.off == self.bytes.len() {
-                return Poll::Ready(Ok(()));
-            }
-            if n == 0 {
-                s.write_waker = Some(cx.waker().clone());
-                return Poll::Pending;
-            }
+                if this.off == this.bytes.len() {
+                    break Poll::Ready(Ok(()));
+                }
+                if n == 0 {
+                    s.write_waker = Some(cx.waker().clone());
+                    break Poll::Pending;
+                }
+            };
+            (out, wake)
+        };
+        if let Some(w) = wake {
+            w.wake();
         }
+        out
     }
 }
 
@@ -273,37 +293,51 @@ impl Future for ReadExact<'_> {
     type Output = Result<bool, WireError>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        // Safety: ReadExact holds no self-references; we only move
-        // plain fields.
-        let this = unsafe { self.get_unchecked_mut() };
-        let mut s = this.state.lock().expect("pipe lock");
-        loop {
-            let want = this.into.len() - this.off;
-            let avail = s.buf.len().min(want);
-            for b in &mut this.into[this.off..this.off + avail] {
-                *b = s.buf.pop_front().expect("avail bytes");
-            }
-            if avail > 0 {
-                this.off += avail;
-                if let Some(w) = s.wake_writer() {
-                    w.wake();
+        crate::sched::point("pipe.read.poll");
+        // `ReadExact` holds no self-references (references + an
+        // offset), so it is `Unpin` and the safe projection suffices.
+        let this = self.get_mut();
+        // As in `WriteAll::poll`, the writer's waker fires only after
+        // the pipe lock is released.
+        let (out, wake) = {
+            let mut s = this.state.lock().expect("pipe lock");
+            let mut wake = None;
+            let out = loop {
+                let want = this.into.len() - this.off;
+                let avail = s.buf.len().min(want);
+                for (dst, src) in this.into[this.off..this.off + avail]
+                    .iter_mut()
+                    .zip(s.buf.drain(..avail))
+                {
+                    *dst = src;
                 }
-            }
-            if this.off == this.into.len() {
-                return Poll::Ready(Ok(true));
-            }
-            if !s.writer_alive {
-                return Poll::Ready(if this.off == 0 {
-                    Ok(false)
-                } else {
-                    Err(WireError::Closed)
-                });
-            }
-            if avail == 0 {
-                s.read_waker = Some(cx.waker().clone());
-                return Poll::Pending;
-            }
+                if avail > 0 {
+                    this.off += avail;
+                    if let Some(w) = s.wake_writer() {
+                        wake = Some(w);
+                    }
+                }
+                if this.off == this.into.len() {
+                    break Poll::Ready(Ok(true));
+                }
+                if !s.writer_alive {
+                    break Poll::Ready(if this.off == 0 {
+                        Ok(false)
+                    } else {
+                        Err(WireError::Closed)
+                    });
+                }
+                if avail == 0 {
+                    s.read_waker = Some(cx.waker().clone());
+                    break Poll::Pending;
+                }
+            };
+            (out, wake)
+        };
+        if let Some(w) = wake {
+            w.wake();
         }
+        out
     }
 }
 
