@@ -4,8 +4,17 @@
 //! cargo run --release -p medledger-bench --bin report          # all
 //! cargo run --release -p medledger-bench --bin report -- e6    # one
 //! ```
+//!
+//! System-level experiments render through the `medledger-telemetry`
+//! registry: the report installs a [`Recorder`] on the deployments it
+//! drives and prints the resulting [`Snapshot`] — the same type the
+//! `node` binary prints periodically and the gateway ships over its
+//! `stats` wire message — so benches and the live node share one
+//! metrics vocabulary (see docs/OBSERVABILITY.md for the catalog).
 
-use medledger_bench::{one_dosage_update, two_peer_system, wide_projection};
+use medledger_bench::{
+    one_dosage_update, two_peer_system, two_peer_system_sharded, wide_projection,
+};
 use medledger_bx::exec::{get, put};
 use medledger_bx::{check_getput, check_putget};
 use medledger_consensus::{PbftConfig, PbftRound, PowModel};
@@ -22,9 +31,11 @@ use medledger_core::exposure::{
 use medledger_core::scenario::{self, run_fig5, SHARE_PD, SHARE_RD};
 use medledger_core::{ConsensusKind, SystemConfig};
 use medledger_crypto::{sha256, Hash256, KeyPair};
+use medledger_engine::LedgerService;
 use medledger_ledger::{Mempool, Transaction, TxPayload};
 use medledger_network::LatencyModel;
 use medledger_relational::Value;
+use medledger_telemetry::{Recorder, Registry, Snapshot};
 use medledger_workload::{fig1_full_records, EhrGenerator, UpdateStream};
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -63,6 +74,9 @@ fn main() {
     }
     if run("e12") {
         e12_contract_gas();
+    }
+    if run("e13") {
+        e13_telemetry();
     }
 }
 
@@ -588,6 +602,147 @@ fn e12_contract_gas() {
             .iter()
             .filter(|u| u.kind == medledger_workload::UpdateKind::Mechanism)
             .count(),
+    );
+    println!();
+}
+
+// ---------------------------------------------------------------- E13
+
+/// The per-wave phase latency table: one row per Fig. 5 pipeline stage,
+/// summarized from the `wave.*` histograms of a registry [`Snapshot`].
+fn wave_phase_table(snap: &Snapshot) -> String {
+    const PHASES: [&str; 7] = [
+        "wave.phase.screen_us",
+        "wave.phase.prepare_us",
+        "wave.phase.consensus_us",
+        "wave.phase.fanout_us",
+        "wave.phase.ack_us",
+        "wave.phase.cascade_us",
+        "wave.total_us",
+    ];
+    let total_sum = snap
+        .histogram("wave.total_us")
+        .map(|h| h.sum)
+        .unwrap_or(0)
+        .max(1);
+    let mut out = format!(
+        "{:<26} {:>6} {:>9} {:>9} {:>9} {:>9} {:>7}\n",
+        "phase", "waves", "p50 µs", "p95 µs", "p99 µs", "max µs", "share"
+    );
+    for name in PHASES {
+        let Some(h) = snap.histogram(name) else {
+            continue;
+        };
+        out.push_str(&format!(
+            "{:<26} {:>6} {:>9} {:>9} {:>9} {:>9} {:>6.1}%\n",
+            name,
+            h.count,
+            h.p50,
+            h.p95,
+            h.p99,
+            h.max,
+            100.0 * h.sum as f64 / total_sum as f64
+        ));
+    }
+    out
+}
+
+fn e13_telemetry() {
+    header("E13 — live telemetry: wave histograms, shard heat, chain cost");
+    // A sharded doctor+patient deployment with a live recorder, driven
+    // through the pipeline service — the same instrumentation path the
+    // node binary's gateway uses, so the numbers here and the node's
+    // periodic `telemetry:` lines come from one vocabulary.
+    let registry = Registry::shared();
+    let mut bench = two_peer_system_sharded(
+        "report-e13",
+        ConsensusKind::PrivatePbft {
+            block_interval_ms: 100,
+        },
+        64,
+        4,
+    );
+    let (doctor, patient) = (bench.doctor, bench.patient);
+    bench.ledger.set_recorder(Recorder::new(&registry));
+    let mut service = LedgerService::new(bench.ledger);
+
+    // Hotspot-skewed workload: most edits land on 4 hot patients, so the
+    // per-shard apply attribution shows visible skew in the heat bars.
+    // Dosage edits go through the Doctor, clinical notes through the
+    // Patient; each wave combines one of each against the shared table.
+    let all_ids: Vec<i64> = (0..64).map(|i| 1000 + i).collect();
+    let mut stream = UpdateStream::hotspot("report-e13", all_ids, 4);
+    let updates = stream.take(64);
+    let dosage: Vec<_> = updates
+        .iter()
+        .filter(|u| u.kind == medledger_workload::UpdateKind::Dosage)
+        .cloned()
+        .collect();
+    let clinical: Vec<_> = updates
+        .iter()
+        .filter(|u| u.kind == medledger_workload::UpdateKind::ClinicalData)
+        .cloned()
+        .collect();
+    let waves = dosage.len().min(clinical.len()).min(12);
+    for i in 0..waves {
+        let t_doc = service
+            .submit(doctor, "ward")
+            .set(
+                vec![dosage[i].target.clone()],
+                "dosage",
+                dosage[i].new_value.clone(),
+            )
+            .submit()
+            .expect("doctor submit");
+        let t_pat = service
+            .submit(patient, "ward")
+            .set(
+                vec![clinical[i].target.clone()],
+                "clinical_data",
+                clinical[i].new_value.clone(),
+            )
+            .submit()
+            .expect("patient submit");
+        service.drain().expect("drain");
+        service
+            .take(t_doc)
+            .expect("doctor resolved")
+            .expect("doctor commit");
+        service
+            .take(t_pat)
+            .expect("patient resolved")
+            .expect("patient commit");
+    }
+    service.ledger().check_consistency().expect("consistent");
+
+    let snap = registry.snapshot();
+    println!("{waves} combined waves (1 Doctor dosage + 1 Patient note each), 64 rows, 4 shards\n");
+    println!("Per-wave pipeline latency (wall-clock, from the shared registry Snapshot):");
+    print!("{}", wave_phase_table(&snap));
+
+    let n_waves = snap.counter("chain.waves").unwrap_or(0).max(1);
+    println!("\nChain cost counters:");
+    for key in [
+        "chain.waves",
+        "chain.blocks",
+        "chain.txs",
+        "chain.consensus_msgs",
+        "chain.consensus_bytes",
+        "chain.p2p_bytes",
+    ] {
+        let v = snap.counter(key).unwrap_or(0);
+        println!(
+            "  {key:<22} {v:>10}   ({:.2}/wave)",
+            v as f64 / n_waves as f64
+        );
+    }
+
+    println!("\nFull registry rendering — the same `Snapshot::render_text` the node");
+    println!("binary prints on shutdown (heat bars: per-shard apply attribution):");
+    print!("{}", snap.render_text());
+    println!(
+        "\n(one-line form, as the node's periodic `telemetry:` lines print it:\n {})",
+        snap.render_line()
     );
     println!();
 }

@@ -74,7 +74,7 @@ pub fn run_workspace(root: &Path) -> Result<Vec<Finding>, String> {
         if rel.starts_with("crates/") {
             findings.extend(rules::unsafe_safety(&rel, &lines));
         }
-        if rel.starts_with("crates/node/src/") {
+        if rel.starts_with("crates/node/src/") || rel.starts_with("crates/telemetry/src/") {
             findings.extend(rules::ordering_policy(&rel, &lines, &policy));
             used_keys.extend(rules::referenced_keys(&lines));
         }

@@ -132,6 +132,19 @@ impl MedLedger {
         self.system.stats()
     }
 
+    /// Installs a live-telemetry recorder on the deployment and every
+    /// peer (see [`medledger_telemetry::Recorder`]). Disabled by
+    /// default; all metric calls are no-ops until one is installed.
+    pub fn set_recorder(&mut self, recorder: medledger_telemetry::Recorder) {
+        self.system.set_recorder(recorder);
+    }
+
+    /// The installed telemetry recorder (disabled unless
+    /// [`MedLedger::set_recorder`] was called).
+    pub fn recorder(&self) -> &medledger_telemetry::Recorder {
+        self.system.recorder()
+    }
+
     /// Current virtual time (ms).
     pub fn now_ms(&self) -> u64 {
         self.system.now_ms()

@@ -10,7 +10,18 @@ use medledger_relational::{
     delta_from_write_op, diff_tables, normalize_shard_count, Database, Row, Schema, Shard,
     ShardMap, ShardPlan, Table, TableDelta, Value, WriteOp,
 };
+use medledger_telemetry::Recorder;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Feeds a sharded mirror's apply counters into the `shard.heat` heat
+/// map. No-op when `recorder` is disabled, so un-instrumented runs pay
+/// nothing. Only the working `store` mirror is wired — the `baseline`
+/// mirror replays the same deltas and would double-count every apply.
+fn wire_shard_heat(recorder: &Recorder, table_id: &str, store: &mut ShardMap) {
+    if recorder.is_enabled() {
+        store.set_telemetry(table_id, recorder.heatmap("shard.heat"));
+    }
+}
 
 /// How shared-table updates travel between peers.
 ///
@@ -199,6 +210,10 @@ pub struct PeerNode {
     pub applied_versions: BTreeMap<String, u64>,
     /// Next ledger nonce.
     pub next_nonce: u64,
+    /// Live-telemetry handle (no-op unless a registry is installed via
+    /// [`crate::System::set_recorder`]): feeds the per-(table, shard)
+    /// apply heat map from this peer's sharded mirrors.
+    telemetry: Recorder,
 }
 
 impl PeerNode {
@@ -229,6 +244,18 @@ impl PeerNode {
             group_indexes: BTreeMap::new(),
             applied_versions: BTreeMap::new(),
             next_nonce: 0,
+            telemetry: Recorder::disabled(),
+        }
+    }
+
+    /// Installs the live-telemetry recorder and wires the heat-map feed
+    /// of every existing sharded mirror; mirrors built afterwards wire
+    /// themselves on creation. A disabled recorder keeps every apply
+    /// path telemetry-free.
+    pub fn set_recorder(&mut self, recorder: &Recorder) {
+        self.telemetry = recorder.clone();
+        for (table_id, state) in &mut self.shard_states {
+            wire_shard_heat(recorder, table_id, &mut state.store);
         }
     }
 
@@ -279,10 +306,12 @@ impl PeerNode {
         }
         self.db.put_table(table_id, view.clone())?;
         if self.mode == PropagationMode::Delta && self.shards_per_table > 1 {
+            let mut store = ShardMap::from_table(&view, self.shards_per_table);
+            wire_shard_heat(&self.telemetry, table_id, &mut store);
             self.shard_states.insert(
                 table_id.to_string(),
                 ShardState {
-                    store: ShardMap::from_table(&view, self.shards_per_table),
+                    store,
                     baseline: ShardMap::from_table(&view, self.shards_per_table),
                     synced_at: self.db.table_version(table_id),
                 },
@@ -596,7 +625,8 @@ impl PeerNode {
         if !self.shard_states.contains_key(table_id) {
             return Ok(());
         }
-        let store = ShardMap::from_table(self.db.table(table_id)?, self.shards_per_table);
+        let mut store = ShardMap::from_table(self.db.table(table_id)?, self.shards_per_table);
+        wire_shard_heat(&self.telemetry, table_id, &mut store);
         let baseline = ShardMap::from_table(self.baseline(table_id)?, self.shards_per_table);
         let synced_at = self.db.table_version(table_id);
         self.shard_states.insert(

@@ -436,6 +436,9 @@ fn flush_inner(sys: &mut System, p: &mut Persistence, force_snapshot: bool) -> R
             "storage backend poisoned by an earlier failed flush".into(),
         ));
     }
+    let telemetry = sys.recorder().clone();
+    let mut wal_bytes: u64 = 0;
+    let mut chain_bytes: u64 = 0;
     // Phase 0 — roll back any uncommitted suffix a previously failed
     // flush left behind (appends without their commit record).
     for (name, mark) in p.peer_marks.clone() {
@@ -474,7 +477,9 @@ fn flush_inner(sys: &mut System, p: &mut Persistence, force_snapshot: bool) -> R
         let mut mark = p.peer_marks.get(name).copied().unwrap_or(0);
         let records = peer.db.log_since(from_seq);
         for rec in records {
-            if let Err(e) = p.backend.append(&stream, &rec.encoded()) {
+            let frame = rec.encoded();
+            wal_bytes += frame.len() as u64;
+            if let Err(e) = p.backend.append(&stream, &frame) {
                 p.poisoned = true;
                 return Err(storage_err(e));
             }
@@ -491,7 +496,9 @@ fn flush_inner(sys: &mut System, p: &mut Persistence, force_snapshot: bool) -> R
         let block = sys.chain.block_at(h).ok_or_else(|| {
             CoreError::Storage(format!("chain height is {height} but block {h} is missing"))
         })?;
-        if let Err(e) = p.backend.append("chain", &block.encoded()) {
+        let frame = block.encoded();
+        chain_bytes += frame.len() as u64;
+        if let Err(e) = p.backend.append("chain", &frame) {
             p.poisoned = true;
             return Err(storage_err(e));
         }
@@ -505,11 +512,16 @@ fn flush_inner(sys: &mut System, p: &mut Persistence, force_snapshot: bool) -> R
     let mut snapshot_id = p.snapshot_id;
     let mut snapshot_marks = p.snapshot_marks.clone();
     if take_snapshot {
+        let started = telemetry.is_enabled().then(std::time::Instant::now);
         let payload = build_snapshot(sys, epoch)?;
         if let Err(e) = p.backend.write_snapshot(epoch, &payload) {
             p.poisoned = true;
             return Err(storage_err(e));
         }
+        if let Some(t) = started {
+            telemetry.record("storage.snapshot_us", t.elapsed().as_micros() as u64);
+        }
+        telemetry.add("storage.snapshots", 1);
         snapshot_id = epoch;
         snapshot_marks = new_marks.clone();
     }
@@ -592,6 +604,14 @@ fn flush_inner(sys: &mut System, p: &mut Persistence, force_snapshot: bool) -> R
                 .compact(&peer_stream(name), p.snapshot_marks[name])
                 .map_err(storage_err)?;
         }
+    }
+    if telemetry.is_enabled() {
+        telemetry.add("storage.flushes", 1);
+        telemetry.add("storage.wal_bytes", wal_bytes);
+        telemetry.add("storage.chain_bytes", chain_bytes);
+        telemetry
+            .gauge("storage.segments")
+            .set(p.backend.segment_count());
     }
     Ok(())
 }

@@ -21,6 +21,7 @@ use medledger_ledger::{
 use medledger_network::{fanout, DataPlaneStats, DataTransfer, LatencyModel, PayloadKind};
 use medledger_relational::normalize_shard_count;
 use medledger_relational::{Table, WriteOp};
+use medledger_telemetry::{Recorder, StageTimer};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -487,6 +488,9 @@ pub struct System {
     /// [`crate::persist`]). `None` — the default — keeps the system fully
     /// in-memory, exactly as before.
     pub(crate) persist: Option<crate::persist::Persistence>,
+    /// Live-telemetry handle. Disabled by default — every metric call
+    /// is a no-op until [`System::set_recorder`] installs a registry.
+    pub(crate) telemetry: Recorder,
 }
 
 impl System {
@@ -530,8 +534,26 @@ impl System {
             stats: SystemStats::default(),
             wave: None,
             persist: None,
+            telemetry: Recorder::disabled(),
             config,
         }
+    }
+
+    /// Installs a live-telemetry recorder on the system and every
+    /// attached peer. Call once after construction (or any time — later
+    /// peers pick the recorder up as they attach). Passing a disabled
+    /// recorder turns telemetry back off.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        for peer in self.peers.values_mut() {
+            peer.set_recorder(&recorder);
+        }
+        self.telemetry = recorder;
+    }
+
+    /// The currently installed recorder (disabled unless
+    /// [`System::set_recorder`] was called).
+    pub fn recorder(&self) -> &Recorder {
+        &self.telemetry
     }
 
     /// Marks the start of a commit-pipeline wave: every block produced
@@ -633,7 +655,7 @@ impl System {
     /// the registration of record) or whose slot is already occupied.
     ///
     /// [detached]: System::detach_peer
-    pub fn attach_peer(&mut self, node: PeerNode) -> Result<()> {
+    pub fn attach_peer(&mut self, mut node: PeerNode) -> Result<()> {
         if self.names.get(&node.name) != Some(&node.account) {
             return Err(CoreError::UnknownPeer(node.name.clone()));
         }
@@ -642,6 +664,9 @@ impl System {
                 "peer `{}` is already attached",
                 node.name
             )));
+        }
+        if self.telemetry.is_enabled() {
+            node.set_recorder(&self.telemetry);
         }
         self.peers.insert(node.account, node);
         Ok(())
@@ -679,13 +704,16 @@ impl System {
         if self.names.contains_key(name) {
             return Err(CoreError::BadAgreement(format!("peer `{name}` exists")));
         }
-        let peer = PeerNode::new(
+        let mut peer = PeerNode::new(
             name,
             &self.config.seed,
             self.config.peer_key_capacity,
             self.config.propagation,
             self.config.shards_per_table,
         );
+        if self.telemetry.is_enabled() {
+            peer.set_recorder(&self.telemetry);
+        }
         let account = peer.account;
         self.chain.membership_mut().add_member(account);
         self.names.insert(name.to_string(), account);
@@ -1883,6 +1911,8 @@ impl System {
         let mut co_txs_out: Vec<Vec<TxId>> = entries.iter().map(|_| Vec::new()).collect();
         let mut deferred: Vec<DeferredCascade> = Vec::new();
         let mut co_seq: usize = 0;
+        let stats_before = self.stats;
+        let mut timer = StageTimer::start(&self.telemetry, "wave");
 
         // Conflict screening (see [`System::screen_group`]): distinct,
         // non-interacting tables only, none with a transaction still
@@ -1892,6 +1922,7 @@ impl System {
                 slots[i] = Some(Err(fail(err, false)));
             }
         }
+        timer.stage("phase.screen");
 
         // Phase 1 — Step 1 + pre-flight per member, then submit every
         // `request_update` (distinct conflict keys: the next block takes
@@ -2072,6 +2103,8 @@ impl System {
             }
         }
 
+        timer.stage("phase.prepare");
+
         // Phase 2 — one consensus wait for the whole group (a single
         // scheduled round when the block limit admits everything). If
         // block production dies mid-group, some requests may already
@@ -2081,7 +2114,9 @@ impl System {
         // chain.
         let mut wave_txs: Vec<TxId> = inflight.iter().map(|f| f.tx).collect();
         wave_txs.extend(inflight.iter().flat_map(|f| f.co_txs.iter().copied()));
-        if let Err(e) = self.produce_blocks_until_all(&wave_txs) {
+        let consensus_wait = self.produce_blocks_until_all(&wave_txs);
+        timer.stage("phase.consensus");
+        if let Err(e) = consensus_wait {
             for f in inflight {
                 let committed = matches!(
                     self.receipts.get(&f.tx),
@@ -2089,6 +2124,7 @@ impl System {
                 );
                 slots[f.idx] = Some(Err(fail(e.clone(), committed)));
             }
+            self.record_wave_telemetry(timer, stats_before);
             return Ok(GroupCommitOutcome {
                 results: slots
                     .into_iter()
@@ -2193,6 +2229,8 @@ impl System {
             }
         }
 
+        timer.stage("phase.fanout");
+
         // Phase 4 — submit every member's acks, then wait for all of them
         // together. With aggregated acks (the default) each member emits
         // ONE `ack_update_aggregate` under its own derived conflict key,
@@ -2221,12 +2259,15 @@ impl System {
             .iter()
             .flat_map(|c| c.ack_txs.iter().copied())
             .collect();
-        if let Err(e) = self.produce_blocks_until_all(&all_acks) {
+        let ack_wait = self.produce_blocks_until_all(&all_acks);
+        timer.stage("phase.ack");
+        if let Err(e) = ack_wait {
             // Every survivor's update is already on chain; an ack-phase
             // consensus failure is post-commit for all of them.
             for c in survivors {
                 slots[c.idx] = Some(Err(fail(e.clone(), true)));
             }
+            self.record_wave_telemetry(timer, stats_before);
             return Ok(GroupCommitOutcome {
                 results: slots
                     .into_iter()
@@ -2304,7 +2345,10 @@ impl System {
             }
         }
 
+        timer.stage("phase.cascade");
+
         self.flush_storage()?;
+        self.record_wave_telemetry(timer, stats_before);
         Ok(GroupCommitOutcome {
             results: slots
                 .into_iter()
@@ -2313,6 +2357,36 @@ impl System {
             co_txs: co_txs_out,
             deferred,
         })
+    }
+
+    /// Closes out one wave's telemetry: the total-latency histogram plus
+    /// the wave's block/tx/byte deltas (per-wave histograms feeding the
+    /// p50/p95 lines, and the running `chain.*` totals). `before` is the
+    /// [`SystemStats`] snapshot taken when the wave began.
+    fn record_wave_telemetry(&self, timer: StageTimer, before: SystemStats) {
+        timer.finish("total");
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let now = &self.stats;
+        let blocks = now.blocks.saturating_sub(before.blocks);
+        let txs = now.txs.saturating_sub(before.txs);
+        let p2p_bytes = now.p2p_bytes.saturating_sub(before.p2p_bytes);
+        self.telemetry.record("wave.blocks", blocks);
+        self.telemetry.record("wave.txs", txs);
+        self.telemetry.record("wave.p2p_bytes", p2p_bytes);
+        self.telemetry.add("chain.waves", 1);
+        self.telemetry.add("chain.blocks", blocks);
+        self.telemetry.add("chain.txs", txs);
+        self.telemetry.add("chain.p2p_bytes", p2p_bytes);
+        self.telemetry.add(
+            "chain.consensus_msgs",
+            now.consensus_msgs.saturating_sub(before.consensus_msgs),
+        );
+        self.telemetry.add(
+            "chain.consensus_bytes",
+            now.consensus_bytes.saturating_sub(before.consensus_bytes),
+        );
     }
 
     /// The [`CascadeMode::Defer`] Step-6 sweep: detects which sibling

@@ -22,6 +22,7 @@ use medledger_engine::LedgerService;
 use medledger_node::wire::WireWrite;
 use medledger_node::{Deployment, GatewayConfig, SubmitReply};
 use medledger_relational::{Value, WriteOp};
+use medledger_telemetry::{Recorder, Registry};
 
 struct Args {
     data: String,
@@ -69,9 +70,12 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn run(args: Args) -> Result<(), String> {
-    // Boot (or recover) the durable ledger.
+    // Boot (or recover) the durable ledger. Sharded mirrors (4 key
+    // ranges per shared table) give the telemetry heat map per-shard
+    // apply attribution to report.
     let ledger = MedLedger::builder()
         .seed("node-boot")
+        .shards_per_table(4)
         .durable(&args.data)
         .snapshot_every(4)
         .build()
@@ -96,15 +100,42 @@ fn run(args: Args) -> Result<(), String> {
     };
     let boot_mark = ledger.stats().blocks;
 
-    // Serve the gateway.
+    // Serve the gateway with live telemetry: a shared registry the
+    // deployment records into, drained by a periodic printer thread.
+    let registry = Registry::shared();
+    let recorder = Recorder::new(&registry);
     let service = LedgerService::new(ledger);
-    let dep = Deployment::start(service, GatewayConfig::default().threads(args.threads))
-        .map_err(|e| format!("deployment failed: {e}"))?;
+    let dep = Deployment::start(
+        service,
+        GatewayConfig::default()
+            .threads(args.threads)
+            .recorder(recorder),
+    )
+    .map_err(|e| format!("deployment failed: {e}"))?;
     println!(
         "node: gateway up — {} executor threads, {} peer event loops",
         args.threads,
         dep.telemetry().len()
     );
+
+    // Periodic snapshot line (wave-phase p50/p95, chain counters, shard
+    // heat) until the workload finishes. A dropped sender stops the
+    // printer — no atomics, no polling protocol.
+    let (stop_tx, stop_rx) = std::sync::mpsc::channel::<()>();
+    let printer = std::thread::spawn({
+        let registry = registry.clone();
+        move || loop {
+            match stop_rx.recv_timeout(std::time::Duration::from_millis(500)) {
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    let snap = registry.snapshot();
+                    if !snap.is_empty() {
+                        println!("telemetry: {}", snap.render_line());
+                    }
+                }
+                _ => return,
+            }
+        }
+    });
 
     // A small concurrent workload: `sessions` clients alternate Doctor
     // dosage updates and Patient clinical notes on the shared record.
@@ -164,12 +195,18 @@ fn run(args: Args) -> Result<(), String> {
         retried += r;
     }
 
+    drop(stop_tx);
+    let _ = printer.join();
+
     let stats = dep.stats();
     let wire_bytes = dep.wire_bytes();
     println!(
         "node: {} commits over {} waves ({} sessions peak, {} overload retries, {} wire bytes)",
         committed, stats.waves, stats.sessions_peak, retried, wire_bytes
     );
+    // The full registry rendering — same `Snapshot` type the bench
+    // `report` binary consumes.
+    print!("{}", registry.snapshot().render_text());
 
     // Orderly drain: outstanding waves run, peers re-attach, durable
     // state flushes.

@@ -28,6 +28,7 @@ use std::sync::Arc;
 
 use medledger_core::{CommitError, CommitOutcome, CoreError, PeerId, PeerNode};
 use medledger_engine::{CommitTicket, LedgerService, WaveReport};
+use medledger_telemetry::Recorder;
 
 use crate::peer_loop::{self, PeerTelemetry};
 use crate::rt::Runtime;
@@ -60,6 +61,12 @@ pub struct GatewayConfig {
     /// waves explicitly via [`Deployment::pump`] — tests use this to
     /// pin wave composition.
     pub auto_pump: bool,
+    /// Live-telemetry recorder. Disabled by default; install one
+    /// ([`GatewayConfig::recorder`]) and the deployment feeds it
+    /// gateway counters, ticket-wait histograms, per-peer wire-byte
+    /// gauges, and — via [`medledger_core::System::set_recorder`] —
+    /// the core's per-wave phase timings and shard heat map.
+    pub telemetry: Recorder,
 }
 
 impl Default for GatewayConfig {
@@ -70,6 +77,7 @@ impl Default for GatewayConfig {
             retry_after_ms: 5,
             pipe_capacity: crate::wire::DEFAULT_PIPE_CAPACITY,
             auto_pump: true,
+            telemetry: Recorder::disabled(),
         }
     }
 }
@@ -96,6 +104,12 @@ impl GatewayConfig {
     /// Disables automatic waves; drive them with [`Deployment::pump`].
     pub fn manual_pump(mut self) -> Self {
         self.auto_pump = false;
+        self
+    }
+
+    /// Installs a live-telemetry recorder on the deployment.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.telemetry = recorder;
         self
     }
 }
@@ -153,6 +167,9 @@ struct PeerHandle {
     /// `applied_versions` as of the last scatter — diffed after a wave
     /// to decide which fan-out notifications this peer gets.
     applied_baseline: std::collections::BTreeMap<String, u64>,
+    /// This peer's wire-byte tally (chained into the deployment-wide
+    /// meter), exported as the `wire.peer.<Name>.bytes` gauge.
+    meter: ByteMeter,
 }
 
 struct TicketEntry {
@@ -161,6 +178,9 @@ struct TicketEntry {
     parked: Option<u64>,
     /// Outcome that resolved before anyone asked.
     outcome: Option<Result<WireCommit, WireReject>>,
+    /// Admission time, kept only while a recorder is installed — feeds
+    /// the `gateway.ticket_wait_us` histogram at resolution.
+    submitted: Option<std::time::Instant>,
 }
 
 struct Pump {
@@ -283,6 +303,9 @@ impl Pump {
                 PumpEvent::NewSession { id, outbox } => {
                     self.sessions.insert(id, outbox);
                     self.stats.sessions_peak = self.stats.sessions_peak.max(self.sessions.len());
+                    self.cfg
+                        .telemetry
+                        .set_max("gateway.sessions_peak", self.sessions.len() as u64);
                 }
                 PumpEvent::SessionClosed { id } => {
                     self.sessions.remove(&id);
@@ -320,6 +343,7 @@ impl Pump {
             } => {
                 if self.service.pending_submissions() >= self.cfg.queue_depth {
                     self.stats.overloaded += 1;
+                    self.cfg.telemetry.add("gateway.overloaded", 1);
                     self.reply(
                         session,
                         corr,
@@ -341,6 +365,11 @@ impl Pump {
                                 session,
                                 parked: None,
                                 outcome: None,
+                                submitted: self
+                                    .cfg
+                                    .telemetry
+                                    .is_enabled()
+                                    .then(std::time::Instant::now),
                             },
                         );
                         self.stats.submissions += 1;
@@ -348,6 +377,11 @@ impl Pump {
                             .stats
                             .queue_high_water
                             .max(self.service.pending_submissions());
+                        self.cfg.telemetry.add("gateway.submissions", 1);
+                        self.cfg.telemetry.set_max(
+                            "gateway.queue_high_water",
+                            self.service.pending_submissions() as u64,
+                        );
                         self.reply(
                             session,
                             corr,
@@ -392,9 +426,31 @@ impl Pump {
                     self.reply(session, corr, Message::Pending { ticket });
                 }
             }
+            Message::StatsRequest => {
+                let json = self.stats_json();
+                self.reply(session, corr, Message::Stats { json });
+            }
             Message::Close => self.reply(session, corr, Message::Closed),
             _ => {}
         }
+    }
+
+    /// Renders the deterministic gateway counters — plus, when a
+    /// telemetry registry is installed, the full metric registry
+    /// snapshot — as one JSON document for [`Message::Stats`].
+    fn stats_json(&self) -> String {
+        let s = &self.stats;
+        let mut out = format!(
+            "{{\"waves\":{},\"submissions\":{},\"overloaded\":{},\
+             \"resolved\":{},\"queue_high_water\":{},\"sessions_peak\":{}",
+            s.waves, s.submissions, s.overloaded, s.resolved, s.queue_high_water, s.sessions_peak
+        );
+        if let Some(registry) = self.cfg.telemetry.registry() {
+            out.push_str(",\"registry\":");
+            out.push_str(&registry.snapshot().render_json());
+        }
+        out.push('}');
+        out
     }
 
     #[allow(clippy::result_large_err)]
@@ -443,6 +499,13 @@ impl Pump {
         }
         let report = tick_result?;
         self.stats.waves = self.service.waves();
+        if self.cfg.telemetry.is_enabled() {
+            for ph in &self.peers {
+                self.cfg
+                    .telemetry
+                    .set(&format!("wire.peer.{}.bytes", ph.name), ph.meter.bytes());
+            }
+        }
         Ok(report)
     }
 
@@ -554,12 +617,19 @@ impl Pump {
 
     fn route(&mut self, engine_ticket: CommitTicket, result: Result<WireCommit, WireReject>) {
         self.stats.resolved += 1;
+        self.cfg.telemetry.add("gateway.resolved", 1);
         let Some(wire_ticket) = self.engine_map.remove(&engine_ticket) else {
             return;
         };
         let Some(entry) = self.tickets.get_mut(&wire_ticket) else {
             return;
         };
+        if let Some(submitted) = entry.submitted.take() {
+            self.cfg.telemetry.record(
+                "gateway.ticket_wait_us",
+                submitted.elapsed().as_micros() as u64,
+            );
+        }
         if let Some(corr) = entry.parked.take() {
             let session = entry.session;
             self.tickets.remove(&wire_ticket);
@@ -678,6 +748,14 @@ impl Deployment {
     ) -> medledger_core::Result<Deployment> {
         let rt = Runtime::new(cfg.threads);
         let meter = ByteMeter::new();
+        if cfg.telemetry.is_enabled() {
+            // Install the recorder while every peer is still attached,
+            // so each one's sharded mirrors wire into the heat map.
+            service
+                .ledger_mut()
+                .system_mut()
+                .set_recorder(cfg.telemetry.clone());
+        }
         let peer_ids = service.ledger().peers();
         let mut peers = Vec::with_capacity(peer_ids.len());
         let mut telemetry = Vec::with_capacity(peer_ids.len());
@@ -685,7 +763,8 @@ impl Deployment {
             let name = service.ledger().peer_name(id)?;
             let node = service.ledger_mut().system_mut().detach_peer(id)?;
             let baseline = node.applied_versions.clone();
-            let (pump_conn, loop_conn) = duplex_metered(cfg.pipe_capacity, &meter);
+            let peer_meter = meter.chained();
+            let (pump_conn, loop_conn) = duplex_metered(cfg.pipe_capacity, &peer_meter);
             let (to_loop, loop_inbox) = sync::unbounded();
             let (loop_outbox, from_loop) = sync::unbounded();
             let tele = PeerTelemetry::default();
@@ -704,6 +783,7 @@ impl Deployment {
                 to_loop,
                 from_loop,
                 applied_baseline: baseline,
+                meter: peer_meter,
             });
         }
         let (events, inbox) = sync::unbounded();
@@ -986,6 +1066,32 @@ impl GatewayClient {
                 Message::Outcome { result, .. } => Some(result),
                 _ => None,
             });
+        }
+    }
+
+    /// Asks the gateway for a live statistics snapshot: the JSON body
+    /// of the [`Message::Stats`] reply (deterministic gateway counters
+    /// plus the telemetry registry when one is installed).
+    pub async fn stats(&mut self) -> Result<String, WireError> {
+        let corr = self.corr();
+        self.conn
+            .send(&Envelope {
+                corr,
+                body: Message::StatsRequest,
+            })
+            .await?;
+        loop {
+            let env = self.conn.recv().await?.ok_or(WireError::Closed)?;
+            if env.corr != corr {
+                self.stash(env);
+                continue;
+            }
+            return match env.body {
+                Message::Stats { json } => Ok(json),
+                other => Err(WireError::Codec(medledger_storage::StorageError::Codec(
+                    format!("unexpected stats reply {other:?}"),
+                ))),
+            };
         }
     }
 

@@ -97,8 +97,16 @@ impl From<StorageError> for WireError {
 
 /// Shared tally of bytes pushed through pipes created with it; the
 /// bench uses one to report wire bytes per commit.
+///
+/// Meters can be [chained](ByteMeter::chained): a child meter keeps its
+/// own tally *and* forwards every byte to its parent, which is how the
+/// gateway gets per-peer wire-byte telemetry while the deployment-wide
+/// total keeps working.
 #[derive(Clone, Default)]
-pub struct ByteMeter(Arc<std::sync::atomic::AtomicU64>);
+pub struct ByteMeter {
+    count: Arc<std::sync::atomic::AtomicU64>,
+    parent: Option<Arc<ByteMeter>>,
+}
 
 impl ByteMeter {
     /// A fresh zeroed meter.
@@ -106,16 +114,29 @@ impl ByteMeter {
         Self::default()
     }
 
-    /// Total bytes written through metered pipes so far.
+    /// A child meter: bytes added to it count on both the child and
+    /// this meter.
+    pub fn chained(&self) -> ByteMeter {
+        ByteMeter {
+            count: Arc::default(),
+            parent: Some(Arc::new(self.clone())),
+        }
+    }
+
+    /// Total bytes written through metered pipes so far (this meter and
+    /// its children).
     pub fn bytes(&self) -> u64 {
         // ordering: byte-meter
-        self.0.load(std::sync::atomic::Ordering::Relaxed)
+        self.count.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     fn add(&self, n: usize) {
-        self.0
+        self.count
             // ordering: byte-meter
             .fetch_add(n as u64, std::sync::atomic::Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.add(n);
+        }
     }
 }
 
@@ -706,6 +727,16 @@ pub enum Message {
     Close,
     /// Orderly shutdown acknowledged; no further frames follow.
     Closed,
+    /// Client → gateway: ask for a live statistics snapshot.
+    StatsRequest,
+    /// Gateway → client: the snapshot, as the JSON rendering of the
+    /// gateway's deterministic counters plus (when a telemetry registry
+    /// is installed) the full metric registry — the same `Snapshot`
+    /// shape the bench `report` binary renders.
+    Stats {
+        /// JSON document; schema documented in `docs/OBSERVABILITY.md`.
+        json: String,
+    },
 }
 
 impl Message {
@@ -809,6 +840,11 @@ impl Message {
             }
             Message::Close => out.push(12),
             Message::Closed => out.push(13),
+            Message::StatsRequest => out.push(14),
+            Message::Stats { json } => {
+                out.push(15);
+                json.encode_into(out);
+            }
         }
     }
 
@@ -897,6 +933,10 @@ impl Message {
             },
             12 => Message::Close,
             13 => Message::Closed,
+            14 => Message::StatsRequest,
+            15 => Message::Stats {
+                json: String::decode_from(r)?,
+            },
             t => return Err(StorageError::Codec(format!("invalid message tag {t}"))),
         })
     }
@@ -995,6 +1035,10 @@ mod tests {
             },
             Message::Close,
             Message::Closed,
+            Message::StatsRequest,
+            Message::Stats {
+                json: r#"{"counters":{"chain.waves":4}}"#.into(),
+            },
         ];
         for (i, body) in messages.into_iter().enumerate() {
             round_trip(&Envelope {

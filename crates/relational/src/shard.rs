@@ -53,6 +53,7 @@ use crate::table::{
 use crate::value::Value;
 use crate::Result;
 use medledger_crypto::{merkle, Hash256};
+use medledger_telemetry::HeatMapHandle;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Mutex;
@@ -152,6 +153,11 @@ pub struct Shard {
     shard_count: usize,
     table: Table,
     cache: Mutex<ShardCache>,
+    /// Live heat-map feed: every successful [`Shard::apply`] attributes
+    /// its row/byte cost to `(heat_label, index)`. No-op by default.
+    heat: HeatMapHandle,
+    /// Table name the heat cells are attributed to.
+    heat_label: String,
 }
 
 impl Clone for Shard {
@@ -161,6 +167,8 @@ impl Clone for Shard {
             shard_count: self.shard_count,
             table: self.table.clone(),
             cache: Mutex::new(self.cache.lock().expect("shard cache lock").clone()),
+            heat: self.heat.clone(),
+            heat_label: self.heat_label.clone(),
         }
     }
 }
@@ -178,6 +186,8 @@ impl Shard {
             shard_count,
             table: Table::new(schema),
             cache: Mutex::new(ShardCache::default()),
+            heat: HeatMapHandle::disabled(),
+            heat_label: String::new(),
         }
     }
 
@@ -241,6 +251,14 @@ impl Shard {
     pub fn apply(&mut self, delta: &TableDelta, chunk_count: usize) -> Result<TableDelta> {
         let schema = self.table.schema().clone();
         let inverse = self.table.apply_delta(delta)?;
+        if self.heat.is_enabled() {
+            self.heat.record(
+                &self.heat_label,
+                self.index as u64,
+                delta.row_count() as u64,
+                delta.encoded_size() as u64,
+            );
+        }
         let cache = self.cache.get_mut().expect("shard cache lock");
         if !cache.valid {
             return Ok(inverse);
@@ -423,6 +441,19 @@ impl ShardMap {
         &mut self.shards
     }
 
+    /// Installs a live heat-map feed: every successful per-shard apply
+    /// (serial via [`ShardMap::apply_delta`] or parallel via
+    /// [`Shard::apply`] on checked-out shards) attributes its row count
+    /// and canonical delta bytes to the `(table, shard)` cell. Survives
+    /// [`ShardMap::rebuild_from`]; a disabled handle keeps the apply
+    /// path free of telemetry work.
+    pub fn set_telemetry(&mut self, table: &str, heat: HeatMapHandle) {
+        for shard in &mut self.shards {
+            shard.heat = heat.clone();
+            shard.heat_label = table.to_string();
+        }
+    }
+
     /// Point lookup, routed to the owning shard.
     pub fn get(&self, key: &[Value]) -> Option<&Row> {
         self.shards[shard_of_key(key, self.shard_count)]
@@ -538,9 +569,18 @@ impl ShardMap {
 
     /// Discards all shard state and re-splits from `table` (used after an
     /// out-of-band rewrite of the assembled copy, e.g. a full-table
-    /// conflict resolution).
+    /// conflict resolution). An installed heat-map feed carries over.
     pub fn rebuild_from(&mut self, table: &Table) {
+        let heat = self
+            .shards
+            .first()
+            .map(|s| (s.heat.clone(), s.heat_label.clone()));
         *self = ShardMap::from_table(table, self.shard_count);
+        if let Some((heat, label)) = heat {
+            if heat.is_enabled() {
+                self.set_telemetry(&label, heat);
+            }
+        }
     }
 }
 

@@ -48,6 +48,14 @@ pub trait StorageBackend: Send {
 
     /// Flushes all buffered writes to stable storage.
     fn sync(&mut self) -> Result<()>;
+
+    /// Number of live WAL segment files currently held across all
+    /// streams (feeds the `storage.segments` telemetry gauge — see
+    /// `docs/OBSERVABILITY.md`). Backends without segmented storage
+    /// report 0.
+    fn segment_count(&mut self) -> u64 {
+        0
+    }
 }
 
 /// An in-memory backend: same semantics as the durable store, zero I/O.

@@ -126,6 +126,13 @@ impl StorageBackend for DurableStore {
         }
         Ok(())
     }
+
+    fn segment_count(&mut self) -> u64 {
+        // Only streams opened this process count — unopened stream
+        // directories hold segments too, but scanning them here would
+        // turn a telemetry read into disk I/O.
+        self.streams.values().map(|l| l.segment_count()).sum()
+    }
 }
 
 #[cfg(test)]

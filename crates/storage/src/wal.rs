@@ -202,6 +202,12 @@ impl SegmentedLog {
         self.len() == 0
     }
 
+    /// Number of live segment files (grows on rotation, shrinks on
+    /// compaction).
+    pub fn segment_count(&self) -> u64 {
+        self.segments.len() as u64
+    }
+
     /// Index of the oldest retained record (> 0 after compaction).
     pub fn first_retained(&self) -> u64 {
         self.segments

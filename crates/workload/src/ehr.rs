@@ -1,4 +1,13 @@
 //! Synthetic electronic health records with the paper's Fig. 1 schema.
+//!
+//! [`EhrGenerator`] is a seeded (PRG-driven, fully reproducible)
+//! source of full medical records over exactly the paper's seven
+//! attributes `a0`–`a6` (patient id through mode of action), at any
+//! row count — the scenario tests use the literal two-row Fig. 1
+//! dataset ([`fig1_full_records`]), the benches scale the same schema
+//! to thousands of patients. Generated tables plug straight into
+//! `PeerSession::load_source` as the stakeholder-side source a lens
+//! then slices into shared views.
 
 use medledger_crypto::Prg;
 use medledger_relational::{row, Column, Row, Schema, Table, Value, ValueType};

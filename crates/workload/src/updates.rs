@@ -1,4 +1,18 @@
 //! Seeded update streams for the throughput experiments.
+//!
+//! An [`UpdateStream`] is an infinite, reproducible iterator of
+//! [`WorkloadUpdate`]s (dosage / clinical-data / mechanism edits, each
+//! mapping to a stakeholder role) over a patient population:
+//!
+//! * [`UpdateStream::new`] draws targets uniformly, with a
+//!   `conflict_rate` knob for how often consecutive updates hit the
+//!   *same* shared table — the contention axis of the pipeline and
+//!   gateway benches;
+//! * [`UpdateStream::hotspot`] concentrates edits on a few hot rows,
+//!   the access skew that makes shard heat maps (and the per-shard
+//!   Merkle-subtree caching they observe) worth watching — the
+//!   `shard_scaling` bench and the instrumented `report -- e13`
+//!   experiment both run on it.
 
 use crate::ehr::EhrGenerator;
 use medledger_crypto::Prg;

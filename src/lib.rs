@@ -140,6 +140,7 @@ pub use medledger_network as network;
 pub use medledger_node as node;
 pub use medledger_relational as relational;
 pub use medledger_storage as storage;
+pub use medledger_telemetry as telemetry;
 pub use medledger_workload as workload;
 
 pub use medledger_core::{
